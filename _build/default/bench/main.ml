@@ -1,0 +1,111 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (see DESIGN.md §4 for the per-experiment index), plus the
+    ablation studies and Bechamel micro-benchmarks of the simulator itself.
+
+    Usage:
+      dune exec bench/main.exe             (everything)
+      dune exec bench/main.exe -- fig1 fig8 table1 ...
+      dune exec bench/main.exe -- bechamel *)
+
+open Tce_metrics
+
+let run_bechamel () =
+  (* Micro-benchmarks of the reproduction's own hot paths (host-side
+     wall-clock, not simulated cycles): how fast the simulator simulates. *)
+  print_endline "Bechamel — simulator throughput micro-benchmarks";
+  let open Bechamel in
+  let quick_engine src =
+    Staged.stage (fun () ->
+        let t = Tce_engine.Engine.of_source src in
+        Tce_engine.Engine.set_measuring t false;
+        ignore (Tce_engine.Engine.run_main t))
+  in
+  let tests =
+    [
+      Test.make ~name:"fig8:smoke-interp"
+        (Staged.stage (fun () ->
+             let t =
+               Tce_engine.Engine.of_source
+                 ~config:{ Tce_engine.Engine.default_config with jit = false }
+                 "var s = 0; for (var i = 0; i < 2000; i++) { s = (s + i) & 65535; } print(s);"
+             in
+             ignore (Tce_engine.Engine.run_main t)))
+      ;
+      Test.make ~name:"fig8:smoke-jit"
+        (quick_engine
+           "function f(n) { var s = 0; for (var i = 0; i < n; i++) { s = (s + i) & 65535; } return s; }\n\
+            var r = 0; for (var k = 0; k < 40; k++) { r = f(500); } print(r);")
+      ;
+      Test.make ~name:"fig1:bytecode-compile"
+        (Staged.stage (fun () ->
+             ignore
+               (Tce_jit.Bc_compile.compile_source
+                  (Option.get (Tce_workloads.Workloads.by_name "richards"))
+                    .Tce_workloads.Workload.source)))
+      ;
+      Test.make ~name:"table1:classlist-example"
+        (Staged.stage (fun () -> ignore (Table1.run ())))
+      ;
+    ]
+  in
+  (* run each Bechamel test a handful of times and report wall-clock means
+     (keeping the output format stable and dependency-light) *)
+  List.iter
+    (fun test ->
+      List.iter
+        (fun v ->
+          let name = Test.Elt.name v in
+          match Test.Elt.fn v with
+          | Test.V { fn; kind = Test.Uniq; allocate; free } ->
+            let run () =
+              let w = allocate () in
+              ignore (fn `Init (Test.Uniq.prj w));
+              free w
+            in
+            run ();
+            let n = 5 in
+            let t0 = Unix.gettimeofday () in
+            for _ = 1 to n do
+              run ()
+            done;
+            let dt = (Unix.gettimeofday () -. t0) /. float_of_int n in
+            Printf.printf "  %-28s %8.2f ms/run\n%!" name (1000.0 *. dt)
+          | Test.V _ -> Printf.printf "  %-28s (skipped)\n" name)
+        (Test.elements test))
+    tests;
+  print_newline ()
+
+let all_experiments =
+  [
+    ("fig1", Experiments.print_fig1);
+    ("fig2", Experiments.print_fig2);
+    ("fig3", Experiments.print_fig3);
+    ("table1", Table1.print);
+    ("table2", Experiments.print_table2);
+    ("fig8", Experiments.print_fig8);
+    ("fig9", Experiments.print_fig9);
+    ("overheads", Experiments.print_overheads);
+    ("census", Experiments.print_census);
+    ("cc-sweep", Ablation.cc_geometry_sweep);
+    ("ablation", Ablation.poly_sweep);
+    ("hoisting", Ablation.hoisting_sweep);
+    ("checked-load", Ablation.checked_load_comparison);
+    ("bechamel", run_bechamel);
+    ("csv", fun () -> Experiments.write_csvs ());
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let chosen =
+    if args = [] then List.map fst all_experiments
+    else args
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f ->
+        (try f ()
+         with e ->
+           Printf.printf "experiment %s failed: %s\n" name (Printexc.to_string e))
+      | None -> Printf.printf "unknown experiment %s\n" name)
+    chosen

@@ -1,0 +1,159 @@
+(** [tcejs] — run a MiniJS program under the two-tier engine.
+
+    Usage: tcejs run FILE [--no-jit] [--no-mechanism] [--stats]
+           tcejs disasm FILE            (bytecode listing)
+           tcejs opt-dump FILE FUNC     (optimized LIR of FUNC, after warm-up)
+           tcejs classlist FILE         (Class List dump after the run)
+           tcejs config                 (print the simulated core, Table 2) *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let no_jit = Arg.(value & flag & info [ "no-jit" ] ~doc:"Pure interpreter.") in
+  let no_mech =
+    Arg.(value & flag & info [ "no-mechanism" ] ~doc:"Disable the Class Cache mechanism.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.") in
+  let run file no_jit no_mech stats =
+    let src = read_file file in
+    let config =
+      { Tce_engine.Engine.default_config with jit = not no_jit; mechanism = not no_mech }
+    in
+    let t = Tce_engine.Engine.of_source ~config src in
+    (try ignore (Tce_engine.Engine.run_main t) with
+    | Tce_engine.Engine.Engine_error msg | Tce_engine.Runtime.Guest_error msg ->
+      Printf.eprintf "runtime error: %s\n" msg;
+      exit 1
+    | Tce_minijs.Parser.Error (msg, pos) ->
+      Printf.eprintf "parse error at %d:%d: %s\n" pos.Tce_minijs.Ast.line
+        pos.Tce_minijs.Ast.col msg;
+      exit 1);
+    print_string (Tce_engine.Engine.output t);
+    if stats then begin
+      let c = t.Tce_engine.Engine.counters in
+      Printf.printf "--- stats ---\n";
+      Printf.printf "optimized instructions: %d\n"
+        (Tce_machine.Counters.opt_instrs c);
+      List.iter
+        (fun i ->
+          let cat = Tce_jit.Categories.of_index i in
+          Printf.printf "  %-22s %d\n" (Tce_jit.Categories.name cat)
+            (Tce_machine.Counters.cat c cat))
+        [ 0; 1; 2; 3; 4 ];
+      Printf.printf "baseline instructions:  %d\n"
+        c.Tce_machine.Counters.baseline_instrs;
+      Printf.printf "optimized cycles:       %d\n" (Tce_engine.Engine.opt_cycles t);
+      Printf.printf "deopts: %d (cc exceptions: %d), tier-ups: %d\n"
+        c.Tce_machine.Counters.deopts c.Tce_machine.Counters.cc_exception_deopts
+        c.Tce_machine.Counters.tierups;
+      Printf.printf "class cache: %d accesses, hit rate %.4f%%\n"
+        t.Tce_engine.Engine.cc.Tce_core.Class_cache.stats.accesses
+        (100.0 *. Tce_core.Class_cache.hit_rate t.Tce_engine.Engine.cc);
+      Printf.printf "hidden classes: %d\n"
+        (Tce_vm.Hidden_class.Registry.class_count
+           t.Tce_engine.Engine.heap.Tce_vm.Heap.reg)
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a MiniJS program.")
+    Term.(const run $ file $ no_jit $ no_mech $ stats)
+
+let disasm_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let disasm file =
+    let prog = Tce_jit.Bc_compile.compile_source (read_file file) in
+    Array.iter
+      (fun fn -> Fmt.pr "%a@." Tce_jit.Bytecode.pp_func fn)
+      prog.Tce_jit.Bytecode.funcs
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Print the bytecode of a program.")
+    Term.(const disasm $ file)
+
+(* Run a program to a warm state: main once, then bench() (when present)
+   ten times, so hot functions are optimized and profiles populated. *)
+let warm_engine ?(config = Tce_engine.Engine.default_config) file =
+  let t = Tce_engine.Engine.of_source ~config (read_file file) in
+  Tce_engine.Engine.set_measuring t false;
+  ignore (Tce_engine.Engine.run_main t);
+  (match Tce_jit.Bytecode.find_func t.Tce_engine.Engine.prog "bench" with
+  | Some _ ->
+    for _ = 1 to 10 do
+      ignore (Tce_engine.Engine.call_by_name t "bench" [||])
+    done
+  | None -> ());
+  t
+
+let opt_dump_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let fname = Arg.(required & pos 1 (some string) None & info [] ~docv:"FUNCTION") in
+  let no_mech =
+    Arg.(value & flag & info [ "no-mechanism" ] ~doc:"Disable the Class Cache mechanism.")
+  in
+  let dump file fname no_mech =
+    let config =
+      { Tce_engine.Engine.default_config with mechanism = not no_mech }
+    in
+    let t = warm_engine ~config file in
+    match Tce_jit.Bytecode.find_func t.Tce_engine.Engine.prog fname with
+    | None ->
+      Printf.eprintf "no such function: %s\n" fname;
+      exit 1
+    | Some fn -> (
+      match fn.Tce_jit.Bytecode.opt with
+      | Some code -> Fmt.pr "%a@." Tce_jit.Lir.pp_func code
+      | None ->
+        Printf.eprintf
+          "%s was not optimized (not hot, or optimization disabled)\n" fname;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "opt-dump"
+       ~doc:"Print the optimized LIR of a function (after a warm-up run).")
+    Term.(const dump $ file $ fname $ no_mech)
+
+let classlist_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let show file =
+    let t = warm_engine file in
+    let reg = t.Tce_engine.Engine.heap.Tce_vm.Heap.reg in
+    let class_name id =
+      if id = Tce_vm.Layout.smi_classid then "SMI"
+      else
+        match Tce_vm.Hidden_class.Registry.find reg id with
+        | Some c -> c.Tce_vm.Hidden_class.name
+        | None -> Printf.sprintf "?%d" id
+    in
+    let fn_name oid =
+      match Hashtbl.find_opt t.Tce_engine.Engine.opt_table oid with
+      | Some code -> code.Tce_jit.Lir.name
+      | None -> Printf.sprintf "opt%d" oid
+    in
+    List.iter
+      (fun (cid, line, e) ->
+        Fmt.pr "%a@."
+          (Tce_core.Class_list.pp_entry ~class_name ~fn_name)
+          (cid, line, e))
+      (Tce_core.Class_list.dump t.Tce_engine.Engine.cl)
+  in
+  Cmd.v
+    (Cmd.info "classlist"
+       ~doc:"Dump the live Class List after running a program (Table 1 format).")
+    Term.(const show $ file)
+
+let config_cmd =
+  let show () = Fmt.pr "%a" Tce_machine.Config.pp Tce_machine.Config.default in
+  Cmd.v (Cmd.info "config" ~doc:"Print the simulated core configuration (Table 2).")
+    Term.(const show $ const ())
+
+let () =
+  let info = Cmd.info "tcejs" ~doc:"MiniJS engine with HW-assisted type-check elision" in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; disasm_cmd; opt_dump_cmd; classlist_cmd; config_cmd ]))

@@ -1,0 +1,1 @@
+dev/check_checkedload.ml: List Printf Tce_engine Tce_metrics Tce_workloads

@@ -1,0 +1,1 @@
+dev/check_workloads.ml: List Printexc Printf Tce_metrics Tce_workloads

@@ -1,0 +1,1 @@
+dev/check_workloads.mli:

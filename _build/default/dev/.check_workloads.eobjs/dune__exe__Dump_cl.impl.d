@@ -1,0 +1,1 @@
+dev/dump_cl.ml: Array Fmt List Option Printf Sys Tce_core Tce_engine Tce_vm Tce_workloads

@@ -1,0 +1,1 @@
+dev/dump_opt.ml: Array Fmt Option Printf Sys Tce_engine Tce_jit Tce_workloads

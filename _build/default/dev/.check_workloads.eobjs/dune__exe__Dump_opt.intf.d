@@ -1,0 +1,1 @@
+dev/dump_opt.mli:

@@ -1,0 +1,1 @@
+dev/probe_detail.ml: Array Option Printf Sys Tce_metrics Tce_workloads

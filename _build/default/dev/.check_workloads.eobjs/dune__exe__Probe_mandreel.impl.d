@@ -1,0 +1,1 @@
+dev/probe_mandreel.ml: Array Option Printf Sys Tce_engine Tce_machine Tce_workloads

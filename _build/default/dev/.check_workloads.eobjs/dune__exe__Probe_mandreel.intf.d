@@ -1,0 +1,1 @@
+dev/probe_mandreel.mli:

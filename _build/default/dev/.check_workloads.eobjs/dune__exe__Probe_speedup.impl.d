@@ -1,0 +1,1 @@
+dev/probe_speedup.ml: Array List Printexc Printf Sys Tce_metrics Tce_support Tce_workloads

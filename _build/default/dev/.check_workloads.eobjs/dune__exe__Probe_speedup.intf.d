@@ -1,0 +1,1 @@
+dev/probe_speedup.mli:

@@ -1,0 +1,23 @@
+module E = Tce_engine.Engine
+
+let () =
+  let wname = Sys.argv.(1) in
+  let w = Option.get (Tce_workloads.Workloads.by_name wname) in
+  let t = E.of_source w.Tce_workloads.Workload.source in
+  E.set_measuring t false;
+  ignore (E.run_main t);
+  for _ = 1 to 9 do ignore (E.call_by_name t "bench" [||]) done;
+  let reg = t.E.heap.Tce_vm.Heap.reg in
+  let class_name id =
+    if id = 0xff then "SMI"
+    else
+      match Tce_vm.Hidden_class.Registry.find reg id with
+      | Some c -> c.Tce_vm.Hidden_class.name
+      | None -> Printf.sprintf "?%d" id
+  in
+  List.iter
+    (fun (cid, line, e) ->
+      Fmt.pr "%a@."
+        (Tce_core.Class_list.pp_entry ~class_name ~fn_name:string_of_int)
+        (cid, line, e))
+    (Tce_core.Class_list.dump t.E.cl)

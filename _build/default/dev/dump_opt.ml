@@ -1,0 +1,29 @@
+(* Dump optimized LIR of a function in a workload after warmup. *)
+module E = Tce_engine.Engine
+
+let () =
+  let wname = Sys.argv.(1) in
+  let fname = Sys.argv.(2) in
+  let mech = Array.length Sys.argv < 4 || Sys.argv.(3) <> "off" in
+  let w = Option.get (Tce_workloads.Workloads.by_name wname) in
+  let config = { E.default_config with E.mechanism = mech } in
+  let t = E.of_source ~config w.Tce_workloads.Workload.source in
+  E.set_measuring t false;
+  ignore (E.run_main t);
+  for _ = 1 to 9 do ignore (E.call_by_name t "bench" [||]) done;
+  (match Tce_jit.Bytecode.find_func t.E.prog fname with
+  | Some fn -> (
+    match fn.Tce_jit.Bytecode.opt with
+    | Some code ->
+      let counts = Array.make 5 0 in
+      Array.iter
+        (fun (i : Tce_jit.Lir.inst) ->
+          counts.(Tce_jit.Categories.index i.Tce_jit.Lir.cat) <-
+            counts.(Tce_jit.Categories.index i.Tce_jit.Lir.cat) + 1)
+        code.Tce_jit.Lir.code;
+      Printf.printf "static: chk=%d tag=%d math=%d cc=%d other=%d total=%d\n"
+        counts.(0) counts.(1) counts.(2) counts.(3) counts.(4)
+        (Array.length code.Tce_jit.Lir.code);
+      if Array.length Sys.argv > 4 then Fmt.pr "%a@." Tce_jit.Lir.pp_func code
+    | None -> print_endline "not optimized")
+  | None -> print_endline "no such function")

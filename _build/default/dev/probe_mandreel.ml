@@ -1,0 +1,22 @@
+module E = Tce_engine.Engine
+let run mech =
+  let w = Option.get (Tce_workloads.Workloads.by_name Sys.argv.(1)) in
+  let config = { E.default_config with E.mechanism = mech } in
+  let t = E.of_source ~config w.Tce_workloads.Workload.source in
+  E.set_measuring t false;
+  ignore (E.run_main t);
+  for _ = 1 to 9 do ignore (E.call_by_name t "bench" [||]) done;
+  E.reset_measurement t;
+  let c0 = E.opt_cycles t in
+  E.set_measuring t true;
+  ignore (E.call_by_name t "bench" [||]);
+  let m = t.E.mach in
+  Printf.printf "mech=%b cycles=%d br=%d mispred=%d l1d_acc=%d l1d_miss=%d l2_miss=%d dtlb_miss=%d\n"
+    mech (E.opt_cycles t - c0)
+    m.Tce_machine.Machine.bp.Tce_machine.Branch.stats.branches
+    m.Tce_machine.Machine.bp.Tce_machine.Branch.stats.mispredicts
+    m.Tce_machine.Machine.l1d.Tce_machine.Cache.stats.accesses
+    m.Tce_machine.Machine.l1d.Tce_machine.Cache.stats.misses
+    m.Tce_machine.Machine.l2.Tce_machine.Cache.stats.misses
+    m.Tce_machine.Machine.dtlb.Tce_machine.Tlb.stats.misses
+let () = run false; run true

@@ -1,0 +1,1 @@
+examples/classlist_dump.mli:

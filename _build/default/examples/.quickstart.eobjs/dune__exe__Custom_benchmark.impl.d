@@ -1,0 +1,1 @@
+examples/custom_benchmark.ml: Array Harness Printf Tce_metrics Tce_support Tce_workloads

@@ -1,0 +1,1 @@
+examples/pathfinding.ml: Array Harness Option Printf Tce_metrics Tce_support Tce_workloads

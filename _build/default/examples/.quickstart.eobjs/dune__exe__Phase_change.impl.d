@@ -1,0 +1,1 @@
+examples/phase_change.ml: Printf Tce_core Tce_engine Tce_machine

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Tce_engine Tce_jit Tce_machine

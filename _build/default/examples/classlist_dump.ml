@@ -1,0 +1,8 @@
+(** The paper's Table 1, live: build the NodeList/GraphNode example, let
+    findGraphNode get optimized, then dump the Class List — InitMap /
+    ValidMap / SpeculateMap bitmaps, per-slot profiled classes, and the
+    FunctionLists naming the speculating code.
+
+    dune exec examples/classlist_dump.exe *)
+
+let () = Tce_metrics.Table1.print ()

@@ -1,0 +1,52 @@
+(** Scenario: a program whose types change mid-run. Demonstrates the
+    verification half of the mechanism (paper §4.2.2): the special store
+    that breaks a speculated-monomorphic slot raises the hardware
+    exception; the runtime deoptimizes every function in the slot's
+    FunctionList (on-stack replacement if live) and execution stays correct.
+
+    dune exec examples/phase_change.exe *)
+
+module E = Tce_engine.Engine
+
+let program =
+  {|
+function Reading(value) { this.value = value; this.seq = 0; }
+var log = array_new(0);
+for (var i = 0; i < 200; i++) { push(log, new Reading(i)); }
+
+function total() {
+  var s = 0;
+  var n = log.length;
+  for (var i = 0; i < n; i++) {
+    s = s + log[i].value;   // speculated: Reading.value is always SMI
+  }
+  return s;
+}
+
+// phase 1: integer readings only — total() is optimized with no checks
+var r = 0;
+for (var k = 0; k < 10; k++) { r = total(); }
+print("phase 1 total: " + r);
+
+// phase 2: a sensor starts reporting fractional values.
+// The store below is a movStoreClassCache whose Class Cache request finds
+// SpeculateMap set -> hardware exception -> total() is deoptimized.
+log[7].value = 3.5;
+print("phase 2 total: " + total());
+|}
+
+let () =
+  print_endline "=== Phase change: misspeculation exception and deoptimization ===\n";
+  let t = E.of_source program in
+  E.set_measuring t true;
+  ignore (E.run_main t);
+  print_string (E.output t);
+  let c = t.E.counters in
+  Printf.printf
+    "\n  Class Cache exceptions: %d\n  invalidation deopts:    %d\n  total deopts:           %d\n"
+    t.E.cc.Tce_core.Class_cache.stats.exceptions
+    c.Tce_machine.Counters.cc_exception_deopts c.Tce_machine.Counters.deopts;
+  print_endline
+    "\nNo recovery of heap state was needed: all loads executed before the\n\
+     breaking store saw the speculated type (paper: \"the application state\n\
+     is correct because up to this point all the assumptions were correct\")."

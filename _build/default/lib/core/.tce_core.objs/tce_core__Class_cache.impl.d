@@ -1,0 +1,1 @@
+lib/core/class_cache.ml: Array Class_list

@@ -1,0 +1,1 @@
+lib/core/class_cache.mli: Class_list

@@ -1,0 +1,1 @@
+lib/core/class_list.ml: Array Bytemap Fmt List Printf String Tce_support Tce_vm

@@ -1,0 +1,1 @@
+lib/core/class_list.mli: Format Tce_support Tce_vm

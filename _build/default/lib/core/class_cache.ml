@@ -1,0 +1,149 @@
+(** The Class Cache (paper §4.2.1.3): a small hardware cache of Class List
+    entries, accessed in parallel with the L1 write on every special store
+    ([movStoreClassCache] / [movStoreClassCacheArray]).
+
+    Geometry is configurable (paper default: 128 entries, 2-way, LRU). A hit
+    is free; a miss walks the Class List in memory (the victim is written
+    back, like a TLB). The functional update is [Class_list.update]; this
+    module layers the timing-visible behaviour (hit/miss/writeback counts and
+    the misspeculation exception) on top. *)
+
+type config = { entries : int; ways : int }
+
+let default_config = { entries = 128; ways = 2 }
+
+type way = { mutable tag : int; mutable valid : bool; mutable lru : int }
+(* The cached copy of the Class List entry is not duplicated here: the cache
+   and the backing list are kept coherent by construction (every access goes
+   through this module, and compiler reads snoop it), so presence/LRU state
+   is all the hardware model needs to track. A qcheck property pins the
+   observational equivalence of "cache + writeback" and "direct list". *)
+
+type stats = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+  mutable first_profiles : int;
+  mutable invalidations : int;
+  mutable exceptions : int;
+}
+
+type t = {
+  config : config;
+  sets : way array array;  (** [sets.(set_index).(way)] *)
+  mutable clock : int;
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+    first_profiles = 0;
+    invalidations = 0;
+    exceptions = 0;
+  }
+
+let create ?(config = default_config) () =
+  if config.entries mod config.ways <> 0 then
+    invalid_arg "Class_cache: entries must be a multiple of ways";
+  let nsets = config.entries / config.ways in
+  {
+    config;
+    sets =
+      Array.init nsets (fun _ ->
+          Array.init config.ways (fun _ -> { tag = 0; valid = false; lru = 0 }));
+    clock = 0;
+    stats = fresh_stats ();
+  }
+
+let nsets t = Array.length t.sets
+
+(** Cache lookup/fill for the entry [ClassID ‖ Line]. Returns [true] on hit.
+    The set index mixes the ClassID into the low bits (indexing by the raw
+    concatenation would put every class in one set, since the set count
+    divides 256). *)
+let touch t ~classid ~line =
+  let key = (classid lsl 8) lor line in
+  let set = t.sets.((classid + (line * 41)) mod nsets t) in
+  t.clock <- t.clock + 1;
+  t.stats.accesses <- t.stats.accesses + 1;
+  let hit = ref false in
+  Array.iter
+    (fun w ->
+      if w.valid && w.tag = key then begin
+        hit := true;
+        w.lru <- t.clock
+      end)
+    set;
+  if !hit then t.stats.hits <- t.stats.hits + 1
+  else begin
+    t.stats.misses <- t.stats.misses + 1;
+    (* Choose the victim: an invalid way, else least recently used. *)
+    let victim = ref set.(0) in
+    Array.iter
+      (fun w ->
+        if not w.valid then victim := w
+        else if !victim.valid && w.lru < !victim.lru then victim := w)
+      set;
+    if !victim.valid then t.stats.writebacks <- t.stats.writebacks + 1;
+    !victim.valid <- true;
+    !victim.tag <- key;
+    !victim.lru <- t.clock
+  end;
+  !hit
+
+(** The result of a special store's Class Cache request. *)
+type access_result = {
+  hit : bool;  (** false = the Class List in memory was walked *)
+  exn_raised : bool;  (** misspeculation hardware exception *)
+  functions_to_deopt : int list;
+      (** FunctionList of the broken slot (empty unless [exn_raised]) *)
+  outcome : Class_list.update_outcome;
+}
+
+(** One special-store request (paper Fig. 4/5/6): looks up/fills the cache,
+    applies the profiling update, and raises the misspeculation exception
+    when a speculated slot goes polymorphic. On exception the runtime's
+    share of the work (draining the FunctionList, clearing SpeculateMap) is
+    performed here and the victims are returned for deoptimization. *)
+let access t (cl : Class_list.t) ~classid ~line ~pos ~value_classid =
+  let hit = touch t ~classid ~line in
+  let outcome, fns = Class_list.apply cl ~classid ~line ~pos ~value_classid in
+  (match outcome with
+  | Class_list.First_profile -> t.stats.first_profiles <- t.stats.first_profiles + 1
+  | Now_polymorphic _ -> t.stats.invalidations <- t.stats.invalidations + 1
+  | _ -> ());
+  if fns <> [] then begin
+    t.stats.exceptions <- t.stats.exceptions + 1;
+    { hit; exn_raised = true; functions_to_deopt = fns; outcome }
+  end
+  else
+    { hit;
+      exn_raised =
+        (match outcome with
+        | Class_list.Now_polymorphic { exception_raised = true; _ } -> true
+        | _ -> false);
+      functions_to_deopt = [];
+      outcome }
+
+let hit_rate t =
+  if t.stats.accesses = 0 then 1.0
+  else float_of_int t.stats.hits /. float_of_int t.stats.accesses
+
+(** Hardware cost estimate in bytes (paper §5.4: < 1.5 KB at 128 entries):
+    per entry one tag word (2 B), three 1-byte maps, seven 1-byte props. *)
+let storage_bytes t = t.config.entries * (2 + 3 + 7)
+
+let reset_stats t =
+  let s = fresh_stats () in
+  t.stats.accesses <- s.accesses;
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.writebacks <- 0;
+  t.stats.first_profiles <- 0;
+  t.stats.invalidations <- 0;
+  t.stats.exceptions <- 0

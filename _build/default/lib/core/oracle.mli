@@ -1,0 +1,24 @@
+(** Ground-truth monomorphism oracle: records, independently of the Class
+    List, the set of value classes ever stored into each
+    [(classid, line, pos)] slot. Validates the mechanism in property tests
+    and computes Figure 3's full-run classification. *)
+
+type slot_info = { mutable classes : int list; mutable stores : int }
+
+type t
+
+val create : unit -> t
+
+val record : t -> classid:int -> line:int -> pos:int -> value_classid:int -> unit
+
+(** Monomorphic over the recorded run (never-stored slots vacuously so). *)
+val is_monomorphic : t -> classid:int -> line:int -> pos:int -> bool
+
+val distinct_classes : t -> classid:int -> line:int -> pos:int -> int
+
+(** Mark every slot naming [value_classid] polymorphic — its objects mutated
+    their hidden class in place. *)
+val retire_value_class : t -> value_classid:int -> unit
+
+val fold :
+  ('a -> classid:int -> line:int -> pos:int -> info:slot_info -> 'a) -> 'a -> t -> 'a

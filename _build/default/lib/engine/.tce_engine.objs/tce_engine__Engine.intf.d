@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Hashtbl Runtime Tce_core Tce_jit Tce_machine Tce_vm

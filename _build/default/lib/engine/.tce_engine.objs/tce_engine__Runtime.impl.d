@@ -1,0 +1,1 @@
+lib/engine/runtime.ml: Array Buffer Builtins Char Feedback Float Fmt Heap String Tce_jit Tce_minijs Tce_support Tce_vm Value

@@ -1,0 +1,1 @@
+lib/engine/runtime.mli: Buffer Tce_jit Tce_minijs Tce_support Tce_vm

@@ -1,0 +1,659 @@
+(** The two-tier engine (our V8 stand-in):
+
+    - Baseline tier: a bytecode interpreter with real inline caches, standing
+      in for Full Codegen. Each op is charged the instruction cost of the
+      generic code it represents ({!Tce_machine.Costs}). Every property /
+      elements store fires a Class Cache request (profiling phase, paper
+      §4.2.2).
+    - Optimized tier: hot functions are compiled by {!Tce_jit.Opt} and run
+      on the cycle-level machine ({!Tce_machine.Machine}).
+
+    Deoptimization (failed checks, misspeculation exceptions, on-stack
+    replacement) transfers execution back here mid-function. *)
+
+open Tce_vm
+open Tce_jit
+module CL = Tce_core.Class_list
+module CC = Tce_core.Class_cache
+
+exception Engine_error of string
+
+type config = {
+  jit : bool;  (** false: pure interpreter (differential testing) *)
+  mechanism : bool;  (** the paper's Class Cache mechanism on/off *)
+  hoisting : bool;  (** hoist movClassIDArray out of loops (paper default) *)
+  checked_load : bool;  (** Checked Load baseline instead of the mechanism *)
+  hot_call_count : int;
+  hot_backedge_count : int;
+  max_deopts : int;  (** per function before optimization is disabled *)
+  mach_cfg : Tce_machine.Config.t;
+  cc_config : CC.config;
+  seed : int;
+}
+
+let default_config =
+  {
+    jit = true;
+    mechanism = true;
+    hoisting = true;
+    checked_load = false;
+    hot_call_count = 6;
+    hot_backedge_count = 200;
+    max_deopts = 12;
+    mach_cfg = Tce_machine.Config.default;
+    cc_config = CC.default_config;
+    seed = 42;
+  }
+
+type t = {
+  cfg : config;
+  heap : Heap.t;
+  prog : Bytecode.program;
+  cl : CL.t;
+  cc : CC.t;
+  oracle : Tce_core.Oracle.t;
+  counters : Tce_machine.Counters.t;
+  mach : Tce_machine.Machine.t;
+  io : Runtime.io;
+  opt_table : (int, Lir.func) Hashtbl.t;
+  shadow_table : (int, Bytecode.func) Hashtbl.t;
+      (** opt_id -> the (possibly inlined) bytecode the code was compiled
+          from; deopts resume the interpreter on this bytecode *)
+  mutable next_opt_id : int;
+  mutable next_code_addr : int;  (** simulated code-space bump pointer *)
+  mutable host : Tce_machine.Machine.host option;
+  mutable depth : int;  (** guest call depth (recursion guard) *)
+  globals_base : int;  (** simulated address of the global variable cells *)
+}
+
+let max_depth = 2000
+
+(* --- construction --- *)
+
+let create ?(config = default_config) (prog : Bytecode.program) : t =
+  let heap = Heap.create () in
+  let cl = CL.create heap.Heap.mem in
+  (* the runtime exposes the transition tree to the Class List so new
+     classes inherit profiles and invalidations propagate to descendants *)
+  let reg = heap.Heap.reg in
+  cl.CL.parent_of <-
+    (fun id ->
+      match Hidden_class.Registry.find reg id with
+      | Some c -> c.Hidden_class.parent_id
+      | None -> None);
+  cl.CL.children_of <-
+    (fun id ->
+      match Hidden_class.Registry.find reg id with
+      | Some c -> List.map (fun (_, c') -> c'.Hidden_class.id) c.Hidden_class.transitions
+      | None -> []);
+  let cc = CC.create ~config:config.cc_config () in
+  let oracle = Tce_core.Oracle.create () in
+  let counters = Tce_machine.Counters.create () in
+  let mach =
+    Tce_machine.Machine.create ~cfg:config.mach_cfg ~mechanism:config.mechanism
+      ~heap ~cc ~cl ~oracle ~counters ()
+  in
+  (* global variable cells live in simulated memory, initialized to null *)
+  let n_globals = max 1 (Array.length prog.Bytecode.globals) in
+  let globals_base = Mem.allocate heap.Heap.mem ~bytes:(8 * n_globals) ~align:64 in
+  for i = 0 to n_globals - 1 do
+    Mem.store heap.Heap.mem (globals_base + (8 * i)) heap.Heap.null_v
+  done;
+  {
+    cfg = config;
+    heap;
+    prog;
+    cl;
+    cc;
+    oracle;
+    counters;
+    mach;
+    io = Runtime.make_io ~seed:config.seed ();
+    opt_table = Hashtbl.create 64;
+    shadow_table = Hashtbl.create 64;
+    next_opt_id = 0;
+    next_code_addr = 0x4000_0000;
+    host = None;
+    depth = 0;
+    globals_base;
+  }
+
+let of_source ?config src = create ?config (Bc_compile.compile_source src)
+
+let output t = Buffer.contents t.io.Runtime.out
+
+(* --- measurement control --- *)
+
+let set_measuring t on = t.mach.Tce_machine.Machine.measuring <- on
+
+let reset_measurement t =
+  Tce_machine.Counters.reset t.counters;
+  Tce_machine.Cache.reset_stats t.mach.Tce_machine.Machine.l1d;
+  Tce_machine.Cache.reset_stats t.mach.Tce_machine.Machine.l1i;
+  Tce_machine.Cache.reset_stats t.mach.Tce_machine.Machine.l2;
+  Tce_machine.Tlb.reset_stats t.mach.Tce_machine.Machine.dtlb;
+  Tce_machine.Tlb.reset_stats t.mach.Tce_machine.Machine.itlb;
+  Tce_machine.Branch.reset_stats t.mach.Tce_machine.Machine.bp;
+  CC.reset_stats t.cc
+
+let measuring t = t.mach.Tce_machine.Machine.measuring
+
+(* --- cost accounting for the baseline tier --- *)
+
+let charge_baseline t (bc : Bytecode.bc) =
+  if measuring t then begin
+    let n = Tce_machine.Costs.baseline_op_instrs bc in
+    let n =
+      match bc with
+      | Bytecode.SetProp _ | SetElem _ when t.cfg.mechanism ->
+        n + Tce_machine.Costs.mechanism_store_extra
+      | _ -> n
+    in
+    t.counters.Tce_machine.Counters.baseline_instrs <-
+      t.counters.Tce_machine.Counters.baseline_instrs + n
+  end
+
+let charge_baseline_extra t n =
+  if measuring t then
+    t.counters.Tce_machine.Counters.baseline_instrs <-
+      t.counters.Tce_machine.Counters.baseline_instrs + n
+
+(* --- speculation bookkeeping --- *)
+
+let invalidate_opt t opt_ids =
+  List.iter
+    (fun oid ->
+      match Hashtbl.find_opt t.opt_table oid with
+      | Some code when not code.Lir.invalidated ->
+        code.Lir.invalidated <- true;
+        let fn = t.prog.Bytecode.funcs.(code.Lir.fn_id) in
+        (match fn.Bytecode.opt with
+        | Some cur when cur.Lir.opt_id = oid -> fn.Bytecode.opt <- None
+        | _ -> ());
+        fn.Bytecode.deopt_count <- fn.Bytecode.deopt_count + 1;
+        if fn.Bytecode.deopt_count > t.cfg.max_deopts then
+          fn.Bytecode.opt_disabled <- true;
+        (* drop the dead code's other registrations so stale SpeculateMap
+           bits cannot fire again *)
+        CL.remove_function t.cl ~fn:oid
+      | _ -> ())
+    opt_ids
+
+let is_invalidated t oid =
+  match Hashtbl.find_opt t.opt_table oid with
+  | Some code -> code.Lir.invalidated
+  | None -> true
+
+(** Fire the profiling/verification side of a property or elements store
+    executed in the baseline tier or a runtime stub (the special-store
+    request of §4.2.1.3, plus the measurement oracle). *)
+let fire_store_event t ~classid ~line ~pos ~value_classid =
+  Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid;
+  if t.cfg.mechanism then begin
+    let r = CC.access t.cc t.cl ~classid ~line ~pos ~value_classid in
+    if r.CC.exn_raised then begin
+      if measuring t then
+        t.counters.Tce_machine.Counters.cc_exception_deopts <-
+          t.counters.Tce_machine.Counters.cc_exception_deopts + 1;
+      invalidate_opt t r.CC.functions_to_deopt
+    end
+  end
+
+(** Class of a stored element value as the profile sees it (double-kind
+    arrays always profile HeapNumber — the unboxed representation). *)
+let elem_value_classid t obj v =
+  match Heap.elements_kind t.heap obj with
+  | Hidden_class.E_double ->
+    (Hidden_class.Registry.number_class t.heap.Heap.reg).Hidden_class.id
+  | _ -> Heap.classid_of t.heap v
+
+(* --- property / element accessors with IC + profiling --- *)
+
+let record_obj_load t ~classid ~line ~pos =
+  if measuring t then
+    Tce_machine.Counters.record_obj_load t.counters ~classid ~line ~pos
+
+(** Baseline GetProp: feedback update + load. [fb_slot] < 0 for feedback-less
+    megamorphic stub calls from optimized code. *)
+let get_prop t (fb : Feedback.t option) fb_slot obj name : Value.t =
+  let h = t.heap in
+  if Value.is_smi h.Heap.null_v then assert false;
+  if Value.is_smi obj then raise (Engine_error ("property access on SMI: " ^ name));
+  let c = Heap.class_of_addr h (Value.ptr_addr obj) in
+  let record sh =
+    match fb with Some fb when fb_slot >= 0 -> Feedback.record_prop fb fb_slot sh | _ -> ()
+  in
+  match (c.Hidden_class.kind, name) with
+  | Hidden_class.K_string, "length" ->
+    record { Feedback.classid = c.Hidden_class.id; slot = 2; transition_to = None };
+    Mem.load h.Heap.mem (Value.ptr_addr obj + 16)
+  | (Hidden_class.K_array _ | K_object), "length"
+    when not (Hashtbl.mem c.Hidden_class.prop_index "length") ->
+    record
+      { Feedback.classid = c.Hidden_class.id; slot = Layout.elements_len_slot;
+        transition_to = None };
+    Mem.load h.Heap.mem (Value.ptr_addr obj + (Layout.elements_len_slot * 8))
+  | _ -> (
+    match Hidden_class.slot_of_prop c name with
+    | Some slot ->
+      record { Feedback.classid = c.Hidden_class.id; slot; transition_to = None };
+      let line, pos = Layout.line_pos_of_slot slot in
+      record_obj_load t ~classid:c.Hidden_class.id ~line ~pos;
+      Heap.load_slot h obj slot
+    | None ->
+      (* absent property: go megamorphic, read as null (JS undefined) *)
+      (match fb with
+      | Some fb when fb_slot >= 0 -> fb.(fb_slot) <- Feedback.S_prop Feedback.Ic_mega
+      | _ -> ());
+      h.Heap.null_v)
+
+let set_prop t (fb : Feedback.t option) fb_slot obj name v =
+  let h = t.heap in
+  if Value.is_smi obj then raise (Engine_error ("property store on SMI: " ^ name));
+  if not (Heap.is_object h obj) then
+    raise (Engine_error ("property store on non-object: " ^ name));
+  let c0 = Heap.class_of_addr h (Value.ptr_addr obj) in
+  let slot, transitioned = Heap.set_prop h obj name v in
+  let c1 = Heap.class_of_addr h (Value.ptr_addr obj) in
+  (match fb with
+  | Some fb when fb_slot >= 0 ->
+    Feedback.record_prop fb fb_slot
+      {
+        Feedback.classid = c0.Hidden_class.id;
+        slot;
+        transition_to = (if transitioned then Some c1.Hidden_class.id else None);
+      }
+  | _ -> ());
+  if transitioned then charge_baseline_extra t Tce_machine.Costs.transition_instrs;
+  let line, pos = Layout.line_pos_of_slot slot in
+  fire_store_event t ~classid:c1.Hidden_class.id ~line ~pos
+    ~value_classid:(Heap.classid_of h v)
+
+let get_elem t (fb : Feedback.t option) fb_slot obj idx : Value.t =
+  let h = t.heap in
+  if Value.is_smi obj then raise (Engine_error "indexed access on SMI");
+  let c = Heap.class_of_addr h (Value.ptr_addr obj) in
+  if c.Hidden_class.kind = Hidden_class.K_string then begin
+    (* s[i]: one-character string *)
+    let s = Heap.string_value h obj in
+    let i = Value.smi_value idx in
+    if i < 0 || i >= String.length s then h.Heap.null_v
+    else Heap.intern_string h (String.make 1 s.[i])
+  end
+  else begin
+    let i =
+      if Value.is_smi idx then Value.smi_value idx
+      else int_of_float (Runtime.to_number h idx)
+    in
+    (match fb with
+    | Some fb when fb_slot >= 0 ->
+      Feedback.record_elem fb fb_slot ~classid:c.Hidden_class.id
+    | _ -> ());
+    record_obj_load t ~classid:c.Hidden_class.id ~line:0
+      ~pos:Layout.elements_ptr_slot;
+    Heap.elem_get h obj i
+  end
+
+let set_elem t (fb : Feedback.t option) fb_slot obj idx v =
+  let h = t.heap in
+  if Value.is_smi obj || not (Heap.is_object h obj) then
+    raise (Engine_error "indexed store on non-object");
+  let c = Heap.class_of_addr h (Value.ptr_addr obj) in
+  let i =
+    if Value.is_smi idx then Value.smi_value idx
+    else int_of_float (Runtime.to_number h idx)
+  in
+  (match fb with
+  | Some fb when fb_slot >= 0 ->
+    Feedback.record_elem fb fb_slot ~classid:c.Hidden_class.id
+  | _ -> ());
+  let slow = Heap.elem_set h obj i v in
+  if slow then charge_baseline_extra t 40;
+  let c1 = Heap.class_of_addr h (Value.ptr_addr obj) in
+  (* an in-place elements-kind transition changed this object's class:
+     retire profiles naming the old class (map-stability invalidation) *)
+  if c1.Hidden_class.id <> c.Hidden_class.id then begin
+    Tce_core.Oracle.retire_value_class t.oracle
+      ~value_classid:c.Hidden_class.id;
+    if t.cfg.mechanism then begin
+      let fns = CL.retire_value_class t.cl ~value_classid:c.Hidden_class.id in
+      if fns <> [] then begin
+        if measuring t then
+          t.counters.Tce_machine.Counters.cc_exception_deopts <-
+            t.counters.Tce_machine.Counters.cc_exception_deopts + 1;
+        invalidate_opt t fns
+      end
+    end
+  end;
+  (* profile under the class *after* any elements-kind transition *)
+  fire_store_event t ~classid:c1.Hidden_class.id ~line:0
+    ~pos:Layout.elements_ptr_slot ~value_classid:(elem_value_classid t obj v)
+
+(* --- tier-up --- *)
+
+let try_optimize t (fn : Bytecode.func) =
+  if
+    t.cfg.jit && fn.Bytecode.opt = None
+    && (not fn.Bytecode.opt_disabled)
+    && (fn.Bytecode.call_count >= t.cfg.hot_call_count
+       || fn.Bytecode.backedge_count >= t.cfg.hot_backedge_count)
+  then begin
+    let opt_id = t.next_opt_id in
+    t.next_opt_id <- opt_id + 1;
+    (* inline small hot callees first (Crankshaft-style); the inlined view
+       is cached: deopts resume (and record feedback) on it, so recompiles
+       must see that learning *)
+    let fn_view =
+      match fn.Bytecode.shadow with
+      | Some s -> s
+      | None -> (
+        match Inline.expand t.prog fn with
+        | Some s ->
+          fn.Bytecode.shadow <- Some s;
+          s
+        | None -> fn)
+    in
+    match
+      Opt.compile
+        {
+          Opt.prog = t.prog;
+          heap = t.heap;
+          cl = t.cl;
+          mechanism = t.cfg.mechanism;
+          hoisting = t.cfg.hoisting;
+          checked_load = t.cfg.checked_load;
+          fn = fn_view;
+          opt_id;
+          code_addr = t.next_code_addr;
+          globals_base = t.globals_base;
+        }
+    with
+    | code ->
+      t.next_code_addr <-
+        t.next_code_addr + (4 * Array.length code.Lir.code) + 64;
+      fn.Bytecode.opt <- Some code;
+      Hashtbl.replace t.opt_table opt_id code;
+      Hashtbl.replace t.shadow_table opt_id fn_view;
+      if measuring t then
+        t.counters.Tce_machine.Counters.tierups <-
+          t.counters.Tce_machine.Counters.tierups + 1;
+      (* install speculation: SpeculateMap bits + FunctionList entries *)
+      List.iter
+        (fun (classid, line, pos) ->
+          CL.add_speculation t.cl ~classid ~line ~pos ~fn:opt_id)
+        code.Lir.spec_deps
+    | exception Opt.Bailout _ -> fn.Bytecode.opt_disabled <- true
+  end
+
+(* --- the interpreter --- *)
+
+let rec call_function t fid (args : Value.t array) : Value.t =
+  let fn = t.prog.Bytecode.funcs.(fid) in
+  fn.Bytecode.call_count <- fn.Bytecode.call_count + 1;
+  t.depth <- t.depth + 1;
+  if t.depth > max_depth then raise (Engine_error "guest stack overflow");
+  try_optimize t fn;
+  let result =
+    match fn.Bytecode.opt with
+    | Some code when not code.Lir.invalidated ->
+      Tce_machine.Machine.run t.mach (host t) code args
+    | _ ->
+      let regs = Array.make (max fn.Bytecode.n_regs 1) t.heap.Heap.null_v in
+      Array.blit args 0 regs 0 (min (Array.length args) fn.Bytecode.n_regs);
+      interp_from t fn regs 0
+  in
+  t.depth <- t.depth - 1;
+  result
+
+and construct t fid (args : Value.t array) : Value.t =
+  let ctor = t.prog.Bytecode.funcs.(fid) in
+  if not ctor.Bytecode.is_ctor then
+    raise (Engine_error ("new on non-constructor " ^ ctor.Bytecode.name));
+  let base =
+    match ctor.Bytecode.base_class with
+    | Some c -> c
+    | None ->
+      let c =
+        Hidden_class.Registry.fresh t.heap.Heap.reg ~kind:Hidden_class.K_object
+          ~name:ctor.Bytecode.name ~prop_names:[||]
+      in
+      ctor.Bytecode.base_class <- Some c;
+      c
+  in
+  let this = Heap.alloc_object t.heap base ~reserve_props:ctor.Bytecode.reserve_props in
+  call_function t fid (Array.append [| this |] args)
+
+and interp_from t (fn : Bytecode.func) (regs : Value.t array) start_pc : Value.t =
+  let h = t.heap in
+  let code = fn.Bytecode.code in
+  let fb = fn.Bytecode.fb in
+  let pc = ref start_pc in
+  let result = ref None in
+  while !result = None do
+    let op = code.(!pc) in
+    charge_baseline t op;
+    let next = !pc + 1 in
+    (match op with
+    | Bytecode.LoadInt (r, i) ->
+      regs.(r) <- Value.smi i;
+      pc := next
+    | LoadNum (r, x) ->
+      regs.(r) <- Heap.float_const h x;
+      pc := next
+    | LoadStr (r, s) ->
+      regs.(r) <- Heap.intern_string h s;
+      pc := next
+    | LoadBool (r, b) ->
+      regs.(r) <- Heap.bool_v h b;
+      pc := next
+    | LoadNull r ->
+      regs.(r) <- h.Heap.null_v;
+      pc := next
+    | Move (d, s) ->
+      regs.(d) <- regs.(s);
+      pc := next
+    | BinOp (bop, d, a, b, slot) ->
+      let v, kind = Runtime.eval_binop h bop regs.(a) regs.(b) in
+      Feedback.record_binop fb slot kind;
+      regs.(d) <- v;
+      pc := next
+    | UnOp (uop, d, a) ->
+      regs.(d) <- Runtime.eval_unop h uop regs.(a);
+      pc := next
+    | GetProp (d, o, name, slot) ->
+      regs.(d) <- get_prop t (Some fb) slot regs.(o) name;
+      pc := next
+    | SetProp (o, name, v, slot) ->
+      set_prop t (Some fb) slot regs.(o) name regs.(v);
+      pc := next
+    | GetElem (d, o, i, slot) ->
+      regs.(d) <- get_elem t (Some fb) slot regs.(o) regs.(i);
+      pc := next
+    | SetElem (o, i, v, slot) ->
+      set_elem t (Some fb) slot regs.(o) regs.(i) regs.(v);
+      pc := next
+    | GetGlobal (d, i) ->
+      regs.(d) <- Mem.load h.Heap.mem (t.globals_base + (8 * i));
+      pc := next
+    | SetGlobal (i, r) ->
+      Mem.store h.Heap.mem (t.globals_base + (8 * i)) regs.(r);
+      pc := next
+    | NewObject d ->
+      let root = Hidden_class.Registry.object_root_class h.Heap.reg in
+      regs.(d) <- Heap.alloc_object h root ~reserve_props:8;
+      pc := next
+    | AllocCtor (d, fid) ->
+      let ctor = t.prog.Bytecode.funcs.(fid) in
+      let base =
+        match ctor.Bytecode.base_class with
+        | Some c -> c
+        | None ->
+          let c =
+            Hidden_class.Registry.fresh t.heap.Heap.reg ~kind:Hidden_class.K_object
+              ~name:ctor.Bytecode.name ~prop_names:[||]
+          in
+          ctor.Bytecode.base_class <- Some c;
+          c
+      in
+      regs.(d) <- Heap.alloc_object h base ~reserve_props:ctor.Bytecode.reserve_props;
+      pc := next
+    | NewArray (d, cap) ->
+      regs.(d) <- Heap.alloc_array h ~capacity:(max cap 4) Hidden_class.E_smi;
+      pc := next
+    | Call (d, fid, argr) ->
+      let args =
+        Array.append [| h.Heap.null_v |] (Array.map (fun r -> regs.(r)) argr)
+      in
+      regs.(d) <- call_function t fid args;
+      pc := next
+    | CallB (d, b, argr) ->
+      let args = Array.map (fun r -> regs.(r)) argr in
+      regs.(d) <- apply_builtin t b args;
+      pc := next
+    | New (d, fid, argr) ->
+      regs.(d) <- construct t fid (Array.map (fun r -> regs.(r)) argr);
+      pc := next
+    | Jump target ->
+      if target <= !pc then
+        fn.Bytecode.backedge_count <- fn.Bytecode.backedge_count + 1;
+      pc := target
+    | JumpIfFalse (r, target) ->
+      if Heap.is_truthy h regs.(r) then pc := next
+      else begin
+        if target <= !pc then
+          fn.Bytecode.backedge_count <- fn.Bytecode.backedge_count + 1;
+        pc := target
+      end
+    | JumpIfTrue (r, target) ->
+      if Heap.is_truthy h regs.(r) then begin
+        if target <= !pc then
+          fn.Bytecode.backedge_count <- fn.Bytecode.backedge_count + 1;
+        pc := target
+      end
+      else pc := next
+    | Return r -> result := Some regs.(r))
+  done;
+  match !result with Some v -> v | None -> assert false
+
+(* --- machine host --- *)
+
+and host t : Tce_machine.Machine.host =
+  match t.host with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        Tce_machine.Machine.call_fn = (fun fid args -> call_function t fid args);
+        resume =
+          (fun ~opt_id ~bc_pc ~regs ~result ->
+            (* resume on the shadow bytecode the code was compiled from *)
+            let fn = Hashtbl.find t.shadow_table opt_id in
+            if Sys.getenv_opt "TCE_DEBUG_DEOPT" <> None then
+              Fmt.epr "deopt: %s (opt %d) at bc %d: %a@." fn.Bytecode.name opt_id
+                bc_pc Bytecode.pp_bc fn.Bytecode.code.(bc_pc);
+            let r = Array.make (max fn.Bytecode.n_regs 1) t.heap.Heap.null_v in
+            Array.blit regs 0 r 0 (min (Array.length regs) fn.Bytecode.n_regs);
+            (match result with
+            | Some (into, v) when into >= 0 -> r.(into) <- v
+            | _ -> ());
+            interp_from t fn r bc_pc);
+        rt_call = (fun rt args fargs -> rt_call t rt args fargs);
+        on_cc_exception = (fun fns -> invalidate_opt t fns);
+        on_deopt =
+          (fun oid ->
+            match Hashtbl.find_opt t.opt_table oid with
+            | Some code ->
+              code.Lir.deopt_hits <- code.Lir.deopt_hits + 1;
+              (* V8-style: code that keeps failing its checks is discarded;
+                 the next tier-up recompiles against the updated feedback *)
+              if code.Lir.deopt_hits > 4 then invalidate_opt t [ oid ]
+            | None -> ());
+        is_invalidated = (fun oid -> is_invalidated t oid);
+      }
+    in
+    t.host <- Some h;
+    h
+
+(** Builtins, with [push] routed through the engine's element store so its
+    writes fire Class Cache / oracle events like any other store. *)
+and apply_builtin t (b : Builtins.t) (args : Value.t array) : Value.t =
+  match b with
+  | Builtins.B_push ->
+    let obj = args.(0) in
+    if not (Heap.is_object t.heap obj) then
+      raise (Engine_error "push: not an array");
+    let len = Heap.elements_len t.heap obj in
+    set_elem t None (-1) obj (Value.smi len) args.(1);
+    Value.smi (len + 1)
+  | _ -> Runtime.builtin_apply t.heap t.io b args
+
+and rt_call t (rt : Lir.rt) (args : Value.t array) (fargs : float array) :
+    Value.t * float =
+  let h = t.heap in
+  let ret v = (v, Runtime.float_of_result h v) in
+  (* allocations from optimized code land in the (cache-resident) nursery *)
+  let ret_alloc v =
+    if Value.is_ptr v then begin
+      let addr = Value.ptr_addr v in
+      let bytes =
+        if Heap.is_number h v then 16
+        else Tce_vm.Layout.line_bytes * Heap.obj_lines h addr
+      in
+      Tce_machine.Machine.prefill t.mach ~addr ~bytes;
+      (* arrays: the elements store too *)
+      if Heap.is_object h v && Heap.elements_ptr h v <> 0 then begin
+        let e = Heap.elements_ptr h v in
+        Tce_machine.Machine.prefill t.mach ~addr:e
+          ~bytes:((Tce_vm.Layout.elements_header_words + Heap.elements_capacity h e) * 8)
+      end
+    end;
+    ret v
+  in
+  match rt with
+  | Lir.Rt_alloc_object (cid, reserve) ->
+    ret_alloc
+      (Heap.alloc_object h
+         (Hidden_class.Registry.find_exn h.Heap.reg cid)
+         ~reserve_props:reserve)
+  | Rt_alloc_array (ek, cap) -> ret_alloc (Heap.alloc_array h ~capacity:(max cap 1) ek)
+  | Rt_box_double -> ret_alloc (Heap.number h fargs.(0))
+  | Rt_generic_get_prop name -> ret (get_prop t None (-1) args.(0) name)
+  | Rt_generic_set_prop name ->
+    set_prop t None (-1) args.(0) name args.(1);
+    ret h.Heap.null_v
+  | Rt_generic_get_elem -> ret (get_elem t None (-1) args.(0) args.(1))
+  | Rt_generic_set_elem ->
+    set_elem t None (-1) args.(0) args.(1) args.(2);
+    ret h.Heap.null_v
+  | Rt_generic_binop op -> ret (fst (Runtime.eval_binop h op args.(0) args.(1)))
+  | Rt_generic_unop op -> ret (Runtime.eval_unop h op args.(0))
+  | Rt_elem_store_slow ->
+    set_elem t None (-1) args.(0) args.(1) args.(2);
+    ret h.Heap.null_v
+  | Rt_to_bool -> ret (Heap.bool_v h (Heap.is_truthy h args.(0)))
+  | Rt_builtin b -> ret (apply_builtin t b args)
+  | Rt_fmod -> (Value.smi 0, Tce_vm.Fbits.canon (Float.rem fargs.(0) fargs.(1)))
+  | Rt_trap msg -> raise (Engine_error msg)
+
+(* --- running programs --- *)
+
+(** Execute the program's top level. *)
+let run_main t : Value.t =
+  call_function t t.prog.Bytecode.main [| t.heap.Heap.null_v |]
+
+(** Call a top-level function by name (used by the benchmark harness to
+    drive steady-state iterations). *)
+let call_by_name t name (args : Value.t array) : Value.t =
+  match Bytecode.find_func t.prog name with
+  | Some fn ->
+    call_function t fn.Bytecode.id
+      (Array.append [| t.heap.Heap.null_v |] args)
+  | None -> raise (Engine_error ("no such function: " ^ name))
+
+(** Total simulated cycles attributed to optimized code so far. *)
+let opt_cycles t = t.mach.Tce_machine.Machine.cycle
+
+(** Analytic cycles of the baseline tier. *)
+let baseline_cycles t =
+  float_of_int t.counters.Tce_machine.Counters.baseline_instrs
+  *. t.cfg.mach_cfg.Tce_machine.Config.baseline_cpi

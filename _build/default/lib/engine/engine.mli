@@ -1,0 +1,80 @@
+(** The two-tier engine (the V8 stand-in): a baseline interpreter tier with
+    real inline caches, and an optimizing tier compiled by {!Tce_jit.Opt}
+    and executed on the cycle-level machine. Deoptimization, on-stack
+    replacement and Class Cache misspeculation exceptions transfer execution
+    back to the interpreter mid-function. *)
+
+exception Engine_error of string
+
+type config = {
+  jit : bool;  (** false: pure interpreter (differential testing) *)
+  mechanism : bool;  (** the paper's Class Cache mechanism *)
+  hoisting : bool;  (** movClassIDArray loop hoisting (paper §4.2.1.3) *)
+  checked_load : bool;  (** Checked Load baseline instead of the mechanism *)
+  hot_call_count : int;
+  hot_backedge_count : int;
+  max_deopts : int;
+  mach_cfg : Tce_machine.Config.t;
+  cc_config : Tce_core.Class_cache.config;
+  seed : int;
+}
+
+val default_config : config
+
+type t = {
+  cfg : config;
+  heap : Tce_vm.Heap.t;
+  prog : Tce_jit.Bytecode.program;
+  cl : Tce_core.Class_list.t;
+  cc : Tce_core.Class_cache.t;
+  oracle : Tce_core.Oracle.t;
+  counters : Tce_machine.Counters.t;
+  mach : Tce_machine.Machine.t;
+  io : Runtime.io;
+  opt_table : (int, Tce_jit.Lir.func) Hashtbl.t;
+  shadow_table : (int, Tce_jit.Bytecode.func) Hashtbl.t;
+  mutable next_opt_id : int;
+  mutable next_code_addr : int;
+  mutable host : Tce_machine.Machine.host option;
+  mutable depth : int;
+  globals_base : int;
+}
+
+val max_depth : int
+
+val create : ?config:config -> Tce_jit.Bytecode.program -> t
+val of_source : ?config:config -> string -> t
+
+(** Everything the program [print]ed so far. *)
+val output : t -> string
+
+(* --- measurement control --- *)
+
+val set_measuring : t -> bool -> unit
+
+(** Reset counters and cache/TLB/predictor statistics (contents persist:
+    steady-state measurement). *)
+val reset_measurement : t -> unit
+
+val measuring : t -> bool
+
+(* --- execution --- *)
+
+(** Execute the program's top level. *)
+val run_main : t -> Tce_vm.Value.t
+
+(** Call a top-level function by name (steady-state iteration driver).
+    @raise Engine_error when no such function exists. *)
+val call_by_name : t -> string -> Tce_vm.Value.t array -> Tce_vm.Value.t
+
+(** Call guest function [fn_id] with [this :: args] (tier chosen by the
+    engine). *)
+val call_function : t -> int -> Tce_vm.Value.t array -> Tce_vm.Value.t
+
+(* --- metrics --- *)
+
+(** Monotonic simulated cycle clock of the optimized tier. *)
+val opt_cycles : t -> int
+
+(** Analytic cycles of the baseline tier. *)
+val baseline_cycles : t -> float

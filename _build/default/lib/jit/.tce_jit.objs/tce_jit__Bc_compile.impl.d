@@ -1,0 +1,1 @@
+lib/jit/bc_compile.ml: Array Ast Builtins Bytecode Feedback Fmt Hashtbl List Option Parser Tce_minijs Tce_vm

@@ -1,0 +1,1 @@
+lib/jit/bc_compile.mli: Bytecode Hashtbl Tce_minijs

@@ -1,0 +1,1 @@
+lib/jit/bytecode.ml: Array Builtins Feedback Fmt Lir Tce_minijs Tce_vm

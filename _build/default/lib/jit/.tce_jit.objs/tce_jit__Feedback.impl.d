@@ -1,0 +1,1 @@
+lib/jit/feedback.ml: Array List

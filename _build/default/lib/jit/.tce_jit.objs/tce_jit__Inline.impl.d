@@ -1,0 +1,1 @@
+lib/jit/inline.ml: Array Bytecode Feedback

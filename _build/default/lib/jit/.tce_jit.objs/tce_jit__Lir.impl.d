@@ -1,0 +1,1 @@
+lib/jit/lir.ml: Array Builtins Categories Fmt Tce_minijs Tce_vm

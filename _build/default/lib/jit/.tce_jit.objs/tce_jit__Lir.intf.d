@@ -1,0 +1,1 @@
+lib/jit/lir.mli: Builtins Categories Format Tce_minijs Tce_vm

@@ -1,0 +1,1 @@
+lib/jit/opt.ml: Array Builtins Bytecode Categories Feedback Float Fmt Hashtbl Heap Hidden_class Layout Lir List Option Queue Tce_core Tce_minijs Tce_vm

@@ -1,0 +1,1 @@
+lib/jit/opt.mli: Bytecode Lir Tce_core Tce_vm

@@ -1,0 +1,442 @@
+(** AST -> bytecode compiler (the "parser + Full Codegen front half": V8
+    compiles straight to executable code; our baseline tier interprets this
+    bytecode and charges the cost of the equivalent generic code). *)
+
+open Tce_minijs
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type ctx = {
+  mutable code : Bytecode.bc array;
+  mutable n : int;
+  mutable fb : Feedback.site list;  (** reversed *)
+  mutable n_fb : int;
+  regs : (string, int) Hashtbl.t;
+  base_temp : int;
+  mutable next_temp : int;
+  mutable max_reg : int;
+  func_ids : (string, int) Hashtbl.t;
+  globals : (string, int) Hashtbl.t;
+  mutable break_patches : int list list;  (** stack of lists of pcs to patch *)
+  mutable continue_targets : [ `Known of int | `Patches of int list ref ] list;
+}
+
+let emit ctx bc =
+  if ctx.n = Array.length ctx.code then begin
+    let a = Array.make (max 16 (2 * ctx.n)) (Bytecode.Jump 0) in
+    Array.blit ctx.code 0 a 0 ctx.n;
+    ctx.code <- a
+  end;
+  ctx.code.(ctx.n) <- bc;
+  ctx.n <- ctx.n + 1;
+  ctx.n - 1
+
+let patch ctx pc target =
+  ctx.code.(pc) <-
+    (match ctx.code.(pc) with
+    | Bytecode.Jump _ -> Bytecode.Jump target
+    | Bytecode.JumpIfFalse (r, _) -> Bytecode.JumpIfFalse (r, target)
+    | Bytecode.JumpIfTrue (r, _) -> Bytecode.JumpIfTrue (r, target)
+    | _ -> error "patch: not a jump")
+
+let fb_slot ctx site =
+  ctx.fb <- site :: ctx.fb;
+  ctx.n_fb <- ctx.n_fb + 1;
+  ctx.n_fb - 1
+
+let temp ctx =
+  let r = ctx.next_temp in
+  ctx.next_temp <- r + 1;
+  ctx.max_reg <- max ctx.max_reg (r + 1);
+  r
+
+(* Temps are NOT reused across statements: sharing one register between,
+   say, a boolean compare and a float product would force the optimizer to
+   keep it tagged and box every float that flows through it. Unique temps
+   keep each register's type stable (SSA-flavored). *)
+let reset_temps _ctx = ()
+
+(** Resolution: function-local register, else global cell. *)
+type binding = Local of int | Global of int
+
+let resolve ctx name =
+  match Hashtbl.find_opt ctx.regs name with
+  | Some r -> Local r
+  | None -> (
+    match Hashtbl.find_opt ctx.globals name with
+    | Some i -> Global i
+    | None -> error "unbound variable %s" name)
+
+(* --- expressions --- *)
+
+let rec compile_expr ctx (e : Ast.expr) : int =
+  match e with
+  | Ast.Int i ->
+    let r = temp ctx in
+    if Tce_vm.Value.smi_fits i then ignore (emit ctx (Bytecode.LoadInt (r, i)))
+    else ignore (emit ctx (Bytecode.LoadNum (r, float_of_int i)));
+    r
+  | Ast.Float f ->
+    let r = temp ctx in
+    ignore (emit ctx (Bytecode.LoadNum (r, f)));
+    r
+  | Ast.Str s ->
+    let r = temp ctx in
+    ignore (emit ctx (Bytecode.LoadStr (r, s)));
+    r
+  | Ast.Bool b ->
+    let r = temp ctx in
+    ignore (emit ctx (Bytecode.LoadBool (r, b)));
+    r
+  | Ast.Null ->
+    let r = temp ctx in
+    ignore (emit ctx (Bytecode.LoadNull r));
+    r
+  | Ast.This -> 0
+  | Ast.Var x -> (
+    match resolve ctx x with
+    | Local r -> r
+    | Global i ->
+      let r = temp ctx in
+      ignore (emit ctx (Bytecode.GetGlobal (r, i)));
+      r)
+  | Ast.Binop (Ast.LAnd, a, b) ->
+    let r = temp ctx in
+    compile_into ctx r a;
+    let j = emit ctx (Bytecode.JumpIfFalse (r, 0)) in
+    compile_into ctx r b;
+    patch ctx j ctx.n;
+    r
+  | Ast.Binop (Ast.LOr, a, b) ->
+    let r = temp ctx in
+    compile_into ctx r a;
+    let j = emit ctx (Bytecode.JumpIfTrue (r, 0)) in
+    compile_into ctx r b;
+    patch ctx j ctx.n;
+    r
+  | Ast.Binop (op, a, b) ->
+    let ra = compile_expr ctx a in
+    let rb = compile_expr ctx b in
+    let r = temp ctx in
+    let slot = fb_slot ctx (Feedback.S_binop Feedback.Bf_none) in
+    ignore (emit ctx (Bytecode.BinOp (op, r, ra, rb, slot)));
+    r
+  | Ast.Unop (op, a) ->
+    let ra = compile_expr ctx a in
+    let r = temp ctx in
+    ignore (emit ctx (Bytecode.UnOp (op, r, ra)));
+    r
+  | Ast.PropGet (o, name) ->
+    let ro = compile_expr ctx o in
+    let r = temp ctx in
+    let slot = fb_slot ctx (Feedback.S_prop Feedback.Ic_uninit) in
+    ignore (emit ctx (Bytecode.GetProp (r, ro, name, slot)));
+    r
+  | Ast.ElemGet (o, i) ->
+    let ro = compile_expr ctx o in
+    let ri = compile_expr ctx i in
+    let r = temp ctx in
+    let slot = fb_slot ctx (Feedback.S_elem Feedback.Eic_uninit) in
+    ignore (emit ctx (Bytecode.GetElem (r, ro, ri, slot)));
+    r
+  | Ast.Call (name, args) -> (
+    let rargs = Array.of_list (List.map (compile_expr ctx) args) in
+    let r = temp ctx in
+    match Hashtbl.find_opt ctx.func_ids name with
+    | Some id ->
+      ignore (emit ctx (Bytecode.Call (r, id, rargs)));
+      r
+    | None -> (
+      match Builtins.of_name name with
+      | Some b ->
+        if Array.length rargs <> Builtins.arity b then
+          error "builtin %s expects %d arguments, got %d" name (Builtins.arity b)
+            (Array.length rargs);
+        ignore (emit ctx (Bytecode.CallB (r, b, rargs)));
+        r
+      | None -> error "unknown function %s" name))
+  | Ast.New (name, args) -> (
+    let rargs = Array.of_list (List.map (compile_expr ctx) args) in
+    let r = temp ctx in
+    match Hashtbl.find_opt ctx.func_ids name with
+    | Some id ->
+      ignore (emit ctx (Bytecode.New (r, id, rargs)));
+      r
+    | None -> error "unknown constructor %s" name)
+  | Ast.ObjectLit fields ->
+    let r = temp ctx in
+    ignore (emit ctx (Bytecode.NewObject r));
+    List.iter
+      (fun (name, v) ->
+        let rv = compile_expr ctx v in
+        let slot = fb_slot ctx (Feedback.S_prop Feedback.Ic_uninit) in
+        ignore (emit ctx (Bytecode.SetProp (r, name, rv, slot))))
+      fields;
+    r
+  | Ast.ArrayLit es ->
+    let r = temp ctx in
+    ignore (emit ctx (Bytecode.NewArray (r, List.length es)));
+    List.iteri
+      (fun i v ->
+        let ri = temp ctx in
+        ignore (emit ctx (Bytecode.LoadInt (ri, i)));
+        let rv = compile_expr ctx v in
+        let slot = fb_slot ctx (Feedback.S_elem Feedback.Eic_uninit) in
+        ignore (emit ctx (Bytecode.SetElem (r, ri, rv, slot))))
+      es;
+    r
+  | Ast.Cond (c, a, b) ->
+    let r = temp ctx in
+    let rc = compile_expr ctx c in
+    let jf = emit ctx (Bytecode.JumpIfFalse (rc, 0)) in
+    compile_into ctx r a;
+    let jend = emit ctx (Bytecode.Jump 0) in
+    patch ctx jf ctx.n;
+    compile_into ctx r b;
+    patch ctx jend ctx.n;
+    r
+
+and compile_into ctx target e =
+  let r = compile_expr ctx e in
+  if r <> target then ignore (emit ctx (Bytecode.Move (target, r)))
+
+(* --- statements --- *)
+
+let rec compile_stmt ctx (s : Ast.stmt) =
+  reset_temps ctx;
+  match s with
+  | Ast.Var_decl (x, e) | Ast.Assign (x, e) -> (
+    match resolve ctx x with
+    | Local r -> compile_into ctx r e
+    | Global i ->
+      let rv = compile_expr ctx e in
+      ignore (emit ctx (Bytecode.SetGlobal (i, rv))))
+  | Ast.Prop_set (o, name, v) ->
+    let ro = compile_expr ctx o in
+    let rv = compile_expr ctx v in
+    let slot = fb_slot ctx (Feedback.S_prop Feedback.Ic_uninit) in
+    ignore (emit ctx (Bytecode.SetProp (ro, name, rv, slot)))
+  | Ast.Elem_set (o, i, v) ->
+    let ro = compile_expr ctx o in
+    let ri = compile_expr ctx i in
+    let rv = compile_expr ctx v in
+    let slot = fb_slot ctx (Feedback.S_elem Feedback.Eic_uninit) in
+    ignore (emit ctx (Bytecode.SetElem (ro, ri, rv, slot)))
+  | Ast.Expr e -> ignore (compile_expr ctx e)
+  | Ast.If (c, t, e) ->
+    let rc = compile_expr ctx c in
+    let jf = emit ctx (Bytecode.JumpIfFalse (rc, 0)) in
+    List.iter (compile_stmt ctx) t;
+    if e = [] then patch ctx jf ctx.n
+    else begin
+      let jend = emit ctx (Bytecode.Jump 0) in
+      patch ctx jf ctx.n;
+      List.iter (compile_stmt ctx) e;
+      patch ctx jend ctx.n
+    end
+  | Ast.While (c, body) ->
+    let lcond = ctx.n in
+    let rc = compile_expr ctx c in
+    let jf = emit ctx (Bytecode.JumpIfFalse (rc, 0)) in
+    ctx.break_patches <- [] :: ctx.break_patches;
+    ctx.continue_targets <- `Known lcond :: ctx.continue_targets;
+    List.iter (compile_stmt ctx) body;
+    ignore (emit ctx (Bytecode.Jump lcond));
+    patch ctx jf ctx.n;
+    finish_loop ctx
+  | Ast.For (init, cond, step, body) ->
+    Option.iter (compile_stmt ctx) init;
+    let lcond = ctx.n in
+    let jf =
+      match cond with
+      | Some c ->
+        reset_temps ctx;
+        let rc = compile_expr ctx c in
+        Some (emit ctx (Bytecode.JumpIfFalse (rc, 0)))
+      | None -> None
+    in
+    ctx.break_patches <- [] :: ctx.break_patches;
+    let cont_patches = ref [] in
+    ctx.continue_targets <- `Patches cont_patches :: ctx.continue_targets;
+    List.iter (compile_stmt ctx) body;
+    let lstep = ctx.n in
+    List.iter (fun pc -> patch ctx pc lstep) !cont_patches;
+    Option.iter (compile_stmt ctx) step;
+    ignore (emit ctx (Bytecode.Jump lcond));
+    Option.iter (fun pc -> patch ctx pc ctx.n) jf;
+    ctx.continue_targets <- List.tl ctx.continue_targets;
+    (match ctx.break_patches with
+    | brs :: rest ->
+      List.iter (fun pc -> patch ctx pc ctx.n) brs;
+      ctx.break_patches <- rest
+    | [] -> assert false)
+  | Ast.Return None ->
+    let r = temp ctx in
+    ignore (emit ctx (Bytecode.LoadNull r));
+    ignore (emit ctx (Bytecode.Return r))
+  | Ast.Return (Some e) ->
+    let r = compile_expr ctx e in
+    ignore (emit ctx (Bytecode.Return r))
+  | Ast.Break -> (
+    match ctx.break_patches with
+    | brs :: rest ->
+      let pc = emit ctx (Bytecode.Jump 0) in
+      ctx.break_patches <- (pc :: brs) :: rest
+    | [] -> error "break outside of loop")
+  | Ast.Continue -> (
+    match ctx.continue_targets with
+    | `Known target :: _ -> ignore (emit ctx (Bytecode.Jump target))
+    | `Patches ps :: _ ->
+      let pc = emit ctx (Bytecode.Jump 0) in
+      ps := pc :: !ps
+    | [] -> error "continue outside of loop")
+
+and finish_loop ctx =
+  ctx.continue_targets <- List.tl ctx.continue_targets;
+  match ctx.break_patches with
+  | brs :: rest ->
+    List.iter (fun pc -> patch ctx pc ctx.n) brs;
+    ctx.break_patches <- rest
+  | [] -> assert false
+
+(* --- functions --- *)
+
+(** All local variable names declared in a block (function-scoped, like JS
+    [var]). *)
+let rec locals_of_block acc (b : Ast.block) =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Ast.Var_decl (x, _) -> if List.mem x acc then acc else x :: acc
+      | Ast.If (_, t, e) -> locals_of_block (locals_of_block acc t) e
+      | Ast.While (_, b) -> locals_of_block acc b
+      | Ast.For (init, _, step, b) ->
+        let acc = match init with Some s -> locals_of_block acc [ s ] | None -> acc in
+        let acc = match step with Some s -> locals_of_block acc [ s ] | None -> acc in
+        locals_of_block acc b
+      | _ -> acc)
+    acc b
+
+(** Distinct property names stored on [this] in a constructor body (used to
+    reserve in-object slots; V8 derives the same from its "expected number
+    of properties"). *)
+let this_props_of_body body =
+  let names = ref [] in
+  let visit s =
+    Ast.iter_expr_s (fun _ -> ()) s;
+    (* property stores are statements; walk them directly *)
+    let rec go s =
+      match s with
+      | Ast.Prop_set (Ast.This, name, _) ->
+        if not (List.mem name !names) then names := name :: !names
+      | Ast.If (_, t, e) -> List.iter go t; List.iter go e
+      | Ast.While (_, b) -> List.iter go b
+      | Ast.For (i, _, st, b) ->
+        Option.iter go i; Option.iter go st; List.iter go b
+      | _ -> ()
+    in
+    go s
+  in
+  List.iter visit body;
+  List.length !names
+
+let compile_func ~func_ids ~globals ?(top_level = false) ~id (f : Ast.func) :
+    Bytecode.func =
+  let regs = Hashtbl.create 16 in
+  (* reg 0 = this, 1..n = params *)
+  List.iteri (fun i p -> Hashtbl.replace regs p (i + 1)) f.Ast.params;
+  (* the synthetic main has no locals: its vars are the program's globals *)
+  let locals = if top_level then [] else List.rev (locals_of_block [] f.Ast.body) in
+  let n_params = List.length f.Ast.params in
+  List.iteri
+    (fun i x ->
+      if not (Hashtbl.mem regs x) then Hashtbl.replace regs x (n_params + 1 + i))
+    locals;
+  let base_temp = 1 + n_params + List.length locals in
+  let ctx =
+    {
+      code = Array.make 16 (Bytecode.Jump 0);
+      n = 0;
+      fb = [];
+      n_fb = 0;
+      regs;
+      base_temp;
+      next_temp = base_temp;
+      max_reg = base_temp;
+      func_ids;
+      globals;
+      break_patches = [];
+      continue_targets = [];
+    }
+  in
+  List.iter (compile_stmt ctx) f.Ast.body;
+  (* implicit return (constructors return [this], others null) — skipped
+     when the body already ends in a return and nothing jumps past it *)
+  let jumps_to_end =
+    let found = ref false in
+    for i = 0 to ctx.n - 1 do
+      match ctx.code.(i) with
+      | Bytecode.Jump l | JumpIfFalse (_, l) | JumpIfTrue (_, l) ->
+        if l >= ctx.n then found := true
+      | _ -> ()
+    done;
+    !found
+  in
+  let ends_in_return =
+    ctx.n > 0 && (match ctx.code.(ctx.n - 1) with Bytecode.Return _ -> true | _ -> false)
+  in
+  if not (ends_in_return && not jumps_to_end) then begin
+    reset_temps ctx;
+    if f.Ast.is_ctor then ignore (emit ctx (Bytecode.Return 0))
+    else begin
+      let r = temp ctx in
+      ignore (emit ctx (Bytecode.LoadNull r));
+      ignore (emit ctx (Bytecode.Return r))
+    end
+  end;
+  {
+    Bytecode.id;
+    name = f.Ast.name;
+    n_params;
+    n_named = base_temp;
+    n_regs = ctx.max_reg;
+    code = Array.sub ctx.code 0 ctx.n;
+    fb = Array.of_list (List.rev ctx.fb);
+    is_ctor = f.Ast.is_ctor;
+    reserve_props = this_props_of_body f.Ast.body + 2;
+    base_class = None;
+    call_count = 0;
+    backedge_count = 0;
+    opt = None;
+    shadow = None;
+    deopt_count = 0;
+    opt_disabled = false;
+  }
+
+(** Compile a whole program; the top-level statements become a synthetic
+    function named ["%main"] with id [funcs]. *)
+let compile (p : Ast.program) : Bytecode.program =
+  let func_ids = Hashtbl.create 16 in
+  List.iteri (fun i (f : Ast.func) -> Hashtbl.replace func_ids f.Ast.name i) p.Ast.funcs;
+  (* top-level vars are globals, visible from every function *)
+  let global_names = List.rev (locals_of_block [] p.Ast.main) in
+  let globals = Hashtbl.create 16 in
+  List.iteri (fun i n -> Hashtbl.replace globals n i) global_names;
+  let main_id = List.length p.Ast.funcs in
+  let funcs =
+    List.mapi (fun i f -> compile_func ~func_ids ~globals ~id:i f) p.Ast.funcs
+  in
+  let main_ast =
+    { Ast.name = "%main"; params = []; body = p.Ast.main; is_ctor = false }
+  in
+  let main = compile_func ~func_ids ~globals ~top_level:true ~id:main_id main_ast in
+  {
+    Bytecode.funcs = Array.of_list (funcs @ [ main ]);
+    main = main_id;
+    globals = Array.of_list global_names;
+  }
+
+(** Convenience: parse + compile. *)
+let compile_source src = compile (Parser.parse src)

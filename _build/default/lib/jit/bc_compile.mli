@@ -1,0 +1,18 @@
+(** AST -> register bytecode. Top-level [var]s become global cells; local
+    temporaries are never shared across statements (SSA-flavored, which
+    keeps register types stable for the optimizer). *)
+
+exception Error of string
+
+(** Compile one function. [top_level] makes its locals the program's
+    globals. *)
+val compile_func :
+  func_ids:(string, int) Hashtbl.t -> globals:(string, int) Hashtbl.t ->
+  ?top_level:bool -> id:int -> Tce_minijs.Ast.func -> Bytecode.func
+
+(** Compile a whole program; the top-level statements become a synthetic
+    ["%main"] function. @raise Error on name-resolution problems. *)
+val compile : Tce_minijs.Ast.program -> Bytecode.program
+
+(** Parse + compile. *)
+val compile_source : string -> Bytecode.program

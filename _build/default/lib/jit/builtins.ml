@@ -1,0 +1,49 @@
+(** Built-in functions callable from MiniJS. These stand in for the JS
+    standard library surface the paper's benchmarks touch (Math, String,
+    Array construction). *)
+
+type t =
+  | B_print
+  | B_sqrt
+  | B_abs
+  | B_floor
+  | B_ceil
+  | B_sin
+  | B_cos
+  | B_exp
+  | B_log
+  | B_pow
+  | B_min
+  | B_max
+  | B_random  (** deterministic PRNG: runs are reproducible *)
+  | B_array_new  (** [array_new n]: SMI array of length n filled with 0 *)
+  | B_push  (** [push a v]: append, returns new length *)
+  | B_str_len
+  | B_char_code  (** [char_code s i] *)
+  | B_from_char_code
+  | B_substr  (** [substr s start len] *)
+  | B_str_eq
+  | B_assert_eq  (** test helper: trap if the two values differ *)
+
+let by_name =
+  [
+    ("print", B_print); ("sqrt", B_sqrt); ("abs", B_abs); ("floor", B_floor);
+    ("ceil", B_ceil); ("sin", B_sin); ("cos", B_cos); ("exp", B_exp);
+    ("log", B_log); ("pow", B_pow); ("min", B_min); ("max", B_max);
+    ("random", B_random); ("array_new", B_array_new); ("push", B_push);
+    ("str_len", B_str_len); ("char_code", B_char_code);
+    ("from_char_code", B_from_char_code); ("substr", B_substr);
+    ("str_eq", B_str_eq); ("assert_eq", B_assert_eq);
+  ]
+
+let of_name n = List.assoc_opt n by_name
+
+let name b = fst (List.find (fun (_, b') -> b' = b) by_name)
+
+let arity = function
+  | B_print | B_sqrt | B_abs | B_floor | B_ceil | B_sin | B_cos | B_exp
+  | B_log | B_str_len | B_from_char_code | B_array_new ->
+    1
+  | B_pow | B_min | B_max | B_push | B_char_code | B_str_eq | B_assert_eq -> 2
+  | B_substr -> 3
+  | B_random -> 0

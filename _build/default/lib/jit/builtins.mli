@@ -1,0 +1,30 @@
+(** Built-in functions callable from MiniJS — the standard-library surface
+    the paper's benchmarks touch (Math, String, Array construction). *)
+
+type t =
+  | B_print
+  | B_sqrt
+  | B_abs
+  | B_floor
+  | B_ceil
+  | B_sin
+  | B_cos
+  | B_exp
+  | B_log
+  | B_pow
+  | B_min
+  | B_max
+  | B_random  (** deterministic, seeded per engine *)
+  | B_array_new  (** pre-sized SMI array filled with 0 *)
+  | B_push  (** append; returns the new length *)
+  | B_str_len
+  | B_char_code
+  | B_from_char_code
+  | B_substr
+  | B_str_eq
+  | B_assert_eq  (** test helper: traps when the two values differ *)
+
+val by_name : (string * t) list
+val of_name : string -> t option
+val name : t -> string
+val arity : t -> int

@@ -1,0 +1,125 @@
+(** Register bytecode executed by the baseline tier (our "Full Codegen").
+    Register 0 is [this]; registers 1..params hold arguments; named locals
+    and expression temporaries follow. *)
+
+type reg = int
+
+type pc = int
+
+type bc =
+  | LoadInt of reg * int  (** SMI constant *)
+  | LoadNum of reg * float  (** numeric constant, boxed at runtime *)
+  | LoadStr of reg * string
+  | LoadBool of reg * bool
+  | LoadNull of reg
+  | Move of reg * reg
+  | BinOp of Tce_minijs.Ast.binop * reg * reg * reg * int  (** rd, ra, rb, fb slot *)
+  | UnOp of Tce_minijs.Ast.unop * reg * reg
+  | GetProp of reg * reg * string * int  (** rd = robj.name *)
+  | SetProp of reg * string * reg * int  (** robj.name = rv *)
+  | GetElem of reg * reg * reg * int  (** rd = robj[ri] *)
+  | SetElem of reg * reg * reg * int  (** robj[ri] = rv *)
+  | GetGlobal of reg * int  (** rd = globals[idx] (a property cell load) *)
+  | SetGlobal of int * reg
+  | NewObject of reg  (** empty object literal *)
+  | AllocCtor of reg * int
+      (** allocate an empty object with constructor [fid]'s initial map
+          (emitted when inlining [new Ctor(...)]) *)
+  | NewArray of reg * int  (** array literal backing, capacity hint *)
+  | Call of reg * int * reg array  (** rd = funcs[id](args) *)
+  | CallB of reg * Builtins.t * reg array
+  | New of reg * int * reg array  (** rd = new funcs[id](args) *)
+  | Jump of pc
+  | JumpIfFalse of reg * pc
+  | JumpIfTrue of reg * pc
+  | Return of reg
+
+type func = {
+  id : int;
+  name : string;
+  n_params : int;
+  n_named : int;  (** this + params + named locals; registers above are temps *)
+  n_regs : int;  (** total registers including this/params/locals/temps *)
+  code : bc array;
+  fb : Feedback.t;
+  is_ctor : bool;
+  reserve_props : int;  (** in-object slots preallocated by [new] *)
+  mutable base_class : Tce_vm.Hidden_class.t option;  (** ctor initial map *)
+  mutable call_count : int;
+  mutable backedge_count : int;
+  mutable opt : Lir.func option;  (** installed optimized code *)
+  mutable shadow : func option;
+      (** cached inlined view (deopts interpret — and record feedback —
+          on this bytecode, so recompiles must reuse it) *)
+  mutable deopt_count : int;
+  mutable opt_disabled : bool;  (** too many deopts: stay in baseline *)
+}
+
+type program = {
+  funcs : func array;
+  main : int;  (** id of the synthetic top-level function *)
+  globals : string array;  (** top-level variables, shared across functions *)
+}
+
+let find_func p name =
+  let found = ref None in
+  Array.iter (fun f -> if f.name = name then found := Some f) p.funcs;
+  !found
+
+(** Registers written by an op (deopt metadata sanity checks). *)
+let def_reg = function
+  | LoadInt (r, _) | LoadNum (r, _) | LoadStr (r, _) | LoadBool (r, _)
+  | LoadNull r | Move (r, _)
+  | BinOp (_, r, _, _, _)
+  | UnOp (_, r, _)
+  | GetProp (r, _, _, _)
+  | GetElem (r, _, _, _)
+  | NewObject r
+  | AllocCtor (r, _)
+  | NewArray (r, _)
+  | GetGlobal (r, _)
+  | Call (r, _, _)
+  | CallB (r, _, _)
+  | New (r, _, _) ->
+    Some r
+  | SetProp _ | SetElem _ | SetGlobal _ | Jump _ | JumpIfFalse _ | JumpIfTrue _
+  | Return _ ->
+    None
+
+let pp_bc ppf bc =
+  let open Fmt in
+  match bc with
+  | LoadInt (r, i) -> pf ppf "r%d = int %d" r i
+  | LoadNum (r, f) -> pf ppf "r%d = num %g" r f
+  | LoadStr (r, s) -> pf ppf "r%d = str %S" r s
+  | LoadBool (r, b) -> pf ppf "r%d = %b" r b
+  | LoadNull r -> pf ppf "r%d = null" r
+  | Move (d, s) -> pf ppf "r%d = r%d" d s
+  | BinOp (op, d, a, b, fb) ->
+    pf ppf "r%d = r%d %s r%d  #fb%d" d a (Tce_minijs.Printer.punct_of_binop op) b fb
+  | UnOp (op, d, a) -> pf ppf "r%d = %s r%d" d (Tce_minijs.Ast.show_unop op) a
+  | GetProp (d, o, n, fb) -> pf ppf "r%d = r%d.%s  #fb%d" d o n fb
+  | SetProp (o, n, v, fb) -> pf ppf "r%d.%s = r%d  #fb%d" o n v fb
+  | GetElem (d, o, i, fb) -> pf ppf "r%d = r%d[r%d]  #fb%d" d o i fb
+  | SetElem (o, i, v, fb) -> pf ppf "r%d[r%d] = r%d  #fb%d" o i v fb
+  | GetGlobal (r, i) -> pf ppf "r%d = glob[%d]" r i
+  | SetGlobal (i, r) -> pf ppf "glob[%d] = r%d" i r
+  | NewObject r -> pf ppf "r%d = {}" r
+  | AllocCtor (r, f) -> pf ppf "r%d = alloc fn%d" r f
+  | NewArray (r, c) -> pf ppf "r%d = [](%d)" r c
+  | Call (d, f, args) ->
+    pf ppf "r%d = call fn%d(%a)" d f (array ~sep:(any ",") (fun ppf r -> pf ppf "r%d" r)) args
+  | CallB (d, b, args) ->
+    pf ppf "r%d = %s(%a)" d (Builtins.name b)
+      (array ~sep:(any ",") (fun ppf r -> pf ppf "r%d" r))
+      args
+  | New (d, f, args) ->
+    pf ppf "r%d = new fn%d(%a)" d f (array ~sep:(any ",") (fun ppf r -> pf ppf "r%d" r)) args
+  | Jump l -> pf ppf "jmp %d" l
+  | JumpIfFalse (r, l) -> pf ppf "jf r%d, %d" r l
+  | JumpIfTrue (r, l) -> pf ppf "jt r%d, %d" r l
+  | Return r -> pf ppf "ret r%d" r
+
+let pp_func ppf f =
+  Fmt.pf ppf "function %s (#%d, %d params, %d regs):@." f.name f.id f.n_params f.n_regs;
+  Array.iteri (fun i bc -> Fmt.pf ppf "  %3d: %a@." i pp_bc bc) f.code

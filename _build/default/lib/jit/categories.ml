@@ -1,0 +1,53 @@
+(** Dynamic-instruction categories, exactly the paper's Figure 1 breakdown
+    plus one extra bucket for the mechanism's own instructions.
+
+    - [C_check]: Check Map / Check SMI / Check Non-SMI operations proper.
+    - [C_taguntag]: boxing/unboxing of numbers *including* the checking
+      operations that guard an untag (the paper folds those into
+      Tags/Untags; Figure 2 adds the guarding subset back in — we mark that
+      subset with the [guards_obj_load] flag below).
+    - [C_math]: math assumptions (SMI overflow, division by zero).
+    - [C_ccop]: the new instructions our mechanism adds
+      (movClassID/movClassIDArray and the special-store opcode delta) —
+      overhead the paper discusses in §4.2.2/§5.3.
+    - [C_other]: the rest of the optimized code. *)
+
+type t = C_check | C_taguntag | C_math | C_ccop | C_other
+
+let count = 5
+
+let index = function
+  | C_check -> 0
+  | C_taguntag -> 1
+  | C_math -> 2
+  | C_ccop -> 3
+  | C_other -> 4
+
+let of_index = function
+  | 0 -> C_check
+  | 1 -> C_taguntag
+  | 2 -> C_math
+  | 3 -> C_ccop
+  | 4 -> C_other
+  | _ -> invalid_arg "Categories.of_index"
+
+let name = function
+  | C_check -> "Checks"
+  | C_taguntag -> "Tags/Untags"
+  | C_math -> "Math Assumptions"
+  | C_ccop -> "Class Cache ops"
+  | C_other -> "Other Optimized Code"
+
+let pp ppf c = Fmt.string ppf (name c)
+
+(** Per-instruction flags. *)
+
+(** The instruction is a check (or untag-guard check) that verifies a value
+    *obtained from an object property or elements array* — the overhead
+    population of the paper's Figure 2. *)
+let flag_guards_obj_load = 1
+
+(** The instruction would be removed by the paper's optimizations (set on
+    checks that the Class List could have elided; used for sanity
+    accounting, not for the speedup itself). *)
+let flag_elidable = 2

@@ -1,0 +1,24 @@
+(** Dynamic-instruction categories — the paper's Figure 1 breakdown plus a
+    bucket for the mechanism's own instructions. *)
+
+type t =
+  | C_check  (** Check Map / Check SMI / Check Non-SMI proper *)
+  | C_taguntag  (** boxing/unboxing, including the checks guarding untags *)
+  | C_math  (** math assumptions: SMI overflow, division guards *)
+  | C_ccop  (** movClassID / movClassIDArray / special-store delta *)
+  | C_other  (** the rest of the optimized code *)
+
+val count : int
+val index : t -> int
+
+(** @raise Invalid_argument outside 0..4. *)
+val of_index : int -> t
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Instruction flag: this check verifies a value obtained from an object
+    property / elements load (Figure 2's population). *)
+val flag_guards_obj_load : int
+
+val flag_elidable : int

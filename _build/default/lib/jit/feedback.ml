@@ -1,0 +1,95 @@
+(** Type-feedback vectors: the software inline-cache state the baseline tier
+    collects and the optimizing compiler consumes (paper §3.2). Each
+    property/element/arithmetic site in the bytecode owns one slot.
+
+    Inline caches go uninitialized -> monomorphic -> polymorphic (up to 4
+    shapes) -> megamorphic, exactly V8's progression. *)
+
+(** One shape a property site has seen. *)
+type shape = {
+  classid : int;  (** receiver hidden class *)
+  slot : int;  (** word index of the property in the object *)
+  transition_to : int option;
+      (** store sites that add the property: ClassID after transition
+          (the slot then refers to the *new* class's layout) *)
+}
+
+type prop_ic =
+  | Ic_uninit
+  | Ic_mono of shape
+  | Ic_poly of shape list  (** 2..4 shapes, most recent first *)
+  | Ic_mega
+
+(** Elements-access sites track receiver classes (the elements kind is a
+    function of the class). *)
+type elem_ic = Eic_uninit | Eic_mono of int | Eic_poly of int list | Eic_mega
+
+(** Arithmetic sites track the operand/result kind lattice. *)
+type binop_fb =
+  | Bf_none
+  | Bf_smi  (** both operands and result SMI so far *)
+  | Bf_number  (** numeric, at least one double involved *)
+  | Bf_string  (** string concatenation / comparison *)
+  | Bf_ref  (** reference comparison: objects / booleans / null *)
+  | Bf_generic
+
+type site = S_prop of prop_ic | S_elem of elem_ic | S_binop of binop_fb
+
+type t = site array
+
+let max_poly = 4
+
+let prop_of = function S_prop p -> p | _ -> invalid_arg "Feedback: not a prop site"
+let elem_of = function S_elem e -> e | _ -> invalid_arg "Feedback: not an elem site"
+let binop_of = function S_binop b -> b | _ -> invalid_arg "Feedback: not a binop site"
+
+(** Record an observed shape at a property site. *)
+let record_prop (fb : t) i (sh : shape) =
+  let same (a : shape) (b : shape) =
+    a.classid = b.classid && a.slot = b.slot && a.transition_to = b.transition_to
+  in
+  let next =
+    match prop_of fb.(i) with
+    | Ic_uninit -> Ic_mono sh
+    | Ic_mono sh0 when same sh0 sh -> Ic_mono sh0
+    | Ic_mono sh0 -> Ic_poly [ sh; sh0 ]
+    | Ic_poly shs when List.exists (same sh) shs -> Ic_poly shs
+    | Ic_poly shs when List.length shs < max_poly -> Ic_poly (sh :: shs)
+    | Ic_poly _ -> Ic_mega
+    | Ic_mega -> Ic_mega
+  in
+  fb.(i) <- S_prop next
+
+let record_elem (fb : t) i ~classid =
+  let next =
+    match elem_of fb.(i) with
+    | Eic_uninit -> Eic_mono classid
+    | Eic_mono c when c = classid -> Eic_mono c
+    | Eic_mono c -> Eic_poly [ classid; c ]
+    | Eic_poly cs when List.mem classid cs -> Eic_poly cs
+    | Eic_poly cs when List.length cs < max_poly -> Eic_poly (classid :: cs)
+    | Eic_poly _ -> Eic_mega
+    | Eic_mega -> Eic_mega
+  in
+  fb.(i) <- S_elem next
+
+let join_binop a b =
+  match (a, b) with
+  | Bf_none, x | x, Bf_none -> x
+  | Bf_smi, Bf_smi -> Bf_smi
+  | (Bf_smi | Bf_number), (Bf_smi | Bf_number) -> Bf_number
+  | Bf_string, Bf_string -> Bf_string
+  | Bf_ref, Bf_ref -> Bf_ref
+  | _ -> Bf_generic
+
+let record_binop (fb : t) i kind = fb.(i) <- S_binop (join_binop (binop_of fb.(i)) kind)
+
+(** Number of megamorphic / polymorphic / monomorphic sites (census). *)
+let census (fb : t) =
+  Array.fold_left
+    (fun (mono, poly, mega) -> function
+      | S_prop (Ic_mono _) | S_elem (Eic_mono _) -> (mono + 1, poly, mega)
+      | S_prop (Ic_poly _) | S_elem (Eic_poly _) -> (mono, poly + 1, mega)
+      | S_prop Ic_mega | S_elem Eic_mega -> (mono, poly, mega + 1)
+      | _ -> (mono, poly, mega))
+    (0, 0, 0) fb

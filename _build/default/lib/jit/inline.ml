@@ -1,0 +1,227 @@
+(** Bytecode-level function inlining (Crankshaft inlined small hot
+    functions; without it, parameter types are opaque and per-call checks
+    dominate exactly the loops the paper's benchmarks spend their time in).
+
+    [expand prog fn] builds a *shadow function*: [fn]'s bytecode with every
+    eligible direct call / construction replaced by a remapped copy of the
+    callee's bytecode and a snapshot of its feedback. The optimizer compiles
+    the shadow; deoptimization resumes the interpreter *on the shadow
+    bytecode* (it is ordinary bytecode with identical semantics), which
+    keeps frame reconstruction single-frame. *)
+
+let max_callee_ops = 48
+let max_result_ops = 700
+let max_sites = 12
+
+let eligible (prog : Bytecode.program) ~caller_id fid =
+  let callee = prog.Bytecode.funcs.(fid) in
+  fid <> caller_id
+  && Array.length callee.Bytecode.code <= max_callee_ops
+  && not callee.Bytecode.opt_disabled
+  (* don't inline self-recursive callees *)
+  && not
+       (Array.exists
+          (function
+            | Bytecode.Call (_, f, _) | New (_, f, _) -> f = fid
+            | _ -> false)
+          callee.Bytecode.code)
+
+(* Jump-target encodings used during emission, resolved in a final pass:
+   a non-negative target is already a final shadow pc;
+   [-1000000 - l] marks a caller target (fixed via the caller pc map). *)
+let caller_target l = -1000000 - l
+let is_caller_target l = l <= -1000000
+let decode_caller_target l = -1000000 - l
+
+type b = {
+  mutable code : Bytecode.bc array;
+  mutable n : int;
+  mutable fb : Feedback.site array;
+  mutable n_fb : int;
+  mutable n_regs : int;
+}
+
+let emit b op =
+  if b.n = Array.length b.code then begin
+    let a = Array.make (max 64 (2 * b.n)) (Bytecode.Jump 0) in
+    Array.blit b.code 0 a 0 b.n;
+    b.code <- a
+  end;
+  b.code.(b.n) <- op;
+  b.n <- b.n + 1;
+  b.n - 1
+
+let append_fb b (sites : Feedback.site array) =
+  let off = b.n_fb in
+  let need = off + Array.length sites in
+  if need > Array.length b.fb then begin
+    let a =
+      Array.make
+        (max need (2 * max 1 (Array.length b.fb)))
+        (Feedback.S_binop Feedback.Bf_none)
+    in
+    Array.blit b.fb 0 a 0 b.n_fb;
+    b.fb <- a
+  end;
+  Array.blit sites 0 b.fb off (Array.length sites);
+  b.n_fb <- need;
+  off
+
+let remap_op ~rmap ~fb_off ~jmp (op : Bytecode.bc) : Bytecode.bc =
+  let r i = rmap i in
+  match op with
+  | Bytecode.LoadInt (d, i) -> Bytecode.LoadInt (r d, i)
+  | LoadNum (d, x) -> LoadNum (r d, x)
+  | LoadStr (d, s) -> LoadStr (r d, s)
+  | LoadBool (d, x) -> LoadBool (r d, x)
+  | LoadNull d -> LoadNull (r d)
+  | Move (d, s) -> Move (r d, r s)
+  | BinOp (op', d, a, b, fb) -> BinOp (op', r d, r a, r b, fb + fb_off)
+  | UnOp (op', d, a) -> UnOp (op', r d, r a)
+  | GetProp (d, o, nm, fb) -> GetProp (r d, r o, nm, fb + fb_off)
+  | SetProp (o, nm, v, fb) -> SetProp (r o, nm, r v, fb + fb_off)
+  | GetElem (d, o, i, fb) -> GetElem (r d, r o, r i, fb + fb_off)
+  | SetElem (o, i, v, fb) -> SetElem (r o, r i, r v, fb + fb_off)
+  | GetGlobal (d, i) -> GetGlobal (r d, i)
+  | SetGlobal (i, v) -> SetGlobal (i, r v)
+  | NewObject d -> NewObject (r d)
+  | AllocCtor (d, f) -> AllocCtor (r d, f)
+  | NewArray (d, c) -> NewArray (r d, c)
+  | Call (d, f, args) -> Call (r d, f, Array.map r args)
+  | CallB (d, bt, args) -> CallB (r d, bt, Array.map r args)
+  | New (d, f, args) -> New (r d, f, Array.map r args)
+  | Jump l -> Jump (jmp l)
+  | JumpIfFalse (c, l) -> JumpIfFalse (r c, jmp l)
+  | JumpIfTrue (c, l) -> JumpIfTrue (r c, jmp l)
+  | Return v -> Return (r v)
+
+(** Inline [callee] at the current emission point; the return value lands in
+    [dst]. Callee-internal jumps are resolved before returning. *)
+let inline_body b (callee : Bytecode.func) ~args ~this_src ~dst =
+  let base = b.n_regs in
+  b.n_regs <- b.n_regs + callee.Bytecode.n_regs;
+  let rmap i = base + i in
+  let fb_off = append_fb b (Array.copy callee.Bytecode.fb) in
+  (match this_src with
+  | `Null -> ignore (emit b (Bytecode.LoadNull (rmap 0)))
+  | `Reg r -> ignore (emit b (Bytecode.Move (rmap 0, r))));
+  for i = 0 to callee.Bytecode.n_params - 1 do
+    if i < Array.length args then
+      ignore (emit b (Bytecode.Move (rmap (i + 1), args.(i))))
+    else ignore (emit b (Bytecode.LoadNull (rmap (i + 1))))
+  done;
+  (* callee locals/temps are NOT null-seeded: every MiniJS local has an
+     initializer ([var x = e]), so they are written before read; seeding
+     nulls would poison the type of every float local in the inlined body *)
+  let n_callee = Array.length callee.Bytecode.code in
+  let pc_map = Array.make (n_callee + 1) 0 in
+  let body_start = b.n in
+  (* provisional: callee pc [l] encoded as [-2 - l]; end-of-inline as [-1] *)
+  Array.iteri
+    (fun i op ->
+      pc_map.(i) <- b.n;
+      match op with
+      | Bytecode.Return v ->
+        ignore (emit b (Bytecode.Move (dst, rmap v)));
+        ignore (emit b (Bytecode.Jump (-1)))
+      | op -> ignore (emit b (remap_op ~rmap ~fb_off ~jmp:(fun l -> -2 - l) op)))
+    callee.Bytecode.code;
+  pc_map.(n_callee) <- b.n;
+  let fix l =
+    if l = -1 then b.n else if l <= -2 && l > -1000000 then pc_map.(-2 - l) else l
+  in
+  for i = body_start to b.n - 1 do
+    b.code.(i) <-
+      (match b.code.(i) with
+      | Bytecode.Jump l when l < 0 -> Bytecode.Jump (fix l)
+      | JumpIfFalse (c, l) when l < 0 -> JumpIfFalse (c, fix l)
+      | JumpIfTrue (c, l) when l < 0 -> JumpIfTrue (c, fix l)
+      | op -> op)
+  done
+
+(** One inlining pass over [fn]; [None] when nothing is eligible. *)
+let expand_once (prog : Bytecode.program) (fn : Bytecode.func) : Bytecode.func option =
+  let caller_id = fn.Bytecode.id in
+  let any =
+    Array.exists
+      (function
+        | Bytecode.Call (_, f, _) -> eligible prog ~caller_id f
+        | New (_, f, _) ->
+          eligible prog ~caller_id f
+          && prog.Bytecode.funcs.(f).Bytecode.base_class <> None
+        | _ -> false)
+      fn.Bytecode.code
+  in
+  if not any then None
+  else begin
+    let b =
+      {
+        code = Array.make 128 (Bytecode.Jump 0);
+        n = 0;
+        fb = Array.copy fn.Bytecode.fb;
+        n_fb = Array.length fn.Bytecode.fb;
+        n_regs = fn.Bytecode.n_regs;
+      }
+    in
+    let sites = ref 0 in
+    let n = Array.length fn.Bytecode.code in
+    let pc_map = Array.make (n + 1) 0 in
+    Array.iteri
+      (fun pc op ->
+        pc_map.(pc) <- b.n;
+        match op with
+        | Bytecode.Call (d, f, args)
+          when eligible prog ~caller_id f && !sites < max_sites
+               && b.n < max_result_ops ->
+          incr sites;
+          inline_body b prog.Bytecode.funcs.(f) ~args ~this_src:`Null ~dst:d
+        | Bytecode.New (d, f, args)
+          when eligible prog ~caller_id f && !sites < max_sites
+               && b.n < max_result_ops
+               && prog.Bytecode.funcs.(f).Bytecode.base_class <> None ->
+          incr sites;
+          ignore (emit b (Bytecode.AllocCtor (d, f)));
+          inline_body b prog.Bytecode.funcs.(f) ~args ~this_src:(`Reg d) ~dst:d
+        | op ->
+          (* caller op: its jump targets are caller pcs, fixed afterwards *)
+          ignore
+            (emit b (remap_op ~rmap:(fun r -> r) ~fb_off:0 ~jmp:caller_target op)))
+      fn.Bytecode.code;
+    pc_map.(n) <- b.n;
+    if !sites = 0 then None
+    else begin
+      for i = 0 to b.n - 1 do
+        let fix l =
+          if is_caller_target l then pc_map.(decode_caller_target l) else l
+        in
+        b.code.(i) <-
+          (match b.code.(i) with
+          | Bytecode.Jump l -> Bytecode.Jump (fix l)
+          | JumpIfFalse (c, l) -> JumpIfFalse (c, fix l)
+          | JumpIfTrue (c, l) -> JumpIfTrue (c, fix l)
+          | op -> op)
+      done;
+      Some
+        {
+          fn with
+          Bytecode.code = Array.sub b.code 0 b.n;
+          fb = Array.sub b.fb 0 b.n_fb;
+          n_regs = b.n_regs;
+          opt = None;
+          shadow = None;
+        }
+    end
+  end
+
+(** Iterated expansion: a callee copied into the shadow keeps its own call
+    sites, so re-expand until fixpoint (bounded depth/size). *)
+let expand prog fn : Bytecode.func option =
+  let rec go depth cur changed =
+    if depth = 0 || Array.length cur.Bytecode.code >= max_result_ops then
+      if changed then Some cur else None
+    else
+      match expand_once prog cur with
+      | Some next -> go (depth - 1) next true
+      | None -> if changed then Some cur else None
+  in
+  go 3 fn false

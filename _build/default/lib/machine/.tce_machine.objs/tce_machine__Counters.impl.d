@@ -1,0 +1,1 @@
+lib/machine/counters.ml: Array Hashtbl Option Tce_core Tce_jit Tce_vm

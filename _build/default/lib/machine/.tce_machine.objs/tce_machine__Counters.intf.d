@@ -1,0 +1,1 @@
+lib/machine/counters.mli: Hashtbl Tce_core Tce_jit

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Branch Cache Categories Config Costs Counters Fbits Float Hashtbl Heap Lir Mem Queue Stdlib Tce_core Tce_jit Tce_vm Tlb Value

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Branch Cache Config Counters Hashtbl Queue Tce_core Tce_jit Tce_vm Tlb

@@ -1,0 +1,89 @@
+(** Set-associative cache timing model (LRU, write-allocate). Tracks hits
+    and misses only — data lives in [Tce_vm.Mem]; this is purely the timing
+    side. Used for L1I, L1D and L2. *)
+
+type stats = { mutable accesses : int; mutable hits : int; mutable misses : int }
+
+type t = {
+  line_bits : int;
+  nsets : int;
+  ways : int;
+  tags : int array array;  (** [tags.(set).(way)]; -1 = invalid *)
+  lru : int array array;
+  mutable clock : int;
+  stats : stats;
+}
+
+let log2_exact n =
+  let rec go n b = if n <= 1 then b else go (n / 2) (b + 1) in
+  go n 0
+
+let create ~size_kb ~ways ~line_bytes =
+  let lines = size_kb * 1024 / line_bytes in
+  let nsets = max 1 (lines / ways) in
+  {
+    line_bits = log2_exact line_bytes;
+    nsets;
+    ways;
+    tags = Array.init nsets (fun _ -> Array.make ways (-1));
+    lru = Array.init nsets (fun _ -> Array.make ways 0);
+    clock = 0;
+    stats = { accesses = 0; hits = 0; misses = 0 };
+  }
+
+(** Access the line containing [addr]; fills on miss. Returns [true] on hit. *)
+let access t addr =
+  let line = addr lsr t.line_bits in
+  let set = line mod t.nsets in
+  let tags = t.tags.(set) and lru = t.lru.(set) in
+  t.clock <- t.clock + 1;
+  t.stats.accesses <- t.stats.accesses + 1;
+  let hit = ref false in
+  for w = 0 to t.ways - 1 do
+    if tags.(w) = line then begin
+      hit := true;
+      lru.(w) <- t.clock
+    end
+  done;
+  if !hit then t.stats.hits <- t.stats.hits + 1
+  else begin
+    t.stats.misses <- t.stats.misses + 1;
+    let victim = ref 0 in
+    for w = 0 to t.ways - 1 do
+      if tags.(w) = -1 then victim := w
+      else if tags.(!victim) <> -1 && lru.(w) < lru.(!victim) then victim := w
+    done;
+    tags.(!victim) <- line;
+    lru.(!victim) <- t.clock
+  end;
+  !hit
+
+(** Insert the line containing [addr] without touching statistics (used to
+    model allocation into a cache-resident nursery; see DESIGN.md). *)
+let insert t addr =
+  let line = addr lsr t.line_bits in
+  let set = line mod t.nsets in
+  let tags = t.tags.(set) and lru = t.lru.(set) in
+  t.clock <- t.clock + 1;
+  let present = ref false in
+  for w = 0 to t.ways - 1 do
+    if tags.(w) = line then present := true
+  done;
+  if not !present then begin
+    let victim = ref 0 in
+    for w = 0 to t.ways - 1 do
+      if tags.(w) = -1 then victim := w
+      else if tags.(!victim) <> -1 && lru.(w) < lru.(!victim) then victim := w
+    done;
+    tags.(!victim) <- line;
+    lru.(!victim) <- t.clock
+  end
+
+let hit_rate t =
+  if t.stats.accesses = 0 then 1.0
+  else float_of_int t.stats.hits /. float_of_int t.stats.accesses
+
+let reset_stats t =
+  t.stats.accesses <- 0;
+  t.stats.hits <- 0;
+  t.stats.misses <- 0

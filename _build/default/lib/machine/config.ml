@@ -1,0 +1,75 @@
+(** Simulated micro-architecture configuration — the paper's Table 2
+    (Nehalem-like core). *)
+
+type t = {
+  issue_width : int;
+  issue_queue : int;  (** instruction issue queue entries (modeled jointly with the window) *)
+  window_size : int;
+  outstanding_ldst : int;
+  l1_load_latency : int;
+  itlb_entries : int;
+  dtlb_entries : int;
+  il1_kb : int;
+  il1_ways : int;
+  dl1_kb : int;
+  dl1_ways : int;
+  l2_kb : int;
+  l2_ways : int;
+  l2_latency : int;
+  mem_latency : int;
+  tlb_miss_penalty : int;
+  branch_mispredict_penalty : int;
+  class_cache_entries : int;
+  class_cache_ways : int;
+  class_cache_miss_penalty : int;
+      (** Class List walk: an in-memory table access, TLB-like *)
+  deopt_penalty : int;  (** runtime transition out of optimized code *)
+  baseline_cpi : float;  (** analytic CPI of the non-optimized tier *)
+}
+
+(** Table 2 of the paper. Latencies the paper does not list (L2, memory,
+    mispredict) use standard Nehalem numbers. *)
+let default =
+  {
+    issue_width = 4;
+    issue_queue = 36;
+    window_size = 128;
+    outstanding_ldst = 10;
+    l1_load_latency = 2;
+    itlb_entries = 128;
+    dtlb_entries = 256;
+    il1_kb = 32;
+    il1_ways = 4;
+    dl1_kb = 32;
+    dl1_ways = 8;
+    l2_kb = 256;
+    l2_ways = 8;
+    l2_latency = 10;
+    mem_latency = 150;
+    tlb_miss_penalty = 30;
+    branch_mispredict_penalty = 15;
+    class_cache_entries = 128;
+    class_cache_ways = 2;
+    class_cache_miss_penalty = 20;
+    deopt_penalty = 100;
+    baseline_cpi = 1.2;
+  }
+
+let rows t =
+  [
+    ("Issue width", string_of_int t.issue_width);
+    ("Instruction Issue queue", Printf.sprintf "%d entries" t.issue_queue);
+    ("Window size", string_of_int t.window_size);
+    ("Outstanding load/stores", string_of_int t.outstanding_ldst);
+    ("L1 load latency", Printf.sprintf "%d cycles" t.l1_load_latency);
+    ("Itlb", Printf.sprintf "%d entries" t.itlb_entries);
+    ("Dtlb", Printf.sprintf "%d entries" t.dtlb_entries);
+    ("Il1 cache", Printf.sprintf "%d KB, %d-way" t.il1_kb t.il1_ways);
+    ("Dl1 cache", Printf.sprintf "%d KB, %d-way" t.dl1_kb t.dl1_ways);
+    ("L2 cache", Printf.sprintf "%d KB, %d-way" t.l2_kb t.l2_ways);
+    ("Class Cache",
+     Printf.sprintf "%d entries, %d-way" t.class_cache_entries t.class_cache_ways);
+  ]
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-26s %s@." k v) (rows t)

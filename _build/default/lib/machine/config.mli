@@ -1,0 +1,35 @@
+(** Simulated micro-architecture configuration — the paper's Table 2
+    (Nehalem-like core), plus the latencies the paper does not list. *)
+
+type t = {
+  issue_width : int;
+  issue_queue : int;
+  window_size : int;
+  outstanding_ldst : int;
+  l1_load_latency : int;
+  itlb_entries : int;
+  dtlb_entries : int;
+  il1_kb : int;
+  il1_ways : int;
+  dl1_kb : int;
+  dl1_ways : int;
+  l2_kb : int;
+  l2_ways : int;
+  l2_latency : int;
+  mem_latency : int;
+  tlb_miss_penalty : int;
+  branch_mispredict_penalty : int;
+  class_cache_entries : int;
+  class_cache_ways : int;
+  class_cache_miss_penalty : int;
+  deopt_penalty : int;
+  baseline_cpi : float;  (** analytic CPI of the non-optimized tier *)
+}
+
+(** The paper's Table 2. *)
+val default : t
+
+(** The rows of Table 2, for printing. *)
+val rows : t -> (string * string) list
+
+val pp : Format.formatter -> t -> unit

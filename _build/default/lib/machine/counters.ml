@@ -1,0 +1,95 @@
+(** Dynamic-execution counters shared by both tiers. Everything the paper's
+    figures need is derived from these. *)
+
+type t = {
+  by_cat : int array;  (** optimized-tier instructions by {!Tce_jit.Categories} *)
+  mutable guards_obj_load : int;
+      (** checks (incl. untag guards) verifying values obtained from object
+          property / elements loads — Figure 2's population *)
+  mutable opt_loads : int;
+  mutable opt_stores : int;
+  mutable opt_branches : int;
+  mutable opt_fp : int;
+  mutable opt_cycles : int;
+  mutable baseline_instrs : int;
+  mutable baseline_cycles : float;
+  mutable deopts : int;
+  mutable cc_exception_deopts : int;
+  mutable tierups : int;
+  obj_loads : (int, int) Hashtbl.t;
+      (** dynamic object-load accesses per (classid, line, pos) oracle key;
+          elements loads are the key with line=0, pos=2 (Figure 3) *)
+  mutable obj_loads_first_line : int;  (** §5.3.4: property loads hitting line 0 *)
+  mutable obj_loads_total : int;
+}
+
+let create () =
+  {
+    by_cat = Array.make Tce_jit.Categories.count 0;
+    guards_obj_load = 0;
+    opt_loads = 0;
+    opt_stores = 0;
+    opt_branches = 0;
+    opt_fp = 0;
+    opt_cycles = 0;
+    baseline_instrs = 0;
+    baseline_cycles = 0.0;
+    deopts = 0;
+    cc_exception_deopts = 0;
+    tierups = 0;
+    obj_loads = Hashtbl.create 256;
+    obj_loads_first_line = 0;
+    obj_loads_total = 0;
+  }
+
+let reset t =
+  Array.fill t.by_cat 0 (Array.length t.by_cat) 0;
+  t.guards_obj_load <- 0;
+  t.opt_loads <- 0;
+  t.opt_stores <- 0;
+  t.opt_branches <- 0;
+  t.opt_fp <- 0;
+  t.opt_cycles <- 0;
+  t.baseline_instrs <- 0;
+  t.baseline_cycles <- 0.0;
+  t.deopts <- 0;
+  t.cc_exception_deopts <- 0;
+  t.tierups <- 0;
+  Hashtbl.reset t.obj_loads;
+  t.obj_loads_first_line <- 0;
+  t.obj_loads_total <- 0
+
+let add_cat t cat n =
+  t.by_cat.(Tce_jit.Categories.index cat) <- t.by_cat.(Tce_jit.Categories.index cat) + n
+
+let opt_instrs t = Array.fold_left ( + ) 0 t.by_cat
+
+let total_instrs t = opt_instrs t + t.baseline_instrs
+
+let cat t cat = t.by_cat.(Tce_jit.Categories.index cat)
+
+(** Record one dynamic object-load access (property or element) targeting
+    the Class List slot [(classid, line, pos)]. *)
+let record_obj_load t ~classid ~line ~pos =
+  let key = (((classid lsl 8) lor line) lsl 3) lor pos in
+  Hashtbl.replace t.obj_loads key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.obj_loads key));
+  t.obj_loads_total <- t.obj_loads_total + 1;
+  if line = 0 then t.obj_loads_first_line <- t.obj_loads_first_line + 1
+
+(** Figure 3 classification against a full-run oracle:
+    [(mono_prop, mono_elem, poly_prop, poly_elem)] dynamic access counts. *)
+let classify_obj_loads t (oracle : Tce_core.Oracle.t) =
+  Hashtbl.fold
+    (fun key count (mp, me, pp, pe) ->
+      let pos = key land 7 in
+      let line = (key lsr 3) land 0xff in
+      let classid = (key lsr 11) land 0xff in
+      let mono = Tce_core.Oracle.is_monomorphic oracle ~classid ~line ~pos in
+      let is_elem = line = 0 && pos = Tce_vm.Layout.elements_ptr_slot in
+      match (mono, is_elem) with
+      | true, false -> (mp + count, me, pp, pe)
+      | true, true -> (mp, me + count, pp, pe)
+      | false, false -> (mp, me, pp + count, pe)
+      | false, true -> (mp, me, pp, pe + count))
+    t.obj_loads (0, 0, 0, 0)

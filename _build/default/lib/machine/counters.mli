@@ -1,0 +1,36 @@
+(** Dynamic-execution counters shared by both tiers — everything the paper's
+    figures are derived from. *)
+
+type t = {
+  by_cat : int array;  (** optimized-tier instructions per {!Tce_jit.Categories} *)
+  mutable guards_obj_load : int;
+      (** checks (incl. untag guards) verifying values obtained from object
+          loads — Figure 2's population *)
+  mutable opt_loads : int;
+  mutable opt_stores : int;
+  mutable opt_branches : int;
+  mutable opt_fp : int;
+  mutable opt_cycles : int;
+  mutable baseline_instrs : int;
+  mutable baseline_cycles : float;
+  mutable deopts : int;
+  mutable cc_exception_deopts : int;
+  mutable tierups : int;
+  obj_loads : (int, int) Hashtbl.t;
+  mutable obj_loads_first_line : int;
+  mutable obj_loads_total : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add_cat : t -> Tce_jit.Categories.t -> int -> unit
+val opt_instrs : t -> int
+val total_instrs : t -> int
+val cat : t -> Tce_jit.Categories.t -> int
+
+(** Record one dynamic object-load access targeting [(classid, line, pos)]. *)
+val record_obj_load : t -> classid:int -> line:int -> pos:int -> unit
+
+(** Figure 3 against a full-run oracle:
+    [(mono prop, mono elem, poly prop, poly elem)] access counts. *)
+val classify_obj_loads : t -> Tce_core.Oracle.t -> int * int * int * int

@@ -1,0 +1,63 @@
+(** Energy model (McPAT/CACTI substitute — see DESIGN.md). Per-event dynamic
+    energies plus leakage proportional to cycles; constants in the published
+    Nehalem-class ballpark (45 nm, ~3 GHz). Absolute joules are not claimed;
+    the on/off *ratio* is what reproduces Figure 9, and it is driven by the
+    first-order terms the paper cites: fewer executed instructions (dynamic
+    energy) and shorter runtime (leakage). *)
+
+type params = {
+  e_frontend : float;  (** nJ per dispatched instruction (fetch/decode/rename) *)
+  e_alu : float;
+  e_fp : float;
+  e_l1 : float;  (** per L1 access (I or D) *)
+  e_l2 : float;
+  e_mem : float;
+  e_branch : float;  (** predictor + BTB per branch *)
+  e_class_cache : float;  (** per Class Cache access (CACTI: tiny, < 1.5 KB) *)
+  leakage_w : float;  (** core leakage power, W *)
+  freq_ghz : float;
+}
+
+let default =
+  {
+    e_frontend = 0.30;
+    e_alu = 0.10;
+    e_fp = 0.35;
+    e_l1 = 0.35;
+    e_l2 = 1.2;
+    e_mem = 18.0;
+    e_branch = 0.08;
+    e_class_cache = 0.02;
+    leakage_w = 1.6;
+    freq_ghz = 3.0;
+  }
+
+type events = {
+  instrs : int;  (** all dispatched instructions (both tiers) *)
+  alu_ops : int;
+  fp_ops : int;
+  branches : int;
+  l1_accesses : int;
+  l2_accesses : int;
+  mem_accesses : int;
+  cc_accesses : int;
+  cycles : float;
+}
+
+type breakdown = { dynamic_nj : float; leakage_nj : float; total_nj : float }
+
+let compute ?(p = default) (e : events) =
+  let f = float_of_int in
+  let dynamic_nj =
+    (f e.instrs *. p.e_frontend)
+    +. (f e.alu_ops *. p.e_alu)
+    +. (f e.fp_ops *. p.e_fp)
+    +. (f e.branches *. p.e_branch)
+    +. (f e.l1_accesses *. p.e_l1)
+    +. (f e.l2_accesses *. p.e_l2)
+    +. (f e.mem_accesses *. p.e_mem)
+    +. (f e.cc_accesses *. p.e_class_cache)
+  in
+  (* leakage: P * t = leakage_w * cycles / freq -> nJ *)
+  let leakage_nj = p.leakage_w *. e.cycles /. p.freq_ghz in
+  { dynamic_nj; leakage_nj; total_nj = dynamic_nj +. leakage_nj }

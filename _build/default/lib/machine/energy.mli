@@ -1,0 +1,35 @@
+(** Energy model (McPAT/CACTI substitute, DESIGN.md §2): per-event dynamic
+    energies plus leakage proportional to cycles. The on/off *ratio* is
+    what reproduces Figure 9. *)
+
+type params = {
+  e_frontend : float;  (** nJ per dispatched instruction *)
+  e_alu : float;
+  e_fp : float;
+  e_l1 : float;
+  e_l2 : float;
+  e_mem : float;
+  e_branch : float;
+  e_class_cache : float;
+  leakage_w : float;
+  freq_ghz : float;
+}
+
+(** Nehalem-class (45 nm, ~3 GHz) ballpark constants. *)
+val default : params
+
+type events = {
+  instrs : int;
+  alu_ops : int;
+  fp_ops : int;
+  branches : int;
+  l1_accesses : int;
+  l2_accesses : int;
+  mem_accesses : int;
+  cc_accesses : int;
+  cycles : float;
+}
+
+type breakdown = { dynamic_nj : float; leakage_nj : float; total_nj : float }
+
+val compute : ?p:params -> events -> breakdown

@@ -1,0 +1,694 @@
+(** Cycle-level execution of optimized (LIR) code: a 4-wide in-order-dispatch
+    / out-of-order-completion scoreboard with a 128-entry window, load/store
+    queue, L1I/L1D/L2 caches, D/I-TLBs, a bimodal branch predictor and the
+    Class Cache — parameters from {!Config} (the paper's Table 2).
+
+    The model dispatches instructions in program order at up to
+    [issue_width] per cycle, blocks dispatch when the window is full, lets
+    results complete out of order at [dispatch + max(dep stalls) + latency],
+    and restarts the front end on branch mispredictions — a standard
+    research-grade approximation of a Nehalem-class core (MARSS substitute,
+    see DESIGN.md). *)
+
+open Tce_vm
+open Tce_jit
+
+exception Trap of string
+
+(** Callbacks into the engine (tier driver). *)
+type host = {
+  call_fn : int -> Value.t array -> Value.t;
+      (** call guest function [fn_id] with [this :: args] *)
+  resume : opt_id:int -> bc_pc:int -> regs:Value.t array ->
+           result:(int * Value.t) option -> Value.t;
+      (** deoptimization: resume the interpreter mid-function *)
+  rt_call : Lir.rt -> Value.t array -> float array -> Value.t * float;
+      (** execute a runtime stub functionally *)
+  on_cc_exception : int list -> unit;
+      (** invalidate the optimized code instances with these opt_ids *)
+  on_deopt : int -> unit;
+      (** a check failed in this opt_id (engine discards code that
+          deoptimizes repeatedly, like V8's deopt counters) *)
+  is_invalidated : int -> bool;  (** has this opt_id been invalidated? *)
+}
+
+type t = {
+  cfg : Config.t;
+  heap : Heap.t;
+  cc : Tce_core.Class_cache.t;
+  cl : Tce_core.Class_list.t;
+  oracle : Tce_core.Oracle.t;
+  counters : Counters.t;
+  l1d : Cache.t;
+  l1i : Cache.t;
+  l2 : Cache.t;
+  dtlb : Tlb.t;
+  itlb : Tlb.t;
+  bp : Branch.t;
+  mechanism : bool;  (** Class Cache mechanism on/off *)
+  (* timing state *)
+  mutable cycle : int;  (** current dispatch cycle *)
+  mutable slots : int;  (** instructions dispatched in this cycle *)
+  mutable load_slots : int;  (** loads dispatched this cycle (1 load port) *)
+  mutable store_slots : int;  (** stores dispatched this cycle (1 store port) *)
+  window : int Queue.t;  (** completion times of in-flight instructions *)
+  store_q : int Queue.t;  (** completion times of in-flight stores *)
+  mutable last_iline : int;  (** last instruction-cache line fetched *)
+  fills : (int, int) Hashtbl.t;
+      (** in-flight line fills: line -> cycle the data arrives (MSHR
+          merging: a second access to a line being filled waits for the
+          fill instead of seeing an instant hit) *)
+  mutable measuring : bool;
+  (* special registers (paper §4.2.1.2) *)
+  mutable reg_classid : int;
+  reg_classid_arr : int array;
+}
+
+let create ?(cfg = Config.default) ?(mechanism = true) ~heap ~cc ~cl ~oracle
+    ~counters () =
+  {
+    cfg;
+    heap;
+    cc;
+    cl;
+    oracle;
+    counters;
+    l1d = Cache.create ~size_kb:cfg.dl1_kb ~ways:cfg.dl1_ways ~line_bytes:64;
+    l1i = Cache.create ~size_kb:cfg.il1_kb ~ways:cfg.il1_ways ~line_bytes:64;
+    l2 = Cache.create ~size_kb:cfg.l2_kb ~ways:cfg.l2_ways ~line_bytes:64;
+    dtlb = Tlb.create ~entries:cfg.dtlb_entries;
+    itlb = Tlb.create ~entries:cfg.itlb_entries;
+    bp = Branch.create ();
+    mechanism;
+    cycle = 0;
+    slots = 0;
+    load_slots = 0;
+    store_slots = 0;
+    window = Queue.create ();
+    store_q = Queue.create ();
+    last_iline = -1;
+    fills = Hashtbl.create 4096;
+    measuring = true;
+    reg_classid = 0;
+    reg_classid_arr = Array.make 4 0;
+  }
+
+(* --- timing primitives --- *)
+
+(** Dispatch one instruction; returns its dispatch cycle. Loads and stores
+    additionally contend for their single AGU/port (Nehalem: one load port,
+    one store port), so memory-heavy code is port-bound — which is what
+    makes removing Check Map loads profitable. *)
+let dispatch ?(kind = `Other) t =
+  let advance () =
+    t.cycle <- t.cycle + 1;
+    t.slots <- 0;
+    t.load_slots <- 0;
+    t.store_slots <- 0
+  in
+  if t.slots >= t.cfg.issue_width then advance ();
+  (match kind with
+  | `Load -> while t.load_slots >= 1 do advance () done
+  | `Store -> while t.store_slots >= 1 do advance () done
+  | `Other -> ());
+  if Queue.length t.window >= t.cfg.window_size then begin
+    let c = Queue.pop t.window in
+    if c > t.cycle then begin
+      t.cycle <- c;
+      t.slots <- 0;
+      t.load_slots <- 0;
+      t.store_slots <- 0
+    end
+  end;
+  t.slots <- t.slots + 1;
+  (match kind with
+  | `Load -> t.load_slots <- t.load_slots + 1
+  | `Store -> t.store_slots <- t.store_slots + 1
+  | `Other -> ());
+  t.cycle
+
+let complete t c = Queue.push c t.window
+
+(** Completion time of a data access to [addr] issued at [start], through
+    DTLB + D-cache hierarchy, with MSHR merging of accesses to lines whose
+    fill is still in flight. *)
+let daccess t ~start addr =
+  let tlb_hit = Tlb.access t.dtlb addr in
+  let line = addr lsr 6 in
+  let hit_l1 = Cache.access t.l1d addr in
+  let lat =
+    if hit_l1 then t.cfg.l1_load_latency
+    else if Cache.access t.l2 addr then t.cfg.l1_load_latency + t.cfg.l2_latency
+    else t.cfg.l1_load_latency + t.cfg.l2_latency + t.cfg.mem_latency
+  in
+  let lat = if tlb_hit then lat else lat + t.cfg.tlb_miss_penalty in
+  let completion =
+    if hit_l1 then begin
+      match Hashtbl.find_opt t.fills line with
+      | Some ready when ready > start ->
+        (* the line is still being filled: wait for it *)
+        ready + t.cfg.l1_load_latency
+      | _ -> start + lat
+    end
+    else begin
+      let done_at = start + lat in
+      Hashtbl.replace t.fills line done_at;
+      done_at
+    end
+  in
+  completion
+
+(** Instruction fetch: touch the I-cache when crossing into a new line. *)
+let ifetch t ~code_addr ~pc =
+  let line = (code_addr + (4 * pc)) lsr 6 in
+  if line <> t.last_iline then begin
+    t.last_iline <- line;
+    let addr = line lsl 6 in
+    let tlb_hit = Tlb.access t.itlb addr in
+    let hit = Cache.access t.l1i addr in
+    if not hit then begin
+      (* front-end bubble *)
+      let pen =
+        if Cache.access t.l2 addr then t.cfg.l2_latency
+        else t.cfg.l2_latency + t.cfg.mem_latency
+      in
+      t.cycle <- t.cycle + pen;
+      t.slots <- 0;
+      t.load_slots <- 0;
+      t.store_slots <- 0
+    end;
+    if not tlb_hit then begin
+      t.cycle <- t.cycle + t.cfg.tlb_miss_penalty;
+      t.slots <- 0;
+      t.load_slots <- 0;
+      t.store_slots <- 0
+    end
+  end
+
+let count t (inst : Lir.inst) =
+  if t.measuring then begin
+    Counters.add_cat t.counters inst.cat 1;
+    if inst.flags land Categories.flag_guards_obj_load <> 0 then
+      t.counters.guards_obj_load <- t.counters.guards_obj_load + 1;
+    (match inst.op with
+    | Lir.Load _ | LoadIdx _ | FLoad _ | FLoadIdx _ ->
+      t.counters.opt_loads <- t.counters.opt_loads + 1
+    | Store _ | StoreIdx _ | FStore _ | FStoreIdx _ | StoreClassCache _
+    | StoreClassCacheArray _ ->
+      t.counters.opt_stores <- t.counters.opt_stores + 1
+    | Branch _ | FBranch _ | Jmp _ ->
+      t.counters.opt_branches <- t.counters.opt_branches + 1
+    | FAdd _ | FSub _ | FMul _ | FDiv _ | FSqrt _ | FNeg _ | FAbs _ | CvtIF _
+    | TruncFI _ ->
+      t.counters.opt_fp <- t.counters.opt_fp + 1
+    | _ -> ())
+  end
+
+(** Charge a runtime-stub cost: serializes the pipeline. The cost is
+    attributed to [cat] (e.g. boxing stubs count as Tags/Untags). *)
+let charge_rt ?(cat = Categories.C_other) t (cost : Costs.cost) =
+  if t.measuring then Counters.add_cat t.counters cat cost.instrs;
+  t.cycle <- t.cycle + cost.cycles;
+  t.slots <- 0;
+  t.load_slots <- 0;
+  t.store_slots <- 0
+
+(** Model a fresh allocation as nursery-resident: the lines are inserted
+    into the D-caches without cost. (V8's new space is recycled by the
+    scavenger and stays cache-resident in steady state; our bump allocator
+    would otherwise make every allocation a cold DRAM miss.) *)
+let prefill t ~addr ~bytes =
+  let first = addr lsr 6 and last = (addr + bytes - 1) lsr 6 in
+  for line = first to last do
+    Cache.insert t.l1d (line lsl 6);
+    Cache.insert t.l2 (line lsl 6)
+  done
+
+exception Cc_exception of int list
+
+(* --- the executor --- *)
+
+let operand regs = function Lir.Reg r -> regs.(r) | Lir.Imm i -> i
+let operand_ready ready cyc = function Lir.Reg r -> max cyc ready.(r) | Lir.Imm _ -> cyc
+
+let alu_apply (a : Lir.alu) x y =
+  match a with
+  | Lir.Add -> x + y
+  | Sub -> x - y
+  | Mul -> x * y
+  | Div -> if y = 0 then 0 else x / y
+  | Rem -> if y = 0 then 0 else Stdlib.( mod ) x y
+  | And -> x land y
+  | Or -> x lor y
+  | Xor -> x lxor y
+  | Shl -> x lsl (y land 31)
+  | Shr -> (x land 0xffff_ffff) lsr (y land 31)  (* JS >>> on uint32 *)
+  | Sar -> x asr (y land 31)
+
+let alu_latency (a : Lir.alu) =
+  match a with Lir.Mul -> 3 | Div | Rem -> 20 | _ -> 1
+
+let cond_apply (c : Lir.cond) x y =
+  match c with
+  | Lir.Eq -> x = y
+  | Ne -> x <> y
+  | Lt -> x < y
+  | Le -> x <= y
+  | Gt -> x > y
+  | Ge -> x >= y
+  | Bit_set -> x land y <> 0
+  | Bit_clear -> x land y = 0
+
+let fcond_apply (c : Lir.fcond) (x : float) (y : float) =
+  match c with
+  | Lir.FEq -> x = y
+  | FNe -> x <> y
+  | FLt -> x < y
+  | FLe -> x <= y
+  | FGt -> x > y
+  | FGe -> x >= y
+  (* negated forms: true on NaN (unordered) *)
+  | FNlt -> not (x < y)
+  | FNle -> not (x <= y)
+  | FNgt -> not (x > y)
+  | FNge -> not (x >= y)
+
+let flat_lat = 3 (* FP add/sub/cvt latency *)
+let fmul_lat = 5
+let fdiv_lat = 20
+let fsqrt_lat = 25
+
+(** Reconstruct the interpreter frame for a deopt of [f] and resume. *)
+let do_deopt t host (f : Lir.func) regs fregs deopt_id ~result =
+  let info = f.deopts.(deopt_id) in
+  host.on_deopt f.Lir.opt_id;
+  if t.measuring then begin
+    t.counters.deopts <- t.counters.deopts + 1;
+    t.counters.baseline_instrs <-
+      t.counters.baseline_instrs + Costs.deopt_transition_instrs
+  end;
+  t.cycle <- t.cycle + t.cfg.deopt_penalty;
+  t.slots <- 0;
+  let n = Array.length f.reprs in
+  let vals =
+    Array.init n (fun i ->
+        match f.reprs.(i) with
+        | Lir.R_tagged -> regs.(i)
+        | Lir.R_double -> Heap.number t.heap fregs.(i))
+  in
+  let result =
+    match result with
+    | Some v -> Some ((match info.result_into with Some r -> r | None -> -1), v)
+    | None -> None
+  in
+  host.resume ~opt_id:f.opt_id ~bc_pc:info.bc_pc ~regs:vals ~result
+
+(** Execute optimized code [f] on [args] = [this :: params], returning the
+    function result (possibly via a deopt into the interpreter). *)
+let rec run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
+  let regs = Array.make (max f.n_regs 1) 0 in
+  let fregs = Array.make (max f.n_fregs 1) 0.0 in
+  let ready = Array.make (max f.n_regs 1) t.cycle in
+  let fready = Array.make (max f.n_fregs 1) t.cycle in
+  let nargs = min (Array.length args) f.n_regs in
+  Array.blit args 0 regs 0 nargs;
+  (* absent parameters read as null *)
+  for i = nargs to min (Array.length f.reprs) f.n_regs - 1 do
+    regs.(i) <- t.heap.Heap.null_v
+  done;
+  let pc = ref 0 in
+  let result = ref None in
+  (try
+     while !result = None do
+       let inst = f.code.(!pc) in
+       let next = !pc + 1 in
+       (match inst.op with
+       | Lir.Profile (r, line, pos) ->
+         (* measurement pseudo-op: zero cost *)
+         if t.measuring then begin
+           let classid = Heap.classid_of t.heap regs.(r) in
+           Counters.record_obj_load t.counters ~classid ~line ~pos
+         end;
+         pc := next
+       | Lir.ProfileStore (r, line, pos, pv) ->
+         (* measurement pseudo-op: zero cost; records the store in the
+            monomorphism oracle (mechanism-off code has no CC request) *)
+         let classid = Heap.classid_of t.heap regs.(r) in
+         let value_classid =
+           match pv with
+           | Lir.Ps_reg vr -> Heap.classid_of t.heap regs.(vr)
+           | Lir.Ps_classid c -> c
+         in
+         Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid;
+         pc := next
+       | _ ->
+         ifetch t ~code_addr:f.code_addr ~pc:!pc;
+         let d =
+           dispatch t
+             ~kind:
+               (if Lir.is_memory_read inst.op then `Load
+                else if Lir.is_memory_write inst.op then `Store
+                else `Other)
+         in
+         count t inst;
+         (match inst.op with
+         | Lir.Profile _ | Lir.ProfileStore _ -> assert false
+         | Lir.MovImm (r, i) ->
+           regs.(r) <- i;
+           ready.(r) <- d + 1;
+           complete t (d + 1);
+           pc := next
+         | Mov (rd, rs) ->
+           regs.(rd) <- regs.(rs);
+           ready.(rd) <- max d ready.(rs) + 1;
+           complete t ready.(rd);
+           pc := next
+         | Alu (a, rd, rs, o) ->
+           let start = max (operand_ready ready d o) (max d ready.(rs)) in
+           regs.(rd) <-
+             (match a with
+             | Lir.Shl | Shr | Sar ->
+               (* full-width shifts for tag arithmetic *)
+               let y = match o with Lir.Reg r -> regs.(r) | Imm i -> i in
+               (match a with
+               | Lir.Shl -> regs.(rs) lsl (y land 63)
+               | Shr -> regs.(rs) lsr (y land 63)
+               | _ -> regs.(rs) asr (y land 63))
+             | _ -> alu_apply a regs.(rs) (operand regs o));
+           ready.(rd) <- start + alu_latency a;
+           complete t ready.(rd);
+           pc := next
+         | Alu32 (a, rd, rs, o) ->
+           let start = max (operand_ready ready d o) (max d ready.(rs)) in
+           regs.(rd) <- Value.to_int32 (alu_apply a regs.(rs) (operand regs o));
+           ready.(rd) <- start + alu_latency a;
+           complete t ready.(rd);
+           pc := next
+         | AluOv (a, rd, rs, o, target) ->
+           let start = max (operand_ready ready d o) (max d ready.(rs)) in
+           let v = alu_apply a regs.(rs) (operand regs o) in
+           ready.(rd) <- start + alu_latency a;
+           complete t ready.(rd);
+           (* tagged-SMI overflow: payload must fit int32 *)
+           if Value.smi_fits (v asr 1) then begin
+             regs.(rd) <- v;
+             pc := next
+           end
+           else pc := target
+         | Load (rd, rb, off) ->
+           let addr = regs.(rb) + off in
+           let start = max d ready.(rb) in
+           regs.(rd) <- Mem.load t.heap.Heap.mem addr;
+           ready.(rd) <- daccess t ~start addr;
+           complete t ready.(rd);
+           pc := next
+         | CheckedLoad (rd, rb, off, expected, deopt_id) ->
+           (* the class word arrives with the same cache line: the check is
+              free in hardware but still *executes* (no removal) *)
+           let base = regs.(rb) in
+           let addr = base + off in
+           let start = max d ready.(rb) in
+           let line_base = Tce_vm.Layout.line_base_of_addr addr in
+           let w = Mem.load t.heap.Heap.mem line_base in
+           if Value.is_smi base || w <> expected then
+             result := Some (do_deopt t host f regs fregs deopt_id ~result:None)
+           else begin
+             regs.(rd) <- Mem.load t.heap.Heap.mem addr;
+             ready.(rd) <- daccess t ~start addr;
+             complete t ready.(rd);
+             pc := next
+           end
+         | LoadIdx (rd, rb, ri, off) ->
+           let addr = regs.(rb) + (regs.(ri) * 8) + off in
+           let start = max d (max ready.(rb) ready.(ri)) in
+           regs.(rd) <- Mem.load t.heap.Heap.mem addr;
+           ready.(rd) <- daccess t ~start addr;
+           complete t ready.(rd);
+           pc := next
+         | FLoad (fd, rb, off) ->
+           let addr = regs.(rb) + off in
+           let start = max d ready.(rb) in
+           fregs.(fd) <- Fbits.to_float (Mem.load t.heap.Heap.mem addr);
+           fready.(fd) <- daccess t ~start addr;
+           complete t fready.(fd);
+           pc := next
+         | FLoadIdx (fd, rb, ri, off) ->
+           let addr = regs.(rb) + (regs.(ri) * 8) + off in
+           let start = max d (max ready.(rb) ready.(ri)) in
+           fregs.(fd) <- Fbits.to_float (Mem.load t.heap.Heap.mem addr);
+           fready.(fd) <- daccess t ~start addr;
+           complete t fready.(fd);
+           pc := next
+         | Store (rb, off, v) ->
+           do_store t d ~addr:(regs.(rb) + off)
+             ~start:(max (operand_ready ready d v) ready.(rb))
+             ~word:(operand regs v);
+           pc := next
+         | StoreIdx (rb, ri, off, v) ->
+           do_store t d
+             ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
+             ~start:(max (operand_ready ready d v) (max ready.(rb) ready.(ri)))
+             ~word:(operand regs v);
+           pc := next
+         | FStore (rb, off, fv) ->
+           do_store t d ~addr:(regs.(rb) + off)
+             ~start:(max fready.(fv) ready.(rb))
+             ~word:(Fbits.of_float fregs.(fv));
+           pc := next
+         | FStoreIdx (rb, ri, off, fv) ->
+           do_store t d
+             ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
+             ~start:(max fready.(fv) (max ready.(rb) ready.(ri)))
+             ~word:(Fbits.of_float fregs.(fv));
+           pc := next
+         | FMov (fd, fs) ->
+           fregs.(fd) <- fregs.(fs);
+           fready.(fd) <- max d fready.(fs) + 1;
+           complete t fready.(fd);
+           pc := next
+         | FMovImm (fd, x) ->
+           fregs.(fd) <- Fbits.canon x;
+           fready.(fd) <- d + 1;
+           complete t fready.(fd);
+           pc := next
+         | FAdd (fd, fa, fb) -> falu t d regs fregs fready fd fa fb ( +. ) flat_lat; pc := next
+         | FSub (fd, fa, fb) -> falu t d regs fregs fready fd fa fb ( -. ) flat_lat; pc := next
+         | FMul (fd, fa, fb) -> falu t d regs fregs fready fd fa fb ( *. ) fmul_lat; pc := next
+         | FDiv (fd, fa, fb) -> falu t d regs fregs fready fd fa fb ( /. ) fdiv_lat; pc := next
+         | FSqrt (fd, fs) ->
+           fregs.(fd) <- Fbits.canon (sqrt fregs.(fs));
+           fready.(fd) <- max d fready.(fs) + fsqrt_lat;
+           complete t fready.(fd);
+           pc := next
+         | FNeg (fd, fs) ->
+           fregs.(fd) <- -.fregs.(fs);
+           fready.(fd) <- max d fready.(fs) + 1;
+           complete t fready.(fd);
+           pc := next
+         | FAbs (fd, fs) ->
+           fregs.(fd) <- Float.abs fregs.(fs);
+           fready.(fd) <- max d fready.(fs) + 1;
+           complete t fready.(fd);
+           pc := next
+         | CvtIF (fd, rs) ->
+           fregs.(fd) <- float_of_int regs.(rs);
+           fready.(fd) <- max d ready.(rs) + flat_lat;
+           complete t fready.(fd);
+           pc := next
+         | TruncFI (rd, fs) ->
+           regs.(rd) <- Value.js_to_int32_float fregs.(fs);
+           ready.(rd) <- max d fready.(fs) + flat_lat;
+           complete t ready.(rd);
+           pc := next
+         | Branch (c, r, o, target) ->
+           let start = max (operand_ready ready d o) (max d ready.(r)) in
+           let taken = cond_apply c regs.(r) (operand regs o) in
+           branch_resolve t f !pc ~start ~taken;
+           pc := (if taken then target else next)
+         | FBranch (c, fa, fb, target) ->
+           let start = max d (max fready.(fa) fready.(fb)) in
+           let taken = fcond_apply c fregs.(fa) fregs.(fb) in
+           branch_resolve t f !pc ~start ~taken;
+           pc := (if taken then target else next)
+         | Jmp target ->
+           complete t (d + 1);
+           pc := target
+         | CallFn (callee, argr, rd, deopt_id) ->
+           (* serialize on argument readiness *)
+           Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
+           t.slots <- 0;
+           charge_rt t (Costs.c (8 + (2 * Array.length argr)) 8);
+           let argv = Array.map (fun r -> regs.(r)) argr in
+           let v = host.call_fn callee argv in
+           if host.is_invalidated f.opt_id then begin
+             (* on-stack replacement: this frame's code died during the call *)
+             result := Some (do_deopt t host f regs fregs deopt_id ~result:(Some v))
+           end
+           else begin
+             regs.(rd) <- v;
+             ready.(rd) <- t.cycle + 1;
+             pc := next
+           end
+         | CallRtChecked (rt, argr, rd, deopt_id) ->
+           Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
+           charge_rt ~cat:inst.cat t (Costs.rt_cost rt);
+           let argv = Array.map (fun r -> regs.(r)) argr in
+           let v, _ = host.rt_call rt argv [||] in
+           (match rd with
+           | Some r ->
+             regs.(r) <- v;
+             ready.(r) <- t.cycle + 1
+           | None -> ());
+           if host.is_invalidated f.opt_id then
+             (* the stub's store retired a profile this code speculates on *)
+             result :=
+               Some
+                 (do_deopt t host f regs fregs deopt_id
+                    ~result:(match rd with Some _ -> Some v | None -> None))
+           else pc := next
+         | CallRt (rt, argr, fargr, rd, fd) ->
+           Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
+           Array.iter (fun r -> if fready.(r) > t.cycle then t.cycle <- fready.(r)) fargr;
+           charge_rt ~cat:inst.cat t (Costs.rt_cost rt);
+           let argv = Array.map (fun r -> regs.(r)) argr in
+           let fargv = Array.map (fun r -> fregs.(r)) fargr in
+           let v, fv = host.rt_call rt argv fargv in
+           (match rd with
+           | Some r ->
+             regs.(r) <- v;
+             ready.(r) <- t.cycle + 1
+           | None -> ());
+           (match fd with
+           | Some r ->
+             fregs.(r) <- fv;
+             fready.(r) <- t.cycle + 1
+           | None -> ());
+           pc := next
+         | Ret r ->
+           complete t (d + 1);
+           result := Some regs.(r)
+         | Deopt deopt_id ->
+           result := Some (do_deopt t host f regs fregs deopt_id ~result:None)
+         | MovClassID r ->
+           let v = regs.(r) in
+           if Value.is_smi v then begin
+             t.reg_classid <- Tce_vm.Layout.smi_classid;
+             complete t (d + 1)
+           end
+           else begin
+             let addr = Value.ptr_addr v in
+             t.reg_classid <- Heap.classid_of t.heap v;
+             complete t (daccess t ~start:(max d ready.(r)) addr)
+           end;
+           pc := next
+         | MovClassIDArray (k, r) ->
+           let v = regs.(r) in
+           if Value.is_smi v then begin
+             (* hoisted loads may execute speculatively with a non-object
+                value (loop body never entered); behave like movClassID *)
+             t.reg_classid_arr.(k) <- Tce_vm.Layout.smi_classid;
+             complete t (d + 1)
+           end
+           else begin
+             let addr = Value.ptr_addr v in
+             t.reg_classid_arr.(k) <- Heap.classid_of t.heap v;
+             complete t (daccess t ~start:(max d ready.(r)) addr)
+           end;
+           pc := next
+         | StoreClassCache (rb, off, v, deopt_id) -> (
+           let addr = regs.(rb) + off in
+           do_store t d ~addr
+             ~start:(max (operand_ready ready d v) ready.(rb))
+             ~word:(operand regs v);
+           (* the memory unit recovers (ClassID, Line, slot) from the line *)
+           let line_base = Tce_vm.Layout.line_base_of_addr addr in
+           let w = Mem.load t.heap.Heap.mem line_base in
+           let classid = Tce_vm.Layout.classid_of_class_word w in
+           let line = Tce_vm.Layout.line_of_class_word w in
+           let pos = Tce_vm.Layout.slot_pos_of_addr addr in
+           let stored = operand regs v in
+           try
+             cc_request_tagged t ~classid ~line ~pos ~stored;
+             pc := next
+           with Cc_exception fns ->
+             handle_cc_exception t host f regs fregs deopt_id fns result next pc)
+         | StoreClassCacheArray (k, rb, ri, off, v, deopt_id) -> (
+           let addr = regs.(rb) + (regs.(ri) * 8) + off in
+           do_store t d ~addr
+             ~start:(max (operand_ready ready d v) (max ready.(rb) ready.(ri)))
+             ~word:(operand regs v);
+           let classid = t.reg_classid_arr.(k) in
+           let stored = operand regs v in
+           try
+             cc_request_tagged t ~classid ~line:0
+               ~pos:Tce_vm.Layout.elements_ptr_slot ~stored;
+             pc := next
+           with Cc_exception fns ->
+             handle_cc_exception t host f regs fregs deopt_id fns result next pc)))
+     done
+   with Cc_exception _ -> assert false);
+  match !result with Some v -> v | None -> assert false
+
+and do_store t d ~addr ~start ~word =
+  (* store-buffer pressure: block when [outstanding_ldst] stores in flight *)
+  if Queue.length t.store_q >= t.cfg.outstanding_ldst then begin
+    let c = Queue.pop t.store_q in
+    if c > t.cycle then begin
+      t.cycle <- c;
+      t.slots <- 0
+    end
+  end;
+  Mem.store t.heap.Heap.mem addr word;
+  let done_at = daccess t ~start:(max d start) addr in
+  Queue.push done_at t.store_q;
+  complete t (max d start + 1)
+
+and falu t d _regs fregs fready fd fa fb op lat =
+  ignore t;
+  let start = max d (max fready.(fa) fready.(fb)) in
+  fregs.(fd) <- Fbits.canon (op fregs.(fa) fregs.(fb));
+  fready.(fd) <- start + lat;
+  complete t fready.(fd)
+
+and branch_resolve t (f : Lir.func) pc ~start ~taken =
+  let completion = start + 1 in
+  complete t completion;
+  let correct = Branch.record t.bp ~fn:f.opt_id ~pc ~taken in
+  if not correct then begin
+    let restart = completion + t.cfg.branch_mispredict_penalty in
+    if restart > t.cycle then begin
+      t.cycle <- restart;
+      t.slots <- 0
+    end
+  end
+
+and cc_request_tagged t ~classid ~line ~pos ~stored =
+  (* With the mechanism on, regObjectClassId was set by the preceding
+     movClassID. With it off, these opcodes are plain stores and only feed
+     the measurement oracle — the ClassID is then computed functionally. *)
+  let value_classid =
+    if t.mechanism then t.reg_classid else Heap.classid_of t.heap stored
+  in
+  Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid;
+  if t.mechanism then begin
+    let r =
+      Tce_core.Class_cache.access t.cc t.cl ~classid ~line ~pos ~value_classid
+    in
+    if not r.hit then begin
+      let addr = Tce_core.Class_list.entry_addr t.cl ~classid ~line in
+      let fin = daccess t ~start:t.cycle addr in
+      t.cycle <- fin + t.cfg.class_cache_miss_penalty - t.cfg.l1_load_latency;
+      t.slots <- 0
+    end;
+    if r.exn_raised then raise (Cc_exception r.functions_to_deopt)
+  end
+
+and handle_cc_exception t host f regs fregs deopt_id fns result next pc =
+  if t.measuring then
+    t.counters.cc_exception_deopts <- t.counters.cc_exception_deopts + 1;
+  host.on_cc_exception fns;
+  if host.is_invalidated f.opt_id then
+    (* the running function speculated on the broken slot: OSR out now
+       (the store has completed; state is consistent, paper §4.2.2) *)
+    result := Some (do_deopt t host f regs fregs deopt_id ~result:None)
+  else pc := next

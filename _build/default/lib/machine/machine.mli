@@ -1,0 +1,65 @@
+(** Cycle-level execution of optimized (LIR) code: 4-wide in-order-dispatch /
+    out-of-order-completion scoreboard with a bounded window, load/store
+    ports, L1I/L1D/L2, D/I-TLBs, branch prediction, MSHR fill merging, and
+    the Class Cache — parameters from {!Config} (the paper's Table 2).
+    A research-grade MARSS substitute (DESIGN.md §2). *)
+
+exception Trap of string
+
+(** Callbacks into the engine (tier driver). *)
+type host = {
+  call_fn : int -> Tce_vm.Value.t array -> Tce_vm.Value.t;
+      (** call guest function [fn_id] with [this :: args] *)
+  resume :
+    opt_id:int -> bc_pc:int -> regs:Tce_vm.Value.t array ->
+    result:(int * Tce_vm.Value.t) option -> Tce_vm.Value.t;
+      (** deoptimization: resume the interpreter on the code's (shadow)
+          bytecode *)
+  rt_call :
+    Tce_jit.Lir.rt -> Tce_vm.Value.t array -> float array ->
+    Tce_vm.Value.t * float;
+  on_cc_exception : int list -> unit;
+      (** misspeculation exception: invalidate these opt_ids *)
+  on_deopt : int -> unit;  (** a check failed in this opt_id *)
+  is_invalidated : int -> bool;
+}
+
+type t = {
+  cfg : Config.t;
+  heap : Tce_vm.Heap.t;
+  cc : Tce_core.Class_cache.t;
+  cl : Tce_core.Class_list.t;
+  oracle : Tce_core.Oracle.t;
+  counters : Counters.t;
+  l1d : Cache.t;
+  l1i : Cache.t;
+  l2 : Cache.t;
+  dtlb : Tlb.t;
+  itlb : Tlb.t;
+  bp : Branch.t;
+  mechanism : bool;
+  mutable cycle : int;  (** monotonic dispatch clock *)
+  mutable slots : int;
+  mutable load_slots : int;
+  mutable store_slots : int;
+  window : int Queue.t;
+  store_q : int Queue.t;
+  mutable last_iline : int;
+  fills : (int, int) Hashtbl.t;  (** in-flight line fills (MSHR merging) *)
+  mutable measuring : bool;
+  mutable reg_classid : int;  (** regObjectClassId (paper §4.2.1.2) *)
+  reg_classid_arr : int array;  (** regArrayObjectClassId 0-3 *)
+}
+
+val create :
+  ?cfg:Config.t -> ?mechanism:bool -> heap:Tce_vm.Heap.t ->
+  cc:Tce_core.Class_cache.t -> cl:Tce_core.Class_list.t ->
+  oracle:Tce_core.Oracle.t -> counters:Counters.t -> unit -> t
+
+(** Model a fresh allocation as nursery-resident (DESIGN.md §5b): insert its
+    lines into the D-caches without cost. *)
+val prefill : t -> addr:int -> bytes:int -> unit
+
+(** Execute optimized code on [this :: params], returning the function
+    result (possibly produced by a deoptimized continuation). *)
+val run : t -> host -> Tce_jit.Lir.func -> Tce_vm.Value.t array -> Tce_vm.Value.t

@@ -1,0 +1,55 @@
+(** Fully-associative TLB timing model (LRU over 4 KB pages). *)
+
+type stats = { mutable accesses : int; mutable hits : int; mutable misses : int }
+
+type t = {
+  entries : int;
+  pages : int array;
+  lru : int array;
+  mutable clock : int;
+  stats : stats;
+}
+
+let page_bits = 12
+
+let create ~entries =
+  {
+    entries;
+    pages = Array.make entries (-1);
+    lru = Array.make entries 0;
+    clock = 0;
+    stats = { accesses = 0; hits = 0; misses = 0 };
+  }
+
+let access t addr =
+  let page = addr lsr page_bits in
+  t.clock <- t.clock + 1;
+  t.stats.accesses <- t.stats.accesses + 1;
+  let hit = ref false in
+  for i = 0 to t.entries - 1 do
+    if t.pages.(i) = page then begin
+      hit := true;
+      t.lru.(i) <- t.clock
+    end
+  done;
+  if !hit then t.stats.hits <- t.stats.hits + 1
+  else begin
+    t.stats.misses <- t.stats.misses + 1;
+    let victim = ref 0 in
+    for i = 0 to t.entries - 1 do
+      if t.pages.(i) = -1 then victim := i
+      else if t.pages.(!victim) <> -1 && t.lru.(i) < t.lru.(!victim) then victim := i
+    done;
+    t.pages.(!victim) <- page;
+    t.lru.(!victim) <- t.clock
+  end;
+  !hit
+
+let hit_rate t =
+  if t.stats.accesses = 0 then 1.0
+  else float_of_int t.stats.hits /. float_of_int t.stats.accesses
+
+let reset_stats t =
+  t.stats.accesses <- 0;
+  t.stats.hits <- 0;
+  t.stats.misses <- 0

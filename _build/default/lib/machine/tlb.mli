@@ -1,0 +1,17 @@
+(** Fully-associative TLB timing model (LRU over 4 KB pages). *)
+
+type stats = { mutable accesses : int; mutable hits : int; mutable misses : int }
+
+type t = private {
+  entries : int;
+  pages : int array;
+  lru : int array;
+  mutable clock : int;
+  stats : stats;
+}
+
+val page_bits : int
+val create : entries:int -> t
+val access : t -> int -> bool
+val hit_rate : t -> float
+val reset_stats : t -> unit

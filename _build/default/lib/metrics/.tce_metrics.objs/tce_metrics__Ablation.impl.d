@@ -1,0 +1,1 @@
+lib/metrics/ablation.ml: Array Harness List Option Printf Stats Table Tce_core Tce_engine Tce_jit Tce_machine Tce_support Tce_workloads

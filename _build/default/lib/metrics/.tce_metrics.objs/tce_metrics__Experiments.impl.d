@@ -1,0 +1,1 @@
+lib/metrics/experiments.ml: Array Filename Float Fmt Harness List Printf Stats Table Tce_core Tce_engine Tce_machine Tce_support Tce_workloads Unix Workload Workloads

@@ -1,0 +1,1 @@
+lib/metrics/harness.ml: Array Printf Tce_core Tce_engine Tce_machine Tce_vm Tce_workloads Workload

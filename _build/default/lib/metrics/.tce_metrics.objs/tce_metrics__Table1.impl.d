@@ -1,0 +1,1 @@
+lib/metrics/table1.ml: Fmt Hashtbl List Printf String Tce_core Tce_engine Tce_jit Tce_vm

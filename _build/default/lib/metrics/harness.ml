@@ -1,0 +1,187 @@
+(** Steady-state measurement harness (paper §5: "executing the benchmark ten
+    times and taking statistics from the tenth iteration").
+
+    Protocol: run the program's top level (setup), call [bench()]
+    [iterations - 1] times as warm-up (tier-up and Class List profiling
+    happen here), then reset all counters and measure a single call. *)
+
+open Tce_workloads
+module E = Tce_engine.Engine
+module M = Tce_machine.Machine
+module Counters = Tce_machine.Counters
+
+type result = {
+  workload : Workload.t;
+  mechanism : bool;
+  checksum : string;  (** display string of the measured bench() result *)
+  (* whole-run measurement (setup + all iterations: includes the baseline
+     tier, compilations and deopt transients — the paper's "whole
+     application") *)
+  whole_cycles : float;
+  whole_instrs : int;
+  whole_guards : int;
+  whole_by_cat : int array;
+  by_cat : int array;  (** optimized-tier instructions per category *)
+  opt_instrs : int;
+  baseline_instrs : int;
+  guards_obj_load : int;
+  opt_cycles : int;
+  baseline_cycles : float;
+  total_cycles : float;
+  opt_loads : int;
+  opt_stores : int;
+  opt_branches : int;
+  opt_fp : int;
+  deopts : int;
+  cc_exceptions : int;
+  cc_accesses : int;
+  cc_hit_rate : float;
+  l1d_hit_rate : float;
+  l2_hit_rate : float;
+  dtlb_hit_rate : float;
+  energy_nj : float;
+  energy_dynamic_nj : float;
+  energy_leakage_nj : float;
+  fig3 : int * int * int * int;
+      (** dynamic object-load accesses: (mono prop, mono elem, poly prop,
+          poly elem) against the full-run oracle *)
+  obj_loads_total : int;
+  obj_loads_first_line : int;
+  hidden_classes : int;
+  heap_object_bytes : int;
+  heap_header_extra_bytes : int;
+  multi_line_objects : int;
+  objects_allocated : int;
+}
+
+let energy_of t ~total_cycles =
+  let c = t.E.counters in
+  let m = t.E.mach in
+  let opt = Counters.opt_instrs c in
+  let base = c.Counters.baseline_instrs in
+  let fbase = float_of_int base in
+  let alu =
+    max 0
+      (opt - c.Counters.opt_loads - c.Counters.opt_stores
+     - c.Counters.opt_branches - c.Counters.opt_fp)
+  in
+  let ev =
+    {
+      Tce_machine.Energy.instrs = opt + base;
+      alu_ops = alu + int_of_float (fbase *. 0.5);
+      fp_ops = c.Counters.opt_fp;
+      branches = c.Counters.opt_branches + int_of_float (fbase *. 0.15);
+      l1_accesses =
+        m.M.l1d.Tce_machine.Cache.stats.accesses
+        + m.M.l1i.Tce_machine.Cache.stats.accesses
+        + int_of_float (fbase *. 0.35);
+      l2_accesses = m.M.l2.Tce_machine.Cache.stats.accesses;
+      mem_accesses = m.M.l2.Tce_machine.Cache.stats.misses;
+      cc_accesses = t.E.cc.Tce_core.Class_cache.stats.accesses;
+      cycles = total_cycles;
+    }
+  in
+  Tce_machine.Energy.compute ev
+
+(** Whole-run measurement: counters on from the first instruction. *)
+let run_whole ~config (w : Workload.t) =
+  let t = E.of_source ~config w.Workload.source in
+  E.set_measuring t true;
+  ignore (E.run_main t);
+  for _ = 1 to w.Workload.iterations do
+    ignore (E.call_by_name t "bench" [||])
+  done;
+  let c = t.E.counters in
+  let cycles = float_of_int (E.opt_cycles t) +. E.baseline_cycles t in
+  (cycles, Counters.total_instrs c, c.Counters.guards_obj_load,
+   Array.copy c.Counters.by_cat, c.Counters.baseline_instrs)
+
+(** Run one workload under one engine configuration. *)
+let run ?(config = E.default_config) (w : Workload.t) : result =
+  let whole_cycles, whole_instrs, whole_guards, whole_by_cat, _ =
+    run_whole ~config w
+  in
+  let t = E.of_source ~config w.Workload.source in
+  E.set_measuring t false;
+  ignore (E.run_main t);
+  for _ = 1 to w.Workload.iterations - 1 do
+    ignore (E.call_by_name t "bench" [||])
+  done;
+  E.reset_measurement t;
+  let cycles0 = E.opt_cycles t in
+  E.set_measuring t true;
+  let v = E.call_by_name t "bench" [||] in
+  E.set_measuring t false;
+  let checksum = Tce_vm.Heap.to_display_string t.E.heap v in
+  let c = t.E.counters in
+  let opt_cycles = E.opt_cycles t - cycles0 in
+  let baseline_cycles = E.baseline_cycles t in
+  let total_cycles = float_of_int opt_cycles +. baseline_cycles in
+  let energy = energy_of t ~total_cycles in
+  let mono_p, mono_e, poly_p, poly_e = Counters.classify_obj_loads c t.E.oracle in
+  let hs = t.E.heap.Tce_vm.Heap.stats in
+  {
+    workload = w;
+    mechanism = config.E.mechanism;
+    checksum;
+    whole_cycles;
+    whole_instrs;
+    whole_guards;
+    whole_by_cat;
+    by_cat = Array.copy c.Counters.by_cat;
+    opt_instrs = Counters.opt_instrs c;
+    baseline_instrs = c.Counters.baseline_instrs;
+    guards_obj_load = c.Counters.guards_obj_load;
+    opt_cycles;
+    baseline_cycles;
+    total_cycles;
+    opt_loads = c.Counters.opt_loads;
+    opt_stores = c.Counters.opt_stores;
+    opt_branches = c.Counters.opt_branches;
+    opt_fp = c.Counters.opt_fp;
+    deopts = c.Counters.deopts;
+    cc_exceptions = c.Counters.cc_exception_deopts;
+    cc_accesses = t.E.cc.Tce_core.Class_cache.stats.accesses;
+    cc_hit_rate = Tce_core.Class_cache.hit_rate t.E.cc;
+    l1d_hit_rate = Tce_machine.Cache.hit_rate t.E.mach.M.l1d;
+    l2_hit_rate = Tce_machine.Cache.hit_rate t.E.mach.M.l2;
+    dtlb_hit_rate = Tce_machine.Tlb.hit_rate t.E.mach.M.dtlb;
+    energy_nj = energy.Tce_machine.Energy.total_nj;
+    energy_dynamic_nj = energy.Tce_machine.Energy.dynamic_nj;
+    energy_leakage_nj = energy.Tce_machine.Energy.leakage_nj;
+    fig3 = (mono_p, mono_e, poly_p, poly_e);
+    obj_loads_total = c.Counters.obj_loads_total;
+    obj_loads_first_line = c.Counters.obj_loads_first_line;
+    hidden_classes =
+      Tce_vm.Hidden_class.Registry.class_count t.E.heap.Tce_vm.Heap.reg;
+    heap_object_bytes = hs.Tce_vm.Heap.object_bytes;
+    heap_header_extra_bytes = hs.Tce_vm.Heap.header_extra_bytes;
+    multi_line_objects = hs.Tce_vm.Heap.multi_line_objects;
+    objects_allocated = hs.Tce_vm.Heap.objects_allocated;
+  }
+
+(** Run mechanism-off and mechanism-on and check that the checksums agree
+    (differential correctness is part of every experiment). *)
+let run_pair ?(config = E.default_config) (w : Workload.t) : result * result =
+  let off = run ~config:{ config with E.mechanism = false } w in
+  let on = run ~config:{ config with E.mechanism = true } w in
+  if off.checksum <> on.checksum then
+    failwith
+      (Printf.sprintf "%s: checksum mismatch (off=%s on=%s)" w.Workload.name
+         off.checksum on.checksum);
+  (off, on)
+
+(** Pure-interpreter checksum (ground truth for differential tests). *)
+let interp_checksum ?(config = E.default_config) (w : Workload.t) : string =
+  let t = E.of_source ~config:{ config with E.jit = false } w.Workload.source in
+  E.set_measuring t false;
+  ignore (E.run_main t);
+  let v = ref t.E.heap.Tce_vm.Heap.null_v in
+  for _ = 1 to w.Workload.iterations do
+    v := E.call_by_name t "bench" [||]
+  done;
+  Tce_vm.Heap.to_display_string t.E.heap !v
+
+(** Checksum of the measured (last) iteration in full-JIT mode. *)
+let jit_checksum ?(config = E.default_config) ~mechanism (w : Workload.t) : string =
+  (run ~config:{ config with E.mechanism } w).checksum

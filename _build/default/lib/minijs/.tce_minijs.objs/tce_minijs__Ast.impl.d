@@ -1,0 +1,1 @@
+lib/minijs/ast.pp.ml: List Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/minijs/lexer.pp.ml: Ast Buffer Fmt List Printf String

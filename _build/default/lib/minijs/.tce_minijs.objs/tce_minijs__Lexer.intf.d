@@ -1,0 +1,1 @@
+lib/minijs/lexer.pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/minijs/parser.pp.ml: Array Ast Fmt Lexer List String

@@ -1,0 +1,1 @@
+lib/minijs/parser.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/minijs/printer.pp.ml: Ast Buffer Fmt List Printf String

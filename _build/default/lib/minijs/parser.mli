@@ -1,0 +1,10 @@
+(** Recursive-descent parser for MiniJS with precedence climbing. Compound
+    assignments ([x += e], [o.p++], …) are desugared at parse time. *)
+
+exception Error of string * Ast.pos
+
+(** Parse a full program. @raise Error with a source position. *)
+val parse : string -> Ast.program
+
+(** Parse a single expression (tests). *)
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,1 @@
+lib/support/bytemap.mli: Format

@@ -1,0 +1,1 @@
+lib/support/table.ml: Array Buffer Float List Printf String

@@ -1,0 +1,45 @@
+(** 8-bit bitmaps, as used by the Class List's InitMap / ValidMap /
+    SpeculateMap fields (paper §4.2.1.1). Bit [i] corresponds to property
+    slot [i] of a cache line; only bits 0..7 are meaningful. *)
+
+type t = int
+
+let empty : t = 0
+
+let full : t = 0xff
+
+let of_int i : t =
+  if i < 0 || i > 0xff then invalid_arg "Bytemap.of_int: out of range";
+  i
+
+let to_int (t : t) = t
+
+let check_bit i = if i < 0 || i > 7 then invalid_arg "Bytemap: bit out of range"
+
+let get (t : t) i =
+  check_bit i;
+  t land (1 lsl i) <> 0
+
+let set (t : t) i =
+  check_bit i;
+  t lor (1 lsl i)
+
+let clear (t : t) i =
+  check_bit i;
+  t land lnot (1 lsl i)
+
+let popcount (t : t) =
+  let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
+  go 0 t
+
+let fold f init (t : t) =
+  let acc = ref init in
+  for i = 0 to 7 do
+    if get t i then acc := f !acc i
+  done;
+  !acc
+
+let to_bits (t : t) =
+  String.init 8 (fun i -> if get t (7 - i) then '1' else '0')
+
+let pp ppf t = Fmt.string ppf (to_bits t)

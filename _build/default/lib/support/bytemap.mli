@@ -1,0 +1,23 @@
+(** 8-bit bitmaps — the representation of the Class List's InitMap /
+    ValidMap / SpeculateMap fields (paper §4.2.1.1). Bits are indexed 0..7;
+    out-of-range indexes raise [Invalid_argument]. *)
+
+type t = private int
+
+val empty : t
+val full : t
+
+(** @raise Invalid_argument outside 0..255. *)
+val of_int : int -> t
+
+val to_int : t -> int
+val get : t -> int -> bool
+val set : t -> int -> t
+val clear : t -> int -> t
+val popcount : t -> int
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** MSB-first, e.g. ["01111111"] like the paper's Table 1. *)
+val to_bits : t -> string
+
+val pp : Format.formatter -> t -> unit

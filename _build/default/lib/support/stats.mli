@@ -1,0 +1,27 @@
+(** Statistics helpers for the metrics layer. *)
+
+val mean : float list -> float
+
+(** Geometric mean of the positive values (non-positive entries skipped). *)
+val geomean : float list -> float
+
+val min_max : float list -> float * float
+
+(** [100 * num / den] (0 when [den] is 0). *)
+val percent : int -> int -> float
+
+val percent_f : float -> float -> float
+
+(** The paper's "improvement in number of cycles":
+    [(base - opt) / base * 100]. *)
+val improvement : base:float -> opt:float -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary

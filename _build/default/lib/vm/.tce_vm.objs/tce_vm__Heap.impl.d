@@ -1,0 +1,1 @@
+lib/vm/heap.ml: Array Fbits Float Fmt Hashtbl Hidden_class Layout List Mem Printf String Value

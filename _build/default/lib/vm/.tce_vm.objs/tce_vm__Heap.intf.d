@@ -1,0 +1,1 @@
+lib/vm/heap.mli: Hashtbl Hidden_class Mem Value

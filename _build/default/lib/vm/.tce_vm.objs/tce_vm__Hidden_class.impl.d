@@ -1,0 +1,1 @@
+lib/vm/hidden_class.ml: Array Fmt Hashtbl Layout List Mem Printf

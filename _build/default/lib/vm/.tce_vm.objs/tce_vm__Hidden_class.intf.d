@@ -1,0 +1,1 @@
+lib/vm/hidden_class.mli: Format Hashtbl Mem

@@ -1,0 +1,10 @@
+(** Double payloads as single 63-bit simulated-memory words: bits 63..1 of
+    the IEEE-754 representation (one mantissa bit dropped). Every double in
+    the system goes through this canonicalization, so the interpreter and
+    the optimized tier compute over identical values. *)
+
+val of_float : float -> int
+val to_float : int -> float
+
+(** [to_float (of_float f)] — idempotent. *)
+val canon : float -> float

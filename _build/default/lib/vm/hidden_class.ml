@@ -1,0 +1,182 @@
+(** Hidden classes (V8 "maps", paper §3.1): immutable descriptors of object
+    shape. Adding a named property to an object transitions it to another
+    hidden class that extends the old one; transitions are memoized so that
+    objects constructed the same way share a class.
+
+    Arrays get one hidden class per *elements kind* (packed SMI / double /
+    tagged), mirroring V8: storing an incompatible element transitions the
+    array's class. This is what makes the Class List's per-class elements
+    profile meaningful. *)
+
+type elements_kind = E_smi | E_double | E_tagged
+
+let pp_elements_kind ppf = function
+  | E_smi -> Fmt.string ppf "smi"
+  | E_double -> Fmt.string ppf "double"
+  | E_tagged -> Fmt.string ppf "tagged"
+
+type kind =
+  | K_object
+  | K_array of elements_kind
+  | K_number  (** boxed double (heap number) *)
+  | K_string
+  | K_boolean  (** oddball class shared by [true] and [false] *)
+  | K_null  (** oddball class of [null] *)
+  | K_fixed_array  (** elements backing store *)
+
+type t = {
+  id : int;  (** ClassID: consecutive small integer, 0..0xfe (paper §4.2.1.1) *)
+  desc_addr : int;  (** simulated address of the class descriptor *)
+  kind : kind;
+  name : string;  (** debug name: constructor name, "Array[smi]", ... *)
+  prop_names : string array;  (** named properties in addition order *)
+  prop_index : (string, int) Hashtbl.t;  (** name -> ordinal *)
+  parent_id : int option;  (** the class this one transitioned from *)
+  mutable transitions : (string * t) list;  (** property-addition transitions *)
+}
+
+let num_props c = Array.length c.prop_names
+
+(** Word index of named property [name] within objects of this class. *)
+let slot_of_prop c name =
+  match Hashtbl.find_opt c.prop_index name with
+  | Some ord -> Some (Layout.slot_of_prop_index ord)
+  | None -> None
+
+let lines c = Layout.lines_for_props (num_props c)
+
+(** The class word stored in the first word of line [line] of an object. *)
+let class_word c ~line =
+  Layout.encode_class_word
+    ~desc_addr:(if line = 0 then c.desc_addr else 0)
+    ~classid:c.id ~line
+
+exception Too_many_classes
+
+module Registry = struct
+  type nonrec cls = t
+
+  type t = {
+    mem : Mem.t;
+    mutable by_id : cls option array;
+    mutable count : int;
+    mutable array_classes : (elements_kind * cls) list;
+    mutable object_root : cls option;
+    mutable number_class : cls option;
+    mutable string_class : cls option;
+    mutable boolean_class : cls option;
+    mutable null_class : cls option;
+    mutable fixed_array_class : cls option;
+  }
+
+  let create mem =
+    {
+      mem;
+      by_id = Array.make 256 None;
+      count = 0;
+      array_classes = [];
+      object_root = None;
+      number_class = None;
+      string_class = None;
+      boolean_class = None;
+      null_class = None;
+      fixed_array_class = None;
+    }
+
+  let class_count t = t.count
+
+  let find t id =
+    if id < 0 || id > Layout.max_classid then None else t.by_id.(id)
+
+  let find_exn t id =
+    match find t id with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Registry.find_exn: unknown ClassID %d" id)
+
+  let fresh ?parent_id t ~kind ~name ~prop_names =
+    if t.count > Layout.max_classid then raise Too_many_classes;
+    let id = t.count in
+    t.count <- t.count + 1;
+    (* Descriptor gets a real simulated address so that the 48-bit field of
+       the class word is meaningful and Class List walks touch memory. *)
+    let desc_addr = Mem.allocate t.mem ~bytes:64 ~align:8 in
+    Mem.store t.mem desc_addr id;
+    let prop_index = Hashtbl.create 8 in
+    Array.iteri (fun i n -> Hashtbl.replace prop_index n i) prop_names;
+    let c =
+      { id; desc_addr; kind; name; prop_names; prop_index; parent_id;
+        transitions = [] }
+    in
+    t.by_id.(id) <- Some c;
+    c
+
+  (** Memoized property-addition transition. *)
+  let transition t (c : cls) name =
+    match List.assoc_opt name c.transitions with
+    | Some c' -> c'
+    | None ->
+      if Hashtbl.mem c.prop_index name then
+        invalid_arg (Printf.sprintf "transition: class %s already has %s" c.name name);
+      let prop_names = Array.append c.prop_names [| name |] in
+      let c' =
+        fresh ~parent_id:c.id t ~kind:c.kind ~name:(c.name ^ "+" ^ name)
+          ~prop_names
+      in
+      c.transitions <- (name, c') :: c.transitions;
+      c'
+
+  let array_class t ek =
+    match List.assoc_opt ek t.array_classes with
+    | Some c -> c
+    | None ->
+      let c =
+        fresh t ~kind:(K_array ek)
+          ~name:(Fmt.str "Array[%a]" pp_elements_kind ek)
+          ~prop_names:[||]
+      in
+      t.array_classes <- (ek, c) :: t.array_classes;
+      c
+
+  let memo get set mk t =
+    match get t with
+    | Some c -> c
+    | None ->
+      let c = mk t in
+      set t c;
+      c
+
+  (** Root class of object literals; literals then transition per field. *)
+  let object_root_class =
+    memo (fun t -> t.object_root)
+      (fun t c -> t.object_root <- Some c)
+      (fun t -> fresh t ~kind:K_object ~name:"Object" ~prop_names:[||])
+
+  let number_class =
+    memo (fun t -> t.number_class)
+      (fun t c -> t.number_class <- Some c)
+      (fun t -> fresh t ~kind:K_number ~name:"HeapNumber" ~prop_names:[||])
+
+  let string_class =
+    memo (fun t -> t.string_class)
+      (fun t c -> t.string_class <- Some c)
+      (fun t -> fresh t ~kind:K_string ~name:"String" ~prop_names:[||])
+
+  let boolean_class =
+    memo (fun t -> t.boolean_class)
+      (fun t c -> t.boolean_class <- Some c)
+      (fun t -> fresh t ~kind:K_boolean ~name:"Boolean" ~prop_names:[||])
+
+  let null_class =
+    memo (fun t -> t.null_class)
+      (fun t c -> t.null_class <- Some c)
+      (fun t -> fresh t ~kind:K_null ~name:"Null" ~prop_names:[||])
+
+  let fixed_array_class =
+    memo (fun t -> t.fixed_array_class)
+      (fun t c -> t.fixed_array_class <- Some c)
+      (fun t -> fresh t ~kind:K_fixed_array ~name:"FixedArray" ~prop_names:[||])
+
+  (** All classes created so far, in id order. *)
+  let all t =
+    List.filter_map (fun i -> t.by_id.(i)) (List.init t.count (fun i -> i))
+end

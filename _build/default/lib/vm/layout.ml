@@ -1,0 +1,78 @@
+(** Object layout constants and encodings (paper §3.1, §4.2.1.3).
+
+    Every heap object is 64-byte (cache-line) aligned. Each 64-byte line of an
+    object carries, in the two most significant bytes of its first 8-byte
+    word, the [ClassID] and relative [Line] number, so that the memory unit
+    can recover [(ClassID, Line, slot)] from a store address alone. Line 0's
+    first word additionally holds the 48-bit hidden class descriptor address.
+
+    Line 0 slot map (word indexes within the line):
+    - 0: class word
+    - 1: named property slot (Prop1)
+    - 2: elements array pointer (Prop2 — reserved; the Class List reuses this
+         slot's profile for the type of the objects *inside* the elements
+         array, paper Table 1)
+    - 3: elements length (Prop3 — reserved)
+    - 4-7: named property slots (Prop4-7)
+
+    Lines >= 1: word 0 is the line header, words 1-7 are property slots. *)
+
+let word_size = 8
+let line_bytes = 64
+let words_per_line = 8
+
+(** Properties per line usable for named properties. *)
+let line0_named_slots = [| 1; 4; 5; 6; 7 |]
+
+let elements_ptr_slot = 2
+let elements_len_slot = 3
+
+(** SMI sentinel ClassID (paper: encoded as 11111111). *)
+let smi_classid = 0xff
+
+let max_classid = 0xfe
+let max_line = 0x7f (* 7 bits of line keep the class word within 63 bits *)
+
+(** Word index (from object base) of the [k]-th named property (0-based). *)
+let slot_of_prop_index k =
+  if k < 0 then invalid_arg "slot_of_prop_index";
+  if k < Array.length line0_named_slots then line0_named_slots.(k)
+  else begin
+    let k' = k - Array.length line0_named_slots in
+    let line = 1 + (k' / 7) in
+    let pos = 1 + (k' mod 7) in
+    (line * words_per_line) + pos
+  end
+
+(** [(line, pos)] of a word index within an object. *)
+let line_pos_of_slot slot = (slot / words_per_line, slot mod words_per_line)
+
+(** Number of 64-byte lines needed for [n] named properties. *)
+let lines_for_props n =
+  if n <= Array.length line0_named_slots then 1
+  else 1 + ((n - Array.length line0_named_slots + 6) / 7)
+
+(** Class word encoding: descriptor address in bits 0-47 (line 0 only),
+    ClassID in bits 48-55, Line in bits 56-62. *)
+let encode_class_word ~desc_addr ~classid ~line =
+  if desc_addr land lnot 0xffff_ffff_ffff <> 0 then
+    invalid_arg "encode_class_word: descriptor address exceeds 48 bits";
+  if classid < 0 || classid > smi_classid then invalid_arg "encode_class_word: classid";
+  if line < 0 || line > max_line then invalid_arg "encode_class_word: line";
+  desc_addr lor (classid lsl 48) lor (line lsl 56)
+
+let classid_of_class_word w = (w lsr 48) land 0xff
+let line_of_class_word w = (w lsr 56) land 0x7f
+let desc_addr_of_class_word w = w land 0xffff_ffff_ffff
+
+(** Slot position within a line from a byte address (bits 3-5, paper Fig. 4). *)
+let slot_pos_of_addr addr = (addr lsr 3) land 7
+
+(** Base address of the 64-byte line containing [addr]. *)
+let line_base_of_addr addr = addr land lnot (line_bytes - 1)
+
+(** Elements (fixed) array layout: word 0 = class word, word 1 = capacity,
+    data words from index 2. *)
+let elements_header_words = 2
+
+let elements_data_offset = elements_header_words * word_size

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Buffer Printf Prng Tce_support

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: List Suite_extra Suite_kraken Suite_octane Suite_sunspider Workload

@@ -1,0 +1,665 @@
+(** The rest of the paper's 54-benchmark roster (Figure 1 runs all of them;
+    Figures 2/3/8/9 use only the ">1% check overhead" subset). These model
+    the benchmarks the paper's filter *excluded* — mostly scalar math,
+    string and bitop kernels with little mechanism-relevant object traffic —
+    so their expected speedup is ~0, which is itself part of the shape to
+    reproduce. *)
+
+let octane_code_load =
+  Workload.make ~suite:Workload.Octane ~selected:false "code-load"
+    {|
+// Parser/loader-flavored: string scanning + token counting, dictionary
+// objects created once per "module" (cold code dominates in the original).
+function Module(name, toks) { this.name = name; this.toks = toks; this.loaded = false; }
+var mods = array_new(0);
+var src = "function a(){return 1;} var b = a() + 2; if (b > 1) { b = b - 1; }";
+function scan(s) {
+  var n = str_len(s);
+  var toks = 0;
+  var ident = false;
+  for (var i = 0; i < n; i++) {
+    var c = char_code(s, i);
+    var alpha = (c >= 97 && c <= 122) || (c >= 65 && c <= 90);
+    if (alpha) { if (!ident) { toks++; ident = true; } }
+    else { ident = false; if (c > 40) { toks++; } }
+  }
+  return toks;
+}
+function bench() {
+  mods = array_new(0);
+  var acc = 0;
+  for (var m = 0; m < 30; m++) {
+    var t = scan(src);
+    push(mods, new Module("m", t));
+    acc = (acc + t) & 268435455;
+  }
+  return acc + mods.length;
+}
+|}
+
+let octane_regexp =
+  Workload.make ~suite:Workload.Octane ~selected:false "regexp"
+    {|
+// Regex-engine stand-in: an NFA-ish state machine scanning character codes
+// (no object loads in the hot loop -> below the paper's filter).
+var text = "";
+function setup() {
+  var x = 5;
+  for (var i = 0; i < 40; i++) {
+    x = (x * 131 + 7) % 26;
+    text = text + from_char_code(97 + x);
+  }
+}
+setup();
+function matchRuns(s) {
+  var n = str_len(s);
+  var state = 0;
+  var hits = 0;
+  for (var i = 0; i < n; i++) {
+    var c = char_code(s, i);
+    if (state == 0) { if (c == 97) { state = 1; } }
+    else if (state == 1) {
+      if (c >= 97 && c <= 109) { state = 2; } else { state = 0; }
+    }
+    else { hits++; state = 0; }
+  }
+  return hits;
+}
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 120; r++) { acc = (acc + matchRuns(text)) & 268435455; }
+  return acc;
+}
+|}
+
+let octane_typescript =
+  Workload.make ~suite:Workload.Octane ~selected:false "typescript"
+    {|
+// Compiler-flavored: AST nodes with polymorphic child links (node kinds
+// share no class), recursive visitation — megamorphic sites dominate.
+function BinNode(l, r) { this.kind = 1; this.l = l; this.r = r; }
+function NumNode(v) { this.kind = 0; this.v = v; }
+function mk(depth, salt) {
+  if (depth == 0) { return new NumNode(salt % 13); }
+  return new BinNode(mk(depth - 1, salt * 3 + 1), mk(depth - 1, salt * 5 + 2));
+}
+function evaln(n) {
+  if (n.kind == 0) { return n.v; }
+  return (evaln(n.l) + 2 * evaln(n.r)) & 268435455;
+}
+var ast = mk(9, 1);
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 5; r++) { acc = (acc + evaln(ast)) & 268435455; }
+  return acc;
+}
+|}
+
+let octane_zlib =
+  Workload.make ~suite:Workload.Octane ~selected:false "zlib"
+    {|
+// Deflate-flavored: raw SMI arrays, bit twiddling, LZ-style back references.
+var data = array_new(2048);
+var out = array_new(4096);
+function setup() {
+  var x = 9;
+  for (var i = 0; i < 2048; i++) {
+    x = (x * 75 + 74) % 65537;
+    data[i] = x & 255;
+  }
+}
+setup();
+function compress() {
+  var o = 0;
+  var acc = 0;
+  for (var i = 0; i < 2048; i++) {
+    var b = data[i];
+    if (i > 4 && b == data[i - 4]) {
+      out[o] = 256 | (i & 255);
+    } else {
+      out[o] = b;
+    }
+    acc = (acc + out[o]) & 268435455;
+    o++;
+  }
+  return acc;
+}
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 10; r++) { acc = (acc + compress()) & 268435455; }
+  return acc;
+}
+|}
+
+let ss_3d_morph =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "3d-morph"
+    {|
+// Pure double-array morphing: unboxed elements, no check overhead.
+var pts = array_new(0);
+function setup(n) {
+  for (var i = 0; i < n; i++) { push(pts, 0.0 + i * 0.1); }
+}
+setup(300);
+function bench() {
+  var acc = 0.0;
+  for (var f = 0; f < 12; f++) {
+    var n = pts.length;
+    for (var i = 0; i < n; i++) {
+      pts[i] = pts[i] * 0.5 + sin(f * 0.3 + i * 0.01) * 0.5;
+    }
+    acc = acc + pts[0] + pts[n - 1];
+  }
+  return acc;
+}
+|}
+
+let ss_access_nsieve =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "access-nsieve"
+    {|
+var flags = array_new(8192);
+function nsieve(m) {
+  var count = 0;
+  for (var i = 2; i < m; i++) { flags[i] = 1; }
+  for (var i = 2; i < m; i++) {
+    if (flags[i] == 1) {
+      count++;
+      for (var k = i + i; k < m; k = k + i) { flags[k] = 0; }
+    }
+  }
+  return count;
+}
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 3; r++) { acc = acc + nsieve(8192); }
+  return acc;
+}
+|}
+
+let ss_bitops_3bit =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "bitops-3bit-bits-in-byte"
+    {|
+function fast3bitlookup(b) {
+  var c = 0;
+  var bi3b = 74331728;  // 0x4 32-entry packed table stand-in
+  c = 3 & (bi3b >> ((b << 1) & 14));
+  c = c + (3 & (bi3b >> ((b >> 2) & 14)));
+  c = c + (3 & (bi3b >> ((b >> 5) & 6)));
+  return c;
+}
+function bench() {
+  var acc = 0;
+  for (var x = 0; x < 500; x++) {
+    for (var y = 0; y < 256; y++) { acc = (acc + fast3bitlookup(y)) & 268435455; }
+  }
+  return acc;
+}
+|}
+
+let ss_bitops_bits_in_byte =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "bitops-bits-in-byte"
+    {|
+function bitsinbyte(b) {
+  var m = 1;
+  var c = 0;
+  while (m < 256) {
+    if (b & m) { c++; }
+    m = m << 1;
+  }
+  return c;
+}
+function bench() {
+  var acc = 0;
+  for (var x = 0; x < 80; x++) {
+    for (var y = 0; y < 256; y++) { acc = (acc + bitsinbyte(y)) & 268435455; }
+  }
+  return acc;
+}
+|}
+
+let ss_bitops_bitwise_and =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "bitops-bitwise-and"
+    {|
+function bench() {
+  var v = 1;
+  for (var i = 0; i < 60000; i++) { v = (v + i) & 4294967295; }
+  return v & 268435455;
+}
+|}
+
+let ss_controlflow =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "controlflow-recursive"
+    {|
+function ack(m, n) {
+  if (m == 0) { return n + 1; }
+  if (n == 0) { return ack(m - 1, 1); }
+  return ack(m - 1, ack(m, n - 1));
+}
+function fibr(n) {
+  if (n < 2) { return n; }
+  return fibr(n - 1) + fibr(n - 2);
+}
+function tak(x, y, z) {
+  if (y >= x) { return z; }
+  return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+}
+function bench() {
+  return (ack(2, 4) + fibr(14) + tak(9, 5, 2)) & 268435455;
+}
+|}
+
+let ss_crypto_md5 =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "crypto-md5"
+    {|
+// MD5-flavored mixing over raw word arrays.
+var words = array_new(64);
+function setup() {
+  var x = 3;
+  for (var i = 0; i < 64; i++) {
+    x = (x * 69069 + 1) % 1048576;
+    words[i] = x;
+  }
+}
+setup();
+function ff(a, b, c, d, x, s) {
+  var t = (a + ((b & c) | ((b ^ 1048575) & d)) + x) & 1048575;
+  return (((t << s) | (t >> (20 - s))) + b) & 1048575;
+}
+function bench() {
+  var a = 66052; var b = 588820; var c = 1016340; var d = 301596;
+  var acc = 0;
+  for (var r = 0; r < 160; r++) {
+    for (var i = 0; i < 16; i++) {
+      a = ff(a, b, c, d, words[(r + i) & 63], (i & 3) * 4 + 3);
+      var t = d; d = c; c = b; b = a; a = t;
+    }
+    acc = (acc + a + b) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let ss_crypto_sha1 =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "crypto-sha1"
+    {|
+var w = array_new(80);
+function setup() {
+  var x = 11;
+  for (var i = 0; i < 80; i++) {
+    x = (x * 75 + 74) % 65537;
+    w[i] = x & 65535;
+  }
+}
+setup();
+function rol(v, s) { return ((v << s) | (v >> (20 - s))) & 1048575; }
+function bench() {
+  var a = 83951; var b = 52992; var c = 254155; var d = 331064; var e = 955123;
+  var acc = 0;
+  for (var r = 0; r < 120; r++) {
+    for (var i = 0; i < 20; i++) {
+      var f = (b & c) | ((b ^ 1048575) & d);
+      var t = (rol(a, 5) + f + e + w[(r + i) & 79]) & 1048575;
+      e = d; d = c; c = rol(b, 14); b = a; a = t;
+    }
+    acc = (acc + a + e) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let ss_date_xparb =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "date-format-xparb"
+    {|
+// Date parsing/formatting with string building.
+function pad(v, len) {
+  var s = "" + v;
+  while (str_len(s) < len) { s = "0" + s; }
+  return s;
+}
+function bench() {
+  var acc = 0;
+  for (var i = 0; i < 150; i++) {
+    var y = 1900 + (i % 200);
+    var mo = 1 + (i % 12);
+    var dd = 1 + (i % 28);
+    var s = pad(y, 4) + "/" + pad(mo, 2) + "/" + pad(dd, 2);
+    acc = (acc + str_len(s) + char_code(s, 5)) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let ss_math_partial_sums =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "math-partial-sums"
+    {|
+function bench() {
+  var a1 = 0.0; var a2 = 0.0; var a3 = 0.0;
+  var twothirds = 2.0 / 3.0;
+  var alt = 1.0;
+  for (var k = 1; k <= 2048; k++) {
+    var k2 = k * k * 1.0;
+    var sk = sin(k * 1.0);
+    a1 = a1 + pow(twothirds, k - 1.0);
+    a2 = a2 + 1.0 / (k2 * 1.0);
+    a3 = a3 + alt / k;
+    alt = 0.0 - alt;
+  }
+  return a1 + a2 + a3;
+}
+|}
+
+let ss_regexp_dna =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "regexp-dna"
+    {|
+var dna = "";
+function setup() {
+  var x = 17;
+  for (var i = 0; i < 600; i++) {
+    x = (x * 131 + 7) % 4;
+    if (x == 0) { dna = dna + "a"; }
+    else if (x == 1) { dna = dna + "c"; }
+    else if (x == 2) { dna = dna + "g"; }
+    else { dna = dna + "t"; }
+  }
+}
+setup();
+function countPattern(p0, p1, p2) {
+  var n = str_len(dna);
+  var hits = 0;
+  for (var i = 0; i + 2 < n; i++) {
+    if (char_code(dna, i) == p0 && char_code(dna, i + 1) == p1
+        && char_code(dna, i + 2) == p2) { hits++; }
+  }
+  return hits;
+}
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 15; r++) {
+    acc = (acc + countPattern(97, 99, 103) + countPattern(103, 103, 116)) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let ss_string_base64 =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "string-base64"
+    {|
+var alpha = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+var input = array_new(0);
+function setup() {
+  var x = 23;
+  for (var i = 0; i < 600; i++) {
+    x = (x * 171 + 11) % 256;
+    push(input, x);
+  }
+}
+setup();
+function encode() {
+  var outLen = 0;
+  var acc = 0;
+  for (var i = 0; i + 2 < input.length; i = i + 3) {
+    var n = (input[i] << 16) | (input[i + 1] << 8) | input[i + 2];
+    acc = (acc + char_code(alpha, (n >> 18) & 63) + char_code(alpha, (n >> 12) & 63)
+           + char_code(alpha, (n >> 6) & 63) + char_code(alpha, n & 63)) & 268435455;
+    outLen = outLen + 4;
+  }
+  return acc + outLen;
+}
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 12; r++) { acc = (acc + encode()) & 268435455; }
+  return acc;
+}
+|}
+
+let ss_string_fasta =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "string-fasta"
+    {|
+var codes = array_new(0);
+var freqs = array_new(0);
+function setup() {
+  push(codes, 97); push(codes, 99); push(codes, 103); push(codes, 116);
+  push(freqs, 30); push(freqs, 20); push(freqs, 25); push(freqs, 25);
+}
+setup();
+function bench() {
+  var x = 42;
+  var acc = 0;
+  for (var i = 0; i < 12000; i++) {
+    x = (x * 3877 + 29573) % 139968;
+    var p = (x * 100 / 139968) | 0;
+    var cum = 0;
+    for (var k = 0; k < 4; k++) {
+      cum = cum + freqs[k];
+      if (p < cum) { acc = (acc + codes[k]) & 268435455; k = 4; }
+    }
+  }
+  return acc;
+}
+|}
+
+let ss_string_validate =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "string-validate-input"
+    {|
+var names = array_new(0);
+function setup() {
+  var x = 31;
+  for (var i = 0; i < 60; i++) {
+    var s = "";
+    var len = 3 + (i % 8);
+    for (var k = 0; k < len; k++) {
+      x = (x * 131 + 7) % 26;
+      s = s + from_char_code(97 + x);
+    }
+    push(names, s);
+  }
+}
+setup();
+function valid(s) {
+  var n = str_len(s);
+  if (n < 3) { return 0; }
+  for (var i = 0; i < n; i++) {
+    var c = char_code(s, i);
+    if (c < 97 || c > 122) { return 0; }
+  }
+  return 1;
+}
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 60; r++) {
+    var n = names.length;
+    for (var i = 0; i < n; i++) { acc = (acc + valid(names[i])) & 268435455; }
+  }
+  return acc;
+}
+|}
+
+let kr_audio_fft =
+  Workload.make ~suite:Workload.Kraken ~selected:false "audio-fft"
+    {|
+// Radix-2 FFT over raw double arrays (unboxed elements: no checks left).
+var re = array_new(0);
+var im = array_new(0);
+var size = 256;
+function setup() {
+  for (var i = 0; i < size; i++) {
+    push(re, sin(i * 0.91) + 0.0001);
+    push(im, 0.0);
+  }
+}
+setup();
+function fft() {
+  // bit-reverse permute
+  var j = 0;
+  for (var i = 0; i < size - 1; i++) {
+    if (i < j) {
+      var tr = re[i]; re[i] = re[j]; re[j] = tr;
+      var ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    var k = size >> 1;
+    while (k <= j) { j = j - k; k = k >> 1; }
+    j = j + k;
+  }
+  for (var len = 2; len <= size; len = len << 1) {
+    var ang = 6.283185307179586 / len;
+    var wr = cos(ang);
+    var wi = sin(ang);
+    for (var i = 0; i < size; i = i + len) {
+      var cr = 1.0; var ci = 0.0;
+      for (var k = 0; k < (len >> 1); k++) {
+        var a = i + k;
+        var b = i + k + (len >> 1);
+        var xr = re[b] * cr - im[b] * ci;
+        var xi = re[b] * ci + im[b] * cr;
+        re[b] = re[a] - xr; im[b] = im[a] - xi;
+        re[a] = re[a] + xr; im[a] = im[a] + xi;
+        var ncr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = ncr;
+      }
+    }
+  }
+  return re[1] + im[1];
+}
+function bench() {
+  var acc = 0.0;
+  for (var r = 0; r < 2; r++) { acc = acc + fft(); }
+  return acc;
+}
+|}
+
+let kr_imaging_darkroom =
+  Workload.make ~suite:Workload.Kraken ~selected:false "imaging-darkroom"
+    {|
+// Photo adjustments: SMI pixel arrays, per-pixel integer math with LUTs.
+var pix = array_new(4096);
+var lut = array_new(256);
+function setup() {
+  var x = 7;
+  for (var i = 0; i < 4096; i++) { x = (x * 171 + 11) % 256; pix[i] = x; }
+  for (var v = 0; v < 256; v++) {
+    var adj = ((v * 9) / 10) | 0;
+    lut[v] = adj > 255 ? 255 : adj;
+  }
+}
+setup();
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 6; r++) {
+    for (var i = 0; i < 4096; i++) {
+      var v = lut[pix[i]];
+      acc = (acc + v) & 268435455;
+    }
+  }
+  return acc;
+}
+|}
+
+let kr_imaging_desaturate =
+  Workload.make ~suite:Workload.Kraken ~selected:false "imaging-desaturate"
+    {|
+var rgb = array_new(3072);
+function setup() {
+  var x = 13;
+  for (var i = 0; i < 3072; i++) { x = (x * 75 + 74) % 256; rgb[i] = x; }
+}
+setup();
+function bench() {
+  var acc = 0;
+  for (var rep = 0; rep < 8; rep++) {
+    for (var i = 0; i + 2 < 3072; i = i + 3) {
+      var grey = ((rgb[i] * 30 + rgb[i + 1] * 59 + rgb[i + 2] * 11) / 100) | 0;
+      acc = (acc + grey) & 268435455;
+    }
+  }
+  return acc;
+}
+|}
+
+let kr_json_parse =
+  Workload.make ~suite:Workload.Kraken ~selected:false "json-parse-financial"
+    {|
+// JSON-parse-flavored: character scanning building record objects.
+function Rec(id, price, qty) { this.id = id; this.price = price; this.qty = qty; }
+var doc = "";
+function setup() {
+  var x = 3;
+  for (var i = 0; i < 40; i++) {
+    x = (x * 131 + 7) % 90;
+    doc = doc + "{" + i + ":" + x + "}";
+  }
+}
+setup();
+function parse() {
+  var recs = array_new(0);
+  var n = str_len(doc);
+  var cur = 0;
+  var acc = 0;
+  for (var i = 0; i < n; i++) {
+    var c = char_code(doc, i);
+    if (c >= 48 && c <= 57) { cur = cur * 10 + (c - 48); }
+    else {
+      if (cur > 0) { push(recs, new Rec(recs.length, cur, cur % 7)); }
+      cur = 0;
+    }
+  }
+  var m = recs.length;
+  for (var i = 0; i < m; i++) {
+    var r = recs[i];
+    acc = (acc + r.price * r.qty) & 268435455;
+  }
+  return acc;
+}
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 8; r++) { acc = (acc + parse()) & 268435455; }
+  return acc;
+}
+|}
+
+let kr_json_stringify =
+  Workload.make ~suite:Workload.Kraken ~selected:false "json-stringify-tinderbox"
+    {|
+function Entry(name, ok, t) { this.name = name; this.ok = ok; this.t = t; }
+var entries = array_new(0);
+function setup() {
+  for (var i = 0; i < 50; i++) {
+    push(entries, new Entry("build" + i, i % 3 != 0, i * 17));
+  }
+}
+setup();
+function stringify() {
+  var s = "[";
+  var n = entries.length;
+  for (var i = 0; i < n; i++) {
+    var e = entries[i];
+    s = s + "{\"name\":\"" + e.name + "\",\"ok\":" + (e.ok ? "true" : "false")
+        + ",\"t\":" + e.t + "}";
+    if (i + 1 < n) { s = s + ","; }
+  }
+  return s + "]";
+}
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 6; r++) {
+    var s = stringify();
+    acc = (acc + str_len(s) + char_code(s, 10)) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let octane = [ octane_code_load; octane_regexp; octane_typescript; octane_zlib ]
+
+let sunspider =
+  [
+    ss_3d_morph; ss_access_nsieve; ss_bitops_3bit; ss_bitops_bits_in_byte;
+    ss_bitops_bitwise_and; ss_controlflow; ss_crypto_md5; ss_crypto_sha1;
+    ss_date_xparb; ss_math_partial_sums; ss_regexp_dna; ss_string_base64;
+    ss_string_fasta; ss_string_validate;
+  ]
+
+let kraken =
+  [ kr_audio_fft; kr_imaging_darkroom; kr_imaging_desaturate; kr_json_parse;
+    kr_json_stringify ]
+
+let all = octane @ sunspider @ kraken

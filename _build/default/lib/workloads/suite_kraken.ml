@@ -1,0 +1,496 @@
+(** Kraken-modeled workloads. [ai-astar] is the paper's flagship: a loop of
+    object property accesses whose receivers come from monomorphic elements
+    arrays — the Class Cache removes nearly every Check Map on it (34% in
+    the paper). *)
+
+let ai_astar =
+  Workload.make ~suite:Workload.Kraken ~selected:true "ai-astar"
+    {|
+// A* over a grid graph: Node objects inside a Graph wrapper's elements
+// array (the paper's NodeList pattern), smi cost fields, heavy chained
+// property loads per relaxation.
+function Node(idx, x, y, wall) {
+  this.idx = idx;
+  this.x = x;
+  this.y = y;
+  this.wall = wall;
+  this.g = 0;
+  this.h = 0;
+  this.f = 0;
+  this.parent = 0 - 1;
+  this.visited = 0;
+}
+function Graph(w, h) {
+  this.w = w;
+  this.h = h;
+  this.nodes = array_new(0);
+}
+function buildGraph(gr) {
+  var w = gr.w;
+  var h = gr.h;
+  var x = 1;
+  for (var j = 0; j < h; j++) {
+    for (var i = 0; i < w; i++) {
+      x = (x * 75 + 74) % 65537;
+      var wall = 0;
+      if (x % 7 == 0) { if (i != 0 || j != 0) { wall = 1; } }
+      push(gr.nodes, new Node(j * w + i, i, j, wall));
+    }
+  }
+}
+function heuristic(a, bx, by) {
+  return abs(a.x - bx) + abs(a.y - by);
+}
+function resetNodes(gr) {
+  var ns = gr.nodes;
+  var n = ns.length;
+  for (var i = 0; i < n; i++) {
+    var nd = ns[i];
+    nd.g = 0; nd.h = 0; nd.f = 0; nd.parent = 0 - 1; nd.visited = 0;
+  }
+}
+function search(gr, tx, ty) {
+  resetNodes(gr);
+  var ns = gr.nodes;
+  var w = gr.w;
+  var h = gr.h;
+  var open_ = array_new(1024);
+  open_[0] = 0;
+  var openLen = 1;
+  var expanded = 0;
+  while (openLen > 0 && expanded < 2200) {
+    // find the open node with the lowest f
+    var besti = 0;
+    for (var i = 1; i < openLen; i++) {
+      var a = ns[open_[i]];
+      var b = ns[open_[besti]];
+      if (a.f < b.f) { besti = i; }
+    }
+    var curIdx = open_[besti];
+    open_[besti] = open_[openLen - 1];
+    openLen = openLen - 1;
+    var cur = ns[curIdx];
+    if (cur.visited == 1) { continue; }
+    cur.visited = 1;
+    expanded++;
+    if (cur.x == tx) { if (cur.y == ty) { break; } }
+    // neighbors: 4-connected
+    for (var d = 0; d < 4; d++) {
+      var nx = cur.x; var ny = cur.y;
+      if (d == 0) { nx = nx + 1; }
+      else if (d == 1) { nx = nx - 1; }
+      else if (d == 2) { ny = ny + 1; }
+      else { ny = ny - 1; }
+      if (nx >= 0 && nx < w && ny >= 0 && ny < h) {
+        var nb = ns[ny * w + nx];
+        if (nb.wall == 0 && nb.visited == 0) {
+          var g2 = cur.g + 1;
+          if (nb.parent < 0 || g2 < nb.g) {
+            nb.g = g2;
+            nb.h = heuristic(nb, tx, ty);
+            nb.f = nb.g + nb.h;
+            nb.parent = cur.idx;
+            if (openLen < 1024) {
+              open_[openLen] = nb.idx;
+              openLen = openLen + 1;
+            }
+          }
+        }
+      }
+    }
+  }
+  // path cost checksum
+  var acc = 0;
+  var n = ns.length;
+  for (var i = 0; i < n; i++) {
+    var nd = ns[i];
+    acc = (acc + nd.g * 3 + nd.f + nd.visited) & 268435455;
+  }
+  return acc;
+}
+var graph = new Graph(24, 24);
+buildGraph(graph);
+function bench() {
+  return search(graph, 23, 23);
+}
+|}
+
+let audio_beat_detection =
+  Workload.make ~suite:Workload.Kraken ~selected:true "audio-beat-detection"
+    {|
+// Beat detection: sample buffers as double arrays in channel objects,
+// energy windows, peak objects.
+function Channel(n) {
+  this.samples = array_new(0);
+  this.energy = array_new(0);
+  this.n = n;
+}
+function Peak(pos, strength) { this.pos = pos; this.strength = strength; }
+function fillChannel(ch) {
+  for (var i = 0; i < ch.n; i++) {
+    push(ch.samples, sin(i * 0.271) * 0.8 + sin(i * 0.013) * 0.2);
+  }
+}
+var peaks = array_new(0);
+function detect(ch, win) {
+  var s = ch.samples;
+  var n = ch.n;
+  var acc = 0.0;
+  var eIdx = 0;
+  for (var base = 0; base + win <= n; base = base + win) {
+    var e = 0.0;
+    for (var i = 0; i < win; i++) {
+      var v = s[base + i];
+      e = e + v * v;
+    }
+    if (eIdx < ch.energy.length) { ch.energy[eIdx] = e; }
+    else { push(ch.energy, e); }
+    eIdx++;
+    if (e > 0.5 * win * 0.4) {
+      push(peaks, new Peak(base, e));
+    }
+    acc = acc + e;
+  }
+  var m = peaks.length;
+  for (var i = 0; i < m; i++) {
+    var p = peaks[i];
+    acc = acc + p.strength * 0.001 + p.pos * 0.0001;
+  }
+  return acc;
+}
+var chan = new Channel(4096);
+fillChannel(chan);
+function bench() {
+  var r = detect(chan, 256);
+  // keep the peaks list bounded across iterations
+  peaks = array_new(0);
+  return r;
+}
+|}
+
+let audio_oscillator =
+  Workload.make ~suite:Workload.Kraken ~selected:true "audio-oscillator"
+    {|
+// Additive oscillator bank: oscillator objects (double phase/freq props)
+// in an array, per-sample accumulation.
+function Osc(freq, amp) {
+  this.freq = freq;
+  this.amp = amp;
+  this.phase = 0.0;
+}
+var bank = array_new(0);
+function setup(n) {
+  for (var i = 0; i < n; i++) {
+    push(bank, new Osc(0.01 + i * 0.003, 1.0 / (i + 1)));
+  }
+}
+function generate(samples) {
+  var n = bank.length;
+  var acc = 0.0;
+  for (var s = 0; s < samples; s++) {
+    var v = 0.0;
+    for (var i = 0; i < n; i++) {
+      var o = bank[i];
+      o.phase = o.phase + o.freq;
+      if (o.phase > 6.283185307179586) { o.phase = o.phase - 6.283185307179586; }
+      v = v + o.amp * sin(o.phase);
+    }
+    acc = acc + v;
+  }
+  return acc;
+}
+setup(12);
+function bench() {
+  return generate(300);
+}
+|}
+
+let imaging_gaussian_blur =
+  Workload.make ~suite:Workload.Kraken ~selected:true "imaging-gaussian-blur"
+    {|
+// Gaussian blur: SMI pixel array inside an Image object, double kernel
+// in a Kernel object's elements array.
+function Image_(w, h) {
+  this.pix = array_new(w * h);
+  this.w = w;
+  this.h = h;
+}
+function Kernel(radius) {
+  this.weights = array_new(0);
+  this.radius = radius;
+}
+function mkKernel(k) {
+  var sum = 0.0;
+  for (var i = 0 - k.radius; i <= k.radius; i++) {
+    var w = exp(0.0 - (i * i) / (2.0 * k.radius * k.radius));
+    push(k.weights, w);
+    sum = sum + w;
+  }
+  var m = k.weights.length;
+  for (var i = 0; i < m; i++) { k.weights[i] = k.weights[i] / sum; }
+}
+function fillImage(img) {
+  var x = 3;
+  var n = img.w * img.h;
+  for (var i = 0; i < n; i++) {
+    x = (x * 171 + 11) % 253;
+    img.pix[i] = x;
+  }
+}
+function blurRow(img, k, y) {
+  var w = img.w;
+  var p = img.pix;
+  var ws = k.weights;
+  var r = k.radius;
+  var acc = 0;
+  for (var x = r; x + r < w; x++) {
+    var v = 0.0;
+    for (var i = 0 - r; i <= r; i++) {
+      v = v + p[y * w + x + i] * ws[i + r];
+    }
+    var iv = floor(v) | 0;
+    p[y * w + x] = iv;
+    acc = (acc + iv) & 268435455;
+  }
+  return acc;
+}
+var img = new Image_(96, 64);
+var kern = new Kernel(3);
+mkKernel(kern);
+fillImage(img);
+function bench() {
+  var acc = 0;
+  for (var y = 0; y < img.h; y++) {
+    acc = (acc + blurRow(img, kern, y)) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let stanford_crypto_aes =
+  Workload.make ~suite:Workload.Kraken ~selected:true "stanford-crypto-aes"
+    {|
+// SJCL-style AES: word-oriented SMI arrays in a Key object, 32-bit mixes.
+function Key(n) {
+  this.enc = array_new(n);
+  this.dec = array_new(n);
+  this.rounds = 10;
+}
+function expand(k, seed) {
+  var x = seed;
+  var n = k.enc.length;
+  for (var i = 0; i < n; i++) {
+    x = (x * 69069 + 1) % 1048576;
+    k.enc[i] = x;
+    k.dec[n - 1 - i] = x ^ 305419896;
+  }
+}
+function encryptBlock(k, b0, b1, b2, b3) {
+  var e = k.enc;
+  var n = e.length;
+  for (var r = 0; r < k.rounds; r++) {
+    var t0 = (b0 ^ e[(r * 4) % n]) + ((b1 << 3) | (b1 >> 5));
+    var t1 = (b1 ^ e[(r * 4 + 1) % n]) + ((b2 << 5) | (b2 >> 3));
+    var t2 = (b2 ^ e[(r * 4 + 2) % n]) + ((b3 << 7) | (b3 >> 1));
+    var t3 = (b3 ^ e[(r * 4 + 3) % n]) + ((b0 << 2) | (b0 >> 6));
+    b0 = t0 & 1048575; b1 = t1 & 1048575; b2 = t2 & 1048575; b3 = t3 & 1048575;
+  }
+  return ((b0 + b1) ^ (b2 + b3)) & 1048575;
+}
+var key = new Key(44);
+expand(key, 12345);
+function bench() {
+  var acc = 0;
+  for (var i = 0; i < 160; i++) {
+    acc = (acc + encryptBlock(key, i, i * 3, i * 7, i * 13)) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let stanford_crypto_ccm =
+  Workload.make ~suite:Workload.Kraken ~selected:true "stanford-crypto-ccm"
+    {|
+// CCM mode: CBC-MAC plus CTR over message blocks held as word arrays in
+// a Msg object; tag objects carry the MAC state.
+function Msg(nblocks) {
+  this.blocks = array_new(nblocks * 4);
+  this.n = nblocks;
+}
+function Tag() { this.t0 = 0; this.t1 = 0; this.t2 = 0; this.t3 = 0; }
+function fillMsg(m, seed) {
+  var x = seed;
+  var n = m.n * 4;
+  for (var i = 0; i < n; i++) {
+    x = (x * 75 + 74) % 65537;
+    m.blocks[i] = x;
+  }
+}
+function mac(m, tag) {
+  var b = m.blocks;
+  var n = m.n;
+  for (var i = 0; i < n; i++) {
+    tag.t0 = (tag.t0 ^ b[i * 4]) * 31 % 1048576;
+    tag.t1 = (tag.t1 ^ b[i * 4 + 1]) * 37 % 1048576;
+    tag.t2 = (tag.t2 ^ b[i * 4 + 2]) * 41 % 1048576;
+    tag.t3 = (tag.t3 ^ b[i * 4 + 3]) * 43 % 1048576;
+  }
+  return (tag.t0 + tag.t1 + tag.t2 + tag.t3) & 268435455;
+}
+function ctr(m, seed) {
+  var b = m.blocks;
+  var n = m.n * 4;
+  var acc = 0;
+  for (var i = 0; i < n; i++) {
+    var ks = (seed + i * 2654435761) & 1048575;
+    acc = (acc + (b[i] ^ ks)) & 268435455;
+  }
+  return acc;
+}
+var msg = new Msg(60);
+fillMsg(msg, 99);
+function bench() {
+  var tag = new Tag();
+  var a = mac(msg, tag);
+  var b = ctr(msg, 424242);
+  return (a + b) & 268435455;
+}
+|}
+
+let stanford_crypto_pbkdf2 =
+  Workload.make ~suite:Workload.Kraken ~selected:true "stanford-crypto-pbkdf2"
+    {|
+// PBKDF2: repeated HMAC-ish mixing over word-array state objects.
+function Hmac(klen) {
+  this.ipad = array_new(klen);
+  this.opad = array_new(klen);
+  this.klen = klen;
+}
+function initHmac(h, seed) {
+  var x = seed;
+  for (var i = 0; i < h.klen; i++) {
+    x = (x * 131 + 7) % 65536;
+    h.ipad[i] = x ^ 23644;
+    h.opad[i] = x ^ 23131;
+  }
+}
+function mix(h, block) {
+  var acc = block;
+  var k = h.klen;
+  var ip = h.ipad;
+  var op = h.opad;
+  for (var i = 0; i < k; i++) {
+    acc = (acc + ip[i]) * 33 % 1048576;
+    acc = (acc ^ op[i]) & 1048575;
+    acc = ((acc << 3) | (acc >> 17)) & 1048575;
+  }
+  return acc;
+}
+var hmac = new Hmac(16);
+initHmac(hmac, 777);
+function bench() {
+  var u = 1;
+  var acc = 0;
+  for (var iter = 0; iter < 220; iter++) {
+    u = mix(hmac, u);
+    acc = (acc + u) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let stanford_crypto_sha256 =
+  Workload.make ~suite:Workload.Kraken ~selected:true
+    "stanford-crypto-sha256-iterative"
+    {|
+// SHA-256 flavored compression: message schedule array in a Block object,
+// eight SMI state registers on a State object.
+function State() {
+  this.a = 1779033703 % 1048576; this.b = 3144134277 % 1048576;
+  this.c = 1013904242 % 1048576; this.d = 2773480762 % 1048576;
+  this.e = 1359893119 % 1048576; this.f = 2600822924 % 1048576;
+  this.g = 528734635 % 1048576;  this.h = 1541459225 % 1048576;
+}
+function Block(n) { this.w = array_new(n); this.n = n; }
+function schedule(blk, seed) {
+  var x = seed;
+  var w = blk.w;
+  for (var i = 0; i < 16; i++) {
+    x = (x * 69069 + 1) % 1048576;
+    w[i] = x;
+  }
+  for (var i = 16; i < blk.n; i++) {
+    var s0 = ((w[i-15] >> 7) | (w[i-15] << 13)) ^ (w[i-15] >> 3);
+    var s1 = ((w[i-2] >> 17) | (w[i-2] << 3)) ^ (w[i-2] >> 10);
+    w[i] = (w[i-16] + s0 + w[i-7] + s1) & 1048575;
+  }
+}
+function compress(st, blk) {
+  var w = blk.w;
+  for (var i = 0; i < blk.n; i++) {
+    var s1 = ((st.e >> 6) | (st.e << 14)) ^ ((st.e >> 11) | (st.e << 9));
+    var ch = (st.e & st.f) ^ ((st.e ^ 1048575) & st.g);
+    var t1 = (st.h + (s1 & 1048575) + ch + w[i]) & 1048575;
+    var s0 = ((st.a >> 2) | (st.a << 18)) ^ ((st.a >> 13) | (st.a << 7));
+    var mj = (st.a & st.b) ^ (st.a & st.c) ^ (st.b & st.c);
+    var t2 = ((s0 & 1048575) + mj) & 1048575;
+    st.h = st.g; st.g = st.f; st.f = st.e;
+    st.e = (st.d + t1) & 1048575;
+    st.d = st.c; st.c = st.b; st.b = st.a;
+    st.a = (t1 + t2) & 1048575;
+  }
+  return (st.a + st.e) % 1048576;
+}
+var blk = new Block(64);
+function bench() {
+  var st = new State();
+  var acc = 0;
+  for (var r = 0; r < 14; r++) {
+    schedule(blk, r + 1);
+    acc = (acc + compress(st, blk)) & 268435455;
+  }
+  return acc;
+}
+|}
+
+(* -- below the 1% filter -- *)
+
+let audio_dft =
+  Workload.make ~suite:Workload.Kraken ~selected:false "audio-dft"
+    {|
+// Direct DFT over raw double arrays: double elements are unboxed, so
+// checks are already gone without the mechanism.
+var re = array_new(0);
+var im = array_new(0);
+function setup(n) {
+  for (var i = 0; i < n; i++) {
+    push(re, sin(i * 0.37));
+    push(im, 0.0);
+  }
+}
+function dft(n, bins) {
+  var acc = 0.0;
+  for (var k = 0; k < bins; k++) {
+    var sr = 0.0;
+    var si = 0.0;
+    for (var t = 0; t < n; t++) {
+      var ang = 6.283185307179586 * k * t / n;
+      sr = sr + re[t] * cos(ang);
+      si = si - re[t] * sin(ang);
+    }
+    acc = acc + sr * sr + si * si;
+  }
+  return acc;
+}
+setup(128);
+function bench() {
+  return dft(128, 12);
+}
+|}
+
+let all =
+  [
+    ai_astar; audio_beat_detection; audio_oscillator; imaging_gaussian_blur;
+    stanford_crypto_aes; stanford_crypto_ccm; stanford_crypto_pbkdf2;
+    stanford_crypto_sha256; audio_dft;
+  ]

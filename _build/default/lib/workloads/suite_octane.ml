@@ -1,0 +1,568 @@
+(** Octane-modeled workloads (paper Figures 1-3, 8, 9). Each mirrors the hot
+    behaviour of its namesake: object shapes, property/elements traffic, and
+    numeric kinds — not its full source. *)
+
+let box2d =
+  Workload.make ~suite:Workload.Octane ~selected:true "box2d"
+    {|
+// Rigid-body mini physics: many-property bodies (multi-line objects),
+// object-valued properties (pos/vel Vec), double-heavy math.
+function Vec(x, y) { this.x = x; this.y = y; }
+function Body(id, x, y) {
+  this.id = id;
+  this.pos = new Vec(x, y);
+  this.vel = new Vec(0.5, 0.0 - 0.25);
+  this.force = new Vec(0.0, 0.0);
+  this.mass = 1.5;
+  this.inv_mass = 0.66;
+  this.torque = 0.0;
+  this.angle = 0.0;
+  this.omega = 0.1;
+}
+function World(n) {
+  this.bodies = array_new(0);
+  this.gravity = new Vec(0.0, 0.0 - 9.8);
+  this.count = n;
+}
+function fill(w, n) {
+  for (var i = 0; i < n; i++) {
+    push(w.bodies, new Body(i, i * 0.5 + 0.0003, 10.0001));
+  }
+}
+function step(w, dt) {
+  var bs = w.bodies;
+  var n = w.count;
+  var acc = 0.0;
+  for (var i = 0; i < n; i++) {
+    var b = bs[i];
+    var p = b.pos;
+    var v = b.vel;
+    var g = w.gravity;
+    p.x = p.x + v.x * dt;
+    p.y = p.y + v.y * dt;
+    v.y = v.y + g.y * dt * b.inv_mass;
+    b.angle = b.angle + b.omega * dt;
+    if (p.y < 0.0) {
+      p.y = 0.0 - p.y;
+      v.y = 0.0 - (v.y * 0.5);
+    }
+    acc = acc + p.x + p.y + b.angle;
+  }
+  return acc;
+}
+var world = new World(120);
+fill(world, 120);
+function bench() {
+  var sum = 0.0;
+  for (var s = 0; s < 14; s++) {
+    sum = sum + step(world, 0.016);
+  }
+  return sum;
+}
+|}
+
+let crypto =
+  Workload.make ~suite:Workload.Octane ~selected:true "crypto"
+    {|
+// Big-number arithmetic: SMI word arrays inside BigNum wrapper objects,
+// carry propagation, modular reduction.
+function BigNum(n) {
+  this.words = array_new(n);
+  this.size = n;
+}
+function bn_seed(b, seed) {
+  var x = seed;
+  for (var i = 0; i < b.size; i++) {
+    x = (x * 1103 + 12345) % 32768;
+    b.words[i] = x;
+  }
+}
+function bn_addmul(dst, a, m) {
+  var carry = 0;
+  var n = dst.size;
+  var aw = a.words;
+  var dw = dst.words;
+  for (var i = 0; i < n; i++) {
+    var t = dw[i] + aw[i] * m + carry;
+    dw[i] = t % 32768;
+    carry = (t / 32768) | 0;
+  }
+  return carry;
+}
+function bn_fold(b) {
+  var acc = 0;
+  var w = b.words;
+  for (var i = 0; i < b.size; i++) {
+    acc = (acc + w[i] * (i + 1)) & 268435455;
+  }
+  return acc;
+}
+var x = new BigNum(96);
+var y = new BigNum(96);
+bn_seed(x, 7);
+bn_seed(y, 13);
+function bench() {
+  var check = 0;
+  for (var r = 0; r < 22; r++) {
+    var c = bn_addmul(x, y, (r % 7) + 1);
+    check = (check + c + bn_fold(x)) & 268435455;
+  }
+  return check;
+}
+|}
+
+let deltablue =
+  Workload.make ~suite:Workload.Octane ~selected:true "deltablue"
+    {|
+// One-way constraint solver: Variable and Constraint objects linked via
+// properties; constraint list held in a Planner object's elements array.
+function Variable(name, value) {
+  this.name = name;
+  this.value = value;
+  this.stay = true;
+  this.mark = 0;
+}
+function Constraint(src, dst, scale, offset) {
+  this.src = src;
+  this.dst = dst;
+  this.scale = scale;
+  this.offset = offset;
+  this.satisfied = false;
+}
+function Planner(n) {
+  this.constraints = array_new(0);
+  this.vars = array_new(0);
+  this.count = n;
+}
+function build(p, n) {
+  for (var i = 0; i < n; i++) {
+    push(p.vars, new Variable("v", i));
+  }
+  for (var i = 0; i + 1 < n; i++) {
+    push(p.constraints, new Constraint(p.vars[i], p.vars[i + 1], 2, 1));
+  }
+}
+function execute(p, rounds) {
+  var cs = p.constraints;
+  var m = cs.length;
+  var total = 0;
+  for (var r = 0; r < rounds; r++) {
+    p.vars[0].value = r;
+    for (var i = 0; i < m; i++) {
+      var c = cs[i];
+      var sv = c.src;
+      var dv = c.dst;
+      dv.value = (sv.value * c.scale + c.offset) % 65521;
+      c.satisfied = true;
+      dv.mark = r;
+    }
+    total = (total + p.vars[p.count - 1].value) & 268435455;
+  }
+  return total;
+}
+var planner = new Planner(60);
+build(planner, 60);
+function bench() {
+  return execute(planner, 30);
+}
+|}
+
+let earley_boyer =
+  Workload.make ~suite:Workload.Octane ~selected:true "earley-boyer"
+    {|
+// Scheme-ish term rewriting: cons pairs (car/cdr object properties,
+// polymorphic leaf vs pair), recursive walks.
+function Pair(car, cdr) { this.car = car; this.cdr = cdr; }
+function Leaf(tag) { this.tag = tag; }
+function mklist(depth, salt) {
+  if (depth == 0) { return new Leaf(salt % 17); }
+  return new Pair(mklist(depth - 1, salt + 1), mklist(depth - 1, salt + 2));
+}
+function isPair(t) { return t.kindp == true; }
+function weight(t, depth) {
+  if (depth == 0) { return t.tag; }
+  return weight(t.car, depth - 1) + 2 * weight(t.cdr, depth - 1);
+}
+function rewrite(t, depth, r) {
+  if (depth == 0) { t.tag = (t.tag + r) % 17; return t; }
+  var a = rewrite(t.car, depth - 1, r + 1);
+  var d = rewrite(t.cdr, depth - 1, r + 2);
+  return new Pair(a, d);
+}
+var tree = mklist(9, 1);
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 6; r++) {
+    tree = rewrite(tree, 9, r);
+    acc = (acc + weight(tree, 9)) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let gbemu =
+  Workload.make ~suite:Workload.Octane ~selected:true "gbemu"
+    {|
+// CPU emulator core: a register-file object, SMI memory array inside a
+// Machine object, opcode dispatch with bitwise math.
+function Regs() {
+  this.a = 0; this.b = 0; this.c = 0; this.d = 0;
+  this.pc = 0; this.sp = 65535; this.flags = 0;
+}
+function Machine(memsize) {
+  this.mem = array_new(memsize);
+  this.regs = new Regs();
+  this.size = memsize;
+  this.cycles = 0;
+}
+function loadrom(m) {
+  var x = 1;
+  for (var i = 0; i < m.size; i++) {
+    x = (x * 75 + 74) % 65537;
+    m.mem[i] = x & 255;
+  }
+}
+function run(m, steps) {
+  var r = m.regs;
+  var mem = m.mem;
+  var size = m.size;
+  for (var s = 0; s < steps; s++) {
+    var op = mem[r.pc % size];
+    r.pc = (r.pc + 1) % size;
+    var k = op & 7;
+    if (k == 0) { r.a = (r.a + op) & 255; }
+    else if (k == 1) { r.b = r.a ^ op; }
+    else if (k == 2) { r.c = (r.b << 1) & 255; }
+    else if (k == 3) { r.d = (r.c >> 1) | (op & 1); }
+    else if (k == 4) { r.a = (r.a + r.b) & 255; r.flags = r.a == 0 ? 1 : 0; }
+    else if (k == 5) { mem[(r.sp - s) & (size - 1)] = r.a; }
+    else if (k == 6) { r.a = mem[(op * 31) & (size - 1)]; }
+    else { r.pc = (r.pc + (op & 15)) % size; }
+    m.cycles = m.cycles + 1;
+  }
+  return r.a + r.b * 256 + r.c * 65536 + r.d;
+}
+var machine = new Machine(4096);
+loadrom(machine);
+function bench() {
+  return run(machine, 6000);
+}
+|}
+
+let mandreel =
+  Workload.make ~suite:Workload.Octane ~selected:true "mandreel"
+    {|
+// Compiled-C++-style numeric kernel: double fields on vector objects,
+// tight arithmetic loops (mandelbrot-flavored).
+function C(re, im) { this.re = re; this.im = im; }
+function iter(c, maxit) {
+  var zr = 0.0;
+  var zi = 0.0;
+  var n = 0;
+  while (n < maxit) {
+    var r2 = zr * zr;
+    var i2 = zi * zi;
+    if (r2 + i2 > 4.0) { return n; }
+    zi = 2.0 * zr * zi + c.im;
+    zr = r2 - i2 + c.re;
+    n++;
+  }
+  return maxit;
+}
+var points = array_new(0);
+function setup(n) {
+  for (var i = 0; i < n; i++) {
+    var x = 0.0 - 2.0 + 2.5 * (i % 40) / 40.0 + 0.00013;
+    var y = 0.0 - 1.25 + 2.5 * ((i / 40) | 0) / 40.0 + 0.00031;
+    push(points, new C(x, y));
+  }
+}
+setup(480);
+function bench() {
+  var total = 0;
+  var n = points.length;
+  for (var rep = 0; rep < 3; rep++) {
+    for (var i = 0; i < n; i++) {
+      total = total + iter(points[i], 24);
+    }
+  }
+  return total;
+}
+|}
+
+let pdfjs =
+  Workload.make ~suite:Workload.Octane ~selected:true "pdfjs"
+    {|
+// Stream decoding: byte arrays inside Stream objects, dictionary-ish
+// objects with mixed-type properties, run-length + predictor passes.
+function Stream(n) {
+  this.bytes = array_new(n);
+  this.pos = 0;
+  this.len = n;
+}
+function Dict(w, h, bpc) {
+  this.width = w;
+  this.height = h;
+  this.bpc = bpc;
+}
+function fill(s, seed) {
+  var x = seed;
+  for (var i = 0; i < s.len; i++) {
+    x = (x * 109 + 89) % 251;
+    s.bytes[i] = x;
+  }
+}
+function predictor(s, d) {
+  var bytes = s.bytes;
+  var w = d.width;
+  var h = d.height;
+  var acc = 0;
+  for (var row = 1; row < h; row++) {
+    var base = row * w;
+    for (var col = 0; col < w; col++) {
+      var up = bytes[base - w + col];
+      var cur = bytes[base + col];
+      var v = (cur + up) & 255;
+      bytes[base + col] = v;
+      acc = (acc + v) & 268435455;
+    }
+  }
+  return acc;
+}
+var dict = new Dict(64, 48, 8);
+var stream = new Stream(64 * 48);
+fill(stream, 31);
+function bench() {
+  var check = 0;
+  for (var r = 0; r < 8; r++) {
+    check = (check + predictor(stream, dict)) & 268435455;
+  }
+  return check;
+}
+|}
+
+let raytrace =
+  Workload.make ~suite:Workload.Octane ~selected:true "raytrace"
+    {|
+// Ray tracer: Vec3 double properties everywhere, spheres held in a Scene
+// object's elements array, per-pixel shading loop.
+function V3(x, y, z) { this.x = x; this.y = y; this.z = z; }
+function Sphere(cx, cy, cz, r, shine) {
+  this.center = new V3(cx, cy, cz);
+  this.radius = r;
+  this.shine = shine;
+}
+function Scene() {
+  this.spheres = array_new(0);
+  this.light = new V3(0.5, 1.0, 0.75);
+}
+function dot(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+function hit(s, ox, oy, oz, dx, dy, dz) {
+  var c = s.center;
+  var lx = c.x - ox;
+  var ly = c.y - oy;
+  var lz = c.z - oz;
+  var tca = lx * dx + ly * dy + lz * dz;
+  if (tca < 0.0) { return 0.0 - 1.0; }
+  var d2 = lx * lx + ly * ly + lz * lz - tca * tca;
+  var r2 = s.radius * s.radius;
+  if (d2 > r2) { return 0.0 - 1.0; }
+  return tca - sqrt(r2 - d2);
+}
+function trace(sc, px, py) {
+  var dx = px; var dy = py; var dz = 1.0;
+  var inv = 1.0 / sqrt(dx * dx + dy * dy + dz * dz);
+  dx = dx * inv; dy = dy * inv; dz = dz * inv;
+  var ss = sc.spheres;
+  var n = ss.length;
+  var best = 1000000.0;
+  var shade = 0.0;
+  for (var i = 0; i < n; i++) {
+    var s = ss[i];
+    var t = hit(s, 0.0, 0.0, 0.0, dx, dy, dz);
+    if (t > 0.0) { if (t < best) {
+      best = t;
+      var l = sc.light;
+      shade = s.shine * (dx * l.x + dy * l.y + dz * l.z);
+      if (shade < 0.0) { shade = 0.0; }
+    } }
+  }
+  return shade;
+}
+var scene = new Scene();
+function setup() {
+  for (var i = 0; i < 12; i++) {
+    push(scene.spheres,
+         new Sphere(0.0 - 2.0 + 0.4 * i + 0.0007, 0.5 * sin(i * 1.0 + 0.1),
+                    3.0 + i * 0.25 + 0.0003,
+                    0.5 + 0.05 * i + 0.0001, 0.3 + 0.04 * i + 0.0002));
+  }
+}
+setup();
+function bench() {
+  var acc = 0.0;
+  for (var y = 0; y < 24; y++) {
+    for (var x = 0; x < 24; x++) {
+      acc = acc + trace(scene, (x - 12) * 0.05, (y - 12) * 0.05);
+    }
+  }
+  return acc;
+}
+|}
+
+let richards =
+  Workload.make ~suite:Workload.Octane ~selected:true "richards"
+    {|
+// OS task scheduler: TCB objects in a run queue (elements array of a
+// Scheduler object), state machine over object properties.
+function Tcb(id, pri) {
+  this.id = id;
+  this.pri = pri;
+  this.state = 0;
+  this.work = 0;
+  this.hold = 0;
+}
+function Scheduler(n) {
+  this.queue = array_new(0);
+  this.count = n;
+  this.qpos = 0;
+  this.done = 0;
+}
+function mk(s, n) {
+  for (var i = 0; i < n; i++) {
+    push(s.queue, new Tcb(i, i % 4));
+  }
+}
+function schedule(s, steps) {
+  var q = s.queue;
+  var n = s.count;
+  var acc = 0;
+  for (var step = 0; step < steps; step++) {
+    var t = q[s.qpos];
+    s.qpos = (s.qpos + 1) % n;
+    if (t.state == 0) {
+      t.work = t.work + t.pri + 1;
+      if (t.work > 12) { t.state = 1; }
+    } else if (t.state == 1) {
+      t.hold = t.hold + 1;
+      if (t.hold > t.pri) { t.state = 2; }
+    } else {
+      t.work = 0;
+      t.hold = 0;
+      t.state = 0;
+      s.done = s.done + 1;
+    }
+    acc = (acc + t.work * 3 + t.hold) & 268435455;
+  }
+  return acc + s.done;
+}
+var sched = new Scheduler(40);
+mk(sched, 40);
+function bench() {
+  return schedule(sched, 4200);
+}
+|}
+
+let splay =
+  Workload.make ~suite:Workload.Octane ~selected:false "splay"
+    {|
+// Splay-tree-flavored binary tree: left/right properties are polymorphic
+// (node or null), which is exactly why the paper's filter drops splay.
+function Node(key, value) {
+  this.key = key;
+  this.value = value;
+  this.left = null;
+  this.right = null;
+}
+function insert(root, key) {
+  if (root == null) { return new Node(key, key * 2); }
+  var cur = root;
+  while (true) {
+    if (key < cur.key) {
+      if (cur.left == null) { cur.left = new Node(key, key * 2); break; }
+      cur = cur.left;
+    } else if (key > cur.key) {
+      if (cur.right == null) { cur.right = new Node(key, key * 2); break; }
+      cur = cur.right;
+    } else { break; }
+  }
+  return root;
+}
+function lookup(root, key) {
+  var cur = root;
+  while (cur != null) {
+    if (key == cur.key) { return cur.value; }
+    if (key < cur.key) { cur = cur.left; } else { cur = cur.right; }
+  }
+  return 0 - 1;
+}
+var root = null;
+function build(n) {
+  var x = 1;
+  for (var i = 0; i < n; i++) {
+    x = (x * 131 + 7) % 4093;
+    root = insert(root, x);
+  }
+}
+build(600);
+function bench() {
+  var acc = 0;
+  var x = 1;
+  for (var i = 0; i < 3000; i++) {
+    x = (x * 131 + 7) % 4093;
+    acc = (acc + lookup(root, x)) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let navier_stokes =
+  Workload.make ~suite:Workload.Octane ~selected:false "navier-stokes"
+    {|
+// Fluid solver: double arrays inside a Field object, stencil sweeps.
+// Double elements are unboxed (kind invariant), so checks are already
+// cheap without the mechanism: below the paper's 1% filter.
+function Field(n) {
+  this.u = array_new(0);
+  this.v = array_new(0);
+  this.n = n;
+}
+function init(f) {
+  var total = f.n * f.n;
+  for (var i = 0; i < total; i++) {
+    push(f.u, 0.0 + (i % 17) * 0.1);
+    push(f.v, 0.0);
+  }
+}
+function diffuse(f, rounds) {
+  var n = f.n;
+  var u = f.u;
+  var v = f.v;
+  var acc = 0.0;
+  for (var r = 0; r < rounds; r++) {
+    for (var y = 1; y + 1 < n; y++) {
+      var base = y * n;
+      for (var x = 1; x + 1 < n; x++) {
+        var c = base + x;
+        var nv = (u[c - 1] + u[c + 1] + u[c - n] + u[c + n]) * 0.25;
+        v[c] = nv;
+        acc = acc + nv;
+      }
+    }
+    var tmp = f.u; f.u = f.v; f.v = tmp;
+    u = f.u; v = f.v;
+  }
+  return acc;
+}
+var field = new Field(36);
+init(field);
+function bench() {
+  return diffuse(field, 4);
+}
+|}
+
+let all =
+  [
+    box2d; crypto; deltablue; earley_boyer; gbemu; mandreel; pdfjs; raytrace;
+    richards; splay; navier_stokes;
+  ]

@@ -1,0 +1,453 @@
+(** SunSpider-modeled workloads. *)
+
+let cube_3d =
+  Workload.make ~suite:Workload.Sunspider ~selected:true "3d-cube"
+    {|
+// 3D cube rotation: vertex objects with double coordinates in an array,
+// matrix-vector transforms.
+function Vtx(x, y, z) { this.x = x; this.y = y; this.z = z; }
+function Mat(a, b, c, d, e, f, g, h, i) {
+  this.a = a; this.b = b; this.c = c;
+  this.d = d; this.e = e; this.f = f;
+  this.g = g; this.h = h; this.i = i;
+}
+var verts = array_new(0);
+function setup(n) {
+  for (var k = 0; k < n; k++) {
+    push(verts, new Vtx(0.5 * k + 0.0011, 1.0 - 0.25 * k + 0.0007, 0.125 * k + 0.0003));
+  }
+}
+function rotate(m) {
+  var n = verts.length;
+  var acc = 0.0;
+  for (var k = 0; k < n; k++) {
+    var v = verts[k];
+    var x = v.x; var y = v.y; var z = v.z;
+    v.x = m.a * x + m.b * y + m.c * z;
+    v.y = m.d * x + m.e * y + m.f * z;
+    v.z = m.g * x + m.h * y + m.i * z;
+    acc = acc + v.x + v.y + v.z;
+  }
+  return acc;
+}
+setup(90);
+var rotm = new Mat(0.9, 0.1, 0.0, 0.0 - 0.1, 0.9, 0.1, 0.05, 0.0 - 0.05, 0.99);
+function bench() {
+  var acc = 0.0;
+  for (var s = 0; s < 20; s++) { acc = acc + rotate(rotm); }
+  return acc;
+}
+|}
+
+let raytrace_3d =
+  Workload.make ~suite:Workload.Sunspider ~selected:true "3d-raytrace"
+    {|
+// Smaller cousin of the Octane raytrace: triangle objects with vertex
+// object properties; intersection arithmetic.
+function P3(x, y, z) { this.x = x; this.y = y; this.z = z; }
+function Tri(a, b, c) { this.v0 = a; this.v1 = b; this.v2 = c; this.id = 0; }
+var tris = array_new(0);
+function setup(n) {
+  for (var i = 0; i < n; i++) {
+    var f = i * 0.3 + 0.0001;
+    push(tris, new Tri(new P3(f, 0.0003, 1.0007), new P3(f + 1.0, 0.5, 1.5),
+                       new P3(f, 1.0001, 2.0003)));
+  }
+}
+function raydot(t, dx, dy, dz) {
+  var a = t.v0;
+  var b = t.v1;
+  var c = t.v2;
+  var nx = (b.y - a.y) * (c.z - a.z) - (b.z - a.z) * (c.y - a.y);
+  var ny = (b.z - a.z) * (c.x - a.x) - (b.x - a.x) * (c.z - a.z);
+  var nz = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  return nx * dx + ny * dy + nz * dz;
+}
+setup(40);
+function bench() {
+  var acc = 0.0;
+  for (var r = 0; r < 30; r++) {
+    var n = tris.length;
+    for (var i = 0; i < n; i++) {
+      acc = acc + raydot(tris[i], 0.3, 0.5, 0.81);
+    }
+  }
+  return acc;
+}
+|}
+
+let binary_trees =
+  Workload.make ~suite:Workload.Sunspider ~selected:true "access-binary-trees"
+    {|
+// Bottom-up binary trees: item properties are monomorphic SMIs; child
+// links are node-or-null (the polymorphic residue stays).
+function TreeNode(left, right, item) {
+  this.left = left;
+  this.right = right;
+  this.item = item;
+}
+function bottomUpTree(item, depth) {
+  if (depth > 0) {
+    return new TreeNode(bottomUpTree(2 * item - 1, depth - 1),
+                        bottomUpTree(2 * item, depth - 1), item);
+  }
+  return new TreeNode(null, null, item);
+}
+function itemCheck(t) {
+  if (t.left == null) { return t.item; }
+  return t.item + itemCheck(t.left) - itemCheck(t.right);
+}
+var longLived = bottomUpTree(0, 9);
+function bench() {
+  var check = 0;
+  for (var i = 0; i < 4; i++) {
+    var tmp = bottomUpTree(i, 6);
+    check = check + itemCheck(tmp);
+  }
+  return check + itemCheck(longLived);
+}
+|}
+
+let fannkuch =
+  Workload.make ~suite:Workload.Sunspider ~selected:true "access-fannkuch"
+    {|
+// Pancake flipping over SMI arrays held in a state object.
+function State(n) {
+  this.perm = array_new(n);
+  this.count = array_new(n);
+  this.n = n;
+}
+function reset(s) {
+  for (var i = 0; i < s.n; i++) { s.perm[i] = i; }
+}
+function flips(s) {
+  var p = s.perm;
+  var f = 0;
+  var k = p[0];
+  while (k != 0) {
+    var lo = 0;
+    var hi = k;
+    while (lo < hi) {
+      var t = p[lo]; p[lo] = p[hi]; p[hi] = t;
+      lo++; hi--;
+    }
+    f++;
+    k = p[0];
+  }
+  return f;
+}
+function nextPerm(s) {
+  var p = s.perm;
+  var first = p[1];
+  p[1] = p[0];
+  p[0] = first;
+  var i = 1;
+  s.count[i] = s.count[i] + 1;
+  while (s.count[i] > i) {
+    s.count[i] = 0;
+    i++;
+    if (i >= s.n) { return false; }
+    var t0 = p[0];
+    for (var j = 0; j < i; j++) { p[j] = p[j + 1]; }
+    p[i] = t0;
+    s.count[i] = s.count[i] + 1;
+  }
+  return true;
+}
+var st = new State(7);
+function bench() {
+  reset(st);
+  for (var i = 0; i < st.n; i++) { st.count[i] = 0; }
+  var total = 0;
+  var more = true;
+  var rounds = 0;
+  while (more && rounds < 700) {
+    total = total + flips(st);
+    more = nextPerm(st);
+    rounds++;
+  }
+  return total;
+}
+|}
+
+let nbody =
+  Workload.make ~suite:Workload.Sunspider ~selected:true "access-nbody"
+    {|
+// Planetary n-body: body objects with 7 double properties in an array;
+// the classic monomorphic-object-load workload.
+function Body(x, y, z, vx, vy, vz, mass) {
+  this.x = x; this.y = y; this.z = z;
+  this.vx = vx; this.vy = vy; this.vz = vz;
+  this.mass = mass;
+}
+var bodies = array_new(0);
+function setup() {
+  push(bodies, new Body(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 39.47));
+  push(bodies, new Body(4.84, 0.0 - 1.16, 0.0 - 0.1, 0.6, 2.8, 0.0 - 0.02, 0.037));
+  push(bodies, new Body(8.34, 4.12, 0.0 - 0.27, 0.0 - 1.0, 1.8, 0.008, 0.011));
+  push(bodies, new Body(12.89, 0.0 - 15.11, 0.0 - 0.22, 1.08, 0.86, 0.0 - 0.01, 0.0017));
+  push(bodies, new Body(15.37, 0.0 - 25.91, 0.17, 0.97, 0.59, 0.0 - 0.03, 0.0002));
+}
+function advance(dt) {
+  var n = bodies.length;
+  for (var i = 0; i < n; i++) {
+    var bi = bodies[i];
+    for (var j = i + 1; j < n; j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x;
+      var dy = bi.y - bj.y;
+      var dz = bi.z - bj.z;
+      var d2 = dx * dx + dy * dy + dz * dz;
+      var mag = dt / (d2 * sqrt(d2));
+      bi.vx = bi.vx - dx * bj.mass * mag;
+      bi.vy = bi.vy - dy * bj.mass * mag;
+      bi.vz = bi.vz - dz * bj.mass * mag;
+      bj.vx = bj.vx + dx * bi.mass * mag;
+      bj.vy = bj.vy + dy * bi.mass * mag;
+      bj.vz = bj.vz + dz * bi.mass * mag;
+    }
+  }
+  for (var i = 0; i < n; i++) {
+    var b = bodies[i];
+    b.x = b.x + dt * b.vx;
+    b.y = b.y + dt * b.vy;
+    b.z = b.z + dt * b.vz;
+  }
+}
+function energy() {
+  var e = 0.0;
+  var n = bodies.length;
+  for (var i = 0; i < n; i++) {
+    var bi = bodies[i];
+    e = e + 0.5 * bi.mass * (bi.vx * bi.vx + bi.vy * bi.vy + bi.vz * bi.vz);
+  }
+  return e;
+}
+setup();
+function bench() {
+  for (var s = 0; s < 120; s++) { advance(0.01); }
+  return energy();
+}
+|}
+
+let crypto_aes =
+  Workload.make ~suite:Workload.Sunspider ~selected:true "crypto-aes"
+    {|
+// AES-flavored rounds: sbox and state SMI arrays inside a Cipher object,
+// xor/shift ladders.
+function Cipher(n) {
+  this.sbox = array_new(256);
+  this.state = array_new(n);
+  this.n = n;
+}
+function initCipher(c, seed) {
+  var x = seed;
+  for (var i = 0; i < 256; i++) {
+    x = (x * 181 + 59) % 257;
+    c.sbox[i] = x % 256;
+  }
+  for (var i = 0; i < c.n; i++) { c.state[i] = (i * 73) % 256; }
+}
+function rounds(c, k) {
+  var st = c.state;
+  var sb = c.sbox;
+  var n = c.n;
+  var acc = 0;
+  for (var r = 0; r < k; r++) {
+    for (var i = 0; i < n; i++) {
+      var v = st[i];
+      v = sb[v & 255] ^ (r * 17 & 255);
+      v = ((v << 1) | (v >> 7)) & 255;
+      st[i] = v ^ st[(i + 1) % n];
+      acc = (acc + st[i]) & 268435455;
+    }
+  }
+  return acc;
+}
+var ciph = new Cipher(160);
+initCipher(ciph, 7);
+function bench() {
+  return rounds(ciph, 18);
+}
+|}
+
+let date_format_tofte =
+  Workload.make ~suite:Workload.Sunspider ~selected:true "date-format-tofte"
+    {|
+// Date formatting: calendar field objects + string assembly.
+function Date_(days) {
+  this.year = 1970 + ((days / 365) | 0);
+  this.month = 1 + (((days % 365) / 31) | 0);
+  this.day = 1 + (days % 31);
+  this.hour = days % 24;
+  this.minute = (days * 7) % 60;
+  this.second = (days * 13) % 60;
+}
+function pad2(v) {
+  if (v < 10) { return "0" + v; }
+  return "" + v;
+}
+function format(d) {
+  return d.year + "-" + pad2(d.month) + "-" + pad2(d.day) + " " +
+         pad2(d.hour) + ":" + pad2(d.minute) + ":" + pad2(d.second);
+}
+function bench() {
+  var acc = 0;
+  for (var i = 0; i < 300; i++) {
+    var d = new Date_(10000 + i);
+    var s = format(d);
+    acc = (acc + str_len(s) + char_code(s, 3)) & 268435455;
+  }
+  return acc;
+}
+|}
+
+let spectral_norm =
+  Workload.make ~suite:Workload.Sunspider ~selected:true "math-spectral-norm"
+    {|
+// Spectral norm: u/v double vectors wrapped in a Work object (NodeList
+// pattern: per-class elements profiling).
+function Work(n) {
+  this.u = array_new(0);
+  this.v = array_new(0);
+  this.n = n;
+}
+function initW(w) {
+  for (var i = 0; i < w.n; i++) { push(w.u, 1.0); push(w.v, 0.0); }
+}
+function a(i, j) { return 1.0 / ((i + j) * (i + j + 1) / 2.0 + i + 1.0); }
+function multAv(w, src, dst) {
+  var n = w.n;
+  for (var i = 0; i < n; i++) {
+    var sum = 0.0;
+    for (var j = 0; j < n; j++) { sum = sum + a(i, j) * src[j]; }
+    dst[i] = sum;
+  }
+}
+function multAtv(w, src, dst) {
+  var n = w.n;
+  for (var i = 0; i < n; i++) {
+    var sum = 0.0;
+    for (var j = 0; j < n; j++) { sum = sum + a(j, i) * src[j]; }
+    dst[i] = sum;
+  }
+}
+var work = new Work(24);
+initW(work);
+function bench() {
+  var tmp = array_new(work.n);
+  for (var it = 0; it < 4; it++) {
+    multAv(work, work.u, tmp);
+    multAtv(work, tmp, work.v);
+    multAv(work, work.v, tmp);
+    multAtv(work, tmp, work.u);
+  }
+  var vbv = 0.0;
+  var vv = 0.0;
+  for (var i = 0; i < work.n; i++) {
+    vbv = vbv + work.u[i] * work.v[i];
+    vv = vv + work.v[i] * work.v[i];
+  }
+  return sqrt(vbv / vv);
+}
+|}
+
+let string_unpack =
+  Workload.make ~suite:Workload.Sunspider ~selected:true "string-unpack-code"
+    {|
+// Packed-code unpacking: char scanning, token objects with string+smi
+// properties in a dictionary array.
+function Token(text, kind, count) {
+  this.text = text;
+  this.kind = kind;
+  this.count = count;
+}
+var toks = array_new(0);
+var src = "";
+function setup() {
+  src = "var f=function(a,b){return a+b;};for(i=0;i<10;i++){x=f(x,i);}";
+  var i = 0;
+  while (i < 26) {
+    push(toks, new Token(from_char_code(97 + i), i, 0));
+    i++;
+  }
+}
+function scan() {
+  var n = str_len(src);
+  var acc = 0;
+  for (var i = 0; i < n; i++) {
+    var c = char_code(src, i);
+    if (c >= 97) { if (c <= 122) {
+      var t = toks[c - 97];
+      t.count = t.count + 1;
+      acc = (acc + t.kind + t.count) & 268435455;
+    } }
+  }
+  return acc;
+}
+setup();
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 40; r++) { acc = (acc + scan()) & 268435455; }
+  return acc;
+}
+|}
+
+(* -- below the 1% filter: kept for Figure 1's "all benchmarks" texture -- *)
+
+let bitops_nsieve =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "bitops-nsieve-bits"
+    {|
+// Bit-sieve over a raw SMI array: no object loads at all -> zero
+// mechanism-relevant overhead (paper: ~half the benchmarks are like this).
+var flags = array_new(2048);
+function sieve(m) {
+  var count = 0;
+  for (var i = 0; i < m; i++) { flags[i] = 1; }
+  for (var i = 2; i < m; i++) {
+    if (flags[i] == 1) {
+      count++;
+      for (var j = i + i; j < m; j = j + i) { flags[j] = 0; }
+    }
+  }
+  return count;
+}
+function bench() {
+  var acc = 0;
+  for (var r = 0; r < 6; r++) { acc = acc + sieve(2048); }
+  return acc;
+}
+|}
+
+let math_cordic =
+  Workload.make ~suite:Workload.Sunspider ~selected:false "math-cordic"
+    {|
+// CORDIC rotations: pure scalar SMI/double math, no object traffic.
+function cordic(target, steps) {
+  var x = 0.6072529350;
+  var y = 0.0;
+  var angle = 0.0;
+  var pow2 = 1.0;
+  for (var i = 0; i < steps; i++) {
+    var dx = x / pow2;
+    var dy = y / pow2;
+    if (angle < target) { x = x - dy; y = y + dx; angle = angle + 1.0 / pow2; }
+    else { x = x + dy; y = y - dx; angle = angle - 1.0 / pow2; }
+    pow2 = pow2 * 2.0;
+  }
+  return y;
+}
+function bench() {
+  var acc = 0.0;
+  for (var i = 0; i < 400; i++) {
+    acc = acc + cordic(0.5 + (i % 10) * 0.05, 24);
+  }
+  return acc;
+}
+|}
+
+let all =
+  [
+    cube_3d; raytrace_3d; binary_trees; fannkuch; nbody; crypto_aes;
+    date_format_tofte; spectral_norm; string_unpack; bitops_nsieve; math_cordic;
+  ]

@@ -1,0 +1,25 @@
+(** Benchmark workload descriptor. Each workload is a MiniJS program whose
+    top level builds the input state and defines a [bench()] function; the
+    harness runs [bench] repeatedly (the paper's steady-state protocol:
+    10 iterations, statistics from the last one) and checks the returned
+    checksum across tiers and configurations. *)
+
+type suite = Octane | Sunspider | Kraken
+
+let suite_name = function
+  | Octane -> "Octane"
+  | Sunspider -> "SunSpider"
+  | Kraken -> "Kraken"
+
+type t = {
+  name : string;
+  suite : suite;
+  selected : bool;
+      (** member of the paper's ">1% check overhead" subset used in
+          Figures 2, 3, 8 and 9 (27 of 54 in the paper) *)
+  source : string;
+  iterations : int;  (** total bench() calls; the last one is measured *)
+}
+
+let make ?(iterations = 10) ~suite ~selected name source =
+  { name; suite; selected; source; iterations }

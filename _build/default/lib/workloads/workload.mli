@@ -1,0 +1,19 @@
+(** Benchmark workload descriptor: a MiniJS program whose top level builds
+    the input state and defines a [bench()] function. The harness runs
+    [bench] repeatedly (the paper's steady-state protocol) and checks the
+    returned checksum across tiers and configurations. *)
+
+type suite = Octane | Sunspider | Kraken
+
+val suite_name : suite -> string
+
+type t = {
+  name : string;
+  suite : suite;
+  selected : bool;
+      (** member of the paper's ">1% check overhead" subset (Figs. 2/3/8/9) *)
+  source : string;
+  iterations : int;  (** total bench() calls; the last one is measured *)
+}
+
+val make : ?iterations:int -> suite:suite -> selected:bool -> string -> string -> t

@@ -1,0 +1,15 @@
+(** Registry of all benchmark workloads, grouped as in the paper. *)
+
+let octane = Suite_octane.all @ Suite_extra.octane
+let sunspider = Suite_sunspider.all @ Suite_extra.sunspider
+let kraken = Suite_kraken.all @ Suite_extra.kraken
+
+(** All 54 workloads, mirroring the paper's roster size. *)
+let all = octane @ sunspider @ kraken
+
+(** The paper's ">1% check overhead" subset (Figures 2, 3, 8, 9). *)
+let selected = List.filter (fun w -> w.Workload.selected) all
+
+let by_name name = List.find_opt (fun w -> w.Workload.name = name) all
+
+let by_suite suite = List.filter (fun w -> w.Workload.suite = suite) all

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Class_cache Class_list List Oracle QCheck QCheck_alcotest Tce_core Tce_support Tce_vm

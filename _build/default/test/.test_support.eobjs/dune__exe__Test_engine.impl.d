@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Option Printexc QCheck QCheck_alcotest Tce_core Tce_engine Tce_jit Tce_support Tce_vm Tce_workloads

@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Bc_compile Bytecode Categories Feedback Inline Lir List Option Printf Tce_engine Tce_jit Tce_minijs Tce_vm

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Branch Cache Config Costs Counters Energy List Machine Option Printf Tce_core Tce_engine Tce_jit Tce_machine Tce_minijs Tce_vm Tlb

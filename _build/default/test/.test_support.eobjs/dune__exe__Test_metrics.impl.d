@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Experiments Harness Lazy List Option Table1 Tce_core Tce_engine Tce_jit Tce_metrics Tce_support Tce_workloads

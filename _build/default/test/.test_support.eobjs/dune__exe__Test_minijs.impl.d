@@ -1,0 +1,1 @@
+test/test_minijs.ml: Alcotest Ast Lexer List Parser Printer QCheck QCheck_alcotest Tce_minijs

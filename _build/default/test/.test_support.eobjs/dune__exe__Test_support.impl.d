@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Bytemap List Prng QCheck QCheck_alcotest Stats String Table Tce_support

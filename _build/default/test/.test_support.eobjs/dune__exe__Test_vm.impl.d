@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Fbits Float Hashtbl Heap Hidden_class Layout List Mem Option Printf QCheck QCheck_alcotest Tce_vm Value

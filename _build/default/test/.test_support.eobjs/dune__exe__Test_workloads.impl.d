@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Printexc Synthetic Tce_engine Tce_metrics Tce_minijs Tce_support Tce_workloads Workload Workloads

@@ -1,0 +1,297 @@
+(* Lexer/parser/printer tests, including the print-parse roundtrip property. *)
+
+open Tce_minijs
+
+let tokens src =
+  List.map fst (Lexer.tokenize src)
+
+let test_lex_numbers () =
+  Alcotest.(check bool) "int" true (tokens "42" = [ Lexer.INT 42; Lexer.EOF ]);
+  Alcotest.(check bool) "float" true (tokens "4.5" = [ Lexer.FLOAT 4.5; Lexer.EOF ]);
+  Alcotest.(check bool) "exponent" true
+    (tokens "1e3" = [ Lexer.FLOAT 1000.0; Lexer.EOF ]);
+  Alcotest.(check bool) "dot not float when not digit" true
+    (tokens "a.b" = [ Lexer.IDENT "a"; Lexer.PUNCT "."; Lexer.IDENT "b"; Lexer.EOF ])
+
+let test_lex_strings () =
+  Alcotest.(check bool) "simple" true
+    (tokens {|"hi"|} = [ Lexer.STRING "hi"; Lexer.EOF ]);
+  Alcotest.(check bool) "escapes" true
+    (tokens {|"a\nb"|} = [ Lexer.STRING "a\nb"; Lexer.EOF ]);
+  Alcotest.(check bool) "single quotes" true
+    (tokens "'x'" = [ Lexer.STRING "x"; Lexer.EOF ])
+
+let test_lex_comments () =
+  Alcotest.(check bool) "line comment" true
+    (tokens "1 // two\n2" = [ Lexer.INT 1; Lexer.INT 2; Lexer.EOF ]);
+  Alcotest.(check bool) "block comment" true
+    (tokens "1 /* x */ 2" = [ Lexer.INT 1; Lexer.INT 2; Lexer.EOF ])
+
+let test_lex_longest_match () =
+  Alcotest.(check bool) ">>> is one token" true
+    (tokens ">>>" = [ Lexer.PUNCT ">>>"; Lexer.EOF ]);
+  Alcotest.(check bool) ">= then =" true
+    (tokens ">==" = [ Lexer.PUNCT ">="; Lexer.PUNCT "="; Lexer.EOF ]);
+  Alcotest.(check bool) "=== collapses to one" true
+    (tokens "===" = [ Lexer.PUNCT "==="; Lexer.EOF ])
+
+let test_lex_errors () =
+  Alcotest.(check bool) "unterminated string raises" true
+    (try ignore (Lexer.tokenize "\"abc") ; false with Lexer.Error _ -> true);
+  Alcotest.(check bool) "unterminated comment raises" true
+    (try ignore (Lexer.tokenize "/* abc") ; false with Lexer.Error _ -> true);
+  Alcotest.(check bool) "stray char raises" true
+    (try ignore (Lexer.tokenize "@") ; false with Lexer.Error _ -> true)
+
+let test_lex_positions () =
+  match Lexer.tokenize "a\n  b" with
+  | [ (_, p1); (_, p2); _ ] ->
+    Alcotest.(check int) "a line" 1 p1.Ast.line;
+    Alcotest.(check int) "b line" 2 p2.Ast.line;
+    Alcotest.(check int) "b col" 3 p2.Ast.col
+  | _ -> Alcotest.fail "unexpected token count"
+
+let e = Parser.parse_expr
+
+let test_parse_precedence () =
+  Alcotest.(check bool) "mul binds tighter" true
+    (e "1 + 2 * 3"
+    = Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)));
+  Alcotest.(check bool) "left assoc" true
+    (e "1 - 2 - 3"
+    = Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, Ast.Int 1, Ast.Int 2), Ast.Int 3));
+  Alcotest.(check bool) "parens" true
+    (e "(1 + 2) * 3"
+    = Ast.Binop (Ast.Mul, Ast.Binop (Ast.Add, Ast.Int 1, Ast.Int 2), Ast.Int 3));
+  Alcotest.(check bool) "compare below bitor" true
+    (e "a | b == c"
+    = Ast.Binop (Ast.BitOr, Ast.Var "a", Ast.Binop (Ast.Eq, Ast.Var "b", Ast.Var "c")))
+
+let test_parse_postfix () =
+  Alcotest.(check bool) "prop chain" true
+    (e "a.b.c" = Ast.PropGet (Ast.PropGet (Ast.Var "a", "b"), "c"));
+  Alcotest.(check bool) "elem of prop" true
+    (e "a.b[0]" = Ast.ElemGet (Ast.PropGet (Ast.Var "a", "b"), Ast.Int 0));
+  Alcotest.(check bool) "call" true (e "f(1, 2)" = Ast.Call ("f", [ Ast.Int 1; Ast.Int 2 ]));
+  Alcotest.(check bool) "new" true (e "new F(1)" = Ast.New ("F", [ Ast.Int 1 ]))
+
+let test_parse_literals () =
+  Alcotest.(check bool) "object literal" true
+    (e "{a: 1, b: 2}" = Ast.ObjectLit [ ("a", Ast.Int 1); ("b", Ast.Int 2) ]);
+  Alcotest.(check bool) "array literal" true
+    (e "[1, 2, 3]" = Ast.ArrayLit [ Ast.Int 1; Ast.Int 2; Ast.Int 3 ]);
+  Alcotest.(check bool) "ternary" true
+    (e "a ? 1 : 2" = Ast.Cond (Ast.Var "a", Ast.Int 1, Ast.Int 2))
+
+let test_parse_statements () =
+  let p = Parser.parse "var x = 1; x = x + 1; if (x > 1) { print(x); } else print(0);" in
+  Alcotest.(check int) "no funcs" 0 (List.length p.Ast.funcs);
+  Alcotest.(check int) "three statements" 3 (List.length p.Ast.main);
+  let p2 = Parser.parse "function f(a, b) { return a + b; } print(f(1, 2));" in
+  Alcotest.(check int) "one func" 1 (List.length p2.Ast.funcs);
+  Alcotest.(check bool) "not a ctor" true
+    (not (List.hd p2.Ast.funcs).Ast.is_ctor);
+  let p3 = Parser.parse "function Foo() { this.x = 1; }" in
+  Alcotest.(check bool) "capitalized is ctor" true (List.hd p3.Ast.funcs).Ast.is_ctor
+
+let test_parse_desugar () =
+  let p = Parser.parse "var x = 0; x += 2; x++;" in
+  match p.Ast.main with
+  | [ _; Ast.Assign ("x", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int 2));
+      Ast.Assign ("x", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int 1)) ] ->
+    ()
+  | _ -> Alcotest.fail "compound assignment not desugared as expected"
+
+let test_parse_loops () =
+  let p =
+    Parser.parse
+      "for (var i = 0; i < 3; i++) { if (i == 1) { continue; } if (i == 2) break; }"
+  in
+  (match p.Ast.main with
+  | [ Ast.For (Some _, Some _, Some _, _) ] -> ()
+  | _ -> Alcotest.fail "for loop shape");
+  let p2 = Parser.parse "while (true) { break; }" in
+  match p2.Ast.main with
+  | [ Ast.While (Ast.Bool true, [ Ast.Break ]) ] -> ()
+  | _ -> Alcotest.fail "while shape"
+
+let test_parse_else_if () =
+  let p = Parser.parse "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }" in
+  match p.Ast.main with
+  | [ Ast.If (_, _, [ Ast.If (_, _, [ _ ]) ]) ] -> ()
+  | _ -> Alcotest.fail "else-if chains"
+
+let test_parse_errors () =
+  let fails src = try ignore (Parser.parse src); false with Parser.Error _ -> true in
+  Alcotest.(check bool) "missing semicolon" true (fails "var x = 1 var y = 2;");
+  Alcotest.(check bool) "bad assignment target" true (fails "1 = 2;");
+  Alcotest.(check bool) "unclosed paren" true (fails "print((1;");
+  Alcotest.(check bool) "break outside loop is a compile error, not parse" true
+    (try ignore (Parser.parse "break;") ; true with Parser.Error _ -> false)
+
+(* --- roundtrip property: parse (print p) = p --- *)
+
+let gen_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let ident = oneofl [ "a"; "b"; "c"; "x"; "y" ] in
+  let rec expr n =
+    if n <= 0 then
+      oneof
+        [ map (fun i -> Ast.Int i) (int_bound 100);
+          map (fun f -> Ast.Float (float_of_int f +. 0.5)) (int_bound 50);
+          map (fun v -> Ast.Var v) ident;
+          return (Ast.Bool true); return Ast.Null ]
+    else
+      oneof
+        [
+          map3 (fun op a b -> Ast.Binop (op, a, b))
+            (oneofl Ast.[ Add; Sub; Mul; Lt; Eq; BitAnd; LAnd ])
+            (expr (n / 2)) (expr (n / 2));
+          map2 (fun o f -> Ast.PropGet (o, f)) (expr (n / 2)) ident;
+          map2 (fun a i -> Ast.ElemGet (a, i)) (expr (n / 2)) (expr (n / 2));
+          map (fun a -> Ast.Unop (Ast.Neg, a)) (expr (n - 1));
+          map3 (fun c a b -> Ast.Cond (c, a, b)) (expr (n / 3)) (expr (n / 3))
+            (expr (n / 3));
+        ]
+  in
+  let stmt n =
+    oneof
+      [
+        map2 (fun v e -> Ast.Var_decl (v, e)) ident (expr n);
+        map2 (fun v e -> Ast.Assign (v, e)) ident (expr n);
+        map3 (fun o f v -> Ast.Prop_set (o, f, v)) (expr (n / 2)) ident (expr (n / 2));
+        map (fun e -> Ast.Expr e) (expr n);
+        map2 (fun c b -> Ast.If (c, [ Ast.Expr b ], [])) (expr (n / 2)) (expr (n / 2));
+        map2 (fun c b -> Ast.While (c, [ Ast.Expr b ])) (expr (n / 2)) (expr (n / 2));
+      ]
+  in
+  let* nstmts = int_range 1 5 in
+  let* main = list_repeat nstmts (stmt 3) in
+  (* every generated var must be bound: declare them all first *)
+  let decls =
+    List.map (fun v -> Ast.Var_decl (v, Ast.Int 0)) [ "a"; "b"; "c"; "x"; "y" ]
+  in
+  return { Ast.funcs = []; main = decls @ main }
+
+let arbitrary_program =
+  QCheck.make gen_program ~print:(fun p -> Printer.to_string p)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"printer/parser roundtrip" ~count:300 arbitrary_program
+    (fun p ->
+      let printed = Printer.to_string p in
+      match Parser.parse printed with
+      | p' -> Ast.equal_program p p'
+      | exception _ -> false)
+
+let test_printer_specifics () =
+  let check_rt src =
+    let p = Parser.parse src in
+    let p' = Parser.parse (Printer.to_string p) in
+    Alcotest.(check bool) ("roundtrip: " ^ src) true (Ast.equal_program p p')
+  in
+  check_rt "var x = -3;";
+  check_rt "var s = \"a\\\"b\\n\";";
+  check_rt "var f = 1.5e10;";
+  check_rt "for (; x < 3; ) { x++; }";
+  check_rt "while (a && (b || !c)) { a = a - 1; }";
+  check_rt "function F(u) { this.u = u; return this.u; }";
+  check_rt "x = a[1][2].b;";
+  check_rt "y = {n: 1, m: [2, 3]};"
+
+
+(* --- additional parser/lexer cases --- *)
+
+let test_parse_for_variants () =
+  (match (Parser.parse "for (;;) { break; }").Ast.main with
+  | [ Ast.For (None, None, None, [ Ast.Break ]) ] -> ()
+  | _ -> Alcotest.fail "empty for header");
+  (match (Parser.parse "for (i = 0; ; i++) { break; }").Ast.main with
+  | [ Ast.For (Some (Ast.Assign _), None, Some _, _) ] -> ()
+  | _ -> Alcotest.fail "assign-init, no condition");
+  match (Parser.parse "for (var i = 0; i < 3; ) { i++; }").Ast.main with
+  | [ Ast.For (Some (Ast.Var_decl _), Some _, None, _) ] -> ()
+  | _ -> Alcotest.fail "no step"
+
+let test_parse_compound_on_postfix () =
+  (match (Parser.parse "var o = {a: 1}; o.a += 2; o.a++;").Ast.main with
+  | [ _;
+      Ast.Prop_set (_, "a", Ast.Binop (Ast.Add, Ast.PropGet (_, "a"), Ast.Int 2));
+      Ast.Prop_set (_, "a", Ast.Binop (Ast.Add, Ast.PropGet (_, "a"), Ast.Int 1)) ] ->
+    ()
+  | _ -> Alcotest.fail "compound prop assignment");
+  match (Parser.parse "var a = [0]; a[0] -= 1;").Ast.main with
+  | [ _; Ast.Elem_set (_, Ast.Int 0, Ast.Binop (Ast.Sub, Ast.ElemGet _, Ast.Int 1)) ]
+    ->
+    ()
+  | _ -> Alcotest.fail "compound elem assignment"
+
+let test_parse_numbers_exponents () =
+  Alcotest.(check bool) "negative exponent" true (e "1.5e-3" = Ast.Float 0.0015);
+  Alcotest.(check bool) "positive exponent" true (e "2E+2" = Ast.Float 200.0);
+  Alcotest.(check bool) "int stays int" true (e "007" = Ast.Int 7)
+
+let test_parse_unary_chains () =
+  Alcotest.(check bool) "double negation" true
+    (e "!!a" = Ast.Unop (Ast.Not, Ast.Unop (Ast.Not, Ast.Var "a")));
+  Alcotest.(check bool) "neg of neg" true
+    (e "- -x" = Ast.Unop (Ast.Neg, Ast.Unop (Ast.Neg, Ast.Var "x")));
+  Alcotest.(check bool) "bitnot mix" true
+    (e "~-1" = Ast.Unop (Ast.BitNot, Ast.Unop (Ast.Neg, Ast.Int 1)))
+
+let test_parse_no_method_calls () =
+  (* MiniJS has no function-valued properties: o.m(...) must not parse *)
+  Alcotest.(check bool) "method call rejected" true
+    (try ignore (Parser.parse "o.m(1);"); false with Parser.Error _ -> true)
+
+let test_parse_ternary_nesting () =
+  Alcotest.(check bool) "right-nested ternary" true
+    (e "a ? 1 : b ? 2 : 3"
+    = Ast.Cond (Ast.Var "a", Ast.Int 1, Ast.Cond (Ast.Var "b", Ast.Int 2, Ast.Int 3)))
+
+let test_iter_expr_visits_everything () =
+  let p =
+    Parser.parse
+      "function F(a) { this.x = a[0] + f(a); } var q = new F([1, 2 * 3]);"
+  in
+  let count = ref 0 in
+  Ast.iter_expr (fun _ -> incr count) p;
+  (* enough to know the traversal reaches nested positions *)
+  Alcotest.(check bool) "visits nested expressions" true (!count >= 10)
+
+let () =
+  Alcotest.run "minijs"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "numbers" `Quick test_lex_numbers;
+          Alcotest.test_case "strings" `Quick test_lex_strings;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "longest match" `Quick test_lex_longest_match;
+          Alcotest.test_case "errors" `Quick test_lex_errors;
+          Alcotest.test_case "positions" `Quick test_lex_positions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "postfix" `Quick test_parse_postfix;
+          Alcotest.test_case "literals" `Quick test_parse_literals;
+          Alcotest.test_case "statements" `Quick test_parse_statements;
+          Alcotest.test_case "desugaring" `Quick test_parse_desugar;
+          Alcotest.test_case "loops" `Quick test_parse_loops;
+          Alcotest.test_case "else-if" `Quick test_parse_else_if;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "for variants" `Quick test_parse_for_variants;
+          Alcotest.test_case "compound postfix" `Quick test_parse_compound_on_postfix;
+          Alcotest.test_case "number exponents" `Quick test_parse_numbers_exponents;
+          Alcotest.test_case "unary chains" `Quick test_parse_unary_chains;
+          Alcotest.test_case "no method calls" `Quick test_parse_no_method_calls;
+          Alcotest.test_case "ternary nesting" `Quick test_parse_ternary_nesting;
+          Alcotest.test_case "iter_expr" `Quick test_iter_expr_visits_everything;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "specific roundtrips" `Quick test_printer_specifics;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+    ]
