@@ -5,7 +5,10 @@
     Usage:
       dune exec bench/main.exe             (everything)
       dune exec bench/main.exe -- fig1 fig8 table1 ...
-      dune exec bench/main.exe -- bechamel *)
+      dune exec bench/main.exe -- bechamel
+      dune exec bench/main.exe -- --metrics-json FILE [WORKLOAD ...]
+        (run the named workloads — default: the built-in smoke workload —
+         and write every Harness.result field as versioned JSON) *)
 
 open Tce_metrics
 
@@ -94,8 +97,58 @@ let all_experiments =
     ("csv", fun () -> Experiments.write_csvs ());
   ]
 
+(* A tiny built-in workload so `--metrics-json` has a fast default that
+   still exercises tier-up, property ICs and the Class Cache. *)
+let smoke_workload =
+  Tce_workloads.Workload.make ~suite:Tce_workloads.Workload.Octane
+    ~selected:false "smoke"
+    {|
+function Pt(x, y) { this.x = x; this.y = y; }
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 60; i++) {
+    var p = new Pt(i, i + 1);
+    s = (s + p.x + p.y) & 65535;
+  }
+  return s;
+}
+|}
+
+let run_metrics_json ~path names =
+  let names = if names = [] then [ "smoke" ] else names in
+  let results =
+    List.concat_map
+      (fun name ->
+        let w =
+          if name = "smoke" then smoke_workload
+          else
+            match Tce_workloads.Workloads.by_name name with
+            | Some w -> w
+            | None ->
+              Printf.eprintf "unknown workload %s\n" name;
+              exit 1
+        in
+        let off, on = Harness.run_pair w in
+        [ off; on ])
+      names
+  in
+  Export.write_results ~path results
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* `--metrics-json FILE [workload ...]` / `--metrics-json=FILE` is a
+     separate mode: JSON export instead of the experiment tables. *)
+  (match args with
+  | "--metrics-json" :: path :: rest ->
+    run_metrics_json ~path rest;
+    exit 0
+  | first :: rest when String.length first > 15
+                       && String.sub first 0 15 = "--metrics-json=" ->
+    run_metrics_json
+      ~path:(String.sub first 15 (String.length first - 15))
+      rest;
+    exit 0
+  | _ -> ());
   let chosen =
     if args = [] then List.map fst all_experiments
     else args

@@ -1,6 +1,8 @@
 (** [tcejs] — run a MiniJS program under the two-tier engine.
 
-    Usage: tcejs run FILE [--no-jit] [--no-mechanism] [--stats]
+    Usage: tcejs [run] FILE [--no-jit] [--no-mechanism] [--stats]
+                 [--trace[=FILE]] [--trace-format=json|chrome]
+                 [--metrics-json=FILE] [--obs-sample-cycles=N]
            tcejs disasm FILE            (bytecode listing)
            tcejs opt-dump FILE FUNC     (optimized LIR of FUNC, after warm-up)
            tcejs classlist FILE         (Class List dump after the run)
@@ -15,17 +17,62 @@ let read_file path =
   close_in ic;
   s
 
-let run_cmd =
+let run_term =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let no_jit = Arg.(value & flag & info [ "no-jit" ] ~doc:"Pure interpreter.") in
   let no_mech =
     Arg.(value & flag & info [ "no-mechanism" ] ~doc:"Disable the Class Cache mechanism.")
   in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.") in
-  let run file no_jit no_mech stats =
+  let trace_file =
+    Arg.(
+      value
+      & opt ~vopt:(Some "trace.json") (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record engine events and write them to $(docv) (default trace.json).")
+  in
+  let trace_format =
+    Arg.(
+      value
+      & opt (enum [ ("json", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+      & info [ "trace-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Trace output format: $(b,json) (one event per line) or \
+             $(b,chrome) (trace_event JSON loadable in Perfetto / \
+             chrome://tracing).")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write engine counters as versioned JSON to $(docv) (- = stdout).")
+  in
+  let sample_cycles =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "obs-sample-cycles" ] ~docv:"N"
+          ~doc:
+            "Sample counter tracks (deopts, Class-Cache occupancy, heap \
+             bytes) every $(docv) simulated cycles; 0 disables sampling.")
+  in
+  let run file no_jit no_mech stats trace_file trace_format metrics_json
+      sample_cycles =
     let src = read_file file in
+    let trace =
+      match trace_file with
+      | Some _ -> Tce_obs.Trace.create ()
+      | None -> Tce_obs.Trace.null
+    in
     let config =
-      { Tce_engine.Engine.default_config with jit = not no_jit; mechanism = not no_mech }
+      {
+        Tce_engine.Engine.default_config with
+        jit = not no_jit;
+        mechanism = not no_mech;
+        trace;
+        obs_sample_cycles = sample_cycles;
+      }
     in
     let t = Tce_engine.Engine.of_source ~config src in
     (try ignore (Tce_engine.Engine.run_main t) with
@@ -37,6 +84,16 @@ let run_cmd =
         pos.Tce_minijs.Ast.col msg;
       exit 1);
     print_string (Tce_engine.Engine.output t);
+    (match trace_file with
+    | Some path ->
+      Tce_obs.Sink.write_file ~path
+        (Tce_obs.Sink.render ~format:trace_format
+           ~snapshot:t.Tce_engine.Engine.snap trace)
+    | None -> ());
+    (match metrics_json with
+    | Some path ->
+      Tce_obs.Export.to_file ~path (Tce_metrics.Export.engine_document t)
+    | None -> ());
     if stats then begin
       let c = t.Tce_engine.Engine.counters in
       Printf.printf "--- stats ---\n";
@@ -62,8 +119,11 @@ let run_cmd =
            t.Tce_engine.Engine.heap.Tce_vm.Heap.reg)
     end
   in
-  Cmd.v (Cmd.info "run" ~doc:"Run a MiniJS program.")
-    Term.(const run $ file $ no_jit $ no_mech $ stats)
+  Term.(
+    const run $ file $ no_jit $ no_mech $ stats $ trace_file $ trace_format
+    $ metrics_json $ sample_cycles)
+
+let run_cmd = Cmd.v (Cmd.info "run" ~doc:"Run a MiniJS program.") run_term
 
 let disasm_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -156,4 +216,5 @@ let () =
   let info = Cmd.info "tcejs" ~doc:"MiniJS engine with HW-assisted type-check elision" in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; disasm_cmd; opt_dump_cmd; classlist_cmd; config_cmd ]))
+       (Cmd.group ~default:run_term info
+          [ run_cmd; disasm_cmd; opt_dump_cmd; classlist_cmd; config_cmd ]))

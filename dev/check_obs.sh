@@ -1,0 +1,31 @@
+#!/bin/sh
+# End-to-end observability check (wired into `dune runtest` via dev/dune):
+# run one traced, deopting benchmark, then validate every JSON artifact
+# against its schema.
+#
+# Usage: check_obs.sh TCEJS_EXE VALIDATE_EXE EXAMPLE_JS
+set -e
+
+# dune passes exe paths relative to the action's cwd; a bare name needs
+# an explicit ./ for the shell to exec it
+with_dir() { case "$1" in */*) printf '%s' "$1" ;; *) printf './%s' "$1" ;; esac; }
+TCEJS=$(with_dir "$1")
+VALIDATE=$(with_dir "$2")
+EXAMPLE=$3
+TMP=${TMPDIR:-/tmp}/check_obs.$$
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+# Chrome trace (also exercises `run` as the default subcommand) + metrics.
+"$TCEJS" --trace="$TMP/trace.json" --trace-format=chrome \
+  --obs-sample-cycles=4000 --metrics-json="$TMP/metrics.json" \
+  "$EXAMPLE" > "$TMP/out.txt"
+"$VALIDATE" chrome "$TMP/trace.json" require-deopt
+"$VALIDATE" export "$TMP/metrics.json" run-stats
+
+# JSON-lines trace of the same program.
+"$TCEJS" run --trace="$TMP/trace.jsonl" --trace-format=json "$EXAMPLE" \
+  > /dev/null
+"$VALIDATE" jsonl "$TMP/trace.jsonl"
+
+echo "check_obs: OK"

@@ -1,4 +1,8 @@
+(* Dump the live Class List of a workload (after a warm run) as a versioned
+   Tce_obs.Export JSON document on stdout. *)
 module E = Tce_engine.Engine
+module J = Tce_obs.Json
+module BM = Tce_support.Bytemap
 
 let () =
   let wname = Sys.argv.(1) in
@@ -15,9 +19,30 @@ let () =
       | Some c -> c.Tce_vm.Hidden_class.name
       | None -> Printf.sprintf "?%d" id
   in
-  List.iter
-    (fun (cid, line, e) ->
-      Fmt.pr "%a@."
-        (Tce_core.Class_list.pp_entry ~class_name ~fn_name:string_of_int)
-        (cid, line, e))
-    (Tce_core.Class_list.dump t.E.cl)
+  let entry_json (cid, line, (e : Tce_core.Class_list.entry)) =
+    J.Obj
+      [
+        ("classid", J.Int cid);
+        ("class", J.Str (class_name cid));
+        ("line", J.Int line);
+        ("init_map", J.Str (BM.to_bits e.Tce_core.Class_list.init_map));
+        ("valid_map", J.Str (BM.to_bits e.Tce_core.Class_list.valid_map));
+        ("speculate_map", J.Str (BM.to_bits e.Tce_core.Class_list.speculate_map));
+        ( "props",
+          J.List (Array.to_list (Array.map (fun p -> J.Int p) e.Tce_core.Class_list.props)) );
+        ( "func_lists",
+          J.List
+            (Array.to_list
+               (Array.map
+                  (fun l -> J.List (List.map (fun oid -> J.Int oid) l))
+                  e.Tce_core.Class_list.func_lists)) );
+      ]
+  in
+  Tce_obs.Export.to_file ~path:"-"
+    (Tce_obs.Export.document ~kind:"class-list"
+       (J.Obj
+          [
+            ("workload", J.Str wname);
+            ( "entries",
+              J.List (List.map entry_json (Tce_core.Class_list.dump t.E.cl)) );
+          ]))

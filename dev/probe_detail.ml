@@ -1,15 +1,16 @@
+(* Mechanism-off vs mechanism-on detail for one workload, as a versioned
+   Tce_obs.Export JSON document on stdout (every Harness.result field). *)
+module J = Tce_obs.Json
+
 let () =
   let name = Sys.argv.(1) in
   let w = Option.get (Tce_workloads.Workloads.by_name name) in
   let off, on = Tce_metrics.Harness.run_pair w in
-  let pr (r : Tce_metrics.Harness.result) tag =
-    Printf.printf
-      "%s: cycles=%d instrs=%d chk=%d tag=%d math=%d cc=%d other=%d base=%d \
-       loads=%d stores=%d br=%d fp=%d deopts=%d exc=%d l1d=%.4f l2=%.4f\n"
-      tag r.opt_cycles r.opt_instrs r.by_cat.(0) r.by_cat.(1) r.by_cat.(2)
-      r.by_cat.(3) r.by_cat.(4) r.baseline_instrs r.opt_loads r.opt_stores
-      r.opt_branches r.opt_fp r.deopts r.cc_exceptions r.l1d_hit_rate
-      r.l2_hit_rate
-  in
-  pr off "OFF";
-  pr on "ON "
+  Tce_obs.Export.to_file ~path:"-"
+    (Tce_obs.Export.document ~kind:"probe-detail"
+       (J.Obj
+          [
+            ("workload", J.Str name);
+            ("off", Tce_metrics.Export.result_json off);
+            ("on", Tce_metrics.Export.result_json on);
+          ]))

@@ -1,4 +1,9 @@
+(* Microarchitectural detail (branch predictor, caches, TLB) of the
+   measured iteration, mechanism off vs on, as a versioned Tce_obs.Export
+   JSON document on stdout. *)
 module E = Tce_engine.Engine
+module J = Tce_obs.Json
+
 let run mech =
   let w = Option.get (Tce_workloads.Workloads.by_name Sys.argv.(1)) in
   let config = { E.default_config with E.mechanism = mech } in
@@ -11,12 +16,29 @@ let run mech =
   E.set_measuring t true;
   ignore (E.call_by_name t "bench" [||]);
   let m = t.E.mach in
-  Printf.printf "mech=%b cycles=%d br=%d mispred=%d l1d_acc=%d l1d_miss=%d l2_miss=%d dtlb_miss=%d\n"
-    mech (E.opt_cycles t - c0)
-    m.Tce_machine.Machine.bp.Tce_machine.Branch.stats.branches
-    m.Tce_machine.Machine.bp.Tce_machine.Branch.stats.mispredicts
-    m.Tce_machine.Machine.l1d.Tce_machine.Cache.stats.accesses
-    m.Tce_machine.Machine.l1d.Tce_machine.Cache.stats.misses
-    m.Tce_machine.Machine.l2.Tce_machine.Cache.stats.misses
-    m.Tce_machine.Machine.dtlb.Tce_machine.Tlb.stats.misses
-let () = run false; run true
+  J.Obj
+    [
+      ("mechanism", J.Bool mech);
+      ("cycles", J.Int (E.opt_cycles t - c0));
+      ( "branches",
+        J.Int m.Tce_machine.Machine.bp.Tce_machine.Branch.stats.branches );
+      ( "mispredicts",
+        J.Int m.Tce_machine.Machine.bp.Tce_machine.Branch.stats.mispredicts );
+      ( "l1d_accesses",
+        J.Int m.Tce_machine.Machine.l1d.Tce_machine.Cache.stats.accesses );
+      ( "l1d_misses",
+        J.Int m.Tce_machine.Machine.l1d.Tce_machine.Cache.stats.misses );
+      ( "l2_misses",
+        J.Int m.Tce_machine.Machine.l2.Tce_machine.Cache.stats.misses );
+      ( "dtlb_misses",
+        J.Int m.Tce_machine.Machine.dtlb.Tce_machine.Tlb.stats.misses );
+    ]
+
+let () =
+  Tce_obs.Export.to_file ~path:"-"
+    (Tce_obs.Export.document ~kind:"probe-microarch"
+       (J.Obj
+          [
+            ("workload", J.Str Sys.argv.(1));
+            ("runs", J.List [ run false; run true ]);
+          ]))

@@ -1,3 +1,8 @@
+(* Per-workload speedup sweep (mechanism off vs on), as a versioned
+   Tce_obs.Export JSON document on stdout. With no arguments, runs the
+   paper's ">1% check overhead" selected subset. *)
+module J = Tce_obs.Json
+
 let () =
   let open Tce_metrics.Harness in
   let names =
@@ -7,22 +12,31 @@ let () =
     if names = [] then Tce_workloads.Workloads.selected
     else List.filter_map Tce_workloads.Workloads.by_name names
   in
-  Printf.printf "%-30s %9s %9s %7s | %8s %8s | %6s %5s %5s | %7s %7s\n" "benchmark"
-    "cyc-off" "cyc-on" "opt%" "chk-off" "chk-on" "ccops" "deop" "ccexc" "cchit%" "guards";
-  List.iter
-    (fun w ->
-      match run_pair w with
-      | off, on ->
-        let opt_imp =
-          Tce_support.Stats.improvement
-            ~base:(float_of_int off.opt_cycles)
-            ~opt:(float_of_int on.opt_cycles)
-        in
-        Printf.printf "%-30s %9d %9d %7.2f | %8d %8d | %6d %5d %5d | %7.2f %7d\n%!"
-          w.Tce_workloads.Workload.name off.opt_cycles on.opt_cycles opt_imp
-          off.by_cat.(0) on.by_cat.(0) on.by_cat.(3) on.deopts on.cc_exceptions
-          (100.0 *. on.cc_hit_rate) on.guards_obj_load
-      | exception e ->
-        Printf.printf "%-30s ERR %s\n%!" w.Tce_workloads.Workload.name
-          (Printexc.to_string e))
-    ws
+  let rows =
+    List.map
+      (fun w ->
+        match run_pair w with
+        | off, on ->
+          let opt_imp =
+            Tce_support.Stats.improvement
+              ~base:(float_of_int off.opt_cycles)
+              ~opt:(float_of_int on.opt_cycles)
+          in
+          J.Obj
+            [
+              ("workload", J.Str w.Tce_workloads.Workload.name);
+              ("improvement_pct", J.Float opt_imp);
+              ("off", Tce_metrics.Export.result_json off);
+              ("on", Tce_metrics.Export.result_json on);
+            ]
+        | exception e ->
+          J.Obj
+            [
+              ("workload", J.Str w.Tce_workloads.Workload.name);
+              ("error", J.Str (Printexc.to_string e));
+            ])
+      ws
+  in
+  Tce_obs.Export.to_file ~path:"-"
+    (Tce_obs.Export.document ~kind:"probe-speedup"
+       (J.Obj [ ("rows", J.List rows) ]))

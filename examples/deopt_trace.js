@@ -1,0 +1,28 @@
+// Deliberately deopting workload for the observability walkthrough
+// (see lib/obs/README.md and the top-level README "Tracing a deopt").
+//
+// Phase 1 warms `sum` past the tier-up threshold with monomorphic
+// Point objects whose fields are SMIs, so the optimizing compiler
+// speculates on the hidden class and on integer arithmetic.
+// Phase 2 feeds it a point whose `x` is a double: the untag-number /
+// check-map speculation fails and the optimized code deopts back to
+// the interpreter with a human-readable reason in the trace.
+function Point(x, y) { this.x = x; this.y = y; }
+
+function sum(p, n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) {
+    s = (s + p.x + p.y + i) & 268435455;
+  }
+  return s;
+}
+
+var acc = 0;
+// phase 1: warm up and tier up (hot_call_count is 6)
+for (var k = 0; k < 12; k++) {
+  acc = (acc + sum(new Point(k, k + 1), 400)) & 268435455;
+}
+// phase 2: misspeculate — x is now a heap number
+var bad = new Point(0.5, 3);
+acc = (acc + sum(bad, 400)) & 268435455;
+print(acc);

@@ -34,6 +34,9 @@ type t = {
   sets : way array array;  (** [sets.(set_index).(way)] *)
   mutable clock : int;
   stats : stats;
+  mutable trace : Tce_obs.Trace.t;
+      (** observability sink for misspeculation exceptions (installed by
+          the engine; {!Tce_obs.Trace.null} = disabled) *)
 }
 
 let fresh_stats () =
@@ -58,6 +61,7 @@ let create ?(config = default_config) () =
           Array.init config.ways (fun _ -> { tag = 0; valid = false; lru = 0 }));
     clock = 0;
     stats = fresh_stats ();
+    trace = Tce_obs.Trace.null;
   }
 
 let nsets t = Array.length t.sets
@@ -119,6 +123,10 @@ let access t (cl : Class_list.t) ~classid ~line ~pos ~value_classid =
   | _ -> ());
   if fns <> [] then begin
     t.stats.exceptions <- t.stats.exceptions + 1;
+    if Tce_obs.Trace.on t.trace then
+      Tce_obs.Trace.emit t.trace
+        (Tce_obs.Trace.Cc_exception
+           { classid; line; pos; victims = List.length fns });
     { hit; exn_raised = true; functions_to_deopt = fns; outcome }
   end
   else
@@ -129,6 +137,16 @@ let access t (cl : Class_list.t) ~classid ~line ~pos ~value_classid =
         | _ -> false);
       functions_to_deopt = [];
       outcome }
+
+(** Install the observability sink (the engine wires its trace here). *)
+let set_trace t tr = t.trace <- tr
+
+(** Currently valid ways (the Chrome-trace occupancy counter track). *)
+let occupancy t =
+  Array.fold_left
+    (fun acc set ->
+      Array.fold_left (fun acc w -> if w.valid then acc + 1 else acc) acc set)
+    0 t.sets
 
 let hit_rate t =
   if t.stats.accesses = 0 then 1.0

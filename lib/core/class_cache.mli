@@ -24,6 +24,9 @@ type t = private {
   sets : way array array;
   mutable clock : int;
   stats : stats;
+  mutable trace : Tce_obs.Trace.t;
+      (** observability sink for misspeculation exceptions (installed by
+          the engine; {!Tce_obs.Trace.null} = disabled) *)
 }
 
 and way = { mutable tag : int; mutable valid : bool; mutable lru : int }
@@ -50,6 +53,12 @@ val access :
   access_result
 
 val hit_rate : t -> float
+
+(** Install the observability sink (the engine wires its trace here). *)
+val set_trace : t -> Tce_obs.Trace.t -> unit
+
+(** Currently valid ways (the Chrome-trace occupancy counter track). *)
+val occupancy : t -> int
 
 (** Storage estimate in bytes (paper §5.4: < 1.5 KB at 128 entries). *)
 val storage_bytes : t -> int

@@ -29,6 +29,11 @@ type config = {
   mach_cfg : Tce_machine.Config.t;
   cc_config : CC.config;
   seed : int;
+  trace : Tce_obs.Trace.t;
+      (** observability sink; {!Tce_obs.Trace.null} = tracing off (the
+          zero-cost default: no events, no allocation, identical cycles) *)
+  obs_sample_cycles : int;
+      (** counter-snapshot period in simulated cycles; 0 = off *)
 }
 
 let default_config =
@@ -43,6 +48,8 @@ let default_config =
     mach_cfg = Tce_machine.Config.default;
     cc_config = CC.default_config;
     seed = 42;
+    trace = Tce_obs.Trace.null;
+    obs_sample_cycles = 0;
   }
 
 type t = {
@@ -64,6 +71,10 @@ type t = {
   mutable host : Tce_machine.Machine.host option;
   mutable depth : int;  (** guest call depth (recursion guard) *)
   globals_base : int;  (** simulated address of the global variable cells *)
+  snap : Tce_obs.Snapshot.t;  (** periodic counter sampler *)
+  obs_clock : unit -> int;
+      (** deterministic trace clock: machine cycles + analytic baseline
+          cycles (also installed as the trace's clock) *)
 }
 
 let max_depth = 2000
@@ -91,8 +102,18 @@ let create ?(config = default_config) (prog : Bytecode.program) : t =
   let counters = Tce_machine.Counters.create () in
   let mach =
     Tce_machine.Machine.create ~cfg:config.mach_cfg ~mechanism:config.mechanism
-      ~heap ~cc ~cl ~oracle ~counters ()
+      ~trace:config.trace ~heap ~cc ~cl ~oracle ~counters ()
   in
+  (* one deterministic clock for the whole observability layer: optimized
+     cycles plus the analytic baseline-tier cycles *)
+  let obs_clock () =
+    mach.Tce_machine.Machine.cycle
+    + int_of_float
+        (float_of_int counters.Tce_machine.Counters.baseline_instrs
+        *. config.mach_cfg.Tce_machine.Config.baseline_cpi)
+  in
+  Tce_obs.Trace.set_clock config.trace obs_clock;
+  CC.set_trace cc config.trace;
   (* global variable cells live in simulated memory, initialized to null *)
   let n_globals = max 1 (Array.length prog.Bytecode.globals) in
   let globals_base = Mem.allocate heap.Heap.mem ~bytes:(8 * n_globals) ~align:64 in
@@ -108,7 +129,7 @@ let create ?(config = default_config) (prog : Bytecode.program) : t =
     oracle;
     counters;
     mach;
-    io = Runtime.make_io ~seed:config.seed ();
+    io = Runtime.make_io ~seed:config.seed ~trace:config.trace ();
     opt_table = Hashtbl.create 64;
     shadow_table = Hashtbl.create 64;
     next_opt_id = 0;
@@ -116,6 +137,8 @@ let create ?(config = default_config) (prog : Bytecode.program) : t =
     host = None;
     depth = 0;
     globals_base;
+    snap = Tce_obs.Snapshot.create ~every:config.obs_sample_cycles;
+    obs_clock;
   }
 
 let of_source ?config src = create ?config (Bc_compile.compile_source src)
@@ -158,6 +181,37 @@ let charge_baseline_extra t n =
     t.counters.Tce_machine.Counters.baseline_instrs <-
       t.counters.Tce_machine.Counters.baseline_instrs + n
 
+(* --- observability --- *)
+
+let trace t = t.cfg.trace
+
+(** Take a counter snapshot when the sampling period elapsed. Called from
+    cheap, deterministic points (guest calls, store events); reads state
+    only, so cycle counts are unaffected. *)
+let obs_tick t =
+  if Tce_obs.Snapshot.active t.snap then begin
+    let now = t.obs_clock () in
+    Tce_obs.Snapshot.tick t.snap ~now (fun () ->
+        {
+          Tce_obs.Snapshot.at = now;
+          deopts = t.counters.Tce_machine.Counters.deopts;
+          tierups = t.counters.Tce_machine.Counters.tierups;
+          cc_exceptions = t.counters.Tce_machine.Counters.cc_exception_deopts;
+          cc_occupancy = CC.occupancy t.cc;
+          baseline_instrs = t.counters.Tce_machine.Counters.baseline_instrs;
+          heap_bytes = t.heap.Heap.stats.Heap.object_bytes;
+        })
+  end
+
+(** Emit an [Ic_transition] event for a feedback-recorder result. *)
+let emit_ic t ~site ~slot = function
+  | None -> ()
+  | Some (from_state, to_state) ->
+    let tr = trace t in
+    if Tce_obs.Trace.on tr then
+      Tce_obs.Trace.emit tr
+        (Tce_obs.Trace.Ic_transition { site; slot; from_state; to_state })
+
 (* --- speculation bookkeeping --- *)
 
 let invalidate_opt t opt_ids =
@@ -188,6 +242,7 @@ let is_invalidated t oid =
     executed in the baseline tier or a runtime stub (the special-store
     request of §4.2.1.3, plus the measurement oracle). *)
 let fire_store_event t ~classid ~line ~pos ~value_classid =
+  obs_tick t;
   Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid;
   if t.cfg.mechanism then begin
     let r = CC.access t.cc t.cl ~classid ~line ~pos ~value_classid in
@@ -221,7 +276,10 @@ let get_prop t (fb : Feedback.t option) fb_slot obj name : Value.t =
   if Value.is_smi obj then raise (Engine_error ("property access on SMI: " ^ name));
   let c = Heap.class_of_addr h (Value.ptr_addr obj) in
   let record sh =
-    match fb with Some fb when fb_slot >= 0 -> Feedback.record_prop fb fb_slot sh | _ -> ()
+    match fb with
+    | Some fb when fb_slot >= 0 ->
+      emit_ic t ~site:"prop-load" ~slot:fb_slot (Feedback.record_prop fb fb_slot sh)
+    | _ -> ()
   in
   match (c.Hidden_class.kind, name) with
   | Hidden_class.K_string, "length" ->
@@ -257,12 +315,13 @@ let set_prop t (fb : Feedback.t option) fb_slot obj name v =
   let c1 = Heap.class_of_addr h (Value.ptr_addr obj) in
   (match fb with
   | Some fb when fb_slot >= 0 ->
-    Feedback.record_prop fb fb_slot
-      {
-        Feedback.classid = c0.Hidden_class.id;
-        slot;
-        transition_to = (if transitioned then Some c1.Hidden_class.id else None);
-      }
+    emit_ic t ~site:"prop-store" ~slot:fb_slot
+      (Feedback.record_prop fb fb_slot
+         {
+           Feedback.classid = c0.Hidden_class.id;
+           slot;
+           transition_to = (if transitioned then Some c1.Hidden_class.id else None);
+         })
   | _ -> ());
   if transitioned then charge_baseline_extra t Tce_machine.Costs.transition_instrs;
   let line, pos = Layout.line_pos_of_slot slot in
@@ -287,7 +346,8 @@ let get_elem t (fb : Feedback.t option) fb_slot obj idx : Value.t =
     in
     (match fb with
     | Some fb when fb_slot >= 0 ->
-      Feedback.record_elem fb fb_slot ~classid:c.Hidden_class.id
+      emit_ic t ~site:"elem-load" ~slot:fb_slot
+        (Feedback.record_elem fb fb_slot ~classid:c.Hidden_class.id)
     | _ -> ());
     record_obj_load t ~classid:c.Hidden_class.id ~line:0
       ~pos:Layout.elements_ptr_slot;
@@ -305,10 +365,21 @@ let set_elem t (fb : Feedback.t option) fb_slot obj idx v =
   in
   (match fb with
   | Some fb when fb_slot >= 0 ->
-    Feedback.record_elem fb fb_slot ~classid:c.Hidden_class.id
+    emit_ic t ~site:"elem-store" ~slot:fb_slot
+      (Feedback.record_elem fb fb_slot ~classid:c.Hidden_class.id)
   | _ -> ());
   let slow = Heap.elem_set h obj i v in
-  if slow then charge_baseline_extra t 40;
+  if slow then begin
+    charge_baseline_extra t 40;
+    let tr = trace t in
+    if Tce_obs.Trace.on tr then
+      Tce_obs.Trace.emit tr
+        (Tce_obs.Trace.Gc
+           {
+             heap_bytes = h.Heap.stats.Heap.object_bytes;
+             grows = h.Heap.stats.Heap.elements_grows;
+           })
+  end;
   let c1 = Heap.class_of_addr h (Value.ptr_addr obj) in
   (* an in-place elements-kind transition changed this object's class:
      retire profiles naming the old class (map-stability invalidation) *)
@@ -318,6 +389,16 @@ let set_elem t (fb : Feedback.t option) fb_slot obj idx v =
     if t.cfg.mechanism then begin
       let fns = CL.retire_value_class t.cl ~value_classid:c.Hidden_class.id in
       if fns <> [] then begin
+        let tr = trace t in
+        if Tce_obs.Trace.on tr then
+          Tce_obs.Trace.emit tr
+            (Tce_obs.Trace.Cc_exception
+               {
+                 classid = c.Hidden_class.id;
+                 line = 0;
+                 pos = Layout.elements_ptr_slot;
+                 victims = List.length fns;
+               });
         if measuring t then
           t.counters.Tce_machine.Counters.cc_exception_deopts <-
             t.counters.Tce_machine.Counters.cc_exception_deopts + 1;
@@ -374,6 +455,20 @@ let try_optimize t (fn : Bytecode.func) =
       fn.Bytecode.opt <- Some code;
       Hashtbl.replace t.opt_table opt_id code;
       Hashtbl.replace t.shadow_table opt_id fn_view;
+      let tr = trace t in
+      if Tce_obs.Trace.on tr then begin
+        Tce_obs.Trace.emit tr
+          (Tce_obs.Trace.Compile
+             {
+               func = fn.Bytecode.name;
+               opt_id;
+               instrs = Array.length code.Lir.code;
+               bailout = None;
+             });
+        Tce_obs.Trace.emit tr
+          (Tce_obs.Trace.Tierup
+             { func = fn.Bytecode.name; fn_id = fn.Bytecode.id; opt_id })
+      end;
       if measuring t then
         t.counters.Tce_machine.Counters.tierups <-
           t.counters.Tce_machine.Counters.tierups + 1;
@@ -382,12 +477,19 @@ let try_optimize t (fn : Bytecode.func) =
         (fun (classid, line, pos) ->
           CL.add_speculation t.cl ~classid ~line ~pos ~fn:opt_id)
         code.Lir.spec_deps
-    | exception Opt.Bailout _ -> fn.Bytecode.opt_disabled <- true
+    | exception Opt.Bailout msg ->
+      let tr = trace t in
+      if Tce_obs.Trace.on tr then
+        Tce_obs.Trace.emit tr
+          (Tce_obs.Trace.Compile
+             { func = fn.Bytecode.name; opt_id; instrs = 0; bailout = Some msg });
+      fn.Bytecode.opt_disabled <- true
   end
 
 (* --- the interpreter --- *)
 
 let rec call_function t fid (args : Value.t array) : Value.t =
+  obs_tick t;
   let fn = t.prog.Bytecode.funcs.(fid) in
   fn.Bytecode.call_count <- fn.Bytecode.call_count + 1;
   t.depth <- t.depth + 1;
@@ -454,7 +556,7 @@ and interp_from t (fn : Bytecode.func) (regs : Value.t array) start_pc : Value.t
       pc := next
     | BinOp (bop, d, a, b, slot) ->
       let v, kind = Runtime.eval_binop h bop regs.(a) regs.(b) in
-      Feedback.record_binop fb slot kind;
+      emit_ic t ~site:"binop" ~slot (Feedback.record_binop fb slot kind);
       regs.(d) <- v;
       pc := next
     | UnOp (uop, d, a) ->
@@ -639,6 +741,8 @@ and rt_call t (rt : Lir.rt) (args : Value.t array) (fargs : float array) :
 
 (** Execute the program's top level. *)
 let run_main t : Value.t =
+  let tr = trace t in
+  if Tce_obs.Trace.on tr then Tce_obs.Trace.emit tr (Tce_obs.Trace.Phase "main");
   call_function t t.prog.Bytecode.main [| t.heap.Heap.null_v |]
 
 (** Call a top-level function by name (used by the benchmark harness to

@@ -17,6 +17,11 @@ type config = {
   mach_cfg : Tce_machine.Config.t;
   cc_config : Tce_core.Class_cache.config;
   seed : int;
+  trace : Tce_obs.Trace.t;
+      (** observability sink; {!Tce_obs.Trace.null} = tracing off (the
+          zero-cost default: no events, no allocation, identical cycles) *)
+  obs_sample_cycles : int;
+      (** counter-snapshot period in simulated cycles; 0 = off *)
 }
 
 val default_config : config
@@ -38,6 +43,8 @@ type t = {
   mutable host : Tce_machine.Machine.host option;
   mutable depth : int;
   globals_base : int;
+  snap : Tce_obs.Snapshot.t;  (** periodic counter sampler *)
+  obs_clock : unit -> int;  (** deterministic trace clock *)
 }
 
 val max_depth : int
@@ -78,3 +85,12 @@ val opt_cycles : t -> int
 
 (** Analytic cycles of the baseline tier. *)
 val baseline_cycles : t -> float
+
+(* --- observability --- *)
+
+(** The engine's trace (from the config). *)
+val trace : t -> Tce_obs.Trace.t
+
+(** Take a counter snapshot if the sampling period elapsed (also called
+    internally on guest calls and store events). *)
+val obs_tick : t -> unit

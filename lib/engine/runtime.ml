@@ -119,9 +119,14 @@ let eval_unop h (op : Tce_minijs.Ast.unop) a : Value.t =
 
 (* --- builtins --- *)
 
-type io = { out : Buffer.t; prng : Tce_support.Prng.t }
+type io = {
+  out : Buffer.t;
+  prng : Tce_support.Prng.t;
+  trace : Tce_obs.Trace.t;  (** observability sink (heap-growth events) *)
+}
 
-let make_io ?(seed = 42) () = { out = Buffer.create 1024; prng = Tce_support.Prng.create seed }
+let make_io ?(seed = 42) ?(trace = Tce_obs.Trace.null) () =
+  { out = Buffer.create 1024; prng = Tce_support.Prng.create seed; trace }
 
 let builtin_apply h io (b : Builtins.t) (args : Value.t array) : Value.t =
   let arg i = args.(i) in
@@ -151,7 +156,14 @@ let builtin_apply h io (b : Builtins.t) (args : Value.t array) : Value.t =
     let a = arg 0 in
     if not (Heap.is_object h a) then error "push: not an array";
     let len = Heap.elements_len h a in
-    ignore (Heap.elem_set h a len (arg 1));
+    let grew = Heap.elem_set h a len (arg 1) in
+    if grew && Tce_obs.Trace.on io.trace then
+      Tce_obs.Trace.emit io.trace
+        (Tce_obs.Trace.Gc
+           {
+             heap_bytes = h.Heap.stats.Heap.object_bytes;
+             grows = h.Heap.stats.Heap.elements_grows;
+           });
     Value.smi (len + 1)
   | B_str_len -> Value.smi (String.length (Heap.string_value h (arg 0)))
   | B_char_code ->

@@ -33,9 +33,13 @@ val eval_binop :
 val eval_unop :
   Tce_vm.Heap.t -> Tce_minijs.Ast.unop -> Tce_vm.Value.t -> Tce_vm.Value.t
 
-type io = { out : Buffer.t; prng : Tce_support.Prng.t }
+type io = {
+  out : Buffer.t;
+  prng : Tce_support.Prng.t;
+  trace : Tce_obs.Trace.t;  (** observability sink (heap-growth events) *)
+}
 
-val make_io : ?seed:int -> unit -> io
+val make_io : ?seed:int -> ?trace:Tce_obs.Trace.t -> unit -> io
 
 (** Apply a builtin. (The engine intercepts [push] so its element store
     fires Class Cache events; this function is the plain semantics.) *)

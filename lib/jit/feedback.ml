@@ -43,13 +43,39 @@ let prop_of = function S_prop p -> p | _ -> invalid_arg "Feedback: not a prop si
 let elem_of = function S_elem e -> e | _ -> invalid_arg "Feedback: not an elem site"
 let binop_of = function S_binop b -> b | _ -> invalid_arg "Feedback: not a binop site"
 
+let prop_state = function
+  | Ic_uninit -> "uninit"
+  | Ic_mono _ -> "mono"
+  | Ic_poly _ -> "poly"
+  | Ic_mega -> "mega"
+
+let elem_state = function
+  | Eic_uninit -> "uninit"
+  | Eic_mono _ -> "mono"
+  | Eic_poly _ -> "poly"
+  | Eic_mega -> "mega"
+
+let binop_state = function
+  | Bf_none -> "none"
+  | Bf_smi -> "smi"
+  | Bf_number -> "number"
+  | Bf_string -> "string"
+  | Bf_ref -> "ref"
+  | Bf_generic -> "generic"
+
+(** [Some (from, to)] when the new observation moved the site along the
+    uninit -> mono -> poly -> mega lattice (the observability layer turns
+    these into [Ic_transition] events). *)
+let transition name prev next = if prev = next then None else Some (name prev, name next)
+
 (** Record an observed shape at a property site. *)
 let record_prop (fb : t) i (sh : shape) =
   let same (a : shape) (b : shape) =
     a.classid = b.classid && a.slot = b.slot && a.transition_to = b.transition_to
   in
+  let prev = prop_of fb.(i) in
   let next =
-    match prop_of fb.(i) with
+    match prev with
     | Ic_uninit -> Ic_mono sh
     | Ic_mono sh0 when same sh0 sh -> Ic_mono sh0
     | Ic_mono sh0 -> Ic_poly [ sh; sh0 ]
@@ -58,11 +84,13 @@ let record_prop (fb : t) i (sh : shape) =
     | Ic_poly _ -> Ic_mega
     | Ic_mega -> Ic_mega
   in
-  fb.(i) <- S_prop next
+  fb.(i) <- S_prop next;
+  transition prop_state prev next
 
 let record_elem (fb : t) i ~classid =
+  let prev = elem_of fb.(i) in
   let next =
-    match elem_of fb.(i) with
+    match prev with
     | Eic_uninit -> Eic_mono classid
     | Eic_mono c when c = classid -> Eic_mono c
     | Eic_mono c -> Eic_poly [ classid; c ]
@@ -71,7 +99,8 @@ let record_elem (fb : t) i ~classid =
     | Eic_poly _ -> Eic_mega
     | Eic_mega -> Eic_mega
   in
-  fb.(i) <- S_elem next
+  fb.(i) <- S_elem next;
+  transition elem_state prev next
 
 let join_binop a b =
   match (a, b) with
@@ -82,7 +111,11 @@ let join_binop a b =
   | Bf_ref, Bf_ref -> Bf_ref
   | _ -> Bf_generic
 
-let record_binop (fb : t) i kind = fb.(i) <- S_binop (join_binop (binop_of fb.(i)) kind)
+let record_binop (fb : t) i kind =
+  let prev = binop_of fb.(i) in
+  let next = join_binop prev kind in
+  fb.(i) <- S_binop next;
+  transition binop_state prev next
 
 (** Number of megamorphic / polymorphic / monomorphic sites (census). *)
 let census (fb : t) =

@@ -37,10 +37,21 @@ val prop_of : site -> prop_ic
 val elem_of : site -> elem_ic
 val binop_of : site -> binop_fb
 
-val record_prop : t -> int -> shape -> unit
-val record_elem : t -> int -> classid:int -> unit
+(** Recorders return [Some (from, to)] when the observation moved the
+    site along the uninit -> mono -> poly -> mega lattice (fed to the
+    observability layer as [Ic_transition] events), [None] otherwise. *)
+val record_prop : t -> int -> shape -> (string * string) option
+
+val record_elem : t -> int -> classid:int -> (string * string) option
 val join_binop : binop_fb -> binop_fb -> binop_fb
-val record_binop : t -> int -> binop_fb -> unit
+val record_binop : t -> int -> binop_fb -> (string * string) option
+
+(** State names on the IC lattices ("uninit", "mono", "poly", "mega" /
+    binop kinds). *)
+val prop_state : prop_ic -> string
+
+val elem_state : elem_ic -> string
+val binop_state : binop_fb -> string
 
 (** [(monomorphic, polymorphic, megamorphic)] site counts. *)
 val census : t -> int * int * int

@@ -409,10 +409,15 @@ let reset_scratch g =
   g.scratch <- g.n_bc;
   g.scratch_f <- g.n_bc
 
-let mk_deopt g ~bc_pc ~result_into =
-  g.deopt_infos <- { Lir.bc_pc; result_into } :: g.deopt_infos;
+let mk_deopt ?(classid = -1) g ~reason ~bc_pc ~result_into =
+  g.deopt_infos <- { Lir.bc_pc; result_into; reason; classid } :: g.deopt_infos;
   g.n_deopts <- g.n_deopts + 1;
   g.n_deopts - 1
+
+(** Deopt reason naming the hidden class a check guards. *)
+let check_reason g kind cid =
+  Printf.sprintf "%s: receiver is not class %d (%s)" kind cid
+    (class_of_id g.genv cid).Hidden_class.name
 
 let add_dep g classid line pos =
   if not (List.mem (classid, line, pos) g.deps) then
@@ -443,7 +448,7 @@ let check_map g (st : state) ~flags ?(cat = Categories.C_check) r cid ~bc_pc =
   match st.tys.(r) with
   | Cls c when c = cid -> ()
   | ty ->
-    let did = mk_deopt g ~bc_pc ~result_into:None in
+    let did = mk_deopt g ~classid:cid ~reason:(check_reason g "check-map" cid) ~bc_pc ~result_into:None in
     if ty = Smi then ignore (emit g cat (Lir.Deopt did))
     else begin
       (match ty with
@@ -478,7 +483,7 @@ let float_loc g (st : state) r ~bc_pc : Lir.freg =
       ignore (emit g Categories.C_taguntag (Lir.FLoad (fd, r, 7)))
     | _ ->
       (* generic number untag diamond (Full of the paper's Tags/Untags) *)
-      let did = mk_deopt g ~bc_pc ~result_into:None in
+      let did = mk_deopt g ~reason:"untag-number: value is neither SMI nor HeapNumber" ~bc_pc ~result_into:None in
       let bheap =
         emit g ~flags Categories.C_taguntag (Lir.Branch (Lir.Bit_set, r, Lir.Imm 1, -1))
       in
@@ -518,7 +523,7 @@ let tagged_loc g (_st : state) r : Lir.reg =
 let tagged_smi_loc g (st : state) r ~bc_pc : Lir.reg =
   if g.reprs.(r) = Lir.R_double then begin
     (* double-repr value used where an SMI is required: deopt on inexact *)
-    let did = mk_deopt g ~bc_pc ~result_into:None in
+    let did = mk_deopt g ~reason:"smi-convert: double value is not an exact int32" ~bc_pc ~result_into:None in
     let s = scratch g in
     ignore (emit g Categories.C_taguntag (Lir.TruncFI (s, r)));
     let f2 = scratch_f g in
@@ -534,7 +539,7 @@ let tagged_smi_loc g (st : state) r ~bc_pc : Lir.reg =
     | Smi -> ()
     | _ ->
       let flags = if st.fl.(r) then Categories.flag_guards_obj_load else 0 in
-      let did = mk_deopt g ~bc_pc ~result_into:None in
+      let did = mk_deopt g ~reason:"check-smi: value is not an SMI" ~bc_pc ~result_into:None in
       check_smi g ~flags ~cat:Categories.C_check r did);
     r
   end
@@ -569,7 +574,7 @@ let def_from_tagged g (st : state) d src ~bc_pc =
     ignore st';
     (* untag via the generic diamond on a pseudo state: treat as Num *)
     let fd = d in
-    let did = mk_deopt g ~bc_pc ~result_into:None in
+    let did = mk_deopt g ~reason:"untag-number: value is not a HeapNumber" ~bc_pc ~result_into:None in
     ignore did;
     let bheap =
       emit g Categories.C_taguntag (Lir.Branch (Lir.Bit_set, src, Lir.Imm 1, -1))
@@ -872,10 +877,10 @@ let store_provably_safe g ~classid ~line ~pos vty =
 (** Emit a specialized property/elements store's write itself, choosing
     between movStoreClassCache and a plain store per the paper's rule
     ("special stores for slots still considered monomorphic"). *)
-let emit_prop_store g ~any_valid ~classid:_ ~line ~pos ~base ~off ~value ~bc_pc =
+let emit_prop_store g ~any_valid ~classid ~line ~pos ~base ~off ~value ~bc_pc =
   if g.genv.mechanism && any_valid then begin
     ignore (emit g Categories.C_ccop (Lir.MovClassID value));
-    let did = mk_deopt g ~bc_pc:(bc_pc + 1) ~result_into:None in
+    let did = mk_deopt g ~classid ~reason:(Printf.sprintf "cc-exception: special store broke profile (line %d pos %d)" line pos) ~bc_pc:(bc_pc + 1) ~result_into:None in
     ignore
       (emit g Categories.C_other (Lir.StoreClassCache (base, off, Lir.Reg value, did)))
   end
@@ -975,7 +980,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       | Feedback.Bf_smi -> (
         let ta = tagged_smi_loc g st a ~bc_pc:pc in
         let tb = tagged_smi_loc g st b ~bc_pc:pc in
-        let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+        let did = mk_deopt g ~reason:"smi-overflow: integer add/sub/mul overflowed" ~bc_pc:pc ~result_into:None in
         match op with
         | Tce_minijs.Ast.Add | Sub ->
           let alu = if op = Tce_minijs.Ast.Add then Lir.Add else Lir.Sub in
@@ -1006,7 +1011,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
           (emit g Categories.C_other
              (Lir.CallRt (Lir.Rt_generic_binop op, [| ta; tb |], [||], Some d, None)))
       | Bf_none ->
-        let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+        let did = mk_deopt g ~reason:"uninit-feedback: arithmetic site never executed" ~bc_pc:pc ~result_into:None in
         ignore (emit g Categories.C_other (Lir.Deopt did))
       | _ ->
         let ta = tagged_loc g st a and tb = tagged_loc g st b in
@@ -1019,7 +1024,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
         (* integer division specialized on exactness (math assumptions) *)
         let ta = tagged_smi_loc g st a ~bc_pc:pc in
         let tb = tagged_smi_loc g st b ~bc_pc:pc in
-        let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+        let did = mk_deopt g ~reason:"smi-div: zero divisor or inexact quotient" ~bc_pc:pc ~result_into:None in
         let sa = scratch g and sb = scratch g in
         ignore (emit g Categories.C_taguntag (Lir.Alu (Lir.Sar, sa, ta, Lir.Imm 1)));
         ignore (emit g Categories.C_taguntag (Lir.Alu (Lir.Sar, sb, tb, Lir.Imm 1)));
@@ -1054,7 +1059,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
           ignore (emit g Categories.C_other (Lir.FDiv (fd, fa, fb')));
           if g.reprs.(d) <> Lir.R_double then def_float d fd)
       | Bf_none ->
-        let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+        let did = mk_deopt g ~reason:"uninit-feedback: arithmetic site never executed" ~bc_pc:pc ~result_into:None in
         ignore (emit g Categories.C_other (Lir.Deopt did))
       | _ ->
         let ta = tagged_loc g st a and tb = tagged_loc g st b in
@@ -1084,7 +1089,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       | Feedback.Bf_smi ->
         let ta = tagged_smi_loc g st a ~bc_pc:pc in
         let tb = tagged_smi_loc g st b ~bc_pc:pc in
-        let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+        let did = mk_deopt g ~reason:"smi-mod: zero divisor" ~bc_pc:pc ~result_into:None in
         let sa = scratch g and sb = scratch g in
         ignore (emit g Categories.C_taguntag (Lir.Alu (Lir.Sar, sa, ta, Lir.Imm 1)));
         ignore (emit g Categories.C_taguntag (Lir.Alu (Lir.Sar, sb, tb, Lir.Imm 1)));
@@ -1102,7 +1107,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
              (Lir.CallRt (Lir.Rt_fmod, [||], [| fa; fb' |], None, Some fd)));
         if g.reprs.(d) <> Lir.R_double then def_float d fd
       | Bf_none ->
-        let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+        let did = mk_deopt g ~reason:"uninit-feedback: arithmetic site never executed" ~bc_pc:pc ~result_into:None in
         ignore (emit g Categories.C_other (Lir.Deopt did))
       | _ ->
         let ta = tagged_loc g st a and tb = tagged_loc g st b in
@@ -1131,7 +1136,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
         ignore
           (emit g Categories.C_other (Lir.Alu (Lir.And, m, ra, Lir.Imm 0xffffffff)));
         ignore (emit g Categories.C_other (Lir.Alu (Lir.Shr, s, m, Lir.Reg rb)));
-        let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+        let did = mk_deopt g ~reason:"smi-overflow: ushr result exceeds SMI range" ~bc_pc:pc ~result_into:None in
         let idx = emit g Categories.C_math (Lir.AluOv (Lir.Shl, d, s, Lir.Imm 1, -1)) in
         add_fixup g idx (F_deopt did)
       end
@@ -1147,7 +1152,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
         let ta = tagged_smi_loc g st a ~bc_pc:pc in
         let z = scratch g in
         ignore (emit g Categories.C_other (Lir.MovImm (z, 0)));
-        let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+        let did = mk_deopt g ~reason:"smi-overflow: integer negate overflowed" ~bc_pc:pc ~result_into:None in
         let idx = emit g Categories.C_math (Lir.AluOv (Lir.Sub, d, z, Lir.Reg ta, -1)) in
         add_fixup g idx (F_deopt did)
       | Num | Cls _ ->
@@ -1192,7 +1197,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       (match invariant_slot_ty env ~classid ~slot:s with
       | Some _ -> ()
       | None -> ignore (emit g Categories.C_other (Lir.Profile (o, line, pos))));
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~classid ~reason:(check_reason g "checked-load" classid) ~bc_pc:pc ~result_into:None in
       let expected =
         Hidden_class.class_word (class_of_id env classid) ~line
       in
@@ -1226,7 +1231,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
                sh.slot = (List.hd shapes).slot && sh.transition_to = None)
              shapes ->
       let s = (List.hd shapes).Feedback.slot in
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~reason:"check-map-poly: receiver class not in polymorphic load IC" ~bc_pc:pc ~result_into:None in
       (match st.tys.(o) with
       | Smi -> ignore (emit g Categories.C_check (Lir.Deopt did))
       | Any | Num -> check_non_smi g ~flags:(flags_of o) ~cat:Categories.C_check o did
@@ -1271,7 +1276,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
         def_from_tagged g st' d d ~bc_pc:pc
       end
     | Ic_uninit ->
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~reason:"uninit-feedback: property load site never executed" ~bc_pc:pc ~result_into:None in
       ignore (emit g Categories.C_other (Lir.Deopt did)))
   | GetElem (d, o, i, slot) -> (
     match Feedback.elem_of fb.(slot) with
@@ -1279,7 +1284,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       check_map g st ~flags:(flags_of o) o classid ~bc_pc:pc;
       let elems, len = load_elements g o in
       let ti = tagged_smi_loc g st i ~bc_pc:pc in
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~reason:"bounds-check: element load index out of range" ~bc_pc:pc ~result_into:None in
       let i0 = emit g Categories.C_other (Lir.Branch (Lir.Lt, ti, Lir.Imm 0, -1)) in
       add_fixup g i0 (F_deopt did);
       let i1 = emit g Categories.C_other (Lir.Branch (Lir.Ge, ti, Lir.Reg len, -1)) in
@@ -1311,7 +1316,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
           ignore (emit g Categories.C_other (Lir.LoadIdx (d, elems, ri, elements_off))))
       | `No_elements -> assert false)
     | Eic_uninit ->
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~reason:"uninit-feedback: element load site never executed" ~bc_pc:pc ~result_into:None in
       ignore (emit g Categories.C_other (Lir.Deopt did))
     | _ ->
       let to_ = tagged_loc g st o in
@@ -1358,7 +1363,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       (* polymorphic same-slot store: chained map checks, then one store;
          the special store profiles per-object via the line header *)
       let s = (List.hd shapes).Feedback.slot in
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~reason:"check-map-poly: receiver class not in polymorphic store IC" ~bc_pc:pc ~result_into:None in
       (match st.tys.(o) with
       | Smi -> ignore (emit g Categories.C_check (Lir.Deopt did))
       | Any | Num -> check_non_smi g ~flags:(flags_of o) ~cat:Categories.C_check o did
@@ -1393,12 +1398,12 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
     | Ic_poly _ | Ic_mega ->
       let to_ = tagged_loc g st o in
       let tv = tagged_loc g st v in
-      let did = mk_deopt g ~bc_pc:(pc + 1) ~result_into:None in
+      let did = mk_deopt g ~reason:"cc-exception: generic property store retired a speculated profile" ~bc_pc:(pc + 1) ~result_into:None in
       ignore
         (emit g Categories.C_other
            (Lir.CallRtChecked (Lir.Rt_generic_set_prop name, [| to_; tv |], None, did)))
     | Ic_uninit ->
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~reason:"uninit-feedback: property store site never executed" ~bc_pc:pc ~result_into:None in
       ignore (emit g Categories.C_other (Lir.Deopt did)))
   | SetElem (o, i, v, slot) -> (
     match Feedback.elem_of fb.(slot) with
@@ -1430,7 +1435,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
               3
           in
           ignore (emit g Categories.C_ccop (Lir.MovClassID tv));
-          let did = mk_deopt g ~bc_pc:(pc + 1) ~result_into:None in
+          let did = mk_deopt g ~reason:"cc-exception: special element store broke profile" ~bc_pc:(pc + 1) ~result_into:None in
           ignore
             (emit g Categories.C_other
                (Lir.StoreClassCacheArray (k, elems, ri, elements_off, Lir.Reg tv, did)))
@@ -1467,7 +1472,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
               3
           in
           ignore (emit g Categories.C_ccop (Lir.MovClassID tv));
-          let did = mk_deopt g ~bc_pc:(pc + 1) ~result_into:None in
+          let did = mk_deopt g ~reason:"cc-exception: special element store broke profile" ~bc_pc:(pc + 1) ~result_into:None in
           ignore
             (emit g Categories.C_other
                (Lir.StoreClassCacheArray (k, elems, ri, elements_off, Lir.Reg tv, did)))
@@ -1486,19 +1491,19 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       land_here g islow1;
       let to_ = tagged_loc g st o in
       let tv = tagged_loc g st v in
-      let did = mk_deopt g ~bc_pc:(pc + 1) ~result_into:None in
+      let did = mk_deopt g ~reason:"cc-exception: slow-path element store retired a speculated profile" ~bc_pc:(pc + 1) ~result_into:None in
       ignore
         (emit g Categories.C_other
            (Lir.CallRtChecked (Lir.Rt_elem_store_slow, [| to_; ti; tv |], None, did)));
       land_here g iend
     | Eic_uninit ->
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~reason:"uninit-feedback: element store site never executed" ~bc_pc:pc ~result_into:None in
       ignore (emit g Categories.C_other (Lir.Deopt did))
     | _ ->
       let to_ = tagged_loc g st o in
       let ti = tagged_loc g st i in
       let tv = tagged_loc g st v in
-      let did = mk_deopt g ~bc_pc:(pc + 1) ~result_into:None in
+      let did = mk_deopt g ~reason:"cc-exception: generic element store retired a speculated profile" ~bc_pc:(pc + 1) ~result_into:None in
       ignore
         (emit g Categories.C_other
            (Lir.CallRtChecked (Lir.Rt_generic_set_elem, [| to_; ti; tv |], None, did))))
@@ -1533,7 +1538,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
               (Lir.Rt_alloc_object (base.Hidden_class.id, callee.Bytecode.reserve_props),
                [||], [||], Some d, None)))
     | None ->
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~reason:"uninit-feedback: constructor base class unknown" ~bc_pc:pc ~result_into:None in
       ignore (emit g Categories.C_other (Lir.Deopt did)))
   | NewArray (d, cap) ->
     ignore
@@ -1544,7 +1549,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
     let z = scratch g in
     ignore (emit g Categories.C_other (Lir.MovImm (z, null_imm g)));
     let argr = Array.append [| z |] (Array.map (fun r -> tagged_loc g st r) args) in
-    let did = mk_deopt g ~bc_pc:(pc + 1) ~result_into:(Some d) in
+    let did = mk_deopt g ~reason:"osr: callee invalidated this code during the call" ~bc_pc:(pc + 1) ~result_into:(Some d) in
     let dd = if g.reprs.(d) = Lir.R_double then scratch g else d in
     ignore (emit g Categories.C_other (Lir.CallFn (fid, argr, dd, did)));
     if g.reprs.(d) = Lir.R_double then begin
@@ -1564,7 +1569,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       let idx = emit g Categories.C_other (Lir.Branch (Lir.Ge, ta, Lir.Imm 0, -1)) in
       let z = scratch g in
       ignore (emit g Categories.C_other (Lir.MovImm (z, 0)));
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~reason:"smi-overflow: abs of most-negative SMI" ~bc_pc:pc ~result_into:None in
       let i2 = emit g Categories.C_math (Lir.AluOv (Lir.Sub, d, z, Lir.Reg ta, -1)) in
       add_fixup g i2 (F_deopt did);
       land_here g idx
@@ -1575,7 +1580,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       (* push stores into the array: the slow path may transition its
          elements kind and retire profiles this code depends on *)
       let argr = Array.map (fun r -> tagged_loc g st r) args in
-      let did = mk_deopt g ~bc_pc:(pc + 1) ~result_into:(Some d) in
+      let did = mk_deopt g ~reason:"cc-exception: push store retired a speculated profile" ~bc_pc:(pc + 1) ~result_into:(Some d) in
       ignore
         (emit g Categories.C_other
            (Lir.CallRtChecked (Lir.Rt_builtin b, argr, Some d, did)))
@@ -1593,7 +1598,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
     let callee = env.prog.Bytecode.funcs.(fid) in
     match callee.Bytecode.base_class with
     | None ->
-      let did = mk_deopt g ~bc_pc:pc ~result_into:None in
+      let did = mk_deopt g ~reason:"uninit-feedback: constructor base class unknown" ~bc_pc:pc ~result_into:None in
       ignore (emit g Categories.C_other (Lir.Deopt did))
     | Some base ->
       let robj = scratch g in
@@ -1605,7 +1610,7 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       let argr =
         Array.append [| robj |] (Array.map (fun r -> tagged_loc g st r) args)
       in
-      let did = mk_deopt g ~bc_pc:(pc + 1) ~result_into:(Some d) in
+      let did = mk_deopt g ~reason:"osr: callee invalidated this code during constructor call" ~bc_pc:(pc + 1) ~result_into:(Some d) in
       ignore (emit g Categories.C_other (Lir.CallFn (fid, argr, d, did))))
   | Jump target ->
     let idx = emit g Categories.C_other (Lir.Jmp (-1)) in

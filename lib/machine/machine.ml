@@ -59,13 +59,15 @@ type t = {
           merging: a second access to a line being filled waits for the
           fill instead of seeing an instant hit) *)
   mutable measuring : bool;
+  trace : Tce_obs.Trace.t;
+      (** observability sink (deopt / OSR events; never affects timing) *)
   (* special registers (paper §4.2.1.2) *)
   mutable reg_classid : int;
   reg_classid_arr : int array;
 }
 
-let create ?(cfg = Config.default) ?(mechanism = true) ~heap ~cc ~cl ~oracle
-    ~counters () =
+let create ?(cfg = Config.default) ?(mechanism = true)
+    ?(trace = Tce_obs.Trace.null) ~heap ~cc ~cl ~oracle ~counters () =
   {
     cfg;
     heap;
@@ -89,6 +91,7 @@ let create ?(cfg = Config.default) ?(mechanism = true) ~heap ~cc ~cl ~oracle
     last_iline = -1;
     fills = Hashtbl.create 4096;
     measuring = true;
+    trace;
     reg_classid = 0;
     reg_classid_arr = Array.make 4 0;
   }
@@ -281,6 +284,15 @@ let fsqrt_lat = 25
 (** Reconstruct the interpreter frame for a deopt of [f] and resume. *)
 let do_deopt t host (f : Lir.func) regs fregs deopt_id ~result =
   let info = f.deopts.(deopt_id) in
+  if Tce_obs.Trace.on t.trace then
+    Tce_obs.Trace.emit t.trace
+      (Tce_obs.Trace.Deopt
+         {
+           reason = info.Lir.reason;
+           func = f.Lir.name;
+           pc = info.Lir.bc_pc;
+           classid = info.Lir.classid;
+         });
   host.on_deopt f.Lir.opt_id;
   if t.measuring then begin
     t.counters.deopts <- t.counters.deopts + 1;
@@ -522,6 +534,10 @@ let rec run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            let v = host.call_fn callee argv in
            if host.is_invalidated f.opt_id then begin
              (* on-stack replacement: this frame's code died during the call *)
+             if Tce_obs.Trace.on t.trace then
+               Tce_obs.Trace.emit t.trace
+                 (Tce_obs.Trace.Osr
+                    { func = f.Lir.name; pc = f.deopts.(deopt_id).Lir.bc_pc });
              result := Some (do_deopt t host f regs fregs deopt_id ~result:(Some v))
            end
            else begin
@@ -539,12 +555,17 @@ let rec run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
              regs.(r) <- v;
              ready.(r) <- t.cycle + 1
            | None -> ());
-           if host.is_invalidated f.opt_id then
+           if host.is_invalidated f.opt_id then begin
              (* the stub's store retired a profile this code speculates on *)
+             if Tce_obs.Trace.on t.trace then
+               Tce_obs.Trace.emit t.trace
+                 (Tce_obs.Trace.Osr
+                    { func = f.Lir.name; pc = f.deopts.(deopt_id).Lir.bc_pc });
              result :=
                Some
                  (do_deopt t host f regs fregs deopt_id
                     ~result:(match rd with Some _ -> Some v | None -> None))
+           end
            else pc := next
          | CallRt (rt, argr, fargr, rd, fd) ->
            Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
@@ -687,8 +708,13 @@ and handle_cc_exception t host f regs fregs deopt_id fns result next pc =
   if t.measuring then
     t.counters.cc_exception_deopts <- t.counters.cc_exception_deopts + 1;
   host.on_cc_exception fns;
-  if host.is_invalidated f.opt_id then
+  if host.is_invalidated f.opt_id then begin
     (* the running function speculated on the broken slot: OSR out now
        (the store has completed; state is consistent, paper §4.2.2) *)
+    if Tce_obs.Trace.on t.trace then
+      Tce_obs.Trace.emit t.trace
+        (Tce_obs.Trace.Osr
+           { func = f.Lir.name; pc = f.Lir.deopts.(deopt_id).Lir.bc_pc });
     result := Some (do_deopt t host f regs fregs deopt_id ~result:None)
+  end
   else pc := next

@@ -47,14 +47,17 @@ type t = {
   mutable last_iline : int;
   fills : (int, int) Hashtbl.t;  (** in-flight line fills (MSHR merging) *)
   mutable measuring : bool;
+  trace : Tce_obs.Trace.t;
+      (** observability sink (deopt / OSR events; never affects timing) *)
   mutable reg_classid : int;  (** regObjectClassId (paper §4.2.1.2) *)
   reg_classid_arr : int array;  (** regArrayObjectClassId 0-3 *)
 }
 
 val create :
-  ?cfg:Config.t -> ?mechanism:bool -> heap:Tce_vm.Heap.t ->
-  cc:Tce_core.Class_cache.t -> cl:Tce_core.Class_list.t ->
-  oracle:Tce_core.Oracle.t -> counters:Counters.t -> unit -> t
+  ?cfg:Config.t -> ?mechanism:bool -> ?trace:Tce_obs.Trace.t ->
+  heap:Tce_vm.Heap.t -> cc:Tce_core.Class_cache.t ->
+  cl:Tce_core.Class_list.t -> oracle:Tce_core.Oracle.t ->
+  counters:Counters.t -> unit -> t
 
 (** Model a fresh allocation as nursery-resident (DESIGN.md §5b): insert its
     lines into the D-caches without cost. *)

@@ -102,14 +102,21 @@ let run ?(config = E.default_config) (w : Workload.t) : result =
     run_whole ~config w
   in
   let t = E.of_source ~config w.Workload.source in
+  let tr = config.E.trace in
+  let phase name =
+    if Tce_obs.Trace.on tr then Tce_obs.Trace.emit tr (Tce_obs.Trace.Phase name)
+  in
   E.set_measuring t false;
+  phase "setup";
   ignore (E.run_main t);
+  phase "warmup";
   for _ = 1 to w.Workload.iterations - 1 do
     ignore (E.call_by_name t "bench" [||])
   done;
   E.reset_measurement t;
   let cycles0 = E.opt_cycles t in
   E.set_measuring t true;
+  phase "measure";
   let v = E.call_by_name t "bench" [||] in
   E.set_measuring t false;
   let checksum = Tce_vm.Heap.to_display_string t.E.heap v in

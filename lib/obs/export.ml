@@ -1,0 +1,30 @@
+(** Versioned JSON export envelope (see export.mli). *)
+
+let schema_version = 1
+
+let document ~kind data =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("kind", Json.Str kind);
+      ("generator", Json.Str "tce");
+      ("data", data);
+    ]
+
+let open_document j =
+  match (Json.member "schema_version" j, Json.member "kind" j, Json.member "data" j) with
+  | Some (Json.Int v), Some (Json.Str kind), Some data ->
+    if v >= 1 && v <= schema_version then Ok (kind, data)
+    else Error (Printf.sprintf "unsupported schema_version %d" v)
+  | _ -> Error "missing schema_version/kind/data envelope fields"
+
+let to_channel oc j =
+  output_string oc (Json.to_string_pretty j);
+  output_char oc '\n'
+
+let to_file ~path j =
+  if path = "-" then to_channel stdout j
+  else begin
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc j)
+  end

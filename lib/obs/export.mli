@@ -1,0 +1,23 @@
+(** Versioned JSON export envelope.
+
+    Everything the repo writes as machine-readable output — metrics files,
+    Class List dumps, probe results — goes through {!document}, so every
+    artifact self-identifies with [schema_version] + [kind] and downstream
+    tooling (dashboards, regression gates) can evolve against a stable
+    contract. Bump {!schema_version} on any breaking field change. *)
+
+val schema_version : int
+
+(** [document ~kind data] = [{"schema_version": ...; "kind": kind;
+    "generator": "tce"; "data": data}]. *)
+val document : kind:string -> Json.t -> Json.t
+
+(** Is [j] a well-formed envelope of this (or an older) schema version?
+    Returns the [kind] and payload. *)
+val open_document : Json.t -> (string * Json.t, string) result
+
+val to_channel : out_channel -> Json.t -> unit
+
+(** Write pretty-printed JSON (trailing newline included). [path] "-"
+    writes to stdout. *)
+val to_file : path:string -> Json.t -> unit

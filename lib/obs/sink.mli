@@ -1,0 +1,22 @@
+(** Render a {!Trace} ring (plus optional {!Snapshot} series) to consumable
+    formats: JSON-lines for scripting, and Chrome [trace_event] JSON for
+    timeline UIs (chrome://tracing, Perfetto). *)
+
+(** One event as a flat JSON object ([{"at": cycles; "event": kind; ...}]). *)
+val event_json : Trace.record -> Json.t
+
+(** One JSON object per line, oldest first; ends with a newline when any
+    event was recorded. *)
+val jsonl : Trace.t -> string
+
+(** Chrome trace_event document: [{"traceEvents": [...], ...}]. Tracks:
+    one thread per tier (baseline / optimized / compiler) carrying instant
+    events, plus counter tracks ("deopts", "cc-occupancy", "heap-bytes")
+    fed by the snapshot series. Timestamps are simulated cycles rendered
+    as microseconds. *)
+val chrome : ?snapshot:Snapshot.t -> Trace.t -> Json.t
+
+(** Render the trace in the given format ("json" = JSON-lines). *)
+val render : format:[ `Jsonl | `Chrome ] -> ?snapshot:Snapshot.t -> Trace.t -> string
+
+val write_file : path:string -> string -> unit

@@ -1,0 +1,35 @@
+(** Periodic counter sampling into a deterministic time series.
+
+    The engine calls {!tick} at cheap, well-defined points (guest calls,
+    store events) with the machine's cycle clock; a sample is taken when at
+    least [every] cycles elapsed since the previous one. Because the clock
+    is the simulated cycle count — never wall time — the series is
+    bit-reproducible across runs. Samples feed the Chrome-trace counter
+    tracks (deopts, Class Cache occupancy, heap bytes). *)
+
+type sample = {
+  at : int;  (** cycle stamp *)
+  deopts : int;
+  tierups : int;
+  cc_exceptions : int;
+  cc_occupancy : int;  (** valid Class Cache ways *)
+  baseline_instrs : int;
+  heap_bytes : int;
+}
+
+type t
+
+(** The shared inactive sampler: {!tick} is a no-op. *)
+val disabled : t
+
+(** Sample every [every] cycles ([every <= 0] gives an inactive sampler). *)
+val create : every:int -> t
+
+val active : t -> bool
+
+(** [tick t ~now f] records [f ()] when due. [f] must only be evaluated on
+    a due tick (the sampling sites rely on this for the zero-cost path). *)
+val tick : t -> now:int -> (unit -> sample) -> unit
+
+(** Samples taken so far, chronological. *)
+val samples : t -> sample list

@@ -1,0 +1,76 @@
+(** Ring-buffered structured event tracing (see trace.mli). *)
+
+type event =
+  | Tierup of { func : string; fn_id : int; opt_id : int }
+  | Compile of {
+      func : string;
+      opt_id : int;
+      instrs : int;
+      bailout : string option;
+    }
+  | Deopt of { reason : string; func : string; pc : int; classid : int }
+  | Cc_exception of { classid : int; line : int; pos : int; victims : int }
+  | Ic_transition of {
+      site : string;
+      slot : int;
+      from_state : string;
+      to_state : string;
+    }
+  | Osr of { func : string; pc : int }
+  | Gc of { heap_bytes : int; grows : int }
+  | Phase of string
+
+type record = { at : int; ev : event }
+
+type t = {
+  enabled : bool;
+  buf : record array;  (** ring storage; length 0 for {!null} *)
+  mutable total : int;
+  mutable clock : unit -> int;
+}
+
+let zero_clock () = 0
+let dummy = { at = 0; ev = Phase "" }
+let null = { enabled = false; buf = [||]; total = 0; clock = zero_clock }
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { enabled = true; buf = Array.make capacity dummy; total = 0; clock = zero_clock }
+
+let on t = t.enabled
+let set_clock t f = t.clock <- f
+let now t = t.clock ()
+
+let emit t ev =
+  if t.enabled then begin
+    let cap = Array.length t.buf in
+    t.buf.(t.total mod cap) <- { at = t.clock (); ev };
+    t.total <- t.total + 1
+  end
+
+let total t = t.total
+
+let dropped t =
+  let cap = Array.length t.buf in
+  if cap = 0 then 0 else max 0 (t.total - cap)
+
+let records t =
+  let cap = Array.length t.buf in
+  if cap = 0 || t.total = 0 then []
+  else begin
+    let stored = min t.total cap in
+    let first = t.total - stored in
+    List.init stored (fun i -> t.buf.((first + i) mod cap))
+  end
+
+let clear t = t.total <- 0
+
+let kind = function
+  | Tierup _ -> "tierup"
+  | Compile _ -> "compile"
+  | Deopt _ -> "deopt"
+  | Cc_exception _ -> "cc-exception"
+  | Ic_transition _ -> "ic-transition"
+  | Osr _ -> "osr"
+  | Gc _ -> "gc"
+  | Phase _ -> "phase"

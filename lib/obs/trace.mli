@@ -1,0 +1,84 @@
+(** Ring-buffered structured event tracing for the engine.
+
+    Every interesting control transfer in the two-tier engine — tier-ups,
+    compiles, deopts (with a human-readable reason), Class Cache
+    misspeculation exceptions, inline-cache transitions, on-stack
+    replacements, heap growth, phase markers — can be recorded here as a
+    typed event stamped with the machine's deterministic cycle clock.
+
+    The disabled path is zero-cost: {!null} (and any trace created with
+    [enabled:false]) never records, and instrumentation sites guard event
+    construction behind {!on} so nothing is allocated when tracing is off.
+    Tracing never touches counters or the simulated clock, so cycle counts
+    are bit-identical with tracing on or off. *)
+
+type event =
+  | Tierup of { func : string; fn_id : int; opt_id : int }
+      (** a hot function was promoted to the optimizing tier *)
+  | Compile of {
+      func : string;
+      opt_id : int;
+      instrs : int;  (** LIR instructions emitted (0 on bailout) *)
+      bailout : string option;  (** [Some msg]: compilation gave up *)
+    }
+  | Deopt of {
+      reason : string;  (** which check kind / SpeculateMap bit failed *)
+      func : string;
+      pc : int;  (** bytecode pc the interpreter resumes at *)
+      classid : int;  (** hidden class involved, [-1] when not applicable *)
+    }
+  | Cc_exception of {
+      classid : int;
+      line : int;
+      pos : int;
+      victims : int;  (** functions invalidated by the exception *)
+    }
+  | Ic_transition of {
+      site : string;  (** "prop-load", "elem-store", "binop", ... *)
+      slot : int;  (** feedback-vector slot *)
+      from_state : string;
+      to_state : string;
+    }
+  | Osr of { func : string; pc : int }
+      (** on-stack replacement: a live optimized frame was abandoned *)
+  | Gc of { heap_bytes : int; grows : int }
+      (** heap growth (elements backing-store reallocation) *)
+  | Phase of string  (** phase marker: "setup", "warmup", "measure", ... *)
+
+type record = { at : int;  (** deterministic cycle stamp *) ev : event }
+
+type t
+
+(** The shared disabled trace: never records, never allocates. *)
+val null : t
+
+(** A fresh enabled trace. [capacity] is the ring size in events (default
+    65536); once full, the oldest events are overwritten. *)
+val create : ?capacity:int -> unit -> t
+
+(** Is this trace recording? Instrumentation sites must guard event
+    construction with this so the disabled path allocates nothing. *)
+val on : t -> bool
+
+(** Install the deterministic clock used to stamp events (the engine wires
+    this to the machine's cycle count; defaults to a constant 0). *)
+val set_clock : t -> (unit -> int) -> unit
+
+(** Current clock reading (0 for {!null} / unclocked traces). *)
+val now : t -> int
+
+val emit : t -> event -> unit
+
+(** Events emitted since creation (including overwritten ones). *)
+val total : t -> int
+
+(** Events lost to ring wraparound. *)
+val dropped : t -> int
+
+(** Surviving events, oldest first. *)
+val records : t -> record list
+
+val clear : t -> unit
+
+(** Short event-kind tag ("tierup", "deopt", ...), used by sinks. *)
+val kind : event -> string

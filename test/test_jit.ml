@@ -72,22 +72,22 @@ let test_bc_logical_ops_control_flow () =
 let test_feedback_progression () =
   let fb = [| Feedback.S_prop Feedback.Ic_uninit |] in
   let sh c s = { Feedback.classid = c; slot = s; transition_to = None } in
-  Feedback.record_prop fb 0 (sh 1 1);
+  ignore (Feedback.record_prop fb 0 (sh 1 1));
   (match fb.(0) with
   | Feedback.S_prop (Feedback.Ic_mono _) -> ()
   | _ -> Alcotest.fail "mono");
-  Feedback.record_prop fb 0 (sh 1 1);
+  ignore (Feedback.record_prop fb 0 (sh 1 1));
   (match fb.(0) with
   | Feedback.S_prop (Feedback.Ic_mono _) -> ()
   | _ -> Alcotest.fail "stays mono");
-  Feedback.record_prop fb 0 (sh 2 1);
+  ignore (Feedback.record_prop fb 0 (sh 2 1));
   (match fb.(0) with
   | Feedback.S_prop (Feedback.Ic_poly l) ->
     Alcotest.(check int) "two shapes" 2 (List.length l)
   | _ -> Alcotest.fail "poly");
-  Feedback.record_prop fb 0 (sh 3 1);
-  Feedback.record_prop fb 0 (sh 4 1);
-  Feedback.record_prop fb 0 (sh 5 1);
+  ignore (Feedback.record_prop fb 0 (sh 3 1));
+  ignore (Feedback.record_prop fb 0 (sh 4 1));
+  ignore (Feedback.record_prop fb 0 (sh 5 1));
   match fb.(0) with
   | Feedback.S_prop Feedback.Ic_mega -> ()
   | _ -> Alcotest.fail "mega after more than 4 shapes"
