@@ -8,7 +8,16 @@
       dune exec bench/main.exe -- bechamel
       dune exec bench/main.exe -- --metrics-json FILE [WORKLOAD ...]
         (run the named workloads — default: the built-in smoke workload —
-         and write every Harness.result field as versioned JSON) *)
+         and write every Harness.result field as versioned JSON)
+      dune exec bench/main.exe -- --bench [--jobs N] [--out FILE]
+          [--history DIR] [--suite all|selected|octane|sunspider|kraken]
+          [WORKLOAD ...]
+        (parallel suite run through Tce_runner; appends to the result
+         store: BENCH_latest.json + results/history/)
+      dune exec bench/main.exe -- --check [--baseline FILE]
+          [--tolerance PCT] [--jobs N] [WORKLOAD ...]
+        (perf-regression gate: re-run the baseline's roster and exit
+         non-zero when cycles or check-removal rates degrade) *)
 
 open Tce_metrics
 
@@ -134,11 +143,111 @@ let run_metrics_json ~path names =
   in
   Export.write_results ~path results
 
+(* --- runner-backed modes (--bench / --check) --- *)
+
+let usage_fail msg =
+  Printf.eprintf "bench: %s\n" msg;
+  exit 2
+
+(* Tiny flag parser shared by the two modes: [--flag V] / [--flag=V] pairs
+   plus positional workload names. *)
+let parse_flags spec args =
+  let opts = Hashtbl.create 8 in
+  let positional = ref [] in
+  let rec go = function
+    | [] -> ()
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "--" -> (
+      let body = String.sub a 2 (String.length a - 2) in
+      match String.index_opt body '=' with
+      | Some i ->
+        let k = String.sub body 0 i in
+        if not (List.mem k spec) then usage_fail ("unknown option --" ^ k);
+        Hashtbl.replace opts k (String.sub body (i + 1) (String.length body - i - 1));
+        go rest
+      | None ->
+        if not (List.mem body spec) then usage_fail ("unknown option --" ^ body);
+        (match rest with
+        | v :: rest' ->
+          Hashtbl.replace opts body v;
+          go rest'
+        | [] -> usage_fail (Printf.sprintf "--%s needs a value" body)))
+    | a :: rest ->
+      positional := a :: !positional;
+      go rest
+  in
+  go args;
+  (opts, List.rev !positional)
+
+let opt_int opts key ~default =
+  match Hashtbl.find_opt opts key with
+  | None -> default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some i -> i
+    | None -> usage_fail (Printf.sprintf "--%s expects an integer, got %s" key v))
+
+let opt_float opts key ~default =
+  match Hashtbl.find_opt opts key with
+  | None -> default
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> usage_fail (Printf.sprintf "--%s expects a number, got %s" key v))
+
+let resolve_workloads ~suite names =
+  if names <> [] then
+    List.map
+      (fun name ->
+        match Tce_workloads.Workloads.by_name name with
+        | Some w -> w
+        | None -> usage_fail ("unknown workload " ^ name))
+      names
+  else
+    match suite with
+    | "all" -> Tce_workloads.Workloads.all
+    | "selected" -> Tce_workloads.Workloads.selected
+    | "octane" -> Tce_workloads.Workloads.octane
+    | "sunspider" -> Tce_workloads.Workloads.sunspider
+    | "kraken" -> Tce_workloads.Workloads.kraken
+    | s -> usage_fail ("unknown suite " ^ s)
+
+let run_bench args =
+  let opts, names = parse_flags [ "jobs"; "out"; "history"; "suite" ] args in
+  let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
+  let suite = Option.value ~default:"all" (Hashtbl.find_opt opts "suite") in
+  let ws = resolve_workloads ~suite names in
+  let run = Tce_runner.Runner.run_suite ~jobs ws in
+  let latest =
+    Option.value ~default:Tce_runner.Store.latest_path (Hashtbl.find_opt opts "out")
+  in
+  let history =
+    Option.value ~default:Tce_runner.Store.history_dir
+      (Hashtbl.find_opt opts "history")
+  in
+  let hist_path = Tce_runner.Store.save ~latest ~history run in
+  Tce_runner.Store.print_summary run;
+  Printf.printf "wrote %s (history: %s)\n" latest hist_path;
+  exit 0
+
+let run_check args =
+  let opts, names = parse_flags [ "baseline"; "tolerance"; "jobs" ] args in
+  let baseline_path =
+    Option.value ~default:Tce_runner.Store.baseline_path
+      (Hashtbl.find_opt opts "baseline")
+  in
+  let tolerance_pct =
+    opt_float opts "tolerance" ~default:Tce_runner.Gate.default_tolerance_pct
+  in
+  let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
+  exit (Tce_runner.Gate.run_gate ~baseline_path ~tolerance_pct ~jobs ~names ())
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* `--metrics-json FILE [workload ...]` / `--metrics-json=FILE` is a
      separate mode: JSON export instead of the experiment tables. *)
   (match args with
+  | "--bench" :: rest -> run_bench rest
+  | "--check" :: rest -> run_check rest
   | "--metrics-json" :: path :: rest ->
     run_metrics_json ~path rest;
     exit 0

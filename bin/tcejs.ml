@@ -6,7 +6,9 @@
            tcejs disasm FILE            (bytecode listing)
            tcejs opt-dump FILE FUNC     (optimized LIR of FUNC, after warm-up)
            tcejs classlist FILE         (Class List dump after the run)
-           tcejs config                 (print the simulated core, Table 2) *)
+           tcejs config                 (print the simulated core, Table 2)
+           tcejs bench-check [--baseline FILE] [--tolerance PCT] [--jobs N]
+                 [WORKLOAD ...]         (perf-regression gate) *)
 
 open Cmdliner
 
@@ -212,9 +214,55 @@ let config_cmd =
   Cmd.v (Cmd.info "config" ~doc:"Print the simulated core configuration (Table 2).")
     Term.(const show $ const ())
 
+let bench_check_cmd =
+  let baseline =
+    Arg.(
+      value
+      & opt string Tce_runner.Store.baseline_path
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Stored baseline run to compare against.")
+  in
+  let tolerance =
+    Arg.(
+      value
+      & opt float Tce_runner.Gate.default_tolerance_pct
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Allowed degradation before the gate fails: simulated-cycle \
+             growth in percent, check-removal drop in points.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Tce_runner.Runner.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Domains to fan workloads out across (1 = serial).")
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Restrict the comparison to these baseline workloads.")
+  in
+  let check baseline tolerance jobs names =
+    exit
+      (Tce_runner.Gate.run_gate ~baseline_path:baseline ~tolerance_pct:tolerance
+         ~jobs ~names ())
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:
+         "Re-run the baseline's benchmark roster on parallel domains and \
+          exit non-zero when simulated cycles or check-removal rates \
+          regress beyond tolerance.")
+    Term.(const check $ baseline $ tolerance $ jobs $ names)
+
 let () =
   let info = Cmd.info "tcejs" ~doc:"MiniJS engine with HW-assisted type-check elision" in
   exit
     (Cmd.eval
        (Cmd.group ~default:run_term info
-          [ run_cmd; disasm_cmd; opt_dump_cmd; classlist_cmd; config_cmd ]))
+          [
+            run_cmd; disasm_cmd; opt_dump_cmd; classlist_cmd; config_cmd;
+            bench_check_cmd;
+          ]))

@@ -3,8 +3,16 @@
 # run one traced, deopting benchmark, then validate every JSON artifact
 # against its schema.
 #
+# CI-portable: POSIX sh, no absolute paths, works from a clean checkout
+# (dune passes the executables relative to the action's cwd). `pipefail`
+# is enabled when the shell supports it; the guard keeps strict POSIX
+# shells working.
+#
 # Usage: check_obs.sh TCEJS_EXE VALIDATE_EXE EXAMPLE_JS
-set -e
+set -eu
+if (set -o pipefail) 2>/dev/null; then set -o pipefail; fi
+
+[ $# -eq 3 ] || { echo "usage: check_obs.sh TCEJS_EXE VALIDATE_EXE EXAMPLE_JS" >&2; exit 2; }
 
 # dune passes exe paths relative to the action's cwd; a bare name needs
 # an explicit ./ for the shell to exec it
@@ -12,8 +20,7 @@ with_dir() { case "$1" in */*) printf '%s' "$1" ;; *) printf './%s' "$1" ;; esac
 TCEJS=$(with_dir "$1")
 VALIDATE=$(with_dir "$2")
 EXAMPLE=$3
-TMP=${TMPDIR:-/tmp}/check_obs.$$
-mkdir -p "$TMP"
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/check_obs.XXXXXX")
 trap 'rm -rf "$TMP"' EXIT
 
 # Chrome trace (also exercises `run` as the default subcommand) + metrics.

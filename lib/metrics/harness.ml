@@ -178,6 +178,15 @@ let run_pair ?(config = E.default_config) (w : Workload.t) : result * result =
          off.checksum on.checksum);
   (off, on)
 
+(** [run_pair] plus the host wall-clock seconds the pair took. The wall
+    time is informational (it depends on the host machine and load); every
+    simulated number in the two results stays deterministic. *)
+let run_pair_timed ?(config = E.default_config) (w : Workload.t) :
+    result * result * float =
+  let t0 = Unix.gettimeofday () in
+  let off, on = run_pair ~config w in
+  (off, on, Unix.gettimeofday () -. t0)
+
 (** Pure-interpreter checksum (ground truth for differential tests). *)
 let interp_checksum ?(config = E.default_config) (w : Workload.t) : string =
   let t = E.of_source ~config:{ config with E.jit = false } w.Workload.source in

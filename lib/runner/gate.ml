@@ -1,0 +1,206 @@
+(** Perf-regression gate (see gate.mli). *)
+
+module S = Tce_support.Stats
+
+type metric = Cycles | Check_removal | Checksum
+
+let metric_name = function
+  | Cycles -> "cycles"
+  | Check_removal -> "check-removal"
+  | Checksum -> "checksum"
+
+type verdict = {
+  workload : string;
+  metric : metric;
+  base : float;
+  cur : float;
+  delta : float;
+  ok : bool;
+}
+
+type report = {
+  verdicts : verdict list;
+  missing : string list;
+  config_mismatch : bool;
+  ok : bool;
+}
+
+let default_tolerance_pct = 2.0
+
+(** Compare [current] against [baseline] workload-by-workload (matched by
+    name, over the baseline's roster). A workload fails when
+    - its measured checksum changed (correctness regression),
+    - steady-state [cycles_on] grew by more than [tolerance_pct] percent, or
+    - [check_removal_pct] dropped by more than [tolerance_pct] points.
+    Improvements never fail the gate. *)
+let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
+    report =
+  let find name =
+    List.find_opt
+      (fun (w : Record.workload) -> w.Record.name = name)
+      current.Record.workloads
+  in
+  let verdicts, missing =
+    List.fold_left
+      (fun (vs, miss) (b : Record.workload) ->
+        match find b.Record.name with
+        | None -> (vs, b.Record.name :: miss)
+        | Some c ->
+          let cycles_delta =
+            S.rel_delta_pct ~base:b.Record.cycles_on ~cur:c.Record.cycles_on
+          in
+          let removal_drop =
+            b.Record.check_removal_pct -. c.Record.check_removal_pct
+          in
+          let vs =
+            {
+              workload = b.Record.name;
+              metric = Checksum;
+              base = 0.0;
+              cur = 0.0;
+              delta = 0.0;
+              ok = b.Record.checksum = c.Record.checksum;
+            }
+            :: {
+                 workload = b.Record.name;
+                 metric = Cycles;
+                 base = b.Record.cycles_on;
+                 cur = c.Record.cycles_on;
+                 delta = cycles_delta;
+                 ok = cycles_delta <= tolerance_pct;
+               }
+            :: {
+                 workload = b.Record.name;
+                 metric = Check_removal;
+                 base = b.Record.check_removal_pct;
+                 cur = c.Record.check_removal_pct;
+                 delta = -.removal_drop;
+                 ok = removal_drop <= tolerance_pct;
+               }
+            :: vs
+          in
+          (vs, miss))
+      ([], []) baseline.Record.workloads
+  in
+  let verdicts = List.rev verdicts and missing = List.rev missing in
+  let config_mismatch =
+    baseline.Record.config_hash <> current.Record.config_hash
+  in
+  {
+    verdicts;
+    missing;
+    config_mismatch;
+    ok =
+      (not config_mismatch) && missing = []
+      && List.for_all (fun (v : verdict) -> v.ok) verdicts;
+  }
+
+(* --- reporting --- *)
+
+let print_report ~baseline ~current (r : report) =
+  if r.config_mismatch then
+    Printf.printf
+      "CONFIG MISMATCH: baseline %s vs current %s — numbers are not \
+       comparable; refresh the baseline (see EXPERIMENTS.md)\n"
+      baseline.Record.config_hash current.Record.config_hash;
+  Printf.printf "%-22s %14s %14s %8s | %8s %8s %7s | %s\n" "workload"
+    "base cycles" "cur cycles" "Δcyc%" "base rm%" "cur rm%" "Δrm pts" "status";
+  let by_workload = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let l = try Hashtbl.find by_workload v.workload with Not_found -> [] in
+      Hashtbl.replace by_workload v.workload (v :: l))
+    r.verdicts;
+  List.iter
+    (fun (b : Record.workload) ->
+      match Hashtbl.find_opt by_workload b.Record.name with
+      | None -> Printf.printf "%-22s MISSING from current run\n" b.Record.name
+      | Some vs ->
+        let get m = List.find_opt (fun v -> v.metric = m) vs in
+        let cyc = get Cycles and rm = get Check_removal and ck = get Checksum in
+        let bad =
+          List.filter_map
+            (fun (v : verdict) ->
+              if v.ok then None else Some (metric_name v.metric))
+            vs
+        in
+        let status =
+          if bad = [] then "ok" else "FAIL " ^ String.concat "+" bad
+        in
+        let f g v = Option.fold ~none:0.0 ~some:g v in
+        Printf.printf "%-22s %14.0f %14.0f %+7.2f%% | %7.2f%% %7.2f%% %+7.2f | %s%s\n"
+          b.Record.name
+          (f (fun v -> v.base) cyc)
+          (f (fun v -> v.cur) cyc)
+          (f (fun v -> v.delta) cyc)
+          (f (fun v -> v.base) rm)
+          (f (fun v -> v.cur) rm)
+          (f (fun v -> v.delta) rm)
+          status
+          (match ck with Some { ok = false; _ } -> " (checksum changed!)" | _ -> ""))
+    baseline.Record.workloads;
+  let deltas =
+    List.filter_map
+      (fun v -> if v.metric = Cycles then Some v.delta else None)
+      r.verdicts
+  in
+  let mean, ci = S.mean_ci95 deltas in
+  Printf.printf
+    "gate: %s — %d workloads compared, mean cycle delta %+.2f%% (±%.2f)%s\n"
+    (if r.ok then "PASS" else "FAIL")
+    (List.length deltas) mean ci
+    (match r.missing with
+    | [] -> ""
+    | ms -> Printf.sprintf ", missing: %s" (String.concat ", " ms))
+
+(* --- end-to-end driver (shared by bench/main.exe and tcejs) --- *)
+
+let run_gate ?(baseline_path = Store.baseline_path)
+    ?(tolerance_pct = default_tolerance_pct) ?jobs ?(names = [])
+    ?(resolve = Tce_workloads.Workloads.by_name) ?(save_latest = true) () : int
+    =
+  match Store.load baseline_path with
+  | Error msg ->
+    Printf.eprintf "cannot load baseline %s: %s\n" baseline_path msg;
+    2
+  | Ok baseline ->
+    (* Run exactly the baseline's roster (optionally narrowed to [names])
+       so a subset invocation compares subset-to-subset. *)
+    let wanted (b : Record.workload) =
+      names = [] || List.mem b.Record.name names
+    in
+    let roster =
+      List.filter_map
+        (fun (b : Record.workload) ->
+          if wanted b then
+            match resolve b.Record.name with
+            | Some w -> Some w
+            | None ->
+              Printf.eprintf
+                "warning: baseline workload %s not in the registry; skipping\n"
+                b.Record.name;
+              None
+          else None)
+        baseline.Record.workloads
+    in
+    if roster = [] then begin
+      Printf.eprintf "no baseline workloads selected to compare\n";
+      2
+    end
+    else begin
+      let current = Runner.run_suite ?jobs roster in
+      if save_latest then ignore (Store.save current);
+      let kept =
+        List.filter
+          (fun (b : Record.workload) ->
+            List.exists
+              (fun (w : Tce_workloads.Workload.t) ->
+                w.Tce_workloads.Workload.name = b.Record.name)
+              roster)
+          baseline.Record.workloads
+      in
+      let baseline = { baseline with Record.workloads = kept } in
+      let report = check_run ~tolerance_pct ~baseline ~current () in
+      print_report ~baseline ~current report;
+      if report.ok then 0 else 1
+    end

@@ -1,0 +1,64 @@
+(** Perf-regression gate: compare a fresh run against a stored baseline
+    and fail when the headline numbers degrade beyond tolerance.
+
+    Guarded metrics, per workload (matched by name over the baseline's
+    roster):
+    - [checksum] — the measured bench() value must not change at all;
+    - [cycles] — steady-state mechanism-on simulated cycles must not grow
+      by more than the tolerance (percent);
+    - [check-removal] — the percentage of dynamic checks elided by the
+      mechanism must not drop by more than the tolerance (points).
+
+    Improvements never fail the gate; refresh the baseline to lock them in
+    (procedure in EXPERIMENTS.md). *)
+
+type metric = Cycles | Check_removal | Checksum
+
+val metric_name : metric -> string
+
+type verdict = {
+  workload : string;
+  metric : metric;
+  base : float;
+  cur : float;
+  delta : float;
+      (** signed change, oriented so positive = worse for [Cycles] (percent
+          growth) and negative = worse for [Check_removal] (points lost) *)
+  ok : bool;
+}
+
+type report = {
+  verdicts : verdict list;
+  missing : string list;  (** baseline workloads absent from the current run *)
+  config_mismatch : bool;
+      (** the two runs were measured under different simulator configs *)
+  ok : bool;
+}
+
+val default_tolerance_pct : float  (** 2.0 *)
+
+(** Pure comparison of two runs (no I/O, no execution). *)
+val check_run :
+  ?tolerance_pct:float ->
+  baseline:Record.run ->
+  current:Record.run ->
+  unit ->
+  report
+
+(** Per-workload delta table plus a PASS/FAIL summary line, to stdout. *)
+val print_report : baseline:Record.run -> current:Record.run -> report -> unit
+
+(** Load the baseline, re-run its roster (narrowed to [names] when
+    non-empty; workloads resolved through [resolve], default the global
+    registry) on [jobs] domains, persist the run through {!Store.save}
+    (unless [save_latest] is false), print the delta table and return the
+    process exit code: 0 = pass, 1 = regression, 2 = usage/baseline error. *)
+val run_gate :
+  ?baseline_path:string ->
+  ?tolerance_pct:float ->
+  ?jobs:int ->
+  ?names:string list ->
+  ?resolve:(string -> Tce_workloads.Workload.t option) ->
+  ?save_latest:bool ->
+  unit ->
+  int

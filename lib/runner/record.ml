@@ -1,0 +1,202 @@
+(** Versioned benchmark records (see record.mli and README.md for the
+    schema). One [workload] per benchmark per run, one [run] per
+    invocation of the suite runner. *)
+
+module J = Tce_obs.Json
+module H = Tce_metrics.Harness
+module W = Tce_workloads.Workload
+
+type workload = {
+  name : string;
+  suite : string;
+  iterations : int;
+  checksum : string;
+  cycles_off : float;
+  cycles_on : float;
+  whole_cycles_off : float;
+  whole_cycles_on : float;
+  checks_off : int;
+  checks_on : int;
+  guards_off : int;
+  guards_on : int;
+  deopts_on : int;
+  cc_exceptions_on : int;
+  cc_accesses_on : int;
+  cc_hit_rate_on : float;
+  speedup_pct : float;
+  check_removal_pct : float;
+  wall_seconds : float;
+}
+
+type run = {
+  git_sha : string;
+  config_hash : string;
+  created_utc : string;
+  jobs : int;
+  host_wall_seconds : float;
+  workloads : workload list;
+}
+
+let of_pair ~wall_seconds (off : H.result) (on : H.result) : workload =
+  let w = off.H.workload in
+  let checks_off = off.H.by_cat.(Tce_jit.Categories.index Tce_jit.Categories.C_check) in
+  let checks_on = on.H.by_cat.(Tce_jit.Categories.index Tce_jit.Categories.C_check) in
+  {
+    name = w.W.name;
+    suite = W.suite_name w.W.suite;
+    iterations = w.W.iterations;
+    checksum = on.H.checksum;
+    cycles_off = off.H.total_cycles;
+    cycles_on = on.H.total_cycles;
+    whole_cycles_off = off.H.whole_cycles;
+    whole_cycles_on = on.H.whole_cycles;
+    checks_off;
+    checks_on;
+    guards_off = off.H.guards_obj_load;
+    guards_on = on.H.guards_obj_load;
+    deopts_on = on.H.deopts;
+    cc_exceptions_on = on.H.cc_exceptions;
+    cc_accesses_on = on.H.cc_accesses;
+    cc_hit_rate_on = on.H.cc_hit_rate;
+    speedup_pct =
+      Tce_support.Stats.improvement ~base:off.H.total_cycles
+        ~opt:on.H.total_cycles;
+    check_removal_pct = Tce_support.Stats.percent (checks_off - checks_on) checks_off;
+    wall_seconds;
+  }
+
+(** Everything the simulator computes — i.e. every field except the host
+    wall clock — must match for two records to count as the same result. *)
+let equal_deterministic (a : workload) (b : workload) =
+  a.name = b.name && a.suite = b.suite && a.iterations = b.iterations
+  && a.checksum = b.checksum && a.cycles_off = b.cycles_off
+  && a.cycles_on = b.cycles_on && a.whole_cycles_off = b.whole_cycles_off
+  && a.whole_cycles_on = b.whole_cycles_on && a.checks_off = b.checks_off
+  && a.checks_on = b.checks_on && a.guards_off = b.guards_off
+  && a.guards_on = b.guards_on && a.deopts_on = b.deopts_on
+  && a.cc_exceptions_on = b.cc_exceptions_on
+  && a.cc_accesses_on = b.cc_accesses_on
+  && a.cc_hit_rate_on = b.cc_hit_rate_on && a.speedup_pct = b.speedup_pct
+  && a.check_removal_pct = b.check_removal_pct
+
+let equal_workload (a : workload) (b : workload) =
+  equal_deterministic a b && a.wall_seconds = b.wall_seconds
+
+let equal_run (a : run) (b : run) =
+  a.git_sha = b.git_sha && a.config_hash = b.config_hash
+  && a.created_utc = b.created_utc && a.jobs = b.jobs
+  && a.host_wall_seconds = b.host_wall_seconds
+  && List.length a.workloads = List.length b.workloads
+  && List.for_all2 equal_workload a.workloads b.workloads
+
+(* --- JSON --- *)
+
+let workload_to_json (w : workload) : J.t =
+  J.Obj
+    [
+      ("name", J.Str w.name);
+      ("suite", J.Str w.suite);
+      ("iterations", J.Int w.iterations);
+      ("checksum", J.Str w.checksum);
+      ("cycles_off", J.Float w.cycles_off);
+      ("cycles_on", J.Float w.cycles_on);
+      ("whole_cycles_off", J.Float w.whole_cycles_off);
+      ("whole_cycles_on", J.Float w.whole_cycles_on);
+      ("checks_off", J.Int w.checks_off);
+      ("checks_on", J.Int w.checks_on);
+      ("guards_off", J.Int w.guards_off);
+      ("guards_on", J.Int w.guards_on);
+      ("deopts_on", J.Int w.deopts_on);
+      ("cc_exceptions_on", J.Int w.cc_exceptions_on);
+      ("cc_accesses_on", J.Int w.cc_accesses_on);
+      ("cc_hit_rate_on", J.Float w.cc_hit_rate_on);
+      ("speedup_pct", J.Float w.speedup_pct);
+      ("check_removal_pct", J.Float w.check_removal_pct);
+      ("wall_seconds", J.Float w.wall_seconds);
+    ]
+
+let run_to_json (r : run) : J.t =
+  Tce_obs.Export.document ~kind:"bench-run"
+    (J.Obj
+       [
+         ("git_sha", J.Str r.git_sha);
+         ("config_hash", J.Str r.config_hash);
+         ("created_utc", J.Str r.created_utc);
+         ("jobs", J.Int r.jobs);
+         ("host_wall_seconds", J.Float r.host_wall_seconds);
+         ("workloads", J.List (List.map workload_to_json r.workloads));
+       ])
+
+(* Decoding: every field is required; a missing or mistyped field names
+   itself in the error so a truncated store file is diagnosable. *)
+
+let field name conv j =
+  match Option.bind (J.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad or missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let workload_of_json (j : J.t) : (workload, string) result =
+  let* name = field "name" J.to_str j in
+  let* suite = field "suite" J.to_str j in
+  let* iterations = field "iterations" J.to_int j in
+  let* checksum = field "checksum" J.to_str j in
+  let* cycles_off = field "cycles_off" J.to_float j in
+  let* cycles_on = field "cycles_on" J.to_float j in
+  let* whole_cycles_off = field "whole_cycles_off" J.to_float j in
+  let* whole_cycles_on = field "whole_cycles_on" J.to_float j in
+  let* checks_off = field "checks_off" J.to_int j in
+  let* checks_on = field "checks_on" J.to_int j in
+  let* guards_off = field "guards_off" J.to_int j in
+  let* guards_on = field "guards_on" J.to_int j in
+  let* deopts_on = field "deopts_on" J.to_int j in
+  let* cc_exceptions_on = field "cc_exceptions_on" J.to_int j in
+  let* cc_accesses_on = field "cc_accesses_on" J.to_int j in
+  let* cc_hit_rate_on = field "cc_hit_rate_on" J.to_float j in
+  let* speedup_pct = field "speedup_pct" J.to_float j in
+  let* check_removal_pct = field "check_removal_pct" J.to_float j in
+  let* wall_seconds = field "wall_seconds" J.to_float j in
+  Ok
+    {
+      name;
+      suite;
+      iterations;
+      checksum;
+      cycles_off;
+      cycles_on;
+      whole_cycles_off;
+      whole_cycles_on;
+      checks_off;
+      checks_on;
+      guards_off;
+      guards_on;
+      deopts_on;
+      cc_exceptions_on;
+      cc_accesses_on;
+      cc_hit_rate_on;
+      speedup_pct;
+      check_removal_pct;
+      wall_seconds;
+    }
+
+let rec all_ok acc = function
+  | [] -> Ok (List.rev acc)
+  | x :: rest -> (
+    match workload_of_json x with
+    | Ok w -> all_ok (w :: acc) rest
+    | Error _ as e -> e)
+
+let run_of_json (j : J.t) : (run, string) result =
+  let* kind, data = Tce_obs.Export.open_document j in
+  if kind <> "bench-run" then
+    Error (Printf.sprintf "expected a bench-run document, got %S" kind)
+  else
+    let* git_sha = field "git_sha" J.to_str data in
+    let* config_hash = field "config_hash" J.to_str data in
+    let* created_utc = field "created_utc" J.to_str data in
+    let* jobs = field "jobs" J.to_int data in
+    let* host_wall_seconds = field "host_wall_seconds" J.to_float data in
+    let* items = field "workloads" J.to_list data in
+    let* workloads = all_ok [] items in
+    Ok { git_sha; config_hash; created_utc; jobs; host_wall_seconds; workloads }

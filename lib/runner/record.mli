@@ -1,0 +1,62 @@
+(** Versioned benchmark records — the unit stored by {!Store} and compared
+    by {!Gate}. See [lib/runner/README.md] for the JSON schema. *)
+
+(** Per-workload result of one mechanism-off / mechanism-on pair. Every
+    field except [wall_seconds] is computed by the deterministic simulator
+    and is bit-identical across runs (serial or parallel). *)
+type workload = {
+  name : string;
+  suite : string;
+  iterations : int;
+  checksum : string;  (** display string of the measured bench() value *)
+  cycles_off : float;  (** steady-state simulated cycles, mechanism off *)
+  cycles_on : float;  (** steady-state simulated cycles, mechanism on *)
+  whole_cycles_off : float;
+  whole_cycles_on : float;
+  checks_off : int;  (** dynamic check instructions, mechanism off *)
+  checks_on : int;
+  guards_off : int;  (** checks guarding object-load results (Fig. 2) *)
+  guards_on : int;
+  deopts_on : int;
+  cc_exceptions_on : int;
+  cc_accesses_on : int;
+  cc_hit_rate_on : float;
+  speedup_pct : float;  (** cycle improvement of on vs off (paper Fig. 8) *)
+  check_removal_pct : float;  (** % of dynamic checks elided by the mechanism *)
+  wall_seconds : float;  (** host wall clock — informational, host-dependent *)
+}
+
+(** One runner invocation: provenance plus the per-workload records. *)
+type run = {
+  git_sha : string;
+  config_hash : string;  (** digest of the simulated-core + engine config *)
+  created_utc : string;
+  jobs : int;
+  host_wall_seconds : float;
+  workloads : workload list;
+}
+
+(** Build a record from a measured off/on pair. *)
+val of_pair :
+  wall_seconds:float ->
+  Tce_metrics.Harness.result ->
+  Tce_metrics.Harness.result ->
+  workload
+
+(** Equality over the simulated fields only (ignores [wall_seconds]) —
+    the property the parallel runner asserts against a serial run. *)
+val equal_deterministic : workload -> workload -> bool
+
+(** Full structural equality (JSON round-trip checks). *)
+val equal_workload : workload -> workload -> bool
+
+val equal_run : run -> run -> bool
+
+val workload_to_json : workload -> Tce_obs.Json.t
+val workload_of_json : Tce_obs.Json.t -> (workload, string) result
+
+(** Wrap / unwrap a run in the versioned {!Tce_obs.Export} envelope
+    (kind ["bench-run"]). *)
+val run_to_json : run -> Tce_obs.Json.t
+
+val run_of_json : Tce_obs.Json.t -> (run, string) result

@@ -1,0 +1,60 @@
+(** Parallel workload execution (see runner.mli).
+
+    Each workload is measured by {!Tce_metrics.Harness.run_pair_timed} in a
+    freshly built engine; nothing in the stack below it is shared or
+    mutable across instances (the simulator is deterministic given the
+    source and config), so fanning workloads out across OCaml 5 domains
+    cannot change any simulated number. Work is handed out through a
+    single atomic index — domains race only for *which* workload they
+    measure next, never over engine state — and each result lands in its
+    input slot, so the output order is the input order regardless of
+    scheduling. *)
+
+module H = Tce_metrics.Harness
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let run_one ?config (w : Tce_workloads.Workload.t) : Record.workload =
+  let off, on, wall_seconds =
+    match config with
+    | None -> H.run_pair_timed w
+    | Some config -> H.run_pair_timed ~config w
+  in
+  Record.of_pair ~wall_seconds off on
+
+let run_workloads ?config ?(jobs = default_jobs ())
+    (ws : Tce_workloads.Workload.t list) : Record.workload list =
+  let n = List.length ws in
+  let jobs = min (max 1 jobs) (max 1 n) in
+  if jobs <= 1 || n <= 1 then List.map (run_one ?config) ws
+  else begin
+    let arr = Array.of_list ws in
+    let results : Record.workload option array = Array.make n None in
+    let failure : exn option Atomic.t = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (try results.(i) <- Some (run_one ?config arr.(i))
+           with e ->
+             (* first failure wins; the others drain the queue and stop *)
+             ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.to_list (Array.map Option.get results)
+  end
+
+let run_suite ?config ?jobs (ws : Tce_workloads.Workload.t list) : Record.run =
+  let t0 = Unix.gettimeofday () in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let workloads = run_workloads ?config ~jobs ws in
+  let host_wall_seconds = Unix.gettimeofday () -. t0 in
+  Store.make_run ~jobs ~host_wall_seconds workloads

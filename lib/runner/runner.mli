@@ -1,0 +1,34 @@
+(** Parallel workload execution engine.
+
+    Fans benchmark workloads out across OCaml 5 domains. Engine instances
+    are self-contained and the simulator is deterministic, so every
+    simulated number in the records is bit-identical to a serial run
+    ([jobs = 1]); only the host wall-clock fields depend on scheduling.
+    Results always come back in input order. *)
+
+(** Number of domains used when [?jobs] is omitted
+    ({!Domain.recommended_domain_count}). *)
+val default_jobs : unit -> int
+
+(** Measure one workload (mechanism off + on) and build its record. *)
+val run_one :
+  ?config:Tce_engine.Engine.config ->
+  Tce_workloads.Workload.t ->
+  Record.workload
+
+(** Run the workloads on [jobs] domains ([jobs <= 1]: serial in the
+    calling domain). The first exception raised by a workload is re-raised
+    after all domains drain. *)
+val run_workloads :
+  ?config:Tce_engine.Engine.config ->
+  ?jobs:int ->
+  Tce_workloads.Workload.t list ->
+  Record.workload list
+
+(** [run_workloads] wrapped into a provenance-stamped {!Record.run}
+    (git SHA, config hash, wall clock). *)
+val run_suite :
+  ?config:Tce_engine.Engine.config ->
+  ?jobs:int ->
+  Tce_workloads.Workload.t list ->
+  Record.run

@@ -1,0 +1,119 @@
+(** Persistent benchmark-result store (see store.mli). *)
+
+module J = Tce_obs.Json
+
+let latest_path = "BENCH_latest.json"
+let history_dir = Filename.concat "results" "history"
+let baseline_path = Filename.concat "results" "baseline.json"
+
+(* --- provenance --- *)
+
+let git_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short=12 HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+(** Digest of everything that could change simulated numbers: the
+    simulated-core parameters (Table 2), the Class Cache geometry and the
+    engine's tier-up/deopt thresholds. Two runs with different hashes are
+    not comparable and the gate says so instead of reporting deltas. *)
+let config_hash ?(config = Tce_engine.Engine.default_config) () =
+  let e = config in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (k ^ "=" ^ v ^ ";"))
+    (Tce_machine.Config.rows e.Tce_engine.Engine.mach_cfg);
+  Buffer.add_string buf
+    (Printf.sprintf "jit=%b;mechanism=%b;hoisting=%b;checked_load=%b;"
+       e.Tce_engine.Engine.jit e.Tce_engine.Engine.mechanism
+       e.Tce_engine.Engine.hoisting e.Tce_engine.Engine.checked_load);
+  Buffer.add_string buf
+    (Printf.sprintf "hot_call=%d;hot_backedge=%d;max_deopts=%d;seed=%d;"
+       e.Tce_engine.Engine.hot_call_count e.Tce_engine.Engine.hot_backedge_count
+       e.Tce_engine.Engine.max_deopts e.Tce_engine.Engine.seed);
+  Buffer.add_string buf
+    (Printf.sprintf "cc_entries=%d;cc_ways=%d"
+       e.Tce_engine.Engine.cc_config.Tce_core.Class_cache.entries
+       e.Tce_engine.Engine.cc_config.Tce_core.Class_cache.ways);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let timestamp_utc () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let make_run ?config ~jobs ~host_wall_seconds workloads : Record.run =
+  {
+    Record.git_sha = git_sha ();
+    config_hash = config_hash ?config ();
+    created_utc = timestamp_utc ();
+    jobs;
+    host_wall_seconds;
+    workloads;
+  }
+
+(* --- persistence --- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+(** History file name: sortable timestamp + SHA, e.g.
+    [run-20260805T120102Z-ab12cd34ef56.json]. *)
+let history_file (r : Record.run) =
+  let compact =
+    String.concat ""
+      (String.split_on_char ':'
+         (String.concat "" (String.split_on_char '-' r.Record.created_utc)))
+  in
+  Printf.sprintf "run-%s-%s.json" compact r.Record.git_sha
+
+let save ?(latest = latest_path) ?history:(dir = history_dir) (r : Record.run) =
+  Tce_obs.Export.to_file ~path:latest (Record.run_to_json r);
+  if dir <> "" then begin
+    mkdir_p dir;
+    let path = Filename.concat dir (history_file r) in
+    Tce_obs.Export.to_file ~path (Record.run_to_json r);
+    path
+  end
+  else latest
+
+let load path : (Record.run, string) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> Result.bind (J.of_string text) Record.run_of_json
+
+(* --- reporting --- *)
+
+let print_summary (r : Record.run) =
+  Printf.printf "%-22s %6s %14s %14s %8s %9s %8s\n" "workload" "suite"
+    "cycles(off)" "cycles(on)" "speedup" "checks-rm" "wall(s)";
+  List.iter
+    (fun (w : Record.workload) ->
+      Printf.printf "%-22s %6s %14.0f %14.0f %7.2f%% %8.2f%% %8.2f\n"
+        w.Record.name
+        (String.sub w.Record.suite 0 (min 6 (String.length w.Record.suite)))
+        w.Record.cycles_off w.Record.cycles_on w.Record.speedup_pct
+        w.Record.check_removal_pct w.Record.wall_seconds)
+    r.Record.workloads;
+  let speedups = List.map (fun w -> w.Record.speedup_pct) r.Record.workloads in
+  let mean, ci = Tce_support.Stats.mean_ci95 speedups in
+  Printf.printf
+    "%d workloads, %d jobs, %.2fs wall; mean speedup %.2f%% (±%.2f, 95%% CI)\n"
+    (List.length r.Record.workloads) r.Record.jobs r.Record.host_wall_seconds
+    mean ci;
+  Printf.printf "sha %s  config %s  at %s\n" r.Record.git_sha
+    (String.sub r.Record.config_hash 0 12)
+    r.Record.created_utc

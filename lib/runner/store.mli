@@ -1,0 +1,43 @@
+(** Persistent benchmark-result store.
+
+    Every runner invocation is saved twice: [BENCH_latest.json] is
+    overwritten with the most recent run, and an immutable copy is
+    appended to [results/history/] under a timestamp+SHA file name, so the
+    perf trajectory of the repository accumulates across commits. *)
+
+val latest_path : string  (** ["BENCH_latest.json"] *)
+
+val history_dir : string  (** ["results/history"] *)
+
+val baseline_path : string  (** ["results/baseline.json"] *)
+
+(** Short git SHA of the working tree, or ["unknown"] outside a checkout. *)
+val git_sha : unit -> string
+
+(** Digest of every configuration parameter that can change simulated
+    numbers (Table 2 core, Class Cache geometry, tier-up thresholds,
+    seed). Runs with different hashes are not comparable. *)
+val config_hash : ?config:Tce_engine.Engine.config -> unit -> string
+
+(** Current time as [YYYY-MM-DDTHH:MM:SSZ]. *)
+val timestamp_utc : unit -> string
+
+(** Stamp workload records with provenance (SHA, config hash, timestamp). *)
+val make_run :
+  ?config:Tce_engine.Engine.config ->
+  jobs:int ->
+  host_wall_seconds:float ->
+  Record.workload list ->
+  Record.run
+
+(** Write [latest] (default {!latest_path}) and append a history copy
+    under [history] (default {!history_dir}; [""] disables history).
+    Returns the history file path (or [latest] when history is off). *)
+val save : ?latest:string -> ?history:string -> Record.run -> string
+
+(** Parse a stored run (either the latest file, a history entry or a
+    committed baseline). *)
+val load : string -> (Record.run, string) result
+
+(** Per-workload cycle/speedup table plus run provenance, to stdout. *)
+val print_summary : Record.run -> unit

@@ -48,3 +48,19 @@ let summarize xs =
     in
     let lo, hi = min_max xs in
     { n = List.length xs; mean = m; stddev = sqrt var; min = lo; max = hi }
+
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean ([1.96 * stddev / sqrt n]); 0 when fewer than two samples. *)
+let ci95 (s : summary) =
+  if s.n < 2 then 0.0 else 1.96 *. s.stddev /. sqrt (float_of_int s.n)
+
+(** [(mean, ci95)] of a sample, in one call. *)
+let mean_ci95 xs =
+  let s = summarize xs in
+  (s.mean, ci95 s)
+
+(** Relative change of [cur] against [base] in percent:
+    [(cur - base) / base * 100]. Positive = [cur] is larger (for cycle
+    counts: a regression). 0 when [base] is 0. *)
+let rel_delta_pct ~base ~cur =
+  if base = 0.0 then 0.0 else (cur -. base) /. base *. 100.0

@@ -25,3 +25,15 @@ type summary = {
 }
 
 val summarize : float list -> summary
+
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean; 0 when fewer than two samples. *)
+val ci95 : summary -> float
+
+(** [(mean, ci95)] of a sample. *)
+val mean_ci95 : float list -> float * float
+
+(** Relative change of [cur] against [base] in percent:
+    [(cur - base) / base * 100] (0 when [base] is 0). Positive means [cur]
+    is larger — for cycle counts, a regression. *)
+val rel_delta_pct : base:float -> cur:float -> float

@@ -1,0 +1,284 @@
+(* Tests for the parallel benchmark runner, the persistent result store and
+   the perf-regression gate:
+   (a) parallel execution is bit-identical to serial, per workload;
+   (b) the gate passes a clean run and fails an injected slowdown (library
+       verdicts and end-to-end exit codes);
+   (c) run records round-trip through the Tce_obs.Json store format. *)
+
+open Tce_runner
+
+let mk_workload name body =
+  Tce_workloads.Workload.make ~suite:Tce_workloads.Workload.Octane
+    ~selected:false name body
+
+(* Three small workloads with different profiles: monomorphic properties,
+   polymorphic call sites, and array elements — enough to exercise the
+   mechanism while keeping the suite fast. *)
+let tiny_mono =
+  mk_workload "runner-mono"
+    {|
+function Pt(x, y) { this.x = x; this.y = y; }
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 40; i++) { var p = new Pt(i, i + 1); s = (s + p.x + p.y) & 65535; }
+  return s;
+}
+|}
+
+let tiny_poly =
+  mk_workload "runner-poly"
+    {|
+function A(v) { this.v = v; }
+function B(v) { this.v = v; this.w = v; }
+var os = array_new(0);
+for (var i = 0; i < 30; i++) { if ((i & 1) == 0) { push(os, new A(i)); } else { push(os, new B(i)); } }
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 30; i++) { s = (s + os[i].v) & 65535; }
+  return s;
+}
+|}
+
+let tiny_elems =
+  mk_workload "runner-elems"
+    {|
+var xs = array_new(0);
+for (var i = 0; i < 48; i++) { push(xs, i * 3); }
+function bench() {
+  var s = 0;
+  for (var i = 0; i < 48; i++) { s = (s + xs[i]) & 65535; }
+  return s;
+}
+|}
+
+let roster = [ tiny_mono; tiny_poly; tiny_elems ]
+
+let resolve name =
+  List.find_opt (fun w -> w.Tce_workloads.Workload.name = name) roster
+
+let serial = lazy (Runner.run_workloads ~jobs:1 roster)
+
+(* --- (a) parallel == serial --- *)
+
+let test_parallel_bit_identical () =
+  let s = Lazy.force serial in
+  let p = Runner.run_workloads ~jobs:4 roster in
+  Alcotest.(check int) "same count" (List.length s) (List.length p);
+  List.iter2
+    (fun (a : Record.workload) (b : Record.workload) ->
+      Alcotest.(check string) "input order preserved" a.Record.name b.Record.name;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: parallel record bit-identical to serial"
+           a.Record.name)
+        true
+        (Record.equal_deterministic a b))
+    s p
+
+let test_parallel_more_jobs_than_work () =
+  (* more domains than workloads must not duplicate or drop work *)
+  let p = Runner.run_workloads ~jobs:8 [ tiny_mono ] in
+  let s = Runner.run_workloads ~jobs:1 [ tiny_mono ] in
+  Alcotest.(check int) "one record" 1 (List.length p);
+  Alcotest.(check bool) "identical" true
+    (Record.equal_deterministic (List.hd s) (List.hd p))
+
+let test_records_sane () =
+  List.iter
+    (fun (r : Record.workload) ->
+      Alcotest.(check bool) (r.Record.name ^ ": cycles positive") true
+        (r.Record.cycles_on > 0.0 && r.Record.cycles_off > 0.0);
+      Alcotest.(check bool) (r.Record.name ^ ": removal within [0,100]") true
+        (r.Record.check_removal_pct >= 0.0 && r.Record.check_removal_pct <= 100.0);
+      Alcotest.(check bool) (r.Record.name ^ ": mechanism removes checks") true
+        (r.Record.checks_on <= r.Record.checks_off))
+    (Lazy.force serial)
+
+(* --- (b) the gate --- *)
+
+let make_run workloads =
+  Store.make_run ~jobs:1 ~host_wall_seconds:0.0 workloads
+
+let test_gate_clean_pass () =
+  let run = make_run (Lazy.force serial) in
+  let report = Gate.check_run ~baseline:run ~current:run () in
+  Alcotest.(check bool) "clean run passes" true report.Gate.ok;
+  Alcotest.(check (list string)) "nothing missing" [] report.Gate.missing
+
+let inject_slowdown pct (w : Record.workload) =
+  { w with Record.cycles_on = w.Record.cycles_on *. (1.0 +. (pct /. 100.0)) }
+
+let test_gate_fails_on_slowdown () =
+  let base = make_run (Lazy.force serial) in
+  let current =
+    { base with Record.workloads = List.map (inject_slowdown 10.0) base.Record.workloads }
+  in
+  let report = Gate.check_run ~tolerance_pct:2.0 ~baseline:base ~current () in
+  Alcotest.(check bool) "10% slowdown beyond 2% tolerance fails" false
+    report.Gate.ok;
+  (* only the cycles metric flags, and for every workload *)
+  let failing =
+    List.filter (fun (v : Gate.verdict) -> not v.Gate.ok) report.Gate.verdicts
+  in
+  Alcotest.(check int) "one failing verdict per workload" (List.length roster)
+    (List.length failing);
+  List.iter
+    (fun (v : Gate.verdict) ->
+      Alcotest.(check bool) "failing metric is cycles" true
+        (v.Gate.metric = Gate.Cycles))
+    failing
+
+let test_gate_within_tolerance_passes () =
+  let base = make_run (Lazy.force serial) in
+  let current =
+    { base with Record.workloads = List.map (inject_slowdown 1.0) base.Record.workloads }
+  in
+  let report = Gate.check_run ~tolerance_pct:2.0 ~baseline:base ~current () in
+  Alcotest.(check bool) "1% slowdown within 2% tolerance passes" true
+    report.Gate.ok
+
+let test_gate_flags_check_removal_drop () =
+  let base = make_run (Lazy.force serial) in
+  let degrade (w : Record.workload) =
+    { w with Record.check_removal_pct = w.Record.check_removal_pct -. 5.0 }
+  in
+  let current =
+    { base with Record.workloads = List.map degrade base.Record.workloads }
+  in
+  let report = Gate.check_run ~tolerance_pct:2.0 ~baseline:base ~current () in
+  Alcotest.(check bool) "removal drop beyond tolerance fails" false
+    report.Gate.ok
+
+let test_gate_flags_checksum_change () =
+  let base = make_run (Lazy.force serial) in
+  let corrupt (w : Record.workload) = { w with Record.checksum = "corrupted" } in
+  let current =
+    { base with Record.workloads = List.map corrupt base.Record.workloads }
+  in
+  let report = Gate.check_run ~baseline:base ~current () in
+  Alcotest.(check bool) "checksum change fails" false report.Gate.ok
+
+let test_gate_config_mismatch () =
+  let base = make_run (Lazy.force serial) in
+  let current = { base with Record.config_hash = "0000" } in
+  let report = Gate.check_run ~baseline:base ~current () in
+  Alcotest.(check bool) "mismatched config hash flagged" true
+    report.Gate.config_mismatch;
+  Alcotest.(check bool) "and fails the gate" false report.Gate.ok
+
+let test_gate_missing_workload () =
+  let base = make_run (Lazy.force serial) in
+  let current =
+    { base with Record.workloads = [ List.hd base.Record.workloads ] }
+  in
+  let report = Gate.check_run ~baseline:base ~current () in
+  Alcotest.(check int) "two workloads missing" 2
+    (List.length report.Gate.missing);
+  Alcotest.(check bool) "missing workloads fail the gate" false report.Gate.ok
+
+(* End-to-end exit codes through baseline files on disk, exactly as
+   bench/main.exe -- --check and tcejs bench-check drive it. *)
+let test_gate_exit_codes () =
+  let tmp = Filename.temp_file "tce_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let run = make_run (Lazy.force serial) in
+      ignore (Store.save ~latest:tmp ~history:"" run);
+      Alcotest.(check int) "clean gate exits 0" 0
+        (Gate.run_gate ~baseline_path:tmp ~jobs:2 ~resolve ~save_latest:false ());
+      (* bake a baseline that claims we used to be 10% faster *)
+      let speedier (w : Record.workload) =
+        { w with Record.cycles_on = w.Record.cycles_on *. 0.9 }
+      in
+      let doctored =
+        { run with Record.workloads = List.map speedier run.Record.workloads }
+      in
+      ignore (Store.save ~latest:tmp ~history:"" doctored);
+      Alcotest.(check int) "regressed gate exits 1" 1
+        (Gate.run_gate ~baseline_path:tmp ~jobs:2 ~resolve ~save_latest:false ());
+      Alcotest.(check int) "unreadable baseline exits 2" 2
+        (Gate.run_gate ~baseline_path:"/nonexistent/baseline.json" ~resolve
+           ~save_latest:false ()))
+
+(* --- (c) JSON round-trip --- *)
+
+let test_workload_json_round_trip () =
+  List.iter
+    (fun (w : Record.workload) ->
+      match Record.workload_of_json (Record.workload_to_json w) with
+      | Ok w' ->
+        Alcotest.(check bool) (w.Record.name ^ ": round-trips") true
+          (Record.equal_workload w w')
+      | Error e -> Alcotest.fail e)
+    (Lazy.force serial)
+
+let test_run_json_round_trip_through_text () =
+  let run = make_run (Lazy.force serial) in
+  let text = Tce_obs.Json.to_string_pretty (Record.run_to_json run) in
+  match Tce_obs.Json.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+    match Record.run_of_json j with
+    | Error e -> Alcotest.fail e
+    | Ok run' ->
+      Alcotest.(check bool) "run survives emit+parse byte round-trip" true
+        (Record.equal_run run run'))
+
+let test_store_file_round_trip () =
+  let tmp = Filename.temp_file "tce_store" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let run = make_run (Lazy.force serial) in
+      ignore (Store.save ~latest:tmp ~history:"" run);
+      match Store.load tmp with
+      | Error e -> Alcotest.fail e
+      | Ok run' ->
+        Alcotest.(check bool) "store file round-trips" true
+          (Record.equal_run run run'))
+
+let test_rejects_wrong_kind () =
+  let doc =
+    Tce_obs.Export.document ~kind:"run-stats" (Tce_obs.Json.Obj [])
+  in
+  match Record.run_of_json doc with
+  | Ok _ -> Alcotest.fail "accepted a non-bench-run document"
+  | Error e -> Alcotest.(check bool) "error is descriptive" true (e <> "")
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "parallel",
+        [
+          Alcotest.test_case "bit-identical to serial" `Quick
+            test_parallel_bit_identical;
+          Alcotest.test_case "more jobs than work" `Quick
+            test_parallel_more_jobs_than_work;
+          Alcotest.test_case "records sane" `Quick test_records_sane;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "clean pass" `Quick test_gate_clean_pass;
+          Alcotest.test_case "fails on slowdown" `Quick
+            test_gate_fails_on_slowdown;
+          Alcotest.test_case "within tolerance" `Quick
+            test_gate_within_tolerance_passes;
+          Alcotest.test_case "check-removal drop" `Quick
+            test_gate_flags_check_removal_drop;
+          Alcotest.test_case "checksum change" `Quick
+            test_gate_flags_checksum_change;
+          Alcotest.test_case "config mismatch" `Quick test_gate_config_mismatch;
+          Alcotest.test_case "missing workload" `Quick
+            test_gate_missing_workload;
+          Alcotest.test_case "exit codes" `Quick test_gate_exit_codes;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "workload json round-trip" `Quick
+            test_workload_json_round_trip;
+          Alcotest.test_case "run json round-trip" `Quick
+            test_run_json_round_trip_through_text;
+          Alcotest.test_case "file round-trip" `Quick test_store_file_round_trip;
+          Alcotest.test_case "rejects wrong kind" `Quick test_rejects_wrong_kind;
+        ] );
+    ]
