@@ -17,7 +17,12 @@
       dune exec bench/main.exe -- --check [--baseline FILE]
           [--tolerance PCT] [--jobs N] [WORKLOAD ...]
         (perf-regression gate: re-run the baseline's roster and exit
-         non-zero when cycles or check-removal rates degrade) *)
+         non-zero when cycles or check-removal rates degrade)
+      dune exec bench/main.exe -- --faults [--fault-seed N] [--fault-spec S]
+          [--jobs N] [--out FILE] [--dir DIR] [--suite ...] [WORKLOAD ...]
+        (fault-injection campaign: run the (workload x fault point) matrix
+         under the differential oracle, write FAULTS_latest.json +
+         results/campaigns/, exit non-zero on any silent wrong answer) *)
 
 open Tce_metrics
 
@@ -229,6 +234,39 @@ let run_bench args =
   Printf.printf "wrote %s (history: %s)\n" latest hist_path;
   exit 0
 
+let run_faults args =
+  let opts, names =
+    parse_flags [ "jobs"; "fault-seed"; "fault-spec"; "out"; "dir"; "suite" ]
+      args
+  in
+  let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
+  let seed =
+    opt_int opts "fault-seed" ~default:Tce_runner.Campaign.default_seed
+  in
+  let spec =
+    match Hashtbl.find_opt opts "fault-spec" with
+    | None -> Tce_fault.Spec.default
+    | Some s -> (
+      match Tce_fault.Spec.parse s with
+      | Ok spec -> spec
+      | Error e -> usage_fail ("bad --fault-spec: " ^ e))
+  in
+  let suite = Option.value ~default:"all" (Hashtbl.find_opt opts "suite") in
+  let ws = resolve_workloads ~suite names in
+  let campaign = Tce_runner.Campaign.run ~spec ~seed ~jobs ws in
+  let latest =
+    Option.value ~default:Tce_runner.Campaign.latest_path
+      (Hashtbl.find_opt opts "out")
+  in
+  let dir =
+    Option.value ~default:Tce_runner.Campaign.campaigns_dir
+      (Hashtbl.find_opt opts "dir")
+  in
+  let archive = Tce_runner.Campaign.save ~latest ~dir campaign in
+  Tce_runner.Campaign.print_summary campaign;
+  Printf.printf "wrote %s (archive: %s)\n" latest archive;
+  exit (Tce_runner.Campaign.exit_code campaign)
+
 let run_check args =
   let opts, names = parse_flags [ "baseline"; "tolerance"; "jobs" ] args in
   let baseline_path =
@@ -248,6 +286,7 @@ let () =
   (match args with
   | "--bench" :: rest -> run_bench rest
   | "--check" :: rest -> run_check rest
+  | "--faults" :: rest -> run_faults rest
   | "--metrics-json" :: path :: rest ->
     run_metrics_json ~path rest;
     exit 0

@@ -3,6 +3,7 @@
     Usage: tcejs [run] FILE [--no-jit] [--no-mechanism] [--stats]
                  [--trace[=FILE]] [--trace-format=json|chrome]
                  [--metrics-json=FILE] [--obs-sample-cycles=N]
+                 [--fault-spec=SPEC] [--fault-seed=N]
            tcejs disasm FILE            (bytecode listing)
            tcejs opt-dump FILE FUNC     (optimized LIR of FUNC, after warm-up)
            tcejs classlist FILE         (Class List dump after the run)
@@ -59,13 +60,43 @@ let run_term =
             "Sample counter tracks (deopts, Class-Cache occupancy, heap \
              bytes) every $(docv) simulated cycles; 0 disables sampling.")
   in
+  let fault_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-spec" ] ~docv:"SPEC"
+          ~doc:
+            "Arm the deterministic fault injector with $(docv) (e.g. \
+             $(b,lost-deopt:0.5,cc-evict:0.02); see lib/fault/README.md). \
+             Fired faults and retire-path detections are reported on \
+             stderr.")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:
+            "Seed of the fault injector's PRNG; a run is replayable from \
+             (seed, spec) alone.")
+  in
   let run file no_jit no_mech stats trace_file trace_format metrics_json
-      sample_cycles =
+      sample_cycles fault_spec fault_seed =
     let src = read_file file in
     let trace =
       match trace_file with
       | Some _ -> Tce_obs.Trace.create ()
       | None -> Tce_obs.Trace.null
+    in
+    let fault =
+      match fault_spec with
+      | None -> Tce_fault.Injector.null
+      | Some s -> (
+        match Tce_fault.Spec.parse s with
+        | Ok spec -> Tce_fault.Injector.create ~seed:fault_seed spec
+        | Error e ->
+          Printf.eprintf "bad --fault-spec: %s\n" e;
+          exit 2)
     in
     let config =
       {
@@ -74,6 +105,7 @@ let run_term =
         mechanism = not no_mech;
         trace;
         obs_sample_cycles = sample_cycles;
+        fault;
       }
     in
     let t = Tce_engine.Engine.of_source ~config src in
@@ -96,6 +128,8 @@ let run_term =
     | Some path ->
       Tce_obs.Export.to_file ~path (Tce_metrics.Export.engine_document t)
     | None -> ());
+    if Tce_fault.Injector.armed fault then
+      Printf.eprintf "faults: %s\n" (Tce_fault.Injector.summary fault);
     if stats then begin
       let c = t.Tce_engine.Engine.counters in
       Printf.printf "--- stats ---\n";
@@ -123,7 +157,7 @@ let run_term =
   in
   Term.(
     const run $ file $ no_jit $ no_mech $ stats $ trace_file $ trace_format
-    $ metrics_json $ sample_cycles)
+    $ metrics_json $ sample_cycles $ fault_spec $ fault_seed)
 
 let run_cmd = Cmd.v (Cmd.info "run" ~doc:"Run a MiniJS program.") run_term
 

@@ -37,6 +37,9 @@ type t = {
   mutable trace : Tce_obs.Trace.t;
       (** observability sink for misspeculation exceptions (installed by
           the engine; {!Tce_obs.Trace.null} = disabled) *)
+  mutable fault : Tce_fault.Injector.t;
+      (** fault injector for campaigns (installed by the engine;
+          {!Tce_fault.Injector.null} = disarmed, zero-cost) *)
 }
 
 let fresh_stats () =
@@ -62,6 +65,7 @@ let create ?(config = default_config) () =
     clock = 0;
     stats = fresh_stats ();
     trace = Tce_obs.Trace.null;
+    fault = Tce_fault.Injector.null;
   }
 
 let nsets t = Array.length t.sets
@@ -100,6 +104,14 @@ let touch t ~classid ~line =
   end;
   !hit
 
+(** Invalidate the cached copy of [ClassID ‖ Line] if present (fault
+    injection: forced eviction). Timing-only — the next access misses and
+    re-walks the Class List; the backing list is untouched. *)
+let evict t ~classid ~line =
+  let key = (classid lsl 8) lor line in
+  let set = t.sets.((classid + (line * 41)) mod nsets t) in
+  Array.iter (fun w -> if w.valid && w.tag = key then w.valid <- false) set
+
 (** The result of a special store's Class Cache request. *)
 type access_result = {
   hit : bool;  (** false = the Class List in memory was walked *)
@@ -115,12 +127,74 @@ type access_result = {
     share of the work (draining the FunctionList, clearing SpeculateMap) is
     performed here and the victims are returned for deoptimization. *)
 let access t (cl : Class_list.t) ~classid ~line ~pos ~value_classid =
+  let inj = t.fault in
+  let armed = Tce_fault.Injector.armed inj in
+  (* Fault hooks (campaigns only; every hook below is skipped when the
+     injector is disarmed, keeping the unfaulted path bit-identical). *)
+  if armed then begin
+    if Tce_fault.Injector.fire inj ~classid ~line ~pos Tce_fault.Point.Cc_evict
+    then evict t ~classid ~line;
+    if
+      Tce_fault.Injector.fire inj ~classid ~line ~pos
+        Tce_fault.Point.Cl_flip_init
+    then Class_list.corrupt_flip cl ~classid ~line ~pos ~map:Class_list.Init_map;
+    if
+      Tce_fault.Injector.fire inj ~classid ~line ~pos
+        Tce_fault.Point.Cl_flip_valid
+    then
+      Class_list.corrupt_flip cl ~classid ~line ~pos ~map:Class_list.Valid_map;
+    if
+      Tce_fault.Injector.fire inj ~classid ~line ~pos
+        Tce_fault.Point.Cl_flip_speculate
+    then
+      Class_list.corrupt_flip cl ~classid ~line ~pos
+        ~map:Class_list.Speculate_map
+  end;
   let hit = touch t ~classid ~line in
-  let outcome, fns = Class_list.apply cl ~classid ~line ~pos ~value_classid in
+  let outcome, fns =
+    if
+      armed
+      && Tce_fault.Injector.fire inj ~classid ~line ~pos
+           Tce_fault.Point.Cc_drop_update
+    then (Class_list.Still_mono, []) (* the profiling update is lost *)
+    else Class_list.apply cl ~classid ~line ~pos ~value_classid
+  in
   (match outcome with
   | Class_list.First_profile -> t.stats.first_profiles <- t.stats.first_profiles + 1
   | Now_polymorphic _ -> t.stats.invalidations <- t.stats.invalidations + 1
   | _ -> ());
+  (* Spurious exception: drain the slot's FunctionList although the profile
+     never broke — always safe (the victims just deopt needlessly). *)
+  let fns =
+    if
+      armed
+      && Tce_fault.Injector.fire inj ~classid ~line ~pos
+           Tce_fault.Point.Cc_spurious_exn
+    then fns @ Class_list.take_speculators cl ~classid ~line ~pos
+    else fns
+  in
+  (* Delivery faults: the genuine victims can be dropped entirely
+     (Lost_deopt — must be *detected* downstream) or parked for delayed
+     delivery (Cc_delayed_exn). *)
+  let delivered, suppressed =
+    if fns <> [] && armed then
+      if Tce_fault.Injector.fire inj ~classid ~line ~pos Tce_fault.Point.Lost_deopt
+      then begin
+        Tce_fault.Injector.stash_lost inj fns;
+        ([], true)
+      end
+      else if
+        Tce_fault.Injector.fire inj ~classid ~line ~pos
+          Tce_fault.Point.Cc_delayed_exn
+      then begin
+        Tce_fault.Injector.stash_delayed inj fns;
+        ([], true)
+      end
+      else (fns, false)
+    else (fns, false)
+  in
+  let due = if armed then Tce_fault.Injector.tick_delayed inj else [] in
+  let fns = delivered @ due in
   if fns <> [] then begin
     t.stats.exceptions <- t.stats.exceptions + 1;
     if Tce_obs.Trace.on t.trace then
@@ -133,13 +207,17 @@ let access t (cl : Class_list.t) ~classid ~line ~pos ~value_classid =
     { hit;
       exn_raised =
         (match outcome with
-        | Class_list.Now_polymorphic { exception_raised = true; _ } -> true
+        | Class_list.Now_polymorphic { exception_raised = true; _ } ->
+          not suppressed
         | _ -> false);
       functions_to_deopt = [];
       outcome }
 
 (** Install the observability sink (the engine wires its trace here). *)
 let set_trace t tr = t.trace <- tr
+
+(** Install the fault injector (the engine wires campaigns here). *)
+let set_fault t inj = t.fault <- inj
 
 (** Currently valid ways (the Chrome-trace occupancy counter track). *)
 let occupancy t =

@@ -27,6 +27,9 @@ type t = private {
   mutable trace : Tce_obs.Trace.t;
       (** observability sink for misspeculation exceptions (installed by
           the engine; {!Tce_obs.Trace.null} = disabled) *)
+  mutable fault : Tce_fault.Injector.t;
+      (** fault injector for campaigns (installed by the engine;
+          {!Tce_fault.Injector.null} = disarmed, zero-cost) *)
 }
 
 and way = { mutable tag : int; mutable valid : bool; mutable lru : int }
@@ -36,6 +39,10 @@ val create : ?config:config -> unit -> t
 
 (** Cache lookup/fill for [ClassID ‖ Line] (timing only); [true] on hit. *)
 val touch : t -> classid:int -> line:int -> bool
+
+(** Invalidate the cached copy of [ClassID ‖ Line] if present (fault
+    injection: forced eviction; timing-only). *)
+val evict : t -> classid:int -> line:int -> unit
 
 type access_result = {
   hit : bool;  (** false = the Class List in memory was walked *)
@@ -56,6 +63,9 @@ val hit_rate : t -> float
 
 (** Install the observability sink (the engine wires its trace here). *)
 val set_trace : t -> Tce_obs.Trace.t -> unit
+
+(** Install the fault injector (the engine wires campaigns here). *)
+val set_fault : t -> Tce_fault.Injector.t -> unit
 
 (** Currently valid ways (the Chrome-trace occupancy counter track). *)
 val occupancy : t -> int

@@ -105,6 +105,57 @@ let is_monomorphic t ~classid ~line ~pos =
 let is_valid t ~classid ~line ~pos =
   Bytemap.get (entry t ~classid ~line).valid_map pos
 
+(** Like {!is_valid} but non-materializing: absent entries are vacuously
+    valid. Used by the engine's retire-path invariant check, which must not
+    perturb lazy parent-inheritance by materializing entries. *)
+let is_valid_peek t ~classid ~line ~pos =
+  match t.entries.(index ~classid ~line) with
+  | None -> true
+  | Some e -> Bytemap.get e.valid_map pos
+
+(** Non-materializing view of the value class the Class List would claim
+    for a monomorphic slot, following the same transition-parent
+    inheritance as {!entry} (the nearest materialized ancestor's profile)
+    but without mutating. [None] when no ancestor claims the slot
+    initialized-and-valid. Used by the engine's retire-path invariant
+    check to cross-examine the Class List against the ground-truth
+    oracle. *)
+let claimed_class_peek t ~classid ~line ~pos =
+  let rec walk classid =
+    match t.entries.(index ~classid ~line) with
+    | Some e ->
+      if Bytemap.get e.init_map pos && Bytemap.get e.valid_map pos then
+        Some e.props.(pos)
+      else None
+    | None -> (
+      match t.parent_of classid with
+      | Some p when p <> classid -> walk p
+      | _ -> None)
+  in
+  walk classid
+
+(** Non-materializing oracle for the retire-path invariant check: does any
+    still-installed speculation record exist for the slot? *)
+let speculates_peek t ~classid ~line ~pos ~fn =
+  match t.entries.(index ~classid ~line) with
+  | None -> false
+  | Some e -> List.mem fn e.func_lists.(pos)
+
+(** Fault injection only (Tce_fault [Cl_flip_*]): flip one bit of one map,
+    modelling a corrupted or aliased Class List entry. Never called in
+    unfaulted runs. *)
+type map_id = Init_map | Valid_map | Speculate_map
+
+let corrupt_flip t ~classid ~line ~pos ~map =
+  let e = entry t ~classid ~line in
+  let flip m =
+    if Bytemap.get m pos then Bytemap.clear m pos else Bytemap.set m pos
+  in
+  match map with
+  | Init_map -> e.init_map <- flip e.init_map
+  | Valid_map -> e.valid_map <- flip e.valid_map
+  | Speculate_map -> e.speculate_map <- flip e.speculate_map
+
 (** The profiled ClassID of a monomorphic slot. *)
 let profiled_class t ~classid ~line ~pos =
   if is_monomorphic t ~classid ~line ~pos then

@@ -55,6 +55,30 @@ val is_monomorphic : t -> classid:int -> line:int -> pos:int -> bool
     slot). *)
 val is_valid : t -> classid:int -> line:int -> pos:int -> bool
 
+(** Like {!is_valid} but non-materializing (absent entries are vacuously
+    valid): safe inside the engine's retire-path invariant check, which must
+    not trigger lazy parent-inheritance. *)
+val is_valid_peek : t -> classid:int -> line:int -> pos:int -> bool
+
+(** Non-materializing view of the value class the Class List claims for a
+    monomorphic slot, following the same transition-parent inheritance as
+    materialization (nearest materialized ancestor's profile). [None] when
+    no ancestor claims the slot initialized-and-valid. Lets the engine's
+    retire-path invariant check cross-examine the claim against the
+    ground-truth oracle. *)
+val claimed_class_peek : t -> classid:int -> line:int -> pos:int -> int option
+
+(** Non-materializing: is [fn] still on the slot's FunctionList? *)
+val speculates_peek :
+  t -> classid:int -> line:int -> pos:int -> fn:int -> bool
+
+(** Fault injection only: flip one bit of one map of the (materialized)
+    entry, modelling a corrupted or aliased Class List entry. *)
+type map_id = Init_map | Valid_map | Speculate_map
+
+val corrupt_flip :
+  t -> classid:int -> line:int -> pos:int -> map:map_id -> unit
+
 (** Profiled ClassID of a monomorphic slot ([0xFF] = SMI). *)
 val profiled_class : t -> classid:int -> line:int -> pos:int -> int option
 

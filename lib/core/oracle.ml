@@ -46,6 +46,11 @@ let distinct_classes t ~classid ~line ~pos =
   | None -> 0
   | Some i -> List.length i.classes
 
+let observed_classes t ~classid ~line ~pos =
+  match Hashtbl.find_opt t.slots (key ~classid ~line ~pos) with
+  | None -> []
+  | Some i -> i.classes
+
 (** A value class whose objects mutated their hidden class in place is no
     longer a single type: mark every slot that recorded it polymorphic
     (sentinel class -1). *)

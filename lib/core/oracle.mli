@@ -16,6 +16,11 @@ val is_monomorphic : t -> classid:int -> line:int -> pos:int -> bool
 
 val distinct_classes : t -> classid:int -> line:int -> pos:int -> int
 
+(** The distinct value ClassIDs ever stored into the slot ([-1] = retired;
+    empty when never stored to). Ground truth for the engine's retire-path
+    invariant check. *)
+val observed_classes : t -> classid:int -> line:int -> pos:int -> int list
+
 (** Mark every slot naming [value_classid] polymorphic — its objects mutated
     their hidden class in place. *)
 val retire_value_class : t -> value_classid:int -> unit

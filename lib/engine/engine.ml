@@ -18,6 +18,41 @@ module CC = Tce_core.Class_cache
 
 exception Engine_error of string
 
+(** Deopt-storm mitigation. The former cliff — [max_deopts = 12] permanent
+    disable plus a magic [deopt_hits > 4] — is replaced by a per-function
+    exponential re-speculation backoff: the deopt budget decays over
+    simulated cycles, and a function that exhausts it is refused tier-up for
+    a cooldown that doubles per excess deopt (capped), instead of being
+    pinned to the interpreter forever. *)
+type backoff = {
+  instance_deopt_limit : int;
+      (** deopts of one optimized-code instance before it is discarded and
+          recompiled against fresher feedback (V8-style; default 4 — the
+          previously hard-coded [deopt_hits > 4]) *)
+  storm_threshold : int;
+      (** decayed per-function deopt budget beyond which re-speculation
+          enters backoff (default 12 — the previous [max_deopts] permanent
+          disable; functions below this threshold behave exactly as
+          before) *)
+  base_cooldown_cycles : int;
+      (** first cooldown in simulated cycles (default 20_000) *)
+  max_backoff_exponent : int;
+      (** cooldown cap: [base_cooldown_cycles * 2^max] (default 8) *)
+  decay_cycles : int;
+      (** one past deopt (and one backoff level) is forgiven per this many
+          quiet simulated cycles (default 50_000), so re-speculation
+          recovers after churn stops; 0 disables decay *)
+}
+
+let default_backoff =
+  {
+    instance_deopt_limit = 4;
+    storm_threshold = 12;
+    base_cooldown_cycles = 20_000;
+    max_backoff_exponent = 8;
+    decay_cycles = 50_000;
+  }
+
 type config = {
   jit : bool;  (** false: pure interpreter (differential testing) *)
   mechanism : bool;  (** the paper's Class Cache mechanism on/off *)
@@ -25,7 +60,7 @@ type config = {
   checked_load : bool;  (** Checked Load baseline instead of the mechanism *)
   hot_call_count : int;
   hot_backedge_count : int;
-  max_deopts : int;  (** per function before optimization is disabled *)
+  backoff : backoff;  (** deopt-storm mitigation (see {!backoff}) *)
   mach_cfg : Tce_machine.Config.t;
   cc_config : CC.config;
   seed : int;
@@ -34,6 +69,9 @@ type config = {
           zero-cost default: no events, no allocation, identical cycles) *)
   obs_sample_cycles : int;
       (** counter-snapshot period in simulated cycles; 0 = off *)
+  fault : Tce_fault.Injector.t;
+      (** fault injector; {!Tce_fault.Injector.null} = disarmed (the
+          zero-cost default: no hooks run, identical cycles) *)
 }
 
 let default_config =
@@ -44,12 +82,13 @@ let default_config =
     checked_load = false;
     hot_call_count = 6;
     hot_backedge_count = 200;
-    max_deopts = 12;
+    backoff = default_backoff;
     mach_cfg = Tce_machine.Config.default;
     cc_config = CC.default_config;
     seed = 42;
     trace = Tce_obs.Trace.null;
     obs_sample_cycles = 0;
+    fault = Tce_fault.Injector.null;
   }
 
 type t = {
@@ -102,7 +141,7 @@ let create ?(config = default_config) (prog : Bytecode.program) : t =
   let counters = Tce_machine.Counters.create () in
   let mach =
     Tce_machine.Machine.create ~cfg:config.mach_cfg ~mechanism:config.mechanism
-      ~trace:config.trace ~heap ~cc ~cl ~oracle ~counters ()
+      ~trace:config.trace ~fault:config.fault ~heap ~cc ~cl ~oracle ~counters ()
   in
   (* one deterministic clock for the whole observability layer: optimized
      cycles plus the analytic baseline-tier cycles *)
@@ -114,6 +153,10 @@ let create ?(config = default_config) (prog : Bytecode.program) : t =
   in
   Tce_obs.Trace.set_clock config.trace obs_clock;
   CC.set_trace cc config.trace;
+  CC.set_fault cc config.fault;
+  (* never mutate the shared Injector.null (parallel domains) *)
+  if Tce_fault.Injector.armed config.fault then
+    Tce_fault.Injector.set_trace config.fault config.trace;
   (* global variable cells live in simulated memory, initialized to null *)
   let n_globals = max 1 (Array.length prog.Bytecode.globals) in
   let globals_base = Mem.allocate heap.Heap.mem ~bytes:(8 * n_globals) ~align:64 in
@@ -214,6 +257,39 @@ let emit_ic t ~site ~slot = function
 
 (* --- speculation bookkeeping --- *)
 
+(** Charge one deopt against [fn]'s decaying budget and, past the storm
+    threshold, impose an exponentially growing re-speculation cooldown
+    (emitting a [Backoff] event). Quiet simulated time forgives past deopts
+    (one per [decay_cycles]), so a function recovers full re-speculation
+    once the churn stops — the graceful replacement of the old
+    [max_deopts] permanent disable. *)
+let apply_backoff t (fn : Bytecode.func) =
+  let bo = t.cfg.backoff in
+  let now = t.obs_clock () in
+  if bo.decay_cycles > 0 && fn.Bytecode.last_deopt_at > 0 then begin
+    let forgiven = (now - fn.Bytecode.last_deopt_at) / bo.decay_cycles in
+    if forgiven > 0 then begin
+      fn.Bytecode.deopt_count <- max 0 (fn.Bytecode.deopt_count - forgiven);
+      fn.Bytecode.backoff_level <- max 0 (fn.Bytecode.backoff_level - forgiven)
+    end
+  end;
+  fn.Bytecode.last_deopt_at <- max 1 now;
+  fn.Bytecode.deopt_count <- fn.Bytecode.deopt_count + 1;
+  if fn.Bytecode.deopt_count > bo.storm_threshold then begin
+    let expn = min fn.Bytecode.backoff_level bo.max_backoff_exponent in
+    fn.Bytecode.backoff_until <- now + (bo.base_cooldown_cycles lsl expn);
+    fn.Bytecode.backoff_level <- fn.Bytecode.backoff_level + 1;
+    let tr = trace t in
+    if Tce_obs.Trace.on tr then
+      Tce_obs.Trace.emit tr
+        (Tce_obs.Trace.Backoff
+           {
+             func = fn.Bytecode.name;
+             level = fn.Bytecode.backoff_level;
+             until = fn.Bytecode.backoff_until;
+           })
+  end
+
 let invalidate_opt t opt_ids =
   List.iter
     (fun oid ->
@@ -224,9 +300,7 @@ let invalidate_opt t opt_ids =
         (match fn.Bytecode.opt with
         | Some cur when cur.Lir.opt_id = oid -> fn.Bytecode.opt <- None
         | _ -> ());
-        fn.Bytecode.deopt_count <- fn.Bytecode.deopt_count + 1;
-        if fn.Bytecode.deopt_count > t.cfg.max_deopts then
-          fn.Bytecode.opt_disabled <- true;
+        apply_backoff t fn;
         (* drop the dead code's other registrations so stale SpeculateMap
            bits cannot fire again *)
         CL.remove_function t.cl ~fn:oid
@@ -237,6 +311,56 @@ let is_invalidated t oid =
   match Hashtbl.find_opt t.opt_table oid with
   | Some code -> code.Lir.invalidated
   | None -> true
+
+(* --- retire-path invariant check (fault campaigns only) --- *)
+
+(** Is [oid]'s installed speculation stale — does its [spec_deps] name a
+    slot whose ValidMap bit is cleared, or that the ground-truth oracle saw
+    go polymorphic while the Class List still calls it valid? Both are
+    impossible in unfaulted runs (exception delivery is synchronous and
+    reliable, and the Class List tracks the oracle exactly — the qcheck
+    property in test_core), so a positive answer proves a lost, dropped or
+    corrupted notification. Uses non-materializing Class List peeks so the
+    check itself cannot perturb lazy parent-inheritance. *)
+let stale_speculation t oid =
+  match Hashtbl.find_opt t.opt_table oid with
+  | Some code when not code.Lir.invalidated ->
+    List.exists
+      (fun (classid, line, pos) ->
+        (not (CL.is_valid_peek t.cl ~classid ~line ~pos))
+        ||
+        (* Cross-examine the Class List's claim against the ground-truth
+           oracle. The oracle keys by the *storing-time* class while the
+           Class List inherits profiles down the transition tree, so a
+           speculated slot's claim can come from an ancestor: compare the
+           claimed value class against every class the oracle observed for
+           the slot rather than asking the oracle for monomorphism. *)
+        match CL.claimed_class_peek t.cl ~classid ~line ~pos with
+        | Some claimed ->
+          List.exists
+            (fun c -> c <> claimed)
+            (Tce_core.Oracle.observed_classes t.oracle ~classid ~line ~pos)
+        | None ->
+          not (Tce_core.Oracle.is_monomorphic t.oracle ~classid ~line ~pos))
+      code.Lir.spec_deps
+  | _ -> false
+
+(** An injected inconsistency was caught: invalidate the code and pin the
+    function to the fully-checked interpreter (re-speculating on poisoned
+    profiling state could mask the next fault). *)
+let detect_stale t oid ~cause =
+  match Hashtbl.find_opt t.opt_table oid with
+  | None -> ()
+  | Some code ->
+    let fn = t.prog.Bytecode.funcs.(code.Lir.fn_id) in
+    let tr = trace t in
+    if Tce_obs.Trace.on tr then
+      Tce_obs.Trace.emit tr
+        (Tce_obs.Trace.Fault_detected
+           { func = fn.Bytecode.name; opt_id = oid; cause });
+    Tce_fault.Injector.note_detected t.cfg.fault;
+    invalidate_opt t [ oid ];
+    fn.Bytecode.opt_disabled <- true
 
 (** Fire the profiling/verification side of a property or elements store
     executed in the baseline tier or a runtime stub (the special-store
@@ -418,6 +542,10 @@ let try_optimize t (fn : Bytecode.func) =
     && (not fn.Bytecode.opt_disabled)
     && (fn.Bytecode.call_count >= t.cfg.hot_call_count
        || fn.Bytecode.backedge_count >= t.cfg.hot_backedge_count)
+    (* deopt-storm backoff: re-speculation waits out the cooldown
+       (backoff_until is 0 until the storm threshold is ever exceeded) *)
+    && (fn.Bytecode.backoff_until = 0
+       || t.obs_clock () >= fn.Bytecode.backoff_until)
   then begin
     let opt_id = t.next_opt_id in
     t.next_opt_id <- opt_id + 1;
@@ -495,14 +623,26 @@ let rec call_function t fid (args : Value.t array) : Value.t =
   t.depth <- t.depth + 1;
   if t.depth > max_depth then raise (Engine_error "guest stack overflow");
   try_optimize t fn;
+  let interp () =
+    let regs = Array.make (max fn.Bytecode.n_regs 1) t.heap.Heap.null_v in
+    Array.blit args 0 regs 0 (min (Array.length args) fn.Bytecode.n_regs);
+    interp_from t fn regs 0
+  in
   let result =
     match fn.Bytecode.opt with
     | Some code when not code.Lir.invalidated ->
-      Tce_machine.Machine.run t.mach (host t) code args
-    | _ ->
-      let regs = Array.make (max fn.Bytecode.n_regs 1) t.heap.Heap.null_v in
-      Array.blit args 0 regs 0 (min (Array.length args) fn.Bytecode.n_regs);
-      interp_from t fn regs 0
+      (* retire-path invariant check at code entry (campaigns only): refuse
+         to dispatch optimized code whose speculation went stale under
+         injection — fall back to the fully-checked interpreter instead *)
+      if
+        Tce_fault.Injector.armed t.cfg.fault
+        && stale_speculation t code.Lir.opt_id
+      then begin
+        detect_stale t code.Lir.opt_id ~cause:"stale-speculation-at-entry";
+        interp ()
+      end
+      else Tce_machine.Machine.run t.mach (host t) code args
+    | _ -> interp ()
   in
   t.depth <- t.depth - 1;
   result
@@ -668,9 +808,21 @@ and host t : Tce_machine.Machine.host =
               code.Lir.deopt_hits <- code.Lir.deopt_hits + 1;
               (* V8-style: code that keeps failing its checks is discarded;
                  the next tier-up recompiles against the updated feedback *)
-              if code.Lir.deopt_hits > 4 then invalidate_opt t [ oid ]
+              if code.Lir.deopt_hits > t.cfg.backoff.instance_deopt_limit
+              then invalidate_opt t [ oid ]
             | None -> ());
-        is_invalidated = (fun oid -> is_invalidated t oid);
+        is_invalidated =
+          (fun oid ->
+            is_invalidated t oid
+            || Tce_fault.Injector.armed t.cfg.fault
+               && stale_speculation t oid
+               &&
+               (* retire-path invariant check at the machine's lazy-deopt
+                  points (call returns, special-store retirement): catch an
+                  in-flight victim of a lost/dropped notification and OSR
+                  it out before stale assumptions are consumed further *)
+               (detect_stale t oid ~cause:"stale-speculation-in-flight";
+                true));
       }
     in
     t.host <- Some h;

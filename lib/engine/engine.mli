@@ -6,6 +6,28 @@
 
 exception Engine_error of string
 
+(** Deopt-storm mitigation: per-function exponential re-speculation backoff
+    with a decaying deopt budget. Replaces (and subsumes) the former
+    [max_deopts = 12] permanent disable and the hard-coded
+    [deopt_hits > 4] instance limit. *)
+type backoff = {
+  instance_deopt_limit : int;
+      (** deopts of one code instance before it is discarded and recompiled
+          against fresher feedback (default 4) *)
+  storm_threshold : int;
+      (** decayed per-function deopt budget beyond which re-speculation
+          enters backoff (default 12; below it behaviour is exactly the
+          pre-backoff engine) *)
+  base_cooldown_cycles : int;  (** first cooldown, simulated cycles (20_000) *)
+  max_backoff_exponent : int;
+      (** cooldown cap = [base_cooldown_cycles * 2^max] (default 8) *)
+  decay_cycles : int;
+      (** one past deopt / backoff level forgiven per this many quiet
+          simulated cycles (default 50_000); 0 disables decay *)
+}
+
+val default_backoff : backoff
+
 type config = {
   jit : bool;  (** false: pure interpreter (differential testing) *)
   mechanism : bool;  (** the paper's Class Cache mechanism *)
@@ -13,7 +35,7 @@ type config = {
   checked_load : bool;  (** Checked Load baseline instead of the mechanism *)
   hot_call_count : int;
   hot_backedge_count : int;
-  max_deopts : int;
+  backoff : backoff;  (** deopt-storm mitigation *)
   mach_cfg : Tce_machine.Config.t;
   cc_config : Tce_core.Class_cache.config;
   seed : int;
@@ -22,6 +44,9 @@ type config = {
           zero-cost default: no events, no allocation, identical cycles) *)
   obs_sample_cycles : int;
       (** counter-snapshot period in simulated cycles; 0 = off *)
+  fault : Tce_fault.Injector.t;
+      (** fault injector; {!Tce_fault.Injector.null} = disarmed (the
+          zero-cost default: no hooks run, identical cycles) *)
 }
 
 val default_config : config
@@ -90,6 +115,17 @@ val baseline_cycles : t -> float
 
 (** The engine's trace (from the config). *)
 val trace : t -> Tce_obs.Trace.t
+
+(* --- fault campaigns --- *)
+
+(** Is [oid]'s installed speculation stale (ValidMap cleared, or the oracle
+    saw the slot go polymorphic while the Class List still calls it valid)?
+    Always false in unfaulted runs — the retire-path invariant. *)
+val stale_speculation : t -> int -> bool
+
+(** Record a caught injected inconsistency: emit [Fault_detected],
+    invalidate the code and pin its function to the checked interpreter. *)
+val detect_stale : t -> int -> cause:string -> unit
 
 (** Take a counter snapshot if the sampling period elapsed (also called
     internally on guest calls and store events). *)

@@ -1,0 +1,64 @@
+(** Named fault points (see point.mli). *)
+
+type t =
+  | Cc_evict
+  | Cc_drop_update
+  | Cl_flip_init
+  | Cl_flip_valid
+  | Cl_flip_speculate
+  | Cc_spurious_exn
+  | Cc_delayed_exn
+  | Lost_deopt
+  | Osr_fail
+
+let all =
+  [
+    Cc_evict;
+    Cc_drop_update;
+    Cl_flip_init;
+    Cl_flip_valid;
+    Cl_flip_speculate;
+    Cc_spurious_exn;
+    Cc_delayed_exn;
+    Lost_deopt;
+    Osr_fail;
+  ]
+
+let index = function
+  | Cc_evict -> 0
+  | Cc_drop_update -> 1
+  | Cl_flip_init -> 2
+  | Cl_flip_valid -> 3
+  | Cl_flip_speculate -> 4
+  | Cc_spurious_exn -> 5
+  | Cc_delayed_exn -> 6
+  | Lost_deopt -> 7
+  | Osr_fail -> 8
+
+let count = List.length all
+
+let name = function
+  | Cc_evict -> "cc-evict"
+  | Cc_drop_update -> "cc-drop"
+  | Cl_flip_init -> "cl-flip-init"
+  | Cl_flip_valid -> "cl-flip-valid"
+  | Cl_flip_speculate -> "cl-flip-spec"
+  | Cc_spurious_exn -> "cc-spurious"
+  | Cc_delayed_exn -> "cc-delay"
+  | Lost_deopt -> "lost-deopt"
+  | Osr_fail -> "osr-fail"
+
+let of_name s = List.find_opt (fun p -> name p = s) all
+
+let describe = function
+  | Cc_evict -> "force-evict the Class Cache entry before the lookup"
+  | Cc_drop_update -> "drop the profiling update of one special store"
+  | Cl_flip_init -> "flip the slot's InitMap bit in the Class List"
+  | Cl_flip_valid -> "flip the slot's ValidMap bit in the Class List"
+  | Cl_flip_speculate -> "flip the slot's SpeculateMap bit in the Class List"
+  | Cc_spurious_exn -> "raise a spurious misspeculation exception"
+  | Cc_delayed_exn -> "delay delivery of a misspeculation exception"
+  | Lost_deopt -> "lose the FunctionList deopt notification entirely"
+  | Osr_fail -> "fail the OSR transition once and retry via the slow path"
+
+let pp ppf p = Fmt.string ppf (name p)

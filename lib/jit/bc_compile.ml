@@ -413,6 +413,9 @@ let compile_func ~func_ids ~globals ?(top_level = false) ~id (f : Ast.func) :
     shadow = None;
     deopt_count = 0;
     opt_disabled = false;
+    backoff_level = 0;
+    backoff_until = 0;
+    last_deopt_at = 0;
   }
 
 (** Compile a whole program; the top-level statements become a synthetic

@@ -51,8 +51,13 @@ type func = {
   mutable shadow : func option;
       (** cached inlined view (deopts interpret — and record feedback —
           on this bytecode, so recompiles must reuse it) *)
-  mutable deopt_count : int;
-  mutable opt_disabled : bool;  (** too many deopts: stay in baseline *)
+  mutable deopt_count : int;  (** decaying deopt budget (backoff policy) *)
+  mutable opt_disabled : bool;
+      (** compile bailout or detected fault: stay in baseline for good *)
+  mutable backoff_level : int;  (** exponential re-speculation backoff level *)
+  mutable backoff_until : int;
+      (** simulated cycle before which tier-up is refused (deopt storm) *)
+  mutable last_deopt_at : int;  (** simulated cycle of the last deopt *)
 }
 
 type program = {

@@ -61,13 +61,17 @@ type t = {
   mutable measuring : bool;
   trace : Tce_obs.Trace.t;
       (** observability sink (deopt / OSR events; never affects timing) *)
+  fault : Tce_fault.Injector.t;
+      (** fault injector ({!Tce_fault.Injector.null} = disarmed): OSR-fail
+          injection and the retire-path re-validation of special stores *)
   (* special registers (paper §4.2.1.2) *)
   mutable reg_classid : int;
   reg_classid_arr : int array;
 }
 
 let create ?(cfg = Config.default) ?(mechanism = true)
-    ?(trace = Tce_obs.Trace.null) ~heap ~cc ~cl ~oracle ~counters () =
+    ?(trace = Tce_obs.Trace.null) ?(fault = Tce_fault.Injector.null) ~heap ~cc
+    ~cl ~oracle ~counters () =
   {
     cfg;
     heap;
@@ -92,6 +96,7 @@ let create ?(cfg = Config.default) ?(mechanism = true)
     fills = Hashtbl.create 4096;
     measuring = true;
     trace;
+    fault;
     reg_classid = 0;
     reg_classid_arr = Array.make 4 0;
   }
@@ -300,6 +305,18 @@ let do_deopt t host (f : Lir.func) regs fregs deopt_id ~result =
       t.counters.baseline_instrs + Costs.deopt_transition_instrs
   end;
   t.cycle <- t.cycle + t.cfg.deopt_penalty;
+  (* Fault: the OSR transition itself fails once and is retried via the
+     slow path — semantics preserved by construction, one extra frame
+     reconstruction's worth of cost (timing-only, gracefully degraded). *)
+  if
+    Tce_fault.Injector.armed t.fault
+    && Tce_fault.Injector.fire t.fault Tce_fault.Point.Osr_fail
+  then begin
+    if t.measuring then
+      t.counters.baseline_instrs <-
+        t.counters.baseline_instrs + Costs.deopt_transition_instrs;
+    t.cycle <- t.cycle + t.cfg.deopt_penalty
+  end;
   t.slots <- 0;
   let n = Array.length f.reprs in
   let vals =
@@ -630,7 +647,7 @@ let rec run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            let stored = operand regs v in
            try
              cc_request_tagged t ~classid ~line ~pos ~stored;
-             pc := next
+             post_store_check t host f regs fregs deopt_id result next pc
            with Cc_exception fns ->
              handle_cc_exception t host f regs fregs deopt_id fns result next pc)
          | StoreClassCacheArray (k, rb, ri, off, v, deopt_id) -> (
@@ -643,7 +660,7 @@ let rec run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            try
              cc_request_tagged t ~classid ~line:0
                ~pos:Tce_vm.Layout.elements_ptr_slot ~stored;
-             pc := next
+             post_store_check t host f regs fregs deopt_id result next pc
            with Cc_exception fns ->
              handle_cc_exception t host f regs fregs deopt_id fns result next pc)))
      done
@@ -703,6 +720,24 @@ and cc_request_tagged t ~classid ~line ~pos ~stored =
     end;
     if r.exn_raised then raise (Cc_exception r.functions_to_deopt)
   end
+
+and post_store_check t host f regs fregs deopt_id result next pc =
+  (* Retire-path invariant check (fault campaigns only): a special store
+     that retires without raising re-validates this code's own speculation —
+     the host's [is_invalidated] runs the engine's staleness check when an
+     injector is armed, catching a dropped update or lost notification at
+     the very store that broke the profile. Unfaulted, optimized code can
+     never be invalidated on this path (exception delivery is synchronous),
+     so the check is skipped and timing is untouched. *)
+  if Tce_fault.Injector.armed t.fault && host.is_invalidated f.Lir.opt_id
+  then begin
+    if Tce_obs.Trace.on t.trace then
+      Tce_obs.Trace.emit t.trace
+        (Tce_obs.Trace.Osr
+           { func = f.Lir.name; pc = f.Lir.deopts.(deopt_id).Lir.bc_pc });
+    result := Some (do_deopt t host f regs fregs deopt_id ~result:None)
+  end
+  else pc := next
 
 and handle_cc_exception t host f regs fregs deopt_id fns result next pc =
   if t.measuring then

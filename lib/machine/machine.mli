@@ -49,12 +49,16 @@ type t = {
   mutable measuring : bool;
   trace : Tce_obs.Trace.t;
       (** observability sink (deopt / OSR events; never affects timing) *)
+  fault : Tce_fault.Injector.t;
+      (** fault injector ({!Tce_fault.Injector.null} = disarmed): OSR-fail
+          injection and retire-path re-validation of special stores *)
   mutable reg_classid : int;  (** regObjectClassId (paper §4.2.1.2) *)
   reg_classid_arr : int array;  (** regArrayObjectClassId 0-3 *)
 }
 
 val create :
   ?cfg:Config.t -> ?mechanism:bool -> ?trace:Tce_obs.Trace.t ->
+  ?fault:Tce_fault.Injector.t ->
   heap:Tce_vm.Heap.t -> cc:Tce_core.Class_cache.t ->
   cl:Tce_core.Class_list.t -> oracle:Tce_core.Oracle.t ->
   counters:Counters.t -> unit -> t

@@ -22,9 +22,19 @@ let to_channel oc j =
   output_string oc (Json.to_string_pretty j);
   output_char oc '\n'
 
+(* Crash-safe write: emit into a temp file in the destination directory,
+   then atomically rename over [path]. An interrupted or faulted run can
+   truncate the temp file, never the published document. *)
 let to_file ~path j =
   if path = "-" then to_channel stdout j
   else begin
-    let oc = open_out path in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc j)
+    let dir = Filename.dirname path in
+    let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+    (try
+       let oc = open_out tmp in
+       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc j)
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp path
   end

@@ -19,5 +19,7 @@ val open_document : Json.t -> (string * Json.t, string) result
 val to_channel : out_channel -> Json.t -> unit
 
 (** Write pretty-printed JSON (trailing newline included). [path] "-"
-    writes to stdout. *)
+    writes to stdout. File writes are crash-safe: the document is staged in
+    a temp file in the destination directory and atomically renamed into
+    place, so readers never observe a truncated JSON document. *)
 val to_file : path:string -> Json.t -> unit

@@ -36,6 +36,25 @@ let args_of_event (ev : Trace.event) : (string * Json.t) list =
   | Gc { heap_bytes; grows } ->
     [ ("heap_bytes", Json.Int heap_bytes); ("grows", Json.Int grows) ]
   | Phase name -> [ ("name", Json.Str name) ]
+  | Fault_injected { point; classid; line; pos } ->
+    [
+      ("point", Json.Str point);
+      ("classid", Json.Int classid);
+      ("line", Json.Int line);
+      ("pos", Json.Int pos);
+    ]
+  | Fault_detected { func; opt_id; cause } ->
+    [
+      ("func", Json.Str func);
+      ("opt_id", Json.Int opt_id);
+      ("cause", Json.Str cause);
+    ]
+  | Backoff { func; level; until } ->
+    [
+      ("func", Json.Str func);
+      ("level", Json.Int level);
+      ("until", Json.Int until);
+    ]
 
 let event_json (r : Trace.record) =
   Json.Obj
@@ -62,8 +81,9 @@ let tid_compiler = 3
 let tid_of_event (ev : Trace.event) =
   match ev with
   | Trace.Tierup _ | Compile _ -> tid_compiler
-  | Deopt _ | Osr _ | Cc_exception _ -> tid_optimized
-  | Ic_transition _ | Gc _ | Phase _ -> tid_baseline
+  | Deopt _ | Osr _ | Cc_exception _ | Fault_detected _ | Backoff _ ->
+    tid_optimized
+  | Ic_transition _ | Gc _ | Phase _ | Fault_injected _ -> tid_baseline
 
 let name_of_event (ev : Trace.event) =
   match ev with
@@ -77,6 +97,10 @@ let name_of_event (ev : Trace.event) =
   | Osr { func; _ } -> "osr " ^ func
   | Gc _ -> "heap-grow"
   | Phase name -> "phase " ^ name
+  | Fault_injected { point; _ } -> "fault " ^ point
+  | Fault_detected { func; cause; _ } ->
+    Printf.sprintf "fault-detected %s: %s" func cause
+  | Backoff { func; level; _ } -> Printf.sprintf "backoff %s (level %d)" func level
 
 let thread_meta ~tid name =
   Json.Obj

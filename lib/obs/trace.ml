@@ -19,6 +19,9 @@ type event =
   | Osr of { func : string; pc : int }
   | Gc of { heap_bytes : int; grows : int }
   | Phase of string
+  | Fault_injected of { point : string; classid : int; line : int; pos : int }
+  | Fault_detected of { func : string; opt_id : int; cause : string }
+  | Backoff of { func : string; level : int; until : int }
 
 type record = { at : int; ev : event }
 
@@ -74,3 +77,6 @@ let kind = function
   | Osr _ -> "osr"
   | Gc _ -> "gc"
   | Phase _ -> "phase"
+  | Fault_injected _ -> "fault-injected"
+  | Fault_detected _ -> "fault-detected"
+  | Backoff _ -> "backoff"

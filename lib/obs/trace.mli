@@ -44,6 +44,24 @@ type event =
   | Gc of { heap_bytes : int; grows : int }
       (** heap growth (elements backing-store reallocation) *)
   | Phase of string  (** phase marker: "setup", "warmup", "measure", ... *)
+  | Fault_injected of {
+      point : string;  (** fault-point name, e.g. "lost-deopt" (Tce_fault) *)
+      classid : int;  (** hidden class at the injection site, [-1] if n/a *)
+      line : int;
+      pos : int;
+    }  (** a seeded fault fired at a Class Cache / Class List / OSR surface *)
+  | Fault_detected of {
+      func : string;
+      opt_id : int;
+      cause : string;  (** which retire-path invariant tripped *)
+    }
+      (** the engine caught an injected inconsistency and fell back to
+          fully-checked execution for [func] *)
+  | Backoff of {
+      func : string;
+      level : int;  (** exponential backoff level after this deopt *)
+      until : int;  (** simulated cycle when re-speculation is allowed again *)
+    }  (** deopt-storm mitigation: re-speculation of [func] was delayed *)
 
 type record = { at : int;  (** deterministic cycle stamp *) ev : event }
 

@@ -1,0 +1,353 @@
+(** Fault-injection campaign driver (see campaign.mli). *)
+
+module E = Tce_engine.Engine
+module W = Tce_workloads.Workload
+module Injector = Tce_fault.Injector
+module Point = Tce_fault.Point
+module Spec = Tce_fault.Spec
+module J = Tce_obs.Json
+
+let latest_path = "FAULTS_latest.json"
+let campaigns_dir = Filename.concat "results" "campaigns"
+let default_seed = 0xFA017
+
+type outcome =
+  | Wrong
+  | Detected_recovered
+  | Degraded
+  | Masked
+  | Not_exercised
+
+let outcome_name = function
+  | Wrong -> "wrong"
+  | Detected_recovered -> "detected-recovered"
+  | Degraded -> "degraded"
+  | Masked -> "masked"
+  | Not_exercised -> "not-exercised"
+
+let outcome_of_name = function
+  | "wrong" -> Some Wrong
+  | "detected-recovered" -> Some Detected_recovered
+  | "degraded" -> Some Degraded
+  | "masked" -> Some Masked
+  | "not-exercised" -> Some Not_exercised
+  | _ -> None
+
+type cell = {
+  workload : string;
+  point : string;  (** fault-point CLI name, {!Tce_fault.Point.name} *)
+  spec : string;  (** the singleton spec the cell ran under *)
+  seed : int;  (** injector seed (replay: [--fault-spec spec --fault-seed seed]) *)
+  fires : int;
+  detections : int;
+  lost_victims : int;
+  delivered_late : int;
+  deopts_delta : int;  (** vs the clean mechanism-on run *)
+  cycles_delta : float;  (** vs the clean mechanism-on run *)
+  outcome : outcome;
+  detail : string;  (** non-empty for [Wrong]: what went wrong *)
+}
+
+type t = {
+  campaign_seed : int;
+  spec : string;  (** the base spec the matrix was derived from *)
+  git_sha : string;
+  created_utc : string;
+  jobs : int;
+  host_wall_seconds : float;
+  cells : cell list;
+}
+
+(* --- the differential semantics oracle --- *)
+
+(** Everything a guest program can observe, plus the timing/recovery
+    counters the outcome classifier needs. [observable] folds the printed
+    output together with the display string of {e every} bench() iteration
+    (not just the measured one), so a wrong answer in any warm-up iteration
+    is caught too. *)
+type observation = {
+  observable : string;
+  cycles : float;
+  deopts : int;
+  cc_exceptions : int;
+}
+
+let observe ~config (w : W.t) : observation =
+  let t = E.of_source ~config w.W.source in
+  E.set_measuring t true;
+  ignore (E.run_main t);
+  let buf = Buffer.create 128 in
+  for _ = 1 to w.W.iterations do
+    let v = E.call_by_name t "bench" [||] in
+    Buffer.add_string buf (Tce_vm.Heap.to_display_string t.E.heap v);
+    Buffer.add_char buf '\n'
+  done;
+  let c = t.E.counters in
+  {
+    observable =
+      E.output t ^ "\x00" ^ Digest.to_hex (Digest.string (Buffer.contents buf));
+    cycles = float_of_int (E.opt_cycles t) +. E.baseline_cycles t;
+    deopts = c.Tce_machine.Counters.deopts;
+    cc_exceptions = c.Tce_machine.Counters.cc_exception_deopts;
+  }
+
+(** The per-cell injector seed: a deterministic function of the campaign
+    seed and the cell's identity only, so the schedule (jobs, domain
+    interleaving) can never change which faults a cell sees. *)
+let cell_seed ~campaign_seed ~workload ~point =
+  let h = Hashtbl.hash (workload, point) in
+  campaign_seed lxor (h * 0x9E3779B1) lxor ((h lsl 17) lor 0x2545F491)
+
+let run_cell ~campaign_seed ~(reference : observation) ~(clean : observation)
+    (w : W.t) (rule : Spec.rule) : cell =
+  let point = Point.name rule.Spec.point in
+  let seed = cell_seed ~campaign_seed ~workload:w.W.name ~point in
+  let spec = [ rule ] in
+  let inj = Injector.create ~seed spec in
+  let config = { E.default_config with E.mechanism = true; fault = inj } in
+  let obs, crash =
+    try (Some (observe ~config w), "") with e -> (None, Printexc.to_string e)
+  in
+  let fires = Injector.total_fires inj in
+  let detections = Injector.detections inj in
+  let outcome, detail, deopts_delta, cycles_delta =
+    match obs with
+    | None ->
+      (* An injected fault must degrade gracefully, never crash the
+         engine: a crash counts as a campaign failure like a wrong
+         answer. *)
+      (Wrong, "crash: " ^ crash, 0, 0.0)
+    | Some o ->
+      let dd = o.deopts - clean.deopts in
+      let cd = o.cycles -. clean.cycles in
+      if fires = 0 then (Not_exercised, "", dd, cd)
+      else if o.observable <> reference.observable then
+        (Wrong, "observable result differs from checks-on reference", dd, cd)
+      else if detections > 0 then (Detected_recovered, "", dd, cd)
+      else if
+        dd <> 0 || o.cc_exceptions <> clean.cc_exceptions || cd <> 0.0
+      then (Degraded, "", dd, cd)
+      else (Masked, "", dd, cd)
+  in
+  {
+    workload = w.W.name;
+    point;
+    spec = Spec.to_string spec;
+    seed;
+    fires;
+    detections;
+    lost_victims = List.length (Injector.lost inj);
+    delivered_late = Injector.delivered_late inj;
+    deopts_delta;
+    cycles_delta;
+    outcome;
+    detail;
+  }
+
+let run ?(spec = Spec.default) ?(seed = default_seed) ?jobs (ws : W.t list) : t
+    =
+  let t0 = Unix.gettimeofday () in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Runner.default_jobs ()
+  in
+  (* Phase 1 — per workload: the checks-on reference observation (the
+     differential oracle's ground truth) and a clean mechanism-on run (the
+     yardstick for Degraded vs Masked). The two must already agree: a
+     mismatch here is an engine bug, not an injection outcome. *)
+  let prepped =
+    Runner.parallel_map ~jobs
+      (fun w ->
+        let reference =
+          observe ~config:{ E.default_config with E.mechanism = false } w
+        in
+        let clean =
+          observe ~config:{ E.default_config with E.mechanism = true } w
+        in
+        if reference.observable <> clean.observable then
+          failwith
+            (Printf.sprintf
+               "%s: mechanism-on output differs from the checks-on reference \
+                with no faults injected"
+               w.W.name);
+        (w, reference, clean))
+      ws
+  in
+  (* Phase 2 — the (workload × fault point) matrix. Each cell arms exactly
+     one rule of the base spec, so every outcome is attributable to one
+     fault point. *)
+  let cells =
+    Runner.parallel_map ~jobs
+      (fun ((w : W.t), reference, clean, rule) ->
+        run_cell ~campaign_seed:seed ~reference ~clean w rule)
+      (List.concat_map
+         (fun (w, r, c) -> List.map (fun rule -> (w, r, c, rule)) spec)
+         prepped)
+  in
+  {
+    campaign_seed = seed;
+    spec = Spec.to_string spec;
+    git_sha = Store.git_sha ();
+    created_utc = Store.timestamp_utc ();
+    jobs;
+    host_wall_seconds = Unix.gettimeofday () -. t0;
+    cells;
+  }
+
+let wrong t = List.filter (fun c -> c.outcome = Wrong) t.cells
+
+(* --- persistence --- *)
+
+let json_of_cell (c : cell) : J.t =
+  J.Obj
+    [
+      ("workload", J.Str c.workload);
+      ("point", J.Str c.point);
+      ("spec", J.Str c.spec);
+      ("seed", J.Int c.seed);
+      ("fires", J.Int c.fires);
+      ("detections", J.Int c.detections);
+      ("lost_victims", J.Int c.lost_victims);
+      ("delivered_late", J.Int c.delivered_late);
+      ("deopts_delta", J.Int c.deopts_delta);
+      ("cycles_delta", J.Float c.cycles_delta);
+      ("outcome", J.Str (outcome_name c.outcome));
+      ("detail", J.Str c.detail);
+    ]
+
+let cell_of_json (j : J.t) : (cell, string) result =
+  let str k = Option.bind (J.member k j) J.to_str in
+  let int k = Option.bind (J.member k j) J.to_int in
+  let flt k = Option.bind (J.member k j) J.to_float in
+  match
+    ( str "workload", str "point", str "spec", int "seed", int "fires",
+      int "detections", int "lost_victims", int "delivered_late",
+      int "deopts_delta", flt "cycles_delta",
+      Option.bind (str "outcome") outcome_of_name, str "detail" )
+  with
+  | ( Some workload, Some point, Some spec, Some seed, Some fires,
+      Some detections, Some lost_victims, Some delivered_late,
+      Some deopts_delta, Some cycles_delta, Some outcome, Some detail ) ->
+    Ok
+      {
+        workload; point; spec; seed; fires; detections; lost_victims;
+        delivered_late; deopts_delta; cycles_delta; outcome; detail;
+      }
+  | _ -> Error "malformed fault-campaign cell"
+
+let to_json (t : t) : J.t =
+  Tce_obs.Export.document ~kind:"fault-campaign"
+    (J.Obj
+       [
+         ("campaign_seed", J.Int t.campaign_seed);
+         ("spec", J.Str t.spec);
+         ("git_sha", J.Str t.git_sha);
+         ("created_utc", J.Str t.created_utc);
+         ("jobs", J.Int t.jobs);
+         ("host_wall_seconds", J.Float t.host_wall_seconds);
+         ("cells", J.List (List.map json_of_cell t.cells));
+       ])
+
+let of_json (j : J.t) : (t, string) result =
+  match Tce_obs.Export.open_document j with
+  | Error e -> Error e
+  | Ok (kind, _) when kind <> "fault-campaign" ->
+    Error (Printf.sprintf "expected kind fault-campaign, got %s" kind)
+  | Ok (_, data) -> (
+    let str k = Option.bind (J.member k data) J.to_str in
+    let int k = Option.bind (J.member k data) J.to_int in
+    let flt k = Option.bind (J.member k data) J.to_float in
+    match
+      ( int "campaign_seed", str "spec", str "git_sha", str "created_utc",
+        int "jobs", flt "host_wall_seconds",
+        Option.bind (J.member "cells" data) J.to_list )
+    with
+    | ( Some campaign_seed, Some spec, Some git_sha, Some created_utc,
+        Some jobs, Some host_wall_seconds, Some cells ) -> (
+      let rec all acc = function
+        | [] -> Ok (List.rev acc)
+        | c :: rest -> (
+          match cell_of_json c with
+          | Ok c -> all (c :: acc) rest
+          | Error e -> Error e)
+      in
+      match all [] cells with
+      | Error e -> Error e
+      | Ok cells ->
+        Ok
+          {
+            campaign_seed; spec; git_sha; created_utc; jobs;
+            host_wall_seconds; cells;
+          })
+    | _ -> Error "malformed fault-campaign document")
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let save ?(latest = latest_path) ?(dir = campaigns_dir) (t : t) : string =
+  let doc = to_json t in
+  Tce_obs.Export.to_file ~path:latest doc;
+  if dir = "" then latest
+  else begin
+    mkdir_p dir;
+    let name =
+      Printf.sprintf "%s-%s-seed%d.json"
+        (String.map (function ':' -> '-' | c -> c) t.created_utc)
+        t.git_sha t.campaign_seed
+    in
+    let path = Filename.concat dir name in
+    Tce_obs.Export.to_file ~path doc;
+    path
+  end
+
+let load path : (t, string) result =
+  if not (Sys.file_exists path) then Error (path ^ ": no such file")
+  else
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match J.of_string s with Error e -> Error e | Ok j -> of_json j
+
+(* --- reporting --- *)
+
+let print_summary (t : t) =
+  let points =
+    List.sort_uniq compare (List.map (fun (c : cell) -> c.point) t.cells)
+  in
+  Printf.printf
+    "fault campaign: seed %d, %d cells (%d workloads × %d points), %d jobs, \
+     %.1fs\n"
+    t.campaign_seed (List.length t.cells)
+    (List.length
+       (List.sort_uniq compare (List.map (fun (c : cell) -> c.workload) t.cells)))
+    (List.length points) t.jobs t.host_wall_seconds;
+  Printf.printf "%-14s %6s %6s | %6s %10s %9s %7s %7s\n" "point" "fires"
+    "detect" "wrong" "recovered" "degraded" "masked" "quiet";
+  List.iter
+    (fun p ->
+      let cs = List.filter (fun (c : cell) -> c.point = p) t.cells in
+      let count o =
+        List.length (List.filter (fun (c : cell) -> c.outcome = o) cs)
+      in
+      let sum f = List.fold_left (fun a c -> a + f c) 0 cs in
+      Printf.printf "%-14s %6d %6d | %6d %10d %9d %7d %7d\n" p
+        (sum (fun c -> c.fires))
+        (sum (fun c -> c.detections))
+        (count Wrong) (count Detected_recovered) (count Degraded)
+        (count Masked) (count Not_exercised))
+    points;
+  (match wrong t with
+  | [] ->
+    Printf.printf
+      "campaign: PASS — no silent wrong answers, no crashes under injection\n"
+  | ws ->
+    Printf.printf "campaign: FAIL — %d wrong-answer cell(s):\n" (List.length ws);
+    List.iter
+      (fun (c : cell) ->
+        Printf.printf "  %s × %s (seed %d): %s\n" c.workload c.point c.seed
+          c.detail)
+      ws)
+
+let exit_code t = if wrong t = [] then 0 else 1

@@ -1,0 +1,116 @@
+(** Fault-injection campaign driver: the differential semantics oracle.
+
+    A campaign runs a (workload × fault point) matrix on parallel domains.
+    For each workload it first records the {e checks-on reference}
+    observation (mechanism off — every type check executed) and a clean
+    mechanism-on observation; then each matrix cell re-runs the workload
+    with exactly one fault point armed (a singleton of the base spec) under
+    a per-cell deterministic seed, and the observable results are compared
+    against the reference. The observable folds the printed output with the
+    result of {e every} bench() iteration, so a wrong answer anywhere in
+    the run is caught, not just in the measured iteration.
+
+    Outcome taxonomy (also documented in lib/fault/README.md):
+    - [Wrong] — the observable result differed from the reference, or the
+      engine crashed. Zero tolerance: any [Wrong] cell fails the campaign.
+    - [Detected_recovered] — the retire-path invariant check caught the
+      inconsistency ([Fault_detected] events, [detections > 0]) and the
+      engine fell back to fully-checked execution; results match.
+    - [Degraded] — results match with no detection needed, but the fault
+      cost something (extra deopts / Class Cache exceptions / cycles).
+    - [Masked] — the fault fired yet changed nothing measurable.
+    - [Not_exercised] — the fault point had no opportunity to fire.
+
+    Every cell records its injector seed, so any outcome is replayable:
+    [tcejs run --fault-spec SPEC --fault-seed SEED] (or the bench driver
+    with the same flags). *)
+
+val latest_path : string  (** ["FAULTS_latest.json"] *)
+
+val campaigns_dir : string  (** ["results/campaigns"] *)
+
+val default_seed : int
+
+type outcome =
+  | Wrong
+  | Detected_recovered
+  | Degraded
+  | Masked
+  | Not_exercised
+
+val outcome_name : outcome -> string
+val outcome_of_name : string -> outcome option
+
+type cell = {
+  workload : string;
+  point : string;  (** fault-point CLI name, {!Tce_fault.Point.name} *)
+  spec : string;  (** the singleton spec the cell ran under *)
+  seed : int;  (** injector seed (replay: [--fault-spec spec --fault-seed seed]) *)
+  fires : int;
+  detections : int;
+  lost_victims : int;
+  delivered_late : int;
+  deopts_delta : int;  (** vs the clean mechanism-on run *)
+  cycles_delta : float;  (** vs the clean mechanism-on run *)
+  outcome : outcome;
+  detail : string;  (** non-empty for [Wrong]: what went wrong *)
+}
+
+type t = {
+  campaign_seed : int;
+  spec : string;  (** the base spec the matrix was derived from *)
+  git_sha : string;
+  created_utc : string;
+  jobs : int;
+  host_wall_seconds : float;
+  cells : cell list;
+}
+
+(** One guest-observable summary of a run: printed output + the display
+    string of every bench() iteration, with the counters the classifier
+    compares. *)
+type observation = {
+  observable : string;
+  cycles : float;
+  deopts : int;
+  cc_exceptions : int;
+}
+
+(** Run a workload to completion under [config] and fold its observable
+    behaviour. *)
+val observe : config:Tce_engine.Engine.config -> Tce_workloads.Workload.t ->
+  observation
+
+(** The deterministic injector seed of cell [(workload, point)] — a pure
+    function of the campaign seed and the cell identity, independent of
+    jobs/scheduling. *)
+val cell_seed : campaign_seed:int -> workload:string -> point:string -> int
+
+(** Run the full matrix: one cell per (workload, rule of [spec]), fanned
+    across [jobs] domains. Default [spec] is {!Tce_fault.Spec.default}
+    (every point armed), default seed {!default_seed}. *)
+val run :
+  ?spec:Tce_fault.Spec.t ->
+  ?seed:int ->
+  ?jobs:int ->
+  Tce_workloads.Workload.t list ->
+  t
+
+(** The cells that produced a silent wrong answer or a crash. *)
+val wrong : t -> cell list
+
+val to_json : t -> Tce_obs.Json.t
+val of_json : Tce_obs.Json.t -> (t, string) result
+
+(** Write [latest] (default {!latest_path}) and an immutable copy under
+    [dir] (default {!campaigns_dir}; [""] disables). Returns the archive
+    path. *)
+val save : ?latest:string -> ?dir:string -> t -> string
+
+val load : string -> (t, string) result
+
+(** Per-point outcome table + the list of [Wrong] cells, to stdout. *)
+val print_summary : t -> unit
+
+(** 0 when no cell is [Wrong], else 1. *)
+val exit_code : t -> int

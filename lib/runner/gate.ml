@@ -161,7 +161,20 @@ let run_gate ?(baseline_path = Store.baseline_path)
     =
   match Store.load baseline_path with
   | Error msg ->
-    Printf.eprintf "cannot load baseline %s: %s\n" baseline_path msg;
+    (* Actionable failure: say *why* the baseline is unusable and how to
+       produce a good one, instead of a bare parse error. *)
+    if not (Sys.file_exists baseline_path) then
+      Printf.eprintf
+        "gate: baseline %s does not exist.\n\
+         Generate one from a known-good checkout and commit it:\n\
+        \  dune exec bench/main.exe -- --bench --out %s --history ''\n"
+        baseline_path baseline_path
+    else
+      Printf.eprintf
+        "gate: baseline %s is unreadable or malformed: %s\n\
+         Regenerate it from a known-good checkout:\n\
+        \  dune exec bench/main.exe -- --bench --out %s --history ''\n"
+        baseline_path msg baseline_path;
     2
   | Ok baseline ->
     (* Run exactly the baseline's roster (optionally narrowed to [names])
@@ -169,22 +182,44 @@ let run_gate ?(baseline_path = Store.baseline_path)
     let wanted (b : Record.workload) =
       names = [] || List.mem b.Record.name names
     in
+    let unresolved =
+      List.filter
+        (fun (b : Record.workload) ->
+          wanted b && resolve b.Record.name = None)
+        baseline.Record.workloads
+    in
+    if unresolved <> [] then begin
+      (* A baseline naming unknown workloads is from a different roster
+         (renamed/removed benchmarks): comparing the remainder would
+         silently shrink the gate's coverage, so fail loudly instead. *)
+      Printf.eprintf
+        "gate: baseline %s names %d workload(s) not in this build's \
+         registry: %s.\n\
+         The baseline was made from a different benchmark roster — \
+         regenerate it:\n\
+        \  dune exec bench/main.exe -- --bench --out %s --history ''\n"
+        baseline_path
+        (List.length unresolved)
+        (String.concat ", "
+           (List.map (fun (b : Record.workload) -> b.Record.name) unresolved))
+        baseline_path;
+      2
+    end
+    else
     let roster =
       List.filter_map
         (fun (b : Record.workload) ->
-          if wanted b then
-            match resolve b.Record.name with
-            | Some w -> Some w
-            | None ->
-              Printf.eprintf
-                "warning: baseline workload %s not in the registry; skipping\n"
-                b.Record.name;
-              None
-          else None)
+          if wanted b then resolve b.Record.name else None)
         baseline.Record.workloads
     in
     if roster = [] then begin
-      Printf.eprintf "no baseline workloads selected to compare\n";
+      Printf.eprintf
+        "gate: no baseline workloads selected to compare (baseline %s has \
+         %d workloads%s)\n"
+        baseline_path
+        (List.length baseline.Record.workloads)
+        (if names = [] then ""
+         else "; none match " ^ String.concat ", " names);
       2
     end
     else begin

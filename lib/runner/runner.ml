@@ -22,21 +22,21 @@ let run_one ?config (w : Tce_workloads.Workload.t) : Record.workload =
   in
   Record.of_pair ~wall_seconds off on
 
-let run_workloads ?config ?(jobs = default_jobs ())
-    (ws : Tce_workloads.Workload.t list) : Record.workload list =
-  let n = List.length ws in
+let parallel_map ?(jobs = default_jobs ()) (f : 'a -> 'b) (xs : 'a list) :
+    'b list =
+  let n = List.length xs in
   let jobs = min (max 1 jobs) (max 1 n) in
-  if jobs <= 1 || n <= 1 then List.map (run_one ?config) ws
+  if jobs <= 1 || n <= 1 then List.map f xs
   else begin
-    let arr = Array.of_list ws in
-    let results : Record.workload option array = Array.make n None in
+    let arr = Array.of_list xs in
+    let results : 'b option array = Array.make n None in
     let failure : exn option Atomic.t = Atomic.make None in
     let next = Atomic.make 0 in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && Atomic.get failure = None then begin
-          (try results.(i) <- Some (run_one ?config arr.(i))
+          (try results.(i) <- Some (f arr.(i))
            with e ->
              (* first failure wins; the others drain the queue and stop *)
              ignore (Atomic.compare_and_set failure None (Some e)));
@@ -51,6 +51,10 @@ let run_workloads ?config ?(jobs = default_jobs ())
     (match Atomic.get failure with Some e -> raise e | None -> ());
     Array.to_list (Array.map Option.get results)
   end
+
+let run_workloads ?config ?(jobs = default_jobs ())
+    (ws : Tce_workloads.Workload.t list) : Record.workload list =
+  parallel_map ~jobs (run_one ?config) ws
 
 let run_suite ?config ?jobs (ws : Tce_workloads.Workload.t list) : Record.run =
   let t0 = Unix.gettimeofday () in

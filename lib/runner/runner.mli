@@ -10,6 +10,13 @@
     ({!Domain.recommended_domain_count}). *)
 val default_jobs : unit -> int
 
+(** [parallel_map ~jobs f xs] = [List.map f xs], fanned out across [jobs]
+    domains through a single atomic work index. [f] must be self-contained
+    (no shared mutable state); results come back in input order, and the
+    first exception is re-raised after all domains drain. Shared by the
+    benchmark suite and the fault-campaign driver. *)
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
 (** Measure one workload (mechanism off + on) and build its record. *)
 val run_one :
   ?config:Tce_engine.Engine.config ->

@@ -32,9 +32,18 @@ let config_hash ?(config = Tce_engine.Engine.default_config) () =
        e.Tce_engine.Engine.jit e.Tce_engine.Engine.mechanism
        e.Tce_engine.Engine.hoisting e.Tce_engine.Engine.checked_load);
   Buffer.add_string buf
-    (Printf.sprintf "hot_call=%d;hot_backedge=%d;max_deopts=%d;seed=%d;"
+    (Printf.sprintf "hot_call=%d;hot_backedge=%d;seed=%d;"
        e.Tce_engine.Engine.hot_call_count e.Tce_engine.Engine.hot_backedge_count
-       e.Tce_engine.Engine.max_deopts e.Tce_engine.Engine.seed);
+       e.Tce_engine.Engine.seed);
+  (let b = e.Tce_engine.Engine.backoff in
+   Buffer.add_string buf
+     (Printf.sprintf
+        "inst_limit=%d;storm=%d;cooldown=%d;maxexp=%d;decay=%d;"
+        b.Tce_engine.Engine.instance_deopt_limit
+        b.Tce_engine.Engine.storm_threshold
+        b.Tce_engine.Engine.base_cooldown_cycles
+        b.Tce_engine.Engine.max_backoff_exponent
+        b.Tce_engine.Engine.decay_cycles));
   Buffer.add_string buf
     (Printf.sprintf "cc_entries=%d;cc_ways=%d"
        e.Tce_engine.Engine.cc_config.Tce_core.Class_cache.entries

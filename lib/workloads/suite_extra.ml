@@ -648,7 +648,76 @@ function bench() {
 }
 |}
 
-let octane = [ octane_code_load; octane_regexp; octane_typescript; octane_zlib ]
+let octane_deopt_storm =
+  Workload.make ~iterations:40 ~suite:Workload.Octane ~selected:false
+    "deopt-storm"
+    {|
+// Deopt storm (robustness, not in the paper's roster shape): a hot reader
+// speculating on 24 property slots while a churn driver poisons two slots
+// per iteration (SMI -> heap-number, so each slot goes polymorphic and
+// raises a misspeculation exception). The per-function deopt budget blows
+// through the storm threshold, exponential re-speculation backoff kicks in
+// (Backoff events), and once the churn stops the reader re-optimizes and
+// finishes the run speculating on the surviving slots.
+function Rec(s) {
+  this.p0 = s; this.p1 = s + 1; this.p2 = s + 2; this.p3 = s + 3;
+  this.p4 = s + 4; this.p5 = s + 5; this.p6 = s + 6; this.p7 = s + 7;
+  this.p8 = s + 8; this.p9 = s + 9; this.p10 = s + 10; this.p11 = s + 11;
+  this.p12 = s + 12; this.p13 = s + 13; this.p14 = s + 14; this.p15 = s + 15;
+  this.p16 = s + 16; this.p17 = s + 17; this.p18 = s + 18; this.p19 = s + 19;
+  this.p20 = s + 20; this.p21 = s + 21; this.p22 = s + 22; this.p23 = s + 23;
+}
+var recs = array_new(0);
+function setup() {
+  for (var i = 0; i < 8; i++) { push(recs, new Rec(i)); }
+}
+setup();
+var phase = 0;
+function poison(k) {
+  var o = recs[0];
+  if (k == 0) { o.p0 = 0.5; } else if (k == 1) { o.p1 = 0.5; }
+  else if (k == 2) { o.p2 = 0.5; } else if (k == 3) { o.p3 = 0.5; }
+  else if (k == 4) { o.p4 = 0.5; } else if (k == 5) { o.p5 = 0.5; }
+  else if (k == 6) { o.p6 = 0.5; } else if (k == 7) { o.p7 = 0.5; }
+  else if (k == 8) { o.p8 = 0.5; } else if (k == 9) { o.p9 = 0.5; }
+  else if (k == 10) { o.p10 = 0.5; } else if (k == 11) { o.p11 = 0.5; }
+  else if (k == 12) { o.p12 = 0.5; } else if (k == 13) { o.p13 = 0.5; }
+  else if (k == 14) { o.p14 = 0.5; } else if (k == 15) { o.p15 = 0.5; }
+  else if (k == 16) { o.p16 = 0.5; } else if (k == 17) { o.p17 = 0.5; }
+  else if (k == 18) { o.p18 = 0.5; } else if (k == 19) { o.p19 = 0.5; }
+  else if (k == 20) { o.p20 = 0.5; } else if (k == 21) { o.p21 = 0.5; }
+  else if (k == 22) { o.p22 = 0.5; } else { o.p23 = 0.5; }
+}
+function hotsum() {
+  var acc = 0;
+  var n = recs.length;
+  for (var i = 0; i < n; i++) {
+    var o = recs[i];
+    acc = acc + o.p0 + o.p1 + o.p2 + o.p3 + o.p4 + o.p5 + o.p6 + o.p7
+        + o.p8 + o.p9 + o.p10 + o.p11 + o.p12 + o.p13 + o.p14 + o.p15
+        + o.p16 + o.p17 + o.p18 + o.p19 + o.p20 + o.p21 + o.p22 + o.p23;
+  }
+  return acc;
+}
+function bench() {
+  var acc = 0;
+  if (phase < 12) {
+    // interleave: hotsum re-optimizes between the two breaks, so each
+    // poison catches freshly installed speculative code
+    poison(phase * 2);
+    acc = acc + hotsum() + hotsum();
+    poison(phase * 2 + 1);
+    acc = acc + hotsum() + hotsum();
+  } else {
+    acc = acc + hotsum() + hotsum() + hotsum() + hotsum();
+  }
+  phase++;
+  return ((acc * 2.0) | 0) & 268435455;
+}
+|}
+
+let octane = [ octane_code_load; octane_regexp; octane_typescript; octane_zlib;
+               octane_deopt_storm ]
 
 let sunspider =
   [

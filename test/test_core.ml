@@ -254,6 +254,47 @@ let test_oracle_retire () =
   Alcotest.(check bool) "retired slot is polymorphic" false
     (Oracle.is_monomorphic o ~classid:1 ~line:0 ~pos:2)
 
+let test_oracle_retire_sweep () =
+  let o = Oracle.create () in
+  Oracle.record o ~classid:1 ~line:0 ~pos:1 ~value_classid:9;
+  Oracle.record o ~classid:2 ~line:1 ~pos:3 ~value_classid:9;
+  Oracle.record o ~classid:3 ~line:0 ~pos:2 ~value_classid:7;
+  Oracle.retire_value_class o ~value_classid:9;
+  (* one retirement sweeps every slot naming the class; others untouched *)
+  Alcotest.(check bool) "slot 1 polymorphic" false
+    (Oracle.is_monomorphic o ~classid:1 ~line:0 ~pos:1);
+  Alcotest.(check bool) "slot 2 polymorphic" false
+    (Oracle.is_monomorphic o ~classid:2 ~line:1 ~pos:3);
+  Alcotest.(check bool) "unrelated slot still mono" true
+    (Oracle.is_monomorphic o ~classid:3 ~line:0 ~pos:2);
+  Alcotest.(check (list int)) "sentinel recorded" [ -1; 9 ]
+    (List.sort compare (Oracle.observed_classes o ~classid:1 ~line:0 ~pos:1));
+  (* retiring again is idempotent: no second sentinel *)
+  Oracle.retire_value_class o ~value_classid:9;
+  Alcotest.(check (list int)) "idempotent" [ -1; 9 ]
+    (List.sort compare (Oracle.observed_classes o ~classid:1 ~line:0 ~pos:1));
+  (* later stores cannot resurrect monomorphism *)
+  Oracle.record o ~classid:1 ~line:0 ~pos:1 ~value_classid:9;
+  Alcotest.(check bool) "stays polymorphic" false
+    (Oracle.is_monomorphic o ~classid:1 ~line:0 ~pos:1)
+
+let test_claimed_class_peek () =
+  let cl = mk () in
+  cl.CL.parent_of <- (function 11 -> Some 10 | _ -> None);
+  ignore (CL.update cl ~classid:10 ~line:0 ~pos:1 ~value_classid:7);
+  (* the claim is inherited through the transition parent without
+     materializing the child's entry *)
+  Alcotest.(check (option int)) "inherited claim" (Some 7)
+    (CL.claimed_class_peek cl ~classid:11 ~line:0 ~pos:1);
+  Alcotest.(check bool) "child entry not materialized" true
+    (CL.find cl ~classid:11 ~line:0 = None);
+  Alcotest.(check (option int)) "uninitialized pos claims nothing" None
+    (CL.claimed_class_peek cl ~classid:11 ~line:0 ~pos:2);
+  (* breaking the parent profile withdraws the inherited claim *)
+  ignore (CL.update cl ~classid:10 ~line:0 ~pos:1 ~value_classid:9);
+  Alcotest.(check (option int)) "broken profile claims nothing" None
+    (CL.claimed_class_peek cl ~classid:11 ~line:0 ~pos:1)
+
 
 (* --- additional mechanism cases --- *)
 
@@ -346,6 +387,7 @@ let () =
           Alcotest.test_case "lazy children see breaks" `Quick
             test_propagation_skips_unmaterialized;
           Alcotest.test_case "retire value class" `Quick test_retire_value_class;
+          Alcotest.test_case "claimed class peek" `Quick test_claimed_class_peek;
           Alcotest.test_case "speculation idempotent" `Quick
             test_add_speculation_idempotent;
           Alcotest.test_case "entry addresses" `Quick test_entry_addr_distinct;
@@ -369,5 +411,6 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_oracle_basic;
           Alcotest.test_case "retire" `Quick test_oracle_retire;
+          Alcotest.test_case "retire sweep" `Quick test_oracle_retire_sweep;
         ] );
     ]

@@ -489,6 +489,42 @@ print(r); print(o.tag); print(f());
 |}
     "1\n7\n1\n"
 
+let test_retire_path_cc_exception_flow () =
+  (* a hot optimized function speculates on g.nodes being one Array class;
+     an in-place elements-kind transition retires that class mid-run. The
+     engine must route this through the CC-exception deopt flow (visible in
+     the counters and the oracle's retired sentinel), not just stay
+     correct by accident. *)
+  let src =
+    {|
+function G() { this.nodes = array_new(0); }
+var g = new G();
+for (var i = 0; i < 8; i++) { push(g.nodes, i); }
+function total() {
+  var ns = g.nodes;
+  var s = 0;
+  for (var i = 0; i < 8; i++) { s = s + ns[i]; }
+  return s;
+}
+var r = 0;
+for (var k = 0; k < 30; k++) { r = total(); }
+push(g.nodes, {tag: 5});
+print(r); print(total());
+|}
+  in
+  check_all_modes "speculation on mid-run-retired class" src "28\n28\n";
+  let t = E.of_source src in
+  E.set_measuring t true;
+  ignore (E.run_main t);
+  Alcotest.(check bool) "retire went through the CC-exception deopt flow"
+    true
+    (t.E.counters.Tce_machine.Counters.cc_exception_deopts > 0);
+  Alcotest.(check bool) "oracle carries the retired-class sentinel" true
+    (Tce_core.Oracle.fold
+       (fun acc ~classid:_ ~line:_ ~pos:_ ~info ->
+         acc || List.mem (-1) info.Tce_core.Oracle.classes)
+       false t.E.oracle)
+
 let test_boolean_property_speculation () =
   (* regression: a property profiled as class Boolean holds BOTH oddballs;
      speculated code must still branch on the value, not assume truthy *)
@@ -639,6 +675,8 @@ let () =
             test_osr_out_of_invalidated_frame;
           Alcotest.test_case "kind-transition retirement" `Quick
             test_elements_kind_transition_retires_profiles;
+          Alcotest.test_case "retire-path CC-exception flow" `Quick
+            test_retire_path_cc_exception_flow;
           Alcotest.test_case "polymorphic sites" `Quick test_polymorphic_sites;
           Alcotest.test_case "megamorphic sites" `Quick test_megamorphic_sites;
           Alcotest.test_case "transitioning stores" `Quick

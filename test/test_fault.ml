@@ -1,0 +1,288 @@
+(* Fault-layer tests: spec parsing, injector determinism, the zero-cost
+   disabled path (simulated cycles bit-identical with the injector absent,
+   and with an armed-but-inert injector), retire-path detection of lost
+   deopts and dropped profiling updates (outputs must equal the checks-on
+   reference), and deopt-storm backoff + recovery. *)
+
+module E = Tce_engine.Engine
+module T = Tce_obs.Trace
+module Spec = Tce_fault.Spec
+module Point = Tce_fault.Point
+module Injector = Tce_fault.Injector
+
+(* --- spec parsing --- *)
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun s ->
+      match Spec.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok spec ->
+        Alcotest.(check string) ("roundtrip " ^ s) s (Spec.to_string spec))
+    [
+      "lost-deopt:0.5";
+      "cc-evict:0.02,cc-drop:0.05";
+      "cc-delay:0.5:3";
+      "cc-delay@7";
+      "osr-fail";
+    ];
+  (* the default campaign spec round-trips too *)
+  (match Spec.parse (Spec.to_string Spec.default) with
+  | Ok spec ->
+    Alcotest.(check string) "default roundtrips"
+      (Spec.to_string Spec.default) (Spec.to_string spec)
+  | Error e -> Alcotest.failf "default spec does not reparse: %s" e);
+  List.iter
+    (fun s ->
+      match Spec.parse s with
+      | Ok _ -> Alcotest.failf "parse %s should have failed" s
+      | Error _ -> ())
+    [ "no-such-point"; "cc-evict:1.5"; "cc-evict:0.1,cc-evict:0.2"; "cc-evict@0" ]
+
+(* --- injector determinism --- *)
+
+let draw_sequence ~seed n =
+  let inj =
+    Injector.create ~seed
+      [ { Spec.point = Point.Cc_evict; trigger = Spec.Prob 0.3; param = None } ]
+  in
+  List.init n (fun _ -> Injector.fire inj Point.Cc_evict)
+
+let test_injector_deterministic () =
+  let a = draw_sequence ~seed:42 200 and b = draw_sequence ~seed:42 200 in
+  Alcotest.(check (list bool)) "same seed, same schedule" a b;
+  let c = draw_sequence ~seed:43 200 in
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c);
+  let inj =
+    Injector.create ~seed:1
+      [ { Spec.point = Point.Osr_fail; trigger = Spec.At 3; param = None } ]
+  in
+  let hits = List.init 5 (fun _ -> Injector.fire inj Point.Osr_fail) in
+  Alcotest.(check (list bool)) "one-shot fires exactly on the 3rd"
+    [ false; false; true; false; false ] hits;
+  Alcotest.(check int) "opportunities counted" 5
+    (Injector.opportunities inj Point.Osr_fail)
+
+(* --- the zero-cost disabled path --- *)
+
+(* A program whose speculation genuinely breaks (a Point with a double .x
+   after 12 SMI Points), exercising the full deopt pipeline. The poison
+   store is the program's last property store, and speculative code runs
+   again afterwards — the shape the retire-path detection tests need. *)
+let break_src =
+  {|
+function Point(x, y) { this.x = x; this.y = y; }
+function sum(p, n) {
+  var s = 0;
+  for (var i = 0; i < n; i++) { s = (s + p.x + p.y + i) & 268435455; }
+  return s;
+}
+var acc = 0;
+for (var k = 0; k < 12; k++) {
+  acc = (acc + sum(new Point(k, k + 1), 400)) & 268435455;
+}
+var bad = new Point(300, 4);
+acc = (acc + sum(bad, 400)) & 268435455;
+bad.x = 0.5;
+acc = (acc + ((sum(bad, 400) * 2.0) | 0)) & 268435455;
+print(acc);
+|}
+
+let run_with ?(mechanism = true) ?(fault = Injector.null) ?(trace = T.null) src
+    =
+  let config = { E.default_config with E.mechanism; fault; trace } in
+  let t = E.of_source ~config src in
+  E.set_measuring t true;
+  ignore (E.run_main t);
+  t
+
+let test_disarmed_is_zero_cost () =
+  let t_plain = run_with break_src in
+  (* armed with a one-shot that never triggers: every hook runs, nothing
+     fires, and the simulated numbers must not move *)
+  let inert =
+    Injector.create ~seed:7
+      [ { Spec.point = Point.Cc_evict; trigger = Spec.At 1_000_000; param = None } ]
+  in
+  let t_armed = run_with ~fault:inert break_src in
+  Alcotest.(check bool) "armed" true (Injector.armed inert);
+  (* 13 Points x 2 constructor stores + the poison store = 27 CC accesses
+     from the store path that offer an eviction opportunity *)
+  Alcotest.(check int) "hooks saw opportunities" 27
+    (Injector.opportunities inert Point.Cc_evict);
+  Alcotest.(check int) "nothing fired" 0 (Injector.total_fires inert);
+  Alcotest.(check string) "same output" (E.output t_plain) (E.output t_armed);
+  Alcotest.(check int) "same optimized cycles" (E.opt_cycles t_plain)
+    (E.opt_cycles t_armed);
+  Alcotest.(check (float 1e-9)) "same baseline cycles"
+    (E.baseline_cycles t_plain) (E.baseline_cycles t_armed)
+
+(* --- retire-path detection --- *)
+
+let reference_output src =
+  E.output (run_with ~mechanism:false src)
+
+let test_lost_deopt_detected () =
+  let fault =
+    Injector.create ~seed:11
+      [ { Spec.point = Point.Lost_deopt; trigger = Spec.Prob 1.0; param = None } ]
+  in
+  let trace = T.create () in
+  let t = run_with ~fault ~trace break_src in
+  Alcotest.(check bool) "a deopt notification was dropped" true
+    (Injector.lost fault <> []);
+  Alcotest.(check bool) "the retire-path check caught it" true
+    (Injector.detections fault > 0);
+  Alcotest.(check string) "output equals the checks-on reference"
+    (reference_output break_src) (E.output t);
+  let detected =
+    List.exists
+      (fun r -> match r.T.ev with T.Fault_detected _ -> true | _ -> false)
+      (T.records trace)
+  in
+  Alcotest.(check bool) "Fault_detected event emitted" true detected
+
+let test_dropped_update_detected () =
+  (* Pin the poison store's opportunity index with an inert probe run, then
+     drop exactly that profiling update. *)
+  let probe =
+    Injector.create ~seed:5
+      [ { Spec.point = Point.Cc_drop_update; trigger = Spec.At max_int; param = None } ]
+  in
+  ignore (run_with ~fault:probe break_src);
+  let n = Injector.opportunities probe Point.Cc_drop_update in
+  Alcotest.(check bool) "probe saw the store stream" true (n > 0);
+  (* the poison store (bad.x = 0.5) is the last property store *)
+  let fault =
+    Injector.create ~seed:5
+      [ { Spec.point = Point.Cc_drop_update; trigger = Spec.At n; param = None } ]
+  in
+  let t = run_with ~fault break_src in
+  Alcotest.(check int) "the poly-transition update was dropped" 1
+    (Injector.fires fault Point.Cc_drop_update);
+  Alcotest.(check bool) "the ground-truth oracle exposed it" true
+    (Injector.detections fault > 0);
+  Alcotest.(check string) "output equals the checks-on reference"
+    (reference_output break_src) (E.output t)
+
+let test_spurious_and_delayed_are_safe () =
+  List.iter
+    (fun rule ->
+      let fault = Injector.create ~seed:3 [ rule ] in
+      let t = run_with ~fault break_src in
+      Alcotest.(check string)
+        (Point.name rule.Spec.point ^ " output equals reference")
+        (reference_output break_src) (E.output t))
+    [
+      { Spec.point = Point.Cc_spurious_exn; trigger = Spec.Prob 0.2; param = None };
+      { Spec.point = Point.Cc_delayed_exn; trigger = Spec.Prob 1.0; param = Some 3 };
+      { Spec.point = Point.Cl_flip_valid; trigger = Spec.Prob 0.1; param = None };
+      { Spec.point = Point.Cc_evict; trigger = Spec.Prob 0.5; param = None };
+    ]
+
+(* --- deopt-storm backoff and recovery --- *)
+
+let storm_workload () =
+  match Tce_workloads.Workloads.by_name "deopt-storm" with
+  | Some w -> w
+  | None -> Alcotest.fail "deopt-storm workload missing from the registry"
+
+let test_backoff_engages_and_recovers () =
+  let w = storm_workload () in
+  let trace = T.create ~capacity:65536 () in
+  let config = { E.default_config with E.trace = trace } in
+  let t = E.of_source ~config w.Tce_workloads.Workload.source in
+  E.set_measuring t true;
+  ignore (E.run_main t);
+  for _ = 1 to w.Tce_workloads.Workload.iterations do
+    ignore (E.call_by_name t "bench" [||])
+  done;
+  let records = T.records trace in
+  let backoffs =
+    List.filter_map
+      (fun r ->
+        match r.T.ev with
+        | T.Backoff { func; level; _ } -> Some (r.T.at, func, level)
+        | _ -> None)
+      records
+  in
+  Alcotest.(check bool) "backoff engaged" true (backoffs <> []);
+  List.iter
+    (fun (_, func, _) ->
+      Alcotest.(check string) "the storming function backs off" "hotsum" func)
+    backoffs;
+  let levels = List.map (fun (_, _, l) -> l) backoffs in
+  Alcotest.(check (list int)) "exponential escalation"
+    (List.init (List.length levels) (fun i -> i + 1))
+    levels;
+  (* recovery: hotsum re-optimizes after the last cooldown *)
+  let last_backoff_at =
+    List.fold_left (fun acc (at, _, _) -> max acc at) 0 backoffs
+  in
+  let recovered =
+    List.exists
+      (fun r ->
+        match r.T.ev with
+        | T.Tierup { func; _ } -> func = "hotsum" && r.T.at > last_backoff_at
+        | _ -> false)
+      records
+  in
+  Alcotest.(check bool) "hotsum re-optimizes after the storm" true recovered
+
+let test_storm_checksum_stable () =
+  (* mechanism on/off agree on the storm workload (run_pair asserts) *)
+  let off, on = Tce_metrics.Harness.run_pair (storm_workload ()) in
+  Alcotest.(check string) "checksums agree" off.Tce_metrics.Harness.checksum
+    on.Tce_metrics.Harness.checksum;
+  Alcotest.(check bool) "the storm actually deopts" true
+    (on.Tce_metrics.Harness.deopts >= 0)
+
+(* --- unfaulted engine unchanged by the fault layer --- *)
+
+let test_null_injector_shared_safely () =
+  (* Engine creation must never mutate Injector.null (it is shared across
+     parallel domains); its trace stays the global null trace. *)
+  let trace = T.create () in
+  let t = run_with ~trace break_src in
+  ignore t;
+  Alcotest.(check bool) "null injector still disarmed" false
+    (Injector.armed Injector.null);
+  Alcotest.(check int) "null injector saw nothing" 0
+    (Injector.total_fires Injector.null)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "round-trip + rejects" `Quick test_spec_roundtrip;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "deterministic from seed" `Quick
+            test_injector_deterministic;
+          Alcotest.test_case "null shared safely" `Quick
+            test_null_injector_shared_safely;
+        ] );
+      ( "zero-cost",
+        [
+          Alcotest.test_case "armed-but-inert = bit-identical" `Quick
+            test_disarmed_is_zero_cost;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "lost deopt detected" `Quick
+            test_lost_deopt_detected;
+          Alcotest.test_case "dropped update detected" `Quick
+            test_dropped_update_detected;
+          Alcotest.test_case "spurious/delayed/flip/evict safe" `Quick
+            test_spurious_and_delayed_are_safe;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "storm engages backoff, then recovers" `Quick
+            test_backoff_engages_and_recovers;
+          Alcotest.test_case "storm checksum stable" `Quick
+            test_storm_checksum_stable;
+        ] );
+    ]
