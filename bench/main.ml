@@ -217,6 +217,22 @@ let resolve_workloads ~suite names =
     | s -> usage_fail ("unknown suite " ^ s)
 
 let run_bench args =
+  (* `--attr[=FILE]` is a value-less flag; peel it off before the
+     value-taking flag parser sees it. *)
+  let attr_args, args =
+    List.partition
+      (fun a ->
+        a = "--attr"
+        || (String.length a > 7 && String.sub a 0 7 = "--attr="))
+      args
+  in
+  let attr_out =
+    match attr_args with
+    | [] -> None
+    | a :: _ when String.length a > 7 ->
+      Some (String.sub a 7 (String.length a - 7))
+    | _ -> Some Tce_runner.Store.attr_latest_path
+  in
   let opts, names = parse_flags [ "jobs"; "out"; "history"; "suite" ] args in
   let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
   let suite = Option.value ~default:"all" (Hashtbl.find_opt opts "suite") in
@@ -232,6 +248,26 @@ let run_bench args =
   let hist_path = Tce_runner.Store.save ~latest ~history run in
   Tce_runner.Store.print_summary run;
   Printf.printf "wrote %s (history: %s)\n" latest hist_path;
+  (match attr_out with
+  | None -> ()
+  | Some path ->
+    (* Suite attribution from the benchmark records themselves (the
+       composition block), so the report reflects exactly what the
+       parallel domains measured — no ledger crosses a domain boundary. *)
+    let per_workload =
+      List.map
+        (fun (w : Tce_runner.Record.workload) ->
+          ( w.Tce_runner.Record.name,
+            List.map
+              (fun (kind, off, on) ->
+                { Tce_attr.Aggregate.kind; off; on_ = on })
+              w.Tce_runner.Record.checks_by_kind ))
+        run.Tce_runner.Record.workloads
+    in
+    print_string (Tce_attr.Aggregate.suite_table per_workload);
+    Tce_obs.Export.to_file ~path
+      (Tce_attr.Aggregate.suite_report_json per_workload);
+    Printf.printf "wrote %s\n" path);
   exit 0
 
 let run_faults args =

@@ -80,13 +80,29 @@ let run_term =
             "Seed of the fault injector's PRNG; a run is replayable from \
              (seed, spec) alone.")
   in
+  let explain =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "explain" ] ~docv:"FILE"
+          ~doc:
+            "Record check attribution and explain every kept check and \
+             deopt causal chain. Without $(docv) (or with $(b,-)) the text \
+             report goes to stdout; with $(docv) a versioned \
+             $(b,attr-report) JSON document is written instead.")
+  in
   let run file no_jit no_mech stats trace_file trace_format metrics_json
-      sample_cycles fault_spec fault_seed =
+      sample_cycles fault_spec fault_seed explain =
     let src = read_file file in
     let trace =
       match trace_file with
       | Some _ -> Tce_obs.Trace.create ()
       | None -> Tce_obs.Trace.null
+    in
+    let attr =
+      match explain with
+      | Some _ -> Tce_attr.Ledger.create ()
+      | None -> Tce_attr.Ledger.null
     in
     let fault =
       match fault_spec with
@@ -106,6 +122,7 @@ let run_term =
         trace;
         obs_sample_cycles = sample_cycles;
         fault;
+        attr;
       }
     in
     let t = Tce_engine.Engine.of_source ~config src in
@@ -128,6 +145,29 @@ let run_term =
     | Some path ->
       Tce_obs.Export.to_file ~path (Tce_metrics.Export.engine_document t)
     | None -> ());
+    (match explain with
+    | None -> ()
+    | Some dest ->
+      let c = t.Tce_engine.Engine.counters in
+      let checks_executed =
+        List.map
+          (fun k ->
+            ( Tce_jit.Categories.check_kind_name k,
+              c.Tce_machine.Counters.by_check_kind.(Tce_jit.Categories
+                                                   .check_kind_index k + 1) ))
+          Tce_jit.Categories.all_check_kinds
+      in
+      let cc_occupancy = Tce_core.Class_cache.set_occupancy t.Tce_engine.Engine.cc in
+      let cc_conflicts = Tce_core.Class_cache.set_conflicts t.Tce_engine.Engine.cc in
+      let program = Filename.basename file in
+      if dest = "-" then
+        print_string
+          (Tce_attr.Aggregate.explain_text ~program ~checks_executed
+             ~cc_occupancy ~cc_conflicts attr)
+      else
+        Tce_obs.Export.to_file ~path:dest
+          (Tce_attr.Aggregate.report_json ~program ~checks_executed
+             ~cc_occupancy ~cc_conflicts attr));
     if Tce_fault.Injector.armed fault then
       Printf.eprintf "faults: %s\n" (Tce_fault.Injector.summary fault);
     if stats then begin
@@ -157,7 +197,7 @@ let run_term =
   in
   Term.(
     const run $ file $ no_jit $ no_mech $ stats $ trace_file $ trace_format
-    $ metrics_json $ sample_cycles $ fault_spec $ fault_seed)
+    $ metrics_json $ sample_cycles $ fault_spec $ fault_seed $ explain)
 
 let run_cmd = Cmd.v (Cmd.info "run" ~doc:"Run a MiniJS program.") run_term
 

@@ -35,4 +35,8 @@ trap 'rm -rf "$TMP"' EXIT
   > /dev/null
 "$VALIDATE" jsonl "$TMP/trace.jsonl"
 
+# Attribution report of the same (deopting) program.
+"$TCEJS" run --explain="$TMP/attr.json" "$EXAMPLE" > /dev/null
+"$VALIDATE" export "$TMP/attr.json" attr-report
+
 echo "check_obs: OK"

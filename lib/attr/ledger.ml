@@ -1,0 +1,107 @@
+(** Attribution ledger (see ledger.mli). *)
+
+type keep_cause =
+  | Kc_poly of { shapes : int }
+  | Kc_mega
+  | Kc_init_unset
+  | Kc_valid_cleared
+  | Kc_speculate_conflict
+  | Kc_cc_eviction
+  | Kc_backoff_pin
+  | Kc_cold
+  | Kc_untyped
+  | Kc_mechanism_off
+
+let keep_cause_name = function
+  | Kc_poly { shapes } -> Printf.sprintf "polymorphic(%d shapes)" shapes
+  | Kc_mega -> "megamorphic"
+  | Kc_init_unset -> "initmap-unset"
+  | Kc_valid_cleared -> "validmap-cleared"
+  | Kc_speculate_conflict -> "speculatemap-conflict"
+  | Kc_cc_eviction -> "cc-eviction"
+  | Kc_backoff_pin -> "backoff-pin"
+  | Kc_cold -> "cold-feedback"
+  | Kc_untyped -> "untyped-value"
+  | Kc_mechanism_off -> "mechanism-off"
+
+let all_keep_causes =
+  [ Kc_poly { shapes = 2 }; Kc_mega; Kc_init_unset; Kc_valid_cleared;
+    Kc_speculate_conflict; Kc_cc_eviction; Kc_backoff_pin; Kc_cold;
+    Kc_untyped; Kc_mechanism_off ]
+
+type decision = Removed | Kept of keep_cause
+
+type site = {
+  fn : string;
+  pc : int;
+  kind : string;
+  classid : int;
+  decision : decision;
+  note : string;
+}
+
+type deopt = { fn : string; reason : Reason.t }
+
+type chain = {
+  at : int;
+  store : string;
+  classid : int;
+  line : int;
+  pos : int;
+  victims : string list;
+  mutable respec : (string * string) list;
+}
+
+type t = {
+  enabled : bool;
+  mutable site_log : site list;  (** newest first *)
+  mutable deopt_log : deopt list;
+  mutable chain_log : chain list;
+  mutable pin_log : (string * int) list;
+}
+
+let null =
+  { enabled = false; site_log = []; deopt_log = []; chain_log = []; pin_log = [] }
+
+let create () =
+  { enabled = true; site_log = []; deopt_log = []; chain_log = []; pin_log = [] }
+
+let on t = t.enabled
+
+let record_site t ~fn ~pc ~kind ?(classid = -1) ?(note = "") decision =
+  if t.enabled then
+    t.site_log <- { fn; pc; kind; classid; decision; note } :: t.site_log
+
+let record_deopt t ~fn ~reason =
+  if t.enabled then t.deopt_log <- { fn; reason } :: t.deopt_log
+
+let record_chain t ~at ~store ~classid ~line ~pos ~victims =
+  if t.enabled then
+    t.chain_log <-
+      { at; store; classid; line; pos; victims; respec = [] } :: t.chain_log
+
+let record_respec t ~fn ~outcome =
+  if t.enabled then
+    (* chain_log is newest-first, so the first match is the most recent
+       exception that victimized [fn] and has no outcome for it yet. *)
+    match
+      List.find_opt
+        (fun c -> List.mem fn c.victims && not (List.mem_assoc fn c.respec))
+        t.chain_log
+    with
+    | Some c -> c.respec <- (fn, outcome) :: c.respec
+    | None -> ()
+
+let record_pin t ~fn ~exponent =
+  if t.enabled then t.pin_log <- (fn, exponent) :: t.pin_log
+
+let slot_retired t ~classid ~line ~pos =
+  t.enabled
+  && List.exists
+       (fun c -> c.classid = classid && c.line = line && c.pos = pos)
+       t.chain_log
+
+let sites t = List.rev t.site_log
+let deopts t = List.rev t.deopt_log
+let chains t = List.rev t.chain_log
+let pins t = List.rev t.pin_log

@@ -1,0 +1,96 @@
+(** The attribution ledger: per-site check decisions, deopt events, and
+    CC-exception causal chains, recorded as the optimizer and engine run.
+
+    A ledger is either {!null} (disabled — every recording call is a no-op
+    and costs nothing; the default everywhere) or {!create}d (enabled — the
+    engine and optimizer append events). Recording never touches simulated
+    state: cycles are bit-identical with any ledger (asserted by
+    [test/test_attr.ml]).
+
+    Three streams:
+    - {b sites}: one entry per check site per compilation, saying whether
+      the check was removed or kept, and {e why} it was kept;
+    - {b deopts}: one entry per runtime deoptimization, carrying the typed
+      {!Reason.t};
+    - {b chains}: one entry per Class-Cache exception, linking the faulting
+      store → the CC exception → the FunctionList victims → each victim's
+      re-speculation outcome. *)
+
+(** Why the optimizer kept (did not remove) a check. *)
+type keep_cause =
+  | Kc_poly of { shapes : int }  (** polymorphic IC slot ([shapes] ≥ 2) *)
+  | Kc_mega  (** megamorphic IC slot *)
+  | Kc_init_unset  (** Class List InitMap bit clear: slot never profiled *)
+  | Kc_valid_cleared  (** ValidMap cleared: the slot went polymorphic *)
+  | Kc_speculate_conflict
+      (** profile currently claims a different class than the IC shape *)
+  | Kc_cc_eviction  (** profile retired by a CC eviction / exception *)
+  | Kc_backoff_pin  (** function pinned to the interpreter by deopt backoff *)
+  | Kc_cold  (** feedback site never executed *)
+  | Kc_untyped
+      (** the value reached the check with no proven type: its producing
+          site (parameter, call result, unprofiled load) did not speculate —
+          the per-slot cause lives on that site's own ledger entry *)
+  | Kc_mechanism_off  (** checks-on reference run: nothing is removable *)
+
+val keep_cause_name : keep_cause -> string
+val all_keep_causes : keep_cause list
+
+type decision = Removed | Kept of keep_cause
+
+type site = {
+  fn : string;  (** function being compiled *)
+  pc : int;  (** bytecode pc of the check site *)
+  kind : string;  (** check-kind name (Categories.check_kind_name) *)
+  classid : int;  (** hidden class involved, [-1] when none *)
+  decision : decision;
+  note : string;  (** free-form detail, e.g. the property position *)
+}
+
+type deopt = { fn : string; reason : Reason.t }
+
+type chain = {
+  at : int;  (** simulated cycle of the CC exception *)
+  store : string;  (** rendering of the faulting store *)
+  classid : int;
+  line : int;
+  pos : int;
+  victims : string list;  (** FunctionList entries deoptimized *)
+  mutable respec : (string * string) list;
+      (** per victim: re-speculation outcome ("reoptimized", "bailed out",
+          "backoff-pinned", …) — filled in as victims come back *)
+}
+
+type t
+
+val null : t
+val create : unit -> t
+val on : t -> bool
+
+val record_site :
+  t -> fn:string -> pc:int -> kind:string -> ?classid:int -> ?note:string ->
+  decision -> unit
+
+val record_deopt : t -> fn:string -> reason:Reason.t -> unit
+
+val record_chain :
+  t -> at:int -> store:string -> classid:int -> line:int -> pos:int ->
+  victims:string list -> unit
+
+(** Attach a re-speculation outcome to the newest chain that names [fn] as
+    a victim and has no outcome for it yet; a no-op when none does. *)
+val record_respec : t -> fn:string -> outcome:string -> unit
+
+val record_pin : t -> fn:string -> exponent:int -> unit
+
+(** Did a recorded CC-exception chain retire slot [(classid, line, pos)]?
+    Lets the optimizer attribute a cleared ValidMap bit to a Class Cache
+    eviction rather than organic polymorphism. Always [false] on {!null}. *)
+val slot_retired : t -> classid:int -> line:int -> pos:int -> bool
+
+(** Accessors (oldest first). *)
+val sites : t -> site list
+
+val deopts : t -> deopt list
+val chains : t -> chain list
+val pins : t -> (string * int) list

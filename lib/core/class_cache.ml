@@ -32,6 +32,9 @@ type stats = {
 type t = {
   config : config;
   sets : way array array;  (** [sets.(set_index).(way)] *)
+  set_conflicts : int array;
+      (** per-set count of valid-victim evictions (capacity/conflict misses
+          that wrote back a live entry) — the attribution heatmap's source *)
   mutable clock : int;
   stats : stats;
   mutable trace : Tce_obs.Trace.t;
@@ -62,6 +65,7 @@ let create ?(config = default_config) () =
     sets =
       Array.init nsets (fun _ ->
           Array.init config.ways (fun _ -> { tag = 0; valid = false; lru = 0 }));
+    set_conflicts = Array.make nsets 0;
     clock = 0;
     stats = fresh_stats ();
     trace = Tce_obs.Trace.null;
@@ -76,7 +80,8 @@ let nsets t = Array.length t.sets
     divides 256). *)
 let touch t ~classid ~line =
   let key = (classid lsl 8) lor line in
-  let set = t.sets.((classid + (line * 41)) mod nsets t) in
+  let si = (classid + (line * 41)) mod nsets t in
+  let set = t.sets.(si) in
   t.clock <- t.clock + 1;
   t.stats.accesses <- t.stats.accesses + 1;
   let hit = ref false in
@@ -97,7 +102,10 @@ let touch t ~classid ~line =
         if not w.valid then victim := w
         else if !victim.valid && w.lru < !victim.lru then victim := w)
       set;
-    if !victim.valid then t.stats.writebacks <- t.stats.writebacks + 1;
+    if !victim.valid then begin
+      t.stats.writebacks <- t.stats.writebacks + 1;
+      t.set_conflicts.(si) <- t.set_conflicts.(si) + 1
+    end;
     !victim.valid <- true;
     !victim.tag <- key;
     !victim.lru <- t.clock
@@ -226,6 +234,16 @@ let occupancy t =
       Array.fold_left (fun acc w -> if w.valid then acc + 1 else acc) acc set)
     0 t.sets
 
+(** Valid ways per set, in set order (the attribution occupancy heatmap). *)
+let set_occupancy t =
+  Array.map
+    (fun set ->
+      Array.fold_left (fun acc w -> if w.valid then acc + 1 else acc) 0 set)
+    t.sets
+
+(** Valid-victim evictions per set since the last {!reset_stats}. *)
+let set_conflicts t = Array.copy t.set_conflicts
+
 let hit_rate t =
   if t.stats.accesses = 0 then 1.0
   else float_of_int t.stats.hits /. float_of_int t.stats.accesses
@@ -242,4 +260,5 @@ let reset_stats t =
   t.stats.writebacks <- 0;
   t.stats.first_profiles <- 0;
   t.stats.invalidations <- 0;
-  t.stats.exceptions <- 0
+  t.stats.exceptions <- 0;
+  Array.fill t.set_conflicts 0 (Array.length t.set_conflicts) 0

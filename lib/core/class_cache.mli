@@ -22,6 +22,8 @@ type stats = {
 type t = private {
   config : config;
   sets : way array array;
+  set_conflicts : int array;
+      (** per-set valid-victim evictions (the attribution heatmap's source) *)
   mutable clock : int;
   stats : stats;
   mutable trace : Tce_obs.Trace.t;
@@ -69,6 +71,13 @@ val set_fault : t -> Tce_fault.Injector.t -> unit
 
 (** Currently valid ways (the Chrome-trace occupancy counter track). *)
 val occupancy : t -> int
+
+(** Valid ways per set, in set order (the attribution occupancy heatmap). *)
+val set_occupancy : t -> int array
+
+(** Valid-victim evictions per set since the last {!reset_stats} — which
+    sets the LRU contention concentrates in. *)
+val set_conflicts : t -> int array
 
 (** Storage estimate in bytes (paper §5.4: < 1.5 KB at 128 entries). *)
 val storage_bytes : t -> int

@@ -72,6 +72,9 @@ type config = {
   fault : Tce_fault.Injector.t;
       (** fault injector; {!Tce_fault.Injector.null} = disarmed (the
           zero-cost default: no hooks run, identical cycles) *)
+  attr : Tce_attr.Ledger.t;
+      (** attribution ledger; {!Tce_attr.Ledger.null} = disabled (the
+          zero-cost default: no recording, identical cycles) *)
 }
 
 let default_config =
@@ -89,6 +92,7 @@ let default_config =
     trace = Tce_obs.Trace.null;
     obs_sample_cycles = 0;
     fault = Tce_fault.Injector.null;
+    attr = Tce_attr.Ledger.null;
   }
 
 type t = {
@@ -141,7 +145,8 @@ let create ?(config = default_config) (prog : Bytecode.program) : t =
   let counters = Tce_machine.Counters.create () in
   let mach =
     Tce_machine.Machine.create ~cfg:config.mach_cfg ~mechanism:config.mechanism
-      ~trace:config.trace ~fault:config.fault ~heap ~cc ~cl ~oracle ~counters ()
+      ~trace:config.trace ~fault:config.fault ~attr:config.attr ~heap ~cc ~cl
+      ~oracle ~counters ()
   in
   (* one deterministic clock for the whole observability layer: optimized
      cycles plus the analytic baseline-tier cycles *)
@@ -228,6 +233,20 @@ let charge_baseline_extra t n =
 
 let trace t = t.cfg.trace
 
+(** Sum an [n]-set array into at most 8 contiguous buckets, so the Perfetto
+    heatmap track count stays fixed across Class Cache geometries. *)
+let bucket8 a =
+  let n = Array.length a in
+  if n <= 8 then Array.copy a
+  else begin
+    let b = Array.make 8 0 in
+    for i = 0 to n - 1 do
+      let j = i * 8 / n in
+      b.(j) <- b.(j) + a.(i)
+    done;
+    b
+  end
+
 (** Take a counter snapshot when the sampling period elapsed. Called from
     cheap, deterministic points (guest calls, store events); reads state
     only, so cycle counts are unaffected. *)
@@ -241,6 +260,8 @@ let obs_tick t =
           tierups = t.counters.Tce_machine.Counters.tierups;
           cc_exceptions = t.counters.Tce_machine.Counters.cc_exception_deopts;
           cc_occupancy = CC.occupancy t.cc;
+          cc_set_occupancy = bucket8 (CC.set_occupancy t.cc);
+          cc_conflicts = Array.fold_left ( + ) 0 (CC.set_conflicts t.cc);
           baseline_instrs = t.counters.Tce_machine.Counters.baseline_instrs;
           heap_bytes = t.heap.Heap.stats.Heap.object_bytes;
         })
@@ -279,6 +300,8 @@ let apply_backoff t (fn : Bytecode.func) =
     let expn = min fn.Bytecode.backoff_level bo.max_backoff_exponent in
     fn.Bytecode.backoff_until <- now + (bo.base_cooldown_cycles lsl expn);
     fn.Bytecode.backoff_level <- fn.Bytecode.backoff_level + 1;
+    Tce_attr.Ledger.record_pin t.cfg.attr ~fn:fn.Bytecode.name
+      ~exponent:fn.Bytecode.backoff_level;
     let tr = trace t in
     if Tce_obs.Trace.on tr then
       Tce_obs.Trace.emit tr
@@ -289,6 +312,15 @@ let apply_backoff t (fn : Bytecode.func) =
              until = fn.Bytecode.backoff_until;
            })
   end
+
+(** Function names behind a list of victim opt_ids (chain reporting). *)
+let victim_names t opt_ids =
+  List.filter_map
+    (fun oid ->
+      match Hashtbl.find_opt t.opt_table oid with
+      | Some code -> Some t.prog.Bytecode.funcs.(code.Lir.fn_id).Bytecode.name
+      | None -> None)
+    opt_ids
 
 let invalidate_opt t opt_ids =
   List.iter
@@ -374,6 +406,13 @@ let fire_store_event t ~classid ~line ~pos ~value_classid =
       if measuring t then
         t.counters.Tce_machine.Counters.cc_exception_deopts <-
           t.counters.Tce_machine.Counters.cc_exception_deopts + 1;
+      if Tce_attr.Ledger.on t.cfg.attr then
+        Tce_attr.Ledger.record_chain t.cfg.attr ~at:(t.obs_clock ())
+          ~store:
+            (Printf.sprintf "store of class %d into slot(%d,%d)" value_classid
+               line pos)
+          ~classid ~line ~pos
+          ~victims:(victim_names t r.CC.functions_to_deopt);
       invalidate_opt t r.CC.functions_to_deopt
     end
   end
@@ -526,6 +565,14 @@ let set_elem t (fb : Feedback.t option) fb_slot obj idx v =
         if measuring t then
           t.counters.Tce_machine.Counters.cc_exception_deopts <-
             t.counters.Tce_machine.Counters.cc_exception_deopts + 1;
+        if Tce_attr.Ledger.on t.cfg.attr then
+          Tce_attr.Ledger.record_chain t.cfg.attr ~at:(t.obs_clock ())
+            ~store:
+              (Printf.sprintf
+                 "elements-kind transition of class %d retired its profiles"
+                 c.Hidden_class.id)
+            ~classid:c.Hidden_class.id ~line:0 ~pos:Layout.elements_ptr_slot
+            ~victims:(victim_names t fns);
         invalidate_opt t fns
       end
     end
@@ -542,11 +589,17 @@ let try_optimize t (fn : Bytecode.func) =
     && (not fn.Bytecode.opt_disabled)
     && (fn.Bytecode.call_count >= t.cfg.hot_call_count
        || fn.Bytecode.backedge_count >= t.cfg.hot_backedge_count)
-    (* deopt-storm backoff: re-speculation waits out the cooldown
-       (backoff_until is 0 until the storm threshold is ever exceeded) *)
-    && (fn.Bytecode.backoff_until = 0
-       || t.obs_clock () >= fn.Bytecode.backoff_until)
-  then begin
+  then
+  (* deopt-storm backoff: re-speculation waits out the cooldown
+     (backoff_until is 0 until the storm threshold is ever exceeded) *)
+  if
+    not
+      (fn.Bytecode.backoff_until = 0
+      || t.obs_clock () >= fn.Bytecode.backoff_until)
+  then
+    Tce_attr.Ledger.record_respec t.cfg.attr ~fn:fn.Bytecode.name
+      ~outcome:"backoff-pinned"
+  else begin
     let opt_id = t.next_opt_id in
     t.next_opt_id <- opt_id + 1;
     (* inline small hot callees first (Crankshaft-style); the inlined view
@@ -575,6 +628,7 @@ let try_optimize t (fn : Bytecode.func) =
           opt_id;
           code_addr = t.next_code_addr;
           globals_base = t.globals_base;
+          attr = t.cfg.attr;
         }
     with
     | code ->
@@ -600,6 +654,8 @@ let try_optimize t (fn : Bytecode.func) =
       if measuring t then
         t.counters.Tce_machine.Counters.tierups <-
           t.counters.Tce_machine.Counters.tierups + 1;
+      Tce_attr.Ledger.record_respec t.cfg.attr ~fn:fn.Bytecode.name
+        ~outcome:"reoptimized";
       (* install speculation: SpeculateMap bits + FunctionList entries *)
       List.iter
         (fun (classid, line, pos) ->
@@ -611,6 +667,8 @@ let try_optimize t (fn : Bytecode.func) =
         Tce_obs.Trace.emit tr
           (Tce_obs.Trace.Compile
              { func = fn.Bytecode.name; opt_id; instrs = 0; bailout = Some msg });
+      Tce_attr.Ledger.record_respec t.cfg.attr ~fn:fn.Bytecode.name
+        ~outcome:"bailed out";
       fn.Bytecode.opt_disabled <- true
   end
 
@@ -800,7 +858,19 @@ and host t : Tce_machine.Machine.host =
             | _ -> ());
             interp_from t fn r bc_pc);
         rt_call = (fun rt args fargs -> rt_call t rt args fargs);
-        on_cc_exception = (fun fns -> invalidate_opt t fns);
+        on_cc_exception =
+          (fun (i : Tce_machine.Machine.cc_exn_info) ->
+            if Tce_attr.Ledger.on t.cfg.attr then
+              Tce_attr.Ledger.record_chain t.cfg.attr ~at:(t.obs_clock ())
+                ~store:
+                  (Printf.sprintf "store of class %d into slot(%d,%d)"
+                     i.Tce_machine.Machine.cc_value_classid
+                     i.Tce_machine.Machine.cc_line i.Tce_machine.Machine.cc_pos)
+                ~classid:i.Tce_machine.Machine.cc_classid
+                ~line:i.Tce_machine.Machine.cc_line
+                ~pos:i.Tce_machine.Machine.cc_pos
+                ~victims:(victim_names t i.Tce_machine.Machine.cc_victims);
+            invalidate_opt t i.Tce_machine.Machine.cc_victims);
         on_deopt =
           (fun oid ->
             match Hashtbl.find_opt t.opt_table oid with

@@ -47,6 +47,9 @@ type config = {
   fault : Tce_fault.Injector.t;
       (** fault injector; {!Tce_fault.Injector.null} = disarmed (the
           zero-cost default: no hooks run, identical cycles) *)
+  attr : Tce_attr.Ledger.t;
+      (** attribution ledger; {!Tce_attr.Ledger.null} = disabled (the
+          zero-cost default: no recording, identical cycles) *)
 }
 
 val default_config : config

@@ -51,3 +51,42 @@ let flag_guards_obj_load = 1
     checks that the Class List could have elided; used for sanity
     accounting, not for the speedup itself). *)
 let flag_elidable = 2
+
+(** Check kinds: which paper-figure bucket (Figures 10–12) a [C_check]
+    instruction belongs to. Encoded into [flags] bits 2+ (bits 0–1 hold
+    {!flag_guards_obj_load} / {!flag_elidable}) so the machine can count
+    per-kind check executions without new instruction fields. *)
+
+type check_kind = Ck_map | Ck_smi | Ck_non_smi | Ck_smi_convert | Ck_checked_load
+
+let check_kind_count = 5
+
+let check_kind_index = function
+  | Ck_map -> 0
+  | Ck_smi -> 1
+  | Ck_non_smi -> 2
+  | Ck_smi_convert -> 3
+  | Ck_checked_load -> 4
+
+let check_kind_name = function
+  | Ck_map -> "check-map"
+  | Ck_smi -> "check-smi"
+  | Ck_non_smi -> "check-non-smi"
+  | Ck_smi_convert -> "smi-convert"
+  | Ck_checked_load -> "checked-load"
+
+let all_check_kinds = [ Ck_map; Ck_smi; Ck_non_smi; Ck_smi_convert; Ck_checked_load ]
+
+(* Value 0 in bits 2+ means "unattributed", so kind k is stored as k+1. *)
+let flag_of_check_kind k = (check_kind_index k + 1) lsl 2
+
+(** 1-based slot for counter arrays: 0 = unattributed, 1..count = kinds. *)
+let check_kind_slot flags =
+  let v = flags lsr 2 in
+  if v >= 1 && v <= check_kind_count then v else 0
+
+let check_kind_of_flags flags =
+  let v = flags lsr 2 in
+  if v >= 1 && v <= check_kind_count then
+    Some (List.nth all_check_kinds (v - 1))
+  else None

@@ -22,3 +22,22 @@ val pp : Format.formatter -> t -> unit
 val flag_guards_obj_load : int
 
 val flag_elidable : int
+
+(** Check kinds: the paper-figure bucket (Figures 10–12) a [C_check]
+    instruction belongs to, packed into [flags] bits 2+ so per-kind check
+    executions can be counted with zero new instruction state. *)
+type check_kind = Ck_map | Ck_smi | Ck_non_smi | Ck_smi_convert | Ck_checked_load
+
+val check_kind_count : int
+val check_kind_index : check_kind -> int
+val check_kind_name : check_kind -> string
+val all_check_kinds : check_kind list
+
+(** The flag bits encoding this kind (or-combine with the bit flags). *)
+val flag_of_check_kind : check_kind -> int
+
+(** 1-based counter slot from an instruction's flags: 0 when the
+    instruction carries no kind tag, else [check_kind_index k + 1]. *)
+val check_kind_slot : int -> int
+
+val check_kind_of_flags : int -> check_kind option

@@ -141,10 +141,10 @@ type deopt_info = {
   result_into : int option;
       (** when resuming *after* an op that produced a value mid-flight
           (calls), the bytecode register that receives it *)
-  reason : string;
-      (** human-readable explanation: which check kind / SpeculateMap bit
-          this deopt point guards (feeds the observability layer) *)
-  classid : int;  (** hidden class involved, [-1] when not applicable *)
+  reason : Tce_attr.Reason.t;
+      (** typed explanation: check kind × cause × site pc × classid —
+          the source of truth; trace/report strings are renderings
+          ([Tce_attr.Reason.to_string]/[describe]) *)
 }
 
 type func = {

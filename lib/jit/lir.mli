@@ -109,10 +109,10 @@ type deopt_info = {
   bc_pc : int;  (** bytecode pc at which the interpreter resumes *)
   result_into : int option;
       (** bytecode register receiving an in-flight value (calls) *)
-  reason : string;
-      (** human-readable explanation: which check kind / SpeculateMap bit
-          this deopt point guards (feeds the observability layer) *)
-  classid : int;  (** hidden class involved, [-1] when not applicable *)
+  reason : Tce_attr.Reason.t;
+      (** typed explanation: check kind × cause × site pc × classid —
+          the source of truth; trace/report strings are renderings
+          ([Tce_attr.Reason.to_string]/[describe]) *)
 }
 
 type func = {

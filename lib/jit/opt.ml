@@ -18,6 +18,8 @@
 
 open Tce_vm
 module CL = Tce_core.Class_list
+module Reason = Tce_attr.Reason
+module Ledger = Tce_attr.Ledger
 
 exception Bailout of string
 (** the function cannot be optimized; stays in the baseline tier *)
@@ -62,6 +64,9 @@ type env = {
   opt_id : int;
   code_addr : int;
   globals_base : int;  (** simulated address of the global cells *)
+  attr : Ledger.t;
+      (** attribution ledger ({!Tce_attr.Ledger.null} = disabled): records
+          per-check-site removed/kept decisions and why *)
 }
 
 let heapnum_id env = (Hidden_class.Registry.number_class env.heap.Heap.reg).Hidden_class.id
@@ -409,15 +414,30 @@ let reset_scratch g =
   g.scratch <- g.n_bc;
   g.scratch_f <- g.n_bc
 
-let mk_deopt ?(classid = -1) g ~reason ~bc_pc ~result_into =
-  g.deopt_infos <- { Lir.bc_pc; result_into; reason; classid } :: g.deopt_infos;
+let mk_deopt g ~(reason : Reason.t) ~bc_pc ~result_into =
+  g.deopt_infos <- { Lir.bc_pc; result_into; reason } :: g.deopt_infos;
   g.n_deopts <- g.n_deopts + 1;
   g.n_deopts - 1
 
-(** Deopt reason naming the hidden class a check guards. *)
-let check_reason g kind cid =
-  Printf.sprintf "%s: receiver is not class %d (%s)" kind cid
-    (class_of_id g.genv cid).Hidden_class.name
+(** Record one check-site decision in the attribution ledger (no-op when the
+    ledger is {!Ledger.null}; never touches simulated state). *)
+let attr_site g ~pc ~kind ?classid ?note decision =
+  Ledger.record_site g.genv.attr ~fn:g.genv.fn.Bytecode.name ~pc
+    ~kind:(Categories.check_kind_name kind) ?classid ?note decision
+
+(** Why a Class List slot failed to type its loads (the check stays). *)
+let slot_keep_cause g ~classid ~line ~pos : Ledger.keep_cause =
+  let env = g.genv in
+  if not env.mechanism then Ledger.Kc_mechanism_off
+  else if not (CL.is_valid env.cl ~classid ~line ~pos) then
+    if Ledger.slot_retired env.attr ~classid ~line ~pos then Ledger.Kc_cc_eviction
+    else Ledger.Kc_valid_cleared
+  else if not (CL.is_monomorphic env.cl ~classid ~line ~pos) then
+    Ledger.Kc_init_unset
+  else
+    (* initialized and valid, yet the load was not typed: the profiled
+       class conflicts with what the consumer needs (e.g. unregistered) *)
+    Ledger.Kc_speculate_conflict
 
 let add_dep g classid line pos =
   if not (List.mem (classid, line, pos) g.deps) then
@@ -446,18 +466,37 @@ let check_non_smi g ~flags ~cat r did =
     (the paper's §4.3.1/§4.3.2 elimination falls out of the type lattice). *)
 let check_map g (st : state) ~flags ?(cat = Categories.C_check) r cid ~bc_pc =
   match st.tys.(r) with
-  | Cls c when c = cid -> ()
+  | Cls c when c = cid ->
+    attr_site g ~pc:bc_pc ~kind:Categories.Ck_map ~classid:cid
+      ~note:"type-proven" Ledger.Removed
   | ty ->
-    let did = mk_deopt g ~classid:cid ~reason:(check_reason g "check-map" cid) ~bc_pc ~result_into:None in
-    if ty = Smi then ignore (emit g cat (Lir.Deopt did))
+    (if Ledger.on g.genv.attr then
+       let why =
+         if not g.genv.mechanism then Ledger.Kc_mechanism_off
+         else
+           match ty with
+           | Cls _ -> Ledger.Kc_speculate_conflict
+           | _ -> Ledger.Kc_untyped
+       in
+       attr_site g ~pc:bc_pc ~kind:Categories.Ck_map ~classid:cid
+         (Ledger.Kept why));
+    let did =
+      mk_deopt g ~reason:(Reason.make ~classid:cid Reason.K_check_map Reason.C_not_class ~pc:bc_pc)
+        ~bc_pc ~result_into:None
+    in
+    let mapf = flags lor Categories.flag_of_check_kind Categories.Ck_map in
+    if ty = Smi then ignore (emit g ~flags:mapf cat (Lir.Deopt did))
     else begin
       (match ty with
-      | Any | Num -> check_non_smi g ~flags ~cat r did
+      | Any | Num ->
+        check_non_smi g
+          ~flags:(flags lor Categories.flag_of_check_kind Categories.Ck_non_smi)
+          ~cat r did
       | _ -> ());
       let s = scratch g in
-      ignore (emit g ~flags cat (Lir.Load (s, r, -1)));
+      ignore (emit g ~flags:mapf cat (Lir.Load (s, r, -1)));
       let idx =
-        emit g ~flags cat (Lir.Branch (Lir.Ne, s, Lir.Imm (class_word0 g cid), -1))
+        emit g ~flags:mapf cat (Lir.Branch (Lir.Ne, s, Lir.Imm (class_word0 g cid), -1))
       in
       add_fixup g idx (F_deopt did)
     end
@@ -483,7 +522,10 @@ let float_loc g (st : state) r ~bc_pc : Lir.freg =
       ignore (emit g Categories.C_taguntag (Lir.FLoad (fd, r, 7)))
     | _ ->
       (* generic number untag diamond (Full of the paper's Tags/Untags) *)
-      let did = mk_deopt g ~reason:"untag-number: value is neither SMI nor HeapNumber" ~bc_pc ~result_into:None in
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_untag Reason.C_not_number ~pc:bc_pc)
+          ~bc_pc ~result_into:None
+      in
       let bheap =
         emit g ~flags Categories.C_taguntag (Lir.Branch (Lir.Bit_set, r, Lir.Imm 1, -1))
       in
@@ -523,12 +565,18 @@ let tagged_loc g (_st : state) r : Lir.reg =
 let tagged_smi_loc g (st : state) r ~bc_pc : Lir.reg =
   if g.reprs.(r) = Lir.R_double then begin
     (* double-repr value used where an SMI is required: deopt on inexact *)
-    let did = mk_deopt g ~reason:"smi-convert: double value is not an exact int32" ~bc_pc ~result_into:None in
+    let did =
+      mk_deopt g ~reason:(Reason.make Reason.K_smi_convert Reason.C_inexact_int32 ~pc:bc_pc)
+        ~bc_pc ~result_into:None
+    in
     let s = scratch g in
     ignore (emit g Categories.C_taguntag (Lir.TruncFI (s, r)));
     let f2 = scratch_f g in
     ignore (emit g Categories.C_taguntag (Lir.CvtIF (f2, s)));
-    let idx = emit g Categories.C_check (Lir.FBranch (Lir.FNe, r, f2, -1)) in
+    let idx =
+      emit g ~flags:(Categories.flag_of_check_kind Categories.Ck_smi_convert)
+        Categories.C_check (Lir.FBranch (Lir.FNe, r, f2, -1))
+    in
     add_fixup g idx (F_deopt did);
     let d = scratch g in
     ignore (emit g Categories.C_taguntag (Lir.Alu (Lir.Shl, d, s, Lir.Imm 1)));
@@ -539,7 +587,11 @@ let tagged_smi_loc g (st : state) r ~bc_pc : Lir.reg =
     | Smi -> ()
     | _ ->
       let flags = if st.fl.(r) then Categories.flag_guards_obj_load else 0 in
-      let did = mk_deopt g ~reason:"check-smi: value is not an SMI" ~bc_pc ~result_into:None in
+      let flags = flags lor Categories.flag_of_check_kind Categories.Ck_smi in
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_check_smi Reason.C_not_smi ~pc:bc_pc)
+          ~bc_pc ~result_into:None
+      in
       check_smi g ~flags ~cat:Categories.C_check r did);
     r
   end
@@ -574,7 +626,10 @@ let def_from_tagged g (st : state) d src ~bc_pc =
     ignore st';
     (* untag via the generic diamond on a pseudo state: treat as Num *)
     let fd = d in
-    let did = mk_deopt g ~reason:"untag-number: value is not a HeapNumber" ~bc_pc ~result_into:None in
+    let did =
+      mk_deopt g ~reason:(Reason.make Reason.K_untag Reason.C_not_heapnum ~pc:bc_pc)
+        ~bc_pc ~result_into:None
+    in
     ignore did;
     let bheap =
       emit g Categories.C_taguntag (Lir.Branch (Lir.Bit_set, src, Lir.Imm 1, -1))
@@ -880,7 +935,11 @@ let store_provably_safe g ~classid ~line ~pos vty =
 let emit_prop_store g ~any_valid ~classid ~line ~pos ~base ~off ~value ~bc_pc =
   if g.genv.mechanism && any_valid then begin
     ignore (emit g Categories.C_ccop (Lir.MovClassID value));
-    let did = mk_deopt g ~classid ~reason:(Printf.sprintf "cc-exception: special store broke profile (line %d pos %d)" line pos) ~bc_pc:(bc_pc + 1) ~result_into:None in
+    let did =
+      mk_deopt g
+        ~reason:(Reason.make ~classid Reason.K_cc (Reason.C_cc (Reason.Cc_prop_store { line; pos })) ~pc:bc_pc)
+        ~bc_pc:(bc_pc + 1) ~result_into:None
+    in
     ignore
       (emit g Categories.C_other (Lir.StoreClassCache (base, off, Lir.Reg value, did)))
   end
@@ -980,7 +1039,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       | Feedback.Bf_smi -> (
         let ta = tagged_smi_loc g st a ~bc_pc:pc in
         let tb = tagged_smi_loc g st b ~bc_pc:pc in
-        let did = mk_deopt g ~reason:"smi-overflow: integer add/sub/mul overflowed" ~bc_pc:pc ~result_into:None in
+        let did =
+          mk_deopt g ~reason:(Reason.make Reason.K_math (Reason.C_overflow Reason.Ov_arith) ~pc)
+            ~bc_pc:pc ~result_into:None
+        in
         match op with
         | Tce_minijs.Ast.Add | Sub ->
           let alu = if op = Tce_minijs.Ast.Add then Lir.Add else Lir.Sub in
@@ -1011,7 +1073,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
           (emit g Categories.C_other
              (Lir.CallRt (Lir.Rt_generic_binop op, [| ta; tb |], [||], Some d, None)))
       | Bf_none ->
-        let did = mk_deopt g ~reason:"uninit-feedback: arithmetic site never executed" ~bc_pc:pc ~result_into:None in
+        let did =
+          mk_deopt g ~reason:(Reason.make Reason.K_cold (Reason.C_cold Reason.Cold_arith) ~pc)
+            ~bc_pc:pc ~result_into:None
+        in
         ignore (emit g Categories.C_other (Lir.Deopt did))
       | _ ->
         let ta = tagged_loc g st a and tb = tagged_loc g st b in
@@ -1024,7 +1089,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
         (* integer division specialized on exactness (math assumptions) *)
         let ta = tagged_smi_loc g st a ~bc_pc:pc in
         let tb = tagged_smi_loc g st b ~bc_pc:pc in
-        let did = mk_deopt g ~reason:"smi-div: zero divisor or inexact quotient" ~bc_pc:pc ~result_into:None in
+        let did =
+          mk_deopt g ~reason:(Reason.make Reason.K_math Reason.C_div_inexact ~pc)
+            ~bc_pc:pc ~result_into:None
+        in
         let sa = scratch g and sb = scratch g in
         ignore (emit g Categories.C_taguntag (Lir.Alu (Lir.Sar, sa, ta, Lir.Imm 1)));
         ignore (emit g Categories.C_taguntag (Lir.Alu (Lir.Sar, sb, tb, Lir.Imm 1)));
@@ -1059,7 +1127,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
           ignore (emit g Categories.C_other (Lir.FDiv (fd, fa, fb')));
           if g.reprs.(d) <> Lir.R_double then def_float d fd)
       | Bf_none ->
-        let did = mk_deopt g ~reason:"uninit-feedback: arithmetic site never executed" ~bc_pc:pc ~result_into:None in
+        let did =
+          mk_deopt g ~reason:(Reason.make Reason.K_cold (Reason.C_cold Reason.Cold_arith) ~pc)
+            ~bc_pc:pc ~result_into:None
+        in
         ignore (emit g Categories.C_other (Lir.Deopt did))
       | _ ->
         let ta = tagged_loc g st a and tb = tagged_loc g st b in
@@ -1089,7 +1160,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       | Feedback.Bf_smi ->
         let ta = tagged_smi_loc g st a ~bc_pc:pc in
         let tb = tagged_smi_loc g st b ~bc_pc:pc in
-        let did = mk_deopt g ~reason:"smi-mod: zero divisor" ~bc_pc:pc ~result_into:None in
+        let did =
+          mk_deopt g ~reason:(Reason.make Reason.K_math Reason.C_mod_zero ~pc)
+            ~bc_pc:pc ~result_into:None
+        in
         let sa = scratch g and sb = scratch g in
         ignore (emit g Categories.C_taguntag (Lir.Alu (Lir.Sar, sa, ta, Lir.Imm 1)));
         ignore (emit g Categories.C_taguntag (Lir.Alu (Lir.Sar, sb, tb, Lir.Imm 1)));
@@ -1107,7 +1181,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
              (Lir.CallRt (Lir.Rt_fmod, [||], [| fa; fb' |], None, Some fd)));
         if g.reprs.(d) <> Lir.R_double then def_float d fd
       | Bf_none ->
-        let did = mk_deopt g ~reason:"uninit-feedback: arithmetic site never executed" ~bc_pc:pc ~result_into:None in
+        let did =
+          mk_deopt g ~reason:(Reason.make Reason.K_cold (Reason.C_cold Reason.Cold_arith) ~pc)
+            ~bc_pc:pc ~result_into:None
+        in
         ignore (emit g Categories.C_other (Lir.Deopt did))
       | _ ->
         let ta = tagged_loc g st a and tb = tagged_loc g st b in
@@ -1136,7 +1213,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
         ignore
           (emit g Categories.C_other (Lir.Alu (Lir.And, m, ra, Lir.Imm 0xffffffff)));
         ignore (emit g Categories.C_other (Lir.Alu (Lir.Shr, s, m, Lir.Reg rb)));
-        let did = mk_deopt g ~reason:"smi-overflow: ushr result exceeds SMI range" ~bc_pc:pc ~result_into:None in
+        let did =
+          mk_deopt g ~reason:(Reason.make Reason.K_math (Reason.C_overflow Reason.Ov_ushr) ~pc)
+            ~bc_pc:pc ~result_into:None
+        in
         let idx = emit g Categories.C_math (Lir.AluOv (Lir.Shl, d, s, Lir.Imm 1, -1)) in
         add_fixup g idx (F_deopt did)
       end
@@ -1152,7 +1232,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
         let ta = tagged_smi_loc g st a ~bc_pc:pc in
         let z = scratch g in
         ignore (emit g Categories.C_other (Lir.MovImm (z, 0)));
-        let did = mk_deopt g ~reason:"smi-overflow: integer negate overflowed" ~bc_pc:pc ~result_into:None in
+        let did =
+          mk_deopt g ~reason:(Reason.make Reason.K_math (Reason.C_overflow Reason.Ov_negate) ~pc)
+            ~bc_pc:pc ~result_into:None
+        in
         let idx = emit g Categories.C_math (Lir.AluOv (Lir.Sub, d, z, Lir.Reg ta, -1)) in
         add_fixup g idx (F_deopt did)
       | Num | Cls _ ->
@@ -1197,12 +1280,20 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       (match invariant_slot_ty env ~classid ~slot:s with
       | Some _ -> ()
       | None -> ignore (emit g Categories.C_other (Lir.Profile (o, line, pos))));
-      let did = mk_deopt g ~classid ~reason:(check_reason g "checked-load" classid) ~bc_pc:pc ~result_into:None in
+      attr_site g ~pc ~kind:Categories.Ck_checked_load ~classid
+        ~note:"checked-load baseline: executed in hardware, never removed"
+        (Ledger.Kept Ledger.Kc_mechanism_off);
+      let did =
+        mk_deopt g ~reason:(Reason.make ~classid Reason.K_checked_load Reason.C_not_class ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
       let expected =
         Hidden_class.class_word (class_of_id env classid) ~line
       in
       ignore
-        (emit g ~flags:(flags_of o) Categories.C_check
+        (emit g
+           ~flags:(flags_of o lor Categories.flag_of_check_kind Categories.Ck_checked_load)
+           Categories.C_check
            (Lir.CheckedLoad (d, o, (s * 8) - 1, expected, did)))
     | Feedback.Ic_mono { classid; slot = s; _ } ->
       check_map g st ~flags:(flags_of o) o classid ~bc_pc:pc;
@@ -1210,7 +1301,19 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       let ty, dep = prop_load_ty env ~classid ~slot:s in
       (match invariant_slot_ty env ~classid ~slot:s with
       | Some _ -> ()  (* built-in slots are not "object load accesses" *)
-      | None -> ignore (emit g Categories.C_other (Lir.Profile (o, line, pos))));
+      | None ->
+        ignore (emit g Categories.C_other (Lir.Profile (o, line, pos)));
+        (* value-type speculation on the loaded slot: when the Class List
+           types it, the downstream checks on the value never exist *)
+        if Ledger.on env.attr then begin
+          let note = Printf.sprintf "slot(%d,%d)" line pos in
+          match dep with
+          | Some _ ->
+            attr_site g ~pc ~kind:Categories.Ck_map ~classid ~note Ledger.Removed
+          | None ->
+            attr_site g ~pc ~kind:Categories.Ck_map ~classid ~note
+              (Ledger.Kept (slot_keep_cause g ~classid ~line ~pos))
+        end);
       (match dep with Some (c, l, p) -> add_dep g c l p | None -> ());
       if g.reprs.(d) = Lir.R_double then begin
         (* speculated heap-number property: load + direct payload load *)
@@ -1231,23 +1334,35 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
                sh.slot = (List.hd shapes).slot && sh.transition_to = None)
              shapes ->
       let s = (List.hd shapes).Feedback.slot in
-      let did = mk_deopt g ~reason:"check-map-poly: receiver class not in polymorphic load IC" ~bc_pc:pc ~result_into:None in
+      attr_site g ~pc ~kind:Categories.Ck_map
+        ~classid:(List.hd shapes).Feedback.classid
+        (Ledger.Kept (Ledger.Kc_poly { shapes = List.length shapes }));
+      let did =
+        mk_deopt g
+          ~reason:(Reason.make ~classid:(List.hd shapes).Feedback.classid
+                     Reason.K_check_map (Reason.C_poly_ic Reason.A_load) ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
+      let mapf = flags_of o lor Categories.flag_of_check_kind Categories.Ck_map in
       (match st.tys.(o) with
-      | Smi -> ignore (emit g Categories.C_check (Lir.Deopt did))
-      | Any | Num -> check_non_smi g ~flags:(flags_of o) ~cat:Categories.C_check o did
+      | Smi -> ignore (emit g ~flags:mapf Categories.C_check (Lir.Deopt did))
+      | Any | Num ->
+        check_non_smi g
+          ~flags:(flags_of o lor Categories.flag_of_check_kind Categories.Ck_non_smi)
+          ~cat:Categories.C_check o did
       | _ -> ());
       let mw = scratch g in
-      ignore (emit g ~flags:(flags_of o) Categories.C_check (Lir.Load (mw, o, -1)));
+      ignore (emit g ~flags:mapf Categories.C_check (Lir.Load (mw, o, -1)));
       let n = List.length shapes in
       let ok_branches =
         List.filteri (fun i _ -> i < n - 1) shapes
         |> List.map (fun (sh : Feedback.shape) ->
-               emit g ~flags:(flags_of o) Categories.C_check
+               emit g ~flags:mapf Categories.C_check
                  (Lir.Branch (Lir.Eq, mw, Lir.Imm (class_word0 g sh.classid), -1)))
       in
       let last = List.nth shapes (n - 1) in
       let idx =
-        emit g ~flags:(flags_of o) Categories.C_check
+        emit g ~flags:mapf Categories.C_check
           (Lir.Branch (Lir.Ne, mw, Lir.Imm (class_word0 g last.classid), -1))
       in
       add_fixup g idx (F_deopt did);
@@ -1267,6 +1382,8 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
         def_from_tagged g st' d d ~bc_pc:pc
       end
     | Ic_poly _ | Ic_mega ->
+      attr_site g ~pc ~kind:Categories.Ck_map ~note:"generic property load"
+        (Ledger.Kept Ledger.Kc_mega);
       let to_ = tagged_loc g st o in
       ignore
         (emit g Categories.C_other
@@ -1276,7 +1393,12 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
         def_from_tagged g st' d d ~bc_pc:pc
       end
     | Ic_uninit ->
-      let did = mk_deopt g ~reason:"uninit-feedback: property load site never executed" ~bc_pc:pc ~result_into:None in
+      attr_site g ~pc ~kind:Categories.Ck_map ~note:"property load never executed"
+        (Ledger.Kept Ledger.Kc_cold);
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_cold (Reason.C_cold Reason.Cold_prop_load) ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
       ignore (emit g Categories.C_other (Lir.Deopt did)))
   | GetElem (d, o, i, slot) -> (
     match Feedback.elem_of fb.(slot) with
@@ -1284,7 +1406,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       check_map g st ~flags:(flags_of o) o classid ~bc_pc:pc;
       let elems, len = load_elements g o in
       let ti = tagged_smi_loc g st i ~bc_pc:pc in
-      let did = mk_deopt g ~reason:"bounds-check: element load index out of range" ~bc_pc:pc ~result_into:None in
+      let did =
+        mk_deopt g ~reason:(Reason.make ~classid Reason.K_bounds Reason.C_oob ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
       let i0 = emit g Categories.C_other (Lir.Branch (Lir.Lt, ti, Lir.Imm 0, -1)) in
       add_fixup g i0 (F_deopt did);
       let i1 = emit g Categories.C_other (Lir.Branch (Lir.Ge, ti, Lir.Reg len, -1)) in
@@ -1302,6 +1427,15 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
         if g.reprs.(d) <> Lir.R_double then def_float d fd
       | `Tagged (ty, dep) -> (
         (match dep with Some (c, l, p) -> add_dep g c l p | None -> ());
+        (if Ledger.on env.attr then
+           let note = "elements Prop2 slot" in
+           match dep with
+           | Some _ ->
+             attr_site g ~pc ~kind:Categories.Ck_map ~classid ~note Ledger.Removed
+           | None ->
+             attr_site g ~pc ~kind:Categories.Ck_map ~classid ~note
+               (Ledger.Kept
+                  (slot_keep_cause g ~classid ~line:0 ~pos:Layout.elements_ptr_slot)));
         if g.reprs.(d) = Lir.R_double then begin
           let sv = scratch g in
           ignore (emit g Categories.C_other (Lir.LoadIdx (sv, elems, ri, elements_off)));
@@ -1316,9 +1450,16 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
           ignore (emit g Categories.C_other (Lir.LoadIdx (d, elems, ri, elements_off))))
       | `No_elements -> assert false)
     | Eic_uninit ->
-      let did = mk_deopt g ~reason:"uninit-feedback: element load site never executed" ~bc_pc:pc ~result_into:None in
+      attr_site g ~pc ~kind:Categories.Ck_map ~note:"element load never executed"
+        (Ledger.Kept Ledger.Kc_cold);
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_cold (Reason.C_cold Reason.Cold_elem_load) ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
       ignore (emit g Categories.C_other (Lir.Deopt did))
     | _ ->
+      attr_site g ~pc ~kind:Categories.Ck_map ~note:"generic element load"
+        (Ledger.Kept Ledger.Kc_mega);
       let to_ = tagged_loc g st o in
       let ti = tagged_loc g st i in
       ignore
@@ -1363,23 +1504,35 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       (* polymorphic same-slot store: chained map checks, then one store;
          the special store profiles per-object via the line header *)
       let s = (List.hd shapes).Feedback.slot in
-      let did = mk_deopt g ~reason:"check-map-poly: receiver class not in polymorphic store IC" ~bc_pc:pc ~result_into:None in
+      attr_site g ~pc ~kind:Categories.Ck_map
+        ~classid:(List.hd shapes).Feedback.classid
+        (Ledger.Kept (Ledger.Kc_poly { shapes = List.length shapes }));
+      let did =
+        mk_deopt g
+          ~reason:(Reason.make ~classid:(List.hd shapes).Feedback.classid
+                     Reason.K_check_map (Reason.C_poly_ic Reason.A_store) ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
+      let mapf = flags_of o lor Categories.flag_of_check_kind Categories.Ck_map in
       (match st.tys.(o) with
-      | Smi -> ignore (emit g Categories.C_check (Lir.Deopt did))
-      | Any | Num -> check_non_smi g ~flags:(flags_of o) ~cat:Categories.C_check o did
+      | Smi -> ignore (emit g ~flags:mapf Categories.C_check (Lir.Deopt did))
+      | Any | Num ->
+        check_non_smi g
+          ~flags:(flags_of o lor Categories.flag_of_check_kind Categories.Ck_non_smi)
+          ~cat:Categories.C_check o did
       | _ -> ());
       let mw = scratch g in
-      ignore (emit g ~flags:(flags_of o) Categories.C_check (Lir.Load (mw, o, -1)));
+      ignore (emit g ~flags:mapf Categories.C_check (Lir.Load (mw, o, -1)));
       let n = List.length shapes in
       let oks =
         List.filteri (fun i _ -> i < n - 1) shapes
         |> List.map (fun (sh : Feedback.shape) ->
-               emit g ~flags:(flags_of o) Categories.C_check
+               emit g ~flags:mapf Categories.C_check
                  (Lir.Branch (Lir.Eq, mw, Lir.Imm (class_word0 g sh.classid), -1)))
       in
       let last = List.nth shapes (n - 1) in
       let idx =
-        emit g ~flags:(flags_of o) Categories.C_check
+        emit g ~flags:mapf Categories.C_check
           (Lir.Branch (Lir.Ne, mw, Lir.Imm (class_word0 g last.classid), -1))
       in
       add_fixup g idx (F_deopt did);
@@ -1396,14 +1549,25 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       emit_prop_store g ~any_valid ~classid:(-1) ~line ~pos ~base:o
         ~off:((s * 8) - 1) ~value:tv ~bc_pc:pc
     | Ic_poly _ | Ic_mega ->
+      attr_site g ~pc ~kind:Categories.Ck_map ~note:"generic property store"
+        (Ledger.Kept Ledger.Kc_mega);
       let to_ = tagged_loc g st o in
       let tv = tagged_loc g st v in
-      let did = mk_deopt g ~reason:"cc-exception: generic property store retired a speculated profile" ~bc_pc:(pc + 1) ~result_into:None in
+      let did =
+        mk_deopt g
+          ~reason:(Reason.make Reason.K_cc (Reason.C_cc Reason.Cc_generic_prop_store) ~pc)
+          ~bc_pc:(pc + 1) ~result_into:None
+      in
       ignore
         (emit g Categories.C_other
            (Lir.CallRtChecked (Lir.Rt_generic_set_prop name, [| to_; tv |], None, did)))
     | Ic_uninit ->
-      let did = mk_deopt g ~reason:"uninit-feedback: property store site never executed" ~bc_pc:pc ~result_into:None in
+      attr_site g ~pc ~kind:Categories.Ck_map ~note:"property store never executed"
+        (Ledger.Kept Ledger.Kc_cold);
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_cold (Reason.C_cold Reason.Cold_prop_store) ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
       ignore (emit g Categories.C_other (Lir.Deopt did)))
   | SetElem (o, i, v, slot) -> (
     match Feedback.elem_of fb.(slot) with
@@ -1435,7 +1599,11 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
               3
           in
           ignore (emit g Categories.C_ccop (Lir.MovClassID tv));
-          let did = mk_deopt g ~reason:"cc-exception: special element store broke profile" ~bc_pc:(pc + 1) ~result_into:None in
+          let did =
+            mk_deopt g
+              ~reason:(Reason.make ~classid Reason.K_cc (Reason.C_cc Reason.Cc_elem_store) ~pc)
+              ~bc_pc:(pc + 1) ~result_into:None
+          in
           ignore
             (emit g Categories.C_other
                (Lir.StoreClassCacheArray (k, elems, ri, elements_off, Lir.Reg tv, did)))
@@ -1472,7 +1640,11 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
               3
           in
           ignore (emit g Categories.C_ccop (Lir.MovClassID tv));
-          let did = mk_deopt g ~reason:"cc-exception: special element store broke profile" ~bc_pc:(pc + 1) ~result_into:None in
+          let did =
+            mk_deopt g
+              ~reason:(Reason.make ~classid Reason.K_cc (Reason.C_cc Reason.Cc_elem_store) ~pc)
+              ~bc_pc:(pc + 1) ~result_into:None
+          in
           ignore
             (emit g Categories.C_other
                (Lir.StoreClassCacheArray (k, elems, ri, elements_off, Lir.Reg tv, did)))
@@ -1491,19 +1663,34 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       land_here g islow1;
       let to_ = tagged_loc g st o in
       let tv = tagged_loc g st v in
-      let did = mk_deopt g ~reason:"cc-exception: slow-path element store retired a speculated profile" ~bc_pc:(pc + 1) ~result_into:None in
+      let did =
+        mk_deopt g
+          ~reason:(Reason.make ~classid Reason.K_cc (Reason.C_cc Reason.Cc_elem_store_slow) ~pc)
+          ~bc_pc:(pc + 1) ~result_into:None
+      in
       ignore
         (emit g Categories.C_other
            (Lir.CallRtChecked (Lir.Rt_elem_store_slow, [| to_; ti; tv |], None, did)));
       land_here g iend
     | Eic_uninit ->
-      let did = mk_deopt g ~reason:"uninit-feedback: element store site never executed" ~bc_pc:pc ~result_into:None in
+      attr_site g ~pc ~kind:Categories.Ck_map ~note:"element store never executed"
+        (Ledger.Kept Ledger.Kc_cold);
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_cold (Reason.C_cold Reason.Cold_elem_store) ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
       ignore (emit g Categories.C_other (Lir.Deopt did))
     | _ ->
+      attr_site g ~pc ~kind:Categories.Ck_map ~note:"generic element store"
+        (Ledger.Kept Ledger.Kc_mega);
       let to_ = tagged_loc g st o in
       let ti = tagged_loc g st i in
       let tv = tagged_loc g st v in
-      let did = mk_deopt g ~reason:"cc-exception: generic element store retired a speculated profile" ~bc_pc:(pc + 1) ~result_into:None in
+      let did =
+        mk_deopt g
+          ~reason:(Reason.make Reason.K_cc (Reason.C_cc Reason.Cc_generic_elem_store) ~pc)
+          ~bc_pc:(pc + 1) ~result_into:None
+      in
       ignore
         (emit g Categories.C_other
            (Lir.CallRtChecked (Lir.Rt_generic_set_elem, [| to_; ti; tv |], None, did))))
@@ -1538,7 +1725,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
               (Lir.Rt_alloc_object (base.Hidden_class.id, callee.Bytecode.reserve_props),
                [||], [||], Some d, None)))
     | None ->
-      let did = mk_deopt g ~reason:"uninit-feedback: constructor base class unknown" ~bc_pc:pc ~result_into:None in
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_cold (Reason.C_cold Reason.Cold_ctor) ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
       ignore (emit g Categories.C_other (Lir.Deopt did)))
   | NewArray (d, cap) ->
     ignore
@@ -1549,7 +1739,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
     let z = scratch g in
     ignore (emit g Categories.C_other (Lir.MovImm (z, null_imm g)));
     let argr = Array.append [| z |] (Array.map (fun r -> tagged_loc g st r) args) in
-    let did = mk_deopt g ~reason:"osr: callee invalidated this code during the call" ~bc_pc:(pc + 1) ~result_into:(Some d) in
+    let did =
+      mk_deopt g ~reason:(Reason.make Reason.K_osr (Reason.C_osr Reason.Osr_call) ~pc)
+        ~bc_pc:(pc + 1) ~result_into:(Some d)
+    in
     let dd = if g.reprs.(d) = Lir.R_double then scratch g else d in
     ignore (emit g Categories.C_other (Lir.CallFn (fid, argr, dd, did)));
     if g.reprs.(d) = Lir.R_double then begin
@@ -1569,7 +1762,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       let idx = emit g Categories.C_other (Lir.Branch (Lir.Ge, ta, Lir.Imm 0, -1)) in
       let z = scratch g in
       ignore (emit g Categories.C_other (Lir.MovImm (z, 0)));
-      let did = mk_deopt g ~reason:"smi-overflow: abs of most-negative SMI" ~bc_pc:pc ~result_into:None in
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_math (Reason.C_overflow Reason.Ov_abs) ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
       let i2 = emit g Categories.C_math (Lir.AluOv (Lir.Sub, d, z, Lir.Reg ta, -1)) in
       add_fixup g i2 (F_deopt did);
       land_here g idx
@@ -1580,7 +1776,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       (* push stores into the array: the slow path may transition its
          elements kind and retire profiles this code depends on *)
       let argr = Array.map (fun r -> tagged_loc g st r) args in
-      let did = mk_deopt g ~reason:"cc-exception: push store retired a speculated profile" ~bc_pc:(pc + 1) ~result_into:(Some d) in
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_cc (Reason.C_cc Reason.Cc_push) ~pc)
+          ~bc_pc:(pc + 1) ~result_into:(Some d)
+      in
       ignore
         (emit g Categories.C_other
            (Lir.CallRtChecked (Lir.Rt_builtin b, argr, Some d, did)))
@@ -1598,7 +1797,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
     let callee = env.prog.Bytecode.funcs.(fid) in
     match callee.Bytecode.base_class with
     | None ->
-      let did = mk_deopt g ~reason:"uninit-feedback: constructor base class unknown" ~bc_pc:pc ~result_into:None in
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_cold (Reason.C_cold Reason.Cold_ctor) ~pc)
+          ~bc_pc:pc ~result_into:None
+      in
       ignore (emit g Categories.C_other (Lir.Deopt did))
     | Some base ->
       let robj = scratch g in
@@ -1610,7 +1812,10 @@ let gen_op g pc (bc : Bytecode.bc) (st : state) ~(skip_next : bool ref) =
       let argr =
         Array.append [| robj |] (Array.map (fun r -> tagged_loc g st r) args)
       in
-      let did = mk_deopt g ~reason:"osr: callee invalidated this code during constructor call" ~bc_pc:(pc + 1) ~result_into:(Some d) in
+      let did =
+        mk_deopt g ~reason:(Reason.make Reason.K_osr (Reason.C_osr Reason.Osr_ctor) ~pc)
+          ~bc_pc:(pc + 1) ~result_into:(Some d)
+      in
       ignore (emit g Categories.C_other (Lir.CallFn (fid, argr, d, did))))
   | Jump target ->
     let idx = emit g Categories.C_other (Lir.Jmp (-1)) in

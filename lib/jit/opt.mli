@@ -35,6 +35,9 @@ type env = {
   opt_id : int;
   code_addr : int;
   globals_base : int;
+  attr : Tce_attr.Ledger.t;
+      (** attribution ledger ({!Tce_attr.Ledger.null} = disabled): one
+          removed/kept-with-cause entry per check site per compilation *)
 }
 
 (** Result type of a speculative load from a Class List slot; [None] keeps

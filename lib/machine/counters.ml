@@ -3,6 +3,11 @@
 
 type t = {
   by_cat : int array;  (** optimized-tier instructions by {!Tce_jit.Categories} *)
+  by_check_kind : int array;
+      (** [C_check] executions by {!Tce_jit.Categories.check_kind}, indexed
+          by {!Tce_jit.Categories.check_kind_slot} (slot 0 = unattributed;
+          reconciliation asserts it stays 0 and the sum equals
+          [by_cat.(index C_check)]) *)
   mutable guards_obj_load : int;
       (** checks (incl. untag guards) verifying values obtained from object
           property / elements loads — Figure 2's population *)
@@ -26,6 +31,7 @@ type t = {
 let create () =
   {
     by_cat = Array.make Tce_jit.Categories.count 0;
+    by_check_kind = Array.make (Tce_jit.Categories.check_kind_count + 1) 0;
     guards_obj_load = 0;
     opt_loads = 0;
     opt_stores = 0;
@@ -44,6 +50,7 @@ let create () =
 
 let reset t =
   Array.fill t.by_cat 0 (Array.length t.by_cat) 0;
+  Array.fill t.by_check_kind 0 (Array.length t.by_check_kind) 0;
   t.guards_obj_load <- 0;
   t.opt_loads <- 0;
   t.opt_stores <- 0;

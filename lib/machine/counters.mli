@@ -3,6 +3,9 @@
 
 type t = {
   by_cat : int array;  (** optimized-tier instructions per {!Tce_jit.Categories} *)
+  by_check_kind : int array;
+      (** [C_check] executions per {!Tce_jit.Categories.check_kind}, indexed
+          by {!Tce_jit.Categories.check_kind_slot} (slot 0 = unattributed) *)
   mutable guards_obj_load : int;
       (** checks (incl. untag guards) verifying values obtained from object
           loads — Figure 2's population *)

@@ -15,6 +15,17 @@ open Tce_jit
 
 exception Trap of string
 
+(** A misspeculation exception with the faulting-store context attached
+    (what broke, where, and who has to deopt) — the attribution ledger's
+    causal-chain anchor. *)
+type cc_exn_info = {
+  cc_classid : int;
+  cc_line : int;
+  cc_pos : int;
+  cc_value_classid : int;
+  cc_victims : int list;  (** opt_ids from the slot's FunctionList *)
+}
+
 (** Callbacks into the engine (tier driver). *)
 type host = {
   call_fn : int -> Value.t array -> Value.t;
@@ -24,8 +35,8 @@ type host = {
       (** deoptimization: resume the interpreter mid-function *)
   rt_call : Lir.rt -> Value.t array -> float array -> Value.t * float;
       (** execute a runtime stub functionally *)
-  on_cc_exception : int list -> unit;
-      (** invalidate the optimized code instances with these opt_ids *)
+  on_cc_exception : cc_exn_info -> unit;
+      (** invalidate the optimized code instances in [cc_victims] *)
   on_deopt : int -> unit;
       (** a check failed in this opt_id (engine discards code that
           deoptimizes repeatedly, like V8's deopt counters) *)
@@ -64,14 +75,17 @@ type t = {
   fault : Tce_fault.Injector.t;
       (** fault injector ({!Tce_fault.Injector.null} = disarmed): OSR-fail
           injection and the retire-path re-validation of special stores *)
+  attr : Tce_attr.Ledger.t;
+      (** attribution ledger ({!Tce_attr.Ledger.null} = disabled): records
+          each deopt's typed reason; never affects timing *)
   (* special registers (paper §4.2.1.2) *)
   mutable reg_classid : int;
   reg_classid_arr : int array;
 }
 
 let create ?(cfg = Config.default) ?(mechanism = true)
-    ?(trace = Tce_obs.Trace.null) ?(fault = Tce_fault.Injector.null) ~heap ~cc
-    ~cl ~oracle ~counters () =
+    ?(trace = Tce_obs.Trace.null) ?(fault = Tce_fault.Injector.null)
+    ?(attr = Tce_attr.Ledger.null) ~heap ~cc ~cl ~oracle ~counters () =
   {
     cfg;
     heap;
@@ -97,6 +111,7 @@ let create ?(cfg = Config.default) ?(mechanism = true)
     measuring = true;
     trace;
     fault;
+    attr;
     reg_classid = 0;
     reg_classid_arr = Array.make 4 0;
   }
@@ -196,6 +211,10 @@ let ifetch t ~code_addr ~pc =
 let count t (inst : Lir.inst) =
   if t.measuring then begin
     Counters.add_cat t.counters inst.cat 1;
+    if inst.cat = Categories.C_check then begin
+      let slot = Categories.check_kind_slot inst.flags in
+      t.counters.by_check_kind.(slot) <- t.counters.by_check_kind.(slot) + 1
+    end;
     if inst.flags land Categories.flag_guards_obj_load <> 0 then
       t.counters.guards_obj_load <- t.counters.guards_obj_load + 1;
     (match inst.op with
@@ -232,7 +251,7 @@ let prefill t ~addr ~bytes =
     Cache.insert t.l2 (line lsl 6)
   done
 
-exception Cc_exception of int list
+exception Cc_exception of cc_exn_info
 
 (* --- the executor --- *)
 
@@ -293,11 +312,12 @@ let do_deopt t host (f : Lir.func) regs fregs deopt_id ~result =
     Tce_obs.Trace.emit t.trace
       (Tce_obs.Trace.Deopt
          {
-           reason = info.Lir.reason;
+           reason = Tce_attr.Reason.to_string info.Lir.reason;
            func = f.Lir.name;
            pc = info.Lir.bc_pc;
-           classid = info.Lir.classid;
+           classid = info.Lir.reason.Tce_attr.Reason.classid;
          });
+  Tce_attr.Ledger.record_deopt t.attr ~fn:f.Lir.name ~reason:info.Lir.reason;
   host.on_deopt f.Lir.opt_id;
   if t.measuring then begin
     t.counters.deopts <- t.counters.deopts + 1;
@@ -718,7 +738,16 @@ and cc_request_tagged t ~classid ~line ~pos ~stored =
       t.cycle <- fin + t.cfg.class_cache_miss_penalty - t.cfg.l1_load_latency;
       t.slots <- 0
     end;
-    if r.exn_raised then raise (Cc_exception r.functions_to_deopt)
+    if r.exn_raised then
+      raise
+        (Cc_exception
+           {
+             cc_classid = classid;
+             cc_line = line;
+             cc_pos = pos;
+             cc_value_classid = value_classid;
+             cc_victims = r.functions_to_deopt;
+           })
   end
 
 and post_store_check t host f regs fregs deopt_id result next pc =
@@ -739,10 +768,10 @@ and post_store_check t host f regs fregs deopt_id result next pc =
   end
   else pc := next
 
-and handle_cc_exception t host f regs fregs deopt_id fns result next pc =
+and handle_cc_exception t host f regs fregs deopt_id info result next pc =
   if t.measuring then
     t.counters.cc_exception_deopts <- t.counters.cc_exception_deopts + 1;
-  host.on_cc_exception fns;
+  host.on_cc_exception info;
   if host.is_invalidated f.opt_id then begin
     (* the running function speculated on the broken slot: OSR out now
        (the store has completed; state is consistent, paper §4.2.2) *)

@@ -6,6 +6,17 @@
 
 exception Trap of string
 
+(** A misspeculation exception with the faulting-store context attached —
+    what broke, where, and who has to deopt (the attribution ledger's
+    causal-chain anchor). *)
+type cc_exn_info = {
+  cc_classid : int;
+  cc_line : int;
+  cc_pos : int;
+  cc_value_classid : int;
+  cc_victims : int list;  (** opt_ids from the slot's FunctionList *)
+}
+
 (** Callbacks into the engine (tier driver). *)
 type host = {
   call_fn : int -> Tce_vm.Value.t array -> Tce_vm.Value.t;
@@ -18,8 +29,8 @@ type host = {
   rt_call :
     Tce_jit.Lir.rt -> Tce_vm.Value.t array -> float array ->
     Tce_vm.Value.t * float;
-  on_cc_exception : int list -> unit;
-      (** misspeculation exception: invalidate these opt_ids *)
+  on_cc_exception : cc_exn_info -> unit;
+      (** misspeculation exception: invalidate the victim opt_ids *)
   on_deopt : int -> unit;  (** a check failed in this opt_id *)
   is_invalidated : int -> bool;
 }
@@ -52,13 +63,16 @@ type t = {
   fault : Tce_fault.Injector.t;
       (** fault injector ({!Tce_fault.Injector.null} = disarmed): OSR-fail
           injection and retire-path re-validation of special stores *)
+  attr : Tce_attr.Ledger.t;
+      (** attribution ledger ({!Tce_attr.Ledger.null} = disabled): typed
+          deopt reasons; never affects timing *)
   mutable reg_classid : int;  (** regObjectClassId (paper §4.2.1.2) *)
   reg_classid_arr : int array;  (** regArrayObjectClassId 0-3 *)
 }
 
 val create :
   ?cfg:Config.t -> ?mechanism:bool -> ?trace:Tce_obs.Trace.t ->
-  ?fault:Tce_fault.Injector.t ->
+  ?fault:Tce_fault.Injector.t -> ?attr:Tce_attr.Ledger.t ->
   heap:Tce_vm.Heap.t -> cc:Tce_core.Class_cache.t ->
   cl:Tce_core.Class_list.t -> oracle:Tce_core.Oracle.t ->
   counters:Counters.t -> unit -> t

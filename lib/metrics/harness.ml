@@ -22,6 +22,10 @@ type result = {
   whole_guards : int;
   whole_by_cat : int array;
   by_cat : int array;  (** optimized-tier instructions per category *)
+  by_check_kind : int array;
+      (** [C_check] executions per {!Tce_jit.Categories.check_kind} (slot 0 =
+          unattributed); sums to [by_cat.(C_check)] — asserted in
+          {!Tce_runner.Record.of_pair} *)
   opt_instrs : int;
   baseline_instrs : int;
   guards_obj_load : int;
@@ -136,6 +140,7 @@ let run ?(config = E.default_config) (w : Workload.t) : result =
     whole_guards;
     whole_by_cat;
     by_cat = Array.copy c.Counters.by_cat;
+    by_check_kind = Array.copy c.Counters.by_check_kind;
     opt_instrs = Counters.opt_instrs c;
     baseline_instrs = c.Counters.baseline_instrs;
     guards_obj_load = c.Counters.guards_obj_load;

@@ -1,6 +1,9 @@
 (** Versioned JSON export envelope (see export.mli). *)
 
-let schema_version = 1
+(* v2: records carry a per-kind check-removal composition block
+   ([checks_by_kind]) and the [attr-report] document kind exists. v1
+   documents remain readable ([open_document] accepts 1..version). *)
+let schema_version = 2
 
 let document ~kind data =
   Json.Obj

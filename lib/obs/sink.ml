@@ -150,8 +150,15 @@ let chrome ?(snapshot = Snapshot.disabled) tr =
         [
           counter ~at:s.Snapshot.at "deopts" s.Snapshot.deopts;
           counter ~at:s.Snapshot.at "cc-occupancy" s.Snapshot.cc_occupancy;
+          counter ~at:s.Snapshot.at "cc-conflicts" s.Snapshot.cc_conflicts;
           counter ~at:s.Snapshot.at "heap-bytes" s.Snapshot.heap_bytes;
-        ])
+        ]
+        @ List.mapi
+            (fun i v ->
+              counter ~at:s.Snapshot.at
+                (Printf.sprintf "cc-occupancy/sets-%d" i)
+                v)
+            (Array.to_list s.Snapshot.cc_set_occupancy))
       (Snapshot.samples snapshot)
   in
   Json.Obj

@@ -6,6 +6,8 @@ type sample = {
   tierups : int;
   cc_exceptions : int;
   cc_occupancy : int;
+  cc_set_occupancy : int array;
+  cc_conflicts : int;
   baseline_instrs : int;
   heap_bytes : int;
 }

@@ -22,10 +22,40 @@ type report = {
   verdicts : verdict list;
   missing : string list;
   config_mismatch : bool;
+  warnings : string list;
   ok : bool;
 }
 
 let default_tolerance_pct = 2.0
+
+(** Warn-only composition drift: for each check kind, compare its share of
+    the surviving (mechanism-on) checks between baseline and current. A
+    shift beyond [tolerance_pct] points means the *mix* of kept checks
+    changed even if the headline totals pass — worth a look, not a
+    failure (the totals are gated separately). Schema-v1 baselines have no
+    composition block; they produce no warnings. *)
+let composition_warnings ~tolerance_pct (b : Record.workload)
+    (c : Record.workload) =
+  if b.Record.checks_by_kind = [] || c.Record.checks_by_kind = [] then []
+  else begin
+    let share rows total kind =
+      match List.find_opt (fun (k, _, _) -> k = kind) rows with
+      | Some (_, _, on) when total > 0 ->
+        100.0 *. float_of_int on /. float_of_int total
+      | _ -> 0.0
+    in
+    List.filter_map
+      (fun (kind, _, _) ->
+        let bs = share b.Record.checks_by_kind b.Record.checks_on kind in
+        let cs = share c.Record.checks_by_kind c.Record.checks_on kind in
+        if Float.abs (cs -. bs) > tolerance_pct then
+          Some
+            (Printf.sprintf
+               "%s: %s share of kept checks shifted %.2f%% -> %.2f%%"
+               b.Record.name kind bs cs)
+        else None)
+      b.Record.checks_by_kind
+  end
 
 (** Compare [current] against [baseline] workload-by-workload (matched by
     name, over the baseline's roster). A workload fails when
@@ -40,11 +70,11 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
       (fun (w : Record.workload) -> w.Record.name = name)
       current.Record.workloads
   in
-  let verdicts, missing =
+  let verdicts, missing, warnings =
     List.fold_left
-      (fun (vs, miss) (b : Record.workload) ->
+      (fun (vs, miss, warns) (b : Record.workload) ->
         match find b.Record.name with
-        | None -> (vs, b.Record.name :: miss)
+        | None -> (vs, b.Record.name :: miss, warns)
         | Some c ->
           let cycles_delta =
             S.rel_delta_pct ~base:b.Record.cycles_on ~cur:c.Record.cycles_on
@@ -79,10 +109,13 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
                }
             :: vs
           in
-          (vs, miss))
-      ([], []) baseline.Record.workloads
+          (vs, miss,
+           List.rev_append (composition_warnings ~tolerance_pct b c) warns))
+      ([], [], []) baseline.Record.workloads
   in
-  let verdicts = List.rev verdicts and missing = List.rev missing in
+  let verdicts = List.rev verdicts
+  and missing = List.rev missing
+  and warnings = List.rev warnings in
   let config_mismatch =
     baseline.Record.config_hash <> current.Record.config_hash
   in
@@ -90,6 +123,7 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
     verdicts;
     missing;
     config_mismatch;
+    warnings;
     ok =
       (not config_mismatch) && missing = []
       && List.for_all (fun (v : verdict) -> v.ok) verdicts;
@@ -144,6 +178,7 @@ let print_report ~baseline ~current (r : report) =
       (fun v -> if v.metric = Cycles then Some v.delta else None)
       r.verdicts
   in
+  List.iter (fun w -> Printf.printf "warning: %s\n" w) r.warnings;
   let mean, ci = S.mean_ci95 deltas in
   Printf.printf
     "gate: %s — %d workloads compared, mean cycle delta %+.2f%% (±%.2f)%s\n"

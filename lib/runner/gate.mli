@@ -32,6 +32,9 @@ type report = {
   missing : string list;  (** baseline workloads absent from the current run *)
   config_mismatch : bool;
       (** the two runs were measured under different simulator configs *)
+  warnings : string list;
+      (** warn-only findings (never fail the gate): per-kind shares of the
+          kept checks that shifted beyond tolerance vs the baseline *)
   ok : bool;
 }
 

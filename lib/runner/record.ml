@@ -17,6 +17,7 @@ type workload = {
   whole_cycles_on : float;
   checks_off : int;
   checks_on : int;
+  checks_by_kind : (string * int * int) list;
   guards_off : int;
   guards_on : int;
   deopts_on : int;
@@ -37,10 +38,41 @@ type run = {
   workloads : workload list;
 }
 
+(* The reconciliation invariant (ISSUE 4): every dynamic [C_check]
+   execution is attributed to exactly one check kind. Slot 0 is the
+   unattributed bucket — a compiler site that emitted a check without a
+   kind flag — and must stay empty; the kind sum must equal the [C_check]
+   category counter exactly. A violation is a compiler bug, not a
+   measurement artifact, so it fails the run loudly. *)
+let reconcile ~name ~label (a : int array) ~total =
+  if a.(0) <> 0 then
+    failwith
+      (Printf.sprintf "%s (%s): %d unattributed check executions" name label
+         a.(0));
+  let sum = Array.fold_left ( + ) 0 a in
+  if sum <> total then
+    failwith
+      (Printf.sprintf
+         "%s (%s): check kinds sum to %d but the C_check counter saw %d" name
+         label sum total)
+
 let of_pair ~wall_seconds (off : H.result) (on : H.result) : workload =
   let w = off.H.workload in
   let checks_off = off.H.by_cat.(Tce_jit.Categories.index Tce_jit.Categories.C_check) in
   let checks_on = on.H.by_cat.(Tce_jit.Categories.index Tce_jit.Categories.C_check) in
+  reconcile ~name:w.W.name ~label:"mechanism-off" off.H.by_check_kind
+    ~total:checks_off;
+  reconcile ~name:w.W.name ~label:"mechanism-on" on.H.by_check_kind
+    ~total:checks_on;
+  let checks_by_kind =
+    List.map
+      (fun k ->
+        let i = Tce_jit.Categories.check_kind_index k + 1 in
+        ( Tce_jit.Categories.check_kind_name k,
+          off.H.by_check_kind.(i),
+          on.H.by_check_kind.(i) ))
+      Tce_jit.Categories.all_check_kinds
+  in
   {
     name = w.W.name;
     suite = W.suite_name w.W.suite;
@@ -52,6 +84,7 @@ let of_pair ~wall_seconds (off : H.result) (on : H.result) : workload =
     whole_cycles_on = on.H.whole_cycles;
     checks_off;
     checks_on;
+    checks_by_kind;
     guards_off = off.H.guards_obj_load;
     guards_on = on.H.guards_obj_load;
     deopts_on = on.H.deopts;
@@ -72,7 +105,8 @@ let equal_deterministic (a : workload) (b : workload) =
   && a.checksum = b.checksum && a.cycles_off = b.cycles_off
   && a.cycles_on = b.cycles_on && a.whole_cycles_off = b.whole_cycles_off
   && a.whole_cycles_on = b.whole_cycles_on && a.checks_off = b.checks_off
-  && a.checks_on = b.checks_on && a.guards_off = b.guards_off
+  && a.checks_on = b.checks_on && a.checks_by_kind = b.checks_by_kind
+  && a.guards_off = b.guards_off
   && a.guards_on = b.guards_on && a.deopts_on = b.deopts_on
   && a.cc_exceptions_on = b.cc_exceptions_on
   && a.cc_accesses_on = b.cc_accesses_on
@@ -104,6 +138,13 @@ let workload_to_json (w : workload) : J.t =
       ("whole_cycles_on", J.Float w.whole_cycles_on);
       ("checks_off", J.Int w.checks_off);
       ("checks_on", J.Int w.checks_on);
+      ( "checks_by_kind",
+        J.List
+          (List.map
+             (fun (kind, off, on) ->
+               J.Obj
+                 [ ("kind", J.Str kind); ("off", J.Int off); ("on", J.Int on) ])
+             w.checks_by_kind) );
       ("guards_off", J.Int w.guards_off);
       ("guards_on", J.Int w.guards_on);
       ("deopts_on", J.Int w.deopts_on);
@@ -148,6 +189,26 @@ let workload_of_json (j : J.t) : (workload, string) result =
   let* whole_cycles_on = field "whole_cycles_on" J.to_float j in
   let* checks_off = field "checks_off" J.to_int j in
   let* checks_on = field "checks_on" J.to_int j in
+  (* Optional for schema-v1 documents, which predate the composition block. *)
+  let* checks_by_kind =
+    match J.member "checks_by_kind" j with
+    | None -> Ok []
+    | Some (J.List items) ->
+      let entry e =
+        let* kind = field "kind" J.to_str e in
+        let* off = field "off" J.to_int e in
+        let* on = field "on" J.to_int e in
+        Ok (kind, off, on)
+      in
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          let* x = entry e in
+          Ok (x :: acc))
+        (Ok []) items
+      |> Result.map List.rev
+    | Some _ -> Error "bad field \"checks_by_kind\""
+  in
   let* guards_off = field "guards_off" J.to_int j in
   let* guards_on = field "guards_on" J.to_int j in
   let* deopts_on = field "deopts_on" J.to_int j in
@@ -169,6 +230,7 @@ let workload_of_json (j : J.t) : (workload, string) result =
       whole_cycles_on;
       checks_off;
       checks_on;
+      checks_by_kind;
       guards_off;
       guards_on;
       deopts_on;

@@ -15,6 +15,11 @@ type workload = {
   whole_cycles_on : float;
   checks_off : int;  (** dynamic check instructions, mechanism off *)
   checks_on : int;
+  checks_by_kind : (string * int * int) list;
+      (** per-{!Tce_jit.Categories.check_kind} composition as
+          [(kind, off, on)] dynamic counts, in kind order; each column sums
+          to [checks_off] / [checks_on] exactly (asserted in {!of_pair}).
+          Empty when decoded from a schema-v1 document. *)
   guards_off : int;  (** checks guarding object-load results (Fig. 2) *)
   guards_on : int;
   deopts_on : int;
@@ -36,7 +41,9 @@ type run = {
   workloads : workload list;
 }
 
-(** Build a record from a measured off/on pair. *)
+(** Build a record from a measured off/on pair.
+    @raise Failure when the per-kind check attribution does not reconcile
+    exactly with the [C_check] category counters (a compiler bug). *)
 val of_pair :
   wall_seconds:float ->
   Tce_metrics.Harness.result ->

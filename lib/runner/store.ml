@@ -3,6 +3,7 @@
 module J = Tce_obs.Json
 
 let latest_path = "BENCH_latest.json"
+let attr_latest_path = "ATTR_latest.json"
 let history_dir = Filename.concat "results" "history"
 let baseline_path = Filename.concat "results" "baseline.json"
 

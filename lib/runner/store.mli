@@ -7,6 +7,9 @@
 
 val latest_path : string  (** ["BENCH_latest.json"] *)
 
+val attr_latest_path : string
+(** ["ATTR_latest.json"] — suite attribution report (`--bench --attr`). *)
+
 val history_dir : string  (** ["results/history"] *)
 
 val baseline_path : string  (** ["results/baseline.json"] *)

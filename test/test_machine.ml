@@ -344,7 +344,11 @@ let test_special_store_fires_class_cache () =
   in
   let f =
     { (mk_func code ~n_regs:4) with
-      Tce_jit.Lir.deopts = [| { Tce_jit.Lir.bc_pc = 0; result_into = None; reason = "test"; classid = -1 } |] }
+      Tce_jit.Lir.deopts =
+        [| { Tce_jit.Lir.bc_pc = 0; result_into = None;
+             reason =
+               Tce_attr.Reason.make Tce_attr.Reason.K_check_map
+                 Tce_attr.Reason.C_not_class ~pc:0 } |] }
   in
   ignore (Machine.run m stub_host f [| 0 |]);
   Alcotest.(check int) "one CC access" 1 m.Machine.cc.Tce_core.Class_cache.stats.accesses;

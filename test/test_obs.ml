@@ -113,6 +113,16 @@ let test_deopt_reason_and_pc () =
     List.filter (fun r -> T.kind r.T.ev = "tierup") (T.records trace)
   in
   Alcotest.(check bool) "at least one tierup" true (tierups <> []);
+  (* Every traced deopt reason is the canonical rendering of a typed
+     Tce_attr.Reason.t — it must parse back losslessly. *)
+  List.iter
+    (fun (reason, _, _) ->
+      match Tce_attr.Reason.of_string reason with
+      | Some r ->
+        Alcotest.(check string) "reason round-trips" reason
+          (Tce_attr.Reason.to_string r)
+      | None -> Alcotest.failf "untyped deopt reason in trace: %s" reason)
+    deopts;
   match deopts with
   | (reason, func, pc) :: _ ->
     Alcotest.(check bool) "non-empty reason" true (String.length reason > 0);

@@ -165,6 +165,29 @@ let test_gate_config_mismatch () =
     report.Gate.config_mismatch;
   Alcotest.(check bool) "and fails the gate" false report.Gate.ok
 
+(* Composition warnings are warn-only: a kind-share shift beyond tolerance
+   is reported but never fails the gate. *)
+let test_gate_composition_warnings () =
+  let base = make_run (Lazy.force serial) in
+  Alcotest.(check (list string))
+    "clean run has no warnings" []
+    (Gate.check_run ~baseline:base ~current:base ()).Gate.warnings;
+  (* move kept checks from one kind's column to another, keeping the
+     checks_on total (and therefore every hard metric) untouched *)
+  let shift (w : Record.workload) =
+    match w.Record.checks_by_kind with
+    | (k1, o1, n1) :: (k2, o2, n2) :: rest when n1 > 0 ->
+      { w with Record.checks_by_kind = (k1, o1, 0) :: (k2, o2, n2 + n1) :: rest }
+    | _ -> w
+  in
+  let current =
+    { base with Record.workloads = List.map shift base.Record.workloads }
+  in
+  let report = Gate.check_run ~tolerance_pct:2.0 ~baseline:base ~current () in
+  Alcotest.(check bool) "shift produced warnings" true
+    (report.Gate.warnings <> []);
+  Alcotest.(check bool) "warnings never fail the gate" true report.Gate.ok
+
 let test_gate_missing_workload () =
   let base = make_run (Lazy.force serial) in
   let current =
@@ -268,6 +291,8 @@ let () =
           Alcotest.test_case "checksum change" `Quick
             test_gate_flags_checksum_change;
           Alcotest.test_case "config mismatch" `Quick test_gate_config_mismatch;
+          Alcotest.test_case "composition warnings" `Quick
+            test_gate_composition_warnings;
           Alcotest.test_case "missing workload" `Quick
             test_gate_missing_workload;
           Alcotest.test_case "exit codes" `Quick test_gate_exit_codes;
