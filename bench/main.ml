@@ -11,9 +11,11 @@
          and write every Harness.result field as versioned JSON)
       dune exec bench/main.exe -- --bench [--jobs N] [--out FILE]
           [--history DIR] [--suite all|selected|octane|sunspider|kraken]
-          [WORKLOAD ...]
+          [--time] [WORKLOAD ...]
         (parallel suite run through Tce_runner; appends to the result
-         store: BENCH_latest.json + results/history/)
+         store: BENCH_latest.json + results/history/. --time additionally
+         prints the host wall clock per workload, slowest first — how fast
+         the simulator itself runs, not a simulated number)
       dune exec bench/main.exe -- --check [--baseline FILE]
           [--tolerance PCT] [--jobs N] [WORKLOAD ...]
         (perf-regression gate: re-run the baseline's roster and exit
@@ -216,9 +218,36 @@ let resolve_workloads ~suite names =
     | "kraken" -> Tce_workloads.Workloads.kraken
     | s -> usage_fail ("unknown suite " ^ s)
 
+(* Self-timing report (`--bench --time`): the host wall clock each
+   off/on pair took, slowest first. This is how long the *simulator*
+   runs, not anything simulated — the table is the measurement behind the
+   README's "performance of the simulator itself" numbers and the first
+   place to look before reaching for dev/profile.sh. *)
+let print_time_table (run : Tce_runner.Record.run) =
+  let module R = Tce_runner.Record in
+  let ws =
+    List.sort
+      (fun (a : R.workload) b -> compare b.R.wall_seconds a.R.wall_seconds)
+      run.R.workloads
+  in
+  let total = List.fold_left (fun s (w : R.workload) -> s +. w.R.wall_seconds) 0.0 ws in
+  Printf.printf "\nhost wall clock per workload (informational, slowest first)\n";
+  Printf.printf "%-22s %9s %9s %9s %7s\n" "workload" "off(s)" "on(s)" "pair(s)"
+    "share";
+  List.iter
+    (fun (w : R.workload) ->
+      Printf.printf "%-22s %9.2f %9.2f %9.2f %6.1f%%\n" w.R.name
+        w.R.wall_seconds_off w.R.wall_seconds_on w.R.wall_seconds
+        (if total > 0.0 then 100.0 *. w.R.wall_seconds /. total else 0.0))
+    ws;
+  Printf.printf "%-22s %9s %9s %9.2f %6s  (suite total %.2fs incl. scheduling)\n"
+    "total" "" "" total "" run.R.host_wall_seconds
+
 let run_bench args =
-  (* `--attr[=FILE]` is a value-less flag; peel it off before the
-     value-taking flag parser sees it. *)
+  (* `--attr[=FILE]` and `--time` are value-less flags; peel them off
+     before the value-taking flag parser sees them. *)
+  let time_args, args = List.partition (fun a -> a = "--time") args in
+  let show_time = time_args <> [] in
   let attr_args, args =
     List.partition
       (fun a ->
@@ -247,6 +276,7 @@ let run_bench args =
   in
   let hist_path = Tce_runner.Store.save ~latest ~history run in
   Tce_runner.Store.print_summary run;
+  if show_time then print_time_table run;
   Printf.printf "wrote %s (history: %s)\n" latest hist_path;
   (match attr_out with
   | None -> ()

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Profile the simulator itself (host wall clock, not simulated cycles).
+#
+# Usage:
+#   dev/profile.sh [WORKLOAD ...]
+#
+# Runs the named workloads (default: a representative slow trio) through
+# the benchmark runner serially and reports where the host time goes:
+#
+#   * with Linux `perf` installed: `perf record` + `perf report` over the
+#     run, giving a per-function profile of the dispatch loop;
+#   * without `perf` (containers, macOS): falls back to the runner's own
+#     self-timing table (`--bench --time`), which attributes wall clock
+#     per workload and per mechanism side — coarse, but enough to spot
+#     which workload regressed before bisecting with smaller rosters.
+#
+# POSIX sh; run from the repo root. Results land under /tmp/tce-profile.
+set -eu
+
+workloads="${*:-splay mandreel typescript-ray}"
+out=/tmp/tce-profile
+mkdir -p "$out"
+
+dune build bench/main.exe
+
+exe=_build/default/bench/main.exe
+
+if command -v perf >/dev/null 2>&1; then
+    echo "profiling with perf: $workloads"
+    # shellcheck disable=SC2086  # workload names are intentionally split
+    perf record -g -o "$out/perf.data" -- "$exe" --bench --jobs 1 \
+        --history "" --out "$out/profile_bench.json" $workloads
+    perf report -i "$out/perf.data" --stdio | head -60
+    echo "full profile: perf report -i $out/perf.data"
+else
+    echo "perf not found; falling back to the runner's self-timing table"
+    # shellcheck disable=SC2086
+    "$exe" --bench --time --jobs 1 --history "" \
+        --out "$out/profile_bench.json" $workloads | tee "$out/time_table.txt"
+    echo "table saved to $out/time_table.txt"
+fi

@@ -211,18 +211,16 @@ let measuring t = t.mach.Tce_machine.Machine.measuring
 
 (* --- cost accounting for the baseline tier --- *)
 
-let charge_baseline t (bc : Bytecode.bc) =
-  if measuring t then begin
-    let n = Tce_machine.Costs.baseline_op_instrs bc in
-    let n =
-      match bc with
-      | Bytecode.SetProp _ | SetElem _ when t.cfg.mechanism ->
-        n + Tce_machine.Costs.mechanism_store_extra
-      | _ -> n
-    in
-    t.counters.Tce_machine.Counters.baseline_instrs <-
-      t.counters.Tce_machine.Counters.baseline_instrs + n
-  end
+(** Baseline instruction charge of one bytecode op — pure, so the
+    interpreter bakes it per pc into [Bytecode.func.base_cost] instead of
+    re-matching the op every execution. The mechanism's store surcharge is
+    engine-constant, making the baked array engine-stable. *)
+let baseline_cost_of t (bc : Bytecode.bc) =
+  let n = Tce_machine.Costs.baseline_op_instrs bc in
+  match bc with
+  | Bytecode.SetProp _ | SetElem _ when t.cfg.mechanism ->
+    n + Tce_machine.Costs.mechanism_store_extra
+  | _ -> n
 
 let charge_baseline_extra t n =
   if measuring t then
@@ -433,31 +431,33 @@ let record_obj_load t ~classid ~line ~pos =
 
 (** Baseline GetProp: feedback update + load. [fb_slot] < 0 for feedback-less
     megamorphic stub calls from optimized code. *)
+(* Not a closure inside [get_prop]: the record path runs per property
+   access, and a per-call closure allocation there is measurable. *)
+let record_prop_load t (fb : Feedback.t option) fb_slot ~classid ~slot =
+  match fb with
+  | Some fb when fb_slot >= 0 ->
+    emit_ic t ~site:"prop-load" ~slot:fb_slot
+      (Feedback.record_prop_simple fb fb_slot ~classid ~slot)
+  | _ -> ()
+
 let get_prop t (fb : Feedback.t option) fb_slot obj name : Value.t =
   let h = t.heap in
   if Value.is_smi h.Heap.null_v then assert false;
   if Value.is_smi obj then raise (Engine_error ("property access on SMI: " ^ name));
   let c = Heap.class_of_addr h (Value.ptr_addr obj) in
-  let record sh =
-    match fb with
-    | Some fb when fb_slot >= 0 ->
-      emit_ic t ~site:"prop-load" ~slot:fb_slot (Feedback.record_prop fb fb_slot sh)
-    | _ -> ()
-  in
   match (c.Hidden_class.kind, name) with
   | Hidden_class.K_string, "length" ->
-    record { Feedback.classid = c.Hidden_class.id; slot = 2; transition_to = None };
+    record_prop_load t fb fb_slot ~classid:c.Hidden_class.id ~slot:2;
     Mem.load h.Heap.mem (Value.ptr_addr obj + 16)
   | (Hidden_class.K_array _ | K_object), "length"
     when not (Hashtbl.mem c.Hidden_class.prop_index "length") ->
-    record
-      { Feedback.classid = c.Hidden_class.id; slot = Layout.elements_len_slot;
-        transition_to = None };
+    record_prop_load t fb fb_slot ~classid:c.Hidden_class.id
+      ~slot:Layout.elements_len_slot;
     Mem.load h.Heap.mem (Value.ptr_addr obj + (Layout.elements_len_slot * 8))
   | _ -> (
     match Hidden_class.slot_of_prop c name with
     | Some slot ->
-      record { Feedback.classid = c.Hidden_class.id; slot; transition_to = None };
+      record_prop_load t fb fb_slot ~classid:c.Hidden_class.id ~slot;
       let line, pos = Layout.line_pos_of_slot slot in
       record_obj_load t ~classid:c.Hidden_class.id ~line ~pos;
       Heap.load_slot h obj slot
@@ -479,12 +479,16 @@ let set_prop t (fb : Feedback.t option) fb_slot obj name v =
   (match fb with
   | Some fb when fb_slot >= 0 ->
     emit_ic t ~site:"prop-store" ~slot:fb_slot
-      (Feedback.record_prop fb fb_slot
-         {
-           Feedback.classid = c0.Hidden_class.id;
-           slot;
-           transition_to = (if transitioned then Some c1.Hidden_class.id else None);
-         })
+      (if transitioned then
+         Feedback.record_prop fb fb_slot
+           {
+             Feedback.classid = c0.Hidden_class.id;
+             slot;
+             transition_to = Some c1.Hidden_class.id;
+           }
+       else
+         Feedback.record_prop_simple fb fb_slot ~classid:c0.Hidden_class.id
+           ~slot)
   | _ -> ());
   if transitioned then charge_baseline_extra t Tce_machine.Costs.transition_instrs;
   let line, pos = Layout.line_pos_of_slot slot in
@@ -637,6 +641,9 @@ let try_optimize t (fn : Bytecode.func) =
       fn.Bytecode.opt <- Some code;
       Hashtbl.replace t.opt_table opt_id code;
       Hashtbl.replace t.shadow_table opt_id fn_view;
+      (* pre-decode at install time so the first execution runs the
+         specialized stream without paying the decode *)
+      ignore (Tce_machine.Machine.install t.mach code);
       let tr = trace t in
       if Tce_obs.Trace.on tr then begin
         Tce_obs.Trace.emit tr
@@ -727,12 +734,29 @@ and interp_from t (fn : Bytecode.func) (regs : Value.t array) start_pc : Value.t
   let h = t.heap in
   let code = fn.Bytecode.code in
   let fb = fn.Bytecode.fb in
+  (* per-pc baseline charges, baked once per function (the length check
+     also rebuilds after an inline-expansion swap, which resets the field) *)
+  let costs =
+    if Array.length fn.Bytecode.base_cost = Array.length code then
+      fn.Bytecode.base_cost
+    else begin
+      let a = Array.map (baseline_cost_of t) code in
+      fn.Bytecode.base_cost <- a;
+      a
+    end
+  in
+  let counters = t.counters in
   let pc = ref start_pc in
-  let result = ref None in
-  while !result = None do
-    let op = code.(!pc) in
-    charge_baseline t op;
-    let next = !pc + 1 in
+  let running = ref true in
+  let resv = ref h.Heap.null_v in
+  while !running do
+    let pc0 = !pc in
+    let op = code.(pc0) in
+    if measuring t then
+      counters.Tce_machine.Counters.baseline_instrs <-
+        counters.Tce_machine.Counters.baseline_instrs
+        + Array.unsafe_get costs pc0;
+    let next = pc0 + 1 in
     (match op with
     | Bytecode.LoadInt (r, i) ->
       regs.(r) <- Value.smi i;
@@ -814,26 +838,28 @@ and interp_from t (fn : Bytecode.func) (regs : Value.t array) start_pc : Value.t
       regs.(d) <- construct t fid (Array.map (fun r -> regs.(r)) argr);
       pc := next
     | Jump target ->
-      if target <= !pc then
+      if target <= pc0 then
         fn.Bytecode.backedge_count <- fn.Bytecode.backedge_count + 1;
       pc := target
     | JumpIfFalse (r, target) ->
       if Heap.is_truthy h regs.(r) then pc := next
       else begin
-        if target <= !pc then
+        if target <= pc0 then
           fn.Bytecode.backedge_count <- fn.Bytecode.backedge_count + 1;
         pc := target
       end
     | JumpIfTrue (r, target) ->
       if Heap.is_truthy h regs.(r) then begin
-        if target <= !pc then
+        if target <= pc0 then
           fn.Bytecode.backedge_count <- fn.Bytecode.backedge_count + 1;
         pc := target
       end
       else pc := next
-    | Return r -> result := Some regs.(r))
+    | Return r ->
+      resv := regs.(r);
+      running := false)
   done;
-  match !result with Some v -> v | None -> assert false
+  !resv
 
 (* --- machine host --- *)
 

@@ -416,6 +416,7 @@ let compile_func ~func_ids ~globals ?(top_level = false) ~id (f : Ast.func) :
     backoff_level = 0;
     backoff_until = 0;
     last_deopt_at = 0;
+    base_cost = [||];
   }
 
 (** Compile a whole program; the top-level statements become a synthetic

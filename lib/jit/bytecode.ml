@@ -58,6 +58,11 @@ type func = {
   mutable backoff_until : int;
       (** simulated cycle before which tier-up is refused (deopt storm) *)
   mutable last_deopt_at : int;  (** simulated cycle of the last deopt *)
+  mutable base_cost : int array;
+      (** per-pc baseline instruction charge, baked on first interpretation
+          ([[||]] = not built; length always matches [code] once built).
+          Includes the mechanism's store surcharge, so the array is only
+          valid within one engine (programs are per-engine). *)
 }
 
 type program = {

@@ -65,42 +65,69 @@ let binop_state = function
 
 (** [Some (from, to)] when the new observation moved the site along the
     uninit -> mono -> poly -> mega lattice (the observability layer turns
-    these into [Ic_transition] events). *)
-let transition name prev next = if prev = next then None else Some (name prev, name next)
+    these into [Ic_transition] events). The physical-equality shortcut
+    avoids a deep structural compare on the overwhelmingly common
+    no-change records. *)
+let transition name prev next =
+  if prev == next || prev = next then None else Some (name prev, name next)
 
-(** Record an observed shape at a property site. *)
+let same_transition a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (x : int), Some y -> x = y
+  | _ -> false
+
+let same_shape (a : shape) (b : shape) =
+  a.classid = b.classid && a.slot = b.slot
+  && same_transition a.transition_to b.transition_to
+
+(** Record an observed shape at a property site. The monomorphic-hit case —
+    virtually every record once a site is warm — neither writes the slot
+    nor allocates. *)
 let record_prop (fb : t) i (sh : shape) =
-  let same (a : shape) (b : shape) =
-    a.classid = b.classid && a.slot = b.slot && a.transition_to = b.transition_to
-  in
   let prev = prop_of fb.(i) in
-  let next =
-    match prev with
-    | Ic_uninit -> Ic_mono sh
-    | Ic_mono sh0 when same sh0 sh -> Ic_mono sh0
-    | Ic_mono sh0 -> Ic_poly [ sh; sh0 ]
-    | Ic_poly shs when List.exists (same sh) shs -> Ic_poly shs
-    | Ic_poly shs when List.length shs < max_poly -> Ic_poly (sh :: shs)
-    | Ic_poly _ -> Ic_mega
-    | Ic_mega -> Ic_mega
-  in
-  fb.(i) <- S_prop next;
-  transition prop_state prev next
+  match prev with
+  | Ic_mono sh0 when same_shape sh0 sh -> None
+  | _ ->
+    let next =
+      match prev with
+      | Ic_uninit -> Ic_mono sh
+      | Ic_mono sh0 -> Ic_poly [ sh; sh0 ]
+      | Ic_poly shs when List.exists (same_shape sh) shs -> prev
+      | Ic_poly shs when List.length shs < max_poly -> Ic_poly (sh :: shs)
+      | Ic_poly _ -> Ic_mega
+      | Ic_mega -> prev
+    in
+    fb.(i) <- S_prop next;
+    transition prop_state prev next
+
+(** [record_prop] specialized to a transition-free shape (every load site,
+    and stores that hit the existing layout): the monomorphic-hit path
+    allocates nothing — no [shape] box, no slot write. *)
+let record_prop_simple (fb : t) i ~classid ~slot =
+  match fb.(i) with
+  | S_prop (Ic_mono sh0)
+    when sh0.classid = classid && sh0.slot = slot
+         && (match sh0.transition_to with None -> true | Some _ -> false) ->
+    None
+  | _ -> record_prop fb i { classid; slot; transition_to = None }
 
 let record_elem (fb : t) i ~classid =
   let prev = elem_of fb.(i) in
-  let next =
-    match prev with
-    | Eic_uninit -> Eic_mono classid
-    | Eic_mono c when c = classid -> Eic_mono c
-    | Eic_mono c -> Eic_poly [ classid; c ]
-    | Eic_poly cs when List.mem classid cs -> Eic_poly cs
-    | Eic_poly cs when List.length cs < max_poly -> Eic_poly (classid :: cs)
-    | Eic_poly _ -> Eic_mega
-    | Eic_mega -> Eic_mega
-  in
-  fb.(i) <- S_elem next;
-  transition elem_state prev next
+  match prev with
+  | Eic_mono c when c = classid -> None
+  | _ ->
+    let next =
+      match prev with
+      | Eic_uninit -> Eic_mono classid
+      | Eic_mono c -> Eic_poly [ classid; c ]
+      | Eic_poly cs when List.mem classid cs -> prev
+      | Eic_poly cs when List.length cs < max_poly -> Eic_poly (classid :: cs)
+      | Eic_poly _ -> Eic_mega
+      | Eic_mega -> prev
+    in
+    fb.(i) <- S_elem next;
+    transition elem_state prev next
 
 let join_binop a b =
   match (a, b) with
@@ -114,8 +141,12 @@ let join_binop a b =
 let record_binop (fb : t) i kind =
   let prev = binop_of fb.(i) in
   let next = join_binop prev kind in
-  fb.(i) <- S_binop next;
-  transition binop_state prev next
+  (* [binop_fb] is all constant constructors, so [==] is exact *)
+  if next == prev then None
+  else begin
+    fb.(i) <- S_binop next;
+    Some (binop_state prev, binop_state next)
+  end
 
 (** Number of megamorphic / polymorphic / monomorphic sites (census). *)
 let census (fb : t) =

@@ -42,6 +42,11 @@ val binop_of : site -> binop_fb
     observability layer as [Ic_transition] events), [None] otherwise. *)
 val record_prop : t -> int -> shape -> (string * string) option
 
+(** [record_prop] specialized to a transition-free shape: the
+    monomorphic-hit path allocates nothing. *)
+val record_prop_simple :
+  t -> int -> classid:int -> slot:int -> (string * string) option
+
 val record_elem : t -> int -> classid:int -> (string * string) option
 val join_binop : binop_fb -> binop_fb -> binop_fb
 val record_binop : t -> int -> binop_fb -> (string * string) option

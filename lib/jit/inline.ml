@@ -209,6 +209,7 @@ let expand_once (prog : Bytecode.program) (fn : Bytecode.func) : Bytecode.func o
           n_regs = b.n_regs;
           opt = None;
           shadow = None;
+          base_cost = [||];
         }
     end
   end

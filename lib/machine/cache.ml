@@ -7,6 +7,10 @@ type stats = { mutable accesses : int; mutable hits : int; mutable misses : int 
 type t = {
   line_bits : int;
   nsets : int;
+  set_mask : int;
+      (** [nsets - 1] when [nsets] is a power of two (every Table 2
+          geometry), so set selection is a mask instead of a [mod]; -1
+          otherwise *)
   ways : int;
   tags : int array array;  (** [tags.(set).(way)]; -1 = invalid *)
   lru : int array array;
@@ -24,6 +28,7 @@ let create ~size_kb ~ways ~line_bytes =
   {
     line_bits = log2_exact line_bytes;
     nsets;
+    set_mask = (if nsets land (nsets - 1) = 0 then nsets - 1 else -1);
     ways;
     tags = Array.init nsets (fun _ -> Array.make ways (-1));
     lru = Array.init nsets (fun _ -> Array.make ways 0);
@@ -31,10 +36,14 @@ let create ~size_kb ~ways ~line_bytes =
     stats = { accesses = 0; hits = 0; misses = 0 };
   }
 
+(* line >= 0 always (addresses are non-negative), so the mask is exactly
+   [line mod nsets]. *)
+let set_of t line = if t.set_mask >= 0 then line land t.set_mask else line mod t.nsets
+
 (** Access the line containing [addr]; fills on miss. Returns [true] on hit. *)
 let access t addr =
   let line = addr lsr t.line_bits in
-  let set = line mod t.nsets in
+  let set = set_of t line in
   let tags = t.tags.(set) and lru = t.lru.(set) in
   t.clock <- t.clock + 1;
   t.stats.accesses <- t.stats.accesses + 1;
@@ -62,7 +71,7 @@ let access t addr =
     model allocation into a cache-resident nursery; see DESIGN.md). *)
 let insert t addr =
   let line = addr lsr t.line_bits in
-  let set = line mod t.nsets in
+  let set = set_of t line in
   let tags = t.tags.(set) and lru = t.lru.(set) in
   t.clock <- t.clock + 1;
   let present = ref false in

@@ -6,6 +6,7 @@ type stats = { mutable accesses : int; mutable hits : int; mutable misses : int 
 type t = private {
   line_bits : int;
   nsets : int;
+  set_mask : int;  (** [nsets - 1] when a power of two, else -1 *)
   ways : int;
   tags : int array array;
   lru : int array array;

@@ -21,7 +21,7 @@ type t = {
   mutable deopts : int;
   mutable cc_exception_deopts : int;
   mutable tierups : int;
-  obj_loads : (int, int) Hashtbl.t;
+  obj_loads : Tce_support.Int_table.t;
       (** dynamic object-load accesses per (classid, line, pos) oracle key;
           elements loads are the key with line=0, pos=2 (Figure 3) *)
   mutable obj_loads_first_line : int;  (** §5.3.4: property loads hitting line 0 *)
@@ -43,7 +43,7 @@ let create () =
     deopts = 0;
     cc_exception_deopts = 0;
     tierups = 0;
-    obj_loads = Hashtbl.create 256;
+    obj_loads = Tce_support.Int_table.create ~size:256 ();
     obj_loads_first_line = 0;
     obj_loads_total = 0;
   }
@@ -62,7 +62,7 @@ let reset t =
   t.deopts <- 0;
   t.cc_exception_deopts <- 0;
   t.tierups <- 0;
-  Hashtbl.reset t.obj_loads;
+  Tce_support.Int_table.clear t.obj_loads;
   t.obj_loads_first_line <- 0;
   t.obj_loads_total <- 0
 
@@ -79,15 +79,15 @@ let cat t cat = t.by_cat.(Tce_jit.Categories.index cat)
     the Class List slot [(classid, line, pos)]. *)
 let record_obj_load t ~classid ~line ~pos =
   let key = (((classid lsl 8) lor line) lsl 3) lor pos in
-  Hashtbl.replace t.obj_loads key
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.obj_loads key));
+  Tce_support.Int_table.set t.obj_loads key
+    (1 + Tce_support.Int_table.find t.obj_loads key 0);
   t.obj_loads_total <- t.obj_loads_total + 1;
   if line = 0 then t.obj_loads_first_line <- t.obj_loads_first_line + 1
 
 (** Figure 3 classification against a full-run oracle:
     [(mono_prop, mono_elem, poly_prop, poly_elem)] dynamic access counts. *)
 let classify_obj_loads t (oracle : Tce_core.Oracle.t) =
-  Hashtbl.fold
+  Tce_support.Int_table.fold
     (fun key count (mp, me, pp, pe) ->
       let pos = key land 7 in
       let line = (key lsr 3) land 0xff in

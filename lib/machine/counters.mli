@@ -19,7 +19,7 @@ type t = {
   mutable deopts : int;
   mutable cc_exception_deopts : int;
   mutable tierups : int;
-  obj_loads : (int, int) Hashtbl.t;
+  obj_loads : Tce_support.Int_table.t;
   mutable obj_loads_first_line : int;
   mutable obj_loads_total : int;
 }

@@ -8,7 +8,14 @@
     results complete out of order at [dispatch + max(dep stalls) + latency],
     and restarts the front end on branch mispredictions — a standard
     research-grade approximation of a Nehalem-class core (MARSS substitute,
-    see DESIGN.md). *)
+    see DESIGN.md).
+
+    The executor runs the {!Predecode} stream, not [Lir.func.code] — see
+    lib/machine/README.md for the pre-decode invariants. The run loop is
+    allocation-free: the window and store queue are int ring buffers, MSHR
+    fill tracking is an {!Tce_support.Int_table}, dispatch-port kinds are
+    ints, and loop exit is a [running] flag plus a result register instead
+    of an [option] compared per iteration. *)
 
 open Tce_vm
 open Tce_jit
@@ -62,13 +69,27 @@ type t = {
   mutable slots : int;  (** instructions dispatched in this cycle *)
   mutable load_slots : int;  (** loads dispatched this cycle (1 load port) *)
   mutable store_slots : int;  (** stores dispatched this cycle (1 store port) *)
-  window : int Queue.t;  (** completion times of in-flight instructions *)
-  store_q : int Queue.t;  (** completion times of in-flight stores *)
+  (* completion times of in-flight instructions: a ring buffer (the run
+     loop pushes ≤ 1 entry per dispatched instruction, so the capacity
+     [window_size + 1] rounded to a power of two never overflows) *)
+  win_buf : int array;
+  win_mask : int;
+  mutable win_head : int;
+  mutable win_len : int;
+  (* completion times of in-flight stores (same ring representation) *)
+  stq_buf : int array;
+  stq_mask : int;
+  mutable stq_head : int;
+  mutable stq_len : int;
   mutable last_iline : int;  (** last instruction-cache line fetched *)
-  fills : (int, int) Hashtbl.t;
+  fills : Tce_support.Int_table.t;
       (** in-flight line fills: line -> cycle the data arrives (MSHR
           merging: a second access to a line being filled waits for the
-          fill instead of seeing an instant hit) *)
+          fill instead of seeing an instant hit); 0 = no fill recorded
+          (completion cycles are always >= 1) *)
+  pre_cache : (int, Predecode.func) Hashtbl.t;
+      (** decoded streams keyed by [opt_id] (fresh per compilation; the
+          physical-equality guard in {!install} covers id reuse) *)
   mutable measuring : bool;
   trace : Tce_obs.Trace.t;
       (** observability sink (deopt / OSR events; never affects timing) *)
@@ -83,9 +104,15 @@ type t = {
   reg_classid_arr : int array;
 }
 
+let ring_capacity n =
+  let rec go c = if c > n then c else go (c * 2) in
+  go 16
+
 let create ?(cfg = Config.default) ?(mechanism = true)
     ?(trace = Tce_obs.Trace.null) ?(fault = Tce_fault.Injector.null)
     ?(attr = Tce_attr.Ledger.null) ~heap ~cc ~cl ~oracle ~counters () =
+  let win_cap = ring_capacity cfg.Config.window_size in
+  let stq_cap = ring_capacity cfg.Config.outstanding_ldst in
   {
     cfg;
     heap;
@@ -104,10 +131,17 @@ let create ?(cfg = Config.default) ?(mechanism = true)
     slots = 0;
     load_slots = 0;
     store_slots = 0;
-    window = Queue.create ();
-    store_q = Queue.create ();
+    win_buf = Array.make win_cap 0;
+    win_mask = win_cap - 1;
+    win_head = 0;
+    win_len = 0;
+    stq_buf = Array.make stq_cap 0;
+    stq_mask = stq_cap - 1;
+    stq_head = 0;
+    stq_len = 0;
     last_iline = -1;
-    fills = Hashtbl.create 4096;
+    fills = Tce_support.Int_table.create ~size:4096 ();
+    pre_cache = Hashtbl.create 64;
     measuring = true;
     trace;
     fault;
@@ -116,26 +150,44 @@ let create ?(cfg = Config.default) ?(mechanism = true)
     reg_classid_arr = Array.make 4 0;
   }
 
+(** {2 Pre-decode cache} *)
+
+(** Decoded stream for [f], decoding at most once per compilation. Keyed by
+    [opt_id] — fresh per compile — with a physical-equality guard so a
+    rebuilt [Lir.func] under a reused id (unit tests) is re-decoded. *)
+let install t (f : Lir.func) =
+  match Hashtbl.find_opt t.pre_cache f.Lir.opt_id with
+  | Some pf when pf.Predecode.lf == f -> pf
+  | _ ->
+    let pf = Predecode.decode f in
+    Hashtbl.replace t.pre_cache f.Lir.opt_id pf;
+    pf
+
 (* --- timing primitives --- *)
+
+(* dispatch-port kinds, matching Predecode.kind_* *)
+let kind_load = Predecode.kind_load
+let kind_store = Predecode.kind_store
+
+let advance t =
+  t.cycle <- t.cycle + 1;
+  t.slots <- 0;
+  t.load_slots <- 0;
+  t.store_slots <- 0
 
 (** Dispatch one instruction; returns its dispatch cycle. Loads and stores
     additionally contend for their single AGU/port (Nehalem: one load port,
     one store port), so memory-heavy code is port-bound — which is what
     makes removing Check Map loads profitable. *)
-let dispatch ?(kind = `Other) t =
-  let advance () =
-    t.cycle <- t.cycle + 1;
-    t.slots <- 0;
-    t.load_slots <- 0;
-    t.store_slots <- 0
-  in
-  if t.slots >= t.cfg.issue_width then advance ();
-  (match kind with
-  | `Load -> while t.load_slots >= 1 do advance () done
-  | `Store -> while t.store_slots >= 1 do advance () done
-  | `Other -> ());
-  if Queue.length t.window >= t.cfg.window_size then begin
-    let c = Queue.pop t.window in
+let dispatch_k t kind =
+  if t.slots >= t.cfg.issue_width then advance t;
+  if kind = kind_load then while t.load_slots >= 1 do advance t done
+  else if kind = kind_store then while t.store_slots >= 1 do advance t done;
+  if t.win_len >= t.cfg.window_size then begin
+    (* window full: retire the oldest in-flight instruction *)
+    let c = Array.unsafe_get t.win_buf t.win_head in
+    t.win_head <- (t.win_head + 1) land t.win_mask;
+    t.win_len <- t.win_len - 1;
     if c > t.cycle then begin
       t.cycle <- c;
       t.slots <- 0;
@@ -144,13 +196,13 @@ let dispatch ?(kind = `Other) t =
     end
   end;
   t.slots <- t.slots + 1;
-  (match kind with
-  | `Load -> t.load_slots <- t.load_slots + 1
-  | `Store -> t.store_slots <- t.store_slots + 1
-  | `Other -> ());
+  if kind = kind_load then t.load_slots <- t.load_slots + 1
+  else if kind = kind_store then t.store_slots <- t.store_slots + 1;
   t.cycle
 
-let complete t c = Queue.push c t.window
+let complete t c =
+  Array.unsafe_set t.win_buf ((t.win_head + t.win_len) land t.win_mask) c;
+  t.win_len <- t.win_len + 1
 
 (** Completion time of a data access to [addr] issued at [start], through
     DTLB + D-cache hierarchy, with MSHR merging of accesses to lines whose
@@ -165,80 +217,79 @@ let daccess t ~start addr =
     else t.cfg.l1_load_latency + t.cfg.l2_latency + t.cfg.mem_latency
   in
   let lat = if tlb_hit then lat else lat + t.cfg.tlb_miss_penalty in
-  let completion =
-    if hit_l1 then begin
-      match Hashtbl.find_opt t.fills line with
-      | Some ready when ready > start ->
-        (* the line is still being filled: wait for it *)
-        ready + t.cfg.l1_load_latency
-      | _ -> start + lat
-    end
-    else begin
-      let done_at = start + lat in
-      Hashtbl.replace t.fills line done_at;
-      done_at
-    end
-  in
-  completion
-
-(** Instruction fetch: touch the I-cache when crossing into a new line. *)
-let ifetch t ~code_addr ~pc =
-  let line = (code_addr + (4 * pc)) lsr 6 in
-  if line <> t.last_iline then begin
-    t.last_iline <- line;
-    let addr = line lsl 6 in
-    let tlb_hit = Tlb.access t.itlb addr in
-    let hit = Cache.access t.l1i addr in
-    if not hit then begin
-      (* front-end bubble *)
-      let pen =
-        if Cache.access t.l2 addr then t.cfg.l2_latency
-        else t.cfg.l2_latency + t.cfg.mem_latency
-      in
-      t.cycle <- t.cycle + pen;
-      t.slots <- 0;
-      t.load_slots <- 0;
-      t.store_slots <- 0
-    end;
-    if not tlb_hit then begin
-      t.cycle <- t.cycle + t.cfg.tlb_miss_penalty;
-      t.slots <- 0;
-      t.load_slots <- 0;
-      t.store_slots <- 0
-    end
+  if hit_l1 then begin
+    let ready = Tce_support.Int_table.find t.fills line 0 in
+    if ready > start then
+      (* the line is still being filled: wait for it *)
+      ready + t.cfg.l1_load_latency
+    else start + lat
+  end
+  else begin
+    let done_at = start + lat in
+    Tce_support.Int_table.set t.fills line done_at;
+    done_at
   end
 
-let count t (inst : Lir.inst) =
+(** Instruction fetch, slow path: called only when crossing into a new
+    I-cache line (the line compare is inlined at the call sites). *)
+let ifetch_slow t line =
+  t.last_iline <- line;
+  let addr = line lsl 6 in
+  let tlb_hit = Tlb.access t.itlb addr in
+  let hit = Cache.access t.l1i addr in
+  if not hit then begin
+    (* front-end bubble *)
+    let pen =
+      if Cache.access t.l2 addr then t.cfg.l2_latency
+      else t.cfg.l2_latency + t.cfg.mem_latency
+    in
+    t.cycle <- t.cycle + pen;
+    t.slots <- 0;
+    t.load_slots <- 0;
+    t.store_slots <- 0
+  end;
+  if not tlb_hit then begin
+    t.cycle <- t.cycle + t.cfg.tlb_miss_penalty;
+    t.slots <- 0;
+    t.load_slots <- 0;
+    t.store_slots <- 0
+  end
+
+let cat_check_idx = Categories.index Categories.C_check
+
+(** Count one dispatched instruction from its packed {!Predecode} meta. *)
+let count_meta t m =
   if t.measuring then begin
-    Counters.add_cat t.counters inst.cat 1;
-    if inst.cat = Categories.C_check then begin
-      let slot = Categories.check_kind_slot inst.flags in
-      t.counters.by_check_kind.(slot) <- t.counters.by_check_kind.(slot) + 1
+    let c = t.counters in
+    let ci = m land Predecode.meta_cat_mask in
+    c.Counters.by_cat.(ci) <- c.Counters.by_cat.(ci) + 1;
+    if ci = cat_check_idx then begin
+      let slot = (m lsr Predecode.meta_check_shift) land 7 in
+      c.by_check_kind.(slot) <- c.by_check_kind.(slot) + 1
     end;
-    if inst.flags land Categories.flag_guards_obj_load <> 0 then
-      t.counters.guards_obj_load <- t.counters.guards_obj_load + 1;
-    (match inst.op with
-    | Lir.Load _ | LoadIdx _ | FLoad _ | FLoadIdx _ ->
-      t.counters.opt_loads <- t.counters.opt_loads + 1
-    | Store _ | StoreIdx _ | FStore _ | FStoreIdx _ | StoreClassCache _
-    | StoreClassCacheArray _ ->
-      t.counters.opt_stores <- t.counters.opt_stores + 1
-    | Branch _ | FBranch _ | Jmp _ ->
-      t.counters.opt_branches <- t.counters.opt_branches + 1
-    | FAdd _ | FSub _ | FMul _ | FDiv _ | FSqrt _ | FNeg _ | FAbs _ | CvtIF _
-    | TruncFI _ ->
-      t.counters.opt_fp <- t.counters.opt_fp + 1
-    | _ -> ())
+    if m land Predecode.meta_guards_bit <> 0 then
+      c.guards_obj_load <- c.guards_obj_load + 1;
+    match (m lsr Predecode.meta_class_shift) land 7 with
+    | 1 -> c.opt_loads <- c.opt_loads + 1
+    | 2 -> c.opt_stores <- c.opt_stores + 1
+    | 3 -> c.opt_branches <- c.opt_branches + 1
+    | 4 -> c.opt_fp <- c.opt_fp + 1
+    | _ -> ()
   end
 
 (** Charge a runtime-stub cost: serializes the pipeline. The cost is
-    attributed to [cat] (e.g. boxing stubs count as Tags/Untags). *)
-let charge_rt ?(cat = Categories.C_other) t (cost : Costs.cost) =
-  if t.measuring then Counters.add_cat t.counters cat cost.instrs;
-  t.cycle <- t.cycle + cost.cycles;
+    attributed to category index [cat_idx] (e.g. boxing stubs count as
+    Tags/Untags). *)
+let charge_rt_i t ~cat_idx ~instrs ~cycles =
+  if t.measuring then
+    t.counters.Counters.by_cat.(cat_idx) <-
+      t.counters.Counters.by_cat.(cat_idx) + instrs;
+  t.cycle <- t.cycle + cycles;
   t.slots <- 0;
   t.load_slots <- 0;
   t.store_slots <- 0
+
+let cat_other_idx = Categories.index Categories.C_other
 
 (** Model a fresh allocation as nursery-resident: the lines are inserted
     into the D-caches without cost. (V8's new space is recycled by the
@@ -255,9 +306,6 @@ exception Cc_exception of cc_exn_info
 
 (* --- the executor --- *)
 
-let operand regs = function Lir.Reg r -> regs.(r) | Lir.Imm i -> i
-let operand_ready ready cyc = function Lir.Reg r -> max cyc ready.(r) | Lir.Imm _ -> cyc
-
 let alu_apply (a : Lir.alu) x y =
   match a with
   | Lir.Add -> x + y
@@ -271,9 +319,6 @@ let alu_apply (a : Lir.alu) x y =
   | Shl -> x lsl (y land 31)
   | Shr -> (x land 0xffff_ffff) lsr (y land 31)  (* JS >>> on uint32 *)
   | Sar -> x asr (y land 31)
-
-let alu_latency (a : Lir.alu) =
-  match a with Lir.Mul -> 3 | Div | Rem -> 20 | _ -> 1
 
 let cond_apply (c : Lir.cond) x y =
   match c with
@@ -301,13 +346,11 @@ let fcond_apply (c : Lir.fcond) (x : float) (y : float) =
   | FNge -> not (x >= y)
 
 let flat_lat = 3 (* FP add/sub/cvt latency *)
-let fmul_lat = 5
-let fdiv_lat = 20
 let fsqrt_lat = 25
 
 (** Reconstruct the interpreter frame for a deopt of [f] and resume. *)
 let do_deopt t host (f : Lir.func) regs fregs deopt_id ~result =
-  let info = f.deopts.(deopt_id) in
+  let info = f.Lir.deopts.(deopt_id) in
   if Tce_obs.Trace.on t.trace then
     Tce_obs.Trace.emit t.trace
       (Tce_obs.Trace.Deopt
@@ -338,359 +381,26 @@ let do_deopt t host (f : Lir.func) regs fregs deopt_id ~result =
     t.cycle <- t.cycle + t.cfg.deopt_penalty
   end;
   t.slots <- 0;
-  let n = Array.length f.reprs in
+  let n = Array.length f.Lir.reprs in
   let vals =
     Array.init n (fun i ->
-        match f.reprs.(i) with
+        match f.Lir.reprs.(i) with
         | Lir.R_tagged -> regs.(i)
         | Lir.R_double -> Heap.number t.heap fregs.(i))
   in
   let result =
     match result with
-    | Some v -> Some ((match info.result_into with Some r -> r | None -> -1), v)
+    | Some v -> Some ((match info.Lir.result_into with Some r -> r | None -> -1), v)
     | None -> None
   in
-  host.resume ~opt_id:f.opt_id ~bc_pc:info.bc_pc ~regs:vals ~result
+  host.resume ~opt_id:f.Lir.opt_id ~bc_pc:info.Lir.bc_pc ~regs:vals ~result
 
-(** Execute optimized code [f] on [args] = [this :: params], returning the
-    function result (possibly via a deopt into the interpreter). *)
-let rec run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
-  let regs = Array.make (max f.n_regs 1) 0 in
-  let fregs = Array.make (max f.n_fregs 1) 0.0 in
-  let ready = Array.make (max f.n_regs 1) t.cycle in
-  let fready = Array.make (max f.n_fregs 1) t.cycle in
-  let nargs = min (Array.length args) f.n_regs in
-  Array.blit args 0 regs 0 nargs;
-  (* absent parameters read as null *)
-  for i = nargs to min (Array.length f.reprs) f.n_regs - 1 do
-    regs.(i) <- t.heap.Heap.null_v
-  done;
-  let pc = ref 0 in
-  let result = ref None in
-  (try
-     while !result = None do
-       let inst = f.code.(!pc) in
-       let next = !pc + 1 in
-       (match inst.op with
-       | Lir.Profile (r, line, pos) ->
-         (* measurement pseudo-op: zero cost *)
-         if t.measuring then begin
-           let classid = Heap.classid_of t.heap regs.(r) in
-           Counters.record_obj_load t.counters ~classid ~line ~pos
-         end;
-         pc := next
-       | Lir.ProfileStore (r, line, pos, pv) ->
-         (* measurement pseudo-op: zero cost; records the store in the
-            monomorphism oracle (mechanism-off code has no CC request) *)
-         let classid = Heap.classid_of t.heap regs.(r) in
-         let value_classid =
-           match pv with
-           | Lir.Ps_reg vr -> Heap.classid_of t.heap regs.(vr)
-           | Lir.Ps_classid c -> c
-         in
-         Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid;
-         pc := next
-       | _ ->
-         ifetch t ~code_addr:f.code_addr ~pc:!pc;
-         let d =
-           dispatch t
-             ~kind:
-               (if Lir.is_memory_read inst.op then `Load
-                else if Lir.is_memory_write inst.op then `Store
-                else `Other)
-         in
-         count t inst;
-         (match inst.op with
-         | Lir.Profile _ | Lir.ProfileStore _ -> assert false
-         | Lir.MovImm (r, i) ->
-           regs.(r) <- i;
-           ready.(r) <- d + 1;
-           complete t (d + 1);
-           pc := next
-         | Mov (rd, rs) ->
-           regs.(rd) <- regs.(rs);
-           ready.(rd) <- max d ready.(rs) + 1;
-           complete t ready.(rd);
-           pc := next
-         | Alu (a, rd, rs, o) ->
-           let start = max (operand_ready ready d o) (max d ready.(rs)) in
-           regs.(rd) <-
-             (match a with
-             | Lir.Shl | Shr | Sar ->
-               (* full-width shifts for tag arithmetic *)
-               let y = match o with Lir.Reg r -> regs.(r) | Imm i -> i in
-               (match a with
-               | Lir.Shl -> regs.(rs) lsl (y land 63)
-               | Shr -> regs.(rs) lsr (y land 63)
-               | _ -> regs.(rs) asr (y land 63))
-             | _ -> alu_apply a regs.(rs) (operand regs o));
-           ready.(rd) <- start + alu_latency a;
-           complete t ready.(rd);
-           pc := next
-         | Alu32 (a, rd, rs, o) ->
-           let start = max (operand_ready ready d o) (max d ready.(rs)) in
-           regs.(rd) <- Value.to_int32 (alu_apply a regs.(rs) (operand regs o));
-           ready.(rd) <- start + alu_latency a;
-           complete t ready.(rd);
-           pc := next
-         | AluOv (a, rd, rs, o, target) ->
-           let start = max (operand_ready ready d o) (max d ready.(rs)) in
-           let v = alu_apply a regs.(rs) (operand regs o) in
-           ready.(rd) <- start + alu_latency a;
-           complete t ready.(rd);
-           (* tagged-SMI overflow: payload must fit int32 *)
-           if Value.smi_fits (v asr 1) then begin
-             regs.(rd) <- v;
-             pc := next
-           end
-           else pc := target
-         | Load (rd, rb, off) ->
-           let addr = regs.(rb) + off in
-           let start = max d ready.(rb) in
-           regs.(rd) <- Mem.load t.heap.Heap.mem addr;
-           ready.(rd) <- daccess t ~start addr;
-           complete t ready.(rd);
-           pc := next
-         | CheckedLoad (rd, rb, off, expected, deopt_id) ->
-           (* the class word arrives with the same cache line: the check is
-              free in hardware but still *executes* (no removal) *)
-           let base = regs.(rb) in
-           let addr = base + off in
-           let start = max d ready.(rb) in
-           let line_base = Tce_vm.Layout.line_base_of_addr addr in
-           let w = Mem.load t.heap.Heap.mem line_base in
-           if Value.is_smi base || w <> expected then
-             result := Some (do_deopt t host f regs fregs deopt_id ~result:None)
-           else begin
-             regs.(rd) <- Mem.load t.heap.Heap.mem addr;
-             ready.(rd) <- daccess t ~start addr;
-             complete t ready.(rd);
-             pc := next
-           end
-         | LoadIdx (rd, rb, ri, off) ->
-           let addr = regs.(rb) + (regs.(ri) * 8) + off in
-           let start = max d (max ready.(rb) ready.(ri)) in
-           regs.(rd) <- Mem.load t.heap.Heap.mem addr;
-           ready.(rd) <- daccess t ~start addr;
-           complete t ready.(rd);
-           pc := next
-         | FLoad (fd, rb, off) ->
-           let addr = regs.(rb) + off in
-           let start = max d ready.(rb) in
-           fregs.(fd) <- Fbits.to_float (Mem.load t.heap.Heap.mem addr);
-           fready.(fd) <- daccess t ~start addr;
-           complete t fready.(fd);
-           pc := next
-         | FLoadIdx (fd, rb, ri, off) ->
-           let addr = regs.(rb) + (regs.(ri) * 8) + off in
-           let start = max d (max ready.(rb) ready.(ri)) in
-           fregs.(fd) <- Fbits.to_float (Mem.load t.heap.Heap.mem addr);
-           fready.(fd) <- daccess t ~start addr;
-           complete t fready.(fd);
-           pc := next
-         | Store (rb, off, v) ->
-           do_store t d ~addr:(regs.(rb) + off)
-             ~start:(max (operand_ready ready d v) ready.(rb))
-             ~word:(operand regs v);
-           pc := next
-         | StoreIdx (rb, ri, off, v) ->
-           do_store t d
-             ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
-             ~start:(max (operand_ready ready d v) (max ready.(rb) ready.(ri)))
-             ~word:(operand regs v);
-           pc := next
-         | FStore (rb, off, fv) ->
-           do_store t d ~addr:(regs.(rb) + off)
-             ~start:(max fready.(fv) ready.(rb))
-             ~word:(Fbits.of_float fregs.(fv));
-           pc := next
-         | FStoreIdx (rb, ri, off, fv) ->
-           do_store t d
-             ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
-             ~start:(max fready.(fv) (max ready.(rb) ready.(ri)))
-             ~word:(Fbits.of_float fregs.(fv));
-           pc := next
-         | FMov (fd, fs) ->
-           fregs.(fd) <- fregs.(fs);
-           fready.(fd) <- max d fready.(fs) + 1;
-           complete t fready.(fd);
-           pc := next
-         | FMovImm (fd, x) ->
-           fregs.(fd) <- Fbits.canon x;
-           fready.(fd) <- d + 1;
-           complete t fready.(fd);
-           pc := next
-         | FAdd (fd, fa, fb) -> falu t d regs fregs fready fd fa fb ( +. ) flat_lat; pc := next
-         | FSub (fd, fa, fb) -> falu t d regs fregs fready fd fa fb ( -. ) flat_lat; pc := next
-         | FMul (fd, fa, fb) -> falu t d regs fregs fready fd fa fb ( *. ) fmul_lat; pc := next
-         | FDiv (fd, fa, fb) -> falu t d regs fregs fready fd fa fb ( /. ) fdiv_lat; pc := next
-         | FSqrt (fd, fs) ->
-           fregs.(fd) <- Fbits.canon (sqrt fregs.(fs));
-           fready.(fd) <- max d fready.(fs) + fsqrt_lat;
-           complete t fready.(fd);
-           pc := next
-         | FNeg (fd, fs) ->
-           fregs.(fd) <- -.fregs.(fs);
-           fready.(fd) <- max d fready.(fs) + 1;
-           complete t fready.(fd);
-           pc := next
-         | FAbs (fd, fs) ->
-           fregs.(fd) <- Float.abs fregs.(fs);
-           fready.(fd) <- max d fready.(fs) + 1;
-           complete t fready.(fd);
-           pc := next
-         | CvtIF (fd, rs) ->
-           fregs.(fd) <- float_of_int regs.(rs);
-           fready.(fd) <- max d ready.(rs) + flat_lat;
-           complete t fready.(fd);
-           pc := next
-         | TruncFI (rd, fs) ->
-           regs.(rd) <- Value.js_to_int32_float fregs.(fs);
-           ready.(rd) <- max d fready.(fs) + flat_lat;
-           complete t ready.(rd);
-           pc := next
-         | Branch (c, r, o, target) ->
-           let start = max (operand_ready ready d o) (max d ready.(r)) in
-           let taken = cond_apply c regs.(r) (operand regs o) in
-           branch_resolve t f !pc ~start ~taken;
-           pc := (if taken then target else next)
-         | FBranch (c, fa, fb, target) ->
-           let start = max d (max fready.(fa) fready.(fb)) in
-           let taken = fcond_apply c fregs.(fa) fregs.(fb) in
-           branch_resolve t f !pc ~start ~taken;
-           pc := (if taken then target else next)
-         | Jmp target ->
-           complete t (d + 1);
-           pc := target
-         | CallFn (callee, argr, rd, deopt_id) ->
-           (* serialize on argument readiness *)
-           Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
-           t.slots <- 0;
-           charge_rt t (Costs.c (8 + (2 * Array.length argr)) 8);
-           let argv = Array.map (fun r -> regs.(r)) argr in
-           let v = host.call_fn callee argv in
-           if host.is_invalidated f.opt_id then begin
-             (* on-stack replacement: this frame's code died during the call *)
-             if Tce_obs.Trace.on t.trace then
-               Tce_obs.Trace.emit t.trace
-                 (Tce_obs.Trace.Osr
-                    { func = f.Lir.name; pc = f.deopts.(deopt_id).Lir.bc_pc });
-             result := Some (do_deopt t host f regs fregs deopt_id ~result:(Some v))
-           end
-           else begin
-             regs.(rd) <- v;
-             ready.(rd) <- t.cycle + 1;
-             pc := next
-           end
-         | CallRtChecked (rt, argr, rd, deopt_id) ->
-           Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
-           charge_rt ~cat:inst.cat t (Costs.rt_cost rt);
-           let argv = Array.map (fun r -> regs.(r)) argr in
-           let v, _ = host.rt_call rt argv [||] in
-           (match rd with
-           | Some r ->
-             regs.(r) <- v;
-             ready.(r) <- t.cycle + 1
-           | None -> ());
-           if host.is_invalidated f.opt_id then begin
-             (* the stub's store retired a profile this code speculates on *)
-             if Tce_obs.Trace.on t.trace then
-               Tce_obs.Trace.emit t.trace
-                 (Tce_obs.Trace.Osr
-                    { func = f.Lir.name; pc = f.deopts.(deopt_id).Lir.bc_pc });
-             result :=
-               Some
-                 (do_deopt t host f regs fregs deopt_id
-                    ~result:(match rd with Some _ -> Some v | None -> None))
-           end
-           else pc := next
-         | CallRt (rt, argr, fargr, rd, fd) ->
-           Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
-           Array.iter (fun r -> if fready.(r) > t.cycle then t.cycle <- fready.(r)) fargr;
-           charge_rt ~cat:inst.cat t (Costs.rt_cost rt);
-           let argv = Array.map (fun r -> regs.(r)) argr in
-           let fargv = Array.map (fun r -> fregs.(r)) fargr in
-           let v, fv = host.rt_call rt argv fargv in
-           (match rd with
-           | Some r ->
-             regs.(r) <- v;
-             ready.(r) <- t.cycle + 1
-           | None -> ());
-           (match fd with
-           | Some r ->
-             fregs.(r) <- fv;
-             fready.(r) <- t.cycle + 1
-           | None -> ());
-           pc := next
-         | Ret r ->
-           complete t (d + 1);
-           result := Some regs.(r)
-         | Deopt deopt_id ->
-           result := Some (do_deopt t host f regs fregs deopt_id ~result:None)
-         | MovClassID r ->
-           let v = regs.(r) in
-           if Value.is_smi v then begin
-             t.reg_classid <- Tce_vm.Layout.smi_classid;
-             complete t (d + 1)
-           end
-           else begin
-             let addr = Value.ptr_addr v in
-             t.reg_classid <- Heap.classid_of t.heap v;
-             complete t (daccess t ~start:(max d ready.(r)) addr)
-           end;
-           pc := next
-         | MovClassIDArray (k, r) ->
-           let v = regs.(r) in
-           if Value.is_smi v then begin
-             (* hoisted loads may execute speculatively with a non-object
-                value (loop body never entered); behave like movClassID *)
-             t.reg_classid_arr.(k) <- Tce_vm.Layout.smi_classid;
-             complete t (d + 1)
-           end
-           else begin
-             let addr = Value.ptr_addr v in
-             t.reg_classid_arr.(k) <- Heap.classid_of t.heap v;
-             complete t (daccess t ~start:(max d ready.(r)) addr)
-           end;
-           pc := next
-         | StoreClassCache (rb, off, v, deopt_id) -> (
-           let addr = regs.(rb) + off in
-           do_store t d ~addr
-             ~start:(max (operand_ready ready d v) ready.(rb))
-             ~word:(operand regs v);
-           (* the memory unit recovers (ClassID, Line, slot) from the line *)
-           let line_base = Tce_vm.Layout.line_base_of_addr addr in
-           let w = Mem.load t.heap.Heap.mem line_base in
-           let classid = Tce_vm.Layout.classid_of_class_word w in
-           let line = Tce_vm.Layout.line_of_class_word w in
-           let pos = Tce_vm.Layout.slot_pos_of_addr addr in
-           let stored = operand regs v in
-           try
-             cc_request_tagged t ~classid ~line ~pos ~stored;
-             post_store_check t host f regs fregs deopt_id result next pc
-           with Cc_exception fns ->
-             handle_cc_exception t host f regs fregs deopt_id fns result next pc)
-         | StoreClassCacheArray (k, rb, ri, off, v, deopt_id) -> (
-           let addr = regs.(rb) + (regs.(ri) * 8) + off in
-           do_store t d ~addr
-             ~start:(max (operand_ready ready d v) (max ready.(rb) ready.(ri)))
-             ~word:(operand regs v);
-           let classid = t.reg_classid_arr.(k) in
-           let stored = operand regs v in
-           try
-             cc_request_tagged t ~classid ~line:0
-               ~pos:Tce_vm.Layout.elements_ptr_slot ~stored;
-             post_store_check t host f regs fregs deopt_id result next pc
-           with Cc_exception fns ->
-             handle_cc_exception t host f regs fregs deopt_id fns result next pc)))
-     done
-   with Cc_exception _ -> assert false);
-  match !result with Some v -> v | None -> assert false
-
-and do_store t d ~addr ~start ~word =
+let do_store t d ~addr ~start ~word =
   (* store-buffer pressure: block when [outstanding_ldst] stores in flight *)
-  if Queue.length t.store_q >= t.cfg.outstanding_ldst then begin
-    let c = Queue.pop t.store_q in
+  if t.stq_len >= t.cfg.outstanding_ldst then begin
+    let c = Array.unsafe_get t.stq_buf t.stq_head in
+    t.stq_head <- (t.stq_head + 1) land t.stq_mask;
+    t.stq_len <- t.stq_len - 1;
     if c > t.cycle then begin
       t.cycle <- c;
       t.slots <- 0
@@ -698,20 +408,20 @@ and do_store t d ~addr ~start ~word =
   end;
   Mem.store t.heap.Heap.mem addr word;
   let done_at = daccess t ~start:(max d start) addr in
-  Queue.push done_at t.store_q;
+  Array.unsafe_set t.stq_buf ((t.stq_head + t.stq_len) land t.stq_mask) done_at;
+  t.stq_len <- t.stq_len + 1;
   complete t (max d start + 1)
 
-and falu t d _regs fregs fready fd fa fb op lat =
-  ignore t;
+let falu t d fregs fready fd fa fb op lat =
   let start = max d (max fready.(fa) fready.(fb)) in
   fregs.(fd) <- Fbits.canon (op fregs.(fa) fregs.(fb));
   fready.(fd) <- start + lat;
   complete t fready.(fd)
 
-and branch_resolve t (f : Lir.func) pc ~start ~taken =
+let branch_resolve t ~opt_id ~pc ~start ~taken =
   let completion = start + 1 in
   complete t completion;
-  let correct = Branch.record t.bp ~fn:f.opt_id ~pc ~taken in
+  let correct = Branch.record t.bp ~fn:opt_id ~pc ~taken in
   if not correct then begin
     let restart = completion + t.cfg.branch_mispredict_penalty in
     if restart > t.cycle then begin
@@ -720,7 +430,7 @@ and branch_resolve t (f : Lir.func) pc ~start ~taken =
     end
   end
 
-and cc_request_tagged t ~classid ~line ~pos ~stored =
+let cc_request_tagged t ~classid ~line ~pos ~stored =
   (* With the mechanism on, regObjectClassId was set by the preceding
      movClassID. With it off, these opcodes are plain stores and only feed
      the measurement oracle — the ClassID is then computed functionally. *)
@@ -750,7 +460,31 @@ and cc_request_tagged t ~classid ~line ~pos ~stored =
            })
   end
 
-and post_store_check t host f regs fregs deopt_id result next pc =
+(** Execute optimized code [f] on [args] = [this :: params], returning the
+    function result (possibly via a deopt into the interpreter). *)
+let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
+  let pf = install t f in
+  let ops = pf.Predecode.ops and meta = pf.Predecode.meta in
+  let regs = Array.make (max f.Lir.n_regs 1) 0 in
+  let fregs = Array.make (max f.Lir.n_fregs 1) 0.0 in
+  let ready = Array.make (max f.Lir.n_regs 1) t.cycle in
+  let fready = Array.make (max f.Lir.n_fregs 1) t.cycle in
+  let nargs = min (Array.length args) f.Lir.n_regs in
+  Array.blit args 0 regs 0 nargs;
+  (* absent parameters read as null *)
+  for i = nargs to min (Array.length f.Lir.reprs) f.Lir.n_regs - 1 do
+    regs.(i) <- t.heap.Heap.null_v
+  done;
+  let mem = t.heap.Heap.mem in
+  let code_addr = f.Lir.code_addr in
+  let opt_id = f.Lir.opt_id in
+  let pc = ref 0 in
+  let running = ref true in
+  let resv = ref 0 in
+  let finish v =
+    resv := v;
+    running := false
+  in
   (* Retire-path invariant check (fault campaigns only): a special store
      that retires without raising re-validates this code's own speculation —
      the host's [is_invalidated] runs the engine's staleness check when an
@@ -758,27 +492,419 @@ and post_store_check t host f regs fregs deopt_id result next pc =
      the very store that broke the profile. Unfaulted, optimized code can
      never be invalidated on this path (exception delivery is synchronous),
      so the check is skipped and timing is untouched. *)
-  if Tce_fault.Injector.armed t.fault && host.is_invalidated f.Lir.opt_id
-  then begin
-    if Tce_obs.Trace.on t.trace then
-      Tce_obs.Trace.emit t.trace
-        (Tce_obs.Trace.Osr
-           { func = f.Lir.name; pc = f.Lir.deopts.(deopt_id).Lir.bc_pc });
-    result := Some (do_deopt t host f regs fregs deopt_id ~result:None)
-  end
-  else pc := next
-
-and handle_cc_exception t host f regs fregs deopt_id info result next pc =
-  if t.measuring then
-    t.counters.cc_exception_deopts <- t.counters.cc_exception_deopts + 1;
-  host.on_cc_exception info;
-  if host.is_invalidated f.opt_id then begin
-    (* the running function speculated on the broken slot: OSR out now
-       (the store has completed; state is consistent, paper §4.2.2) *)
-    if Tce_obs.Trace.on t.trace then
-      Tce_obs.Trace.emit t.trace
-        (Tce_obs.Trace.Osr
-           { func = f.Lir.name; pc = f.Lir.deopts.(deopt_id).Lir.bc_pc });
-    result := Some (do_deopt t host f regs fregs deopt_id ~result:None)
-  end
-  else pc := next
+  let post_store_check deopt_id next =
+    if Tce_fault.Injector.armed t.fault && host.is_invalidated opt_id
+    then begin
+      if Tce_obs.Trace.on t.trace then
+        Tce_obs.Trace.emit t.trace
+          (Tce_obs.Trace.Osr
+             { func = f.Lir.name; pc = f.Lir.deopts.(deopt_id).Lir.bc_pc });
+      finish (do_deopt t host f regs fregs deopt_id ~result:None)
+    end
+    else pc := next
+  in
+  let handle_cc_exception deopt_id info next =
+    if t.measuring then
+      t.counters.cc_exception_deopts <- t.counters.cc_exception_deopts + 1;
+    host.on_cc_exception info;
+    if host.is_invalidated opt_id then begin
+      (* the running function speculated on the broken slot: OSR out now
+         (the store has completed; state is consistent, paper §4.2.2) *)
+      if Tce_obs.Trace.on t.trace then
+        Tce_obs.Trace.emit t.trace
+          (Tce_obs.Trace.Osr
+             { func = f.Lir.name; pc = f.Lir.deopts.(deopt_id).Lir.bc_pc });
+      finish (do_deopt t host f regs fregs deopt_id ~result:None)
+    end
+    else pc := next
+  in
+  (try
+     while !running do
+       let pc0 = !pc in
+       let m = Array.unsafe_get meta pc0 in
+       let op = Array.unsafe_get ops pc0 in
+       let next = pc0 + 1 in
+       if m land Predecode.meta_pseudo_bit <> 0 then begin
+         (* measurement pseudo-ops: zero cost *)
+         (match op with
+         | Predecode.Pprofile (r, line, pos) ->
+           if t.measuring then begin
+             let classid = Heap.classid_of t.heap regs.(r) in
+             Counters.record_obj_load t.counters ~classid ~line ~pos
+           end
+         | Pprofile_store_r (r, line, pos, vr) ->
+           (* records the store in the monomorphism oracle (mechanism-off
+              code has no CC request) *)
+           let classid = Heap.classid_of t.heap regs.(r) in
+           let value_classid = Heap.classid_of t.heap regs.(vr) in
+           Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid
+         | Pprofile_store_c (r, line, pos, c) ->
+           let classid = Heap.classid_of t.heap regs.(r) in
+           Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid:c
+         | _ -> assert false);
+         pc := next
+       end
+       else begin
+         let iline = (code_addr + (4 * pc0)) lsr 6 in
+         if iline <> t.last_iline then ifetch_slow t iline;
+         let d = dispatch_k t ((m lsr Predecode.meta_kind_shift) land 3) in
+         count_meta t m;
+         match op with
+         | Predecode.Pprofile _ | Pprofile_store_r _ | Pprofile_store_c _ ->
+           assert false
+         | Pmov_imm (r, i) ->
+           regs.(r) <- i;
+           ready.(r) <- d + 1;
+           complete t (d + 1);
+           pc := next
+         | Pmov (rd, rs) ->
+           regs.(rd) <- regs.(rs);
+           ready.(rd) <- max d ready.(rs) + 1;
+           complete t ready.(rd);
+           pc := next
+         | Palu_r (a, lat, rd, rs, ro) ->
+           let start = max d (max ready.(rs) ready.(ro)) in
+           regs.(rd) <- alu_apply a regs.(rs) regs.(ro);
+           ready.(rd) <- start + lat;
+           complete t ready.(rd);
+           pc := next
+         | Palu_i (a, lat, rd, rs, i) ->
+           let start = max d ready.(rs) in
+           regs.(rd) <- alu_apply a regs.(rs) i;
+           ready.(rd) <- start + lat;
+           complete t ready.(rd);
+           pc := next
+         | Psh64_r (sc, rd, rs, ro) ->
+           (* full-width shifts for tag arithmetic *)
+           let start = max d (max ready.(rs) ready.(ro)) in
+           let y = regs.(ro) land 63 in
+           regs.(rd) <-
+             (if sc = 0 then regs.(rs) lsl y
+              else if sc = 1 then regs.(rs) lsr y
+              else regs.(rs) asr y);
+           ready.(rd) <- start + 1;
+           complete t ready.(rd);
+           pc := next
+         | Psh64_i (sc, rd, rs, i) ->
+           let start = max d ready.(rs) in
+           let y = i land 63 in
+           regs.(rd) <-
+             (if sc = 0 then regs.(rs) lsl y
+              else if sc = 1 then regs.(rs) lsr y
+              else regs.(rs) asr y);
+           ready.(rd) <- start + 1;
+           complete t ready.(rd);
+           pc := next
+         | Palu32_r (a, lat, rd, rs, ro) ->
+           let start = max d (max ready.(rs) ready.(ro)) in
+           regs.(rd) <- Value.to_int32 (alu_apply a regs.(rs) regs.(ro));
+           ready.(rd) <- start + lat;
+           complete t ready.(rd);
+           pc := next
+         | Palu32_i (a, lat, rd, rs, i) ->
+           let start = max d ready.(rs) in
+           regs.(rd) <- Value.to_int32 (alu_apply a regs.(rs) i);
+           ready.(rd) <- start + lat;
+           complete t ready.(rd);
+           pc := next
+         | Paluov_r (a, lat, rd, rs, ro, target) ->
+           let start = max d (max ready.(rs) ready.(ro)) in
+           let v = alu_apply a regs.(rs) regs.(ro) in
+           ready.(rd) <- start + lat;
+           complete t ready.(rd);
+           (* tagged-SMI overflow: payload must fit int32 *)
+           if Value.smi_fits (v asr 1) then begin
+             regs.(rd) <- v;
+             pc := next
+           end
+           else pc := target
+         | Paluov_i (a, lat, rd, rs, i, target) ->
+           let start = max d ready.(rs) in
+           let v = alu_apply a regs.(rs) i in
+           ready.(rd) <- start + lat;
+           complete t ready.(rd);
+           if Value.smi_fits (v asr 1) then begin
+             regs.(rd) <- v;
+             pc := next
+           end
+           else pc := target
+         | Pload (rd, rb, off) ->
+           let addr = regs.(rb) + off in
+           let start = max d ready.(rb) in
+           regs.(rd) <- Mem.load mem addr;
+           ready.(rd) <- daccess t ~start addr;
+           complete t ready.(rd);
+           pc := next
+         | Pchecked_load (rd, rb, off, expected, deopt_id) ->
+           (* the class word arrives with the same cache line: the check is
+              free in hardware but still *executes* (no removal) *)
+           let base = regs.(rb) in
+           let addr = base + off in
+           let start = max d ready.(rb) in
+           let line_base = Tce_vm.Layout.line_base_of_addr addr in
+           let w = Mem.load mem line_base in
+           if Value.is_smi base || w <> expected then
+             finish (do_deopt t host f regs fregs deopt_id ~result:None)
+           else begin
+             regs.(rd) <- Mem.load mem addr;
+             ready.(rd) <- daccess t ~start addr;
+             complete t ready.(rd);
+             pc := next
+           end
+         | Pload_idx (rd, rb, ri, off) ->
+           let addr = regs.(rb) + (regs.(ri) * 8) + off in
+           let start = max d (max ready.(rb) ready.(ri)) in
+           regs.(rd) <- Mem.load mem addr;
+           ready.(rd) <- daccess t ~start addr;
+           complete t ready.(rd);
+           pc := next
+         | Pfload (fd, rb, off) ->
+           let addr = regs.(rb) + off in
+           let start = max d ready.(rb) in
+           fregs.(fd) <- Fbits.to_float (Mem.load mem addr);
+           fready.(fd) <- daccess t ~start addr;
+           complete t fready.(fd);
+           pc := next
+         | Pfload_idx (fd, rb, ri, off) ->
+           let addr = regs.(rb) + (regs.(ri) * 8) + off in
+           let start = max d (max ready.(rb) ready.(ri)) in
+           fregs.(fd) <- Fbits.to_float (Mem.load mem addr);
+           fready.(fd) <- daccess t ~start addr;
+           complete t fready.(fd);
+           pc := next
+         | Pstore_r (rb, off, vr) ->
+           do_store t d ~addr:(regs.(rb) + off)
+             ~start:(max ready.(vr) ready.(rb))
+             ~word:regs.(vr);
+           pc := next
+         | Pstore_i (rb, off, i) ->
+           do_store t d ~addr:(regs.(rb) + off) ~start:ready.(rb) ~word:i;
+           pc := next
+         | Pstore_idx_r (rb, ri, off, vr) ->
+           do_store t d
+             ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
+             ~start:(max ready.(vr) (max ready.(rb) ready.(ri)))
+             ~word:regs.(vr);
+           pc := next
+         | Pstore_idx_i (rb, ri, off, i) ->
+           do_store t d
+             ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
+             ~start:(max ready.(rb) ready.(ri))
+             ~word:i;
+           pc := next
+         | Pfstore (rb, off, fv) ->
+           do_store t d ~addr:(regs.(rb) + off)
+             ~start:(max fready.(fv) ready.(rb))
+             ~word:(Fbits.of_float fregs.(fv));
+           pc := next
+         | Pfstore_idx (rb, ri, off, fv) ->
+           do_store t d
+             ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
+             ~start:(max fready.(fv) (max ready.(rb) ready.(ri)))
+             ~word:(Fbits.of_float fregs.(fv));
+           pc := next
+         | Pfmov (fd, fs) ->
+           fregs.(fd) <- fregs.(fs);
+           fready.(fd) <- max d fready.(fs) + 1;
+           complete t fready.(fd);
+           pc := next
+         | Pfmov_imm (fd, x) ->
+           (* pre-canonicalized at decode time *)
+           fregs.(fd) <- x;
+           fready.(fd) <- d + 1;
+           complete t fready.(fd);
+           pc := next
+         | Pfadd (fd, fa, fb) ->
+           falu t d fregs fready fd fa fb ( +. ) 3;
+           pc := next
+         | Pfsub (fd, fa, fb) ->
+           falu t d fregs fready fd fa fb ( -. ) 3;
+           pc := next
+         | Pfmul (fd, fa, fb) ->
+           falu t d fregs fready fd fa fb ( *. ) 5;
+           pc := next
+         | Pfdiv (fd, fa, fb) ->
+           falu t d fregs fready fd fa fb ( /. ) 20;
+           pc := next
+         | Pfsqrt (fd, fs) ->
+           fregs.(fd) <- Fbits.canon (sqrt fregs.(fs));
+           fready.(fd) <- max d fready.(fs) + fsqrt_lat;
+           complete t fready.(fd);
+           pc := next
+         | Pfneg (fd, fs) ->
+           fregs.(fd) <- -.fregs.(fs);
+           fready.(fd) <- max d fready.(fs) + 1;
+           complete t fready.(fd);
+           pc := next
+         | Pfabs (fd, fs) ->
+           fregs.(fd) <- Float.abs fregs.(fs);
+           fready.(fd) <- max d fready.(fs) + 1;
+           complete t fready.(fd);
+           pc := next
+         | Pcvtif (fd, rs) ->
+           fregs.(fd) <- float_of_int regs.(rs);
+           fready.(fd) <- max d ready.(rs) + flat_lat;
+           complete t fready.(fd);
+           pc := next
+         | Ptruncfi (rd, fs) ->
+           regs.(rd) <- Value.js_to_int32_float fregs.(fs);
+           ready.(rd) <- max d fready.(fs) + flat_lat;
+           complete t ready.(rd);
+           pc := next
+         | Pbranch_r (c, r, ro, target) ->
+           let start = max d (max ready.(r) ready.(ro)) in
+           let taken = cond_apply c regs.(r) regs.(ro) in
+           branch_resolve t ~opt_id ~pc:pc0 ~start ~taken;
+           pc := (if taken then target else next)
+         | Pbranch_i (c, r, i, target) ->
+           let start = max d ready.(r) in
+           let taken = cond_apply c regs.(r) i in
+           branch_resolve t ~opt_id ~pc:pc0 ~start ~taken;
+           pc := (if taken then target else next)
+         | Pfbranch (c, fa, fb, target) ->
+           let start = max d (max fready.(fa) fready.(fb)) in
+           let taken = fcond_apply c fregs.(fa) fregs.(fb) in
+           branch_resolve t ~opt_id ~pc:pc0 ~start ~taken;
+           pc := (if taken then target else next)
+         | Pjmp target ->
+           complete t (d + 1);
+           pc := target
+         | Pcall_fn (callee, argr, rd, deopt_id, cinstrs) ->
+           (* serialize on argument readiness *)
+           Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
+           t.slots <- 0;
+           charge_rt_i t ~cat_idx:cat_other_idx ~instrs:cinstrs ~cycles:8;
+           let argv = Array.map (fun r -> regs.(r)) argr in
+           let v = host.call_fn callee argv in
+           if host.is_invalidated opt_id then begin
+             (* on-stack replacement: this frame's code died during the call *)
+             if Tce_obs.Trace.on t.trace then
+               Tce_obs.Trace.emit t.trace
+                 (Tce_obs.Trace.Osr
+                    { func = f.Lir.name; pc = f.Lir.deopts.(deopt_id).Lir.bc_pc });
+             finish (do_deopt t host f regs fregs deopt_id ~result:(Some v))
+           end
+           else begin
+             regs.(rd) <- v;
+             ready.(rd) <- t.cycle + 1;
+             pc := next
+           end
+         | Pcall_rt_chk (rt, argr, rd, deopt_id, cinstrs, ccycles) ->
+           Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
+           charge_rt_i t ~cat_idx:(m land Predecode.meta_cat_mask)
+             ~instrs:cinstrs ~cycles:ccycles;
+           let argv = Array.map (fun r -> regs.(r)) argr in
+           let v, _ = host.rt_call rt argv [||] in
+           if rd >= 0 then begin
+             regs.(rd) <- v;
+             ready.(rd) <- t.cycle + 1
+           end;
+           if host.is_invalidated opt_id then begin
+             (* the stub's store retired a profile this code speculates on *)
+             if Tce_obs.Trace.on t.trace then
+               Tce_obs.Trace.emit t.trace
+                 (Tce_obs.Trace.Osr
+                    { func = f.Lir.name; pc = f.Lir.deopts.(deopt_id).Lir.bc_pc });
+             finish
+               (do_deopt t host f regs fregs deopt_id
+                  ~result:(if rd >= 0 then Some v else None))
+           end
+           else pc := next
+         | Pcall_rt (rt, argr, fargr, rd, fd, cinstrs, ccycles) ->
+           Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
+           Array.iter (fun r -> if fready.(r) > t.cycle then t.cycle <- fready.(r)) fargr;
+           charge_rt_i t ~cat_idx:(m land Predecode.meta_cat_mask)
+             ~instrs:cinstrs ~cycles:ccycles;
+           let argv = Array.map (fun r -> regs.(r)) argr in
+           let fargv = Array.map (fun r -> fregs.(r)) fargr in
+           let v, fv = host.rt_call rt argv fargv in
+           if rd >= 0 then begin
+             regs.(rd) <- v;
+             ready.(rd) <- t.cycle + 1
+           end;
+           if fd >= 0 then begin
+             fregs.(fd) <- fv;
+             fready.(fd) <- t.cycle + 1
+           end;
+           pc := next
+         | Pret r ->
+           complete t (d + 1);
+           finish regs.(r)
+         | Pdeopt deopt_id ->
+           finish (do_deopt t host f regs fregs deopt_id ~result:None)
+         | Pmov_classid r ->
+           let v = regs.(r) in
+           if Value.is_smi v then begin
+             t.reg_classid <- Tce_vm.Layout.smi_classid;
+             complete t (d + 1)
+           end
+           else begin
+             let addr = Value.ptr_addr v in
+             t.reg_classid <- Heap.classid_of t.heap v;
+             complete t (daccess t ~start:(max d ready.(r)) addr)
+           end;
+           pc := next
+         | Pmov_classid_arr (k, r) ->
+           let v = regs.(r) in
+           if Value.is_smi v then begin
+             (* hoisted loads may execute speculatively with a non-object
+                value (loop body never entered); behave like movClassID *)
+             t.reg_classid_arr.(k) <- Tce_vm.Layout.smi_classid;
+             complete t (d + 1)
+           end
+           else begin
+             let addr = Value.ptr_addr v in
+             t.reg_classid_arr.(k) <- Heap.classid_of t.heap v;
+             complete t (daccess t ~start:(max d ready.(r)) addr)
+           end;
+           pc := next
+         | Pstore_cc_r (rb, off, vr, deopt_id) -> (
+           let addr = regs.(rb) + off in
+           do_store t d ~addr ~start:(max ready.(vr) ready.(rb))
+             ~word:regs.(vr);
+           (* the memory unit recovers (ClassID, Line, slot) from the line *)
+           let line_base = Tce_vm.Layout.line_base_of_addr addr in
+           let w = Mem.load mem line_base in
+           let classid = Tce_vm.Layout.classid_of_class_word w in
+           let line = Tce_vm.Layout.line_of_class_word w in
+           let pos = Tce_vm.Layout.slot_pos_of_addr addr in
+           try
+             cc_request_tagged t ~classid ~line ~pos ~stored:regs.(vr);
+             post_store_check deopt_id next
+           with Cc_exception fns -> handle_cc_exception deopt_id fns next)
+         | Pstore_cc_i (rb, off, i, deopt_id) -> (
+           let addr = regs.(rb) + off in
+           do_store t d ~addr ~start:ready.(rb) ~word:i;
+           let line_base = Tce_vm.Layout.line_base_of_addr addr in
+           let w = Mem.load mem line_base in
+           let classid = Tce_vm.Layout.classid_of_class_word w in
+           let line = Tce_vm.Layout.line_of_class_word w in
+           let pos = Tce_vm.Layout.slot_pos_of_addr addr in
+           try
+             cc_request_tagged t ~classid ~line ~pos ~stored:i;
+             post_store_check deopt_id next
+           with Cc_exception fns -> handle_cc_exception deopt_id fns next)
+         | Pstore_cca_r (k, rb, ri, off, vr, deopt_id) -> (
+           let addr = regs.(rb) + (regs.(ri) * 8) + off in
+           do_store t d ~addr
+             ~start:(max ready.(vr) (max ready.(rb) ready.(ri)))
+             ~word:regs.(vr);
+           let classid = t.reg_classid_arr.(k) in
+           try
+             cc_request_tagged t ~classid ~line:0
+               ~pos:Tce_vm.Layout.elements_ptr_slot ~stored:regs.(vr);
+             post_store_check deopt_id next
+           with Cc_exception fns -> handle_cc_exception deopt_id fns next)
+         | Pstore_cca_i (k, rb, ri, off, i, deopt_id) -> (
+           let addr = regs.(rb) + (regs.(ri) * 8) + off in
+           do_store t d ~addr ~start:(max ready.(rb) ready.(ri)) ~word:i;
+           let classid = t.reg_classid_arr.(k) in
+           try
+             cc_request_tagged t ~classid ~line:0
+               ~pos:Tce_vm.Layout.elements_ptr_slot ~stored:i;
+             post_store_check deopt_id next
+           with Cc_exception fns -> handle_cc_exception deopt_id fns next)
+       end
+     done
+   with Cc_exception _ -> assert false);
+  !resv

@@ -2,7 +2,11 @@
     out-of-order-completion scoreboard with a bounded window, load/store
     ports, L1I/L1D/L2, D/I-TLBs, branch prediction, MSHR fill merging, and
     the Class Cache — parameters from {!Config} (the paper's Table 2).
-    A research-grade MARSS substitute (DESIGN.md §2). *)
+    A research-grade MARSS substitute (DESIGN.md §2).
+
+    The executor runs the {!Predecode} stream (decoded once per installed
+    compilation), and the run loop is allocation-free — see
+    lib/machine/README.md. *)
 
 exception Trap of string
 
@@ -53,10 +57,19 @@ type t = {
   mutable slots : int;
   mutable load_slots : int;
   mutable store_slots : int;
-  window : int Queue.t;
-  store_q : int Queue.t;
+  win_buf : int array;  (** in-flight completion times (ring buffer) *)
+  win_mask : int;
+  mutable win_head : int;
+  mutable win_len : int;
+  stq_buf : int array;  (** in-flight store completion times (ring buffer) *)
+  stq_mask : int;
+  mutable stq_head : int;
+  mutable stq_len : int;
   mutable last_iline : int;
-  fills : (int, int) Hashtbl.t;  (** in-flight line fills (MSHR merging) *)
+  fills : Tce_support.Int_table.t;
+      (** in-flight line fills (MSHR merging); 0 = none *)
+  pre_cache : (int, Predecode.func) Hashtbl.t;
+      (** decoded streams keyed by [opt_id] *)
   mutable measuring : bool;
   trace : Tce_obs.Trace.t;
       (** observability sink (deopt / OSR events; never affects timing) *)
@@ -76,6 +89,12 @@ val create :
   heap:Tce_vm.Heap.t -> cc:Tce_core.Class_cache.t ->
   cl:Tce_core.Class_list.t -> oracle:Tce_core.Oracle.t ->
   counters:Counters.t -> unit -> t
+
+(** Pre-decode [f] into the machine's stream cache (idempotent; keyed by
+    [opt_id] with a physical-equality guard). {!run} installs lazily, so
+    calling this at compile-install time just moves the decode cost off the
+    first execution. *)
+val install : t -> Tce_jit.Lir.func -> Predecode.func
 
 (** Model a fresh allocation as nursery-resident (DESIGN.md §5b): insert its
     lines into the D-caches without cost. *)

@@ -8,6 +8,7 @@ type t = private {
   lru : int array;
   mutable clock : int;
   stats : stats;
+  idx : Tce_support.Int_table.t;  (** page -> entry index (hit fast path) *)
 }
 
 val page_bits : int

@@ -183,14 +183,22 @@ let run_pair ?(config = E.default_config) (w : Workload.t) : result * result =
          off.checksum on.checksum);
   (off, on)
 
-(** [run_pair] plus the host wall-clock seconds the pair took. The wall
-    time is informational (it depends on the host machine and load); every
-    simulated number in the two results stays deterministic. *)
+(** [run_pair] plus the host wall-clock seconds each side took
+    [(off, on, wall_off, wall_on)]. The wall times are informational (they
+    depend on the host machine and load); every simulated number in the
+    two results stays deterministic. *)
 let run_pair_timed ?(config = E.default_config) (w : Workload.t) :
-    result * result * float =
+    result * result * float * float =
   let t0 = Unix.gettimeofday () in
-  let off, on = run_pair ~config w in
-  (off, on, Unix.gettimeofday () -. t0)
+  let off = run ~config:{ config with E.mechanism = false } w in
+  let t1 = Unix.gettimeofday () in
+  let on = run ~config:{ config with E.mechanism = true } w in
+  let t2 = Unix.gettimeofday () in
+  if off.checksum <> on.checksum then
+    failwith
+      (Printf.sprintf "%s: checksum mismatch (off=%s on=%s)" w.Workload.name
+         off.checksum on.checksum);
+  (off, on, t1 -. t0, t2 -. t1)
 
 (** Pure-interpreter checksum (ground truth for differential tests). *)
 let interp_checksum ?(config = E.default_config) (w : Workload.t) : string =

@@ -1,9 +1,12 @@
 (** Versioned JSON export envelope (see export.mli). *)
 
 (* v2: records carry a per-kind check-removal composition block
-   ([checks_by_kind]) and the [attr-report] document kind exists. v1
-   documents remain readable ([open_document] accepts 1..version). *)
-let schema_version = 2
+   ([checks_by_kind]) and the [attr-report] document kind exists.
+   v3: bench-run workloads carry per-side host wall clocks
+   ([wall_seconds_off]/[wall_seconds_on], provenance-only).
+   Older documents remain readable ([open_document] accepts 1..version);
+   readers that need version-dependent defaults use [open_document_v]. *)
+let schema_version = 3
 
 let document ~kind data =
   Json.Obj
@@ -14,12 +17,19 @@ let document ~kind data =
       ("data", data);
     ]
 
-let open_document j =
+let open_document_v j =
   match (Json.member "schema_version" j, Json.member "kind" j, Json.member "data" j) with
   | Some (Json.Int v), Some (Json.Str kind), Some data ->
-    if v >= 1 && v <= schema_version then Ok (kind, data)
-    else Error (Printf.sprintf "unsupported schema_version %d" v)
+    if v >= 1 && v <= schema_version then Ok (v, kind, data)
+    else
+      Error
+        (Printf.sprintf
+           "unsupported schema_version %d (this build supports 1..%d)" v
+           schema_version)
   | _ -> Error "missing schema_version/kind/data envelope fields"
+
+let open_document j =
+  Result.map (fun (_, kind, data) -> (kind, data)) (open_document_v j)
 
 let to_channel oc j =
   output_string oc (Json.to_string_pretty j);

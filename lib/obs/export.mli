@@ -16,6 +16,11 @@ val document : kind:string -> Json.t -> Json.t
     Returns the [kind] and payload. *)
 val open_document : Json.t -> (string * Json.t, string) result
 
+(** Like {!open_document} but also returns the document's schema version,
+    for readers that apply version-dependent defaults (e.g. the bench-run
+    decoder backfills v3 wall-clock fields on v1/v2 documents). *)
+val open_document_v : Json.t -> (int * string * Json.t, string) result
+
 val to_channel : out_channel -> Json.t -> unit
 
 (** Write pretty-printed JSON (trailing newline included). [path] "-"

@@ -27,9 +27,12 @@ type workload = {
   speedup_pct : float;
   check_removal_pct : float;
   wall_seconds : float;
+  wall_seconds_off : float;
+  wall_seconds_on : float;
 }
 
 type run = {
+  schema : int;
   git_sha : string;
   config_hash : string;
   created_utc : string;
@@ -56,7 +59,7 @@ let reconcile ~name ~label (a : int array) ~total =
          "%s (%s): check kinds sum to %d but the C_check counter saw %d" name
          label sum total)
 
-let of_pair ~wall_seconds (off : H.result) (on : H.result) : workload =
+let of_pair ~wall_off ~wall_on (off : H.result) (on : H.result) : workload =
   let w = off.H.workload in
   let checks_off = off.H.by_cat.(Tce_jit.Categories.index Tce_jit.Categories.C_check) in
   let checks_on = on.H.by_cat.(Tce_jit.Categories.index Tce_jit.Categories.C_check) in
@@ -95,7 +98,9 @@ let of_pair ~wall_seconds (off : H.result) (on : H.result) : workload =
       Tce_support.Stats.improvement ~base:off.H.total_cycles
         ~opt:on.H.total_cycles;
     check_removal_pct = Tce_support.Stats.percent (checks_off - checks_on) checks_off;
-    wall_seconds;
+    wall_seconds = wall_off +. wall_on;
+    wall_seconds_off = wall_off;
+    wall_seconds_on = wall_on;
   }
 
 (** Everything the simulator computes — i.e. every field except the host
@@ -115,9 +120,12 @@ let equal_deterministic (a : workload) (b : workload) =
 
 let equal_workload (a : workload) (b : workload) =
   equal_deterministic a b && a.wall_seconds = b.wall_seconds
+  && a.wall_seconds_off = b.wall_seconds_off
+  && a.wall_seconds_on = b.wall_seconds_on
 
 let equal_run (a : run) (b : run) =
-  a.git_sha = b.git_sha && a.config_hash = b.config_hash
+  a.schema = b.schema && a.git_sha = b.git_sha
+  && a.config_hash = b.config_hash
   && a.created_utc = b.created_utc && a.jobs = b.jobs
   && a.host_wall_seconds = b.host_wall_seconds
   && List.length a.workloads = List.length b.workloads
@@ -154,6 +162,8 @@ let workload_to_json (w : workload) : J.t =
       ("speedup_pct", J.Float w.speedup_pct);
       ("check_removal_pct", J.Float w.check_removal_pct);
       ("wall_seconds", J.Float w.wall_seconds);
+      ("wall_seconds_off", J.Float w.wall_seconds_off);
+      ("wall_seconds_on", J.Float w.wall_seconds_on);
     ]
 
 let run_to_json (r : run) : J.t =
@@ -218,6 +228,18 @@ let workload_of_json (j : J.t) : (workload, string) result =
   let* speedup_pct = field "speedup_pct" J.to_float j in
   let* check_removal_pct = field "check_removal_pct" J.to_float j in
   let* wall_seconds = field "wall_seconds" J.to_float j in
+  (* Optional for schema-v1/v2 documents, which only carried the pair
+     total; per-side walls are provenance-only so 0.0 is a safe default. *)
+  let opt_float name =
+    match J.member name j with
+    | None -> Ok 0.0
+    | Some v -> (
+      match J.to_float v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "bad field %S" name))
+  in
+  let* wall_seconds_off = opt_float "wall_seconds_off" in
+  let* wall_seconds_on = opt_float "wall_seconds_on" in
   Ok
     {
       name;
@@ -240,6 +262,8 @@ let workload_of_json (j : J.t) : (workload, string) result =
       speedup_pct;
       check_removal_pct;
       wall_seconds;
+      wall_seconds_off;
+      wall_seconds_on;
     }
 
 let rec all_ok acc = function
@@ -250,7 +274,7 @@ let rec all_ok acc = function
     | Error _ as e -> e)
 
 let run_of_json (j : J.t) : (run, string) result =
-  let* kind, data = Tce_obs.Export.open_document j in
+  let* schema, kind, data = Tce_obs.Export.open_document_v j in
   if kind <> "bench-run" then
     Error (Printf.sprintf "expected a bench-run document, got %S" kind)
   else
@@ -261,4 +285,13 @@ let run_of_json (j : J.t) : (run, string) result =
     let* host_wall_seconds = field "host_wall_seconds" J.to_float data in
     let* items = field "workloads" J.to_list data in
     let* workloads = all_ok [] items in
-    Ok { git_sha; config_hash; created_utc; jobs; host_wall_seconds; workloads }
+    Ok
+      {
+        schema;
+        git_sha;
+        config_hash;
+        created_utc;
+        jobs;
+        host_wall_seconds;
+        workloads;
+      }

@@ -28,11 +28,18 @@ type workload = {
   cc_hit_rate_on : float;
   speedup_pct : float;  (** cycle improvement of on vs off (paper Fig. 8) *)
   check_removal_pct : float;  (** % of dynamic checks elided by the mechanism *)
-  wall_seconds : float;  (** host wall clock — informational, host-dependent *)
+  wall_seconds : float;
+      (** host wall clock for the off+on pair — informational, host-dependent *)
+  wall_seconds_off : float;
+      (** host wall clock of the mechanism-off side alone (schema ≥ 3;
+          0.0 when decoded from an older document) *)
+  wall_seconds_on : float;  (** ditto, mechanism-on side (schema ≥ 3) *)
 }
 
 (** One runner invocation: provenance plus the per-workload records. *)
 type run = {
+  schema : int;
+      (** envelope [schema_version] the run was created at / decoded from *)
   git_sha : string;
   config_hash : string;  (** digest of the simulated-core + engine config *)
   created_utc : string;
@@ -41,17 +48,21 @@ type run = {
   workloads : workload list;
 }
 
-(** Build a record from a measured off/on pair.
+(** Build a record from a measured off/on pair; [wall_off]/[wall_on] are
+    the host wall-clock seconds each side took ([wall_seconds] is their
+    sum).
     @raise Failure when the per-kind check attribution does not reconcile
     exactly with the [C_check] category counters (a compiler bug). *)
 val of_pair :
-  wall_seconds:float ->
+  wall_off:float ->
+  wall_on:float ->
   Tce_metrics.Harness.result ->
   Tce_metrics.Harness.result ->
   workload
 
-(** Equality over the simulated fields only (ignores [wall_seconds]) —
-    the property the parallel runner asserts against a serial run. *)
+(** Equality over the simulated fields only (ignores every wall-clock
+    field) — the property the parallel runner asserts against a serial
+    run. *)
 val equal_deterministic : workload -> workload -> bool
 
 (** Full structural equality (JSON round-trip checks). *)

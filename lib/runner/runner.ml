@@ -15,12 +15,31 @@ module H = Tce_metrics.Harness
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 let run_one ?config (w : Tce_workloads.Workload.t) : Record.workload =
-  let off, on, wall_seconds =
+  let off, on, wall_off, wall_on =
     match config with
     | None -> H.run_pair_timed w
     | Some config -> H.run_pair_timed ~config w
   in
-  Record.of_pair ~wall_seconds off on
+  Record.of_pair ~wall_off ~wall_on off on
+
+(* --- longest-first scheduling --- *)
+
+(** [longest_first_order ~cost xs] is a permutation of [0 .. n-1]: the
+    position-[k] entry is the input index to run [k]-th. Workloads with an
+    unknown cost come first (a new workload could be arbitrarily long, so
+    it must not start last), then known costs descending; ties break on
+    input index, so the order is a deterministic function of the inputs.
+    Pure — exposed for the scheduler test. *)
+let longest_first_order ~(cost : 'a -> float option) (xs : 'a list) : int array =
+  let arr = Array.of_list xs in
+  let key =
+    Array.map (fun x -> match cost x with None -> infinity | Some c -> c) arr
+  in
+  let idx = Array.init (Array.length arr) (fun i -> i) in
+  Array.sort
+    (fun a b -> if key.(a) = key.(b) then compare a b else compare key.(b) key.(a))
+    idx;
+  idx
 
 let parallel_map ?(jobs = default_jobs ()) (f : 'a -> 'b) (xs : 'a list) :
     'b list =
@@ -52,13 +71,37 @@ let parallel_map ?(jobs = default_jobs ()) (f : 'a -> 'b) (xs : 'a list) :
     Array.to_list (Array.map Option.get results)
   end
 
-let run_workloads ?config ?(jobs = default_jobs ())
-    (ws : Tce_workloads.Workload.t list) : Record.workload list =
-  parallel_map ~jobs (run_one ?config) ws
+(** Run [f] over [xs] visiting them in [order], returning results in the
+    original input order. The permutation only changes *when* each
+    workload runs, never its simulated numbers (engines are per-workload);
+    with [jobs > 1] it keeps the long tail off the end of the schedule. *)
+let map_in_order ~jobs ~(order : int array) (f : 'a -> 'b) (xs : 'a list) :
+    'b list =
+  let arr = Array.of_list xs in
+  let permuted = List.map (fun i -> arr.(i)) (Array.to_list order) in
+  let results = Array.of_list (parallel_map ~jobs f permuted) in
+  let out = Array.make (Array.length arr) None in
+  Array.iteri (fun slot i -> out.(i) <- Some results.(slot)) order;
+  Array.to_list (Array.map Option.get out)
 
-let run_suite ?config ?jobs (ws : Tce_workloads.Workload.t list) : Record.run =
+let run_workloads ?config ?(jobs = default_jobs ()) ?cost
+    (ws : Tce_workloads.Workload.t list) : Record.workload list =
+  match cost with
+  | None -> parallel_map ~jobs (run_one ?config) ws
+  | Some cost ->
+    let order = longest_first_order ~cost ws in
+    map_in_order ~jobs ~order (run_one ?config) ws
+
+let run_suite ?config ?jobs ?cost (ws : Tce_workloads.Workload.t list) :
+    Record.run =
   let t0 = Unix.gettimeofday () in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  let workloads = run_workloads ?config ~jobs ws in
+  (* Schedule longest-first from the committed baseline's whole-run cycle
+     counts (simulated cycles track host work closely); a missing or
+     unreadable baseline just leaves the input order. *)
+  let cost =
+    match cost with Some c -> c | None -> Store.baseline_cost_of_workload ()
+  in
+  let workloads = run_workloads ?config ~jobs ~cost ws in
   let host_wall_seconds = Unix.gettimeofday () -. t0 in
-  Store.make_run ~jobs ~host_wall_seconds workloads
+  Store.make_run ?config ~jobs ~host_wall_seconds workloads

@@ -23,19 +23,32 @@ val run_one :
   Tce_workloads.Workload.t ->
   Record.workload
 
+(** [longest_first_order ~cost xs] is the longest-first schedule as a
+    permutation of [0 .. n-1]: position [k] holds the input index to run
+    [k]-th. Unknown-cost items first (they could be arbitrarily long),
+    then known costs descending, ties by input index — a pure,
+    deterministic function of the inputs. *)
+val longest_first_order : cost:('a -> float option) -> 'a list -> int array
+
 (** Run the workloads on [jobs] domains ([jobs <= 1]: serial in the
-    calling domain). The first exception raised by a workload is re-raised
-    after all domains drain. *)
+    calling domain). When [cost] is given, workloads are *visited* in
+    {!longest_first_order} (so the slowest pairs start first and cannot
+    straggle at the end of a parallel run); results always come back in
+    input order either way. The first exception raised by a workload is
+    re-raised after all domains drain. *)
 val run_workloads :
   ?config:Tce_engine.Engine.config ->
   ?jobs:int ->
+  ?cost:(Tce_workloads.Workload.t -> float option) ->
   Tce_workloads.Workload.t list ->
   Record.workload list
 
 (** [run_workloads] wrapped into a provenance-stamped {!Record.run}
-    (git SHA, config hash, wall clock). *)
+    (git SHA, config hash, wall clock). [cost] defaults to the committed
+    baseline's whole-run cycles ({!Store.baseline_cost_of_workload}). *)
 val run_suite :
   ?config:Tce_engine.Engine.config ->
   ?jobs:int ->
+  ?cost:(Tce_workloads.Workload.t -> float option) ->
   Tce_workloads.Workload.t list ->
   Record.run

@@ -59,7 +59,8 @@ let timestamp_utc () =
 
 let make_run ?config ~jobs ~host_wall_seconds workloads : Record.run =
   {
-    Record.git_sha = git_sha ();
+    Record.schema = Tce_obs.Export.schema_version;
+    git_sha = git_sha ();
     config_hash = config_hash ?config ();
     created_utc = timestamp_utc ();
     jobs;
@@ -104,6 +105,23 @@ let load path : (Record.run, string) result =
   with
   | exception Sys_error msg -> Error msg
   | text -> Result.bind (J.of_string text) Record.run_of_json
+
+(** Baseline whole-run cycle counts keyed by workload name, as a cost
+    function for the runner's longest-first scheduler. An absent or
+    unreadable baseline yields [fun _ -> None] (schedule stays in input
+    order) — scheduling must never make a benchmark run fail. *)
+let baseline_cost_of_workload ?(path = baseline_path) () :
+    Tce_workloads.Workload.t -> float option =
+  match load path with
+  | Error _ -> fun _ -> None
+  | Ok r ->
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (w : Record.workload) ->
+        Hashtbl.replace tbl w.Record.name
+          (w.Record.whole_cycles_off +. w.Record.whole_cycles_on))
+      r.Record.workloads;
+    fun w -> Hashtbl.find_opt tbl w.Tce_workloads.Workload.name
 
 (* --- reporting --- *)
 

@@ -42,5 +42,11 @@ val save : ?latest:string -> ?history:string -> Record.run -> string
     committed baseline). *)
 val load : string -> (Record.run, string) result
 
+(** Baseline whole-run cycles per workload name (off + on sides), as the
+    cost function behind the runner's longest-first schedule. An absent or
+    unreadable baseline (default {!baseline_path}) yields [fun _ -> None]. *)
+val baseline_cost_of_workload :
+  ?path:string -> unit -> Tce_workloads.Workload.t -> float option
+
 (** Per-workload cycle/speedup table plus run provenance, to stdout. *)
 val print_summary : Record.run -> unit

@@ -1,0 +1,166 @@
+(** Open-addressed int -> int hash table for simulator hot paths (see
+    int_table.mli). Linear probing over a power-of-two array; absent keys
+    answer a caller-supplied default, so lookups allocate nothing (no
+    [option], no boxing — unlike [Hashtbl.find_opt]). *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable mask : int;  (** capacity - 1; capacity is a power of two *)
+  mutable live : int;  (** stored bindings *)
+  mutable used : int;  (** live + tombstones (probe-chain occupancy) *)
+  (* [min_int] / [min_int + 1] mark empty / deleted slots in [keys], so
+     those two keys get dedicated out-of-band cells instead. *)
+  mutable sp1 : bool;
+  mutable sp1v : int;
+  mutable sp2 : bool;
+  mutable sp2v : int;
+}
+
+let empty_k = min_int
+let tomb_k = min_int + 1
+
+(* Fibonacci-style multiplicative hash; the xor-fold pushes the high-entropy
+   product bits down into the masked range. *)
+let hash k mask =
+  let h = k * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 31)) land mask
+
+let pow2_at_least n =
+  let rec go c = if c >= n then c else go (c * 2) in
+  go 8
+
+let create ?(size = 16) () =
+  let cap = pow2_at_least (max 8 size) in
+  {
+    keys = Array.make cap empty_k;
+    vals = Array.make cap 0;
+    mask = cap - 1;
+    live = 0;
+    used = 0;
+    sp1 = false;
+    sp1v = 0;
+    sp2 = false;
+    sp2v = 0;
+  }
+
+let length t = t.live + (if t.sp1 then 1 else 0) + if t.sp2 then 1 else 0
+
+let find t k default =
+  if k > tomb_k then begin
+    let keys = t.keys and mask = t.mask in
+    let i = ref (hash k mask) in
+    let r = ref default in
+    let continue = ref true in
+    while !continue do
+      let kk = Array.unsafe_get keys !i in
+      if kk = k then begin
+        r := Array.unsafe_get t.vals !i;
+        continue := false
+      end
+      else if kk = empty_k then continue := false
+      else i := (!i + 1) land mask
+    done;
+    !r
+  end
+  else if k = empty_k then (if t.sp1 then t.sp1v else default)
+  else if t.sp2 then t.sp2v
+  else default
+
+let mem t k = find t k min_int <> min_int || find t k 0 <> 0
+
+(* Re-place the live bindings into a fresh array of [cap] slots (drops
+   tombstones). *)
+let rehash t cap =
+  let old_keys = t.keys and old_vals = t.vals in
+  let keys = Array.make cap empty_k and vals = Array.make cap 0 in
+  let mask = cap - 1 in
+  Array.iteri
+    (fun j k ->
+      if k > tomb_k then begin
+        let i = ref (hash k mask) in
+        while keys.(!i) <> empty_k do
+          i := (!i + 1) land mask
+        done;
+        keys.(!i) <- k;
+        vals.(!i) <- old_vals.(j)
+      end)
+    old_keys;
+  t.keys <- keys;
+  t.vals <- vals;
+  t.mask <- mask;
+  t.used <- t.live
+
+let set t k v =
+  if k > tomb_k then begin
+    (* keep probe chains short: grow (or sweep tombstones) at 3/4 load *)
+    if 4 * (t.used + 1) > 3 * (t.mask + 1) then
+      rehash t (pow2_at_least (4 * (t.live + 1)));
+    let keys = t.keys and mask = t.mask in
+    let i = ref (hash k mask) in
+    let slot = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      let kk = Array.unsafe_get keys !i in
+      if kk = k then begin
+        t.vals.(!i) <- v;
+        continue := false
+      end
+      else if kk = empty_k then begin
+        let j = if !slot >= 0 then !slot else !i in
+        if !slot < 0 then t.used <- t.used + 1;
+        keys.(j) <- k;
+        t.vals.(j) <- v;
+        t.live <- t.live + 1;
+        continue := false
+      end
+      else begin
+        if kk = tomb_k && !slot < 0 then slot := !i;
+        i := (!i + 1) land mask
+      end
+    done
+  end
+  else if k = empty_k then begin
+    t.sp1 <- true;
+    t.sp1v <- v
+  end
+  else begin
+    t.sp2 <- true;
+    t.sp2v <- v
+  end
+
+let remove t k =
+  if k > tomb_k then begin
+    let keys = t.keys and mask = t.mask in
+    let i = ref (hash k mask) in
+    let continue = ref true in
+    while !continue do
+      let kk = Array.unsafe_get keys !i in
+      if kk = k then begin
+        keys.(!i) <- tomb_k;
+        t.live <- t.live - 1;
+        continue := false
+      end
+      else if kk = empty_k then continue := false
+      else i := (!i + 1) land mask
+    done
+  end
+  else if k = empty_k then t.sp1 <- false
+  else t.sp2 <- false
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) empty_k;
+  t.live <- 0;
+  t.used <- 0;
+  t.sp1 <- false;
+  t.sp2 <- false
+
+let iter f t =
+  if t.sp1 then f empty_k t.sp1v;
+  if t.sp2 then f tomb_k t.sp2v;
+  Array.iteri (fun i k -> if k > tomb_k then f k t.vals.(i)) t.keys
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc

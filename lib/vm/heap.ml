@@ -28,10 +28,12 @@ type t = {
   true_v : Value.t;
   false_v : Value.t;
   null_v : Value.t;
-  obj_capacity : (int, int) Hashtbl.t;  (** object base addr -> allocated lines *)
-  elem_capacity : (int, int) Hashtbl.t;  (** elements base addr -> capacity (words) *)
+  obj_capacity : Tce_support.Int_table.t;  (** object base addr -> allocated lines *)
+  elem_capacity : Tce_support.Int_table.t;  (** elements base addr -> capacity (words) *)
   interned : (string, Value.t) Hashtbl.t;
-  float_consts : (int, Value.t) Hashtbl.t;
+  float_consts : Tce_support.Int_table.t;
+      (** float-literal bits -> interned heap-number value (values are
+          tagged pointers, never 0, so 0 doubles as the absent marker) *)
   stats : stats;
 }
 
@@ -76,10 +78,10 @@ let create () =
     true_v;
     false_v;
     null_v;
-    obj_capacity = Hashtbl.create 1024;
-    elem_capacity = Hashtbl.create 1024;
+    obj_capacity = Tce_support.Int_table.create ~size:1024 ();
+    elem_capacity = Tce_support.Int_table.create ~size:1024 ();
     interned = Hashtbl.create 256;
-    float_consts = Hashtbl.create 64;
+    float_consts = Tce_support.Int_table.create ~size:64 ();
     stats = fresh_stats ();
   }
 
@@ -95,9 +97,13 @@ let class_of_addr t addr =
 let class_of t (v : Value.t) =
   if Value.is_smi v then None else Some (class_of_addr t (Value.ptr_addr v))
 
+(* Fast path: the ClassID is encoded in the class word itself
+   (bits 48-55), and [Registry.find_exn] returns the class registered
+   under exactly that id — so for any well-formed heap value, decoding the
+   word is equivalent to the registry round-trip and skips it. *)
 let classid_of t (v : Value.t) =
   if Value.is_smi v then Layout.smi_classid
-  else (class_of_addr t (Value.ptr_addr v)).Hidden_class.id
+  else Layout.classid_of_class_word (Mem.load t.mem (Value.ptr_addr v))
 
 let is_null t v = v = t.null_v
 let is_bool t v = v = t.true_v || v = t.false_v
@@ -146,12 +152,13 @@ let number t f : Value.t =
     results still canonicalize through {!number}. *)
 let float_const t f : Value.t =
   let key = Fbits.of_float f in
-  match Hashtbl.find_opt t.float_consts key with
-  | Some v -> v
-  | None ->
+  let cached = Tce_support.Int_table.find t.float_consts key 0 in
+  if cached <> 0 then cached
+  else begin
     let v = alloc_number t f in
-    Hashtbl.replace t.float_consts key v;
+    Tce_support.Int_table.set t.float_consts key v;
     v
+  end
 
 (* --- strings --- *)
 
@@ -224,13 +231,13 @@ let alloc_object t (c : Hidden_class.t) ~reserve_props : Value.t =
   done;
   Mem.store t.mem (addr + (Layout.elements_ptr_slot * 8)) 0;
   Mem.store t.mem (addr + (Layout.elements_len_slot * 8)) 0;
-  Hashtbl.replace t.obj_capacity addr lines;
+  Tce_support.Int_table.set t.obj_capacity addr lines;
   Value.ptr addr
 
 let obj_lines t addr =
-  match Hashtbl.find_opt t.obj_capacity addr with
-  | Some l -> l
-  | None -> Hidden_class.lines (class_of_addr t addr)
+  match Tce_support.Int_table.find t.obj_capacity addr 0 with
+  | 0 -> Hidden_class.lines (class_of_addr t addr)
+  | l -> l
 
 let is_object t (v : Value.t) =
   (not (Value.is_smi v))
@@ -292,7 +299,7 @@ let alloc_elements t ~capacity =
   for i = 0 to capacity - 1 do
     Mem.store t.mem (addr + Layout.elements_data_offset + (i * 8)) t.null_v
   done;
-  Hashtbl.replace t.elem_capacity addr capacity;
+  Tce_support.Int_table.set t.elem_capacity addr capacity;
   addr
 
 (** Allocate an array object of elements kind [ek] with [capacity] reserved

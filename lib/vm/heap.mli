@@ -24,10 +24,10 @@ type t = {
   true_v : Value.t;
   false_v : Value.t;
   null_v : Value.t;
-  obj_capacity : (int, int) Hashtbl.t;
-  elem_capacity : (int, int) Hashtbl.t;
+  obj_capacity : Tce_support.Int_table.t;
+  elem_capacity : Tce_support.Int_table.t;
   interned : (string, Value.t) Hashtbl.t;
-  float_consts : (int, Value.t) Hashtbl.t;
+  float_consts : Tce_support.Int_table.t;
   stats : stats;
 }
 

@@ -29,15 +29,31 @@ let ensure t idx =
     t.words <- words
   end
 
-let load t addr =
+let load_slow t addr =
   let idx = word_index t addr in
   ensure t idx;
   t.words.(idx)
 
-let store t addr v =
+(** Aligned, in-bounds accesses — everything after warm-up — take a
+    three-test fast path; anything else (including reads past the current
+    backing array, which grow it and return 0) falls back to the checked
+    slow path with identical semantics. *)
+let load t addr =
+  let idx = (addr - t.base) lsr 3 in
+  if addr land 7 = 0 && addr >= t.base && idx < Array.length t.words then
+    Array.unsafe_get t.words idx
+  else load_slow t addr
+
+let store_slow t addr v =
   let idx = word_index t addr in
   ensure t idx;
   t.words.(idx) <- v
+
+let store t addr v =
+  let idx = (addr - t.base) lsr 3 in
+  if addr land 7 = 0 && addr >= t.base && idx < Array.length t.words then
+    Array.unsafe_set t.words idx v
+  else store_slow t addr v
 
 (** Bump-allocate [bytes], aligned to [align] (a power of two). Returns the
     byte address. There is no collector: the reproduction uses a bump

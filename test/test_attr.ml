@@ -189,7 +189,7 @@ let reconcile_workload name =
   let off, on = Tce_metrics.Harness.run_pair w in
   (* Record.of_pair raises on any reconciliation failure (slot 0 non-empty
      or a kind-sum mismatch) — building the record IS the assertion. *)
-  let rec_ = Tce_runner.Record.of_pair ~wall_seconds:0.0 off on in
+  let rec_ = Tce_runner.Record.of_pair ~wall_off:0.0 ~wall_on:0.0 off on in
   let sum_off =
     List.fold_left (fun a (_, o, _) -> a + o) 0 rec_.Tce_runner.Record.checks_by_kind
   and sum_on =
