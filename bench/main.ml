@@ -11,11 +11,20 @@
          and write every Harness.result field as versioned JSON)
       dune exec bench/main.exe -- --bench [--jobs N] [--out FILE]
           [--history DIR] [--suite all|selected|octane|sunspider|kraken]
-          [--time] [WORKLOAD ...]
+          [--time] [--profile[=FILE]] [WORKLOAD ...]
         (parallel suite run through Tce_runner; appends to the result
          store: BENCH_latest.json + results/history/. --time additionally
          prints the host wall clock per workload, slowest first — how fast
-         the simulator itself runs, not a simulated number)
+         the simulator itself runs, not a simulated number — and writes
+         the same table as bench_time.json. --profile re-runs the roster
+         under the cycle-attribution profiler: prints the checks-off vs
+         checks-on differential, writes PROF_latest.json (+ a history
+         copy) and collapsed-stack flamegraph lines to FILE, default
+         bench_profile.folded — load it in speedscope or inferno)
+      dune exec bench/main.exe -- --profile-diff BASE [CUR]
+        (run-vs-run differential between two prof-report documents, e.g.
+         a results/history/prof-*.json snapshot vs PROF_latest.json;
+         CUR defaults to PROF_latest.json)
       dune exec bench/main.exe -- --check [--baseline FILE]
           [--tolerance PCT] [--jobs N] [WORKLOAD ...]
         (perf-regression gate: re-run the baseline's roster and exit
@@ -244,8 +253,8 @@ let print_time_table (run : Tce_runner.Record.run) =
     "total" "" "" total "" run.R.host_wall_seconds
 
 let run_bench args =
-  (* `--attr[=FILE]` and `--time` are value-less flags; peel them off
-     before the value-taking flag parser sees them. *)
+  (* `--attr[=FILE]`, `--profile[=FILE]` and `--time` are value-less
+     flags; peel them off before the value-taking flag parser sees them. *)
   let time_args, args = List.partition (fun a -> a = "--time") args in
   let show_time = time_args <> [] in
   let attr_args, args =
@@ -261,6 +270,20 @@ let run_bench args =
     | a :: _ when String.length a > 7 ->
       Some (String.sub a 7 (String.length a - 7))
     | _ -> Some Tce_runner.Store.attr_latest_path
+  in
+  let prof_args, args =
+    List.partition
+      (fun a ->
+        a = "--profile"
+        || (String.length a > 10 && String.sub a 0 10 = "--profile="))
+      args
+  in
+  let prof_out =
+    match prof_args with
+    | [] -> None
+    | a :: _ when String.length a > 10 ->
+      Some (String.sub a 10 (String.length a - 10))
+    | _ -> Some "bench_profile.folded"
   in
   let opts, names = parse_flags [ "jobs"; "out"; "history"; "suite" ] args in
   let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
@@ -298,6 +321,82 @@ let run_bench args =
     Tce_obs.Export.to_file ~path
       (Tce_attr.Aggregate.suite_report_json per_workload);
     Printf.printf "wrote %s\n" path);
+  if show_time then begin
+    Tce_obs.Export.to_file ~path:Tce_runner.Store.time_latest_path
+      (Tce_runner.Store.time_report_json run);
+    Printf.printf "wrote %s\n" Tce_runner.Store.time_latest_path
+  end;
+  (match prof_out with
+  | None -> ()
+  | Some folded_path ->
+    (* Second pass under the profiler: whole-run measurement per side (the
+       reconciliation invariant needs counters on from the first
+       instruction), so these runs are separate from the steady-state
+       numbers saved above. *)
+    let module R = Tce_prof.Report in
+    let profs =
+      Tce_runner.Runner.run_profiles ~jobs
+        ~cost:(Tce_runner.Store.baseline_cost_of_workload ())
+        ws
+    in
+    let pairs =
+      List.map
+        (fun (p : Harness.profiled) ->
+          {
+            R.p_name = p.Harness.p_name;
+            p_off = Some p.Harness.p_off;
+            p_on = Some p.Harness.p_on;
+          })
+        profs
+    in
+    print_newline ();
+    print_string (R.diff_table pairs);
+    let doc =
+      R.suite_doc ~git_sha:run.Tce_runner.Record.git_sha
+        ~config_hash:run.Tce_runner.Record.config_hash
+        ~created_utc:run.Tce_runner.Record.created_utc pairs
+    in
+    let hist =
+      Tce_runner.Store.save_prof ~history
+        ~git_sha:run.Tce_runner.Record.git_sha
+        ~created_utc:run.Tce_runner.Record.created_utc doc
+    in
+    let oc = open_out folded_path in
+    List.iter
+      (fun (p : Harness.profiled) ->
+        output_string oc p.Harness.p_folded_off;
+        output_string oc p.Harness.p_folded_on)
+      profs;
+    close_out oc;
+    Printf.printf "wrote %s (history: %s) and %s\n"
+      Tce_runner.Store.prof_latest_path hist folded_path);
+  exit 0
+
+(* Run-vs-run differential between two stored prof-report documents. *)
+let run_profile_diff args =
+  let load_pairs path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> usage_fail msg
+    | text -> (
+      match Result.bind (Tce_obs.Json.of_string text) Tce_prof.Report.suite_of_json with
+      | Ok pairs -> pairs
+      | Error msg -> usage_fail (Printf.sprintf "%s: %s" path msg))
+  in
+  let base_path, cur_path =
+    match args with
+    | [ b ] -> (b, Tce_runner.Store.prof_latest_path)
+    | [ b; c ] -> (b, c)
+    | _ -> usage_fail "--profile-diff needs BASE [CUR] prof-report files"
+  in
+  let base = load_pairs base_path and cur = load_pairs cur_path in
+  Printf.printf "profile drift: %s -> %s (mechanism-on side)\n\n" base_path
+    cur_path;
+  print_string (Tce_prof.Report.diff_runs ~base ~cur);
   exit 0
 
 let run_faults args =
@@ -353,6 +452,7 @@ let () =
   | "--bench" :: rest -> run_bench rest
   | "--check" :: rest -> run_check rest
   | "--faults" :: rest -> run_faults rest
+  | "--profile-diff" :: rest -> run_profile_diff rest
   | "--metrics-json" :: path :: rest ->
     run_metrics_json ~path rest;
     exit 0

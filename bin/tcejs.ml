@@ -4,6 +4,7 @@
                  [--trace[=FILE]] [--trace-format=json|chrome]
                  [--metrics-json=FILE] [--obs-sample-cycles=N]
                  [--fault-spec=SPEC] [--fault-seed=N]
+                 [--profile[=FILE]] [--profile-json=FILE]
            tcejs disasm FILE            (bytecode listing)
            tcejs opt-dump FILE FUNC     (optimized LIR of FUNC, after warm-up)
            tcejs classlist FILE         (Class List dump after the run)
@@ -91,8 +92,32 @@ let run_term =
              report goes to stdout; with $(docv) a versioned \
              $(b,attr-report) JSON document is written instead.")
   in
+  let profile =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Attribute every simulated cycle to a (function, pc, cost) \
+             site. Without $(docv) (or with $(b,-)) a text breakdown — \
+             totals, cycles by cost kind and instruction label, hottest \
+             sites — goes to stdout; with $(docv), collapsed-stack \
+             flamegraph lines are written instead (load them in speedscope \
+             or inferno).")
+  in
+  let profile_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the cycle-attribution profile as a versioned \
+             $(b,prof-report) JSON document to $(docv) (- = stdout). \
+             Implies profiling; combine with $(b,--profile) for the text \
+             or folded view of the same run.")
+  in
   let run file no_jit no_mech stats trace_file trace_format metrics_json
-      sample_cycles fault_spec fault_seed explain =
+      sample_cycles fault_spec fault_seed explain profile profile_json =
     let src = read_file file in
     let trace =
       match trace_file with
@@ -114,6 +139,11 @@ let run_term =
           Printf.eprintf "bad --fault-spec: %s\n" e;
           exit 2)
     in
+    let prof =
+      if profile <> None || profile_json <> None then
+        Tce_prof.Profile.create ()
+      else Tce_prof.Profile.null
+    in
     let config =
       {
         Tce_engine.Engine.default_config with
@@ -123,6 +153,7 @@ let run_term =
         obs_sample_cycles = sample_cycles;
         fault;
         attr;
+        prof;
       }
     in
     let t = Tce_engine.Engine.of_source ~config src in
@@ -168,6 +199,42 @@ let run_term =
         Tce_obs.Export.to_file ~path:dest
           (Tce_attr.Aggregate.report_json ~program ~checks_executed
              ~cc_occupancy ~cc_conflicts attr));
+    (if Tce_prof.Profile.on prof then begin
+       let cpi =
+         config.Tce_engine.Engine.mach_cfg.Tce_machine.Config.baseline_cpi
+       in
+       let s =
+         Tce_prof.Profile.summarize prof ~program:(Filename.basename file)
+           ~mechanism:(not no_mech)
+           ~machine_cycles:(Tce_engine.Engine.opt_cycles t)
+           ~baseline_instrs:
+             t.Tce_engine.Engine.counters.Tce_machine.Counters.baseline_instrs
+           ~baseline_cpi:cpi ()
+       in
+       (match profile with
+       | None -> ()
+       | Some "-" -> print_string (Tce_prof.Report.text_report s)
+       | Some path ->
+         let oc = open_out path in
+         output_string oc (Tce_prof.Profile.folded ~baseline_cpi:cpi prof);
+         close_out oc);
+       match profile_json with
+       | None -> ()
+       | Some path ->
+         let p =
+           {
+             Tce_prof.Report.p_name = Filename.basename file;
+             p_off = (if no_mech then Some s else None);
+             p_on = (if no_mech then None else Some s);
+           }
+         in
+         Tce_obs.Export.to_file ~path
+           (Tce_prof.Report.suite_doc
+              ~git_sha:(Tce_runner.Store.git_sha ())
+              ~config_hash:(Tce_runner.Store.config_hash ~config ())
+              ~created_utc:(Tce_runner.Store.timestamp_utc ())
+              [ p ])
+     end);
     if Tce_fault.Injector.armed fault then
       Printf.eprintf "faults: %s\n" (Tce_fault.Injector.summary fault);
     if stats then begin
@@ -197,7 +264,8 @@ let run_term =
   in
   Term.(
     const run $ file $ no_jit $ no_mech $ stats $ trace_file $ trace_format
-    $ metrics_json $ sample_cycles $ fault_spec $ fault_seed $ explain)
+    $ metrics_json $ sample_cycles $ fault_spec $ fault_seed $ explain
+    $ profile $ profile_json)
 
 let run_cmd = Cmd.v (Cmd.info "run" ~doc:"Run a MiniJS program.") run_term
 

@@ -75,6 +75,9 @@ type config = {
   attr : Tce_attr.Ledger.t;
       (** attribution ledger; {!Tce_attr.Ledger.null} = disabled (the
           zero-cost default: no recording, identical cycles) *)
+  prof : Tce_prof.Profile.t;
+      (** cycle-attribution profiler; {!Tce_prof.Profile.null} = disabled
+          (the zero-cost default: no attribution, identical cycles) *)
 }
 
 let default_config =
@@ -93,6 +96,7 @@ let default_config =
     obs_sample_cycles = 0;
     fault = Tce_fault.Injector.null;
     attr = Tce_attr.Ledger.null;
+    prof = Tce_prof.Profile.null;
   }
 
 type t = {
@@ -145,8 +149,8 @@ let create ?(config = default_config) (prog : Bytecode.program) : t =
   let counters = Tce_machine.Counters.create () in
   let mach =
     Tce_machine.Machine.create ~cfg:config.mach_cfg ~mechanism:config.mechanism
-      ~trace:config.trace ~fault:config.fault ~attr:config.attr ~heap ~cc ~cl
-      ~oracle ~counters ()
+      ~trace:config.trace ~fault:config.fault ~attr:config.attr
+      ~prof:config.prof ~heap ~cc ~cl ~oracle ~counters ()
   in
   (* one deterministic clock for the whole observability layer: optimized
      cycles plus the analytic baseline-tier cycles *)
@@ -222,10 +226,13 @@ let baseline_cost_of t (bc : Bytecode.bc) =
     n + Tce_machine.Costs.mechanism_store_extra
   | _ -> n
 
-let charge_baseline_extra t n =
-  if measuring t then
+let charge_baseline_extra t extra n =
+  if measuring t then begin
     t.counters.Tce_machine.Counters.baseline_instrs <-
-      t.counters.Tce_machine.Counters.baseline_instrs + n
+      t.counters.Tce_machine.Counters.baseline_instrs + n;
+    if Tce_prof.Profile.on t.cfg.prof then
+      Tce_prof.Profile.base_extra t.cfg.prof extra n
+  end
 
 (* --- observability --- *)
 
@@ -262,6 +269,10 @@ let obs_tick t =
           cc_conflicts = Array.fold_left ( + ) 0 (CC.set_conflicts t.cc);
           baseline_instrs = t.counters.Tce_machine.Counters.baseline_instrs;
           heap_bytes = t.heap.Heap.stats.Heap.object_bytes;
+          prof_costs =
+            (if Tce_prof.Profile.on t.cfg.prof then
+               Tce_prof.Profile.cost_totals_named t.cfg.prof
+             else [||]);
         })
   end
 
@@ -490,7 +501,9 @@ let set_prop t (fb : Feedback.t option) fb_slot obj name v =
          Feedback.record_prop_simple fb fb_slot ~classid:c0.Hidden_class.id
            ~slot)
   | _ -> ());
-  if transitioned then charge_baseline_extra t Tce_machine.Costs.transition_instrs;
+  if transitioned then
+    charge_baseline_extra t Tce_prof.Profile.extra_transition
+      Tce_machine.Costs.transition_instrs;
   let line, pos = Layout.line_pos_of_slot slot in
   fire_store_event t ~classid:c1.Hidden_class.id ~line ~pos
     ~value_classid:(Heap.classid_of h v)
@@ -537,7 +550,7 @@ let set_elem t (fb : Feedback.t option) fb_slot obj idx v =
   | _ -> ());
   let slow = Heap.elem_set h obj i v in
   if slow then begin
-    charge_baseline_extra t 40;
+    charge_baseline_extra t Tce_prof.Profile.extra_elem_grow 40;
     let tr = trace t in
     if Tce_obs.Trace.on tr then
       Tce_obs.Trace.emit tr
@@ -730,6 +743,23 @@ and construct t fid (args : Value.t array) : Value.t =
   let this = Heap.alloc_object t.heap base ~reserve_props:ctor.Bytecode.reserve_props in
   call_function t fid (Array.append [| this |] args)
 
+and bc_label (op : Bytecode.bc) =
+  match op with
+  | Bytecode.LoadInt _ | LoadNum _ | LoadStr _ | LoadBool _ | LoadNull _ ->
+    "load-const"
+  | Move _ -> "move"
+  | BinOp _ -> "binop"
+  | UnOp _ -> "unop"
+  | GetProp _ -> "get-prop"
+  | SetProp _ -> "set-prop"
+  | GetElem _ -> "get-elem"
+  | SetElem _ -> "set-elem"
+  | GetGlobal _ | SetGlobal _ -> "global"
+  | NewObject _ | AllocCtor _ | NewArray _ -> "alloc"
+  | Call _ | CallB _ | New _ -> "call"
+  | Jump _ | JumpIfFalse _ | JumpIfTrue _ -> "branch"
+  | Return _ -> "return"
+
 and interp_from t (fn : Bytecode.func) (regs : Value.t array) start_pc : Value.t =
   let h = t.heap in
   let code = fn.Bytecode.code in
@@ -746,16 +776,37 @@ and interp_from t (fn : Bytecode.func) (regs : Value.t array) start_pc : Value.t
     end
   in
   let counters = t.counters in
+  let prof = t.cfg.prof in
+  let pon = Tce_prof.Profile.on prof in
+  let bacc =
+    if pon then
+      (* keyed by (fn id, code length): a shadow (inlined) body shares the
+         original's id with different code, and must keep its own cells *)
+      match
+        Tce_prof.Profile.find_base_acc prof ~id:fn.Bytecode.id
+          ~pcs:(Array.length code)
+      with
+      | Some a -> a
+      | None ->
+        Tce_prof.Profile.register_base prof ~id:fn.Bytecode.id
+          ~name:fn.Bytecode.name ~labels:(Array.map bc_label code)
+    else Tce_prof.Profile.dummy_acc
+  in
   let pc = ref start_pc in
   let running = ref true in
   let resv = ref h.Heap.null_v in
   while !running do
     let pc0 = !pc in
     let op = code.(pc0) in
-    if measuring t then
+    if measuring t then begin
       counters.Tce_machine.Counters.baseline_instrs <-
         counters.Tce_machine.Counters.baseline_instrs
         + Array.unsafe_get costs pc0;
+      if pon then begin
+        Tce_prof.Profile.set_base_site prof bacc pc0;
+        Tce_prof.Profile.base_add prof (Array.unsafe_get costs pc0)
+      end
+    end;
     let next = pc0 + 1 in
     (match op with
     | Bytecode.LoadInt (r, i) ->

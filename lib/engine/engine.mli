@@ -50,6 +50,10 @@ type config = {
   attr : Tce_attr.Ledger.t;
       (** attribution ledger; {!Tce_attr.Ledger.null} = disabled (the
           zero-cost default: no recording, identical cycles) *)
+  prof : Tce_prof.Profile.t;
+      (** cycle-attribution profiler; {!Tce_prof.Profile.null} = disabled
+          (the zero-cost default: no attribution, identical cycles). One
+          profile instance serves one engine. *)
 }
 
 val default_config : config

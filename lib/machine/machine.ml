@@ -19,6 +19,7 @@
 
 open Tce_vm
 open Tce_jit
+module Profile = Tce_prof.Profile
 
 exception Trap of string
 
@@ -99,6 +100,10 @@ type t = {
   attr : Tce_attr.Ledger.t;
       (** attribution ledger ({!Tce_attr.Ledger.null} = disabled): records
           each deopt's typed reason; never affects timing *)
+  prof : Profile.t;
+      (** cycle-attribution profiler ({!Tce_prof.Profile.null} = disabled):
+          every site that advances [cycle] reports the delta; reads the
+          clock, never writes timing state *)
   (* special registers (paper §4.2.1.2) *)
   mutable reg_classid : int;
   reg_classid_arr : int array;
@@ -110,7 +115,8 @@ let ring_capacity n =
 
 let create ?(cfg = Config.default) ?(mechanism = true)
     ?(trace = Tce_obs.Trace.null) ?(fault = Tce_fault.Injector.null)
-    ?(attr = Tce_attr.Ledger.null) ~heap ~cc ~cl ~oracle ~counters () =
+    ?(attr = Tce_attr.Ledger.null) ?(prof = Profile.null) ~heap ~cc ~cl
+    ~oracle ~counters () =
   let win_cap = ring_capacity cfg.Config.window_size in
   let stq_cap = ring_capacity cfg.Config.outstanding_ldst in
   {
@@ -146,6 +152,7 @@ let create ?(cfg = Config.default) ?(mechanism = true)
     trace;
     fault;
     attr;
+    prof;
     reg_classid = 0;
     reg_classid_arr = Array.make 4 0;
   }
@@ -183,6 +190,7 @@ let dispatch_k t kind =
   if t.slots >= t.cfg.issue_width then advance t;
   if kind = kind_load then while t.load_slots >= 1 do advance t done
   else if kind = kind_store then while t.store_slots >= 1 do advance t done;
+  if Profile.on t.prof then Profile.take t.prof Profile.cost_dispatch t.cycle;
   if t.win_len >= t.cfg.window_size then begin
     (* window full: retire the oldest in-flight instruction *)
     let c = Array.unsafe_get t.win_buf t.win_head in
@@ -195,6 +203,7 @@ let dispatch_k t kind =
       t.store_slots <- 0
     end
   end;
+  if Profile.on t.prof then Profile.take t.prof Profile.cost_window t.cycle;
   t.slots <- t.slots + 1;
   if kind = kind_load then t.load_slots <- t.load_slots + 1
   else if kind = kind_store then t.store_slots <- t.store_slots + 1;
@@ -253,7 +262,8 @@ let ifetch_slow t line =
     t.slots <- 0;
     t.load_slots <- 0;
     t.store_slots <- 0
-  end
+  end;
+  if Profile.on t.prof then Profile.take t.prof Profile.cost_icache t.cycle
 
 let cat_check_idx = Categories.index Categories.C_check
 
@@ -279,15 +289,18 @@ let count_meta t m =
 
 (** Charge a runtime-stub cost: serializes the pipeline. The cost is
     attributed to category index [cat_idx] (e.g. boxing stubs count as
-    Tags/Untags). *)
-let charge_rt_i t ~cat_idx ~instrs ~cycles =
+    Tags/Untags); the profiler books it under [pcost] (this take also
+    absorbs the caller's argument-readiness serialization, which advances
+    the clock just before charging). *)
+let charge_rt_i t ~pcost ~cat_idx ~instrs ~cycles =
   if t.measuring then
     t.counters.Counters.by_cat.(cat_idx) <-
       t.counters.Counters.by_cat.(cat_idx) + instrs;
   t.cycle <- t.cycle + cycles;
   t.slots <- 0;
   t.load_slots <- 0;
-  t.store_slots <- 0
+  t.store_slots <- 0;
+  if Profile.on t.prof then Profile.take t.prof pcost t.cycle
 
 let cat_other_idx = Categories.index Categories.C_other
 
@@ -365,7 +378,10 @@ let do_deopt t host (f : Lir.func) regs fregs deopt_id ~result =
   if t.measuring then begin
     t.counters.deopts <- t.counters.deopts + 1;
     t.counters.baseline_instrs <-
-      t.counters.baseline_instrs + Costs.deopt_transition_instrs
+      t.counters.baseline_instrs + Costs.deopt_transition_instrs;
+    if Profile.on t.prof then
+      Profile.base_extra t.prof Profile.extra_deopt_transition
+        Costs.deopt_transition_instrs
   end;
   t.cycle <- t.cycle + t.cfg.deopt_penalty;
   (* Fault: the OSR transition itself fails once and is retried via the
@@ -375,11 +391,16 @@ let do_deopt t host (f : Lir.func) regs fregs deopt_id ~result =
     Tce_fault.Injector.armed t.fault
     && Tce_fault.Injector.fire t.fault Tce_fault.Point.Osr_fail
   then begin
-    if t.measuring then
+    if t.measuring then begin
       t.counters.baseline_instrs <-
         t.counters.baseline_instrs + Costs.deopt_transition_instrs;
+      if Profile.on t.prof then
+        Profile.base_extra t.prof Profile.extra_deopt_transition
+          Costs.deopt_transition_instrs
+    end;
     t.cycle <- t.cycle + t.cfg.deopt_penalty
   end;
+  if Profile.on t.prof then Profile.take t.prof Profile.cost_deopt t.cycle;
   t.slots <- 0;
   let n = Array.length f.Lir.reprs in
   let vals =
@@ -406,6 +427,7 @@ let do_store t d ~addr ~start ~word =
       t.slots <- 0
     end
   end;
+  if Profile.on t.prof then Profile.take t.prof Profile.cost_storeq t.cycle;
   Mem.store t.heap.Heap.mem addr word;
   let done_at = daccess t ~start:(max d start) addr in
   Array.unsafe_set t.stq_buf ((t.stq_head + t.stq_len) land t.stq_mask) done_at;
@@ -428,7 +450,8 @@ let branch_resolve t ~opt_id ~pc ~start ~taken =
       t.cycle <- restart;
       t.slots <- 0
     end
-  end
+  end;
+  if Profile.on t.prof then Profile.take t.prof Profile.cost_branch t.cycle
 
 let cc_request_tagged t ~classid ~line ~pos ~stored =
   (* With the mechanism on, regObjectClassId was set by the preceding
@@ -446,7 +469,9 @@ let cc_request_tagged t ~classid ~line ~pos ~stored =
       let addr = Tce_core.Class_list.entry_addr t.cl ~classid ~line in
       let fin = daccess t ~start:t.cycle addr in
       t.cycle <- fin + t.cfg.class_cache_miss_penalty - t.cfg.l1_load_latency;
-      t.slots <- 0
+      t.slots <- 0;
+      if Profile.on t.prof then
+        Profile.take t.prof Profile.cost_ccmiss t.cycle
     end;
     if r.exn_raised then
       raise
@@ -460,10 +485,50 @@ let cc_request_tagged t ~classid ~line ~pos ~stored =
            })
   end
 
+(* --- profiler labels --- *)
+
+(* index 0 = a C_check whose kind slot is unattributed *)
+let check_labels =
+  Array.append [| "check" |]
+    (Array.of_list (List.map Categories.check_kind_name Categories.all_check_kinds))
+
+(** Profile label for one pre-decoded instruction: check kinds get their
+    paper-figure name, everything else its {!Categories} bucket. *)
+let label_of_meta m =
+  if m land Predecode.meta_pseudo_bit <> 0 then "profile-op"
+  else begin
+    let ci = m land Predecode.meta_cat_mask in
+    if ci = cat_check_idx then begin
+      let slot = (m lsr Predecode.meta_check_shift) land 7 in
+      if slot < Array.length check_labels then check_labels.(slot) else "check"
+    end
+    else
+      match Categories.of_index ci with
+      | Categories.C_taguntag -> "tags-untags"
+      | C_math -> "math"
+      | C_ccop -> "cc-op"
+      | C_check | C_other -> "other"
+  end
+
+(** The profile accumulator for [pf]: find-or-register keyed by
+    (opt_id, stream length) — see {!Tce_prof.Profile.register_opt} for why
+    the length is part of the key. *)
+let prof_acc prof (pf : Predecode.func) =
+  let f = pf.Predecode.lf in
+  let pcs = Array.length pf.Predecode.meta in
+  match Profile.find_opt_acc prof ~id:f.Lir.opt_id ~pcs with
+  | Some a -> a
+  | None ->
+    Profile.register_opt prof ~id:f.Lir.opt_id ~name:f.Lir.name
+      ~labels:(Array.map label_of_meta pf.Predecode.meta)
+
 (** Execute optimized code [f] on [args] = [this :: params], returning the
     function result (possibly via a deopt into the interpreter). *)
 let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
   let pf = install t f in
+  let prof = t.prof in
+  let pon = Profile.on prof in
+  let pacc = if pon then prof_acc prof pf else Profile.dummy_acc in
   let ops = pf.Predecode.ops and meta = pf.Predecode.meta in
   let regs = Array.make (max f.Lir.n_regs 1) 0 in
   let fregs = Array.make (max f.Lir.n_fregs 1) 0.0 in
@@ -545,6 +610,9 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
          pc := next
        end
        else begin
+         (* current attribution site: everything the clock does until the
+            next site change books to (this function, this pc) *)
+         if pon then Profile.set_site prof pacc pc0;
          let iline = (code_addr + (4 * pc0)) lsr 6 in
          if iline <> t.last_iline then ifetch_slow t iline;
          let d = dispatch_k t ((m lsr Predecode.meta_kind_shift) land 3) in
@@ -773,9 +841,14 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            (* serialize on argument readiness *)
            Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
            t.slots <- 0;
-           charge_rt_i t ~cat_idx:cat_other_idx ~instrs:cinstrs ~cycles:8;
+           charge_rt_i t ~pcost:Profile.cost_call ~cat_idx:cat_other_idx
+             ~instrs:cinstrs ~cycles:8;
            let argv = Array.map (fun r -> regs.(r)) argr in
            let v = host.call_fn callee argv in
+           (* the callee (a nested run) moved the attribution site; any
+              cycles this frame still books (deopt below, next dispatch)
+              belong to this call site again *)
+           if pon then Profile.set_site prof pacc pc0;
            if host.is_invalidated opt_id then begin
              (* on-stack replacement: this frame's code died during the call *)
              if Tce_obs.Trace.on t.trace then
@@ -791,8 +864,9 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            end
          | Pcall_rt_chk (rt, argr, rd, deopt_id, cinstrs, ccycles) ->
            Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
-           charge_rt_i t ~cat_idx:(m land Predecode.meta_cat_mask)
-             ~instrs:cinstrs ~cycles:ccycles;
+           charge_rt_i t ~pcost:Profile.cost_rt
+             ~cat_idx:(m land Predecode.meta_cat_mask) ~instrs:cinstrs
+             ~cycles:ccycles;
            let argv = Array.map (fun r -> regs.(r)) argr in
            let v, _ = host.rt_call rt argv [||] in
            if rd >= 0 then begin
@@ -813,8 +887,9 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
          | Pcall_rt (rt, argr, fargr, rd, fd, cinstrs, ccycles) ->
            Array.iter (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r)) argr;
            Array.iter (fun r -> if fready.(r) > t.cycle then t.cycle <- fready.(r)) fargr;
-           charge_rt_i t ~cat_idx:(m land Predecode.meta_cat_mask)
-             ~instrs:cinstrs ~cycles:ccycles;
+           charge_rt_i t ~pcost:Profile.cost_rt
+             ~cat_idx:(m land Predecode.meta_cat_mask) ~instrs:cinstrs
+             ~cycles:ccycles;
            let argv = Array.map (fun r -> regs.(r)) argr in
            let fargv = Array.map (fun r -> fregs.(r)) fargr in
            let v, fv = host.rt_call rt argv fargv in

@@ -79,6 +79,11 @@ type t = {
   attr : Tce_attr.Ledger.t;
       (** attribution ledger ({!Tce_attr.Ledger.null} = disabled): typed
           deopt reasons; never affects timing *)
+  prof : Tce_prof.Profile.t;
+      (** cycle-attribution profiler ({!Tce_prof.Profile.null} = disabled):
+          every clock-advancing site reports its delta to the current
+          (function, pc) site; reads timing state, never writes it, so
+          simulated cycles are bit-identical with it on or off *)
   mutable reg_classid : int;  (** regObjectClassId (paper §4.2.1.2) *)
   reg_classid_arr : int array;  (** regArrayObjectClassId 0-3 *)
 }
@@ -86,9 +91,9 @@ type t = {
 val create :
   ?cfg:Config.t -> ?mechanism:bool -> ?trace:Tce_obs.Trace.t ->
   ?fault:Tce_fault.Injector.t -> ?attr:Tce_attr.Ledger.t ->
-  heap:Tce_vm.Heap.t -> cc:Tce_core.Class_cache.t ->
-  cl:Tce_core.Class_list.t -> oracle:Tce_core.Oracle.t ->
-  counters:Counters.t -> unit -> t
+  ?prof:Tce_prof.Profile.t -> heap:Tce_vm.Heap.t ->
+  cc:Tce_core.Class_cache.t -> cl:Tce_core.Class_list.t ->
+  oracle:Tce_core.Oracle.t -> counters:Counters.t -> unit -> t
 
 (** Pre-decode [f] into the machine's stream cache (idempotent; keyed by
     [opt_id] with a physical-equality guard). {!run} installs lazily, so

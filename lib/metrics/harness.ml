@@ -200,6 +200,78 @@ let run_pair_timed ?(config = E.default_config) (w : Workload.t) :
          off.checksum on.checksum);
   (off, on, t1 -. t0, t2 -. t1)
 
+(* --- cycle-attribution profiling --- *)
+
+(** A profiled whole-run pair: both sides of one workload under a fresh
+    {!Tce_prof.Profile} each, with their collapsed-stack exports. *)
+type profiled = {
+  p_name : string;
+  p_off : Tce_prof.Profile.summary;
+  p_on : Tce_prof.Profile.summary;
+  p_folded_off : string;
+  p_folded_on : string;
+}
+
+(** One profiled whole run (measuring from the first instruction, like
+    {!run_whole} — profiled runs never reset counters, so the baseline-side
+    reconciliation in [summarize] holds). Returns (checksum of the last
+    bench() value, summary, collapsed-stack lines rooted at
+    ["name;on|off"]). *)
+let run_profiled_one ?(config = E.default_config) ~mechanism (w : Workload.t)
+    : string * Tce_prof.Profile.summary * string =
+  let prof = Tce_prof.Profile.create () in
+  let config = { config with E.mechanism; prof } in
+  let t = E.of_source ~config w.Workload.source in
+  E.set_measuring t true;
+  ignore (E.run_main t);
+  let v = ref t.E.heap.Tce_vm.Heap.null_v in
+  for _ = 1 to w.Workload.iterations do
+    v := E.call_by_name t "bench" [||]
+  done;
+  let checksum = Tce_vm.Heap.to_display_string t.E.heap !v in
+  let cpi = config.E.mach_cfg.Tce_machine.Config.baseline_cpi in
+  let summary =
+    Tce_prof.Profile.summarize prof ~program:w.Workload.name ~mechanism
+      ~machine_cycles:(E.opt_cycles t)
+      ~baseline_instrs:t.E.counters.Counters.baseline_instrs ~baseline_cpi:cpi
+      ()
+  in
+  let root = w.Workload.name ^ ";" ^ (if mechanism then "on" else "off") in
+  (checksum, summary, Tce_prof.Profile.folded ~root ~baseline_cpi:cpi prof)
+
+(** Profile both sides of [w], checking the sides agree on the checksum.
+    [verify] additionally reruns each side *unprofiled* and asserts the
+    totals are bit-identical — profiling must never change a simulated
+    number. *)
+let run_pair_profiled ?(verify = false) ?(config = E.default_config)
+    (w : Workload.t) : profiled =
+  let ck_off, p_off, p_folded_off =
+    run_profiled_one ~config ~mechanism:false w
+  in
+  let ck_on, p_on, p_folded_on = run_profiled_one ~config ~mechanism:true w in
+  if ck_off <> ck_on then
+    failwith
+      (Printf.sprintf "%s: checksum mismatch (off=%s on=%s)" w.Workload.name
+         ck_off ck_on);
+  if verify then
+    List.iter
+      (fun (mech, (s : Tce_prof.Profile.summary)) ->
+        let wc, _, _, _, bi =
+          run_whole ~config:{ config with E.mechanism = mech } w
+        in
+        if bi <> s.Tce_prof.Profile.baseline_instrs
+           || wc <> s.Tce_prof.Profile.total_cycles
+        then
+          failwith
+            (Printf.sprintf
+               "%s (mechanism %b): profiling changed simulated results \
+                (unprofiled %.0f cycles / %d baseline instrs, profiled %.0f \
+                / %d)"
+               w.Workload.name mech wc bi s.Tce_prof.Profile.total_cycles
+               s.Tce_prof.Profile.baseline_instrs))
+      [ (false, p_off); (true, p_on) ];
+  { p_name = w.Workload.name; p_off; p_on; p_folded_off; p_folded_on }
+
 (** Pure-interpreter checksum (ground truth for differential tests). *)
 let interp_checksum ?(config = E.default_config) (w : Workload.t) : string =
   let t = E.of_source ~config:{ config with E.jit = false } w.Workload.source in

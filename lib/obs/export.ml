@@ -4,9 +4,12 @@
    ([checks_by_kind]) and the [attr-report] document kind exists.
    v3: bench-run workloads carry per-side host wall clocks
    ([wall_seconds_off]/[wall_seconds_on], provenance-only).
+   v4: the [prof-report] (roster-wide cycle-attribution profiles) and
+   [time-report] (machine-readable --time wall table) document kinds
+   exist; Chrome traces gain [prof/<cost>] counter tracks.
    Older documents remain readable ([open_document] accepts 1..version);
    readers that need version-dependent defaults use [open_document_v]. *)
-let schema_version = 3
+let schema_version = 4
 
 let document ~kind data =
   Json.Obj

@@ -158,7 +158,10 @@ let chrome ?(snapshot = Snapshot.disabled) tr =
               counter ~at:s.Snapshot.at
                 (Printf.sprintf "cc-occupancy/sets-%d" i)
                 v)
-            (Array.to_list s.Snapshot.cc_set_occupancy))
+            (Array.to_list s.Snapshot.cc_set_occupancy)
+        @ List.map
+            (fun (n, v) -> counter ~at:s.Snapshot.at ("prof/" ^ n) v)
+            (Array.to_list s.Snapshot.prof_costs))
       (Snapshot.samples snapshot)
   in
   Json.Obj

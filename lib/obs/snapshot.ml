@@ -10,6 +10,7 @@ type sample = {
   cc_conflicts : int;
   baseline_instrs : int;
   heap_bytes : int;
+  prof_costs : (string * int) array;
 }
 
 type t = {

@@ -19,6 +19,10 @@ type sample = {
   cc_conflicts : int;  (** cumulative valid-victim evictions *)
   baseline_instrs : int;
   heap_bytes : int;
+  prof_costs : (string * int) array;
+      (** running profiler machine-cycle totals per cost kind at the
+          sample point (empty when profiling is off) — rendered as
+          [prof/<cost>] counter tracks *)
 }
 
 type t

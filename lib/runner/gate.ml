@@ -57,6 +57,36 @@ let composition_warnings ~tolerance_pct (b : Record.workload)
       b.Record.checks_by_kind
   end
 
+let wall_warn_threshold_pct = 25.0
+
+(** Warn-only host-wall-time drift: the simulator getting slower on the
+    host does not change any simulated number (so it must not gate), but a
+    >25% per-workload regression is exactly the kind of accidental hot-loop
+    pessimization that otherwise only surfaces when a nightly times out.
+    Schema v1/v2 baselines have no per-side clocks (they decode as 0.0) and
+    produce no warnings; wall times also vary with host load, hence
+    warn-only. *)
+let wall_warnings (b : Record.workload) (c : Record.workload) =
+  let warn side bw cw =
+    if bw > 0.0 && cw > bw *. (1.0 +. (wall_warn_threshold_pct /. 100.0)) then
+      Some
+        (Printf.sprintf
+           "%s: host wall time%s regressed %.2fs -> %.2fs (+%.0f%%, \
+            non-gating)"
+           b.Record.name side bw cw
+           (100.0 *. (cw -. bw) /. bw))
+    else None
+  in
+  List.filter_map Fun.id
+    (if b.Record.wall_seconds_off > 0.0 || b.Record.wall_seconds_on > 0.0 then
+       [
+         warn " (mechanism off)" b.Record.wall_seconds_off
+           c.Record.wall_seconds_off;
+         warn " (mechanism on)" b.Record.wall_seconds_on
+           c.Record.wall_seconds_on;
+       ]
+     else [ warn "" b.Record.wall_seconds c.Record.wall_seconds ])
+
 (** Compare [current] against [baseline] workload-by-workload (matched by
     name, over the baseline's roster). A workload fails when
     - its measured checksum changed (correctness regression),
@@ -110,12 +140,31 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
             :: vs
           in
           (vs, miss,
-           List.rev_append (composition_warnings ~tolerance_pct b c) warns))
+           List.rev_append (wall_warnings b c)
+             (List.rev_append (composition_warnings ~tolerance_pct b c) warns)))
       ([], [], []) baseline.Record.workloads
+  in
+  let suite_wall_warnings =
+    let bw = baseline.Record.host_wall_seconds
+    and cw = current.Record.host_wall_seconds in
+    if
+      bw > 0.0
+      && baseline.Record.jobs = current.Record.jobs
+      && cw > bw *. (1.0 +. (wall_warn_threshold_pct /. 100.0))
+    then
+      [
+        Printf.sprintf
+          "suite host wall time regressed %.2fs -> %.2fs (+%.0f%% at %d \
+           jobs, non-gating)"
+          bw cw
+          (100.0 *. (cw -. bw) /. bw)
+          current.Record.jobs;
+      ]
+    else []
   in
   let verdicts = List.rev verdicts
   and missing = List.rev missing
-  and warnings = List.rev warnings in
+  and warnings = List.rev warnings @ suite_wall_warnings in
   let config_mismatch =
     baseline.Record.config_hash <> current.Record.config_hash
   in

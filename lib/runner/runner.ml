@@ -92,6 +92,23 @@ let run_workloads ?config ?(jobs = default_jobs ()) ?cost
     let order = longest_first_order ~cost ws in
     map_in_order ~jobs ~order (run_one ?config) ws
 
+(** Profile the whole roster in parallel: one {!H.run_pair_profiled} per
+    workload (fresh engines and a fresh profile per side — nothing shared,
+    so domain fan-out cannot change any attributed number). Results come
+    back in input order. *)
+let run_profiles ?config ?(jobs = default_jobs ()) ?cost
+    (ws : Tce_workloads.Workload.t list) : Tce_metrics.Harness.profiled list =
+  let f w =
+    match config with
+    | None -> H.run_pair_profiled w
+    | Some config -> H.run_pair_profiled ~config w
+  in
+  match cost with
+  | None -> parallel_map ~jobs f ws
+  | Some cost ->
+    let order = longest_first_order ~cost ws in
+    map_in_order ~jobs ~order f ws
+
 let run_suite ?config ?jobs ?cost (ws : Tce_workloads.Workload.t list) :
     Record.run =
   let t0 = Unix.gettimeofday () in

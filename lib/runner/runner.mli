@@ -43,6 +43,17 @@ val run_workloads :
   Tce_workloads.Workload.t list ->
   Record.workload list
 
+(** Profile the whole roster (one {!Tce_metrics.Harness.run_pair_profiled}
+    per workload) on [jobs] domains — fresh engines and a fresh profile per
+    side, so fan-out cannot change any attributed number. Scheduling and
+    result order follow the {!run_workloads} rules. *)
+val run_profiles :
+  ?config:Tce_engine.Engine.config ->
+  ?jobs:int ->
+  ?cost:(Tce_workloads.Workload.t -> float option) ->
+  Tce_workloads.Workload.t list ->
+  Tce_metrics.Harness.profiled list
+
 (** [run_workloads] wrapped into a provenance-stamped {!Record.run}
     (git SHA, config hash, wall clock). [cost] defaults to the committed
     baseline's whole-run cycles ({!Store.baseline_cost_of_workload}). *)

@@ -4,6 +4,8 @@ module J = Tce_obs.Json
 
 let latest_path = "BENCH_latest.json"
 let attr_latest_path = "ATTR_latest.json"
+let prof_latest_path = "PROF_latest.json"
+let time_latest_path = "bench_time.json"
 let history_dir = Filename.concat "results" "history"
 let baseline_path = Filename.concat "results" "baseline.json"
 
@@ -76,15 +78,18 @@ let rec mkdir_p dir =
     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
   end
 
+(** [created_utc] with the separators dropped, e.g. [20260805T120102Z] —
+    lexicographic order is chronological order. *)
+let compact_stamp created_utc =
+  String.concat ""
+    (String.split_on_char ':'
+       (String.concat "" (String.split_on_char '-' created_utc)))
+
 (** History file name: sortable timestamp + SHA, e.g.
     [run-20260805T120102Z-ab12cd34ef56.json]. *)
 let history_file (r : Record.run) =
-  let compact =
-    String.concat ""
-      (String.split_on_char ':'
-         (String.concat "" (String.split_on_char '-' r.Record.created_utc)))
-  in
-  Printf.sprintf "run-%s-%s.json" compact r.Record.git_sha
+  Printf.sprintf "run-%s-%s.json" (compact_stamp r.Record.created_utc)
+    r.Record.git_sha
 
 let save ?(latest = latest_path) ?history:(dir = history_dir) (r : Record.run) =
   Tce_obs.Export.to_file ~path:latest (Record.run_to_json r);
@@ -95,6 +100,55 @@ let save ?(latest = latest_path) ?history:(dir = history_dir) (r : Record.run) =
     path
   end
   else latest
+
+(** Persist a [prof-report] document: always to [latest], and (when
+    [history] is non-empty) as [prof-<stamp>-<sha>.json] beside the bench
+    history, so {!Tce_prof.Report.diff_runs} has snapshots to diff
+    against. Returns the history path (or [latest] when history is off). *)
+let save_prof ?(latest = prof_latest_path) ?history:(dir = history_dir)
+    ~git_sha:sha ~created_utc (doc : J.t) =
+  Tce_obs.Export.to_file ~path:latest doc;
+  if dir <> "" then begin
+    mkdir_p dir;
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "prof-%s-%s.json" (compact_stamp created_utc) sha)
+    in
+    Tce_obs.Export.to_file ~path doc;
+    path
+  end
+  else latest
+
+(** The [--time] wall table as a versioned [time-report] document:
+    workloads slowest-first by combined wall seconds, with both per-side
+    clocks. Machine-readable twin of the text table. *)
+let time_report_json (r : Record.run) : J.t =
+  let rows =
+    List.sort
+      (fun (a : Record.workload) (b : Record.workload) ->
+        compare b.Record.wall_seconds a.Record.wall_seconds)
+      r.Record.workloads
+  in
+  Tce_obs.Export.document ~kind:"time-report"
+    (J.Obj
+       [
+         ("git_sha", J.Str r.Record.git_sha);
+         ("created_utc", J.Str r.Record.created_utc);
+         ("jobs", J.Int r.Record.jobs);
+         ("host_wall_seconds", J.Float r.Record.host_wall_seconds);
+         ( "workloads",
+           J.List
+             (List.map
+                (fun (w : Record.workload) ->
+                  J.Obj
+                    [
+                      ("name", J.Str w.Record.name);
+                      ("wall_seconds", J.Float w.Record.wall_seconds);
+                      ("wall_seconds_off", J.Float w.Record.wall_seconds_off);
+                      ("wall_seconds_on", J.Float w.Record.wall_seconds_on);
+                    ])
+                rows) );
+       ])
 
 let load path : (Record.run, string) result =
   match

@@ -10,6 +10,13 @@ val latest_path : string  (** ["BENCH_latest.json"] *)
 val attr_latest_path : string
 (** ["ATTR_latest.json"] — suite attribution report (`--bench --attr`). *)
 
+val prof_latest_path : string
+(** ["PROF_latest.json"] — roster-wide cycle-attribution profiles
+    (`--bench --profile`). *)
+
+val time_latest_path : string
+(** ["bench_time.json"] — machine-readable `--time` wall table. *)
+
 val history_dir : string  (** ["results/history"] *)
 
 val baseline_path : string  (** ["results/baseline.json"] *)
@@ -37,6 +44,22 @@ val make_run :
     under [history] (default {!history_dir}; [""] disables history).
     Returns the history file path (or [latest] when history is off). *)
 val save : ?latest:string -> ?history:string -> Record.run -> string
+
+(** Persist a [prof-report] document to [latest] (default
+    {!prof_latest_path}) and, when [history] is non-empty (default
+    {!history_dir}), as an immutable [prof-<stamp>-<sha>.json] copy.
+    Returns the history path (or [latest] when history is off). *)
+val save_prof :
+  ?latest:string ->
+  ?history:string ->
+  git_sha:string ->
+  created_utc:string ->
+  Tce_obs.Json.t ->
+  string
+
+(** The [--time] wall table as a versioned [time-report] document:
+    workloads slowest-first, with combined and per-side wall seconds. *)
+val time_report_json : Record.run -> Tce_obs.Json.t
 
 (** Parse a stored run (either the latest file, a history entry or a
     committed baseline). *)
