@@ -11,7 +11,8 @@
          and write every Harness.result field as versioned JSON)
       dune exec bench/main.exe -- --bench [--jobs N] [--out FILE]
           [--history DIR] [--suite all|selected|octane|sunspider|kraken]
-          [--time] [--profile[=FILE]] [WORKLOAD ...]
+          [--time] [--profile[=FILE]] [--shards N | --shard K/N]
+          [--deterministic] [WORKLOAD ...]
         (parallel suite run through Tce_runner; appends to the result
          store: BENCH_latest.json + results/history/. --time additionally
          prints the host wall clock per workload, slowest first — how fast
@@ -20,17 +21,25 @@
          under the cycle-attribution profiler: prints the checks-off vs
          checks-on differential, writes PROF_latest.json (+ a history
          copy) and collapsed-stack flamegraph lines to FILE, default
-         bench_profile.folded — load it in speedscope or inferno)
+         bench_profile.folded — load it in speedscope or inferno.
+         --shards N forks N worker processes over the roster and merges
+         their rows into one run, bit-identical to a serial run;
+         --shard K/N is the worker side (row envelopes on stdout, used by
+         the parent — not meant for direct use). --deterministic strips
+         the host-dependent fields (timestamps, wall clocks, jobs/shards)
+         from the saved run so two runs of the same tree compare with
+         cmp(1))
       dune exec bench/main.exe -- --profile-diff BASE [CUR]
         (run-vs-run differential between two prof-report documents, e.g.
          a results/history/prof-*.json snapshot vs PROF_latest.json;
          CUR defaults to PROF_latest.json)
       dune exec bench/main.exe -- --check [--baseline FILE]
-          [--tolerance PCT] [--jobs N] [WORKLOAD ...]
+          [--tolerance PCT] [--jobs N | --shards N] [WORKLOAD ...]
         (perf-regression gate: re-run the baseline's roster and exit
          non-zero when cycles or check-removal rates degrade)
       dune exec bench/main.exe -- --faults [--fault-seed N] [--fault-spec S]
-          [--jobs N] [--out FILE] [--dir DIR] [--suite ...] [WORKLOAD ...]
+          [--jobs N] [--shards N | --shard K/N] [--out FILE] [--dir DIR]
+          [--suite ...] [WORKLOAD ...]
         (fault-injection campaign: run the (workload x fault point) matrix
          under the differential oracle, write FAULTS_latest.json +
          results/campaigns/, exit non-zero on any silent wrong answer) *)
@@ -253,10 +262,20 @@ let print_time_table (run : Tce_runner.Record.run) =
     "total" "" "" total "" run.R.host_wall_seconds
 
 let run_bench args =
-  (* `--attr[=FILE]`, `--profile[=FILE]` and `--time` are value-less
-     flags; peel them off before the value-taking flag parser sees them. *)
+  (* `--attr[=FILE]`, `--profile[=FILE]`, `--time` and `--no-templates`
+     are value-less flags; peel them off before the value-taking flag
+     parser sees them. *)
   let time_args, args = List.partition (fun a -> a = "--time") args in
   let show_time = time_args <> [] in
+  let det_args, args = List.partition (fun a -> a = "--deterministic") args in
+  let deterministic = det_args <> [] in
+  let nt_args, args = List.partition (fun a -> a = "--no-templates") args in
+  let config =
+    (* template execution is bit-identical, so this only changes host wall
+       time (the serial-vs-templated wall table in the README) *)
+    if nt_args = [] then None
+    else Some { Tce_engine.Engine.default_config with templates = false }
+  in
   let attr_args, args =
     List.partition
       (fun a ->
@@ -285,11 +304,37 @@ let run_bench args =
       Some (String.sub a 10 (String.length a - 10))
     | _ -> Some "bench_profile.folded"
   in
-  let opts, names = parse_flags [ "jobs"; "out"; "history"; "suite" ] args in
+  let opts, names =
+    parse_flags [ "jobs"; "out"; "history"; "suite"; "shards"; "shard" ] args
+  in
   let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
   let suite = Option.value ~default:"all" (Hashtbl.find_opt opts "suite") in
   let ws = resolve_workloads ~suite names in
-  let run = Tce_runner.Runner.run_suite ~jobs ws in
+  (* Worker mode (`--shard K/N`, spawned by a `--shards N` parent): run
+     this shard's slice and stream row envelopes on stdout — no summary,
+     no result files. *)
+  (match Hashtbl.find_opt opts "shard" with
+  | None -> ()
+  | Some spec_str -> (
+    if attr_out <> None || prof_out <> None || show_time then
+      usage_fail "--shard is a worker mode; --attr/--profile/--time live on the parent";
+    match Tce_runner.Shard.parse_spec spec_str with
+    | Error e -> usage_fail e
+    | Ok (shard, shards) ->
+      Tce_runner.Shard.bench_worker ?config ~shard ~shards ~out:stdout ws;
+      exit 0));
+  let shards = opt_int opts "shards" ~default:1 in
+  if shards < 1 then usage_fail "--shards expects a positive integer";
+  if shards > 1 && (attr_out <> None || prof_out <> None) then
+    usage_fail "--attr/--profile are not supported with --shards (run them serially)";
+  let run =
+    if shards > 1 then
+      Tce_runner.Shard.bench_parent ~shards
+        ~worker_args:(if Option.is_none config then [] else [ "--no-templates" ])
+        ws
+    else Tce_runner.Runner.run_suite ?config ~jobs ws
+  in
+  let run = if deterministic then Tce_runner.Record.normalize_run run else run in
   let latest =
     Option.value ~default:Tce_runner.Store.latest_path (Hashtbl.find_opt opts "out")
   in
@@ -401,7 +446,9 @@ let run_profile_diff args =
 
 let run_faults args =
   let opts, names =
-    parse_flags [ "jobs"; "fault-seed"; "fault-spec"; "out"; "dir"; "suite" ]
+    parse_flags
+      [ "jobs"; "fault-seed"; "fault-spec"; "out"; "dir"; "suite"; "shards";
+        "shard" ]
       args
   in
   let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
@@ -418,7 +465,32 @@ let run_faults args =
   in
   let suite = Option.value ~default:"all" (Hashtbl.find_opt opts "suite") in
   let ws = resolve_workloads ~suite names in
-  let campaign = Tce_runner.Campaign.run ~spec ~seed ~jobs ws in
+  (* Worker mode: run this shard's slice of the matrix, cell envelopes on
+     stdout (spawned by a `--shards N` parent — no summary, no files). *)
+  (match Hashtbl.find_opt opts "shard" with
+  | None -> ()
+  | Some spec_str -> (
+    match Tce_runner.Shard.parse_spec spec_str with
+    | Error e -> usage_fail e
+    | Ok (shard, shards) ->
+      Tce_runner.Campaign.worker ~spec ~seed ~shard ~shards ~out:stdout ws;
+      exit 0));
+  let shards = opt_int opts "shards" ~default:1 in
+  if shards < 1 then usage_fail "--shards expects a positive integer";
+  let campaign =
+    if shards > 1 then
+      (* pass the cell-identity inputs through verbatim; the roster goes as
+         positional names, so --suite need not survive the hop *)
+      let pass key =
+        match Hashtbl.find_opt opts key with
+        | None -> []
+        | Some v -> [ "--" ^ key; v ]
+      in
+      Tce_runner.Campaign.parent ~spec ~seed ~shards
+        ~worker_args:(pass "fault-seed" @ pass "fault-spec")
+        ws
+    else Tce_runner.Campaign.run ~spec ~seed ~jobs ws
+  in
   let latest =
     Option.value ~default:Tce_runner.Campaign.latest_path
       (Hashtbl.find_opt opts "out")
@@ -433,7 +505,9 @@ let run_faults args =
   exit (Tce_runner.Campaign.exit_code campaign)
 
 let run_check args =
-  let opts, names = parse_flags [ "baseline"; "tolerance"; "jobs" ] args in
+  let opts, names =
+    parse_flags [ "baseline"; "tolerance"; "jobs"; "shards" ] args
+  in
   let baseline_path =
     Option.value ~default:Tce_runner.Store.baseline_path
       (Hashtbl.find_opt opts "baseline")
@@ -442,7 +516,18 @@ let run_check args =
     opt_float opts "tolerance" ~default:Tce_runner.Gate.default_tolerance_pct
   in
   let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
-  exit (Tce_runner.Gate.run_gate ~baseline_path ~tolerance_pct ~jobs ~names ())
+  let shards = opt_int opts "shards" ~default:1 in
+  if shards < 1 then usage_fail "--shards expects a positive integer";
+  let runner =
+    if shards > 1 then
+      Some
+        (fun roster ->
+          Tce_runner.Shard.bench_parent ~shards ~worker_args:[] roster)
+    else None
+  in
+  exit
+    (Tce_runner.Gate.run_gate ~baseline_path ~tolerance_pct ~jobs ~names
+       ?runner ())
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

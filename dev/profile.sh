@@ -2,10 +2,10 @@
 # Profile the simulator itself (host wall clock, not simulated cycles).
 #
 # Usage:
-#   dev/profile.sh [WORKLOAD ...]
+#   dev/profile.sh [--shards N] [WORKLOAD ...]
 #
 # Runs the named workloads (default: a representative slow trio) through
-# the benchmark runner serially and reports where the host time goes:
+# the benchmark runner and reports where the host time goes:
 #
 #   * with Linux `perf` installed: `perf record` + `perf report` over the
 #     run, giving a per-function profile of the dispatch loop;
@@ -14,8 +14,32 @@
 #     per workload and per mechanism side — coarse, but enough to spot
 #     which workload regressed before bisecting with smaller rosters.
 #
+# --shards N runs the roster across N worker processes (the CI
+# configuration). Under perf, -g follows the forked workers, so the
+# report covers the whole worker fleet; the fallback prints the parent's
+# merged summary (per-workload wall columns are measured in the workers
+# and still attributed per pair).
+#
 # POSIX sh; run from the repo root. Results land under /tmp/tce-profile.
 set -eu
+
+shards=1
+case "${1:-}" in
+--shards)
+    shards="${2:?--shards needs a value}"
+    shift 2
+    ;;
+--shards=*)
+    shards="${1#--shards=}"
+    shift
+    ;;
+esac
+case "$shards" in
+'' | *[!0-9]*)
+    echo "profile.sh: --shards expects a positive integer, got '$shards'" >&2
+    exit 2
+    ;;
+esac
 
 workloads="${*:-splay mandreel typescript-ray}"
 out=/tmp/tce-profile
@@ -25,17 +49,23 @@ dune build bench/main.exe
 
 exe=_build/default/bench/main.exe
 
+if [ "$shards" -gt 1 ]; then
+    mode="--shards $shards"
+else
+    mode="--jobs 1"
+fi
+
 if command -v perf >/dev/null 2>&1; then
-    echo "profiling with perf: $workloads"
-    # shellcheck disable=SC2086  # workload names are intentionally split
-    perf record -g -o "$out/perf.data" -- "$exe" --bench --jobs 1 \
+    echo "profiling with perf ($mode): $workloads"
+    # shellcheck disable=SC2086  # workload names/mode are intentionally split
+    perf record -g -o "$out/perf.data" -- "$exe" --bench $mode \
         --history "" --out "$out/profile_bench.json" $workloads
     perf report -i "$out/perf.data" --stdio | head -60
     echo "full profile: perf report -i $out/perf.data"
 else
-    echo "perf not found; falling back to the runner's self-timing table"
+    echo "perf not found; falling back to the runner's self-timing table ($mode)"
     # shellcheck disable=SC2086
-    "$exe" --bench --time --jobs 1 --history "" \
+    "$exe" --bench --time $mode --history "" \
         --out "$out/profile_bench.json" $workloads | tee "$out/time_table.txt"
     echo "table saved to $out/time_table.txt"
 fi

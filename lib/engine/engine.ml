@@ -78,6 +78,11 @@ type config = {
   prof : Tce_prof.Profile.t;
       (** cycle-attribution profiler; {!Tce_prof.Profile.null} = disabled
           (the zero-cost default: no attribution, identical cycles) *)
+  templates : bool;
+      (** fuse pre-decoded streams into superinstruction templates
+          (default true — a pure host-speed optimization; simulated state
+          is bit-identical, so this is deliberately not part of the
+          benchmark config hash) *)
 }
 
 let default_config =
@@ -97,6 +102,7 @@ let default_config =
     fault = Tce_fault.Injector.null;
     attr = Tce_attr.Ledger.null;
     prof = Tce_prof.Profile.null;
+    templates = true;
   }
 
 type t = {
@@ -122,6 +128,12 @@ type t = {
   obs_clock : unit -> int;
       (** deterministic trace clock: machine cycles + analytic baseline
           cycles (also installed as the trace's clock) *)
+  mutable regs_pool : Tce_vm.Value.t array list;
+      (** free list of interpreter register files (one [Array.make] per
+          guest call otherwise) *)
+  binop_cell : Tce_jit.Feedback.binop_fb ref;
+      (** reusable out-cell for {!Runtime.eval_binop_cell}; consumed
+          immediately after each call, so sharing one per engine is safe *)
 }
 
 let max_depth = 2000
@@ -150,14 +162,18 @@ let create ?(config = default_config) (prog : Bytecode.program) : t =
   let mach =
     Tce_machine.Machine.create ~cfg:config.mach_cfg ~mechanism:config.mechanism
       ~trace:config.trace ~fault:config.fault ~attr:config.attr
-      ~prof:config.prof ~heap ~cc ~cl ~oracle ~counters ()
+      ~prof:config.prof ~templates:config.templates ~heap ~cc ~cl ~oracle
+      ~counters ()
   in
-  (* one deterministic clock for the whole observability layer: optimized
-     cycles plus the analytic baseline-tier cycles *)
+  (* One deterministic clock for the whole observability layer: optimized
+     cycles plus the analytic baseline-tier cycles. Built on the always-on
+     [clock_base_instrs] (not the measuring-gated counter) so backoff decay
+     and cooldown expiry — simulated behavior — cannot depend on when the
+     harness toggles measurement. *)
   let obs_clock () =
     mach.Tce_machine.Machine.cycle
     + int_of_float
-        (float_of_int counters.Tce_machine.Counters.baseline_instrs
+        (float_of_int mach.Tce_machine.Machine.clock_base_instrs
         *. config.mach_cfg.Tce_machine.Config.baseline_cpi)
   in
   Tce_obs.Trace.set_clock config.trace obs_clock;
@@ -191,6 +207,8 @@ let create ?(config = default_config) (prog : Bytecode.program) : t =
     globals_base;
     snap = Tce_obs.Snapshot.create ~every:config.obs_sample_cycles;
     obs_clock;
+    regs_pool = [];
+    binop_cell = ref Tce_jit.Feedback.Bf_smi;
   }
 
 let of_source ?config src = create ?config (Bc_compile.compile_source src)
@@ -227,6 +245,8 @@ let baseline_cost_of t (bc : Bytecode.bc) =
   | _ -> n
 
 let charge_baseline_extra t extra n =
+  t.mach.Tce_machine.Machine.clock_base_instrs <-
+    t.mach.Tce_machine.Machine.clock_base_instrs + n;
   if measuring t then begin
     t.counters.Tce_machine.Counters.baseline_instrs <-
       t.counters.Tce_machine.Counters.baseline_instrs + n;
@@ -702,9 +722,22 @@ let rec call_function t fid (args : Value.t array) : Value.t =
   if t.depth > max_depth then raise (Engine_error "guest stack overflow");
   try_optimize t fn;
   let interp () =
-    let regs = Array.make (max fn.Bytecode.n_regs 1) t.heap.Heap.null_v in
+    let n = max fn.Bytecode.n_regs 1 in
+    (* pooled register file: recycle instead of one [Array.make] per call
+       (registers are immediate [Value.t]s, so reuse is GC-transparent);
+       the used prefix is re-initialized to the fresh-allocation state *)
+    let regs =
+      match t.regs_pool with
+      | a :: rest when Array.length a >= n ->
+        t.regs_pool <- rest;
+        Array.fill a 0 n t.heap.Heap.null_v;
+        a
+      | _ -> Array.make n t.heap.Heap.null_v
+    in
     Array.blit args 0 regs 0 (min (Array.length args) fn.Bytecode.n_regs);
-    interp_from t fn regs 0
+    let r = interp_from t fn regs 0 in
+    t.regs_pool <- regs :: t.regs_pool;
+    r
   in
   let result =
     match fn.Bytecode.opt with
@@ -795,10 +828,16 @@ and interp_from t (fn : Bytecode.func) (regs : Value.t array) start_pc : Value.t
   let pc = ref start_pc in
   let running = ref true in
   let resv = ref h.Heap.null_v in
+  (* hoisted: measurement is toggled by the harness between guest calls,
+     never mid-execution, so it is loop-invariant here *)
+  let msr = measuring t in
+  let mach = t.mach in
   while !running do
     let pc0 = !pc in
     let op = code.(pc0) in
-    if measuring t then begin
+    mach.Tce_machine.Machine.clock_base_instrs <-
+      mach.Tce_machine.Machine.clock_base_instrs + Array.unsafe_get costs pc0;
+    if msr then begin
       counters.Tce_machine.Counters.baseline_instrs <-
         counters.Tce_machine.Counters.baseline_instrs
         + Array.unsafe_get costs pc0;
@@ -828,8 +867,8 @@ and interp_from t (fn : Bytecode.func) (regs : Value.t array) start_pc : Value.t
       regs.(d) <- regs.(s);
       pc := next
     | BinOp (bop, d, a, b, slot) ->
-      let v, kind = Runtime.eval_binop h bop regs.(a) regs.(b) in
-      emit_ic t ~site:"binop" ~slot (Feedback.record_binop fb slot kind);
+      let v = Runtime.eval_binop_cell h bop regs.(a) regs.(b) t.binop_cell in
+      emit_ic t ~site:"binop" ~slot (Feedback.record_binop fb slot !(t.binop_cell));
       regs.(d) <- v;
       pc := next
     | UnOp (uop, d, a) ->

@@ -54,6 +54,11 @@ type config = {
       (** cycle-attribution profiler; {!Tce_prof.Profile.null} = disabled
           (the zero-cost default: no attribution, identical cycles). One
           profile instance serves one engine. *)
+  templates : bool;
+      (** fuse pre-decoded streams into superinstruction templates
+          (default true): a pure host-speed optimization — simulated state
+          is bit-identical, so it is deliberately excluded from the
+          benchmark config hash *)
 }
 
 val default_config : config
@@ -77,6 +82,10 @@ type t = {
   globals_base : int;
   snap : Tce_obs.Snapshot.t;  (** periodic counter sampler *)
   obs_clock : unit -> int;  (** deterministic trace clock *)
+  mutable regs_pool : Tce_vm.Value.t array list;
+      (** free list of interpreter register files *)
+  binop_cell : Tce_jit.Feedback.binop_fb ref;
+      (** reusable out-cell for {!Runtime.eval_binop_cell} *)
 }
 
 val max_depth : int

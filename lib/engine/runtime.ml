@@ -45,24 +45,35 @@ let values_equal h a b =
     Heap.string_value h a = Heap.string_value h b
   else a = b
 
-let eval_binop h (op : Tce_minijs.Ast.binop) a b : Value.t * Feedback.binop_fb =
+(* Out-cell variant: BinOp is the interpreter's hottest bytecode and the
+   (value, feedback) result tuple was one minor allocation per executed
+   binop. [fbc] is caller-owned and reused ([binop_fb] is all constant
+   constructors, so the cell write never allocates). *)
+let eval_binop_cell h (op : Tce_minijs.Ast.binop) a b
+    (fbc : Feedback.binop_fb ref) : Value.t =
   let num f =
     let r = Heap.number h f in
-    (r, observe h a b (Value.is_smi r))
+    fbc := observe h a b (Value.is_smi r);
+    r
   in
   (* comparisons produce booleans; their operand feedback is smi/number by
      the operands alone (the V8 CompareIC), not by the (boolean) result *)
   let cmp_fb () =
     if Value.is_smi a && Value.is_smi b then Feedback.Bf_smi else observe h a b false
   in
-  let bool_res r = (Heap.bool_v h r, cmp_fb ()) in
+  let bool_res r =
+    fbc := cmp_fb ();
+    Heap.bool_v h r
+  in
   match op with
   | Tce_minijs.Ast.Add ->
     if Heap.is_string h a || Heap.is_string h b then begin
       let s = to_display h a ^ to_display h b in
       let r = Heap.intern_string h s in
-      (r, if Heap.is_string h a && Heap.is_string h b then Feedback.Bf_string
-          else Feedback.Bf_generic)
+      fbc :=
+        (if Heap.is_string h a && Heap.is_string h b then Feedback.Bf_string
+         else Feedback.Bf_generic);
+      r
     end
     else num (to_number h a +. to_number h b)
   | Sub -> num (to_number h a -. to_number h b)
@@ -80,7 +91,8 @@ let eval_binop h (op : Tce_minijs.Ast.binop) a b : Value.t * Feedback.binop_fb =
         | Ge -> c >= 0
         | _ -> assert false
       in
-      (Heap.bool_v h r, Feedback.Bf_string)
+      fbc := Feedback.Bf_string;
+      Heap.bool_v h r
     end
     else begin
       let x = to_number h a and y = to_number h b in
@@ -96,20 +108,25 @@ let eval_binop h (op : Tce_minijs.Ast.binop) a b : Value.t * Feedback.binop_fb =
   | Ne -> bool_res (not (values_equal h a b))
   | BitAnd | BitOr | BitXor | Shl | Shr | Ushr -> (
     let x = to_int32 h a and y = to_int32 h b in
-    let fbk =
-      if Value.is_smi a && Value.is_smi b then Feedback.Bf_smi else Feedback.Bf_number
-    in
+    fbc :=
+      (if Value.is_smi a && Value.is_smi b then Feedback.Bf_smi
+       else Feedback.Bf_number);
     match op with
-    | Tce_minijs.Ast.BitAnd -> (Value.smi (Value.to_int32 (x land y)), fbk)
-    | BitOr -> (Value.smi (Value.to_int32 (x lor y)), fbk)
-    | BitXor -> (Value.smi (Value.to_int32 (x lxor y)), fbk)
-    | Shl -> (Value.smi (Value.to_int32 (x lsl (y land 31))), fbk)
-    | Shr -> (Value.smi (Value.to_int32 (x asr (y land 31))), fbk)
+    | Tce_minijs.Ast.BitAnd -> Value.smi (Value.to_int32 (x land y))
+    | BitOr -> Value.smi (Value.to_int32 (x lor y))
+    | BitXor -> Value.smi (Value.to_int32 (x lxor y))
+    | Shl -> Value.smi (Value.to_int32 (x lsl (y land 31)))
+    | Shr -> Value.smi (Value.to_int32 (x asr (y land 31)))
     | Ushr ->
       let r = (x land 0xffff_ffff) lsr (y land 31) in
-      (Heap.number h (float_of_int r), fbk)
+      Heap.number h (float_of_int r)
     | _ -> assert false)
   | LAnd | LOr -> error "logical binop must be compiled to control flow"
+
+let eval_binop h (op : Tce_minijs.Ast.binop) a b : Value.t * Feedback.binop_fb =
+  let fbc = ref Feedback.Bf_smi in
+  let v = eval_binop_cell h op a b fbc in
+  (v, !fbc)
 
 let eval_unop h (op : Tce_minijs.Ast.unop) a : Value.t =
   match op with

@@ -30,6 +30,13 @@ val eval_binop :
   Tce_vm.Heap.t -> Tce_minijs.Ast.binop -> Tce_vm.Value.t -> Tce_vm.Value.t ->
   Tce_vm.Value.t * Tce_jit.Feedback.binop_fb
 
+(** Allocation-free variant: writes the feedback observation into the
+    caller-owned cell instead of pairing it with the result (the
+    interpreter's per-binop fast path). *)
+val eval_binop_cell :
+  Tce_vm.Heap.t -> Tce_minijs.Ast.binop -> Tce_vm.Value.t -> Tce_vm.Value.t ->
+  Tce_jit.Feedback.binop_fb ref -> Tce_vm.Value.t
+
 val eval_unop :
   Tce_vm.Heap.t -> Tce_minijs.Ast.unop -> Tce_vm.Value.t -> Tce_vm.Value.t
 

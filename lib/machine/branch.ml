@@ -20,7 +20,10 @@ let record t ~fn ~pc ~taken =
   t.stats.branches <- t.stats.branches + 1;
   let correct = predicted_taken = taken in
   if not correct then t.stats.mispredicts <- t.stats.mispredicts + 1;
-  t.table.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
+  (* int-specialized saturation: Stdlib.min/max are generic-compare calls *)
+  t.table.(i) <- (if taken then (if c >= 3 then 3 else c + 1)
+                  else if c <= 0 then 0
+                  else c - 1);
   correct
 
 let mispredict_rate t =

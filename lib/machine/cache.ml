@@ -40,32 +40,47 @@ let create ~size_kb ~ways ~line_bytes =
    [line mod nsets]. *)
 let set_of t line = if t.set_mask >= 0 then line land t.set_mask else line mod t.nsets
 
-(** Access the line containing [addr]; fills on miss. Returns [true] on hit. *)
+(** Access the line containing [addr]; fills on miss. Returns [true] on hit.
+
+    Both scans are tail-recursive loops rather than [ref]-based ones: a
+    line lives in at most one way, so early exit is equivalent to the
+    reference full scan, and avoiding the ref cells keeps the hot hit path
+    allocation-free (classic mode heap-allocates local refs). The victim
+    choice — last empty way if any, else the first way with the strictly
+    smallest LRU stamp — is bit-identical to the reference model. *)
 let access t addr =
   let line = addr lsr t.line_bits in
   let set = set_of t line in
   let tags = t.tags.(set) and lru = t.lru.(set) in
   t.clock <- t.clock + 1;
   t.stats.accesses <- t.stats.accesses + 1;
-  let hit = ref false in
-  for w = 0 to t.ways - 1 do
-    if tags.(w) = line then begin
-      hit := true;
-      lru.(w) <- t.clock
-    end
-  done;
-  if !hit then t.stats.hits <- t.stats.hits + 1
+  let ways = t.ways in
+  let rec scan w =
+    if w >= ways then -1
+    else if Array.unsafe_get tags w = line then w
+    else scan (w + 1)
+  in
+  let hw = scan 0 in
+  if hw >= 0 then begin
+    Array.unsafe_set lru hw t.clock;
+    t.stats.hits <- t.stats.hits + 1
+  end
   else begin
     t.stats.misses <- t.stats.misses + 1;
-    let victim = ref 0 in
-    for w = 0 to t.ways - 1 do
-      if tags.(w) = -1 then victim := w
-      else if tags.(!victim) <> -1 && lru.(w) < lru.(!victim) then victim := w
-    done;
-    tags.(!victim) <- line;
-    lru.(!victim) <- t.clock
+    let rec pick w v =
+      if w >= ways then v
+      else if Array.unsafe_get tags w = -1 then pick (w + 1) w
+      else if
+        Array.unsafe_get tags v <> -1
+        && Array.unsafe_get lru w < Array.unsafe_get lru v
+      then pick (w + 1) w
+      else pick (w + 1) v
+    in
+    let victim = pick 0 0 in
+    tags.(victim) <- line;
+    lru.(victim) <- t.clock
   end;
-  !hit
+  hw >= 0
 
 (** Insert the line containing [addr] without touching statistics (used to
     model allocation into a cache-resident nursery; see DESIGN.md). *)
@@ -74,18 +89,24 @@ let insert t addr =
   let set = set_of t line in
   let tags = t.tags.(set) and lru = t.lru.(set) in
   t.clock <- t.clock + 1;
-  let present = ref false in
-  for w = 0 to t.ways - 1 do
-    if tags.(w) = line then present := true
-  done;
-  if not !present then begin
-    let victim = ref 0 in
-    for w = 0 to t.ways - 1 do
-      if tags.(w) = -1 then victim := w
-      else if tags.(!victim) <> -1 && lru.(w) < lru.(!victim) then victim := w
-    done;
-    tags.(!victim) <- line;
-    lru.(!victim) <- t.clock
+  let ways = t.ways in
+  let rec scan w =
+    if w >= ways then false
+    else Array.unsafe_get tags w = line || scan (w + 1)
+  in
+  if not (scan 0) then begin
+    let rec pick w v =
+      if w >= ways then v
+      else if Array.unsafe_get tags w = -1 then pick (w + 1) w
+      else if
+        Array.unsafe_get tags v <> -1
+        && Array.unsafe_get lru w < Array.unsafe_get lru v
+      then pick (w + 1) w
+      else pick (w + 1) v
+    in
+    let victim = pick 0 0 in
+    tags.(victim) <- line;
+    lru.(victim) <- t.clock
   end
 
 let hit_rate t =

@@ -66,6 +66,60 @@ let reset t =
   t.obj_loads_first_line <- 0;
   t.obj_loads_total <- 0
 
+(** Snapshot for window measurements: counting is purely additive, so the
+    counters over a window are the end-state minus a snapshot taken at the
+    window's start ({!since}) — which lets one execution serve both the
+    whole-run and the steady-state measurement. *)
+let copy t =
+  {
+    by_cat = Array.copy t.by_cat;
+    by_check_kind = Array.copy t.by_check_kind;
+    guards_obj_load = t.guards_obj_load;
+    opt_loads = t.opt_loads;
+    opt_stores = t.opt_stores;
+    opt_branches = t.opt_branches;
+    opt_fp = t.opt_fp;
+    opt_cycles = t.opt_cycles;
+    baseline_instrs = t.baseline_instrs;
+    baseline_cycles = t.baseline_cycles;
+    deopts = t.deopts;
+    cc_exception_deopts = t.cc_exception_deopts;
+    tierups = t.tierups;
+    obj_loads = Tce_support.Int_table.copy t.obj_loads;
+    obj_loads_first_line = t.obj_loads_first_line;
+    obj_loads_total = t.obj_loads_total;
+  }
+
+(** [since t snap] is a fresh counter record holding [t - snap] — exactly
+    what a reset at the snapshot point followed by the same execution
+    would have accumulated (all counters only ever increment). *)
+let since t snap =
+  let d = create () in
+  Array.iteri (fun i v -> d.by_cat.(i) <- v - snap.by_cat.(i)) t.by_cat;
+  Array.iteri
+    (fun i v -> d.by_check_kind.(i) <- v - snap.by_check_kind.(i))
+    t.by_check_kind;
+  d.guards_obj_load <- t.guards_obj_load - snap.guards_obj_load;
+  d.opt_loads <- t.opt_loads - snap.opt_loads;
+  d.opt_stores <- t.opt_stores - snap.opt_stores;
+  d.opt_branches <- t.opt_branches - snap.opt_branches;
+  d.opt_fp <- t.opt_fp - snap.opt_fp;
+  d.opt_cycles <- t.opt_cycles - snap.opt_cycles;
+  d.baseline_instrs <- t.baseline_instrs - snap.baseline_instrs;
+  d.baseline_cycles <- t.baseline_cycles -. snap.baseline_cycles;
+  d.deopts <- t.deopts - snap.deopts;
+  d.cc_exception_deopts <- t.cc_exception_deopts - snap.cc_exception_deopts;
+  d.tierups <- t.tierups - snap.tierups;
+  Tce_support.Int_table.iter
+    (fun key count ->
+      let before = Tce_support.Int_table.find snap.obj_loads key 0 in
+      if count - before > 0 then
+        Tce_support.Int_table.set d.obj_loads key (count - before))
+    t.obj_loads;
+  d.obj_loads_first_line <- t.obj_loads_first_line - snap.obj_loads_first_line;
+  d.obj_loads_total <- t.obj_loads_total - snap.obj_loads_total;
+  d
+
 let add_cat t cat n =
   t.by_cat.(Tce_jit.Categories.index cat) <- t.by_cat.(Tce_jit.Categories.index cat) + n
 

@@ -26,6 +26,15 @@ type t = {
 
 val create : unit -> t
 val reset : t -> unit
+
+(** Independent snapshot of every counter (including per-site tables). *)
+val copy : t -> t
+
+(** [since t snap] is a fresh record holding [t - snap]: what a reset at
+    the snapshot point followed by the same execution would have counted
+    (all counters are strictly additive). *)
+val since : t -> t -> t
+
 val add_cat : t -> Tce_jit.Categories.t -> int -> unit
 val opt_instrs : t -> int
 val total_instrs : t -> int

@@ -51,6 +51,41 @@ type host = {
   is_invalidated : int -> bool;  (** has this opt_id been invalidated? *)
 }
 
+(** {2 Superinstruction templates}
+
+    Per-run mutable state threaded through the fused step closures. The
+    closures themselves are compiled once per installed compilation (they
+    capture the machine, the [Lir.func] and all operands as immediates);
+    everything that is fresh per {!run} call — the register files and the
+    control state — travels in this record. *)
+type tenv = {
+  mutable te_host : host;
+  mutable te_regs : Value.t array;
+  mutable te_fregs : float array;
+  mutable te_ready : int array;
+  mutable te_fready : int array;
+  mutable te_pc : int;  (** always a block leader between steps *)
+  mutable te_running : bool;
+  mutable te_res : Value.t;
+}
+
+type tstep = tenv -> unit
+
+type tblock = {
+  tb_steps : tstep array;
+      (** fused straight-line steps, terminator (or a synthetic
+          fall-through pc update) last *)
+  tb_sum : Template.summary;
+      (** en-bloc counter summary, applied once per block entry when
+          measuring *)
+}
+
+type template = {
+  tp_pf : Predecode.func;  (** identity guard, like the pre-decode cache *)
+  tp_blocks : tblock array;
+  tp_block_of_pc : int array;
+}
+
 type t = {
   cfg : Config.t;
   heap : Heap.t;
@@ -67,6 +102,11 @@ type t = {
   mechanism : bool;  (** Class Cache mechanism on/off *)
   (* timing state *)
   mutable cycle : int;  (** current dispatch cycle *)
+  mutable clock_base_instrs : int;
+      (** baseline-tier instructions executed since creation — always
+          counted (unlike [counters.baseline_instrs], which is gated on
+          [measuring]) so the engine's observability/backoff clock is
+          independent of the measurement protocol *)
   mutable slots : int;  (** instructions dispatched in this cycle *)
   mutable load_slots : int;  (** loads dispatched this cycle (1 load port) *)
   mutable store_slots : int;  (** stores dispatched this cycle (1 store port) *)
@@ -107,7 +147,23 @@ type t = {
   (* special registers (paper §4.2.1.2) *)
   mutable reg_classid : int;
   reg_classid_arr : int array;
+  templates : bool;
+      (** fuse pre-decoded streams into superinstruction templates
+          (bit-identical to the per-instruction loop; a pure speedup) *)
+  tpl_cache : (int, Predecode.func * template option) Hashtbl.t;
+      (** compiled templates keyed like {!pre_cache}, with the decoded
+          stream kept for the physical-equality guard; [None] = the stream
+          was rejected by {!Template.layout} (stay on the slow loop) *)
+  mutable env_pool : tenv list;
+      (** free list of per-run environments; reusing the register files
+          avoids four [Array.make]s per guest call (registers are
+          immediate [Value.t]s, so recycling is GC-transparent) *)
 }
+
+(* Int-specialized max: [Stdlib.max] is polymorphic and compiles to a
+   generic-compare C call — measurably hot at 2-5 uses per simulated
+   instruction (dependency-stall arithmetic in both executors). *)
+let[@inline] imax (a : int) (b : int) = if a >= b then a else b
 
 let ring_capacity n =
   let rec go c = if c > n then c else go (c * 2) in
@@ -115,8 +171,8 @@ let ring_capacity n =
 
 let create ?(cfg = Config.default) ?(mechanism = true)
     ?(trace = Tce_obs.Trace.null) ?(fault = Tce_fault.Injector.null)
-    ?(attr = Tce_attr.Ledger.null) ?(prof = Profile.null) ~heap ~cc ~cl
-    ~oracle ~counters () =
+    ?(attr = Tce_attr.Ledger.null) ?(prof = Profile.null) ?(templates = true)
+    ~heap ~cc ~cl ~oracle ~counters () =
   let win_cap = ring_capacity cfg.Config.window_size in
   let stq_cap = ring_capacity cfg.Config.outstanding_ldst in
   {
@@ -134,6 +190,7 @@ let create ?(cfg = Config.default) ?(mechanism = true)
     bp = Branch.create ();
     mechanism;
     cycle = 0;
+    clock_base_instrs = 0;
     slots = 0;
     load_slots = 0;
     store_slots = 0;
@@ -155,6 +212,9 @@ let create ?(cfg = Config.default) ?(mechanism = true)
     prof;
     reg_classid = 0;
     reg_classid_arr = Array.make 4 0;
+    templates;
+    tpl_cache = Hashtbl.create 64;
+    env_pool = [];
   }
 
 (** {2 Pre-decode cache} *)
@@ -375,6 +435,7 @@ let do_deopt t host (f : Lir.func) regs fregs deopt_id ~result =
          });
   Tce_attr.Ledger.record_deopt t.attr ~fn:f.Lir.name ~reason:info.Lir.reason;
   host.on_deopt f.Lir.opt_id;
+  t.clock_base_instrs <- t.clock_base_instrs + Costs.deopt_transition_instrs;
   if t.measuring then begin
     t.counters.deopts <- t.counters.deopts + 1;
     t.counters.baseline_instrs <-
@@ -391,6 +452,7 @@ let do_deopt t host (f : Lir.func) regs fregs deopt_id ~result =
     Tce_fault.Injector.armed t.fault
     && Tce_fault.Injector.fire t.fault Tce_fault.Point.Osr_fail
   then begin
+    t.clock_base_instrs <- t.clock_base_instrs + Costs.deopt_transition_instrs;
     if t.measuring then begin
       t.counters.baseline_instrs <-
         t.counters.baseline_instrs + Costs.deopt_transition_instrs;
@@ -429,13 +491,13 @@ let do_store t d ~addr ~start ~word =
   end;
   if Profile.on t.prof then Profile.take t.prof Profile.cost_storeq t.cycle;
   Mem.store t.heap.Heap.mem addr word;
-  let done_at = daccess t ~start:(max d start) addr in
+  let done_at = daccess t ~start:(imax d start) addr in
   Array.unsafe_set t.stq_buf ((t.stq_head + t.stq_len) land t.stq_mask) done_at;
   t.stq_len <- t.stq_len + 1;
-  complete t (max d start + 1)
+  complete t (imax d start + 1)
 
 let falu t d fregs fready fd fa fb op lat =
-  let start = max d (max fready.(fa) fready.(fb)) in
+  let start = imax d (imax fready.(fa) fready.(fb)) in
   fregs.(fd) <- Fbits.canon (op fregs.(fa) fregs.(fb));
   fready.(fd) <- start + lat;
   complete t fready.(fd)
@@ -522,18 +584,22 @@ let prof_acc prof (pf : Predecode.func) =
     Profile.register_opt prof ~id:f.Lir.opt_id ~name:f.Lir.name
       ~labels:(Array.map label_of_meta pf.Predecode.meta)
 
-(** Execute optimized code [f] on [args] = [this :: params], returning the
-    function result (possibly via a deopt into the interpreter). *)
-let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
-  let pf = install t f in
+(** Per-instruction executor (the pre-decoded interpreter loop): the
+    reference semantics. Used directly when profiling is enabled (per-pc
+    attribution sites need a site change on every instruction), when a
+    fault injector is armed, or when a stream cannot be fused; the
+    templated executor below is bit-identical to this loop by
+    construction (lib/machine/README.md, "Template fusion invariants"). *)
+let run_slow t (host : host) (f : Lir.func) (pf : Predecode.func)
+    (args : Value.t array) : Value.t =
   let prof = t.prof in
   let pon = Profile.on prof in
   let pacc = if pon then prof_acc prof pf else Profile.dummy_acc in
   let ops = pf.Predecode.ops and meta = pf.Predecode.meta in
-  let regs = Array.make (max f.Lir.n_regs 1) 0 in
-  let fregs = Array.make (max f.Lir.n_fregs 1) 0.0 in
-  let ready = Array.make (max f.Lir.n_regs 1) t.cycle in
-  let fready = Array.make (max f.Lir.n_fregs 1) t.cycle in
+  let regs = Array.make (imax f.Lir.n_regs 1) 0 in
+  let fregs = Array.make (imax f.Lir.n_fregs 1) 0.0 in
+  let ready = Array.make (imax f.Lir.n_regs 1) t.cycle in
+  let fready = Array.make (imax f.Lir.n_fregs 1) t.cycle in
   let nargs = min (Array.length args) f.Lir.n_regs in
   Array.blit args 0 regs 0 nargs;
   (* absent parameters read as null *)
@@ -627,24 +693,24 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            pc := next
          | Pmov (rd, rs) ->
            regs.(rd) <- regs.(rs);
-           ready.(rd) <- max d ready.(rs) + 1;
+           ready.(rd) <- imax d ready.(rs) + 1;
            complete t ready.(rd);
            pc := next
          | Palu_r (a, lat, rd, rs, ro) ->
-           let start = max d (max ready.(rs) ready.(ro)) in
+           let start = imax d (imax ready.(rs) ready.(ro)) in
            regs.(rd) <- alu_apply a regs.(rs) regs.(ro);
            ready.(rd) <- start + lat;
            complete t ready.(rd);
            pc := next
          | Palu_i (a, lat, rd, rs, i) ->
-           let start = max d ready.(rs) in
+           let start = imax d ready.(rs) in
            regs.(rd) <- alu_apply a regs.(rs) i;
            ready.(rd) <- start + lat;
            complete t ready.(rd);
            pc := next
          | Psh64_r (sc, rd, rs, ro) ->
            (* full-width shifts for tag arithmetic *)
-           let start = max d (max ready.(rs) ready.(ro)) in
+           let start = imax d (imax ready.(rs) ready.(ro)) in
            let y = regs.(ro) land 63 in
            regs.(rd) <-
              (if sc = 0 then regs.(rs) lsl y
@@ -654,7 +720,7 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            complete t ready.(rd);
            pc := next
          | Psh64_i (sc, rd, rs, i) ->
-           let start = max d ready.(rs) in
+           let start = imax d ready.(rs) in
            let y = i land 63 in
            regs.(rd) <-
              (if sc = 0 then regs.(rs) lsl y
@@ -664,19 +730,19 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            complete t ready.(rd);
            pc := next
          | Palu32_r (a, lat, rd, rs, ro) ->
-           let start = max d (max ready.(rs) ready.(ro)) in
+           let start = imax d (imax ready.(rs) ready.(ro)) in
            regs.(rd) <- Value.to_int32 (alu_apply a regs.(rs) regs.(ro));
            ready.(rd) <- start + lat;
            complete t ready.(rd);
            pc := next
          | Palu32_i (a, lat, rd, rs, i) ->
-           let start = max d ready.(rs) in
+           let start = imax d ready.(rs) in
            regs.(rd) <- Value.to_int32 (alu_apply a regs.(rs) i);
            ready.(rd) <- start + lat;
            complete t ready.(rd);
            pc := next
          | Paluov_r (a, lat, rd, rs, ro, target) ->
-           let start = max d (max ready.(rs) ready.(ro)) in
+           let start = imax d (imax ready.(rs) ready.(ro)) in
            let v = alu_apply a regs.(rs) regs.(ro) in
            ready.(rd) <- start + lat;
            complete t ready.(rd);
@@ -687,7 +753,7 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            end
            else pc := target
          | Paluov_i (a, lat, rd, rs, i, target) ->
-           let start = max d ready.(rs) in
+           let start = imax d ready.(rs) in
            let v = alu_apply a regs.(rs) i in
            ready.(rd) <- start + lat;
            complete t ready.(rd);
@@ -698,7 +764,7 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            else pc := target
          | Pload (rd, rb, off) ->
            let addr = regs.(rb) + off in
-           let start = max d ready.(rb) in
+           let start = imax d ready.(rb) in
            regs.(rd) <- Mem.load mem addr;
            ready.(rd) <- daccess t ~start addr;
            complete t ready.(rd);
@@ -708,7 +774,7 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
               free in hardware but still *executes* (no removal) *)
            let base = regs.(rb) in
            let addr = base + off in
-           let start = max d ready.(rb) in
+           let start = imax d ready.(rb) in
            let line_base = Tce_vm.Layout.line_base_of_addr addr in
            let w = Mem.load mem line_base in
            if Value.is_smi base || w <> expected then
@@ -721,28 +787,28 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            end
          | Pload_idx (rd, rb, ri, off) ->
            let addr = regs.(rb) + (regs.(ri) * 8) + off in
-           let start = max d (max ready.(rb) ready.(ri)) in
+           let start = imax d (imax ready.(rb) ready.(ri)) in
            regs.(rd) <- Mem.load mem addr;
            ready.(rd) <- daccess t ~start addr;
            complete t ready.(rd);
            pc := next
          | Pfload (fd, rb, off) ->
            let addr = regs.(rb) + off in
-           let start = max d ready.(rb) in
+           let start = imax d ready.(rb) in
            fregs.(fd) <- Fbits.to_float (Mem.load mem addr);
            fready.(fd) <- daccess t ~start addr;
            complete t fready.(fd);
            pc := next
          | Pfload_idx (fd, rb, ri, off) ->
            let addr = regs.(rb) + (regs.(ri) * 8) + off in
-           let start = max d (max ready.(rb) ready.(ri)) in
+           let start = imax d (imax ready.(rb) ready.(ri)) in
            fregs.(fd) <- Fbits.to_float (Mem.load mem addr);
            fready.(fd) <- daccess t ~start addr;
            complete t fready.(fd);
            pc := next
          | Pstore_r (rb, off, vr) ->
            do_store t d ~addr:(regs.(rb) + off)
-             ~start:(max ready.(vr) ready.(rb))
+             ~start:(imax ready.(vr) ready.(rb))
              ~word:regs.(vr);
            pc := next
          | Pstore_i (rb, off, i) ->
@@ -751,29 +817,29 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
          | Pstore_idx_r (rb, ri, off, vr) ->
            do_store t d
              ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
-             ~start:(max ready.(vr) (max ready.(rb) ready.(ri)))
+             ~start:(imax ready.(vr) (imax ready.(rb) ready.(ri)))
              ~word:regs.(vr);
            pc := next
          | Pstore_idx_i (rb, ri, off, i) ->
            do_store t d
              ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
-             ~start:(max ready.(rb) ready.(ri))
+             ~start:(imax ready.(rb) ready.(ri))
              ~word:i;
            pc := next
          | Pfstore (rb, off, fv) ->
            do_store t d ~addr:(regs.(rb) + off)
-             ~start:(max fready.(fv) ready.(rb))
+             ~start:(imax fready.(fv) ready.(rb))
              ~word:(Fbits.of_float fregs.(fv));
            pc := next
          | Pfstore_idx (rb, ri, off, fv) ->
            do_store t d
              ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
-             ~start:(max fready.(fv) (max ready.(rb) ready.(ri)))
+             ~start:(imax fready.(fv) (imax ready.(rb) ready.(ri)))
              ~word:(Fbits.of_float fregs.(fv));
            pc := next
          | Pfmov (fd, fs) ->
            fregs.(fd) <- fregs.(fs);
-           fready.(fd) <- max d fready.(fs) + 1;
+           fready.(fd) <- imax d fready.(fs) + 1;
            complete t fready.(fd);
            pc := next
          | Pfmov_imm (fd, x) ->
@@ -796,41 +862,41 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            pc := next
          | Pfsqrt (fd, fs) ->
            fregs.(fd) <- Fbits.canon (sqrt fregs.(fs));
-           fready.(fd) <- max d fready.(fs) + fsqrt_lat;
+           fready.(fd) <- imax d fready.(fs) + fsqrt_lat;
            complete t fready.(fd);
            pc := next
          | Pfneg (fd, fs) ->
            fregs.(fd) <- -.fregs.(fs);
-           fready.(fd) <- max d fready.(fs) + 1;
+           fready.(fd) <- imax d fready.(fs) + 1;
            complete t fready.(fd);
            pc := next
          | Pfabs (fd, fs) ->
            fregs.(fd) <- Float.abs fregs.(fs);
-           fready.(fd) <- max d fready.(fs) + 1;
+           fready.(fd) <- imax d fready.(fs) + 1;
            complete t fready.(fd);
            pc := next
          | Pcvtif (fd, rs) ->
            fregs.(fd) <- float_of_int regs.(rs);
-           fready.(fd) <- max d ready.(rs) + flat_lat;
+           fready.(fd) <- imax d ready.(rs) + flat_lat;
            complete t fready.(fd);
            pc := next
          | Ptruncfi (rd, fs) ->
            regs.(rd) <- Value.js_to_int32_float fregs.(fs);
-           ready.(rd) <- max d fready.(fs) + flat_lat;
+           ready.(rd) <- imax d fready.(fs) + flat_lat;
            complete t ready.(rd);
            pc := next
          | Pbranch_r (c, r, ro, target) ->
-           let start = max d (max ready.(r) ready.(ro)) in
+           let start = imax d (imax ready.(r) ready.(ro)) in
            let taken = cond_apply c regs.(r) regs.(ro) in
            branch_resolve t ~opt_id ~pc:pc0 ~start ~taken;
            pc := (if taken then target else next)
          | Pbranch_i (c, r, i, target) ->
-           let start = max d ready.(r) in
+           let start = imax d ready.(r) in
            let taken = cond_apply c regs.(r) i in
            branch_resolve t ~opt_id ~pc:pc0 ~start ~taken;
            pc := (if taken then target else next)
          | Pfbranch (c, fa, fb, target) ->
-           let start = max d (max fready.(fa) fready.(fb)) in
+           let start = imax d (imax fready.(fa) fready.(fb)) in
            let taken = fcond_apply c fregs.(fa) fregs.(fb) in
            branch_resolve t ~opt_id ~pc:pc0 ~start ~taken;
            pc := (if taken then target else next)
@@ -916,7 +982,7 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            else begin
              let addr = Value.ptr_addr v in
              t.reg_classid <- Heap.classid_of t.heap v;
-             complete t (daccess t ~start:(max d ready.(r)) addr)
+             complete t (daccess t ~start:(imax d ready.(r)) addr)
            end;
            pc := next
          | Pmov_classid_arr (k, r) ->
@@ -930,12 +996,12 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            else begin
              let addr = Value.ptr_addr v in
              t.reg_classid_arr.(k) <- Heap.classid_of t.heap v;
-             complete t (daccess t ~start:(max d ready.(r)) addr)
+             complete t (daccess t ~start:(imax d ready.(r)) addr)
            end;
            pc := next
          | Pstore_cc_r (rb, off, vr, deopt_id) -> (
            let addr = regs.(rb) + off in
-           do_store t d ~addr ~start:(max ready.(vr) ready.(rb))
+           do_store t d ~addr ~start:(imax ready.(vr) ready.(rb))
              ~word:regs.(vr);
            (* the memory unit recovers (ClassID, Line, slot) from the line *)
            let line_base = Tce_vm.Layout.line_base_of_addr addr in
@@ -962,7 +1028,7 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
          | Pstore_cca_r (k, rb, ri, off, vr, deopt_id) -> (
            let addr = regs.(rb) + (regs.(ri) * 8) + off in
            do_store t d ~addr
-             ~start:(max ready.(vr) (max ready.(rb) ready.(ri)))
+             ~start:(imax ready.(vr) (imax ready.(rb) ready.(ri)))
              ~word:regs.(vr);
            let classid = t.reg_classid_arr.(k) in
            try
@@ -972,7 +1038,7 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
            with Cc_exception fns -> handle_cc_exception deopt_id fns next)
          | Pstore_cca_i (k, rb, ri, off, i, deopt_id) -> (
            let addr = regs.(rb) + (regs.(ri) * 8) + off in
-           do_store t d ~addr ~start:(max ready.(rb) ready.(ri)) ~word:i;
+           do_store t d ~addr ~start:(imax ready.(rb) ready.(ri)) ~word:i;
            let classid = t.reg_classid_arr.(k) in
            try
              cc_request_tagged t ~classid ~line:0
@@ -983,3 +1049,782 @@ let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
      done
    with Cc_exception _ -> assert false);
   !resv
+
+(* --- superinstruction templates: fused-closure compilation --- *)
+
+(* Unprofiled dispatch variants: templates only run with the profiler off,
+   so [Profile.take] in [dispatch_k] is statically known to be a no-op —
+   each variant is [dispatch_k] specialized to one port kind with the dead
+   profiler tests removed (same state transitions in the same order). *)
+
+(* From here down — the templated executor only — array indexing compiles
+   to unchecked accesses: every register operand was validated against its
+   register file at layout time ({!Template.regs_in_range}), every control
+   target at layout time too, so the [a.(i)] bounds checks can never fire.
+   The per-instruction loop above keeps the checked accesses (it is the
+   fallback for streams that fail validation). *)
+module Array = struct
+  include Stdlib.Array
+
+  (* re-declared as externals (not [let get = unsafe_get]) so the accesses
+     stay compiler intrinsics instead of becoming out-of-line calls *)
+  external get : 'a array -> int -> 'a = "%array_unsafe_get"
+  external set : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
+end
+
+let tpl_win_retire t =
+  if t.win_len >= t.cfg.window_size then begin
+    let c = Array.unsafe_get t.win_buf t.win_head in
+    t.win_head <- (t.win_head + 1) land t.win_mask;
+    t.win_len <- t.win_len - 1;
+    if c > t.cycle then begin
+      t.cycle <- c;
+      t.slots <- 0;
+      t.load_slots <- 0;
+      t.store_slots <- 0
+    end
+  end
+
+let tpl_dispatch_k t kind =
+  if t.slots >= t.cfg.issue_width then advance t;
+  if kind = kind_load then while t.load_slots >= 1 do advance t done
+  else if kind = kind_store then while t.store_slots >= 1 do advance t done;
+  tpl_win_retire t;
+  t.slots <- t.slots + 1;
+  if kind = kind_load then t.load_slots <- t.load_slots + 1
+  else if kind = kind_store then t.store_slots <- t.store_slots + 1;
+  t.cycle
+
+(* Operator specialization: resolve the ALU/condition once at template
+   compile time instead of re-matching per executed instruction. *)
+
+let alu_fn (a : Lir.alu) : int -> int -> int =
+  match a with
+  | Lir.Add -> ( + )
+  | Sub -> ( - )
+  | Mul -> ( * )
+  | Div -> fun x y -> if y = 0 then 0 else x / y
+  | Rem -> fun x y -> if y = 0 then 0 else Stdlib.( mod ) x y
+  | And -> ( land )
+  | Or -> ( lor )
+  | Xor -> ( lxor )
+  | Shl -> fun x y -> x lsl (y land 31)
+  | Shr -> fun x y -> (x land 0xffff_ffff) lsr (y land 31)
+  | Sar -> fun x y -> x asr (y land 31)
+
+let cond_fn (c : Lir.cond) : int -> int -> bool =
+  match c with
+  | Lir.Eq -> fun x y -> x = y
+  | Ne -> fun x y -> x <> y
+  | Lt -> fun x y -> x < y
+  | Le -> fun x y -> x <= y
+  | Gt -> fun x y -> x > y
+  | Ge -> fun x y -> x >= y
+  | Bit_set -> fun x y -> x land y <> 0
+  | Bit_clear -> fun x y -> x land y = 0
+
+let fcond_fn (c : Lir.fcond) : float -> float -> bool =
+  match c with
+  | Lir.FEq -> fun x y -> x = y
+  | FNe -> fun x y -> x <> y
+  | FLt -> fun x y -> x < y
+  | FLe -> fun x y -> x <= y
+  | FGt -> fun x y -> x > y
+  | FGe -> fun x y -> x >= y
+  | FNlt -> fun x y -> not (x < y)
+  | FNle -> fun x y -> not (x <= y)
+  | FNgt -> fun x y -> not (x > y)
+  | FNge -> fun x y -> not (x >= y)
+
+let sh64_fn sc : int -> int -> int =
+  if sc = 0 then fun x y -> x lsl y
+  else if sc = 1 then fun x y -> x lsr y
+  else fun x y -> x asr y
+
+(* Terminator epilogues shared by the deopt-capable step closures —
+   closures over nothing, mirroring [post_store_check] /
+   [handle_cc_exception] / the OSR arms of the slow loop. *)
+
+let t_osr_trace t (f : Lir.func) deopt_id =
+  if Tce_obs.Trace.on t.trace then
+    Tce_obs.Trace.emit t.trace
+      (Tce_obs.Trace.Osr
+         { func = f.Lir.name; pc = f.Lir.deopts.(deopt_id).Lir.bc_pc })
+
+let t_finish_deopt t env (f : Lir.func) deopt_id ~result =
+  env.te_res <-
+    do_deopt t env.te_host f env.te_regs env.te_fregs deopt_id ~result;
+  env.te_running <- false
+
+let t_post_store t env (f : Lir.func) deopt_id next =
+  if
+    Tce_fault.Injector.armed t.fault
+    && env.te_host.is_invalidated f.Lir.opt_id
+  then begin
+    t_osr_trace t f deopt_id;
+    t_finish_deopt t env f deopt_id ~result:None
+  end
+  else env.te_pc <- next
+
+let t_handle_cc t env (f : Lir.func) deopt_id info next =
+  if t.measuring then
+    t.counters.cc_exception_deopts <- t.counters.cc_exception_deopts + 1;
+  env.te_host.on_cc_exception info;
+  if env.te_host.is_invalidated f.Lir.opt_id then begin
+    t_osr_trace t f deopt_id;
+    t_finish_deopt t env f deopt_id ~result:None
+  end
+  else env.te_pc <- next
+
+(** Measurement pseudo-ops: zero timing cost, no dispatch, no fetch. *)
+let compile_pseudo t (op : Predecode.pre) : tstep =
+  match op with
+  | Predecode.Pprofile (r, line, pos) ->
+    fun env ->
+      if t.measuring then begin
+        let classid = Heap.classid_of t.heap env.te_regs.(r) in
+        Counters.record_obj_load t.counters ~classid ~line ~pos
+      end
+  | Pprofile_store_r (r, line, pos, vr) ->
+    fun env ->
+      let regs = env.te_regs in
+      let classid = Heap.classid_of t.heap regs.(r) in
+      let value_classid = Heap.classid_of t.heap regs.(vr) in
+      Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid
+  | Pprofile_store_c (r, line, pos, c) ->
+    fun env ->
+      let classid = Heap.classid_of t.heap env.te_regs.(r) in
+      Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid:c
+  | _ -> assert false
+
+(** Compile one non-pseudo instruction into a fused step closure. All
+    operands, latencies, ALU/condition operators and the dispatch-port
+    variant are bound at compile time; each closure body is the matching
+    arm of {!run_slow} minus the per-instruction counting (applied en bloc
+    at block entry), the profiler tests (templates only run with profiling
+    off) and the pc update for non-terminators (straight-line steps run in
+    array order; only terminators publish a pc). *)
+let compile_body t (f : Lir.func) ~pc ~m (op : Predecode.pre) : tstep =
+  let mem = t.heap.Heap.mem in
+  let opt_id = f.Lir.opt_id in
+  let next = pc + 1 in
+  let kind = (m lsr Predecode.meta_kind_shift) land 3 in
+  match op with
+  | Predecode.Pprofile _ | Pprofile_store_r _ | Pprofile_store_c _ ->
+    assert false
+  | Pmov_imm (r, i) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      env.te_regs.(r) <- i;
+      env.te_ready.(r) <- d + 1;
+      complete t (d + 1)
+  | Pmov (rd, rs) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      regs.(rd) <- regs.(rs);
+      ready.(rd) <- imax d ready.(rs) + 1;
+      complete t ready.(rd)
+  | Palu_r (a, lat, rd, rs, ro) ->
+    let op2 = alu_fn a in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let start = imax d (imax ready.(rs) ready.(ro)) in
+      regs.(rd) <- op2 regs.(rs) regs.(ro);
+      ready.(rd) <- start + lat;
+      complete t ready.(rd)
+  | Palu_i (a, lat, rd, rs, i) ->
+    let op2 = alu_fn a in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let start = imax d ready.(rs) in
+      regs.(rd) <- op2 regs.(rs) i;
+      ready.(rd) <- start + lat;
+      complete t ready.(rd)
+  | Psh64_r (sc, rd, rs, ro) ->
+    let sh = sh64_fn sc in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let start = imax d (imax ready.(rs) ready.(ro)) in
+      regs.(rd) <- sh regs.(rs) (regs.(ro) land 63);
+      ready.(rd) <- start + 1;
+      complete t ready.(rd)
+  | Psh64_i (sc, rd, rs, i) ->
+    let sh = sh64_fn sc in
+    let y = i land 63 in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let start = imax d ready.(rs) in
+      regs.(rd) <- sh regs.(rs) y;
+      ready.(rd) <- start + 1;
+      complete t ready.(rd)
+  | Palu32_r (a, lat, rd, rs, ro) ->
+    let op2 = alu_fn a in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let start = imax d (imax ready.(rs) ready.(ro)) in
+      regs.(rd) <- Value.to_int32 (op2 regs.(rs) regs.(ro));
+      ready.(rd) <- start + lat;
+      complete t ready.(rd)
+  | Palu32_i (a, lat, rd, rs, i) ->
+    let op2 = alu_fn a in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let start = imax d ready.(rs) in
+      regs.(rd) <- Value.to_int32 (op2 regs.(rs) i);
+      ready.(rd) <- start + lat;
+      complete t ready.(rd)
+  | Paluov_r (a, lat, rd, rs, ro, target) ->
+    let op2 = alu_fn a in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let start = imax d (imax ready.(rs) ready.(ro)) in
+      let v = op2 regs.(rs) regs.(ro) in
+      ready.(rd) <- start + lat;
+      complete t ready.(rd);
+      if Value.smi_fits (v asr 1) then begin
+        regs.(rd) <- v;
+        env.te_pc <- next
+      end
+      else env.te_pc <- target
+  | Paluov_i (a, lat, rd, rs, i, target) ->
+    let op2 = alu_fn a in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let start = imax d ready.(rs) in
+      let v = op2 regs.(rs) i in
+      ready.(rd) <- start + lat;
+      complete t ready.(rd);
+      if Value.smi_fits (v asr 1) then begin
+        regs.(rd) <- v;
+        env.te_pc <- next
+      end
+      else env.te_pc <- target
+  | Pload (rd, rb, off) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let addr = regs.(rb) + off in
+      let start = imax d ready.(rb) in
+      regs.(rd) <- Mem.load mem addr;
+      ready.(rd) <- daccess t ~start addr;
+      complete t ready.(rd)
+  | Pchecked_load (rd, rb, off, expected, deopt_id) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let base = regs.(rb) in
+      let addr = base + off in
+      let start = imax d ready.(rb) in
+      let line_base = Tce_vm.Layout.line_base_of_addr addr in
+      let w = Mem.load mem line_base in
+      if Value.is_smi base || w <> expected then
+        t_finish_deopt t env f deopt_id ~result:None
+      else begin
+        regs.(rd) <- Mem.load mem addr;
+        ready.(rd) <- daccess t ~start addr;
+        complete t ready.(rd);
+        env.te_pc <- next
+      end
+  | Pload_idx (rd, rb, ri, off) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let addr = regs.(rb) + (regs.(ri) * 8) + off in
+      let start = imax d (imax ready.(rb) ready.(ri)) in
+      regs.(rd) <- Mem.load mem addr;
+      ready.(rd) <- daccess t ~start addr;
+      complete t ready.(rd)
+  | Pfload (fd, rb, off) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let fregs = env.te_fregs and fready = env.te_fready in
+      let addr = regs.(rb) + off in
+      let start = imax d ready.(rb) in
+      fregs.(fd) <- Fbits.to_float (Mem.load mem addr);
+      fready.(fd) <- daccess t ~start addr;
+      complete t fready.(fd)
+  | Pfload_idx (fd, rb, ri, off) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let fregs = env.te_fregs and fready = env.te_fready in
+      let addr = regs.(rb) + (regs.(ri) * 8) + off in
+      let start = imax d (imax ready.(rb) ready.(ri)) in
+      fregs.(fd) <- Fbits.to_float (Mem.load mem addr);
+      fready.(fd) <- daccess t ~start addr;
+      complete t fready.(fd)
+  | Pstore_r (rb, off, vr) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      do_store t d ~addr:(regs.(rb) + off)
+        ~start:(imax ready.(vr) ready.(rb))
+        ~word:regs.(vr)
+  | Pstore_i (rb, off, i) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      do_store t d ~addr:(regs.(rb) + off) ~start:ready.(rb) ~word:i
+  | Pstore_idx_r (rb, ri, off, vr) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      do_store t d
+        ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
+        ~start:(imax ready.(vr) (imax ready.(rb) ready.(ri)))
+        ~word:regs.(vr)
+  | Pstore_idx_i (rb, ri, off, i) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      do_store t d
+        ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
+        ~start:(imax ready.(rb) ready.(ri))
+        ~word:i
+  | Pfstore (rb, off, fv) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      do_store t d ~addr:(regs.(rb) + off)
+        ~start:(imax env.te_fready.(fv) ready.(rb))
+        ~word:(Fbits.of_float env.te_fregs.(fv))
+  | Pfstore_idx (rb, ri, off, fv) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      do_store t d
+        ~addr:(regs.(rb) + (regs.(ri) * 8) + off)
+        ~start:(imax env.te_fready.(fv) (imax ready.(rb) ready.(ri)))
+        ~word:(Fbits.of_float env.te_fregs.(fv))
+  | Pfmov (fd, fs) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let fregs = env.te_fregs and fready = env.te_fready in
+      fregs.(fd) <- fregs.(fs);
+      fready.(fd) <- imax d fready.(fs) + 1;
+      complete t fready.(fd)
+  | Pfmov_imm (fd, x) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      env.te_fregs.(fd) <- x;
+      env.te_fready.(fd) <- d + 1;
+      complete t (d + 1)
+  | Pfadd (fd, fa, fb) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      falu t d env.te_fregs env.te_fready fd fa fb ( +. ) 3
+  | Pfsub (fd, fa, fb) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      falu t d env.te_fregs env.te_fready fd fa fb ( -. ) 3
+  | Pfmul (fd, fa, fb) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      falu t d env.te_fregs env.te_fready fd fa fb ( *. ) 5
+  | Pfdiv (fd, fa, fb) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      falu t d env.te_fregs env.te_fready fd fa fb ( /. ) 20
+  | Pfsqrt (fd, fs) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let fregs = env.te_fregs and fready = env.te_fready in
+      fregs.(fd) <- Fbits.canon (sqrt fregs.(fs));
+      fready.(fd) <- imax d fready.(fs) + fsqrt_lat;
+      complete t fready.(fd)
+  | Pfneg (fd, fs) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let fregs = env.te_fregs and fready = env.te_fready in
+      fregs.(fd) <- -.fregs.(fs);
+      fready.(fd) <- imax d fready.(fs) + 1;
+      complete t fready.(fd)
+  | Pfabs (fd, fs) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let fregs = env.te_fregs and fready = env.te_fready in
+      fregs.(fd) <- Float.abs fregs.(fs);
+      fready.(fd) <- imax d fready.(fs) + 1;
+      complete t fready.(fd)
+  | Pcvtif (fd, rs) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      env.te_fregs.(fd) <- float_of_int env.te_regs.(rs);
+      env.te_fready.(fd) <- imax d env.te_ready.(rs) + flat_lat;
+      complete t env.te_fready.(fd)
+  | Ptruncfi (rd, fs) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      env.te_regs.(rd) <- Value.js_to_int32_float env.te_fregs.(fs);
+      env.te_ready.(rd) <- imax d env.te_fready.(fs) + flat_lat;
+      complete t env.te_ready.(rd)
+  | Pbranch_r (c, r, ro, target) ->
+    let cmp = cond_fn c in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let start = imax d (imax ready.(r) ready.(ro)) in
+      let taken = cmp regs.(r) regs.(ro) in
+      branch_resolve t ~opt_id ~pc ~start ~taken;
+      env.te_pc <- (if taken then target else next)
+  | Pbranch_i (c, r, i, target) ->
+    let cmp = cond_fn c in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let start = imax d env.te_ready.(r) in
+      let taken = cmp env.te_regs.(r) i in
+      branch_resolve t ~opt_id ~pc ~start ~taken;
+      env.te_pc <- (if taken then target else next)
+  | Pfbranch (c, fa, fb, target) ->
+    let cmp = fcond_fn c in
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let fready = env.te_fready in
+      let start = imax d (imax fready.(fa) fready.(fb)) in
+      let taken = cmp env.te_fregs.(fa) env.te_fregs.(fb) in
+      branch_resolve t ~opt_id ~pc ~start ~taken;
+      env.te_pc <- (if taken then target else next)
+  | Pjmp target ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      complete t (d + 1);
+      env.te_pc <- target
+  | Pcall_fn (callee, argr, rd, deopt_id, cinstrs) ->
+    fun env ->
+      ignore (tpl_dispatch_k t kind);
+      let regs = env.te_regs and ready = env.te_ready in
+      Array.iter
+        (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r))
+        argr;
+      t.slots <- 0;
+      charge_rt_i t ~pcost:Profile.cost_call ~cat_idx:cat_other_idx
+        ~instrs:cinstrs ~cycles:8;
+      let argv = Array.map (fun r -> regs.(r)) argr in
+      let v = env.te_host.call_fn callee argv in
+      if env.te_host.is_invalidated opt_id then begin
+        t_osr_trace t f deopt_id;
+        t_finish_deopt t env f deopt_id ~result:(Some v)
+      end
+      else begin
+        regs.(rd) <- v;
+        ready.(rd) <- t.cycle + 1;
+        env.te_pc <- next
+      end
+  | Pcall_rt_chk (rt, argr, rd, deopt_id, cinstrs, ccycles) ->
+    let cat_idx = m land Predecode.meta_cat_mask in
+    fun env ->
+      ignore (tpl_dispatch_k t kind);
+      let regs = env.te_regs and ready = env.te_ready in
+      Array.iter
+        (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r))
+        argr;
+      charge_rt_i t ~pcost:Profile.cost_rt ~cat_idx ~instrs:cinstrs
+        ~cycles:ccycles;
+      let argv = Array.map (fun r -> regs.(r)) argr in
+      let v, _ = env.te_host.rt_call rt argv [||] in
+      if rd >= 0 then begin
+        regs.(rd) <- v;
+        ready.(rd) <- t.cycle + 1
+      end;
+      if env.te_host.is_invalidated opt_id then begin
+        t_osr_trace t f deopt_id;
+        t_finish_deopt t env f deopt_id
+          ~result:(if rd >= 0 then Some v else None)
+      end
+      else env.te_pc <- next
+  | Pcall_rt (rt, argr, fargr, rd, fd, cinstrs, ccycles) ->
+    let cat_idx = m land Predecode.meta_cat_mask in
+    fun env ->
+      ignore (tpl_dispatch_k t kind);
+      let regs = env.te_regs and ready = env.te_ready in
+      let fregs = env.te_fregs and fready = env.te_fready in
+      Array.iter
+        (fun r -> if ready.(r) > t.cycle then t.cycle <- ready.(r))
+        argr;
+      Array.iter
+        (fun r -> if fready.(r) > t.cycle then t.cycle <- fready.(r))
+        fargr;
+      charge_rt_i t ~pcost:Profile.cost_rt ~cat_idx ~instrs:cinstrs
+        ~cycles:ccycles;
+      let argv = Array.map (fun r -> regs.(r)) argr in
+      let fargv = Array.map (fun r -> fregs.(r)) fargr in
+      let v, fv = env.te_host.rt_call rt argv fargv in
+      if rd >= 0 then begin
+        regs.(rd) <- v;
+        ready.(rd) <- t.cycle + 1
+      end;
+      if fd >= 0 then begin
+        fregs.(fd) <- fv;
+        fready.(fd) <- t.cycle + 1
+      end;
+      env.te_pc <- next
+  | Pret r ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      complete t (d + 1);
+      env.te_res <- env.te_regs.(r);
+      env.te_running <- false
+  | Pdeopt deopt_id ->
+    fun env ->
+      ignore (tpl_dispatch_k t kind);
+      t_finish_deopt t env f deopt_id ~result:None
+  | Pmov_classid r ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let v = env.te_regs.(r) in
+      if Value.is_smi v then begin
+        t.reg_classid <- Tce_vm.Layout.smi_classid;
+        complete t (d + 1)
+      end
+      else begin
+        let addr = Value.ptr_addr v in
+        t.reg_classid <- Heap.classid_of t.heap v;
+        complete t (daccess t ~start:(imax d env.te_ready.(r)) addr)
+      end
+  | Pmov_classid_arr (k, r) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let v = env.te_regs.(r) in
+      if Value.is_smi v then begin
+        t.reg_classid_arr.(k) <- Tce_vm.Layout.smi_classid;
+        complete t (d + 1)
+      end
+      else begin
+        let addr = Value.ptr_addr v in
+        t.reg_classid_arr.(k) <- Heap.classid_of t.heap v;
+        complete t (daccess t ~start:(imax d env.te_ready.(r)) addr)
+      end
+  | Pstore_cc_r (rb, off, vr, deopt_id) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let addr = regs.(rb) + off in
+      do_store t d ~addr ~start:(imax ready.(vr) ready.(rb)) ~word:regs.(vr);
+      let line_base = Tce_vm.Layout.line_base_of_addr addr in
+      let w = Mem.load mem line_base in
+      let classid = Tce_vm.Layout.classid_of_class_word w in
+      let line = Tce_vm.Layout.line_of_class_word w in
+      let pos = Tce_vm.Layout.slot_pos_of_addr addr in
+      (try
+         cc_request_tagged t ~classid ~line ~pos ~stored:regs.(vr);
+         t_post_store t env f deopt_id next
+       with Cc_exception info -> t_handle_cc t env f deopt_id info next)
+  | Pstore_cc_i (rb, off, i, deopt_id) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let addr = regs.(rb) + off in
+      do_store t d ~addr ~start:ready.(rb) ~word:i;
+      let line_base = Tce_vm.Layout.line_base_of_addr addr in
+      let w = Mem.load mem line_base in
+      let classid = Tce_vm.Layout.classid_of_class_word w in
+      let line = Tce_vm.Layout.line_of_class_word w in
+      let pos = Tce_vm.Layout.slot_pos_of_addr addr in
+      (try
+         cc_request_tagged t ~classid ~line ~pos ~stored:i;
+         t_post_store t env f deopt_id next
+       with Cc_exception info -> t_handle_cc t env f deopt_id info next)
+  | Pstore_cca_r (k, rb, ri, off, vr, deopt_id) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let addr = regs.(rb) + (regs.(ri) * 8) + off in
+      do_store t d ~addr
+        ~start:(imax ready.(vr) (imax ready.(rb) ready.(ri)))
+        ~word:regs.(vr);
+      let classid = t.reg_classid_arr.(k) in
+      (try
+         cc_request_tagged t ~classid ~line:0
+           ~pos:Tce_vm.Layout.elements_ptr_slot ~stored:regs.(vr);
+         t_post_store t env f deopt_id next
+       with Cc_exception info -> t_handle_cc t env f deopt_id info next)
+  | Pstore_cca_i (k, rb, ri, off, i, deopt_id) ->
+    fun env ->
+      let d = tpl_dispatch_k t kind in
+      let regs = env.te_regs and ready = env.te_ready in
+      let addr = regs.(rb) + (regs.(ri) * 8) + off in
+      do_store t d ~addr ~start:(imax ready.(rb) ready.(ri)) ~word:i;
+      let classid = t.reg_classid_arr.(k) in
+      (try
+         cc_request_tagged t ~classid ~line:0
+           ~pos:Tce_vm.Layout.elements_ptr_slot ~stored:i;
+         t_post_store t env f deopt_id next
+       with Cc_exception info -> t_handle_cc t env f deopt_id info next)
+
+(** En-bloc counter application: one straight-line pass adding the block
+    summary, called once per block entry while measuring. Exact because
+    non-terminator instructions cannot exit the block
+    ({!Template.summarize}). The unsafe accesses pair same-length arrays
+    ([Categories.count] and [check_kind_count + 1] on both sides). *)
+let apply_summary (c : Counters.t) (s : Template.summary) =
+  let bc = c.Counters.by_cat and sc = s.Template.s_by_cat in
+  for i = 0 to Array.length sc - 1 do
+    Array.unsafe_set bc i (Array.unsafe_get bc i + Array.unsafe_get sc i)
+  done;
+  let bk = c.Counters.by_check_kind and sk = s.Template.s_by_check in
+  for i = 0 to Array.length sk - 1 do
+    Array.unsafe_set bk i (Array.unsafe_get bk i + Array.unsafe_get sk i)
+  done;
+  c.Counters.guards_obj_load <- c.Counters.guards_obj_load + s.Template.s_guards;
+  c.Counters.opt_loads <- c.Counters.opt_loads + s.Template.s_loads;
+  c.Counters.opt_stores <- c.Counters.opt_stores + s.Template.s_stores;
+  c.Counters.opt_branches <- c.Counters.opt_branches + s.Template.s_branches;
+  c.Counters.opt_fp <- c.Counters.opt_fp + s.Template.s_fp
+
+(** Compile one basic block into its fused step array. I-cache accounting
+    is resolved statically within the block: after any executed non-pseudo
+    instruction [last_iline] equals its line, so only the block's first
+    non-pseudo step needs the dynamic line compare — later steps either
+    provably stay on the same line (no fetch) or provably cross into a new
+    one (unconditional fetch). Pseudo-ops never fetch. *)
+let compile_block t (f : Lir.func) (pf : Predecode.func) (b : Template.block)
+    : tblock =
+  let ops = pf.Predecode.ops and meta = pf.Predecode.meta in
+  let code_addr = f.Lir.code_addr in
+  let steps = ref [] in
+  let prev_line = ref (-1) in
+  for pc = b.Template.b_start to b.Template.b_start + b.Template.b_len - 1 do
+    let m = meta.(pc) and op = ops.(pc) in
+    if m land Predecode.meta_pseudo_bit <> 0 then
+      steps := compile_pseudo t op :: !steps
+    else begin
+      let line = (code_addr + (4 * pc)) lsr 6 in
+      let body = compile_body t f ~pc ~m op in
+      let step =
+        if !prev_line < 0 then fun env ->
+          if line <> t.last_iline then ifetch_slow t line;
+          body env
+        else if !prev_line = line then body
+        else fun env ->
+          ifetch_slow t line;
+          body env
+      in
+      prev_line := line;
+      steps := step :: !steps
+    end
+  done;
+  if not b.Template.b_terminated then begin
+    let nxt = b.Template.b_start + b.Template.b_len in
+    steps := (fun env -> env.te_pc <- nxt) :: !steps
+  end;
+  { tb_steps = Array.of_list (List.rev !steps); tb_sum = b.Template.b_sum }
+
+(** Compile the full template for a decoded stream, or [None] when
+    {!Template.layout} rejects it (fall back to the slow loop forever). *)
+let compile_template t (f : Lir.func) (pf : Predecode.func) : template option
+    =
+  match Template.layout pf with
+  | None -> None
+  | Some lay ->
+    Some
+      {
+        tp_pf = pf;
+        tp_blocks =
+          Array.map (fun b -> compile_block t f pf b) lay.Template.blocks;
+        tp_block_of_pc = lay.Template.block_of_pc;
+      }
+
+(** Template for [f], compiling at most once per compilation — same keying
+    discipline as {!install}: by [opt_id], with a physical-equality guard
+    on the decoded stream covering id reuse. *)
+let install_template t (f : Lir.func) (pf : Predecode.func) =
+  match Hashtbl.find_opt t.tpl_cache f.Lir.opt_id with
+  | Some (pf', tpl) when pf' == pf -> tpl
+  | _ ->
+    let tpl = compile_template t f pf in
+    Hashtbl.replace t.tpl_cache f.Lir.opt_id (pf, tpl);
+    tpl
+
+(** Templated executor: enter the current leader's block, apply its counter
+    summary en bloc, then run the fused steps in order; the terminator (or
+    the synthetic fall-through step) publishes the next leader pc or
+    finishes the run. Bit-identical to {!run_slow} by construction. *)
+let run_templated t (host : host) (f : Lir.func) (tpl : template)
+    (args : Value.t array) : Value.t =
+  let nr = imax f.Lir.n_regs 1 in
+  let nf = imax f.Lir.n_fregs 1 in
+  (* Acquire a pooled environment (guest calls nest, so this is a free
+     list, not a singleton). Pooled register files may be longer than this
+     function needs; steps index below [n_regs]/[n_fregs] only, and the
+     used prefix is re-initialized to exactly the fresh-allocation state. *)
+  let env =
+    match t.env_pool with
+    | e :: rest ->
+        t.env_pool <- rest;
+        if Array.length e.te_regs < nr then begin
+          e.te_regs <- Array.make nr 0;
+          e.te_ready <- Array.make nr 0
+        end;
+        if Array.length e.te_fregs < nf then begin
+          e.te_fregs <- Array.make nf 0.0;
+          e.te_fready <- Array.make nf 0
+        end;
+        e.te_host <- host;
+        e.te_pc <- 0;
+        e.te_running <- true;
+        e.te_res <- 0;
+        e
+    | [] ->
+        {
+          te_host = host;
+          te_regs = Array.make nr 0;
+          te_fregs = Array.make nf 0.0;
+          te_ready = Array.make nr 0;
+          te_fready = Array.make nf 0;
+          te_pc = 0;
+          te_running = true;
+          te_res = 0;
+        }
+  in
+  let regs = env.te_regs in
+  Array.fill regs 0 nr 0;
+  Array.fill env.te_fregs 0 nf 0.0;
+  Array.fill env.te_ready 0 nr t.cycle;
+  Array.fill env.te_fready 0 nf t.cycle;
+  let nargs = min (Array.length args) f.Lir.n_regs in
+  Array.blit args 0 regs 0 nargs;
+  (* absent parameters read as null *)
+  for i = nargs to min (Array.length f.Lir.reprs) f.Lir.n_regs - 1 do
+    regs.(i) <- t.heap.Heap.null_v
+  done;
+  let blocks = tpl.tp_blocks and block_of_pc = tpl.tp_block_of_pc in
+  let counters = t.counters in
+  while env.te_running do
+    let b = blocks.(block_of_pc.(env.te_pc)) in
+    if t.measuring then apply_summary counters b.tb_sum;
+    let steps = b.tb_steps in
+    for i = 0 to Array.length steps - 1 do
+      (Array.unsafe_get steps i) env
+    done
+  done;
+  let res = env.te_res in
+  t.env_pool <- env :: t.env_pool;
+  res
+
+(** Execute optimized code [f] on [args] = [this :: params], returning the
+    function result (possibly via a deopt into the interpreter). Runs the
+    fused-template executor whenever it is equivalent to the
+    per-instruction loop: templates enabled, profiler off (per-pc
+    attribution needs per-instruction sites), no fault injector armed, and
+    the stream fusible. *)
+let run t (host : host) (f : Lir.func) (args : Value.t array) : Value.t =
+  let pf = install t f in
+  if
+    t.templates
+    && (not (Profile.on t.prof))
+    && not (Tce_fault.Injector.armed t.fault)
+  then
+    match install_template t f pf with
+    | Some tpl -> run_templated t host f tpl args
+    | None -> run_slow t host f pf args
+  else run_slow t host f pf args

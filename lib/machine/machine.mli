@@ -39,6 +39,16 @@ type host = {
   is_invalidated : int -> bool;
 }
 
+(** A compiled superinstruction template: fused straight-line closures per
+    basic block, bit-identical to the per-instruction loop (see
+    lib/machine/README.md, "Template fusion invariants"). Abstract — built
+    and consumed inside {!run}. *)
+type template
+
+(** A pooled per-run template environment (register files and control
+    state). Abstract — recycled across guest calls via [env_pool]. *)
+type tenv
+
 type t = {
   cfg : Config.t;
   heap : Tce_vm.Heap.t;
@@ -54,6 +64,10 @@ type t = {
   bp : Branch.t;
   mechanism : bool;
   mutable cycle : int;  (** monotonic dispatch clock *)
+  mutable clock_base_instrs : int;
+      (** baseline-tier instructions since creation, counted regardless of
+          [measuring] — the measurement-independent input to the engine's
+          observability/backoff clock *)
   mutable slots : int;
   mutable load_slots : int;
   mutable store_slots : int;
@@ -86,12 +100,20 @@ type t = {
           simulated cycles are bit-identical with it on or off *)
   mutable reg_classid : int;  (** regObjectClassId (paper §4.2.1.2) *)
   reg_classid_arr : int array;  (** regArrayObjectClassId 0-3 *)
+  templates : bool;
+      (** fuse pre-decoded streams into superinstruction templates — a pure
+          speedup, bit-identical simulated state *)
+  tpl_cache : (int, Predecode.func * template option) Hashtbl.t;
+      (** compiled templates keyed like [pre_cache]; [None] = stream
+          rejected by {!Template.layout}, stay on the per-instruction loop *)
+  mutable env_pool : tenv list;
+      (** free list of per-run template environments (register-file reuse) *)
 }
 
 val create :
   ?cfg:Config.t -> ?mechanism:bool -> ?trace:Tce_obs.Trace.t ->
   ?fault:Tce_fault.Injector.t -> ?attr:Tce_attr.Ledger.t ->
-  ?prof:Tce_prof.Profile.t -> heap:Tce_vm.Heap.t ->
+  ?prof:Tce_prof.Profile.t -> ?templates:bool -> heap:Tce_vm.Heap.t ->
   cc:Tce_core.Class_cache.t -> cl:Tce_core.Class_list.t ->
   oracle:Tce_core.Oracle.t -> counters:Counters.t -> unit -> t
 

@@ -43,19 +43,22 @@ let access t addr =
   end
   else begin
     t.stats.misses <- t.stats.misses + 1;
-    let victim = ref 0 in
-    for i = 0 to t.entries - 1 do
-      if Array.unsafe_get t.pages i = -1 then victim := i
+    let pages = t.pages and lru = t.lru and entries = t.entries in
+    let rec pick i v =
+      if i >= entries then v
+      else if Array.unsafe_get pages i = -1 then pick (i + 1) i
       else if
-        Array.unsafe_get t.pages !victim <> -1
-        && Array.unsafe_get t.lru i < Array.unsafe_get t.lru !victim
-      then victim := i
-    done;
-    if t.pages.(!victim) <> -1 then
-      Tce_support.Int_table.remove t.idx t.pages.(!victim);
-    t.pages.(!victim) <- page;
-    t.lru.(!victim) <- t.clock;
-    Tce_support.Int_table.set t.idx page !victim;
+        Array.unsafe_get pages v <> -1
+        && Array.unsafe_get lru i < Array.unsafe_get lru v
+      then pick (i + 1) i
+      else pick (i + 1) v
+    in
+    let victim = pick 0 0 in
+    if t.pages.(victim) <> -1 then
+      Tce_support.Int_table.remove t.idx t.pages.(victim);
+    t.pages.(victim) <- page;
+    t.lru.(victim) <- t.clock;
+    Tce_support.Int_table.set t.idx page victim;
     false
   end
 

@@ -54,6 +54,7 @@ type t = {
   git_sha : string;
   created_utc : string;
   jobs : int;
+  shards : int;  (** worker processes the matrix was split across (1 = in-process) *)
   host_wall_seconds : float;
   cells : cell list;
 }
@@ -144,44 +145,51 @@ let run_cell ~campaign_seed ~(reference : observation) ~(clean : observation)
     detail;
   }
 
+(** The campaign matrix in its canonical order: workload-major, rule-minor
+    (cell [i] is workload [i / n_rules], rule [i mod n_rules]). Shard
+    assignment and row merging both index into this order, so it must stay
+    a pure function of [(spec, ws)]. *)
+let matrix ~(spec : Spec.t) (ws : W.t list) : (W.t * Spec.rule) list =
+  List.concat_map (fun w -> List.map (fun rule -> (w, rule)) spec) ws
+
+(** Phase 1 — per workload: the checks-on reference observation (the
+    differential oracle's ground truth) and a clean mechanism-on run (the
+    yardstick for Degraded vs Masked). The two must already agree: a
+    mismatch here is an engine bug, not an injection outcome. *)
+let prep_workloads ~jobs (ws : W.t list) =
+  Runner.parallel_map ~jobs
+    (fun w ->
+      let reference =
+        observe ~config:{ E.default_config with E.mechanism = false } w
+      in
+      let clean =
+        observe ~config:{ E.default_config with E.mechanism = true } w
+      in
+      if reference.observable <> clean.observable then
+        failwith
+          (Printf.sprintf
+             "%s: mechanism-on output differs from the checks-on reference \
+              with no faults injected"
+             w.W.name);
+      (w.W.name, (reference, clean)))
+    ws
+
 let run ?(spec = Spec.default) ?(seed = default_seed) ?jobs (ws : W.t list) : t
     =
   let t0 = Unix.gettimeofday () in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Runner.default_jobs ()
   in
-  (* Phase 1 — per workload: the checks-on reference observation (the
-     differential oracle's ground truth) and a clean mechanism-on run (the
-     yardstick for Degraded vs Masked). The two must already agree: a
-     mismatch here is an engine bug, not an injection outcome. *)
-  let prepped =
-    Runner.parallel_map ~jobs
-      (fun w ->
-        let reference =
-          observe ~config:{ E.default_config with E.mechanism = false } w
-        in
-        let clean =
-          observe ~config:{ E.default_config with E.mechanism = true } w
-        in
-        if reference.observable <> clean.observable then
-          failwith
-            (Printf.sprintf
-               "%s: mechanism-on output differs from the checks-on reference \
-                with no faults injected"
-               w.W.name);
-        (w, reference, clean))
-      ws
-  in
+  let prepped = prep_workloads ~jobs ws in
   (* Phase 2 — the (workload × fault point) matrix. Each cell arms exactly
      one rule of the base spec, so every outcome is attributable to one
      fault point. *)
   let cells =
     Runner.parallel_map ~jobs
-      (fun ((w : W.t), reference, clean, rule) ->
+      (fun ((w : W.t), rule) ->
+        let reference, clean = List.assoc w.W.name prepped in
         run_cell ~campaign_seed:seed ~reference ~clean w rule)
-      (List.concat_map
-         (fun (w, r, c) -> List.map (fun rule -> (w, r, c, rule)) spec)
-         prepped)
+      (matrix ~spec ws)
   in
   {
     campaign_seed = seed;
@@ -189,6 +197,7 @@ let run ?(spec = Spec.default) ?(seed = default_seed) ?jobs (ws : W.t list) : t
     git_sha = Store.git_sha ();
     created_utc = Store.timestamp_utc ();
     jobs;
+    shards = 1;
     host_wall_seconds = Unix.gettimeofday () -. t0;
     cells;
   }
@@ -243,6 +252,7 @@ let to_json (t : t) : J.t =
          ("git_sha", J.Str t.git_sha);
          ("created_utc", J.Str t.created_utc);
          ("jobs", J.Int t.jobs);
+         ("shards", J.Int t.shards);
          ("host_wall_seconds", J.Float t.host_wall_seconds);
          ("cells", J.List (List.map json_of_cell t.cells));
        ])
@@ -256,6 +266,9 @@ let of_json (j : J.t) : (t, string) result =
     let str k = Option.bind (J.member k data) J.to_str in
     let int k = Option.bind (J.member k data) J.to_int in
     let flt k = Option.bind (J.member k data) J.to_float in
+    (* [shards] is optional: documents written before multi-process
+       sharding existed are in-process (one shard). *)
+    let shards = Option.value ~default:1 (Option.bind (J.member "shards" data) J.to_int) in
     match
       ( int "campaign_seed", str "spec", str "git_sha", str "created_utc",
         int "jobs", flt "host_wall_seconds",
@@ -275,7 +288,7 @@ let of_json (j : J.t) : (t, string) result =
       | Ok cells ->
         Ok
           {
-            campaign_seed; spec; git_sha; created_utc; jobs;
+            campaign_seed; spec; git_sha; created_utc; jobs; shards;
             host_wall_seconds; cells;
           })
     | _ -> Error "malformed fault-campaign document")
@@ -309,6 +322,93 @@ let load path : (t, string) result =
     let s = really_input_string ic (in_channel_length ic) in
     close_in ic;
     match J.of_string s with Error e -> Error e | Ok j -> of_json j
+
+(* --- multi-process sharding --- *)
+
+let row_to_json ~index (c : cell) : J.t =
+  Tce_obs.Export.document ~kind:"fault-cell"
+    (J.Obj [ ("index", J.Int index); ("cell", json_of_cell c) ])
+
+let row_of_json (j : J.t) : (int * cell, string) result =
+  match Tce_obs.Export.open_document j with
+  | Error e -> Error e
+  | Ok (kind, _) when kind <> "fault-cell" ->
+    Error (Printf.sprintf "expected a fault-cell document, got %S" kind)
+  | Ok (_, data) -> (
+    match
+      (Option.bind (J.member "index" data) J.to_int, J.member "cell" data)
+    with
+    | Some i, Some cj when i >= 0 ->
+      Result.map (fun c -> (i, c)) (cell_of_json cj)
+    | _ -> Error "malformed fault-cell row")
+
+(** Worker side of [--faults --shard K/N]: run this shard's round-robin
+    slice of the {!matrix} serially and stream one [fault-cell] envelope
+    per cell to [out]. Reference/clean observations are prepared only for
+    the workloads this shard actually touches. *)
+let worker ?(spec = Spec.default) ?(seed = default_seed) ~shard ~shards ~out
+    (ws : W.t list) : unit =
+  let cells = Array.of_list (matrix ~spec ws) in
+  let mine = Shard.positions ~shard ~shards ~n:(Array.length cells) in
+  let needed =
+    List.sort_uniq compare
+      (List.map (fun i -> (fst cells.(i)).W.name) mine)
+  in
+  let prepped =
+    prep_workloads ~jobs:1
+      (List.filter (fun (w : W.t) -> List.mem w.W.name needed) ws)
+  in
+  List.iter
+    (fun i ->
+      let w, rule = cells.(i) in
+      let reference, clean = List.assoc w.W.name prepped in
+      let c = run_cell ~campaign_seed:seed ~reference ~clean w rule in
+      output_string out (J.to_string (row_to_json ~index:i c));
+      output_char out '\n';
+      flush out)
+    mine
+
+(** Parent side of [--faults --shards N]: fork [N] fault workers over the
+    same roster (passing [worker_args] through, e.g. [--fault-seed]) and
+    merge their cells back into {!matrix} order. Cell seeds are a pure
+    function of the cell identity, so the sharded matrix is cell-for-cell
+    identical to an in-process run.
+    @raise Failure when a worker fails or the merge is incomplete. *)
+let parent ?(log_dir = Shard.default_log_dir) ?(spec = Spec.default)
+    ?(seed = default_seed) ~shards ~worker_args (ws : W.t list) : t =
+  let t0 = Unix.gettimeofday () in
+  let names = List.map (fun (w : W.t) -> w.W.name) ws in
+  let argv_of_shard k =
+    Array.of_list
+      (Sys.executable_name :: "--faults"
+       :: "--shard" :: Printf.sprintf "%d/%d" k shards
+       :: (worker_args @ names))
+  in
+  match Shard.run_workers ~argv_of_shard ~shards ~log_dir () with
+  | Error e -> failwith ("sharded fault campaign failed: " ^ e)
+  | Ok lines -> (
+    let rows =
+      List.map
+        (fun line ->
+          match Result.bind (J.of_string line) row_of_json with
+          | Ok r -> r
+          | Error e -> failwith ("bad fault-cell from worker: " ^ e))
+        lines
+    in
+    let expected = List.length ws * List.length spec in
+    match Shard.merge_rows ~what:"fault-cell" ~expected rows with
+    | Error e -> failwith e
+    | Ok cells ->
+      {
+        campaign_seed = seed;
+        spec = Spec.to_string spec;
+        git_sha = Store.git_sha ();
+        created_utc = Store.timestamp_utc ();
+        jobs = 1;
+        shards;
+        host_wall_seconds = Unix.gettimeofday () -. t0;
+        cells;
+      })
 
 (* --- reporting --- *)
 

@@ -62,6 +62,7 @@ type t = {
   git_sha : string;
   created_utc : string;
   jobs : int;
+  shards : int;  (** worker processes the matrix was split across (1 = in-process) *)
   host_wall_seconds : float;
   cells : cell list;
 }
@@ -93,6 +94,48 @@ val run :
   ?spec:Tce_fault.Spec.t ->
   ?seed:int ->
   ?jobs:int ->
+  Tce_workloads.Workload.t list ->
+  t
+
+(** The canonical campaign matrix: workload-major, rule-minor. Workers and
+    the in-process driver both enumerate cells in this order, so a cell's
+    matrix index identifies it across the process boundary. *)
+val matrix :
+  spec:Tce_fault.Spec.t ->
+  Tce_workloads.Workload.t list ->
+  (Tce_workloads.Workload.t * Tce_fault.Spec.rule) list
+
+(** One matrix cell as a versioned single-line [fault-cell] envelope
+    carrying its matrix index (the sharded-worker wire format). *)
+val row_to_json : index:int -> cell -> Tce_obs.Json.t
+
+val row_of_json : Tce_obs.Json.t -> (int * cell, string) result
+
+(** Worker side of [--faults --shard K/N]: run this shard's round-robin
+    slice of {!matrix} serially, streaming one [fault-cell] envelope per
+    cell to [out] (reference/clean observations are prepared only for the
+    workloads the shard touches). *)
+val worker :
+  ?spec:Tce_fault.Spec.t ->
+  ?seed:int ->
+  shard:int ->
+  shards:int ->
+  out:out_channel ->
+  Tce_workloads.Workload.t list ->
+  unit
+
+(** Parent side of [--faults --shards N]: fork [N] fault workers over the
+    same roster (passing [worker_args] through, e.g. [--fault-seed]) and
+    merge their cells back into {!matrix} order. Cell seeds are pure
+    functions of cell identity, so the result is cell-for-cell identical
+    to an in-process run.
+    @raise Failure when a worker fails or the merge is incomplete. *)
+val parent :
+  ?log_dir:string ->
+  ?spec:Tce_fault.Spec.t ->
+  ?seed:int ->
+  shards:int ->
+  worker_args:string list ->
   Tce_workloads.Workload.t list ->
   t
 

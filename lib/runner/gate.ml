@@ -100,6 +100,14 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
       (fun (w : Record.workload) -> w.Record.name = name)
       current.Record.workloads
   in
+  (* Wall-time drift is only meaningful like for like: a sharded run's
+     clocks include fork/pipe overhead a serial run doesn't pay (and vice
+     versa), so wall warnings require both sides to agree on jobs AND
+     shards. Simulated verdicts are never gated on this. *)
+  let wall_comparable =
+    baseline.Record.jobs = current.Record.jobs
+    && baseline.Record.shards = current.Record.shards
+  in
   let verdicts, missing, warnings =
     List.fold_left
       (fun (vs, miss, warns) (b : Record.workload) ->
@@ -140,7 +148,8 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
             :: vs
           in
           (vs, miss,
-           List.rev_append (wall_warnings b c)
+           List.rev_append
+             (if wall_comparable then wall_warnings b c else [])
              (List.rev_append (composition_warnings ~tolerance_pct b c) warns)))
       ([], [], []) baseline.Record.workloads
   in
@@ -148,17 +157,16 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
     let bw = baseline.Record.host_wall_seconds
     and cw = current.Record.host_wall_seconds in
     if
-      bw > 0.0
-      && baseline.Record.jobs = current.Record.jobs
+      bw > 0.0 && wall_comparable
       && cw > bw *. (1.0 +. (wall_warn_threshold_pct /. 100.0))
     then
       [
         Printf.sprintf
           "suite host wall time regressed %.2fs -> %.2fs (+%.0f%% at %d \
-           jobs, non-gating)"
+           jobs / %d shards, non-gating)"
           bw cw
           (100.0 *. (cw -. bw) /. bw)
-          current.Record.jobs;
+          current.Record.jobs current.Record.shards;
       ]
     else []
   in
@@ -241,8 +249,8 @@ let print_report ~baseline ~current (r : report) =
 
 let run_gate ?(baseline_path = Store.baseline_path)
     ?(tolerance_pct = default_tolerance_pct) ?jobs ?(names = [])
-    ?(resolve = Tce_workloads.Workloads.by_name) ?(save_latest = true) () : int
-    =
+    ?(resolve = Tce_workloads.Workloads.by_name) ?(save_latest = true) ?runner
+    () : int =
   match Store.load baseline_path with
   | Error msg ->
     (* Actionable failure: say *why* the baseline is unusable and how to
@@ -307,7 +315,11 @@ let run_gate ?(baseline_path = Store.baseline_path)
       2
     end
     else begin
-      let current = Runner.run_suite ?jobs roster in
+      let current =
+        match runner with
+        | Some run -> run roster
+        | None -> Runner.run_suite ?jobs roster
+      in
       if save_latest then ignore (Store.save current);
       let kept =
         List.filter

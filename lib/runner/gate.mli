@@ -66,7 +66,10 @@ val print_report : baseline:Record.run -> current:Record.run -> report -> unit
     non-empty; workloads resolved through [resolve], default the global
     registry) on [jobs] domains, persist the run through {!Store.save}
     (unless [save_latest] is false), print the delta table and return the
-    process exit code: 0 = pass, 1 = regression, 2 = usage/baseline error. *)
+    process exit code: 0 = pass, 1 = regression, 2 = usage/baseline error.
+    [runner] replaces the default [Runner.run_suite ?jobs] execution of
+    the selected roster (e.g. {!Shard.bench_parent} for [--check
+    --shards N]); [jobs] is ignored when it is given. *)
 val run_gate :
   ?baseline_path:string ->
   ?tolerance_pct:float ->
@@ -74,5 +77,6 @@ val run_gate :
   ?names:string list ->
   ?resolve:(string -> Tce_workloads.Workload.t option) ->
   ?save_latest:bool ->
+  ?runner:(Tce_workloads.Workload.t list -> Record.run) ->
   unit ->
   int

@@ -37,6 +37,7 @@ type run = {
   config_hash : string;
   created_utc : string;
   jobs : int;
+  shards : int;
   host_wall_seconds : float;
   workloads : workload list;
 }
@@ -127,6 +128,7 @@ let equal_run (a : run) (b : run) =
   a.schema = b.schema && a.git_sha = b.git_sha
   && a.config_hash = b.config_hash
   && a.created_utc = b.created_utc && a.jobs = b.jobs
+  && a.shards = b.shards
   && a.host_wall_seconds = b.host_wall_seconds
   && List.length a.workloads = List.length b.workloads
   && List.for_all2 equal_workload a.workloads b.workloads
@@ -174,6 +176,7 @@ let run_to_json (r : run) : J.t =
          ("config_hash", J.Str r.config_hash);
          ("created_utc", J.Str r.created_utc);
          ("jobs", J.Int r.jobs);
+         ("shards", J.Int r.shards);
          ("host_wall_seconds", J.Float r.host_wall_seconds);
          ("workloads", J.List (List.map workload_to_json r.workloads));
        ])
@@ -282,6 +285,16 @@ let run_of_json (j : J.t) : (run, string) result =
     let* config_hash = field "config_hash" J.to_str data in
     let* created_utc = field "created_utc" J.to_str data in
     let* jobs = field "jobs" J.to_int data in
+    (* Optional for documents written before multi-process sharding
+       existed: an in-process run is one shard. *)
+    let* shards =
+      match J.member "shards" data with
+      | None -> Ok 1
+      | Some v -> (
+        match J.to_int v with
+        | Some n when n >= 1 -> Ok n
+        | _ -> Error "bad field \"shards\"")
+    in
     let* host_wall_seconds = field "host_wall_seconds" J.to_float data in
     let* items = field "workloads" J.to_list data in
     let* workloads = all_ok [] items in
@@ -292,6 +305,48 @@ let run_of_json (j : J.t) : (run, string) result =
         config_hash;
         created_utc;
         jobs;
+        shards;
         host_wall_seconds;
         workloads;
       }
+
+(* --- shard-worker row streaming --- *)
+
+let row_to_json ~index (w : workload) : J.t =
+  Tce_obs.Export.document ~kind:"bench-row"
+    (J.Obj [ ("index", J.Int index); ("workload", workload_to_json w) ])
+
+let row_of_json (j : J.t) : (int * workload, string) result =
+  let* kind, data = Tce_obs.Export.open_document j in
+  if kind <> "bench-row" then
+    Error (Printf.sprintf "expected a bench-row document, got %S" kind)
+  else
+    let* index =
+      match Option.bind (J.member "index" data) J.to_int with
+      | Some i when i >= 0 -> Ok i
+      | _ -> Error "bad or missing field \"index\""
+    in
+    let* w =
+      match J.member "workload" data with
+      | Some wj -> workload_of_json wj
+      | None -> Error "bad or missing field \"workload\""
+    in
+    Ok (index, w)
+
+(** Force every host-dependent field to a fixed value; what remains is a
+    pure function of the simulator state, so a serial and a sharded run of
+    the same checkout serialize byte-identically. *)
+let normalize_run (r : run) : run =
+  {
+    r with
+    created_utc = "normalized";
+    jobs = 1;
+    shards = 1;
+    host_wall_seconds = 0.0;
+    workloads =
+      List.map
+        (fun w ->
+          { w with wall_seconds = 0.0; wall_seconds_off = 0.0;
+            wall_seconds_on = 0.0 })
+        r.workloads;
+  }

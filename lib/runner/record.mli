@@ -44,6 +44,9 @@ type run = {
   config_hash : string;  (** digest of the simulated-core + engine config *)
   created_utc : string;
   jobs : int;
+  shards : int;
+      (** worker processes the run was split across (1 = in-process run;
+          documents written before the field existed decode as 1) *)
   host_wall_seconds : float;
   workloads : workload list;
 }
@@ -78,3 +81,19 @@ val workload_of_json : Tce_obs.Json.t -> (workload, string) result
 val run_to_json : run -> Tce_obs.Json.t
 
 val run_of_json : Tce_obs.Json.t -> (run, string) result
+
+(** Wrap / unwrap one positioned workload row in a versioned envelope
+    (kind ["bench-row"]) — the unit a shard worker streams back to the
+    parent driver. [index] is the workload's position in the parent's
+    roster, so rows merge deterministically whatever order workers finish
+    in. *)
+val row_to_json : index:int -> workload -> Tce_obs.Json.t
+
+val row_of_json : Tce_obs.Json.t -> (int * workload, string) result
+
+(** Strip every host-dependent field (timestamp, wall clocks, job/shard
+    counts are all forced to fixed values) so two runs of the same
+    simulator state serialize byte-identically — the property CI asserts
+    between a serial and a sharded run. Simulated numbers and provenance
+    that must match anyway (git SHA, config hash) are kept. *)
+val normalize_run : run -> run

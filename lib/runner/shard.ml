@@ -1,0 +1,209 @@
+(** Multi-process roster sharding (see shard.mli for the protocol). *)
+
+module J = Tce_obs.Json
+module W = Tce_workloads.Workload
+
+let default_log_dir = Filename.concat "results" "shard_logs"
+
+let parse_spec s =
+  match String.index_opt s '/' with
+  | None -> Error (Printf.sprintf "bad shard spec %S (expected K/N)" s)
+  | Some i -> (
+    let k = String.sub s 0 i
+    and n = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt k, int_of_string_opt n) with
+    | Some k, Some n when 1 <= k && k <= n -> Ok (k, n)
+    | Some _, Some _ ->
+      Error (Printf.sprintf "bad shard spec %S (need 1 <= K <= N)" s)
+    | _ -> Error (Printf.sprintf "bad shard spec %S (expected K/N)" s))
+
+let positions ~shard ~shards ~n =
+  let rec go p acc = if p >= n then List.rev acc else go (p + shards) (p :: acc) in
+  go (shard - 1) []
+
+let merge_rows ~what ~expected (rows : (int * 'a) list) :
+    ('a list, string) result =
+  let slots = Array.make expected None in
+  let rec place = function
+    | [] ->
+      let missing = ref [] in
+      Array.iteri
+        (fun i -> function None -> missing := i :: !missing | Some _ -> ())
+        slots;
+      if !missing <> [] then
+        Error
+          (Printf.sprintf "%s merge: %d of %d rows missing (indices %s)" what
+             (List.length !missing) expected
+             (String.concat ", "
+                (List.map string_of_int (List.rev !missing))))
+      else Ok (List.map Option.get (Array.to_list slots))
+    | (i, _) :: _ when i < 0 || i >= expected ->
+      Error
+        (Printf.sprintf "%s merge: row index %d out of range [0, %d)" what i
+           expected)
+    | (i, _) :: _ when slots.(i) <> None ->
+      Error (Printf.sprintf "%s merge: row index %d arrived twice" what i)
+    | (i, r) :: rest ->
+      slots.(i) <- Some r;
+      place rest
+  in
+  place rows
+
+(* --- the worker-process driver --- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+type worker = {
+  w_shard : int;
+  w_pid : int;
+  w_fd : Unix.file_descr;  (** read end of the worker's stdout pipe *)
+  w_buf : Buffer.t;  (** partial trailing line *)
+  w_log : string;
+  mutable w_open : bool;
+}
+
+(** Fork the workers and drain their stdouts concurrently through a select
+    loop — a worker blocked on a full pipe would otherwise deadlock the
+    whole run. Lines are collected in arrival order; the row envelopes
+    carry their own roster index, so arrival order is irrelevant to the
+    merge. *)
+let run_workers ~argv_of_shard ~shards ~log_dir () :
+    (string list, string) result =
+  mkdir_p log_dir;
+  let exe = Sys.executable_name in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let workers =
+    List.init shards (fun i ->
+        let shard = i + 1 in
+        let log = Filename.concat log_dir (Printf.sprintf "shard-%d.log" shard) in
+        let log_fd =
+          Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        let r, w = Unix.pipe ~cloexec:false () in
+        let pid =
+          Unix.create_process exe (argv_of_shard shard) devnull w log_fd
+        in
+        Unix.close w;
+        Unix.close log_fd;
+        {
+          w_shard = shard;
+          w_pid = pid;
+          w_fd = r;
+          w_buf = Buffer.create 256;
+          w_log = log;
+          w_open = true;
+        })
+  in
+  Unix.close devnull;
+  let lines = ref [] in
+  let chunk = Bytes.create 65536 in
+  let drain w n =
+    for i = 0 to n - 1 do
+      let c = Bytes.get chunk i in
+      if c = '\n' then begin
+        lines := Buffer.contents w.w_buf :: !lines;
+        Buffer.clear w.w_buf
+      end
+      else Buffer.add_char w.w_buf c
+    done
+  in
+  let rec loop () =
+    match List.filter (fun w -> w.w_open) workers with
+    | [] -> ()
+    | live ->
+      let fds = List.map (fun w -> w.w_fd) live in
+      let ready, _, _ = Unix.select fds [] [] (-1.0) in
+      List.iter
+        (fun w ->
+          if List.mem w.w_fd ready then
+            match Unix.read w.w_fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+              Unix.close w.w_fd;
+              w.w_open <- false
+            | n -> drain w n)
+        live;
+      loop ()
+  in
+  loop ();
+  let failures =
+    List.filter_map
+      (fun w ->
+        let describe st =
+          match st with
+          | Unix.WEXITED 0 -> None
+          | Unix.WEXITED c -> Some (Printf.sprintf "exited %d" c)
+          | Unix.WSIGNALED s -> Some (Printf.sprintf "killed by signal %d" s)
+          | Unix.WSTOPPED s -> Some (Printf.sprintf "stopped by signal %d" s)
+        in
+        let _, st = Unix.waitpid [] w.w_pid in
+        match describe st with
+        | Some what ->
+          Some (Printf.sprintf "shard %d/%d %s (log: %s)" w.w_shard shards what w.w_log)
+        | None ->
+          if Buffer.length w.w_buf > 0 then
+            Some
+              (Printf.sprintf
+                 "shard %d/%d wrote a partial final line (log: %s)" w.w_shard
+                 shards w.w_log)
+          else None)
+      workers
+  in
+  if failures <> [] then Error (String.concat "; " failures)
+  else Ok (List.rev !lines)
+
+(* --- benchmark roster sharding --- *)
+
+(** The shard's roster indices, longest-first within the shard: positions
+    [shard-1, shard-1+N, ...] of the shared longest-first schedule mapped
+    back through the permutation. Both sides compute this from the same
+    inputs (roster + committed baseline costs), so no assignment crosses
+    the process boundary. *)
+let bench_indices ~shard ~shards (ws : W.t list) : int list =
+  let order =
+    Runner.longest_first_order ~cost:(Store.baseline_cost_of_workload ()) ws
+  in
+  List.map
+    (fun p -> order.(p))
+    (positions ~shard ~shards ~n:(Array.length order))
+
+let bench_worker ?config ~shard ~shards ~out (ws : W.t list) : unit =
+  let arr = Array.of_list ws in
+  List.iter
+    (fun i ->
+      let row = Runner.run_one ?config arr.(i) in
+      output_string out (J.to_string (Record.row_to_json ~index:i row));
+      output_char out '\n';
+      (* flush per row: the parent streams progress and a crashed worker
+         loses only its in-flight pair *)
+      flush out)
+    (bench_indices ~shard ~shards ws)
+
+let bench_parent ?(log_dir = default_log_dir) ~shards ~worker_args
+    (ws : W.t list) : Record.run =
+  let t0 = Unix.gettimeofday () in
+  let names = List.map (fun (w : W.t) -> w.W.name) ws in
+  let argv_of_shard k =
+    Array.of_list
+      (Sys.executable_name :: "--bench"
+       :: "--shard" :: Printf.sprintf "%d/%d" k shards
+       :: (worker_args @ names))
+  in
+  let parse line =
+    match Result.bind (J.of_string line) Record.row_of_json with
+    | Ok row -> row
+    | Error e -> failwith (Printf.sprintf "bad bench-row from worker: %s" e)
+  in
+  match run_workers ~argv_of_shard ~shards ~log_dir () with
+  | Error e -> failwith ("sharded bench failed: " ^ e)
+  | Ok lines -> (
+    let rows = List.map parse lines in
+    match merge_rows ~what:"bench-row" ~expected:(List.length ws) rows with
+    | Error e -> failwith e
+    | Ok workloads ->
+      Store.make_run ~shards ~jobs:1
+        ~host_wall_seconds:(Unix.gettimeofday () -. t0)
+        workloads)

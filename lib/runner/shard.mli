@@ -1,0 +1,86 @@
+(** Multi-process roster sharding.
+
+    A sharded run splits a deterministic work list (benchmark roster or
+    fault-campaign matrix) across [N] worker {e processes} — not domains —
+    so CI can parallelize across runner jobs, survive a worker crash with
+    a per-shard log to point at, and still produce exactly the bytes a
+    serial run would.
+
+    The protocol has no scheduler state to share: both sides recompute the
+    same deterministic schedule and the assignment is a pure function of
+    [(shard, shards)].
+
+    - The {e worker} ([--shard K/N] on the bench CLI) recomputes the
+      roster and its {!Runner.longest_first_order}, takes the schedule
+      positions congruent to [K-1 mod N] (round-robin over the
+      longest-first order, so every shard gets a similar mix of long and
+      short work), runs them serially, and streams one versioned
+      single-line JSON envelope per result ({!Record.row_to_json} /
+      {!Campaign.row_to_json}) on stdout. Stderr is free-form logging.
+    - The {e parent} ([--shards N]) forks [N] workers of the current
+      executable, redirects each worker's stderr to
+      [LOG_DIR/shard-K.log], drains their stdouts through a select loop,
+      and merges the rows by their roster index — each index must arrive
+      exactly once, whatever order workers finish in.
+
+    Simulated numbers are bit-identical to a serial run by construction
+    (each pair still runs in its own engine); the merged document is
+    byte-identical after {!Record.normalize_run} strips the host-dependent
+    fields. *)
+
+(** [parse_spec "K/N"] is [Ok (k, n)] with [1 <= k <= n] (shards are
+    1-based on the CLI). *)
+val parse_spec : string -> (int * int, string) result
+
+(** Schedule positions assigned to [shard] (1-based) of [shards]: the
+    round-robin subsequence [shard-1, shard-1+shards, ...] below [n],
+    ascending. *)
+val positions : shard:int -> shards:int -> n:int -> int list
+
+(** [merge_rows ~what ~expected rows] places each [(index, row)] into a
+    dense [expected]-slot array. [Error] when an index is out of range,
+    arrives twice, or is missing — a sharding bug must fail the run, never
+    truncate it silently. [what] names the row kind in errors. *)
+val merge_rows :
+  what:string -> expected:int -> (int * 'a) list -> ('a list, string) result
+
+(** [run_workers ~argv_of_shard ~shards ~log_dir ()] forks one process of
+    the current executable per shard ([argv_of_shard k] is the full argv
+    for 1-based shard [k]), with stderr appended to [log_dir/shard-K.log],
+    and returns every complete stdout line from all workers (arrival
+    order). [Error] when any worker exits non-zero or writes a partial
+    final line; the message names the shard and its log file. *)
+val run_workers :
+  argv_of_shard:(int -> string array) ->
+  shards:int ->
+  log_dir:string ->
+  unit ->
+  (string list, string) result
+
+(** Default parent-side worker stderr directory (["results/shard_logs"]). *)
+val default_log_dir : string
+
+(* --- benchmark roster sharding --- *)
+
+(** Worker side of [--bench --shard K/N]: run this shard's slice of [ws]
+    (schedule recomputed from the committed baseline's costs) serially and
+    stream one [bench-row] envelope per pair to [out]. *)
+val bench_worker :
+  ?config:Tce_engine.Engine.config ->
+  shard:int ->
+  shards:int ->
+  out:out_channel ->
+  Tce_workloads.Workload.t list ->
+  unit
+
+(** Parent side of [--bench --shards N]: fork [N] bench workers over [ws]
+    (passing [worker_args] through to each, e.g. [--no-templates]), merge
+    their rows and stamp the result like {!Runner.run_suite} would
+    ([jobs = 1] per worker; [shards = N] recorded in the run).
+    @raise Failure when a worker fails or the merge is incomplete. *)
+val bench_parent :
+  ?log_dir:string ->
+  shards:int ->
+  worker_args:string list ->
+  Tce_workloads.Workload.t list ->
+  Record.run

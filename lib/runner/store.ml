@@ -59,13 +59,15 @@ let timestamp_utc () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let make_run ?config ~jobs ~host_wall_seconds workloads : Record.run =
+let make_run ?config ?(shards = 1) ~jobs ~host_wall_seconds workloads :
+    Record.run =
   {
     Record.schema = Tce_obs.Export.schema_version;
     git_sha = git_sha ();
     config_hash = config_hash ?config ();
     created_utc = timestamp_utc ();
     jobs;
+    shards;
     host_wall_seconds;
     workloads;
   }

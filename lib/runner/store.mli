@@ -32,9 +32,12 @@ val config_hash : ?config:Tce_engine.Engine.config -> unit -> string
 (** Current time as [YYYY-MM-DDTHH:MM:SSZ]. *)
 val timestamp_utc : unit -> string
 
-(** Stamp workload records with provenance (SHA, config hash, timestamp). *)
+(** Stamp workload records with provenance (SHA, config hash, timestamp).
+    [shards] (default 1) records how many worker processes produced the
+    rows — needed so the gate's wall-time warnings compare like for like. *)
 val make_run :
   ?config:Tce_engine.Engine.config ->
+  ?shards:int ->
   jobs:int ->
   host_wall_seconds:float ->
   Record.workload list ->

@@ -46,22 +46,20 @@ let create ?(size = 16) () =
 
 let length t = t.live + (if t.sp1 then 1 else 0) + if t.sp2 then 1 else 0
 
+(* Tail-recursive probe: compiles to a loop with everything in registers.
+   The former [ref]-based loop allocated three ref cells per lookup (classic
+   mode does not unbox local refs), which dominated GC pressure on the TLB
+   fast path. *)
 let find t k default =
   if k > tomb_k then begin
-    let keys = t.keys and mask = t.mask in
-    let i = ref (hash k mask) in
-    let r = ref default in
-    let continue = ref true in
-    while !continue do
-      let kk = Array.unsafe_get keys !i in
-      if kk = k then begin
-        r := Array.unsafe_get t.vals !i;
-        continue := false
-      end
-      else if kk = empty_k then continue := false
-      else i := (!i + 1) land mask
-    done;
-    !r
+    let keys = t.keys and vals = t.vals and mask = t.mask in
+    let rec probe i =
+      let kk = Array.unsafe_get keys i in
+      if kk = k then Array.unsafe_get vals i
+      else if kk = empty_k then default
+      else probe ((i + 1) land mask)
+    in
+    probe (hash k mask)
   end
   else if k = empty_k then (if t.sp1 then t.sp1v else default)
   else if t.sp2 then t.sp2v
@@ -147,6 +145,19 @@ let remove t k =
   end
   else if k = empty_k then t.sp1 <- false
   else t.sp2 <- false
+
+let copy t =
+  {
+    keys = Array.copy t.keys;
+    vals = Array.copy t.vals;
+    mask = t.mask;
+    live = t.live;
+    used = t.used;
+    sp1 = t.sp1;
+    sp1v = t.sp1v;
+    sp2 = t.sp2;
+    sp2v = t.sp2v;
+  }
 
 let clear t =
   Array.fill t.keys 0 (Array.length t.keys) empty_k;

@@ -29,6 +29,9 @@ val remove : t -> int -> unit
 (** Drop all bindings, keeping the current capacity. *)
 val clear : t -> unit
 
+(** An independent copy (used to snapshot per-site counters). *)
+val copy : t -> t
+
 val length : t -> int
 val iter : (int -> int -> unit) -> t -> unit
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a

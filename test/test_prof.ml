@@ -255,6 +255,7 @@ let test_wall_warnings_non_gating () =
       config_hash = "deadbeef";
       created_utc = "2026-08-08T00:00:00Z";
       jobs = 1;
+      shards = 1;
       host_wall_seconds = List.fold_left (fun a w -> a +. w) 0.0 ws;
       workloads =
         List.map (fun w -> mk_rec ~wall:w ~wall_off:w ~wall_on:w "w") ws;
