@@ -22,13 +22,23 @@
          checks-on differential, writes PROF_latest.json (+ a history
          copy) and collapsed-stack flamegraph lines to FILE, default
          bench_profile.folded — load it in speedscope or inferno.
-         --shards N forks N worker processes over the roster and merges
-         their rows into one run, bit-identical to a serial run;
-         --shard K/N is the worker side (row envelopes on stdout, used by
-         the parent — not meant for direct use). --deterministic strips
-         the host-dependent fields (timestamps, wall clocks, jobs/shards)
-         from the saved run so two runs of the same tree compare with
-         cmp(1))
+         --shards N runs N supervised worker processes over the roster
+         and merges their rows into one run, bit-identical to a serial
+         run even when workers crash or hang: dead workers are respawned
+         over their missing cells (--supervise-timeout SECONDS scales the
+         per-cell progress deadline, --max-retries N bounds how often one
+         cell may kill its worker before it is quarantined; --strict
+         turns any quarantine into exit 1). Accepted rows are journaled
+         to results/journal/bench.jsonl; --resume FILE replays a previous
+         journal and runs only the remainder. --chaos-worker MODE
+         [--chaos-seed N] arms one seeded worker fault (crash-after /
+         sigkill-after / hang-after / garbage-after / truncate-after /
+         poison) to drill the supervisor. --shard K/N and
+         --worker-indices i,j,k are the worker sides (row envelopes on
+         stdout, spawned by the parent — not meant for direct use).
+         --deterministic strips the host-dependent fields (timestamps,
+         wall clocks, jobs/shards) from the saved run so two runs of the
+         same tree compare with cmp(1))
       dune exec bench/main.exe -- --profile-diff BASE [CUR]
         (run-vs-run differential between two prof-report documents, e.g.
          a results/history/prof-*.json snapshot vs PROF_latest.json;
@@ -261,14 +271,58 @@ let print_time_table (run : Tce_runner.Record.run) =
   Printf.printf "%-22s %9s %9s %9.2f %6s  (suite total %.2fs incl. scheduling)\n"
     "total" "" "" total "" run.R.host_wall_seconds
 
+(* Shared by --bench / --faults / --check: the supervision knobs
+   (--supervise-timeout SECONDS, --max-retries N) over the defaults. *)
+let supervise_config opts =
+  let d = Tce_runner.Supervise.default_config in
+  {
+    d with
+    Tce_runner.Supervise.cell_timeout_s =
+      opt_float opts "supervise-timeout"
+        ~default:d.Tce_runner.Supervise.cell_timeout_s;
+    max_retries =
+      opt_int opts "max-retries" ~default:d.Tce_runner.Supervise.max_retries;
+  }
+
+(* `--worker-indices i,j,k` (hidden worker mode, spawned by the supervised
+   parent): the explicit cell indices this worker must run, in order. *)
+let parse_indices s =
+  List.map
+    (fun t ->
+      match int_of_string_opt (String.trim t) with
+      | Some i -> i
+      | None -> usage_fail (Printf.sprintf "--worker-indices: bad index %S" t))
+    (String.split_on_char ',' s)
+
+(* `--chaos MODE:ARG` (hidden worker side of the chaos harness). *)
+let parse_worker_chaos opts =
+  match Hashtbl.find_opt opts "chaos" with
+  | None -> None
+  | Some spec -> (
+    match Tce_runner.Supervise.Chaos.parse spec with
+    | Ok c -> Some c
+    | Error e -> usage_fail e)
+
+(* `--chaos-worker MODE [--chaos-seed N]` (parent side): arm one seeded
+   worker fault per run, for the CI chaos smoke and local drills. *)
+let parse_parent_chaos opts =
+  match Hashtbl.find_opt opts "chaos-worker" with
+  | None -> None
+  | Some m -> (
+    match Tce_runner.Supervise.Chaos.parse_mode m with
+    | Ok mode -> Some (mode, opt_int opts "chaos-seed" ~default:1)
+    | Error e -> usage_fail ("bad --chaos-worker: " ^ e))
+
 let run_bench args =
-  (* `--attr[=FILE]`, `--profile[=FILE]`, `--time` and `--no-templates`
-     are value-less flags; peel them off before the value-taking flag
-     parser sees them. *)
+  (* `--attr[=FILE]`, `--profile[=FILE]`, `--time`, `--strict` and
+     `--no-templates` are value-less flags; peel them off before the
+     value-taking flag parser sees them. *)
   let time_args, args = List.partition (fun a -> a = "--time") args in
   let show_time = time_args <> [] in
   let det_args, args = List.partition (fun a -> a = "--deterministic") args in
   let deterministic = det_args <> [] in
+  let strict_args, args = List.partition (fun a -> a = "--strict") args in
+  let strict = strict_args <> [] in
   let nt_args, args = List.partition (fun a -> a = "--no-templates") args in
   let config =
     (* template execution is bit-identical, so this only changes host wall
@@ -305,14 +359,26 @@ let run_bench args =
     | _ -> Some "bench_profile.folded"
   in
   let opts, names =
-    parse_flags [ "jobs"; "out"; "history"; "suite"; "shards"; "shard" ] args
+    parse_flags
+      [ "jobs"; "out"; "history"; "suite"; "shards"; "shard"; "worker-indices";
+        "chaos"; "supervise-timeout"; "max-retries"; "resume"; "chaos-worker";
+        "chaos-seed" ]
+      args
   in
   let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
   let suite = Option.value ~default:"all" (Hashtbl.find_opt opts "suite") in
   let ws = resolve_workloads ~suite names in
-  (* Worker mode (`--shard K/N`, spawned by a `--shards N` parent): run
-     this shard's slice and stream row envelopes on stdout — no summary,
-     no result files. *)
+  (* Worker modes (spawned by a parent driver): run the assigned cells and
+     stream row envelopes on stdout — no summary, no result files.
+     `--worker-indices i,j,k` is the supervised parent's explicit
+     assignment; `--shard K/N` the legacy round-robin slice. *)
+  (match Hashtbl.find_opt opts "worker-indices" with
+  | None -> ()
+  | Some s ->
+    Tce_runner.Shard.bench_worker_indices ?config
+      ?chaos:(parse_worker_chaos opts) ~indices:(parse_indices s) ~out:stdout
+      ws;
+    exit 0);
   (match Hashtbl.find_opt opts "shard" with
   | None -> ()
   | Some spec_str -> (
@@ -327,9 +393,12 @@ let run_bench args =
   if shards < 1 then usage_fail "--shards expects a positive integer";
   if shards > 1 && (attr_out <> None || prof_out <> None) then
     usage_fail "--attr/--profile are not supported with --shards (run them serially)";
+  let resume = Hashtbl.find_opt opts "resume" in
   let run =
-    if shards > 1 then
+    if shards > 1 || resume <> None then
       Tce_runner.Shard.bench_parent ~shards
+        ~supervise:(supervise_config opts) ?resume
+        ?chaos:(parse_parent_chaos opts)
         ~worker_args:(if Option.is_none config then [] else [ "--no-templates" ])
         ws
     else Tce_runner.Runner.run_suite ?config ~jobs ws
@@ -415,6 +484,13 @@ let run_bench args =
     close_out oc;
     Printf.printf "wrote %s (history: %s) and %s\n"
       Tce_runner.Store.prof_latest_path hist folded_path);
+  (* Non-strict runs survive quarantined cells (the remaining rows are
+     intact and reported); --strict makes any quarantine fail the run. *)
+  if strict && run.Tce_runner.Record.quarantined <> [] then begin
+    Printf.eprintf "bench: --strict and %d cell(s) quarantined\n"
+      (List.length run.Tce_runner.Record.quarantined);
+    exit 1
+  end;
   exit 0
 
 (* Run-vs-run differential between two stored prof-report documents. *)
@@ -445,10 +521,13 @@ let run_profile_diff args =
   exit 0
 
 let run_faults args =
+  let strict_args, args = List.partition (fun a -> a = "--strict") args in
+  let strict = strict_args <> [] in
   let opts, names =
     parse_flags
       [ "jobs"; "fault-seed"; "fault-spec"; "out"; "dir"; "suite"; "shards";
-        "shard" ]
+        "shard"; "worker-indices"; "chaos"; "supervise-timeout"; "max-retries";
+        "resume"; "chaos-worker"; "chaos-seed" ]
       args
   in
   let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
@@ -465,8 +544,15 @@ let run_faults args =
   in
   let suite = Option.value ~default:"all" (Hashtbl.find_opt opts "suite") in
   let ws = resolve_workloads ~suite names in
-  (* Worker mode: run this shard's slice of the matrix, cell envelopes on
-     stdout (spawned by a `--shards N` parent — no summary, no files). *)
+  (* Worker modes: run the assigned matrix cells, envelopes on stdout
+     (spawned by a `--shards N` parent — no summary, no files). *)
+  (match Hashtbl.find_opt opts "worker-indices" with
+  | None -> ()
+  | Some s ->
+    Tce_runner.Campaign.worker_indices ~spec ~seed
+      ?chaos:(parse_worker_chaos opts) ~indices:(parse_indices s) ~out:stdout
+      ws;
+    exit 0);
   (match Hashtbl.find_opt opts "shard" with
   | None -> ()
   | Some spec_str -> (
@@ -477,8 +563,9 @@ let run_faults args =
       exit 0));
   let shards = opt_int opts "shards" ~default:1 in
   if shards < 1 then usage_fail "--shards expects a positive integer";
+  let resume = Hashtbl.find_opt opts "resume" in
   let campaign =
-    if shards > 1 then
+    if shards > 1 || resume <> None then
       (* pass the cell-identity inputs through verbatim; the roster goes as
          positional names, so --suite need not survive the hop *)
       let pass key =
@@ -487,6 +574,8 @@ let run_faults args =
         | Some v -> [ "--" ^ key; v ]
       in
       Tce_runner.Campaign.parent ~spec ~seed ~shards
+        ~supervise:(supervise_config opts) ?resume
+        ?chaos:(parse_parent_chaos opts)
         ~worker_args:(pass "fault-seed" @ pass "fault-spec")
         ws
     else Tce_runner.Campaign.run ~spec ~seed ~jobs ws
@@ -502,11 +591,14 @@ let run_faults args =
   let archive = Tce_runner.Campaign.save ~latest ~dir campaign in
   Tce_runner.Campaign.print_summary campaign;
   Printf.printf "wrote %s (archive: %s)\n" latest archive;
-  exit (Tce_runner.Campaign.exit_code campaign)
+  exit (Tce_runner.Campaign.exit_code ~strict campaign)
 
 let run_check args =
   let opts, names =
-    parse_flags [ "baseline"; "tolerance"; "jobs"; "shards" ] args
+    parse_flags
+      [ "baseline"; "tolerance"; "jobs"; "shards"; "supervise-timeout";
+        "max-retries" ]
+      args
   in
   let baseline_path =
     Option.value ~default:Tce_runner.Store.baseline_path
@@ -522,7 +614,8 @@ let run_check args =
     if shards > 1 then
       Some
         (fun roster ->
-          Tce_runner.Shard.bench_parent ~shards ~worker_args:[] roster)
+          Tce_runner.Shard.bench_parent ~shards
+            ~supervise:(supervise_config opts) ~worker_args:[] roster)
     else None
   in
   exit

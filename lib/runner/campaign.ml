@@ -57,6 +57,10 @@ type t = {
   shards : int;  (** worker processes the matrix was split across (1 = in-process) *)
   host_wall_seconds : float;
   cells : cell list;
+  quarantined : Supervise.quarantined list;
+      (** matrix cells the supervisor excluded after repeated worker
+          kills; absent from [cells] *)
+  resumed_rows : int list;  (** matrix indices replayed from a journal *)
 }
 
 (* --- the differential semantics oracle --- *)
@@ -200,6 +204,8 @@ let run ?(spec = Spec.default) ?(seed = default_seed) ?jobs (ws : W.t list) : t
     shards = 1;
     host_wall_seconds = Unix.gettimeofday () -. t0;
     cells;
+    quarantined = [];
+    resumed_rows = [];
   }
 
 let wrong t = List.filter (fun c -> c.outcome = Wrong) t.cells
@@ -246,16 +252,26 @@ let cell_of_json (j : J.t) : (cell, string) result =
 let to_json (t : t) : J.t =
   Tce_obs.Export.document ~kind:"fault-campaign"
     (J.Obj
-       [
-         ("campaign_seed", J.Int t.campaign_seed);
-         ("spec", J.Str t.spec);
-         ("git_sha", J.Str t.git_sha);
-         ("created_utc", J.Str t.created_utc);
-         ("jobs", J.Int t.jobs);
-         ("shards", J.Int t.shards);
-         ("host_wall_seconds", J.Float t.host_wall_seconds);
-         ("cells", J.List (List.map json_of_cell t.cells));
-       ])
+       ([
+          ("campaign_seed", J.Int t.campaign_seed);
+          ("spec", J.Str t.spec);
+          ("git_sha", J.Str t.git_sha);
+          ("created_utc", J.Str t.created_utc);
+          ("jobs", J.Int t.jobs);
+          ("shards", J.Int t.shards);
+          ("host_wall_seconds", J.Float t.host_wall_seconds);
+          ("cells", J.List (List.map json_of_cell t.cells));
+        ]
+       (* both recovery fields are omitted when empty so documents from
+          clean runs keep their pre-supervision bytes *)
+       @ (match t.quarantined with
+         | [] -> []
+         | qs ->
+           [ ("quarantined", J.List (List.map Supervise.quarantined_to_json qs)) ])
+       @
+       match t.resumed_rows with
+       | [] -> []
+       | rs -> [ ("resumed_rows", J.List (List.map (fun i -> J.Int i) rs)) ]))
 
 let of_json (j : J.t) : (t, string) result =
   match Tce_obs.Export.open_document j with
@@ -269,13 +285,30 @@ let of_json (j : J.t) : (t, string) result =
     (* [shards] is optional: documents written before multi-process
        sharding existed are in-process (one shard). *)
     let shards = Option.value ~default:1 (Option.bind (J.member "shards" data) J.to_int) in
+    (* recovery provenance is optional: absent (clean or pre-supervision
+       documents) decodes as empty *)
+    let quarantined =
+      match Option.bind (J.member "quarantined" data) J.to_list with
+      | None -> Ok []
+      | Some js ->
+        List.fold_right
+          (fun qj acc ->
+            Result.bind acc (fun qs ->
+                Result.map (fun q -> q :: qs) (Supervise.quarantined_of_json qj)))
+          js (Ok [])
+    in
+    let resumed_rows =
+      match Option.bind (J.member "resumed_rows" data) J.to_list with
+      | None -> []
+      | Some js -> List.filter_map J.to_int js
+    in
     match
       ( int "campaign_seed", str "spec", str "git_sha", str "created_utc",
         int "jobs", flt "host_wall_seconds",
-        Option.bind (J.member "cells" data) J.to_list )
+        Option.bind (J.member "cells" data) J.to_list, quarantined )
     with
     | ( Some campaign_seed, Some spec, Some git_sha, Some created_utc,
-        Some jobs, Some host_wall_seconds, Some cells ) -> (
+        Some jobs, Some host_wall_seconds, Some cells, Ok quarantined ) -> (
       let rec all acc = function
         | [] -> Ok (List.rev acc)
         | c :: rest -> (
@@ -289,7 +322,7 @@ let of_json (j : J.t) : (t, string) result =
         Ok
           {
             campaign_seed; spec; git_sha; created_utc; jobs; shards;
-            host_wall_seconds; cells;
+            host_wall_seconds; cells; quarantined; resumed_rows;
           })
     | _ -> Error "malformed fault-campaign document")
 
@@ -342,63 +375,154 @@ let row_of_json (j : J.t) : (int * cell, string) result =
       Result.map (fun c -> (i, c)) (cell_of_json cj)
     | _ -> Error "malformed fault-cell row")
 
-(** Worker side of [--faults --shard K/N]: run this shard's round-robin
-    slice of the {!matrix} serially and stream one [fault-cell] envelope
-    per cell to [out]. Reference/clean observations are prepared only for
-    the workloads this shard actually touches. *)
-let worker ?(spec = Spec.default) ?(seed = default_seed) ~shard ~shards ~out
-    (ws : W.t list) : unit =
+(** Worker side of [--faults --worker-indices i,j,k]: run exactly
+    [indices] of the {!matrix}, in the given order, streaming one
+    [fault-cell] envelope per cell to [out]. Reference/clean observations
+    are prepared only for the workloads the indices actually touch.
+    [chaos] arms a deterministic fault ({!Supervise.Chaos}). *)
+let worker_indices ?(spec = Spec.default) ?(seed = default_seed) ?chaos
+    ~indices ~out (ws : W.t list) : unit =
   let cells = Array.of_list (matrix ~spec ws) in
-  let mine = Shard.positions ~shard ~shards ~n:(Array.length cells) in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length cells then
+        failwith
+          (Printf.sprintf "worker index %d out of range [0, %d)" i
+             (Array.length cells)))
+    indices;
   let needed =
-    List.sort_uniq compare
-      (List.map (fun i -> (fst cells.(i)).W.name) mine)
+    List.sort_uniq compare (List.map (fun i -> (fst cells.(i)).W.name) indices)
   in
   let prepped =
     prep_workloads ~jobs:1
       (List.filter (fun (w : W.t) -> List.mem w.W.name needed) ws)
   in
+  let emitted = ref 0 in
   List.iter
     (fun i ->
+      let mode = Supervise.Chaos.before_cell chaos ~emitted:!emitted ~index:i out in
       let w, rule = cells.(i) in
       let reference, clean = List.assoc w.W.name prepped in
       let c = run_cell ~campaign_seed:seed ~reference ~clean w rule in
-      output_string out (J.to_string (row_to_json ~index:i c));
-      output_char out '\n';
-      flush out)
-    mine
+      let line = J.to_string (row_to_json ~index:i c) in
+      (match mode with
+      | `Truncate -> Supervise.Chaos.truncate_line out line
+      | `Run ->
+        output_string out line;
+        output_char out '\n';
+        flush out);
+      incr emitted)
+    indices
 
-(** Parent side of [--faults --shards N]: fork [N] fault workers over the
-    same roster (passing [worker_args] through, e.g. [--fault-seed]) and
-    merge their cells back into {!matrix} order. Cell seeds are a pure
-    function of the cell identity, so the sharded matrix is cell-for-cell
-    identical to an in-process run.
-    @raise Failure when a worker fails or the merge is incomplete. *)
-let parent ?(log_dir = Shard.default_log_dir) ?(spec = Spec.default)
-    ?(seed = default_seed) ~shards ~worker_args (ws : W.t list) : t =
+(** Worker side of [--faults --shard K/N] (kept for compatibility):
+    delegates to {!worker_indices} with the shard's round-robin slice. *)
+let worker ?spec ?seed ~shard ~shards ~out (ws : W.t list) : unit =
+  let n =
+    List.length ws * List.length (Option.value ~default:Spec.default spec)
+  in
+  worker_indices ?spec ?seed ~indices:(Shard.positions ~shard ~shards ~n) ~out
+    ws
+
+(** Parent side of [--faults --shards N]: run the {!matrix} across [N]
+    supervised fault workers ({!Supervise.run}) — crashed/hung workers are
+    respawned over their missing cells, poison cells quarantine, rows are
+    journaled to [journal_path] and [resume] replays a previous journal.
+    Cell seeds are a pure function of the cell identity, so the sharded
+    matrix is cell-for-cell identical to an in-process run.
+    @raise Failure when supervision fails unrecoverably or the merge is
+    incomplete. *)
+let parent ?exe ?spawn ?(log_dir = Shard.default_log_dir)
+    ?(supervise = Supervise.default_config)
+    ?(journal_path = Store.faults_journal_path) ?resume ?chaos
+    ?(spec = Spec.default) ?(seed = default_seed) ~shards ~worker_args
+    (ws : W.t list) : t =
   let t0 = Unix.gettimeofday () in
   let names = List.map (fun (w : W.t) -> w.W.name) ws in
-  let argv_of_shard k =
+  let cells = Array.of_list (matrix ~spec ws) in
+  let cost = Store.baseline_cost_of_workload () in
+  let tasks =
+    List.init (Array.length cells) (fun i ->
+        let w, rule = cells.(i) in
+        {
+          Supervise.t_index = i;
+          t_name = Printf.sprintf "%s×%s" w.W.name (Point.name rule.Spec.point);
+          (* per-cell cost proxy: the whole workload's baseline cycles —
+             only ratios matter for the deadline scaling *)
+          t_cost = cost w;
+        })
+  in
+  let assignment =
+    let a = Array.make (max 1 shards) [] in
+    List.iteri
+      (fun pos (t : Supervise.task) ->
+        a.(pos mod max 1 shards) <- t.Supervise.t_index :: a.(pos mod max 1 shards))
+      tasks;
+    Array.map List.rev a
+  in
+  let argv_of_indices ~slot ~attempt indices =
+    let chaos_args =
+      match chaos with
+      | None -> []
+      | Some (mode, chaos_seed) ->
+        Option.value ~default:[]
+          (Supervise.Chaos.worker_args ~mode ~seed:chaos_seed ~assignment ~slot
+             ~attempt)
+    in
     Array.of_list
       (Sys.executable_name :: "--faults"
-       :: "--shard" :: Printf.sprintf "%d/%d" k shards
-       :: (worker_args @ names))
+       :: "--worker-indices"
+       :: String.concat "," (List.map string_of_int indices)
+       :: (chaos_args @ worker_args @ names))
   in
-  match Shard.run_workers ~argv_of_shard ~shards ~log_dir () with
+  let parse line =
+    Result.map_error
+      (fun e -> "bad fault-cell: " ^ e)
+      (Result.bind (J.of_string line) row_of_json)
+  in
+  let to_line i c = J.to_string (row_to_json ~index:i c) in
+  let resume_rows =
+    match resume with
+    | None -> []
+    | Some path -> (
+      match Store.journal_lines path with
+      | Error e -> failwith (Printf.sprintf "--resume %s: %s" path e)
+      | Ok lines ->
+        List.filter_map (fun line -> Result.to_option (parse line)) lines)
+  in
+  let serial_run i =
+    let w, rule = cells.(i) in
+    let prepped = prep_workloads ~jobs:1 [ w ] in
+    let reference, clean = List.assoc w.W.name prepped in
+    run_cell ~campaign_seed:seed ~reference ~clean w rule
+  in
+  let journal = Store.journal_open journal_path in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Store.journal_close journal)
+      (fun () ->
+        Supervise.run ?exe ?spawn ~config:supervise ~shards ~log_dir
+          ~journal:(Store.journal_append journal) ~serial_run ~resume_rows
+          ~argv_of_indices ~parse ~to_line tasks)
+  in
+  match outcome with
   | Error e -> failwith ("sharded fault campaign failed: " ^ e)
-  | Ok lines -> (
-    let rows =
-      List.map
-        (fun line ->
-          match Result.bind (J.of_string line) row_of_json with
-          | Ok r -> r
-          | Error e -> failwith ("bad fault-cell from worker: " ^ e))
-        lines
+  | Ok o -> (
+    let name_of i =
+      if i >= 0 && i < Array.length cells then begin
+        let w, rule = cells.(i) in
+        Some (Printf.sprintf "%s×%s" w.W.name (Point.name rule.Spec.point))
+      end
+      else None
     in
-    let expected = List.length ws * List.length spec in
-    match Shard.merge_rows ~what:"fault-cell" ~expected rows with
+    let quarantined_indices =
+      List.map (fun q -> q.Supervise.q_index) o.Supervise.quarantined
+    in
+    match
+      Shard.merge_rows ~names:name_of ~quarantined:quarantined_indices
+        ~what:"fault-cell" ~expected:(Array.length cells) o.Supervise.rows
+    with
     | Error e -> failwith e
-    | Ok cells ->
+    | Ok merged ->
       {
         campaign_seed = seed;
         spec = Spec.to_string spec;
@@ -407,7 +531,9 @@ let parent ?(log_dir = Shard.default_log_dir) ?(spec = Spec.default)
         jobs = 1;
         shards;
         host_wall_seconds = Unix.gettimeofday () -. t0;
-        cells;
+        cells = merged;
+        quarantined = o.Supervise.quarantined;
+        resumed_rows = o.Supervise.resumed;
       })
 
 (* --- reporting --- *)
@@ -438,6 +564,20 @@ let print_summary (t : t) =
         (count Wrong) (count Detected_recovered) (count Degraded)
         (count Masked) (count Not_exercised))
     points;
+  (match t.resumed_rows with
+  | [] -> ()
+  | rs -> Printf.printf "resumed %d cell(s) from the journal\n" (List.length rs));
+  (match t.quarantined with
+  | [] -> ()
+  | qs ->
+    Printf.printf
+      "QUARANTINED %d cell(s) (excluded after repeated worker kills):\n"
+      (List.length qs);
+    List.iter
+      (fun (q : Supervise.quarantined) ->
+        Printf.printf "  %s (index %d, %d kills): %s\n" q.Supervise.q_name
+          q.Supervise.q_index q.Supervise.q_kills q.Supervise.q_reason)
+      qs);
   (match wrong t with
   | [] ->
     Printf.printf
@@ -450,4 +590,5 @@ let print_summary (t : t) =
           c.detail)
       ws)
 
-let exit_code t = if wrong t = [] then 0 else 1
+let exit_code ?(strict = false) t =
+  if wrong t <> [] then 1 else if strict && t.quarantined <> [] then 1 else 0

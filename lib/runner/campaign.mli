@@ -65,6 +65,13 @@ type t = {
   shards : int;  (** worker processes the matrix was split across (1 = in-process) *)
   host_wall_seconds : float;
   cells : cell list;
+  quarantined : Supervise.quarantined list;
+      (** matrix cells the supervisor excluded after repeated worker
+          kills; absent from [cells]. Omitted from the JSON when empty, so
+          pre-supervision documents round-trip unchanged. *)
+  resumed_rows : int list;
+      (** matrix indices replayed from a [--resume] journal (provenance
+          only; also omitted from the JSON when empty) *)
 }
 
 (** One guest-observable summary of a run: printed output + the display
@@ -111,10 +118,22 @@ val row_to_json : index:int -> cell -> Tce_obs.Json.t
 
 val row_of_json : Tce_obs.Json.t -> (int * cell, string) result
 
-(** Worker side of [--faults --shard K/N]: run this shard's round-robin
-    slice of {!matrix} serially, streaming one [fault-cell] envelope per
-    cell to [out] (reference/clean observations are prepared only for the
-    workloads the shard touches). *)
+(** Worker side of [--faults --worker-indices i,j,k]: run exactly
+    [indices] of {!matrix}, in the given order, streaming one [fault-cell]
+    envelope per cell to [out] (reference/clean observations are prepared
+    only for the workloads the indices touch). [chaos] arms a
+    deterministic fault for the chaos harness ({!Supervise.Chaos}). *)
+val worker_indices :
+  ?spec:Tce_fault.Spec.t ->
+  ?seed:int ->
+  ?chaos:Supervise.Chaos.t ->
+  indices:int list ->
+  out:out_channel ->
+  Tce_workloads.Workload.t list ->
+  unit
+
+(** Worker side of [--faults --shard K/N] (kept for compatibility):
+    {!worker_indices} over the shard's round-robin slice. *)
 val worker :
   ?spec:Tce_fault.Spec.t ->
   ?seed:int ->
@@ -124,14 +143,25 @@ val worker :
   Tce_workloads.Workload.t list ->
   unit
 
-(** Parent side of [--faults --shards N]: fork [N] fault workers over the
-    same roster (passing [worker_args] through, e.g. [--fault-seed]) and
-    merge their cells back into {!matrix} order. Cell seeds are pure
-    functions of cell identity, so the result is cell-for-cell identical
-    to an in-process run.
-    @raise Failure when a worker fails or the merge is incomplete. *)
+(** Parent side of [--faults --shards N]: run {!matrix} across [N]
+    supervised fault workers ({!Supervise.run}) — dead or hung workers are
+    respawned over their missing cells, poison cells quarantine after
+    [supervise.max_retries] kills, rows are journaled to [journal_path]
+    (default {!Store.faults_journal_path}) and [resume] replays a previous
+    journal so only the remainder runs. Cell seeds are pure functions of
+    cell identity, so the result is cell-for-cell identical to an
+    in-process run. [exe]/[spawn] are test injection points; [chaos] is
+    the parent side of the chaos harness ([mode, seed]).
+    @raise Failure when supervision fails unrecoverably or the merge is
+    incomplete (a missing cell that is not quarantined). *)
 val parent :
+  ?exe:string ->
+  ?spawn:Supervise.spawn ->
   ?log_dir:string ->
+  ?supervise:Supervise.config ->
+  ?journal_path:string ->
+  ?resume:string ->
+  ?chaos:Supervise.Chaos.mode * int ->
   ?spec:Tce_fault.Spec.t ->
   ?seed:int ->
   shards:int ->
@@ -152,8 +182,10 @@ val save : ?latest:string -> ?dir:string -> t -> string
 
 val load : string -> (t, string) result
 
-(** Per-point outcome table + the list of [Wrong] cells, to stdout. *)
+(** Per-point outcome table, recovery provenance (resumed/quarantined
+    cells) and the list of [Wrong] cells, to stdout. *)
 val print_summary : t -> unit
 
-(** 0 when no cell is [Wrong], else 1. *)
-val exit_code : t -> int
+(** 0 when no cell is [Wrong], else 1. With [strict] (the [--strict]
+    flag), quarantined cells also fail the campaign. *)
+val exit_code : ?strict:bool -> t -> int

@@ -21,6 +21,7 @@ type verdict = {
 type report = {
   verdicts : verdict list;
   missing : string list;
+  quarantined : string list;
   config_mismatch : bool;
   warnings : string list;
   ok : bool;
@@ -108,11 +109,26 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
     baseline.Record.jobs = current.Record.jobs
     && baseline.Record.shards = current.Record.shards
   in
-  let verdicts, missing, warnings =
+  (* A baseline workload absent because the supervisor quarantined it is
+     not a perf regression — the gate compares only the completed rows and
+     warns. A workload absent for any other reason still fails. *)
+  let quarantined_names =
+    List.map
+      (fun q -> q.Supervise.q_name)
+      current.Record.quarantined
+  in
+  let verdicts, missing, quarantined, warnings =
     List.fold_left
-      (fun (vs, miss, warns) (b : Record.workload) ->
+      (fun (vs, miss, quar, warns) (b : Record.workload) ->
         match find b.Record.name with
-        | None -> (vs, b.Record.name :: miss, warns)
+        | None when List.mem b.Record.name quarantined_names ->
+          ( vs, miss, b.Record.name :: quar,
+            Printf.sprintf
+              "%s: quarantined by the supervisor — excluded from the \
+               comparison (completed rows only, non-gating)"
+              b.Record.name
+            :: warns )
+        | None -> (vs, b.Record.name :: miss, quar, warns)
         | Some c ->
           let cycles_delta =
             S.rel_delta_pct ~base:b.Record.cycles_on ~cur:c.Record.cycles_on
@@ -147,11 +163,11 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
                }
             :: vs
           in
-          (vs, miss,
+          (vs, miss, quar,
            List.rev_append
              (if wall_comparable then wall_warnings b c else [])
              (List.rev_append (composition_warnings ~tolerance_pct b c) warns)))
-      ([], [], []) baseline.Record.workloads
+      ([], [], [], []) baseline.Record.workloads
   in
   let suite_wall_warnings =
     let bw = baseline.Record.host_wall_seconds
@@ -172,6 +188,7 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
   in
   let verdicts = List.rev verdicts
   and missing = List.rev missing
+  and quarantined = List.rev quarantined
   and warnings = List.rev warnings @ suite_wall_warnings in
   let config_mismatch =
     baseline.Record.config_hash <> current.Record.config_hash
@@ -179,6 +196,7 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
   {
     verdicts;
     missing;
+    quarantined;
     config_mismatch;
     warnings;
     ok =
@@ -205,7 +223,11 @@ let print_report ~baseline ~current (r : report) =
   List.iter
     (fun (b : Record.workload) ->
       match Hashtbl.find_opt by_workload b.Record.name with
-      | None -> Printf.printf "%-22s MISSING from current run\n" b.Record.name
+      | None ->
+        if List.mem b.Record.name r.quarantined then
+          Printf.printf "%-22s QUARANTINED (non-gating, excluded)\n"
+            b.Record.name
+        else Printf.printf "%-22s MISSING from current run\n" b.Record.name
       | Some vs ->
         let get m = List.find_opt (fun v -> v.metric = m) vs in
         let cyc = get Cycles and rm = get Check_removal and ck = get Checksum in
@@ -238,12 +260,15 @@ let print_report ~baseline ~current (r : report) =
   List.iter (fun w -> Printf.printf "warning: %s\n" w) r.warnings;
   let mean, ci = S.mean_ci95 deltas in
   Printf.printf
-    "gate: %s — %d workloads compared, mean cycle delta %+.2f%% (±%.2f)%s\n"
+    "gate: %s — %d workloads compared, mean cycle delta %+.2f%% (±%.2f)%s%s\n"
     (if r.ok then "PASS" else "FAIL")
     (List.length deltas) mean ci
     (match r.missing with
     | [] -> ""
     | ms -> Printf.sprintf ", missing: %s" (String.concat ", " ms))
+    (match r.quarantined with
+    | [] -> ""
+    | qs -> Printf.sprintf ", quarantined: %s" (String.concat ", " qs))
 
 (* --- end-to-end driver (shared by bench/main.exe and tcejs) --- *)
 

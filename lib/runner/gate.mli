@@ -29,7 +29,13 @@ type verdict = {
 
 type report = {
   verdicts : verdict list;
-  missing : string list;  (** baseline workloads absent from the current run *)
+  missing : string list;
+      (** baseline workloads absent from the current run for no recorded
+          reason — each one fails the gate *)
+  quarantined : string list;
+      (** baseline workloads absent because the current run's supervisor
+          quarantined them (poison cells): the gate compares the completed
+          rows only and warns instead of failing *)
   config_mismatch : bool;
       (** the two runs were measured under different simulator configs *)
   warnings : string list;

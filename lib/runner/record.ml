@@ -40,6 +40,8 @@ type run = {
   shards : int;
   host_wall_seconds : float;
   workloads : workload list;
+  quarantined : Supervise.quarantined list;
+  resumed_rows : int list;
 }
 
 (* The reconciliation invariant (ISSUE 4): every dynamic [C_check]
@@ -130,6 +132,8 @@ let equal_run (a : run) (b : run) =
   && a.created_utc = b.created_utc && a.jobs = b.jobs
   && a.shards = b.shards
   && a.host_wall_seconds = b.host_wall_seconds
+  && a.quarantined = b.quarantined
+  && a.resumed_rows = b.resumed_rows
   && List.length a.workloads = List.length b.workloads
   && List.for_all2 equal_workload a.workloads b.workloads
 
@@ -171,15 +175,27 @@ let workload_to_json (w : workload) : J.t =
 let run_to_json (r : run) : J.t =
   Tce_obs.Export.document ~kind:"bench-run"
     (J.Obj
-       [
-         ("git_sha", J.Str r.git_sha);
-         ("config_hash", J.Str r.config_hash);
-         ("created_utc", J.Str r.created_utc);
-         ("jobs", J.Int r.jobs);
-         ("shards", J.Int r.shards);
-         ("host_wall_seconds", J.Float r.host_wall_seconds);
-         ("workloads", J.List (List.map workload_to_json r.workloads));
-       ])
+       ([
+          ("git_sha", J.Str r.git_sha);
+          ("config_hash", J.Str r.config_hash);
+          ("created_utc", J.Str r.created_utc);
+          ("jobs", J.Int r.jobs);
+          ("shards", J.Int r.shards);
+          ("host_wall_seconds", J.Float r.host_wall_seconds);
+          ("workloads", J.List (List.map workload_to_json r.workloads));
+        ]
+       (* emitted only when present, so documents from clean runs — the
+          committed baseline included — keep their pre-supervision bytes *)
+       @ (if r.quarantined = [] then []
+          else
+            [
+              ( "quarantined",
+                J.List
+                  (List.map Supervise.quarantined_to_json r.quarantined) );
+            ])
+       @
+       if r.resumed_rows = [] then []
+       else [ ("resumed_rows", J.List (List.map (fun i -> J.Int i) r.resumed_rows)) ]))
 
 (* Decoding: every field is required; a missing or mistyped field names
    itself in the error so a truncated store file is diagnosable. *)
@@ -298,6 +314,35 @@ let run_of_json (j : J.t) : (run, string) result =
     let* host_wall_seconds = field "host_wall_seconds" J.to_float data in
     let* items = field "workloads" J.to_list data in
     let* workloads = all_ok [] items in
+    (* Optional blocks: documents from clean (or pre-supervision) runs
+       simply have no quarantined cells and no resumed rows. *)
+    let* quarantined =
+      match J.member "quarantined" data with
+      | None -> Ok []
+      | Some (J.List qs) ->
+        List.fold_left
+          (fun acc q ->
+            let* acc = acc in
+            let* x = Supervise.quarantined_of_json q in
+            Ok (x :: acc))
+          (Ok []) qs
+        |> Result.map List.rev
+      | Some _ -> Error "bad field \"quarantined\""
+    in
+    let* resumed_rows =
+      match J.member "resumed_rows" data with
+      | None -> Ok []
+      | Some (J.List is) ->
+        List.fold_left
+          (fun acc i ->
+            let* acc = acc in
+            match J.to_int i with
+            | Some i -> Ok (i :: acc)
+            | None -> Error "bad field \"resumed_rows\"")
+          (Ok []) is
+        |> Result.map List.rev
+      | Some _ -> Error "bad field \"resumed_rows\""
+    in
     Ok
       {
         schema;
@@ -308,6 +353,8 @@ let run_of_json (j : J.t) : (run, string) result =
         shards;
         host_wall_seconds;
         workloads;
+        quarantined;
+        resumed_rows;
       }
 
 (* --- shard-worker row streaming --- *)
@@ -343,6 +390,10 @@ let normalize_run (r : run) : run =
     jobs = 1;
     shards = 1;
     host_wall_seconds = 0.0;
+    (* whether rows came live or replayed from a journal does not change
+       them (cells are deterministic), so resume provenance is normalized
+       away; quarantined cells DO change the result set and are kept *)
+    resumed_rows = [];
     workloads =
       List.map
         (fun w ->

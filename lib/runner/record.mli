@@ -49,6 +49,16 @@ type run = {
           documents written before the field existed decode as 1) *)
   host_wall_seconds : float;
   workloads : workload list;
+  quarantined : Supervise.quarantined list;
+      (** poison cells the supervisor excluded after repeated worker
+          kills, in roster order; their workloads are absent from
+          [workloads]. Empty for clean runs — the field is omitted from
+          the JSON then, so pre-supervision documents round-trip
+          unchanged. *)
+  resumed_rows : int list;
+      (** roster indices replayed from a [--resume] journal instead of
+          re-executed (provenance only — the rows are identical either
+          way, and {!normalize_run} clears this) *)
 }
 
 (** Build a record from a measured off/on pair; [wall_off]/[wall_on] are
@@ -92,8 +102,10 @@ val row_to_json : index:int -> workload -> Tce_obs.Json.t
 val row_of_json : Tce_obs.Json.t -> (int * workload, string) result
 
 (** Strip every host-dependent field (timestamp, wall clocks, job/shard
-    counts are all forced to fixed values) so two runs of the same
-    simulator state serialize byte-identically — the property CI asserts
-    between a serial and a sharded run. Simulated numbers and provenance
-    that must match anyway (git SHA, config hash) are kept. *)
+    counts and resume provenance are all forced to fixed values) so two
+    runs of the same simulator state serialize byte-identically — the
+    property CI asserts between a serial run and a sharded (or
+    chaos-recovered, or journal-resumed) one. Simulated numbers,
+    quarantined cells and provenance that must match anyway (git SHA,
+    config hash) are kept. *)
 val normalize_run : run -> run

@@ -21,28 +21,56 @@ let positions ~shard ~shards ~n =
   let rec go p acc = if p >= n then List.rev acc else go (p + shards) (p :: acc) in
   go (shard - 1) []
 
-let merge_rows ~what ~expected (rows : (int * 'a) list) :
-    ('a list, string) result =
+(** Render roster indices with their workload names when a namer is
+    given — [missing: fib, deopt-storm (indices 3, 54)] diagnoses a
+    partial run by itself, where bare indices need the roster decoded
+    first. *)
+let describe_indices ?names indices =
+  let bare =
+    Printf.sprintf "indices %s"
+      (String.concat ", " (List.map string_of_int indices))
+  in
+  match names with
+  | None -> bare
+  | Some name_of -> (
+    match List.filter_map name_of indices with
+    | [] -> bare
+    | named -> Printf.sprintf "%s (%s)" (String.concat ", " named) bare)
+
+let merge_rows ?names ?(quarantined = []) ~what ~expected
+    (rows : (int * 'a) list) : ('a list, string) result =
   let slots = Array.make expected None in
+  let name_one i =
+    match names with
+    | Some name_of -> (
+      match name_of i with
+      | Some n -> Printf.sprintf "%s (index %d)" n i
+      | None -> Printf.sprintf "index %d" i)
+    | None -> Printf.sprintf "index %d" i
+  in
   let rec place = function
     | [] ->
       let missing = ref [] in
       Array.iteri
-        (fun i -> function None -> missing := i :: !missing | Some _ -> ())
+        (fun i -> function
+          | None -> if not (List.mem i quarantined) then missing := i :: !missing
+          | Some _ -> ())
         slots;
       if !missing <> [] then
         Error
-          (Printf.sprintf "%s merge: %d of %d rows missing (indices %s)" what
+          (Printf.sprintf "%s merge: %d of %d rows missing: %s" what
              (List.length !missing) expected
-             (String.concat ", "
-                (List.map string_of_int (List.rev !missing))))
-      else Ok (List.map Option.get (Array.to_list slots))
+             (describe_indices ?names (List.rev !missing)))
+      else
+        (* index order; quarantined holes are simply skipped *)
+        Ok (List.filter_map Fun.id (Array.to_list slots))
     | (i, _) :: _ when i < 0 || i >= expected ->
       Error
         (Printf.sprintf "%s merge: row index %d out of range [0, %d)" what i
            expected)
     | (i, _) :: _ when slots.(i) <> None ->
-      Error (Printf.sprintf "%s merge: row index %d arrived twice" what i)
+      Error
+        (Printf.sprintf "%s merge: %s arrived twice" what (name_one i))
     | (i, r) :: rest ->
       slots.(i) <- Some r;
       place rest
@@ -71,32 +99,57 @@ type worker = {
     whole run. Lines are collected in arrival order; the row envelopes
     carry their own roster index, so arrival order is irrelevant to the
     merge. *)
-let run_workers ~argv_of_shard ~shards ~log_dir () :
+let run_workers ?(exe = Sys.executable_name) ~argv_of_shard ~shards ~log_dir () :
     (string list, string) result =
   mkdir_p log_dir;
-  let exe = Sys.executable_name in
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let spawned = ref [] in
   let workers =
-    List.init shards (fun i ->
-        let shard = i + 1 in
-        let log = Filename.concat log_dir (Printf.sprintf "shard-%d.log" shard) in
-        let log_fd =
-          Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-        in
-        let r, w = Unix.pipe ~cloexec:false () in
-        let pid =
-          Unix.create_process exe (argv_of_shard shard) devnull w log_fd
-        in
-        Unix.close w;
-        Unix.close log_fd;
-        {
-          w_shard = shard;
-          w_pid = pid;
-          w_fd = r;
-          w_buf = Buffer.create 256;
-          w_log = log;
-          w_open = true;
-        })
+    (* fd hygiene: if any spawn fails partway (create_process raising on
+       fd exhaustion is the classic), close the pipe fds of the workers
+       already started and reap them — the caller sees one Error, not a
+       leak of 2×(shards-1) descriptors and a zombie herd *)
+    match
+      List.init shards (fun i ->
+          let shard = i + 1 in
+          let log = Filename.concat log_dir (Printf.sprintf "shard-%d.log" shard) in
+          let log_fd =
+            Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+          in
+          let r, w = Unix.pipe ~cloexec:false () in
+          let pid =
+            try Unix.create_process exe (argv_of_shard shard) devnull w log_fd
+            with e ->
+              Unix.close r;
+              Unix.close w;
+              Unix.close log_fd;
+              raise e
+          in
+          Unix.close w;
+          Unix.close log_fd;
+          let worker =
+            {
+              w_shard = shard;
+              w_pid = pid;
+              w_fd = r;
+              w_buf = Buffer.create 256;
+              w_log = log;
+              w_open = true;
+            }
+          in
+          spawned := worker :: !spawned;
+          worker)
+    with
+    | workers -> workers
+    | exception e ->
+      List.iter
+        (fun w ->
+          (try Unix.close w.w_fd with Unix.Unix_error _ -> ());
+          (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Supervise.waitpid_restart [] w.w_pid))
+        !spawned;
+      Unix.close devnull;
+      raise e
   in
   Unix.close devnull;
   let lines = ref [] in
@@ -116,11 +169,13 @@ let run_workers ~argv_of_shard ~shards ~log_dir () :
     | [] -> ()
     | live ->
       let fds = List.map (fun w -> w.w_fd) live in
-      let ready, _, _ = Unix.select fds [] [] (-1.0) in
+      (* EINTR-safe: a signal mid-drain (SIGCHLD from a finishing worker,
+         an interval timer) must restart the wait, not kill the parent *)
+      let ready, _, _ = Supervise.select_restart fds [] [] (-1.0) in
       List.iter
         (fun w ->
           if List.mem w.w_fd ready then
-            match Unix.read w.w_fd chunk 0 (Bytes.length chunk) with
+            match Supervise.read_restart w.w_fd chunk 0 (Bytes.length chunk) with
             | 0 ->
               Unix.close w.w_fd;
               w.w_open <- false
@@ -139,7 +194,7 @@ let run_workers ~argv_of_shard ~shards ~log_dir () :
           | Unix.WSIGNALED s -> Some (Printf.sprintf "killed by signal %d" s)
           | Unix.WSTOPPED s -> Some (Printf.sprintf "stopped by signal %d" s)
         in
-        let _, st = Unix.waitpid [] w.w_pid in
+        let _, st = Supervise.waitpid_restart [] w.w_pid in
         match describe st with
         | Some what ->
           Some (Printf.sprintf "shard %d/%d %s (log: %s)" w.w_shard shards what w.w_log)
@@ -170,40 +225,122 @@ let bench_indices ~shard ~shards (ws : W.t list) : int list =
     (fun p -> order.(p))
     (positions ~shard ~shards ~n:(Array.length order))
 
-let bench_worker ?config ~shard ~shards ~out (ws : W.t list) : unit =
+(** Run exactly [indices] of [ws] (in the given order), one [bench-row]
+    envelope per pair on [out] — the unit of work the supervised parent
+    hands a (re)spawned worker. [chaos] arms the deterministic fault the
+    chaos harness asked this spawn to exhibit. *)
+let bench_worker_indices ?config ?chaos ~indices ~out (ws : W.t list) : unit =
   let arr = Array.of_list ws in
+  let emitted = ref 0 in
   List.iter
     (fun i ->
+      if i < 0 || i >= Array.length arr then
+        failwith (Printf.sprintf "worker index %d out of range [0, %d)" i
+                    (Array.length arr));
+      let mode = Supervise.Chaos.before_cell chaos ~emitted:!emitted ~index:i out in
       let row = Runner.run_one ?config arr.(i) in
-      output_string out (J.to_string (Record.row_to_json ~index:i row));
-      output_char out '\n';
-      (* flush per row: the parent streams progress and a crashed worker
-         loses only its in-flight pair *)
-      flush out)
-    (bench_indices ~shard ~shards ws)
+      let line = J.to_string (Record.row_to_json ~index:i row) in
+      (match mode with
+      | `Truncate -> Supervise.Chaos.truncate_line out line
+      | `Run ->
+        output_string out line;
+        output_char out '\n';
+        (* flush per row: the parent streams progress and a crashed worker
+           loses only its in-flight pair *)
+        flush out);
+      incr emitted)
+    indices
 
-let bench_parent ?(log_dir = default_log_dir) ~shards ~worker_args
-    (ws : W.t list) : Record.run =
+let bench_worker ?config ~shard ~shards ~out (ws : W.t list) : unit =
+  bench_worker_indices ?config ~indices:(bench_indices ~shard ~shards ws) ~out
+    ws
+
+let bench_parent ?exe ?spawn ?(log_dir = default_log_dir)
+    ?(supervise = Supervise.default_config) ?(journal_path = Store.bench_journal_path)
+    ?resume ?chaos ~shards ~worker_args (ws : W.t list) : Record.run =
   let t0 = Unix.gettimeofday () in
   let names = List.map (fun (w : W.t) -> w.W.name) ws in
-  let argv_of_shard k =
+  let arr = Array.of_list ws in
+  let cost = Store.baseline_cost_of_workload () in
+  let order = Runner.longest_first_order ~cost ws in
+  let tasks =
+    List.map
+      (fun pos ->
+        let i = order.(pos) in
+        {
+          Supervise.t_index = i;
+          t_name = arr.(i).W.name;
+          t_cost = cost arr.(i);
+        })
+      (List.init (Array.length order) Fun.id)
+  in
+  let assignment =
+    let a = Array.make (max 1 shards) [] in
+    List.iteri
+      (fun pos (t : Supervise.task) ->
+        a.(pos mod max 1 shards) <- t.Supervise.t_index :: a.(pos mod max 1 shards))
+      tasks;
+    Array.map List.rev a
+  in
+  let argv_of_indices ~slot ~attempt indices =
+    let chaos_args =
+      match chaos with
+      | None -> []
+      | Some (mode, seed) ->
+        Option.value ~default:[]
+          (Supervise.Chaos.worker_args ~mode ~seed ~assignment ~slot ~attempt)
+    in
     Array.of_list
       (Sys.executable_name :: "--bench"
-       :: "--shard" :: Printf.sprintf "%d/%d" k shards
-       :: (worker_args @ names))
+       :: "--worker-indices"
+       :: String.concat "," (List.map string_of_int indices)
+       :: (chaos_args @ worker_args @ names))
   in
   let parse line =
-    match Result.bind (J.of_string line) Record.row_of_json with
-    | Ok row -> row
-    | Error e -> failwith (Printf.sprintf "bad bench-row from worker: %s" e)
+    Result.map_error
+      (fun e -> Printf.sprintf "bad bench-row: %s" e)
+      (Result.bind (J.of_string line) Record.row_of_json)
   in
-  match run_workers ~argv_of_shard ~shards ~log_dir () with
+  let to_line i row = J.to_string (Record.row_to_json ~index:i row) in
+  (* Resume: replay every complete row of the crashed run's journal;
+     only the remainder is scheduled. *)
+  let resume_rows =
+    match resume with
+    | None -> []
+    | Some path -> (
+      match Store.journal_lines path with
+      | Error e -> failwith (Printf.sprintf "--resume %s: %s" path e)
+      | Ok lines ->
+        List.filter_map
+          (fun line -> Result.to_option (parse line))
+          lines)
+  in
+  let journal = Store.journal_open journal_path in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Store.journal_close journal)
+      (fun () ->
+        Supervise.run ?exe ?spawn ~config:supervise ~shards ~log_dir
+          ~journal:(Store.journal_append journal)
+          ~serial_run:(fun i -> Runner.run_one arr.(i))
+          ~resume_rows ~argv_of_indices ~parse ~to_line tasks)
+  in
+  match outcome with
   | Error e -> failwith ("sharded bench failed: " ^ e)
-  | Ok lines -> (
-    let rows = List.map parse lines in
-    match merge_rows ~what:"bench-row" ~expected:(List.length ws) rows with
+  | Ok o -> (
+    let name_of i =
+      if i >= 0 && i < Array.length arr then Some arr.(i).W.name else None
+    in
+    let quarantined_indices =
+      List.map (fun q -> q.Supervise.q_index) o.Supervise.quarantined
+    in
+    match
+      merge_rows ~names:name_of ~quarantined:quarantined_indices
+        ~what:"bench-row" ~expected:(List.length ws) o.Supervise.rows
+    with
     | Error e -> failwith e
     | Ok workloads ->
-      Store.make_run ~shards ~jobs:1
+      Store.make_run ~shards ~jobs:1 ~quarantined:o.Supervise.quarantined
+        ~resumed_rows:o.Supervise.resumed
         ~host_wall_seconds:(Unix.gettimeofday () -. t0)
         workloads)

@@ -26,7 +26,14 @@
     Simulated numbers are bit-identical to a serial run by construction
     (each pair still runs in its own engine); the merged document is
     byte-identical after {!Record.normalize_run} strips the host-dependent
-    fields. *)
+    fields.
+
+    Since the supervision rework, the parent drivers run on {!Supervise}:
+    workers are spawned with an {e explicit} index list
+    ([--worker-indices i,j,k]) rather than recomputing [K/N] slices, so a
+    replacement worker can cover exactly the cells its dead predecessor
+    still owed. [--shard K/N] workers remain supported (CI compatibility)
+    and delegate to the same per-index loop. *)
 
 (** [parse_spec "K/N"] is [Ok (k, n)] with [1 <= k <= n] (shards are
     1-based on the CLI). *)
@@ -38,19 +45,36 @@ val parse_spec : string -> (int * int, string) result
 val positions : shard:int -> shards:int -> n:int -> int list
 
 (** [merge_rows ~what ~expected rows] places each [(index, row)] into a
-    dense [expected]-slot array. [Error] when an index is out of range,
-    arrives twice, or is missing — a sharding bug must fail the run, never
-    truncate it silently. [what] names the row kind in errors. *)
+    dense [expected]-slot array and returns the rows in index order.
+    [Error] when an index is out of range, arrives twice, or is missing —
+    a sharding bug must fail the run, never truncate it silently. [what]
+    names the row kind in errors; [names] maps an index to its workload
+    name so errors read [missing: fib, deopt-storm (indices 3, 54)]
+    instead of bare indices. Indices in [quarantined] are allowed to be
+    absent (the supervisor excluded them); their slots are skipped. *)
 val merge_rows :
-  what:string -> expected:int -> (int * 'a) list -> ('a list, string) result
+  ?names:(int -> string option) ->
+  ?quarantined:int list ->
+  what:string ->
+  expected:int ->
+  (int * 'a) list ->
+  ('a list, string) result
 
 (** [run_workers ~argv_of_shard ~shards ~log_dir ()] forks one process of
-    the current executable per shard ([argv_of_shard k] is the full argv
-    for 1-based shard [k]), with stderr appended to [log_dir/shard-K.log],
-    and returns every complete stdout line from all workers (arrival
-    order). [Error] when any worker exits non-zero or writes a partial
-    final line; the message names the shard and its log file. *)
+    [exe] (default the current executable) per shard ([argv_of_shard k] is
+    the full argv for 1-based shard [k]), with stderr appended to
+    [log_dir/shard-K.log], and returns every complete stdout line from all
+    workers (arrival order). [Error] when any worker exits non-zero or
+    writes a partial final line; the message names the shard and its log
+    file. Restarts [select]/[read] on [EINTR]; if a spawn fails partway,
+    the pipe/log fds of already-started workers are closed and the workers
+    reaped before the exception propagates (no fd leak, no zombies).
+
+    This is the {e unsupervised} driver: any worker failure voids the
+    whole run. The bench/fault parents use {!Supervise.run} instead; this
+    stays for simple fan-outs where all-or-nothing is the right policy. *)
 val run_workers :
+  ?exe:string ->
   argv_of_shard:(int -> string array) ->
   shards:int ->
   log_dir:string ->
@@ -61,6 +85,19 @@ val run_workers :
 val default_log_dir : string
 
 (* --- benchmark roster sharding --- *)
+
+(** Worker side of [--bench --worker-indices i,j,k]: run exactly
+    [indices] of [ws], in the given order, streaming one [bench-row]
+    envelope per pair to [out] (flushed per row, so the parent loses only
+    the in-flight cell if this process dies). [chaos] arms a deterministic
+    fault for the chaos harness ({!Supervise.Chaos}). *)
+val bench_worker_indices :
+  ?config:Tce_engine.Engine.config ->
+  ?chaos:Supervise.Chaos.t ->
+  indices:int list ->
+  out:out_channel ->
+  Tce_workloads.Workload.t list ->
+  unit
 
 (** Worker side of [--bench --shard K/N]: run this shard's slice of [ws]
     (schedule recomputed from the committed baseline's costs) serially and
@@ -73,13 +110,27 @@ val bench_worker :
   Tce_workloads.Workload.t list ->
   unit
 
-(** Parent side of [--bench --shards N]: fork [N] bench workers over [ws]
-    (passing [worker_args] through to each, e.g. [--no-templates]), merge
-    their rows and stamp the result like {!Runner.run_suite} would
-    ([jobs = 1] per worker; [shards = N] recorded in the run).
-    @raise Failure when a worker fails or the merge is incomplete. *)
+(** Parent side of [--bench --shards N]: run [ws] across [N] supervised
+    bench workers ({!Supervise.run}) — dead or hung workers are respawned
+    over their missing indices, poison cells quarantine after
+    [supervise.max_retries] kills, accepted rows are journaled to
+    [journal_path] (default {!Store.bench_journal_path}), and [resume]
+    replays a previous journal so only the remainder runs. [worker_args]
+    pass through to each worker (e.g. [--no-templates]); [chaos] is the
+    parent side of the chaos harness ([mode, seed]). The result is stamped
+    like {!Runner.run_suite} ([jobs = 1] per worker; [shards],
+    [quarantined] and [resumed_rows] recorded in the run).
+    [exe]/[spawn] are test injection points.
+    @raise Failure when supervision fails unrecoverably or the merge is
+    incomplete (a missing index that is not quarantined). *)
 val bench_parent :
+  ?exe:string ->
+  ?spawn:Supervise.spawn ->
   ?log_dir:string ->
+  ?supervise:Supervise.config ->
+  ?journal_path:string ->
+  ?resume:string ->
+  ?chaos:Supervise.Chaos.mode * int ->
   shards:int ->
   worker_args:string list ->
   Tce_workloads.Workload.t list ->

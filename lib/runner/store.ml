@@ -8,6 +8,9 @@ let prof_latest_path = "PROF_latest.json"
 let time_latest_path = "bench_time.json"
 let history_dir = Filename.concat "results" "history"
 let baseline_path = Filename.concat "results" "baseline.json"
+let journal_dir = Filename.concat "results" "journal"
+let bench_journal_path = Filename.concat journal_dir "bench.jsonl"
+let faults_journal_path = Filename.concat journal_dir "faults.jsonl"
 
 (* --- provenance --- *)
 
@@ -59,8 +62,8 @@ let timestamp_utc () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let make_run ?config ?(shards = 1) ~jobs ~host_wall_seconds workloads :
-    Record.run =
+let make_run ?config ?(shards = 1) ?(quarantined = []) ?(resumed_rows = [])
+    ~jobs ~host_wall_seconds workloads : Record.run =
   {
     Record.schema = Tce_obs.Export.schema_version;
     git_sha = git_sha ();
@@ -70,6 +73,8 @@ let make_run ?config ?(shards = 1) ~jobs ~host_wall_seconds workloads :
     shards;
     host_wall_seconds;
     workloads;
+    quarantined;
+    resumed_rows;
   }
 
 (* --- persistence --- *)
@@ -152,6 +157,50 @@ let time_report_json (r : Record.run) : J.t =
                 rows) );
        ])
 
+(* --- the crash-safe row journal ---
+
+   One line per completed shard row (bench-row / fault-cell envelope),
+   fsynced as it lands, so a crashed or OOM-killed parent leaves behind a
+   replayable checkpoint: `--resume FILE` re-schedules only the cells the
+   journal does not already hold. A torn write can only damage the final
+   line, which [journal_lines] drops. *)
+
+type journal = { j_oc : out_channel; j_fd : Unix.file_descr }
+
+let journal_open path : journal =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out_bin path in
+  { j_oc = oc; j_fd = Unix.descr_of_out_channel oc }
+
+let journal_append j line =
+  output_string j.j_oc line;
+  output_char j.j_oc '\n';
+  flush j.j_oc;
+  (* fsync per row: rows are seconds of work each, durability is the point *)
+  try Unix.fsync j.j_fd with Unix.Unix_error _ -> ()
+
+let journal_close j = close_out j.j_oc
+
+let journal_lines path : (string list, string) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text ->
+    (* only lines terminated by '\n' count: a truncated final line is the
+       expected signature of a crash mid-append and is silently dropped *)
+    let lines = String.split_on_char '\n' text in
+    let rec keep = function
+      | [] | [ _ ] -> []
+      | l :: rest -> l :: keep rest
+    in
+    (* [keep] drops the final fragment: "" when the file ends in '\n', the
+       torn line when a crash interrupted the last append *)
+    Ok (List.filter (fun l -> l <> "") (keep lines))
+
 let load path : (Record.run, string) result =
   match
     let ic = open_in_bin path in
@@ -200,4 +249,17 @@ let print_summary (r : Record.run) =
     mean ci;
   Printf.printf "sha %s  config %s  at %s\n" r.Record.git_sha
     (String.sub r.Record.config_hash 0 12)
-    r.Record.created_utc
+    r.Record.created_utc;
+  (match r.Record.resumed_rows with
+  | [] -> ()
+  | rs -> Printf.printf "resumed %d row(s) from the journal\n" (List.length rs));
+  match r.Record.quarantined with
+  | [] -> ()
+  | qs ->
+    Printf.printf "QUARANTINED %d cell(s) (excluded after repeated worker kills):\n"
+      (List.length qs);
+    List.iter
+      (fun (q : Supervise.quarantined) ->
+        Printf.printf "  %s (index %d, %d kills): %s\n" q.Supervise.q_name
+          q.Supervise.q_index q.Supervise.q_kills q.Supervise.q_reason)
+      qs

@@ -21,6 +21,34 @@ val history_dir : string  (** ["results/history"] *)
 
 val baseline_path : string  (** ["results/baseline.json"] *)
 
+val journal_dir : string  (** ["results/journal"] *)
+
+val bench_journal_path : string
+(** ["results/journal/bench.jsonl"] — the supervised bench driver's
+    crash-safe row journal (one [bench-row] envelope per line). *)
+
+val faults_journal_path : string
+(** ["results/journal/faults.jsonl"] — ditto for [fault-cell] envelopes. *)
+
+(** Append-only, fsync-per-line journal of completed shard rows. A run
+    that dies (parent crash, container OOM) leaves a replayable
+    checkpoint behind: [--resume FILE] schedules only the cells the
+    journal does not hold. *)
+type journal
+
+(** Truncate/create [path] (directories made as needed). *)
+val journal_open : string -> journal
+
+(** Append one envelope line + ['\n'], flush and fsync. *)
+val journal_append : journal -> string -> unit
+
+val journal_close : journal -> unit
+
+(** Every complete (newline-terminated) line of a journal; a torn final
+    line — the signature of a crash mid-append — is dropped, not an
+    error. *)
+val journal_lines : string -> (string list, string) result
+
 (** Short git SHA of the working tree, or ["unknown"] outside a checkout. *)
 val git_sha : unit -> string
 
@@ -34,10 +62,14 @@ val timestamp_utc : unit -> string
 
 (** Stamp workload records with provenance (SHA, config hash, timestamp).
     [shards] (default 1) records how many worker processes produced the
-    rows — needed so the gate's wall-time warnings compare like for like. *)
+    rows — needed so the gate's wall-time warnings compare like for like.
+    [quarantined]/[resumed_rows] (default empty) carry the supervised
+    driver's recovery provenance. *)
 val make_run :
   ?config:Tce_engine.Engine.config ->
   ?shards:int ->
+  ?quarantined:Supervise.quarantined list ->
+  ?resumed_rows:int list ->
   jobs:int ->
   host_wall_seconds:float ->
   Record.workload list ->

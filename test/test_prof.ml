@@ -259,6 +259,8 @@ let test_wall_warnings_non_gating () =
       host_wall_seconds = List.fold_left (fun a w -> a +. w) 0.0 ws;
       workloads =
         List.map (fun w -> mk_rec ~wall:w ~wall_off:w ~wall_on:w "w") ws;
+      quarantined = [];
+      resumed_rows = [];
     }
   in
   let report =

@@ -1,0 +1,527 @@
+(* Tests for the self-healing sharded driver (Tce_runner.Supervise):
+   (a) chaos-mode matrix over /bin/sh fake workers — crash, hang, garbage,
+       partial final line, unexpected index — each recovered by respawning
+       over the missing cells, with the merged row set identical to a
+       clean run;
+   (b) quarantine semantics: a poison cell is excluded after max_retries
+       kills while the rest of the run completes;
+   (c) graceful degradation to in-process serial when spawning fails;
+   (d) checkpoint/resume: journal replay schedules only the remainder and
+       a torn final journal line is dropped;
+   (e) EINTR restart in Shard.run_workers under a fast interval timer;
+   (f) merge_rows errors that name workloads, quarantine-aware gate, and
+       the recovery provenance JSON round-trip;
+   (g) end-to-end: bench_parent over the real bench/main.exe with seeded
+       chaos, byte-identical to a serial run. *)
+
+open Tce_runner
+
+(* --- sh-based fake workers --- *)
+
+let log_dir =
+  Filename.concat (Filename.get_temp_dir_name ()) "tce-supervise-test-logs"
+
+let cfg =
+  {
+    Supervise.default_config with
+    Supervise.cell_timeout_s = 5.0;
+    backoff_base_s = 0.01;
+    backoff_cap_s = 0.05;
+    verbose = false;
+  }
+
+let tasks n =
+  List.init n (fun i ->
+      {
+        Supervise.t_index = i;
+        t_name = Printf.sprintf "cell-%d" i;
+        t_cost = None;
+      })
+
+let parse line =
+  match String.index_opt line ':' with
+  | None -> Error "no colon"
+  | Some k -> (
+    match int_of_string_opt (String.sub line 0 k) with
+    | Some i -> Ok (i, String.sub line (k + 1) (String.length line - k - 1))
+    | None -> Error "bad index")
+
+let to_line i v = Printf.sprintf "%d:%s" i v
+let sh script = [| "sh"; "-c"; script |]
+let echoes indices = List.map (fun i -> Printf.sprintf "echo %d:v%d" i i) indices
+
+let clean_argv ~slot:_ ~attempt:_ indices =
+  sh (String.concat "; " (echoes indices))
+
+let run_sh ?spawn ?journal ?serial_run ?resume_rows ?(config = cfg) ~shards
+    ~argv n =
+  Supervise.run ~exe:"/bin/sh" ?spawn ?journal ?serial_run ?resume_rows
+    ~config ~shards ~log_dir ~argv_of_indices:argv ~parse ~to_line (tasks n)
+
+let rows_t = Alcotest.(list (pair int string))
+let sorted o = List.sort compare o.Supervise.rows
+let complete n = List.init n (fun i -> (i, Printf.sprintf "v%d" i))
+
+let expect_ok = function
+  | Ok o -> o
+  | Error e -> Alcotest.failf "supervised run failed: %s" e
+
+let test_clean_run () =
+  let o = expect_ok (run_sh ~shards:2 ~argv:clean_argv 5) in
+  Alcotest.check rows_t "all rows" (complete 5) (sorted o);
+  Alcotest.(check int) "no respawns" 0 o.Supervise.respawns;
+  Alcotest.(check int) "no quarantine" 0 (List.length o.Supervise.quarantined)
+
+(* Each recoverable failure mode: slot 1's first spawn misbehaves, every
+   later spawn is clean — the run must still produce the full row set. *)
+let recoverable_argv misbehave ~slot ~attempt indices =
+  if slot = 1 && attempt = 0 then sh (misbehave indices)
+  else clean_argv ~slot ~attempt indices
+
+let check_recovers name misbehave =
+  let argv = recoverable_argv misbehave in
+  let o = expect_ok (run_sh ~shards:2 ~argv 5) in
+  Alcotest.check rows_t (name ^ ": all rows recovered") (complete 5) (sorted o);
+  Alcotest.(check bool) (name ^ ": respawned") true (o.Supervise.respawns >= 1);
+  Alcotest.(check int)
+    (name ^ ": nothing quarantined")
+    0
+    (List.length o.Supervise.quarantined)
+
+let test_crash_recovery () =
+  check_recovers "crash" (fun indices ->
+      match echoes indices with
+      | e :: _ -> e ^ "; exit 7"
+      | [] -> "exit 7")
+
+let test_sigkill_recovery () =
+  check_recovers "sigkill" (fun indices ->
+      match echoes indices with
+      | e :: _ -> e ^ "; kill -9 $$"
+      | [] -> "kill -9 $$")
+
+let test_garbage_recovery () =
+  check_recovers "garbage" (fun _ -> "echo not-a-row; exec sleep 60")
+
+let test_unexpected_index_recovery () =
+  check_recovers "unexpected-index" (fun _ -> "echo 99:zz; exec sleep 60")
+
+let test_partial_line_recovery () =
+  check_recovers "partial-line" (fun indices ->
+      Printf.sprintf "printf '%d:half-a-row'" (List.hd indices))
+
+let test_hang_recovery () =
+  let argv =
+    recoverable_argv (fun indices ->
+        match echoes indices with
+        | e :: _ -> e ^ "; exec sleep 60"
+        | [] -> "exec sleep 60")
+  in
+  let config = { cfg with Supervise.cell_timeout_s = 1.0 } in
+  let o = expect_ok (run_sh ~config ~shards:2 ~argv 5) in
+  Alcotest.check rows_t "hang: all rows recovered" (complete 5) (sorted o);
+  Alcotest.(check bool) "hang: respawned" true (o.Supervise.respawns >= 1)
+
+let test_poison_quarantine () =
+  (* The cell with index 2 kills every worker that reaches it. It must be
+     blamed (rows before it are streamed, so it is the head of the dead
+     worker's pending list), quarantined after exactly max_retries kills,
+     and the other four cells must survive. *)
+  let poison = 2 in
+  let argv ~slot:_ ~attempt:_ indices =
+    let rec pre acc = function
+      | [] -> (List.rev acc, false)
+      | i :: _ when i = poison -> (List.rev acc, true)
+      | i :: rest -> pre (Printf.sprintf "echo %d:v%d" i i :: acc) rest
+    in
+    let es, poisoned = pre [] indices in
+    sh (String.concat "; " (es @ [ (if poisoned then "exit 3" else "exit 0") ]))
+  in
+  let config = { cfg with Supervise.max_retries = 2 } in
+  let o = expect_ok (run_sh ~config ~shards:2 ~argv 5) in
+  Alcotest.check rows_t "other rows intact"
+    (List.filter (fun (i, _) -> i <> poison) (complete 5))
+    (sorted o);
+  match o.Supervise.quarantined with
+  | [ q ] ->
+    Alcotest.(check int) "poison cell" poison q.Supervise.q_index;
+    Alcotest.(check string) "named" "cell-2" q.Supervise.q_name;
+    Alcotest.(check int) "after max_retries kills" 2 q.Supervise.q_kills
+  | qs -> Alcotest.failf "expected 1 quarantined cell, got %d" (List.length qs)
+
+let test_spawn_failure_degrades_serial () =
+  let spawn ~exe:_ ~argv:_ ~stdout:_ ~stderr:_ =
+    raise (Unix.Unix_error (Unix.EAGAIN, "fork", ""))
+  in
+  let o =
+    expect_ok
+      (run_sh ~spawn
+         ~serial_run:(fun i -> Printf.sprintf "v%d" i)
+         ~shards:2 ~argv:clean_argv 4)
+  in
+  Alcotest.check rows_t "all rows, in-process" (complete 4) (sorted o);
+  Alcotest.(check int) "all degraded" 4 o.Supervise.degraded_serial
+
+let test_spawn_failure_without_fallback_errors () =
+  let spawn ~exe:_ ~argv:_ ~stdout:_ ~stderr:_ =
+    raise (Unix.Unix_error (Unix.EAGAIN, "fork", ""))
+  in
+  match run_sh ~spawn ~shards:2 ~argv:clean_argv 4 with
+  | Ok _ -> Alcotest.fail "expected an error without serial_run"
+  | Error e ->
+    Alcotest.(check bool) "names the worker" true
+      (Astring.String.is_infix ~affix:"could not be spawned" e)
+
+let test_resume_schedules_remainder () =
+  (* Rows 0 and 1 are replayed from a journal (the duplicate and the
+     out-of-roster index must be dropped); only 2 and 3 may be scheduled,
+     and the journal sink receives the replayed rows first so the new
+     journal is a complete checkpoint. *)
+  let journaled = ref [] in
+  let scheduled = ref [] in
+  let argv ~slot ~attempt indices =
+    scheduled := indices @ !scheduled;
+    clean_argv ~slot ~attempt indices
+  in
+  let o =
+    expect_ok
+      (run_sh
+         ~journal:(fun l -> journaled := l :: !journaled)
+         ~resume_rows:
+           [ (0, "v0"); (1, "v1"); (1, "dup-ignored"); (9, "out-of-roster") ]
+         ~shards:2 ~argv 4)
+  in
+  Alcotest.check rows_t "all rows" (complete 4) (sorted o);
+  Alcotest.(check (list int)) "resume provenance" [ 0; 1 ] o.Supervise.resumed;
+  Alcotest.(check (list int)) "only the remainder scheduled" [ 2; 3 ]
+    (List.sort compare !scheduled);
+  let lines = List.rev !journaled in
+  Alcotest.(check int) "journal is complete" 4 (List.length lines);
+  Alcotest.(check (list string)) "replayed rows re-journaled first"
+    [ "0:v0"; "1:v1" ]
+    [ List.nth lines 0; List.nth lines 1 ]
+
+(* --- the crash-safe journal --- *)
+
+let test_journal_drops_torn_line () =
+  let path = Filename.temp_file "tce-journal" ".jsonl" in
+  let j = Store.journal_open path in
+  Store.journal_append j "one";
+  Store.journal_append j "two";
+  Store.journal_close j;
+  (* simulate a crash mid-append: a final line with no newline *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "torn-fragment";
+  close_out oc;
+  (match Store.journal_lines path with
+  | Ok lines ->
+    Alcotest.(check (list string)) "torn final line dropped" [ "one"; "two" ]
+      lines
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+(* --- EINTR restart (Shard.run_workers under a 5ms interval timer) --- *)
+
+let test_run_workers_eintr_restart () =
+  let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let set v =
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = v; Unix.it_value = v })
+  in
+  set 0.005;
+  let argv_of_shard k =
+    [| "sh"; "-c"; Printf.sprintf "sleep 0.3; echo shard%d" k |]
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        set 0.0;
+        Sys.set_signal Sys.sigalrm old)
+      (fun () -> Shard.run_workers ~exe:"/bin/sh" ~argv_of_shard ~shards:2 ~log_dir ())
+  in
+  match result with
+  | Ok lines ->
+    Alcotest.(check (list string)) "both workers drained under signal fire"
+      [ "shard1"; "shard2" ] (List.sort compare lines)
+  | Error e -> Alcotest.failf "run_workers under EINTR: %s" e
+
+(* --- merge_rows diagnostics and quarantine holes --- *)
+
+let test_merge_names_missing () =
+  let names i = List.nth_opt [ "fib"; "tak"; "deopt-storm" ] i in
+  match Shard.merge_rows ~names ~what:"bench-row" ~expected:3 [ (1, "b") ] with
+  | Ok _ -> Alcotest.fail "expected a missing-rows error"
+  | Error e ->
+    let has affix = Astring.String.is_infix ~affix e in
+    Alcotest.(check bool) "names the workloads" true
+      (has "fib" && has "deopt-storm");
+    Alcotest.(check bool) "keeps the raw indices" true (has "indices 0, 2")
+
+let test_merge_quarantined_holes () =
+  match
+    Shard.merge_rows ~quarantined:[ 1 ] ~what:"bench-row" ~expected:3
+      [ (2, "c"); (0, "a") ]
+  with
+  | Ok merged ->
+    Alcotest.(check (list string)) "quarantined slot skipped, order kept"
+      [ "a"; "c" ] merged
+  | Error e -> Alcotest.fail e
+
+(* --- quarantine-aware gate --- *)
+
+let mk_workload name body =
+  Tce_workloads.Workload.make ~suite:Tce_workloads.Workload.Octane
+    ~selected:false name body
+
+let gate_roster =
+  [
+    mk_workload "sup-a"
+      "function bench() { var s = 0; for (var i = 0; i < 20; i++) { s = (s + i) & 255; } return s; }";
+    mk_workload "sup-b"
+      "function bench() { var s = 1; for (var i = 0; i < 20; i++) { s = (s + i * 2) & 255; } return s; }";
+  ]
+
+let test_gate_quarantine_aware () =
+  let rows = Runner.run_workloads ~jobs:1 gate_roster in
+  let baseline = Store.make_run ~jobs:1 ~host_wall_seconds:0.0 rows in
+  let surviving =
+    List.filter (fun (r : Record.workload) -> r.Record.name <> "sup-b") rows
+  in
+  let quarantined =
+    [ { Supervise.q_index = 1; q_name = "sup-b"; q_kills = 3; q_reason = "t" } ]
+  in
+  let current =
+    Store.make_run ~jobs:1 ~host_wall_seconds:0.0 ~quarantined surviving
+  in
+  let report = Gate.check_run ~baseline ~current () in
+  Alcotest.(check bool) "quarantine does not fail the gate" true report.Gate.ok;
+  Alcotest.(check (list string)) "reported as quarantined" [ "sup-b" ]
+    report.Gate.quarantined;
+  Alcotest.(check (list string)) "not reported missing" [] report.Gate.missing;
+  Alcotest.(check bool) "and it warns" true
+    (List.exists
+       (fun w -> Astring.String.is_infix ~affix:"quarantined" w)
+       report.Gate.warnings);
+  (* the same absence without a quarantine record still fails *)
+  let bare = Store.make_run ~jobs:1 ~host_wall_seconds:0.0 surviving in
+  let report = Gate.check_run ~baseline ~current:bare () in
+  Alcotest.(check bool) "unexplained absence still fails" false report.Gate.ok;
+  Alcotest.(check (list string)) "as missing" [ "sup-b" ] report.Gate.missing
+
+(* --- recovery provenance JSON round-trip --- *)
+
+let test_record_provenance_roundtrip () =
+  let rows = Runner.run_workloads ~jobs:1 gate_roster in
+  let quarantined =
+    [ { Supervise.q_index = 4; q_name = "poison"; q_kills = 3; q_reason = "r" } ]
+  in
+  let run =
+    Store.make_run ~jobs:1 ~host_wall_seconds:0.0 ~quarantined
+      ~resumed_rows:[ 0; 2 ] rows
+  in
+  (match Record.run_of_json (Record.run_to_json run) with
+  | Ok back ->
+    Alcotest.(check bool) "round-trips" true (Record.equal_run run back)
+  | Error e -> Alcotest.fail e);
+  (* a clean run's document must not mention the recovery fields at all,
+     so pre-supervision baselines keep their bytes *)
+  let clean = Store.make_run ~jobs:1 ~host_wall_seconds:0.0 rows in
+  let s = Tce_obs.Json.to_string (Record.run_to_json clean) in
+  Alcotest.(check bool) "clean run omits quarantined" false
+    (Astring.String.is_infix ~affix:"quarantined" s);
+  Alcotest.(check bool) "clean run omits resumed_rows" false
+    (Astring.String.is_infix ~affix:"resumed_rows" s);
+  (* normalize keeps the quarantine (it changes the result set) and drops
+     the resume provenance (the rows are identical either way) *)
+  let n = Record.normalize_run run in
+  Alcotest.(check int) "normalize keeps quarantine" 1
+    (List.length n.Record.quarantined);
+  Alcotest.(check (list int)) "normalize drops resume" [] n.Record.resumed_rows
+
+(* --- chaos spec parsing and deterministic arming --- *)
+
+let test_chaos_parse () =
+  (match Supervise.Chaos.parse "sigkill-after:2" with
+  | Ok c ->
+    Alcotest.(check string) "round-trips" "sigkill-after:2"
+      (Supervise.Chaos.to_string c)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" bad)
+        true
+        (Result.is_error (Supervise.Chaos.parse bad)))
+    [ "bogus:1"; "crash-after"; "crash-after:-1"; "crash-after:x" ]
+
+let test_chaos_arms_one_first_wave_worker () =
+  let assignment = [| [ 0; 2 ]; [ 1; 3 ] |] in
+  let args slot attempt =
+    Supervise.Chaos.worker_args ~mode:Supervise.Chaos.Sigkill_after ~seed:42
+      ~assignment ~slot ~attempt
+  in
+  let armed = List.filter_map (fun s -> args s 0) [ 1; 2 ] in
+  Alcotest.(check int) "exactly one first-wave worker armed" 1
+    (List.length armed);
+  Alcotest.(check bool) "respawns are never armed" true
+    (args 1 1 = None && args 2 1 = None);
+  (* poison arms every attempt with the same doomed cell *)
+  let p attempt =
+    Supervise.Chaos.worker_args ~mode:Supervise.Chaos.Poison ~seed:42
+      ~assignment ~slot:1 ~attempt
+  in
+  Alcotest.(check bool) "poison is persistent across attempts" true
+    (p 0 = p 3 && p 0 <> None || p 0 = None)
+
+(* --- end-to-end over the real bench binary --- *)
+
+(* Resolved relative to this test binary, not the cwd, so the suite works
+   both under `dune runtest` (cwd _build/default/test) and `dune exec`
+   from the repo root. A missing exe must fail loudly: spawn failure would
+   otherwise degrade to in-process serial and mask the chaos path. *)
+let bench_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bench/main.exe"
+
+let require_bench_exe () =
+  if not (Sys.file_exists bench_exe) then
+    Alcotest.failf "bench binary not found at %s" bench_exe
+
+let e2e_roster =
+  List.filter_map Tce_workloads.Workloads.by_name
+    [ "controlflow-recursive"; "deopt-storm"; "stanford-crypto-ccm";
+      "date-format-xparb" ]
+
+let e2e_cfg =
+  { cfg with Supervise.cell_timeout_s = 120.0; backoff_base_s = 0.01 }
+
+let normalized_json r =
+  Tce_obs.Json.to_string (Record.run_to_json (Record.normalize_run r))
+
+let e2e_serial = lazy (Runner.run_suite ~jobs:1 e2e_roster)
+
+let tmp_journal () = Filename.temp_file "tce-bench-journal" ".jsonl"
+
+let test_e2e_chaos_sigkill_byte_identical () =
+  require_bench_exe ();
+  let serial = Lazy.force e2e_serial in
+  let sup =
+    Shard.bench_parent ~exe:bench_exe ~log_dir ~supervise:e2e_cfg
+      ~journal_path:(tmp_journal ())
+      ~chaos:(Supervise.Chaos.Sigkill_after, 7) ~shards:2 ~worker_args:[]
+      e2e_roster
+  in
+  Alcotest.(check string) "chaos-recovered run byte-identical to serial"
+    (normalized_json serial) (normalized_json sup)
+
+let test_e2e_poison_quarantines () =
+  require_bench_exe ();
+  let sup =
+    Shard.bench_parent ~exe:bench_exe ~log_dir
+      ~supervise:{ e2e_cfg with Supervise.max_retries = 1 }
+      ~journal_path:(tmp_journal ())
+      ~chaos:(Supervise.Chaos.Poison, 7) ~shards:2 ~worker_args:[] e2e_roster
+  in
+  Alcotest.(check int) "one cell quarantined" 1
+    (List.length sup.Record.quarantined);
+  Alcotest.(check int) "the other three rows intact" 3
+    (List.length sup.Record.workloads)
+
+let test_e2e_resume_from_truncated_journal () =
+  require_bench_exe ();
+  let serial = Lazy.force e2e_serial in
+  let journal_path = tmp_journal () in
+  let full =
+    Shard.bench_parent ~exe:bench_exe ~log_dir ~supervise:e2e_cfg ~journal_path
+      ~shards:2 ~worker_args:[] e2e_roster
+  in
+  Alcotest.(check string) "full supervised run byte-identical"
+    (normalized_json serial) (normalized_json full);
+  (* keep two complete rows plus a torn fragment, as a parent crash would *)
+  let lines =
+    match Store.journal_lines journal_path with
+    | Ok (a :: b :: _) -> [ a; b ]
+    | Ok _ -> Alcotest.fail "journal too short"
+    | Error e -> Alcotest.fail e
+  in
+  let truncated = Filename.temp_file "tce-bench-journal-torn" ".jsonl" in
+  let oc = open_out truncated in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  output_string oc "{\"torn";
+  close_out oc;
+  let resumed =
+    Shard.bench_parent ~exe:bench_exe ~log_dir ~supervise:e2e_cfg
+      ~journal_path:(tmp_journal ()) ~resume:truncated ~shards:2
+      ~worker_args:[] e2e_roster
+  in
+  Alcotest.(check string) "resumed run byte-identical to serial"
+    (normalized_json serial) (normalized_json resumed)
+
+let () =
+  Alcotest.run "supervise"
+    [
+      ( "worker-pool",
+        [
+          Alcotest.test_case "clean supervised run" `Quick test_clean_run;
+          Alcotest.test_case "crash recovery" `Quick test_crash_recovery;
+          Alcotest.test_case "sigkill recovery" `Quick test_sigkill_recovery;
+          Alcotest.test_case "garbage-line recovery" `Quick
+            test_garbage_recovery;
+          Alcotest.test_case "unexpected-index recovery" `Quick
+            test_unexpected_index_recovery;
+          Alcotest.test_case "partial-final-line recovery" `Quick
+            test_partial_line_recovery;
+          Alcotest.test_case "hang recovery (deadline)" `Quick
+            test_hang_recovery;
+          Alcotest.test_case "poison cell quarantines" `Quick
+            test_poison_quarantine;
+          Alcotest.test_case "spawn failure degrades to serial" `Quick
+            test_spawn_failure_degrades_serial;
+          Alcotest.test_case "spawn failure without fallback errors" `Quick
+            test_spawn_failure_without_fallback_errors;
+          Alcotest.test_case "resume schedules only the remainder" `Quick
+            test_resume_schedules_remainder;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "torn final line dropped" `Quick
+            test_journal_drops_torn_line;
+        ] );
+      ( "eintr",
+        [
+          Alcotest.test_case "run_workers survives interval timer" `Quick
+            test_run_workers_eintr_restart;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "missing rows named" `Quick
+            test_merge_names_missing;
+          Alcotest.test_case "quarantined holes skipped" `Quick
+            test_merge_quarantined_holes;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "quarantine warns, does not fail" `Quick
+            test_gate_quarantine_aware;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "JSON round-trip + clean-run bytes" `Quick
+            test_record_provenance_roundtrip;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_chaos_parse;
+          Alcotest.test_case "deterministic arming" `Quick
+            test_chaos_arms_one_first_wave_worker;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "chaos sigkill byte-identical" `Slow
+            test_e2e_chaos_sigkill_byte_identical;
+          Alcotest.test_case "poison quarantines, rest intact" `Slow
+            test_e2e_poison_quarantines;
+          Alcotest.test_case "resume from truncated journal" `Slow
+            test_e2e_resume_from_truncated_journal;
+        ] );
+    ]
