@@ -39,6 +39,18 @@
          --deterministic strips the host-dependent fields (timestamps,
          wall clocks, jobs/shards) from the saved run so two runs of the
          same tree compare with cmp(1))
+      Any runner-backed mode (--bench / --faults / --check) also takes
+      the fleet-telemetry flags: --telemetry-out FILE (periodic
+      OpenMetrics snapshots), --serve-metrics PORT (HTTP scrape endpoint,
+      0 = ephemeral; the bound port is announced on stderr) and
+      --status-board (live per-shard board on stderr, plain log lines
+      when stderr is not a TTY). All of them off leaves every run
+      byte-identical to a build without telemetry.
+      dune exec bench/main.exe -- --trends [N]
+        (cross-run trend report over the last N archived runs, default
+         20: per-workload time series from results/history/ and fault
+         campaigns from results/campaigns/, MAD anomaly flagging, text
+         report to stdout plus results/trends/trends.{txt,html})
       dune exec bench/main.exe -- --profile-diff BASE [CUR]
         (run-vs-run differential between two prof-report documents, e.g.
          a results/history/prof-*.json snapshot vs PROF_latest.json;
@@ -313,12 +325,59 @@ let parse_parent_chaos opts =
     | Ok mode -> Some (mode, opt_int opts "chaos-seed" ~default:1)
     | Error e -> usage_fail ("bad --chaos-worker: " ^ e))
 
+(* `--telemetry-out FILE` / `--serve-metrics PORT` / `--status-board`:
+   the fleet-telemetry surfaces shared by --bench / --faults / --check
+   (plus the hidden `--heartbeat SLOT` worker side). All of them off —
+   the common case — means [None] is threaded everywhere and the run is
+   byte-identical to a build without telemetry. *)
+let telem_flags = [ "telemetry-out"; "serve-metrics"; "heartbeat" ]
+
+let make_telem ~driver ~total ~board opts =
+  let serve =
+    match Hashtbl.find_opt opts "serve-metrics" with
+    | None -> None
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some p when p >= 0 -> Some p
+      | _ ->
+        usage_fail (Printf.sprintf "--serve-metrics expects a port, got %s" v))
+  in
+  let options =
+    { Tce_runner.Telem.out = Hashtbl.find_opt opts "telemetry-out"; serve; board }
+  in
+  match Tce_runner.Telem.create ~driver ~total options with
+  | Error e -> usage_fail ("telemetry: " ^ e)
+  | Ok t ->
+    (match Option.bind t Tce_runner.Telem.server_port with
+    | Some p ->
+      (* announce the bound port (essential with --serve-metrics 0) *)
+      Printf.eprintf
+        "telemetry: serving OpenMetrics on http://127.0.0.1:%d/metrics\n%!" p
+    | None -> ());
+    t
+
+(* Hidden worker side: `--heartbeat SLOT` makes the worker interleave
+   `telem` progress envelopes with its row stream. *)
+let worker_beat opts ~indices =
+  match Hashtbl.find_opt opts "heartbeat" with
+  | None -> None
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some slot ->
+      Some
+        (Tce_telem.Heartbeat.emitter ~slot ~total:(List.length indices)
+           ~out:stdout)
+    | None ->
+      usage_fail (Printf.sprintf "--heartbeat expects a slot number, got %s" v))
+
 let run_bench args =
   (* `--attr[=FILE]`, `--profile[=FILE]`, `--time`, `--strict` and
      `--no-templates` are value-less flags; peel them off before the
      value-taking flag parser sees them. *)
   let time_args, args = List.partition (fun a -> a = "--time") args in
   let show_time = time_args <> [] in
+  let board_args, args = List.partition (fun a -> a = "--status-board") args in
+  let board = board_args <> [] in
   let det_args, args = List.partition (fun a -> a = "--deterministic") args in
   let deterministic = det_args <> [] in
   let strict_args, args = List.partition (fun a -> a = "--strict") args in
@@ -360,9 +419,10 @@ let run_bench args =
   in
   let opts, names =
     parse_flags
-      [ "jobs"; "out"; "history"; "suite"; "shards"; "shard"; "worker-indices";
-        "chaos"; "supervise-timeout"; "max-retries"; "resume"; "chaos-worker";
-        "chaos-seed" ]
+      ([ "jobs"; "out"; "history"; "suite"; "shards"; "shard"; "worker-indices";
+         "chaos"; "supervise-timeout"; "max-retries"; "resume"; "chaos-worker";
+         "chaos-seed" ]
+      @ telem_flags)
       args
   in
   let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
@@ -375,9 +435,10 @@ let run_bench args =
   (match Hashtbl.find_opt opts "worker-indices" with
   | None -> ()
   | Some s ->
+    let indices = parse_indices s in
     Tce_runner.Shard.bench_worker_indices ?config
-      ?chaos:(parse_worker_chaos opts) ~indices:(parse_indices s) ~out:stdout
-      ws;
+      ?chaos:(parse_worker_chaos opts) ?beat:(worker_beat opts ~indices)
+      ~indices ~out:stdout ws;
     exit 0);
   (match Hashtbl.find_opt opts "shard" with
   | None -> ()
@@ -394,15 +455,24 @@ let run_bench args =
   if shards > 1 && (attr_out <> None || prof_out <> None) then
     usage_fail "--attr/--profile are not supported with --shards (run them serially)";
   let resume = Hashtbl.find_opt opts "resume" in
+  let telem = make_telem ~driver:"bench" ~total:(List.length ws) ~board opts in
   let run =
     if shards > 1 || resume <> None then
       Tce_runner.Shard.bench_parent ~shards
         ~supervise:(supervise_config opts) ?resume
-        ?chaos:(parse_parent_chaos opts)
+        ?chaos:(parse_parent_chaos opts) ?telem
         ~worker_args:(if Option.is_none config then [] else [ "--no-templates" ])
         ws
-    else Tce_runner.Runner.run_suite ?config ~jobs ws
+    else
+      let on_row =
+        Option.map
+          (fun t (w : Tce_runner.Record.workload) ->
+            Tce_runner.Telem.cell_done t ~name:w.Tce_runner.Record.name)
+          telem
+      in
+      Tce_runner.Runner.run_suite ?config ~jobs ?on_row ws
   in
+  Option.iter Tce_runner.Telem.finish telem;
   let run = if deterministic then Tce_runner.Record.normalize_run run else run in
   let latest =
     Option.value ~default:Tce_runner.Store.latest_path (Hashtbl.find_opt opts "out")
@@ -436,8 +506,7 @@ let run_bench args =
       (Tce_attr.Aggregate.suite_report_json per_workload);
     Printf.printf "wrote %s\n" path);
   if show_time then begin
-    Tce_obs.Export.to_file ~path:Tce_runner.Store.time_latest_path
-      (Tce_runner.Store.time_report_json run);
+    Tce_runner.Store.save_time_report run;
     Printf.printf "wrote %s\n" Tce_runner.Store.time_latest_path
   end;
   (match prof_out with
@@ -523,11 +592,14 @@ let run_profile_diff args =
 let run_faults args =
   let strict_args, args = List.partition (fun a -> a = "--strict") args in
   let strict = strict_args <> [] in
+  let board_args, args = List.partition (fun a -> a = "--status-board") args in
+  let board = board_args <> [] in
   let opts, names =
     parse_flags
-      [ "jobs"; "fault-seed"; "fault-spec"; "out"; "dir"; "suite"; "shards";
-        "shard"; "worker-indices"; "chaos"; "supervise-timeout"; "max-retries";
-        "resume"; "chaos-worker"; "chaos-seed" ]
+      ([ "jobs"; "fault-seed"; "fault-spec"; "out"; "dir"; "suite"; "shards";
+         "shard"; "worker-indices"; "chaos"; "supervise-timeout"; "max-retries";
+         "resume"; "chaos-worker"; "chaos-seed" ]
+      @ telem_flags)
       args
   in
   let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
@@ -549,9 +621,10 @@ let run_faults args =
   (match Hashtbl.find_opt opts "worker-indices" with
   | None -> ()
   | Some s ->
+    let indices = parse_indices s in
     Tce_runner.Campaign.worker_indices ~spec ~seed
-      ?chaos:(parse_worker_chaos opts) ~indices:(parse_indices s) ~out:stdout
-      ws;
+      ?chaos:(parse_worker_chaos opts) ?beat:(worker_beat opts ~indices)
+      ~indices ~out:stdout ws;
     exit 0);
   (match Hashtbl.find_opt opts "shard" with
   | None -> ()
@@ -564,6 +637,11 @@ let run_faults args =
   let shards = opt_int opts "shards" ~default:1 in
   if shards < 1 then usage_fail "--shards expects a positive integer";
   let resume = Hashtbl.find_opt opts "resume" in
+  let telem =
+    make_telem ~driver:"faults"
+      ~total:(List.length (Tce_runner.Campaign.matrix ~spec ws))
+      ~board opts
+  in
   let campaign =
     if shards > 1 || resume <> None then
       (* pass the cell-identity inputs through verbatim; the roster goes as
@@ -575,11 +653,22 @@ let run_faults args =
       in
       Tce_runner.Campaign.parent ~spec ~seed ~shards
         ~supervise:(supervise_config opts) ?resume
-        ?chaos:(parse_parent_chaos opts)
+        ?chaos:(parse_parent_chaos opts) ?telem
         ~worker_args:(pass "fault-seed" @ pass "fault-spec")
         ws
-    else Tce_runner.Campaign.run ~spec ~seed ~jobs ws
+    else
+      let on_cell =
+        Option.map
+          (fun t (c : Tce_runner.Campaign.cell) ->
+            Tce_runner.Telem.cell_done t
+              ~name:
+                (Printf.sprintf "%s×%s" c.Tce_runner.Campaign.workload
+                   c.Tce_runner.Campaign.point))
+          telem
+      in
+      Tce_runner.Campaign.run ~spec ~seed ~jobs ?on_cell ws
   in
+  Option.iter Tce_runner.Telem.finish telem;
   let latest =
     Option.value ~default:Tce_runner.Campaign.latest_path
       (Hashtbl.find_opt opts "out")
@@ -593,11 +682,30 @@ let run_faults args =
   Printf.printf "wrote %s (archive: %s)\n" latest archive;
   exit (Tce_runner.Campaign.exit_code ~strict campaign)
 
+(* `--trends [N]`: cross-run trend report over the archived history. *)
+let run_trends args =
+  let n, rest =
+    match args with
+    | a :: rest when int_of_string_opt a <> None -> (int_of_string a, rest)
+    | rest -> (20, rest)
+  in
+  if rest <> [] then
+    usage_fail ("--trends takes at most a run count, got " ^ String.concat " " rest);
+  if n < 1 then usage_fail "--trends expects a positive run count";
+  match Tce_runner.Trend_data.run ~n () with
+  | Ok _anomalies -> exit 0
+  | Error e ->
+    Printf.eprintf "trends: %s\n" e;
+    exit 2
+
 let run_check args =
+  let board_args, args = List.partition (fun a -> a = "--status-board") args in
+  let board = board_args <> [] in
   let opts, names =
     parse_flags
-      [ "baseline"; "tolerance"; "jobs"; "shards"; "supervise-timeout";
-        "max-retries" ]
+      ([ "baseline"; "tolerance"; "jobs"; "shards"; "supervise-timeout";
+         "max-retries" ]
+      @ telem_flags)
       args
   in
   let baseline_path =
@@ -610,17 +718,23 @@ let run_check args =
   let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
   let shards = opt_int opts "shards" ~default:1 in
   if shards < 1 then usage_fail "--shards expects a positive integer";
+  (* The gate sizes the roster itself ({!Tce_runner.Telem.set_total}),
+     so the scheduled total starts at 0 here. *)
+  let telem = make_telem ~driver:"gate" ~total:0 ~board opts in
   let runner =
     if shards > 1 then
       Some
         (fun roster ->
           Tce_runner.Shard.bench_parent ~shards
-            ~supervise:(supervise_config opts) ~worker_args:[] roster)
+            ~supervise:(supervise_config opts) ?telem ~worker_args:[] roster)
     else None
   in
-  exit
-    (Tce_runner.Gate.run_gate ~baseline_path ~tolerance_pct ~jobs ~names
-       ?runner ())
+  let code =
+    Tce_runner.Gate.run_gate ~baseline_path ~tolerance_pct ~jobs ~names
+      ?runner ?telem ()
+  in
+  Option.iter Tce_runner.Telem.finish telem;
+  exit code
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -631,6 +745,7 @@ let () =
   | "--check" :: rest -> run_check rest
   | "--faults" :: rest -> run_faults rest
   | "--profile-diff" :: rest -> run_profile_diff rest
+  | "--trends" :: rest -> run_trends rest
   | "--metrics-json" :: path :: rest ->
     run_metrics_json ~path rest;
     exit 0

@@ -170,7 +170,8 @@ let run_term =
     | Some path ->
       Tce_obs.Sink.write_file ~path
         (Tce_obs.Sink.render ~format:trace_format
-           ~snapshot:t.Tce_engine.Engine.snap trace)
+           ~counters:(Tce_telem.Track.chrome_counters t.Tce_engine.Engine.snap)
+           trace)
     | None -> ());
     (match metrics_json with
     | Some path ->

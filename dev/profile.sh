@@ -13,6 +13,8 @@
 #     self-timing table (`--bench --time`), which attributes wall clock
 #     per workload and per mechanism side — coarse, but enough to spot
 #     which workload regressed before bisecting with smaller rosters.
+#     The same table is saved as a versioned time-report envelope at
+#     results/bench_time.json (older releases wrote ./bench_time.json).
 #
 # --shards N runs the roster across N worker processes (the CI
 # configuration). Under perf, -g follows the forked workers, so the

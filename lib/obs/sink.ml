@@ -135,7 +135,7 @@ let counter ~at name value =
       ("args", Json.Obj [ (name, Json.Int value) ]);
     ]
 
-let chrome ?(snapshot = Snapshot.disabled) tr =
+let chrome ?(counters = []) tr =
   let meta =
     [
       thread_meta ~tid:tid_baseline "tier-0 baseline interpreter";
@@ -144,26 +144,6 @@ let chrome ?(snapshot = Snapshot.disabled) tr =
     ]
   in
   let events = List.map instant (Trace.records tr) in
-  let counters =
-    List.concat_map
-      (fun (s : Snapshot.sample) ->
-        [
-          counter ~at:s.Snapshot.at "deopts" s.Snapshot.deopts;
-          counter ~at:s.Snapshot.at "cc-occupancy" s.Snapshot.cc_occupancy;
-          counter ~at:s.Snapshot.at "cc-conflicts" s.Snapshot.cc_conflicts;
-          counter ~at:s.Snapshot.at "heap-bytes" s.Snapshot.heap_bytes;
-        ]
-        @ List.mapi
-            (fun i v ->
-              counter ~at:s.Snapshot.at
-                (Printf.sprintf "cc-occupancy/sets-%d" i)
-                v)
-            (Array.to_list s.Snapshot.cc_set_occupancy)
-        @ List.map
-            (fun (n, v) -> counter ~at:s.Snapshot.at ("prof/" ^ n) v)
-            (Array.to_list s.Snapshot.prof_costs))
-      (Snapshot.samples snapshot)
-  in
   Json.Obj
     [
       ("traceEvents", Json.List (meta @ events @ counters));
@@ -177,10 +157,10 @@ let chrome ?(snapshot = Snapshot.disabled) tr =
           ] );
     ]
 
-let render ~format ?snapshot tr =
+let render ~format ?counters tr =
   match format with
   | `Jsonl -> jsonl tr
-  | `Chrome -> Json.to_string (chrome ?snapshot tr) ^ "\n"
+  | `Chrome -> Json.to_string (chrome ?counters tr) ^ "\n"
 
 let write_file ~path s =
   let oc = open_out path in

@@ -9,14 +9,19 @@ val event_json : Trace.record -> Json.t
     event was recorded. *)
 val jsonl : Trace.t -> string
 
+(** One counter-track sample (["ph": "C"]) at simulated cycle [at].
+    Counter tracks are named through the telemetry registry catalog
+    ([Tce_telem.Track]) so the trace and scrape namespaces agree. *)
+val counter : at:int -> string -> int -> Json.t
+
 (** Chrome trace_event document: [{"traceEvents": [...], ...}]. Tracks:
     one thread per tier (baseline / optimized / compiler) carrying instant
-    events, plus counter tracks ("deopts", "cc-occupancy", "heap-bytes")
-    fed by the snapshot series. Timestamps are simulated cycles rendered
-    as microseconds. *)
-val chrome : ?snapshot:Snapshot.t -> Trace.t -> Json.t
+    events, plus any pre-built counter samples (see {!counter}) appended
+    by the caller. Timestamps are simulated cycles rendered as
+    microseconds. *)
+val chrome : ?counters:Json.t list -> Trace.t -> Json.t
 
 (** Render the trace in the given format ("json" = JSON-lines). *)
-val render : format:[ `Jsonl | `Chrome ] -> ?snapshot:Snapshot.t -> Trace.t -> string
+val render : format:[ `Jsonl | `Chrome ] -> ?counters:Json.t list -> Trace.t -> string
 
 val write_file : path:string -> string -> unit

@@ -178,8 +178,8 @@ let prep_workloads ~jobs (ws : W.t list) =
       (w.W.name, (reference, clean)))
     ws
 
-let run ?(spec = Spec.default) ?(seed = default_seed) ?jobs (ws : W.t list) : t
-    =
+let run ?(spec = Spec.default) ?(seed = default_seed) ?jobs ?on_cell
+    (ws : W.t list) : t =
   let t0 = Unix.gettimeofday () in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Runner.default_jobs ()
@@ -192,7 +192,10 @@ let run ?(spec = Spec.default) ?(seed = default_seed) ?jobs (ws : W.t list) : t
     Runner.parallel_map ~jobs
       (fun ((w : W.t), rule) ->
         let reference, clean = List.assoc w.W.name prepped in
-        run_cell ~campaign_seed:seed ~reference ~clean w rule)
+        let c = run_cell ~campaign_seed:seed ~reference ~clean w rule in
+        (* observer for telemetry progress; must not affect outcomes *)
+        (match on_cell with None -> () | Some f -> f c);
+        c)
       (matrix ~spec ws)
   in
   {
@@ -379,8 +382,9 @@ let row_of_json (j : J.t) : (int * cell, string) result =
     [indices] of the {!matrix}, in the given order, streaming one
     [fault-cell] envelope per cell to [out]. Reference/clean observations
     are prepared only for the workloads the indices actually touch.
-    [chaos] arms a deterministic fault ({!Supervise.Chaos}). *)
-let worker_indices ?(spec = Spec.default) ?(seed = default_seed) ?chaos
+    [chaos] arms a deterministic fault ({!Supervise.Chaos}); [beat] emits
+    a [telem] heartbeat envelope before and after each cell. *)
+let worker_indices ?(spec = Spec.default) ?(seed = default_seed) ?chaos ?beat
     ~indices ~out (ws : W.t list) : unit =
   let cells = Array.of_list (matrix ~spec ws) in
   List.iter
@@ -402,6 +406,11 @@ let worker_indices ?(spec = Spec.default) ?(seed = default_seed) ?chaos
     (fun i ->
       let mode = Supervise.Chaos.before_cell chaos ~emitted:!emitted ~index:i out in
       let w, rule = cells.(i) in
+      (match beat with
+      | Some e ->
+        Tce_telem.Heartbeat.beat_start e ~index:i
+          ~name:(Printf.sprintf "%s×%s" w.W.name (Point.name rule.Spec.point))
+      | None -> ());
       let reference, clean = List.assoc w.W.name prepped in
       let c = run_cell ~campaign_seed:seed ~reference ~clean w rule in
       let line = J.to_string (row_to_json ~index:i c) in
@@ -411,8 +420,12 @@ let worker_indices ?(spec = Spec.default) ?(seed = default_seed) ?chaos
         output_string out line;
         output_char out '\n';
         flush out);
+      (match beat with
+      | Some e -> Tce_telem.Heartbeat.beat_cell_done e
+      | None -> ());
       incr emitted)
-    indices
+    indices;
+  match beat with Some e -> Tce_telem.Heartbeat.beat_done e | None -> ()
 
 (** Worker side of [--faults --shard K/N] (kept for compatibility):
     delegates to {!worker_indices} with the shard's round-robin slice. *)
@@ -433,12 +446,17 @@ let worker ?spec ?seed ~shard ~shards ~out (ws : W.t list) : unit =
     incomplete. *)
 let parent ?exe ?spawn ?(log_dir = Shard.default_log_dir)
     ?(supervise = Supervise.default_config)
-    ?(journal_path = Store.faults_journal_path) ?resume ?chaos
+    ?(journal_path = Store.faults_journal_path) ?resume ?chaos ?telem
     ?(spec = Spec.default) ?(seed = default_seed) ~shards ~worker_args
     (ws : W.t list) : t =
   let t0 = Unix.gettimeofday () in
   let names = List.map (fun (w : W.t) -> w.W.name) ws in
   let cells = Array.of_list (matrix ~spec ws) in
+  (* the CLI cannot size the matrix before the spec is parsed, so the
+     scheduled total lands here *)
+  (match telem with
+  | Some t -> Telem.set_total t (Array.length cells)
+  | None -> ());
   let cost = Store.baseline_cost_of_workload () in
   let tasks =
     List.init (Array.length cells) (fun i ->
@@ -472,7 +490,7 @@ let parent ?exe ?spawn ?(log_dir = Shard.default_log_dir)
       (Sys.executable_name :: "--faults"
        :: "--worker-indices"
        :: String.concat "," (List.map string_of_int indices)
-       :: (chaos_args @ worker_args @ names))
+       :: (chaos_args @ Telem.heartbeat_args telem ~slot @ worker_args @ names))
   in
   let parse line =
     Result.map_error
@@ -495,6 +513,11 @@ let parent ?exe ?spawn ?(log_dir = Shard.default_log_dir)
     let reference, clean = List.assoc w.W.name prepped in
     run_cell ~campaign_seed:seed ~reference ~clean w rule
   in
+  let events =
+    match telem with
+    | Some t -> Telem.events t
+    | None -> Supervise.null_events
+  in
   let journal = Store.journal_open journal_path in
   let outcome =
     Fun.protect
@@ -502,11 +525,14 @@ let parent ?exe ?spawn ?(log_dir = Shard.default_log_dir)
       (fun () ->
         Supervise.run ?exe ?spawn ~config:supervise ~shards ~log_dir
           ~journal:(Store.journal_append journal) ~serial_run ~resume_rows
-          ~argv_of_indices ~parse ~to_line tasks)
+          ~events ~argv_of_indices ~parse ~to_line tasks)
   in
   match outcome with
   | Error e -> failwith ("sharded fault campaign failed: " ^ e)
   | Ok o -> (
+    (match telem with
+    | Some t -> Telem.resumed t (List.length o.Supervise.resumed)
+    | None -> ());
     let name_of i =
       if i >= 0 && i < Array.length cells then begin
         let w, rule = cells.(i) in

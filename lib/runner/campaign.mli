@@ -96,11 +96,14 @@ val cell_seed : campaign_seed:int -> workload:string -> point:string -> int
 
 (** Run the full matrix: one cell per (workload, rule of [spec]), fanned
     across [jobs] domains. Default [spec] is {!Tce_fault.Spec.default}
-    (every point armed), default seed {!default_seed}. *)
+    (every point armed), default seed {!default_seed}. [on_cell] is a
+    thread-safe observer fired once per finished cell from the finishing
+    domain (telemetry progress); it must not affect outcomes. *)
 val run :
   ?spec:Tce_fault.Spec.t ->
   ?seed:int ->
   ?jobs:int ->
+  ?on_cell:(cell -> unit) ->
   Tce_workloads.Workload.t list ->
   t
 
@@ -127,6 +130,7 @@ val worker_indices :
   ?spec:Tce_fault.Spec.t ->
   ?seed:int ->
   ?chaos:Supervise.Chaos.t ->
+  ?beat:Tce_telem.Heartbeat.emitter ->
   indices:int list ->
   out:out_channel ->
   Tce_workloads.Workload.t list ->
@@ -162,6 +166,7 @@ val parent :
   ?journal_path:string ->
   ?resume:string ->
   ?chaos:Supervise.Chaos.mode * int ->
+  ?telem:Telem.t ->
   ?spec:Tce_fault.Spec.t ->
   ?seed:int ->
   shards:int ->

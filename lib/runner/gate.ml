@@ -275,7 +275,7 @@ let print_report ~baseline ~current (r : report) =
 let run_gate ?(baseline_path = Store.baseline_path)
     ?(tolerance_pct = default_tolerance_pct) ?jobs ?(names = [])
     ?(resolve = Tce_workloads.Workloads.by_name) ?(save_latest = true) ?runner
-    () : int =
+    ?telem () : int =
   match Store.load baseline_path with
   | Error msg ->
     (* Actionable failure: say *why* the baseline is unusable and how to
@@ -340,10 +340,20 @@ let run_gate ?(baseline_path = Store.baseline_path)
       2
     end
     else begin
+      (match telem with
+      | None -> ()
+      | Some t -> Telem.set_total t (List.length roster));
       let current =
         match runner with
         | Some run -> run roster
-        | None -> Runner.run_suite ?jobs roster
+        | None ->
+          let on_row =
+            Option.map
+              (fun t (w : Record.workload) ->
+                Telem.cell_done t ~name:w.Record.name)
+              telem
+          in
+          Runner.run_suite ?jobs ?on_row roster
       in
       if save_latest then ignore (Store.save current);
       let kept =
@@ -358,5 +368,13 @@ let run_gate ?(baseline_path = Store.baseline_path)
       let baseline = { baseline with Record.workloads = kept } in
       let report = check_run ~tolerance_pct ~baseline ~current () in
       print_report ~baseline ~current report;
+      (match telem with
+      | None -> ()
+      | Some t ->
+        Telem.gate_result t ~ok:report.ok
+          ~compared:(List.length report.verdicts)
+          ~regressions:
+            (List.length
+               (List.filter (fun (v : verdict) -> not v.ok) report.verdicts)));
       if report.ok then 0 else 1
     end

@@ -75,7 +75,10 @@ val print_report : baseline:Record.run -> current:Record.run -> report -> unit
     process exit code: 0 = pass, 1 = regression, 2 = usage/baseline error.
     [runner] replaces the default [Runner.run_suite ?jobs] execution of
     the selected roster (e.g. {!Shard.bench_parent} for [--check
-    --shards N]); [jobs] is ignored when it is given. *)
+    --shards N]); [jobs] is ignored when it is given. [telem] feeds the
+    fleet-telemetry coordinator: the roster size becomes the scheduled
+    total, serial rows stream through {!Telem.cell_done}, and the verdict
+    lands via {!Telem.gate_result}. *)
 val run_gate :
   ?baseline_path:string ->
   ?tolerance_pct:float ->
@@ -84,5 +87,6 @@ val run_gate :
   ?resolve:(string -> Tce_workloads.Workload.t option) ->
   ?save_latest:bool ->
   ?runner:(Tce_workloads.Workload.t list -> Record.run) ->
+  ?telem:Telem.t ->
   unit ->
   int

@@ -84,13 +84,20 @@ let map_in_order ~jobs ~(order : int array) (f : 'a -> 'b) (xs : 'a list) :
   Array.iteri (fun slot i -> out.(i) <- Some results.(slot)) order;
   Array.to_list (Array.map Option.get out)
 
-let run_workloads ?config ?(jobs = default_jobs ()) ?cost
+let run_workloads ?config ?(jobs = default_jobs ()) ?cost ?on_row
     (ws : Tce_workloads.Workload.t list) : Record.workload list =
+  let run w =
+    let r = run_one ?config w in
+    (* [on_row] fires from whichever domain finished the workload; the
+       observer (telemetry) is mutex-guarded and must not affect results. *)
+    (match on_row with None -> () | Some f -> f r);
+    r
+  in
   match cost with
-  | None -> parallel_map ~jobs (run_one ?config) ws
+  | None -> parallel_map ~jobs run ws
   | Some cost ->
     let order = longest_first_order ~cost ws in
-    map_in_order ~jobs ~order (run_one ?config) ws
+    map_in_order ~jobs ~order run ws
 
 (** Profile the whole roster in parallel: one {!H.run_pair_profiled} per
     workload (fresh engines and a fresh profile per side — nothing shared,
@@ -109,8 +116,8 @@ let run_profiles ?config ?(jobs = default_jobs ()) ?cost
     let order = longest_first_order ~cost ws in
     map_in_order ~jobs ~order f ws
 
-let run_suite ?config ?jobs ?cost (ws : Tce_workloads.Workload.t list) :
-    Record.run =
+let run_suite ?config ?jobs ?cost ?on_row
+    (ws : Tce_workloads.Workload.t list) : Record.run =
   let t0 = Unix.gettimeofday () in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   (* Schedule longest-first from the committed baseline's whole-run cycle
@@ -119,6 +126,6 @@ let run_suite ?config ?jobs ?cost (ws : Tce_workloads.Workload.t list) :
   let cost =
     match cost with Some c -> c | None -> Store.baseline_cost_of_workload ()
   in
-  let workloads = run_workloads ?config ~jobs ~cost ws in
+  let workloads = run_workloads ?config ~jobs ~cost ?on_row ws in
   let host_wall_seconds = Unix.gettimeofday () -. t0 in
   Store.make_run ?config ~jobs ~host_wall_seconds workloads

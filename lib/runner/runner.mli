@@ -35,11 +35,14 @@ val longest_first_order : cost:('a -> float option) -> 'a list -> int array
     {!longest_first_order} (so the slowest pairs start first and cannot
     straggle at the end of a parallel run); results always come back in
     input order either way. The first exception raised by a workload is
-    re-raised after all domains drain. *)
+    re-raised after all domains drain. [on_row] is an observer fired once
+    per completed workload from the finishing domain (telemetry progress);
+    it must be thread-safe and must not affect results. *)
 val run_workloads :
   ?config:Tce_engine.Engine.config ->
   ?jobs:int ->
   ?cost:(Tce_workloads.Workload.t -> float option) ->
+  ?on_row:(Record.workload -> unit) ->
   Tce_workloads.Workload.t list ->
   Record.workload list
 
@@ -61,5 +64,6 @@ val run_suite :
   ?config:Tce_engine.Engine.config ->
   ?jobs:int ->
   ?cost:(Tce_workloads.Workload.t -> float option) ->
+  ?on_row:(Record.workload -> unit) ->
   Tce_workloads.Workload.t list ->
   Record.run

@@ -229,7 +229,8 @@ let bench_indices ~shard ~shards (ws : W.t list) : int list =
     envelope per pair on [out] — the unit of work the supervised parent
     hands a (re)spawned worker. [chaos] arms the deterministic fault the
     chaos harness asked this spawn to exhibit. *)
-let bench_worker_indices ?config ?chaos ~indices ~out (ws : W.t list) : unit =
+let bench_worker_indices ?config ?chaos ?beat ~indices ~out (ws : W.t list) :
+    unit =
   let arr = Array.of_list ws in
   let emitted = ref 0 in
   List.iter
@@ -238,6 +239,9 @@ let bench_worker_indices ?config ?chaos ~indices ~out (ws : W.t list) : unit =
         failwith (Printf.sprintf "worker index %d out of range [0, %d)" i
                     (Array.length arr));
       let mode = Supervise.Chaos.before_cell chaos ~emitted:!emitted ~index:i out in
+      (match beat with
+      | Some e -> Tce_telem.Heartbeat.beat_start e ~index:i ~name:arr.(i).W.name
+      | None -> ());
       let row = Runner.run_one ?config arr.(i) in
       let line = J.to_string (Record.row_to_json ~index:i row) in
       (match mode with
@@ -248,8 +252,12 @@ let bench_worker_indices ?config ?chaos ~indices ~out (ws : W.t list) : unit =
         (* flush per row: the parent streams progress and a crashed worker
            loses only its in-flight pair *)
         flush out);
+      (match beat with
+      | Some e -> Tce_telem.Heartbeat.beat_cell_done e
+      | None -> ());
       incr emitted)
-    indices
+    indices;
+  match beat with Some e -> Tce_telem.Heartbeat.beat_done e | None -> ()
 
 let bench_worker ?config ~shard ~shards ~out (ws : W.t list) : unit =
   bench_worker_indices ?config ~indices:(bench_indices ~shard ~shards ws) ~out
@@ -257,7 +265,7 @@ let bench_worker ?config ~shard ~shards ~out (ws : W.t list) : unit =
 
 let bench_parent ?exe ?spawn ?(log_dir = default_log_dir)
     ?(supervise = Supervise.default_config) ?(journal_path = Store.bench_journal_path)
-    ?resume ?chaos ~shards ~worker_args (ws : W.t list) : Record.run =
+    ?resume ?chaos ?telem ~shards ~worker_args (ws : W.t list) : Record.run =
   let t0 = Unix.gettimeofday () in
   let names = List.map (fun (w : W.t) -> w.W.name) ws in
   let arr = Array.of_list ws in
@@ -294,7 +302,7 @@ let bench_parent ?exe ?spawn ?(log_dir = default_log_dir)
       (Sys.executable_name :: "--bench"
        :: "--worker-indices"
        :: String.concat "," (List.map string_of_int indices)
-       :: (chaos_args @ worker_args @ names))
+       :: (chaos_args @ Telem.heartbeat_args telem ~slot @ worker_args @ names))
   in
   let parse line =
     Result.map_error
@@ -315,6 +323,11 @@ let bench_parent ?exe ?spawn ?(log_dir = default_log_dir)
           (fun line -> Result.to_option (parse line))
           lines)
   in
+  let events =
+    match telem with
+    | Some t -> Telem.events t
+    | None -> Supervise.null_events
+  in
   let journal = Store.journal_open journal_path in
   let outcome =
     Fun.protect
@@ -323,11 +336,14 @@ let bench_parent ?exe ?spawn ?(log_dir = default_log_dir)
         Supervise.run ?exe ?spawn ~config:supervise ~shards ~log_dir
           ~journal:(Store.journal_append journal)
           ~serial_run:(fun i -> Runner.run_one arr.(i))
-          ~resume_rows ~argv_of_indices ~parse ~to_line tasks)
+          ~resume_rows ~events ~argv_of_indices ~parse ~to_line tasks)
   in
   match outcome with
   | Error e -> failwith ("sharded bench failed: " ^ e)
   | Ok o -> (
+    (match telem with
+    | Some t -> Telem.resumed t (List.length o.Supervise.resumed)
+    | None -> ());
     let name_of i =
       if i >= 0 && i < Array.length arr then Some arr.(i).W.name else None
     in

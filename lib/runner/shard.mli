@@ -90,10 +90,12 @@ val default_log_dir : string
     [indices] of [ws], in the given order, streaming one [bench-row]
     envelope per pair to [out] (flushed per row, so the parent loses only
     the in-flight cell if this process dies). [chaos] arms a deterministic
-    fault for the chaos harness ({!Supervise.Chaos}). *)
+    fault for the chaos harness ({!Supervise.Chaos}); [beat] emits a
+    [telem] heartbeat envelope before and after each cell ([--heartbeat]). *)
 val bench_worker_indices :
   ?config:Tce_engine.Engine.config ->
   ?chaos:Supervise.Chaos.t ->
+  ?beat:Tce_telem.Heartbeat.emitter ->
   indices:int list ->
   out:out_channel ->
   Tce_workloads.Workload.t list ->
@@ -131,6 +133,7 @@ val bench_parent :
   ?journal_path:string ->
   ?resume:string ->
   ?chaos:Supervise.Chaos.mode * int ->
+  ?telem:Telem.t ->
   shards:int ->
   worker_args:string list ->
   Tce_workloads.Workload.t list ->

@@ -5,7 +5,16 @@ module J = Tce_obs.Json
 let latest_path = "BENCH_latest.json"
 let attr_latest_path = "ATTR_latest.json"
 let prof_latest_path = "PROF_latest.json"
-let time_latest_path = "bench_time.json"
+let time_latest_path = Filename.concat "results" "bench_time.json"
+
+(* Pre-v9 releases wrote the time report to the repo root; keep reading
+   the old location for one release so existing tooling migrates. *)
+let time_legacy_path = "bench_time.json"
+
+let time_report_path () =
+  if Sys.file_exists time_latest_path then time_latest_path
+  else if Sys.file_exists time_legacy_path then time_legacy_path
+  else time_latest_path
 let history_dir = Filename.concat "results" "history"
 let baseline_path = Filename.concat "results" "baseline.json"
 let journal_dir = Filename.concat "results" "journal"
@@ -156,6 +165,10 @@ let time_report_json (r : Record.run) : J.t =
                     ])
                 rows) );
        ])
+
+let save_time_report ?(path = time_latest_path) (r : Record.run) =
+  if path <> "-" then mkdir_p (Filename.dirname path);
+  Tce_obs.Export.to_file ~path (time_report_json r)
 
 (* --- the crash-safe row journal ---
 

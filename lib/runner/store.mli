@@ -15,7 +15,15 @@ val prof_latest_path : string
     (`--bench --profile`). *)
 
 val time_latest_path : string
-(** ["bench_time.json"] — machine-readable `--time` wall table. *)
+(** ["results/bench_time.json"] — machine-readable `--time` wall table. *)
+
+val time_legacy_path : string
+(** ["bench_time.json"] — the pre-v9 repo-root location, still read (not
+    written) for one release. *)
+
+val time_report_path : unit -> string
+(** Where to read the latest time report from: {!time_latest_path} if it
+    exists, else the legacy root path if that exists, else the new path. *)
 
 val history_dir : string  (** ["results/history"] *)
 
@@ -95,6 +103,10 @@ val save_prof :
 (** The [--time] wall table as a versioned [time-report] document:
     workloads slowest-first, with combined and per-side wall seconds. *)
 val time_report_json : Record.run -> Tce_obs.Json.t
+
+(** Write the time report to [path] (default {!time_latest_path}),
+    creating the parent directory; ["-"] writes to stdout. *)
+val save_time_report : ?path:string -> Record.run -> unit
 
 (** Parse a stored run (either the latest file, a history entry or a
     committed baseline). *)

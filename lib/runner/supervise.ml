@@ -56,6 +56,35 @@ type 'row outcome = {
   degraded_serial : int;
 }
 
+(* --- lifecycle events ---
+
+   Observability taps on the supervisor state machine. The default
+   [null_events] keeps the supervised path byte-identical to a run with
+   no telemetry: every callback is a no-op and nothing else changes. *)
+
+type events = {
+  ev_spawn : slot:int -> attempt:int -> pending:int -> unit;
+  ev_row : slot:int -> index:int -> name:string -> unit;
+      (** a row was accepted (slot 0 = resumed from journal or in-process
+          fallback, never a spawned worker) *)
+  ev_heartbeat : slot:int -> Tce_telem.Heartbeat.t -> unit;
+  ev_fault : slot:int -> index:int option -> kills:int -> reason:string -> unit;
+  ev_quarantine : index:int -> name:string -> kills:int -> unit;
+  ev_degraded : index:int -> unit;
+  ev_tick : unit -> unit;  (** once per supervisor select-loop iteration *)
+}
+
+let null_events =
+  {
+    ev_spawn = (fun ~slot:_ ~attempt:_ ~pending:_ -> ());
+    ev_row = (fun ~slot:_ ~index:_ ~name:_ -> ());
+    ev_heartbeat = (fun ~slot:_ _ -> ());
+    ev_fault = (fun ~slot:_ ~index:_ ~kills:_ ~reason:_ -> ());
+    ev_quarantine = (fun ~index:_ ~name:_ ~kills:_ -> ());
+    ev_degraded = (fun ~index:_ -> ());
+    ev_tick = (fun () -> ());
+  }
+
 (* --- EINTR-safe syscall wrappers ---
 
    Any signal delivery (SIGCHLD from a dying worker, a profiling timer,
@@ -73,6 +102,25 @@ let rec read_restart fd buf pos len =
 let rec waitpid_restart flags pid =
   try Unix.waitpid flags pid
   with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_restart flags pid
+
+(* Non-blocking read for the stderr drains: the pipe read ends are
+   O_NONBLOCK (a killed worker can leave orphaned grandchildren holding
+   the write end, so a blocking read could wedge the supervisor). Returns
+   -1 when no data is available right now. *)
+let rec read_nb fd buf pos len =
+  try Unix.read fd buf pos len with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> read_nb fd buf pos len
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> -1
+
+(* UTC per-line prefix for the shard logs, millisecond resolution so
+   worker stderr can be correlated with heartbeat timelines. *)
+let utc_stamp () =
+  let t = Unix.gettimeofday () in
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+    (int_of_float (Float.rem t 1.0 *. 1000.0))
 
 (* --- chaos --- *)
 
@@ -224,11 +272,16 @@ type wstate = {
   mutable ws_respawn_at : float;  (** backoff wake-up when not alive *)
   mutable ws_needs_respawn : bool;
   ws_log : string;
+  mutable ws_err_fd : Unix.file_descr;  (** stderr pipe read end *)
+  mutable ws_err_open : bool;
+  ws_err_buf : Buffer.t;  (** partial stderr line *)
+  mutable ws_log_oc : out_channel option;  (** timestamped shard log *)
 }
 
 let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
-    ?serial_run ?(resume_rows = []) ~config ~shards ~log_dir ~argv_of_indices
-    ~parse ~to_line (tasks : task list) : ('row outcome, string) result =
+    ?serial_run ?(resume_rows = []) ?(events = null_events) ~config ~shards
+    ~log_dir ~argv_of_indices ~parse ~to_line (tasks : task list) :
+    ('row outcome, string) result =
   mkdir_p log_dir;
   let shards = max 1 shards in
   let say fmt =
@@ -283,7 +336,11 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
       resume_rows
   in
   let journal_line line = match journal with None -> () | Some j -> j line in
-  List.iter (fun (i, r) -> journal_line (to_line i r)) resumed_rows;
+  List.iter
+    (fun (i, r) ->
+      journal_line (to_line i r);
+      events.ev_row ~slot:0 ~index:i ~name:(name_of i))
+    resumed_rows;
   let todo =
     List.filter (fun t -> not (List.mem t.t_index resumed)) tasks
   in
@@ -321,22 +378,70 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
           | row ->
             incr degraded;
             rows := (i, row) :: !rows;
-            journal_line (to_line i row)
+            journal_line (to_line i row);
+            events.ev_row ~slot:0 ~index:i ~name:(name_of i);
+            events.ev_degraded ~index:i
           | exception e ->
             (* an in-process crash is attributable to the cell itself *)
+            let k =
+              match Hashtbl.find_opt kills i with
+              | Some (k, _) -> k + 1
+              | None -> 1
+            in
             quarantined :=
               {
                 q_index = i;
                 q_name = name_of i;
-                q_kills =
-                  (match Hashtbl.find_opt kills i with
-                  | Some (k, _) -> k + 1
-                  | None -> 1);
+                q_kills = k;
                 q_reason = "in-process fallback raised: " ^ Printexc.to_string e;
               }
-              :: !quarantined)
+              :: !quarantined;
+            events.ev_quarantine ~index:i ~name:(name_of i) ~kills:k)
         w.ws_pending;
       w.ws_pending <- []
+  in
+  (* Timestamped shard log: worker stderr flows through a pipe so the
+     supervisor can prefix each line with a UTC stamp before appending it
+     to the shard's log file. *)
+  let log_channel w =
+    match w.ws_log_oc with
+    | Some oc -> oc
+    | None ->
+      let oc = open_out w.ws_log in
+      w.ws_log_oc <- Some oc;
+      oc
+  in
+  let err_write_lines w data =
+    let oc = log_channel w in
+    String.iter
+      (fun c ->
+        if c = '\n' then begin
+          output_string oc (utc_stamp ());
+          output_char oc ' ';
+          output_string oc (Buffer.contents w.ws_err_buf);
+          output_char oc '\n';
+          Buffer.clear w.ws_err_buf
+        end
+        else Buffer.add_char w.ws_err_buf c)
+      data;
+    flush oc
+  in
+  (* Drain whatever stderr is available right now and close the pipe.
+     Called once the worker is dead: orphaned grandchildren may still hold
+     the write end, so stop at EAGAIN rather than waiting for EOF. *)
+  let err_close w =
+    if w.ws_err_open then begin
+      w.ws_err_open <- false;
+      let continue = ref true in
+      while !continue do
+        match read_nb w.ws_err_fd chunk 0 (Bytes.length chunk) with
+        | 0 | -1 -> continue := false
+        | n -> err_write_lines w (Bytes.sub_string chunk 0 n)
+        | exception Unix.Unix_error _ -> continue := false
+      done;
+      if Buffer.length w.ws_err_buf > 0 then err_write_lines w "\n";
+      try Unix.close w.ws_err_fd with Unix.Unix_error _ -> ()
+    end
   in
   let spawn_worker w =
     match w.ws_pending with
@@ -345,18 +450,17 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
       let argv =
         argv_of_indices ~slot:w.ws_slot ~attempt:w.ws_attempt indices
       in
-      let log_fd =
-        Unix.openfile w.ws_log
-          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
-          0o644
-      in
+      let err_r, err_w = Unix.pipe ~cloexec:false () in
+      Unix.set_nonblock err_r;
       let r, wr = Unix.pipe ~cloexec:false () in
-      match spawn ~exe ~argv ~stdout:wr ~stderr:log_fd with
+      match spawn ~exe ~argv ~stdout:wr ~stderr:err_w with
       | pid ->
         Unix.close wr;
-        Unix.close log_fd;
+        Unix.close err_w;
         w.ws_pid <- pid;
         w.ws_fd <- r;
+        w.ws_err_fd <- err_r;
+        w.ws_err_open <- true;
         w.ws_buf <- Buffer.create 256;
         w.ws_alive <- true;
         w.ws_needs_respawn <- false;
@@ -371,11 +475,14 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
           | _ -> String.concat ", " names
         in
         say "worker %d/%d attempt %d (pid %d) covers %d cell(s): %s" w.ws_slot
-          shards w.ws_attempt pid (List.length indices) preview
+          shards w.ws_attempt pid (List.length indices) preview;
+        events.ev_spawn ~slot:w.ws_slot ~attempt:w.ws_attempt
+          ~pending:(List.length indices)
       | exception e ->
         Unix.close wr;
         Unix.close r;
-        Unix.close log_fd;
+        Unix.close err_w;
+        Unix.close err_r;
         w.ws_alive <- false;
         w.ws_needs_respawn <- false;
         say "worker %d/%d spawn failed (%s); degrading to in-process serial \
@@ -400,6 +507,10 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
              ws_needs_respawn = indices <> [];
              ws_log =
                Filename.concat log_dir (Printf.sprintf "shard-%d.log" (i + 1));
+             ws_err_fd = Unix.stdin;
+             ws_err_open = false;
+             ws_err_buf = Buffer.create 256;
+             ws_log_oc = None;
            })
          assignment)
   in
@@ -416,6 +527,7 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
       w.ws_alive <- false;
       (try Unix.close w.ws_fd with Unix.Unix_error _ -> ());
       let _, st = waitpid_restart [] w.ws_pid in
+      err_close w;
       st
     end
     else Unix.WEXITED 0
@@ -435,7 +547,9 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
       Printf.sprintf "%s (%s, log: %s)" reason (describe_status st) w.ws_log
     in
     (match w.ws_pending with
-    | [] -> say "worker %d/%d failed after finishing its cells: %s" w.ws_slot shards reason
+    | [] ->
+      say "worker %d/%d failed after finishing its cells: %s" w.ws_slot shards reason;
+      events.ev_fault ~slot:w.ws_slot ~index:None ~kills:0 ~reason
     | blame :: rest ->
       let k =
         match Hashtbl.find_opt kills blame with Some (k, _) -> k + 1 | None -> 1
@@ -443,6 +557,7 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
       Hashtbl.replace kills blame (k, reason);
       say "worker %d/%d died on %s (kill %d/%d): %s" w.ws_slot shards
         (name_of blame) k config.max_retries reason;
+      events.ev_fault ~slot:w.ws_slot ~index:(Some blame) ~kills:k ~reason;
       if k >= config.max_retries then begin
         quarantined :=
           { q_index = blame; q_name = name_of blame; q_kills = k;
@@ -450,6 +565,7 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
           :: !quarantined;
         say "quarantined %s after %d kills; %d cell(s) continue" (name_of blame)
           k (List.length rest);
+        events.ev_quarantine ~index:blame ~name:(name_of blame) ~kills:k;
         w.ws_pending <- rest
       end);
     if w.ws_pending <> [] then begin
@@ -466,9 +582,15 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
   in
   let accept w line =
     match parse line with
-    | Error e ->
-      Unix.kill w.ws_pid Sys.sigkill;
-      fault w (Printf.sprintf "streamed a garbage line (%s)" e)
+    | Error e -> (
+      (* Not a row: a well-formed heartbeat is telemetry, anything else is
+         garbage. Heartbeats do not reset the progress deadline — they
+         prove the process is scheduled, not that the cell advances. *)
+      match Tce_telem.Heartbeat.of_line line with
+      | Some hb -> events.ev_heartbeat ~slot:w.ws_slot hb
+      | None ->
+        Unix.kill w.ws_pid Sys.sigkill;
+        fault w (Printf.sprintf "streamed a garbage line (%s)" e))
     | Ok (i, row) ->
       if not (List.mem i w.ws_pending) then begin
         Unix.kill w.ws_pid Sys.sigkill;
@@ -478,6 +600,7 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
       else begin
         rows := (i, row) :: !rows;
         journal_line (to_line i row);
+        events.ev_row ~slot:w.ws_slot ~index:i ~name:(name_of i);
         w.ws_pending <- List.filter (fun j -> j <> i) w.ws_pending;
         w.ws_deadline <-
           (match w.ws_pending with
@@ -550,7 +673,23 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
           in
           let timeout = Stdlib.min 1.0 (Stdlib.max 0.02 next_event) in
           let fds = List.map (fun w -> w.ws_fd) live in
-          let ready, _, _ = select_restart fds [] [] timeout in
+          let err_fds =
+            List.filter_map
+              (fun w -> if w.ws_err_open then Some w.ws_err_fd else None)
+              live
+          in
+          let ready, _, _ = select_restart (fds @ err_fds) [] [] timeout in
+          List.iter
+            (fun w ->
+              if w.ws_err_open && List.mem w.ws_err_fd ready then
+                match read_nb w.ws_err_fd chunk 0 (Bytes.length chunk) with
+                | 0 ->
+                  (* worker closed its stderr while still running *)
+                  w.ws_err_open <- false;
+                  (try Unix.close w.ws_err_fd with Unix.Unix_error _ -> ())
+                | -1 -> ()
+                | n -> err_write_lines w (Bytes.sub_string chunk 0 n))
+            live;
           List.iter
             (fun w ->
               if w.ws_alive && List.mem w.ws_fd ready then
@@ -575,12 +714,24 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
                      | [] -> "final flush"))
               end)
             workers;
+          events.ev_tick ();
           loop ()
         end
       end
     end
   in
   loop ();
+  let close_logs () =
+    List.iter
+      (fun w ->
+        err_close w;
+        match w.ws_log_oc with
+        | Some oc ->
+          w.ws_log_oc <- None;
+          close_out oc
+        | None -> ())
+      workers
+  in
   match !failure with
   | Some e ->
     (* shoot any survivors before reporting *)
@@ -591,8 +742,10 @@ let run ?(exe = Sys.executable_name) ?(spawn = default_spawn) ?journal
           ignore (reap w)
         end)
       workers;
+    close_logs ();
     Error e
   | None ->
+    close_logs ();
     let quarantined =
       List.sort (fun a b -> compare a.q_index b.q_index) !quarantined
     in

@@ -107,6 +107,26 @@ type spawn =
 
 val default_spawn : spawn
 
+(** Observability taps on the supervisor state machine, fed to the
+    telemetry layer ([Tce_runner.Telem]). All callbacks run on the
+    supervisor thread. [ev_row] reports slot 0 for rows that did not come
+    from a spawned worker (journal replay, in-process fallback).
+    [ev_heartbeat] fires for each well-formed [telem] envelope a worker
+    interleaves with its row stream; heartbeats do not reset the progress
+    deadline. The default {!null_events} makes every tap a no-op, keeping
+    the supervised path byte-identical to a telemetry-free build. *)
+type events = {
+  ev_spawn : slot:int -> attempt:int -> pending:int -> unit;
+  ev_row : slot:int -> index:int -> name:string -> unit;
+  ev_heartbeat : slot:int -> Tce_telem.Heartbeat.t -> unit;
+  ev_fault : slot:int -> index:int option -> kills:int -> reason:string -> unit;
+  ev_quarantine : index:int -> name:string -> kills:int -> unit;
+  ev_degraded : index:int -> unit;
+  ev_tick : unit -> unit;
+}
+
+val null_events : events
+
 (** [run ~config ~shards ~argv_of_indices ~parse ~to_line tasks] executes
     every task across [shards] supervised worker processes of [exe]
     (default [Sys.executable_name]).
@@ -137,6 +157,7 @@ val run :
   ?journal:(string -> unit) ->
   ?serial_run:(int -> 'row) ->
   ?resume_rows:(int * 'row) list ->
+  ?events:events ->
   config:config ->
   shards:int ->
   log_dir:string ->

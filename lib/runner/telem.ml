@@ -1,0 +1,339 @@
+(** Fleet telemetry coordinator for the drivers (see telem.mli). *)
+
+module Registry = Tce_telem.Registry
+module Expo = Tce_telem.Expo
+module Board = Tce_telem.Board
+module Heartbeat = Tce_telem.Heartbeat
+
+type options = {
+  out : string option;  (** --telemetry-out FILE: periodic snapshots *)
+  serve : int option;  (** --serve-metrics PORT: HTTP scrape endpoint *)
+  board : bool;  (** --status-board: live TTY board on stderr *)
+}
+
+let no_options = { out = None; serve = None; board = false }
+
+type slot_state = {
+  mutable sl_state : string;
+  mutable sl_cell : string;
+  mutable sl_done : int;
+  mutable sl_total : int;
+  mutable sl_retries : int;
+  mutable sl_rate : float;
+  mutable sl_last_row_at : float;
+}
+
+type t = {
+  driver : string;
+  reg : Registry.t;
+  mu : Mutex.t;
+  out : string option;
+  server : Expo.Server.t option;
+  board : Board.t option;
+  t0 : float;
+  mutable total : int;
+  slots : (int, slot_state) Hashtbl.t;
+  mutable completed : int;
+  mutable quarantined_n : int;
+  mutable last_flush : float;
+  (* families *)
+  f_scheduled : Registry.family;
+  f_completed : Registry.family;
+  f_resumed : Registry.family;
+  f_retries : Registry.family;
+  f_quarantined : Registry.family;
+  f_degraded : Registry.family;
+  f_cell_wall : Registry.family;
+  f_throughput : Registry.family;
+  f_eta : Registry.family;
+  f_elapsed : Registry.family;
+  f_last_progress : Registry.family;
+  f_worker_rate : Registry.family;
+}
+
+let driver_label t = [ ("driver", t.driver) ]
+let shard_label t slot = ("shard", string_of_int slot) :: driver_label t
+
+let create ~driver ~total (options : options) : (t option, string) result =
+  if options.out = None && options.serve = None && not options.board then
+    Ok None
+  else begin
+    let reg = Registry.create () in
+    let f_scheduled =
+      Registry.gauge reg ~help:"Cells scheduled for this run" "tce_cells_scheduled"
+    and f_completed =
+      Registry.counter reg ~help:"Cells completed, by worker shard (0 = parent)"
+        "tce_cells_completed"
+    and f_resumed =
+      Registry.counter reg ~help:"Cells replayed from the crash journal"
+        "tce_cells_resumed"
+    and f_retries =
+      Registry.counter reg ~help:"Worker kills/respawns charged to a shard"
+        "tce_worker_retries"
+    and f_quarantined =
+      Registry.gauge reg ~help:"Cells quarantined after repeated worker kills"
+        "tce_quarantined_cells"
+    and f_degraded =
+      Registry.counter reg ~help:"Cells that fell back to in-process execution"
+        "tce_degraded_cells"
+    and f_cell_wall =
+      Registry.histogram reg ~help:"Host wall seconds per completed cell"
+        "tce_cell_wall_seconds"
+    and f_throughput =
+      Registry.gauge reg ~help:"Completed cells per second, whole run"
+        "tce_run_throughput_cells_per_sec"
+    and f_eta =
+      Registry.gauge reg ~help:"Estimated seconds until the run drains"
+        "tce_run_eta_seconds"
+    and f_elapsed =
+      Registry.gauge reg ~help:"Seconds since the run started"
+        "tce_run_elapsed_seconds"
+    and f_last_progress =
+      Registry.gauge reg
+        ~help:"Unix timestamp of the last heartbeat or row per shard"
+        "tce_worker_last_progress_timestamp_seconds"
+    and f_worker_rate =
+      Registry.gauge reg ~help:"Cells per second reported by worker heartbeats"
+        "tce_worker_cells_per_sec"
+    in
+    Registry.set ~labels:[ ("driver", driver) ] f_scheduled (float_of_int total);
+    match
+      match options.serve with
+      | None -> Ok None
+      | Some port ->
+        Result.map
+          (fun s -> Some s)
+          (Expo.Server.start ~port ~body:(fun () -> Registry.to_openmetrics reg) ())
+    with
+    | Error e -> Error e
+    | Ok server ->
+      let board = if options.board then Some (Board.create ()) else None in
+      Ok
+        (Some
+           {
+             driver;
+             reg;
+             mu = Mutex.create ();
+             out = options.out;
+             server;
+             board;
+             t0 = Unix.gettimeofday ();
+             total;
+             slots = Hashtbl.create 8;
+             completed = 0;
+             quarantined_n = 0;
+             last_flush = neg_infinity;
+             f_scheduled;
+             f_completed;
+             f_resumed;
+             f_retries;
+             f_quarantined;
+             f_degraded;
+             f_cell_wall;
+             f_throughput;
+             f_eta;
+             f_elapsed;
+             f_last_progress;
+             f_worker_rate;
+           })
+  end
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let set_total t n =
+  with_lock t (fun () ->
+      t.total <- n;
+      Registry.set ~labels:(driver_label t) t.f_scheduled (float_of_int n))
+
+let server_port t = Option.map Expo.Server.port t.server
+
+let slot_state t slot =
+  match Hashtbl.find_opt t.slots slot with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        sl_state = (if slot = 0 then "done" else "idle");
+        sl_cell = "";
+        sl_done = 0;
+        sl_total = 0;
+        sl_retries = 0;
+        sl_rate = 0.0;
+        sl_last_row_at = Unix.gettimeofday ();
+      }
+    in
+    Hashtbl.replace t.slots slot s;
+    s
+
+(* Locked: refresh derived gauges, the board, and the snapshot file. *)
+let publish ?(force = false) t =
+  let now = Unix.gettimeofday () in
+  let elapsed = now -. t.t0 in
+  Registry.set ~labels:(driver_label t) t.f_elapsed elapsed;
+  let rate = if elapsed > 0.0 then float_of_int t.completed /. elapsed else 0.0 in
+  Registry.set ~labels:(driver_label t) t.f_throughput rate;
+  let remaining = t.total - t.completed - t.quarantined_n in
+  let eta =
+    if remaining <= 0 then 0.0
+    else if rate > 0.0 then float_of_int remaining /. rate
+    else -1.0 (* unknown yet *)
+  in
+  Registry.set ~labels:(driver_label t) t.f_eta eta;
+  (match t.board with
+  | None -> ()
+  | Some b ->
+    let rows =
+      List.sort
+        (fun (a : Board.row) b -> compare a.Board.r_slot b.Board.r_slot)
+        (Hashtbl.fold
+           (fun slot s acc ->
+             if slot = 0 then acc
+             else
+               {
+                 Board.r_slot = slot;
+                 r_state = s.sl_state;
+                 r_cell = s.sl_cell;
+                 r_done = s.sl_done;
+                 r_total = s.sl_total;
+                 r_retries = s.sl_retries;
+                 r_rate = s.sl_rate;
+               }
+               :: acc)
+           t.slots [])
+    in
+    let summary =
+      Printf.sprintf "%s %d/%d cells%s, %.1f c/s, elapsed %.0fs%s" t.driver
+        t.completed t.total
+        (if t.quarantined_n > 0 then
+           Printf.sprintf " (%d quarantined)" t.quarantined_n
+         else "")
+        rate elapsed
+        (if eta > 0.0 then Printf.sprintf ", eta %.0fs" eta else "")
+    in
+    if force then Board.finish b ~summary rows
+    else Board.refresh b ~summary rows);
+  match t.out with
+  | None -> ()
+  | Some path ->
+    if force || now -. t.last_flush >= 1.0 then begin
+      t.last_flush <- now;
+      Expo.write_snapshot ~path t.reg
+    end
+
+let row_arrived t ~slot ~name:_ =
+  let now = Unix.gettimeofday () in
+  let s = slot_state t slot in
+  t.completed <- t.completed + 1;
+  s.sl_done <- s.sl_done + 1;
+  if slot > 0 then begin
+    s.sl_state <- (if s.sl_done >= s.sl_total then "done" else "run");
+    Registry.observe ~labels:(driver_label t) t.f_cell_wall
+      (Float.max 0.0 (now -. s.sl_last_row_at))
+  end;
+  s.sl_last_row_at <- now;
+  Registry.inc ~labels:(shard_label t slot) t.f_completed;
+  Registry.set ~labels:(shard_label t slot) t.f_last_progress now
+
+let events t : Supervise.events =
+  {
+    Supervise.ev_spawn =
+      (fun ~slot ~attempt:_ ~pending ->
+        with_lock t (fun () ->
+            let s = slot_state t slot in
+            s.sl_state <- "run";
+            s.sl_total <- s.sl_done + pending;
+            s.sl_last_row_at <- Unix.gettimeofday ();
+            publish t));
+    ev_row =
+      (fun ~slot ~index:_ ~name ->
+        with_lock t (fun () ->
+            row_arrived t ~slot ~name;
+            publish t));
+    ev_heartbeat =
+      (fun ~slot hb ->
+        with_lock t (fun () ->
+            let s = slot_state t slot in
+            s.sl_rate <- hb.Heartbeat.rate;
+            s.sl_cell <-
+              (if hb.Heartbeat.index < 0 then "" else hb.Heartbeat.name);
+            Registry.set ~labels:(shard_label t slot) t.f_worker_rate
+              hb.Heartbeat.rate;
+            Registry.set ~labels:(shard_label t slot) t.f_last_progress
+              (Unix.gettimeofday ());
+            publish t));
+    ev_fault =
+      (fun ~slot ~index:_ ~kills:_ ~reason:_ ->
+        with_lock t (fun () ->
+            let s = slot_state t slot in
+            s.sl_state <- "retry";
+            s.sl_retries <- s.sl_retries + 1;
+            s.sl_cell <- "";
+            Registry.inc ~labels:(shard_label t slot) t.f_retries;
+            publish t));
+    ev_quarantine =
+      (fun ~index:_ ~name:_ ~kills:_ ->
+        with_lock t (fun () ->
+            t.quarantined_n <- t.quarantined_n + 1;
+            Registry.set ~labels:(driver_label t) t.f_quarantined
+              (float_of_int t.quarantined_n);
+            publish t));
+    ev_degraded =
+      (fun ~index:_ ->
+        with_lock t (fun () ->
+            Registry.inc ~labels:(driver_label t) t.f_degraded));
+    ev_tick = (fun () -> with_lock t (fun () -> publish t));
+  }
+
+let resumed t n =
+  if n > 0 then
+    with_lock t (fun () ->
+        Registry.inc ~labels:(driver_label t) ~by:(float_of_int n) t.f_resumed)
+
+let heartbeat_args (t : t option) ~slot =
+  match t with
+  | None -> []
+  | Some _ -> [ "--heartbeat"; string_of_int slot ]
+
+(* Serial (in-process) drivers feed completed cells directly; rows are
+   attributed to shard 0 like the supervisor's non-worker rows. *)
+let cell_done t ~name =
+  with_lock t (fun () ->
+      row_arrived t ~slot:0 ~name;
+      publish t)
+
+(* Gate families are registered lazily here rather than in [create]: only
+   the [--check] driver has a verdict, and [Registry.register] is
+   idempotent so repeated calls reuse the same family. *)
+let gate_result t ~ok ~compared ~regressions =
+  with_lock t (fun () ->
+      let pass =
+        Registry.gauge t.reg ~help:"1 when the perf gate passed, 0 otherwise"
+          "tce_gate_pass"
+      and cmp =
+        Registry.gauge t.reg
+          ~help:"Workload/metric pairs compared against the baseline"
+          "tce_gate_compared"
+      and regr =
+        Registry.gauge t.reg
+          ~help:"Gate comparisons that regressed beyond tolerance"
+          "tce_gate_regressions"
+      in
+      Registry.set ~labels:(driver_label t) pass (if ok then 1.0 else 0.0);
+      Registry.set ~labels:(driver_label t) cmp (float_of_int compared);
+      Registry.set ~labels:(driver_label t) regr (float_of_int regressions);
+      publish ~force:true t)
+
+let snapshot t = Registry.to_openmetrics t.reg
+
+let registry t = t.reg
+
+let finish t =
+  with_lock t (fun () ->
+      Hashtbl.iter
+        (fun _ s -> if s.sl_state <> "retry" then s.sl_state <- "done")
+        t.slots;
+      publish ~force:true t);
+  (match t.out with Some path -> Expo.write_snapshot ~path t.reg | None -> ());
+  match t.server with None -> () | Some s -> Expo.Server.stop s

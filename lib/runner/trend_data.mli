@@ -1,0 +1,25 @@
+(** The [--trends] driver: walk the archived result history and render
+    cross-run trend reports.
+
+    Reads the last [n] bench runs from [results/history/] and fault
+    campaigns from [results/campaigns/], builds per-workload time series
+    (simulated cycles, check removal, deopts, host wall) plus suite-level
+    and campaign-outcome series, flags anomalies with
+    {!Tce_telem.Trends.detect}, and writes [trends.txt] and [trends.html]
+    to [results/trends/].  Only runs sharing the newest run's config hash
+    are compared; deterministic simulated metrics participate in anomaly
+    detection while host wall times are informational. *)
+
+val trends_dir : string
+(** ["results/trends"] *)
+
+val run :
+  ?history_dir:string ->
+  ?campaigns_dir:string ->
+  ?out_dir:string ->
+  ?n:int ->
+  unit ->
+  (int, string) result
+(** Returns the number of anomalies flagged ([n] defaults to 20);
+    [Error] when no readable history exists at all.  Prints the text
+    report to stdout. *)

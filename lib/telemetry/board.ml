@@ -1,0 +1,82 @@
+(** Live TTY status board (see board.mli). *)
+
+type row = {
+  r_slot : int;
+  r_state : string;  (** "run" | "idle" | "retry" | "dead" | "done" *)
+  r_cell : string;
+  r_done : int;
+  r_total : int;
+  r_retries : int;
+  r_rate : float;
+}
+
+let bar width frac =
+  let frac = Float.max 0.0 (Float.min 1.0 frac) in
+  let fill = int_of_float (Float.round (frac *. float_of_int width)) in
+  String.concat ""
+    [ String.make fill '#'; String.make (width - fill) '.' ]
+
+let render_row r =
+  let frac =
+    if r.r_total <= 0 then 0.0
+    else float_of_int r.r_done /. float_of_int r.r_total
+  in
+  let rate = if r.r_rate > 0.0 then Printf.sprintf "%5.2f c/s" r.r_rate
+             else "    -    " in
+  Printf.sprintf "  shard %d [%s] %3d/%-3d %-5s %s retries=%d %s" r.r_slot
+    (bar 16 frac) r.r_done r.r_total r.r_state rate r.r_retries
+    (if r.r_cell = "" then "-" else r.r_cell)
+
+(* Pure rendering so tests can assert both shapes without a terminal.
+   TTY mode returns the full multi-line board; non-TTY mode returns one
+   plain summary line with no escape sequences. *)
+let render ~tty ~summary rows =
+  if tty then
+    String.concat "\n"
+      (Printf.sprintf "telem: %s" summary :: List.map render_row rows)
+  else Printf.sprintf "telem: %s" summary
+
+type t = {
+  b_tty : bool;
+  b_out : out_channel;
+  mutable b_lines : int;  (** lines drawn by the previous TTY frame *)
+  mutable b_last : float;
+  b_interval : float;
+}
+
+let create ?(out = stderr) () =
+  let tty =
+    try Unix.isatty (Unix.descr_of_out_channel out) with Unix.Unix_error _ -> false
+  in
+  {
+    b_tty = tty;
+    b_out = out;
+    b_lines = 0;
+    b_last = neg_infinity;
+    (* A TTY redraws smoothly; a log file gets a line every few seconds. *)
+    b_interval = (if tty then 0.2 else 5.0);
+  }
+
+let tty t = t.b_tty
+
+let refresh ?(force = false) t ~summary rows =
+  let now = Unix.gettimeofday () in
+  if force || now -. t.b_last >= t.b_interval then begin
+    t.b_last <- now;
+    if t.b_tty then begin
+      (* Move back over the previous frame and clear each line. *)
+      if t.b_lines > 0 then
+        output_string t.b_out (Printf.sprintf "\r\027[%dA" t.b_lines);
+      let text = render ~tty:true ~summary rows in
+      let lines = String.split_on_char '\n' text in
+      List.iter
+        (fun l -> output_string t.b_out ("\027[2K" ^ l ^ "\n"))
+        lines;
+      t.b_lines <- List.length lines
+    end
+    else output_string t.b_out (render ~tty:false ~summary rows ^ "\n");
+    flush t.b_out
+  end
+
+let finish t ~summary rows =
+  refresh ~force:true t ~summary rows

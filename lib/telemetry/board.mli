@@ -1,0 +1,35 @@
+(** Live status board for supervised runs ([--status-board]).
+
+    On a TTY the board redraws in place (ANSI cursor-up + erase-line) with
+    one row per worker slot; when the output is not a TTY it degrades to
+    plain throttled [telem: ...] summary lines containing no escape
+    sequences, so piping a supervised run to a file stays readable. *)
+
+type row = {
+  r_slot : int;
+  r_state : string;  (** "run" | "idle" | "retry" | "dead" | "done" *)
+  r_cell : string;  (** workload in flight, [""] when idle *)
+  r_done : int;
+  r_total : int;
+  r_retries : int;
+  r_rate : float;  (** cells/sec reported by the worker's heartbeat *)
+}
+
+val render : tty:bool -> summary:string -> row list -> string
+(** Pure rendering of one frame (exposed for tests).  With [~tty:false]
+    the result is a single plain line and contains no ['\027']. *)
+
+type t
+
+val create : ?out:out_channel -> unit -> t
+(** Board writing to [out] (default [stderr]); TTY-ness is detected with
+    [Unix.isatty]. *)
+
+val tty : t -> bool
+
+val refresh : ?force:bool -> t -> summary:string -> row list -> unit
+(** Redraw if the throttle interval elapsed (0.2s on a TTY, 5s otherwise)
+    or [force] is set. *)
+
+val finish : t -> summary:string -> row list -> unit
+(** Draw a final frame unconditionally. *)

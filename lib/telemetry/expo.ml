@@ -1,0 +1,383 @@
+(** OpenMetrics exposition: file snapshots, a strict parser, and a
+    dependency-free HTTP scrape endpoint (see expo.mli). *)
+
+let write_snapshot ~path reg =
+  let dir = Filename.dirname path in
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Registry.to_openmetrics reg);
+  close_out oc;
+  Sys.rename tmp path
+
+(* --- Strict OpenMetrics text parser --------------------------------- *)
+
+module Parse = struct
+  type sample = {
+    p_name : string;
+    p_labels : (string * string) list;
+    p_value : float;
+  }
+
+  type family = {
+    p_fname : string;
+    p_type : string;
+    p_help : string option;
+    p_points : sample list;
+  }
+
+  exception Bad of string
+
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+  let is_name_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+
+  (* Parse one sample line: name{label="v",...} value *)
+  let parse_sample ln line =
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && is_name_char line.[!i] do incr i done;
+    if !i = 0 then fail "line %d: missing metric name" ln;
+    let name = String.sub line 0 !i in
+    let labels = ref [] in
+    if !i < n && line.[!i] = '{' then begin
+      incr i;
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then fail "line %d: unterminated label set" ln;
+        if line.[!i] = '}' then begin incr i; fin := true end
+        else begin
+          let s = !i in
+          while !i < n && line.[!i] <> '=' do incr i done;
+          if !i >= n then fail "line %d: label without '='" ln;
+          let k = String.sub line s (!i - s) in
+          incr i;
+          if !i >= n || line.[!i] <> '"' then
+            fail "line %d: label value must be quoted" ln;
+          incr i;
+          let buf = Buffer.create 16 in
+          let closed = ref false in
+          while not !closed do
+            if !i >= n then fail "line %d: unterminated label value" ln;
+            (match line.[!i] with
+            | '"' -> closed := true
+            | '\\' ->
+              if !i + 1 >= n then fail "line %d: dangling escape" ln;
+              incr i;
+              (match line.[!i] with
+              | '\\' -> Buffer.add_char buf '\\'
+              | '"' -> Buffer.add_char buf '"'
+              | 'n' -> Buffer.add_char buf '\n'
+              | c -> fail "line %d: bad escape '\\%c'" ln c)
+            | c -> Buffer.add_char buf c);
+            incr i
+          done;
+          labels := (k, Buffer.contents buf) :: !labels;
+          if !i < n && line.[!i] = ',' then incr i
+          else if !i >= n || line.[!i] <> '}' then
+            fail "line %d: expected ',' or '}' in labels" ln
+        end
+      done
+    end;
+    if !i >= n || line.[!i] <> ' ' then
+      fail "line %d: expected space before value" ln;
+    let v = String.sub line (!i + 1) (n - !i - 1) in
+    let value =
+      if v = "+Inf" then infinity
+      else if v = "-Inf" then neg_infinity
+      else
+        match float_of_string_opt v with
+        | Some f -> f
+        | None -> fail "line %d: bad value %S" ln v
+    in
+    { p_name = name; p_labels = List.rev !labels; p_value = value }
+
+  let base_of_sample ftype name =
+    let strip suf =
+      let ls = String.length suf and ln = String.length name in
+      if ln > ls && String.sub name (ln - ls) ls = suf then
+        Some (String.sub name 0 (ln - ls))
+      else None
+    in
+    match ftype with
+    | "counter" -> strip "_total"
+    | "histogram" -> (
+      match strip "_bucket" with
+      | Some b -> Some b
+      | None -> (
+        match strip "_sum" with Some b -> Some b | None -> strip "_count"))
+    | _ -> Some name
+
+  (* Validate histogram bucket structure for one series (same non-le
+     labels): le ascending, counts cumulative, +Inf terminal, _count ==
+     +Inf bucket. *)
+  let check_histogram ffname points =
+    let series = Hashtbl.create 4 in
+    let key labels =
+      String.concat "\x00"
+        (List.concat_map
+           (fun (k, v) -> if k = "le" then [] else [ k; v ])
+           labels)
+    in
+    List.iter
+      (fun s ->
+        let k = key s.p_labels in
+        let prev = try Hashtbl.find series k with Not_found -> [] in
+        Hashtbl.replace series k (s :: prev))
+      points;
+    Hashtbl.iter
+      (fun _ samples ->
+        let samples = List.rev samples in
+        let buckets =
+          List.filter (fun s -> s.p_name = ffname ^ "_bucket") samples
+        in
+        if buckets = [] then fail "histogram %s: series without buckets" ffname;
+        let le_of s =
+          match List.assoc_opt "le" s.p_labels with
+          | None -> fail "histogram %s: bucket without le label" ffname
+          | Some "+Inf" -> infinity
+          | Some v -> (
+            match float_of_string_opt v with
+            | Some f -> f
+            | None -> fail "histogram %s: bad le %S" ffname v)
+        in
+        let prev_le = ref neg_infinity and prev_c = ref neg_infinity in
+        List.iter
+          (fun b ->
+            let le = le_of b in
+            if le <= !prev_le then
+              fail "histogram %s: le values not ascending" ffname;
+            if b.p_value < !prev_c then
+              fail "histogram %s: bucket counts not cumulative" ffname;
+            prev_le := le;
+            prev_c := b.p_value)
+          buckets;
+        if !prev_le <> infinity then
+          fail "histogram %s: missing +Inf bucket" ffname;
+        (match
+           List.find_opt (fun s -> s.p_name = ffname ^ "_count") samples
+         with
+        | Some c when c.p_value <> !prev_c ->
+          fail "histogram %s: _count disagrees with +Inf bucket" ffname
+        | Some _ -> ()
+        | None -> fail "histogram %s: missing _count" ffname);
+        if not (List.exists (fun s -> s.p_name = ffname ^ "_sum") samples)
+        then fail "histogram %s: missing _sum" ffname)
+      series
+
+  let parse text : family list =
+    let lines = String.split_on_char '\n' text in
+    (* The exposition must end with "# EOF\n": last split element empty,
+       second-to-last the EOF marker. *)
+    (match List.rev lines with
+    | "" :: "# EOF" :: _ -> ()
+    | _ -> fail "exposition must terminate with '# EOF\\n'");
+    let fams = ref [] in
+    let cur = ref None in
+    let push () =
+      match !cur with
+      | None -> ()
+      | Some f ->
+        if List.exists (fun g -> g.p_fname = f.p_fname) !fams then
+          fail "duplicate family %s" f.p_fname;
+        if f.p_type = "histogram" then
+          check_histogram f.p_fname (List.rev f.p_points);
+        fams := { f with p_points = List.rev f.p_points } :: !fams;
+        cur := None
+    in
+    let ln = ref 0 in
+    let stop = ref false in
+    List.iter
+      (fun line ->
+        incr ln;
+        if not !stop then
+          if line = "# EOF" then begin
+            push ();
+            stop := true
+          end
+          else if line = "" then fail "line %d: blank line" !ln
+          else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+            push ();
+            match String.split_on_char ' ' line with
+            | [ "#"; "TYPE"; name; ty ] ->
+              if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
+                fail "line %d: unsupported type %s" !ln ty;
+              cur :=
+                Some { p_fname = name; p_type = ty; p_help = None; p_points = [] }
+            | _ -> fail "line %d: malformed TYPE line" !ln
+          end
+          else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+            match !cur with
+            | None -> fail "line %d: HELP before TYPE" !ln
+            | Some f ->
+              if f.p_points <> [] then
+                fail "line %d: HELP after samples" !ln;
+              let rest = String.sub line 7 (String.length line - 7) in
+              (match String.index_opt rest ' ' with
+              | None -> fail "line %d: HELP without text" !ln
+              | Some i ->
+                let name = String.sub rest 0 i in
+                if name <> f.p_fname then
+                  fail "line %d: HELP name mismatch" !ln;
+                cur :=
+                  Some
+                    {
+                      f with
+                      p_help =
+                        Some
+                          (String.sub rest (i + 1)
+                             (String.length rest - i - 1));
+                    })
+          end
+          else if String.length line > 0 && line.[0] = '#' then
+            fail "line %d: unknown comment directive" !ln
+          else begin
+            match !cur with
+            | None -> fail "line %d: sample before any TYPE" !ln
+            | Some f ->
+              let s = parse_sample !ln line in
+              (match base_of_sample f.p_type s.p_name with
+              | Some b when b = f.p_fname -> ()
+              | _ ->
+                fail "line %d: sample %s not in family %s (type %s)" !ln
+                  s.p_name f.p_fname f.p_type);
+              let dup =
+                List.exists
+                  (fun o -> o.p_name = s.p_name && o.p_labels = s.p_labels)
+                  f.p_points
+              in
+              if dup then fail "line %d: duplicate sample" !ln;
+              cur := Some { f with p_points = s :: f.p_points }
+          end)
+      lines;
+    if not !stop then fail "missing '# EOF'";
+    List.rev !fams
+
+  let parse_result text =
+    match parse text with
+    | fams -> Ok fams
+    | exception Bad msg -> Error msg
+
+  let find fams name = List.find_opt (fun f -> f.p_fname = name) fams
+
+  let sample_value fams ~family ~sample ~labels =
+    match find fams family with
+    | None -> None
+    | Some f ->
+      List.find_map
+        (fun s ->
+          if
+            s.p_name = sample
+            && List.for_all
+                 (fun (k, v) -> List.assoc_opt k s.p_labels = Some v)
+                 labels
+          then Some s.p_value
+          else None)
+        f.p_points
+
+  let sum fams ~family ~sample =
+    match find fams family with
+    | None -> None
+    | Some f ->
+      Some
+        (List.fold_left
+           (fun acc s -> if s.p_name = sample then acc +. s.p_value else acc)
+           0.0 f.p_points)
+end
+
+(* --- HTTP scrape endpoint ------------------------------------------- *)
+
+module Server = struct
+  type t = {
+    sock : Unix.file_descr;
+    port : int;
+    stop_flag : bool Atomic.t;
+    domain : unit Domain.t;
+  }
+
+  let content_type =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+  let handle_conn fd body =
+    (* Read whatever request line arrives (we answer every path with the
+       metrics payload), bounded and with a receive timeout so a stuck
+       client cannot wedge the accept loop. *)
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
+     with Unix.Unix_error _ -> ());
+    let buf = Bytes.create 8192 in
+    (try ignore (Unix.read fd buf 0 (Bytes.length buf))
+     with Unix.Unix_error _ -> ());
+    let payload = body () in
+    let resp =
+      Printf.sprintf
+        "HTTP/1.0 200 OK\r\n\
+         Content-Type: %s\r\n\
+         Content-Length: %d\r\n\
+         Connection: close\r\n\
+         \r\n\
+         %s"
+        content_type (String.length payload) payload
+    in
+    let n = String.length resp in
+    let off = ref 0 in
+    (try
+       while !off < n do
+         let w = Unix.write_substring fd resp !off (n - !off) in
+         if w <= 0 then raise Exit;
+         off := !off + w
+       done
+     with _ -> ())
+
+  let serve_loop sock stop_flag body =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get stop_flag then continue := false
+      else begin
+        match Unix.select [ sock ] [] [] 0.25 with
+        | [], _, _ -> ()
+        | _ :: _, _, _ -> (
+          match Unix.accept sock with
+          | fd, _ ->
+            (try handle_conn fd body with _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      end
+    done
+
+  let start ?(host = "127.0.0.1") ~port ~body () =
+    match
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt sock Unix.SO_REUSEADDR true;
+         Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+         Unix.listen sock 16
+       with e ->
+         (try Unix.close sock with Unix.Unix_error _ -> ());
+         raise e);
+      let actual_port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      let stop_flag = Atomic.make false in
+      let domain = Domain.spawn (fun () -> serve_loop sock stop_flag body) in
+      { sock; port = actual_port; stop_flag; domain }
+    with
+    | t -> Ok t
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "cannot bind metrics endpoint on %s:%d: %s" host port
+           (Unix.error_message err))
+    | exception e -> Error (Printexc.to_string e)
+
+  let port t = t.port
+
+  let stop t =
+    Atomic.set t.stop_flag true;
+    Domain.join t.domain;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,69 @@
+(** OpenMetrics exposition for a {!Registry.t}: crash-safe file snapshots,
+    a strict in-repo parser (used by tests and [validate_obs]), and a
+    dependency-free single-threaded HTTP scrape endpoint. *)
+
+val write_snapshot : path:string -> Registry.t -> unit
+(** Write the registry's OpenMetrics rendering to [path] atomically
+    (temp file + rename), creating the parent directory if needed. *)
+
+(** Strict OpenMetrics 1.0 text parser.  Validates structure, not just
+    syntax: [# TYPE] must precede samples, sample names must match the
+    family and its type's suffix rules, histogram buckets must have
+    ascending [le] bounds, cumulative counts, a terminal [+Inf] bucket
+    agreeing with [_count], and the exposition must end with [# EOF]. *)
+module Parse : sig
+  type sample = {
+    p_name : string;
+    p_labels : (string * string) list;
+    p_value : float;
+  }
+
+  type family = {
+    p_fname : string;
+    p_type : string;  (** "counter" | "gauge" | "histogram" *)
+    p_help : string option;
+    p_points : sample list;
+  }
+
+  exception Bad of string
+
+  val parse : string -> family list
+  (** Raises {!Bad} with a line-anchored message on any violation. *)
+
+  val parse_result : string -> (family list, string) result
+
+  val find : family list -> string -> family option
+
+  val sample_value :
+    family list ->
+    family:string ->
+    sample:string ->
+    labels:(string * string) list ->
+    float option
+  (** First sample in [family] named [sample] whose labels include all of
+      [labels]. *)
+
+  val sum : family list -> family:string -> sample:string -> float option
+  (** Sum of every sample named [sample] across the family's series;
+      [None] if the family is absent. *)
+end
+
+(** Minimal HTTP/1.0 server answering every request with the current
+    metrics payload.  Runs on its own domain; the accept loop polls a
+    stop flag every 250ms so {!stop} returns promptly. *)
+module Server : sig
+  type t
+
+  val start :
+    ?host:string ->
+    port:int ->
+    body:(unit -> string) ->
+    unit ->
+    (t, string) result
+  (** Bind and start serving.  [port] 0 picks an ephemeral port (read it
+      back with {!port}).  [body] is called per request from the server
+      domain — it must be thread-safe. *)
+
+  val port : t -> int
+  val stop : t -> unit
+end

@@ -1,0 +1,103 @@
+(** Worker→parent heartbeat lines (see heartbeat.mli). *)
+
+module Json = Tce_obs.Json
+module Export = Tce_obs.Export
+
+let kind = "telem"
+
+type t = {
+  slot : int;
+  seq : int;
+  cells_done : int;
+  cells_total : int;
+  index : int;  (** roster index of the cell in flight, -1 when idle/done *)
+  name : string;  (** workload name of the cell in flight, "" when idle *)
+  rate : float;  (** cells per second since the worker started *)
+  at : float;  (** unix timestamp of the beat *)
+}
+
+let to_json b =
+  Export.document ~kind
+    (Json.Obj
+       [
+         ("slot", Json.Int b.slot);
+         ("seq", Json.Int b.seq);
+         ("done", Json.Int b.cells_done);
+         ("total", Json.Int b.cells_total);
+         ("index", Json.Int b.index);
+         ("name", Json.Str b.name);
+         ("rate", Json.Float b.rate);
+         ("at", Json.Float b.at);
+       ])
+
+let to_line b = Json.to_string (to_json b)
+
+(* Heartbeats share the worker's stdout with row lines, so a line that is
+   not a heartbeat is normal — and a torn heartbeat (worker killed
+   mid-write) must read as "not a heartbeat", never as an error. *)
+let of_line line : t option =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok j -> (
+    match Export.open_document j with
+    | Ok (k, data) when k = kind ->
+      let int k = Option.bind (Json.member k data) Json.to_int in
+      let flt k = Option.bind (Json.member k data) Json.to_float in
+      let str k = Option.bind (Json.member k data) Json.to_str in
+      (match (int "slot", int "seq", int "done", int "total", int "index") with
+      | Some slot, Some seq, Some cells_done, Some cells_total, Some index ->
+        Some
+          {
+            slot;
+            seq;
+            cells_done;
+            cells_total;
+            index;
+            name = Option.value ~default:"" (str "name");
+            rate = Option.value ~default:0.0 (flt "rate");
+            at = Option.value ~default:0.0 (flt "at");
+          }
+      | _ -> None)
+    | Ok _ | Error _ -> None)
+
+type emitter = {
+  e_slot : int;
+  e_total : int;
+  e_out : out_channel;
+  mutable e_seq : int;
+  mutable e_done : int;
+  e_t0 : float;
+}
+
+let emitter ~slot ~total ~out =
+  { e_slot = slot; e_total = total; e_out = out; e_seq = 0; e_done = 0;
+    e_t0 = Unix.gettimeofday () }
+
+let emit e ~index ~name =
+  let now = Unix.gettimeofday () in
+  let dt = now -. e.e_t0 in
+  let rate = if dt > 0.0 then float_of_int e.e_done /. dt else 0.0 in
+  let b =
+    {
+      slot = e.e_slot;
+      seq = e.e_seq;
+      cells_done = e.e_done;
+      cells_total = e.e_total;
+      index;
+      name;
+      rate;
+      at = now;
+    }
+  in
+  e.e_seq <- e.e_seq + 1;
+  output_string e.e_out (to_line b);
+  output_char e.e_out '\n';
+  flush e.e_out
+
+let beat_start e ~index ~name = emit e ~index ~name
+
+let beat_cell_done e =
+  e.e_done <- e.e_done + 1;
+  emit e ~index:(-1) ~name:""
+
+let beat_done e = emit e ~index:(-1) ~name:""

@@ -1,0 +1,47 @@
+(** Worker→parent heartbeat protocol.
+
+    Workers spawned with [--heartbeat SLOT] interleave single-line [telem]
+    envelopes (versioned via {!Tce_obs.Export}, schema v5) with their
+    [bench-row]/[fault-cell] output on stdout.  A beat carries the cell in
+    flight, completed-cell count, and observed throughput so the parent can
+    drive the status board and per-worker gauges without waiting for a row
+    to complete.  The supervisor treats any stdout line that is not a
+    parseable row as a heartbeat candidate; {!of_line} never raises, so a
+    torn beat (worker killed mid-write) degrades to "garbage" handling
+    exactly as before telemetry existed. *)
+
+val kind : string
+(** The envelope kind, ["telem"]. *)
+
+type t = {
+  slot : int;  (** worker slot that produced the beat *)
+  seq : int;  (** per-worker monotonically increasing sequence number *)
+  cells_done : int;
+  cells_total : int;
+  index : int;  (** roster index of the cell in flight, [-1] when idle *)
+  name : string;  (** workload name of the cell in flight, [""] when idle *)
+  rate : float;  (** cells per second since the worker started *)
+  at : float;  (** unix timestamp of the beat *)
+}
+
+val to_line : t -> string
+(** One-line compact JSON envelope (no embedded newline). *)
+
+val of_line : string -> t option
+(** Parse a candidate line.  [None] for anything that is not a complete,
+    well-formed [telem] envelope — never raises. *)
+
+(** Worker-side emitter: owns the sequence number, completed count, and
+    start time, and flushes one line per beat. *)
+type emitter
+
+val emitter : slot:int -> total:int -> out:out_channel -> emitter
+
+val beat_start : emitter -> index:int -> name:string -> unit
+(** Announce that the worker is starting cell [index]/[name]. *)
+
+val beat_cell_done : emitter -> unit
+(** Record a completed cell and announce idle state. *)
+
+val beat_done : emitter -> unit
+(** Final beat after the roster is drained. *)

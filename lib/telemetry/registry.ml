@@ -1,0 +1,274 @@
+(** Labeled operational-metrics registry (see registry.mli). *)
+
+type kind = Counter | Gauge | Histogram
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+(* One (family, label set) time series. Counters and gauges use [value];
+   histograms use the bucket counts plus sum/count. *)
+type series = {
+  s_labels : (string * string) list;  (** sorted by label name *)
+  mutable s_value : float;
+  s_buckets : int array;  (** one slot per bound, plus the +Inf slot *)
+  mutable s_sum : float;
+  mutable s_count : int;
+}
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : kind;
+  f_bounds : float array;  (** histogram bucket upper bounds, ascending *)
+  f_series : (string, series) Hashtbl.t;  (** key: rendered label set *)
+  mutable f_order : string list;  (** label-set keys, newest first *)
+  f_owner : t;
+}
+
+and t = {
+  enabled : bool;
+  mu : Mutex.t;
+  mutable fams : family list;  (** newest first *)
+}
+
+let create () = { enabled = true; mu = Mutex.create (); fams = [] }
+let null = { enabled = false; mu = Mutex.create (); fams = [] }
+let enabled t = t.enabled
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Metric names follow the Prometheus grammar; a bad name is a programming
+   error at registration time, never a runtime condition. *)
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+let valid_label_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let default_buckets =
+  [ 0.05; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0; 10.0; 30.0; 60.0; 120.0; 300.0 ]
+
+let register t ?(help = "") ?(buckets = default_buckets) kind name : family =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Registry: bad metric name %S" name);
+  let bounds = Array.of_list buckets in
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg
+          (Printf.sprintf "Registry: %s buckets must be strictly ascending" name))
+    bounds;
+  with_lock t (fun () ->
+      match List.find_opt (fun f -> f.f_name = name) t.fams with
+      | Some f when f.f_kind = kind -> f
+      | Some f ->
+        invalid_arg
+          (Printf.sprintf "Registry: %s already registered as a %s" name
+             (kind_name f.f_kind))
+      | None ->
+        let f =
+          {
+            f_name = name;
+            f_help = help;
+            f_kind = kind;
+            f_bounds = bounds;
+            f_series = Hashtbl.create 8;
+            f_order = [];
+            f_owner = t;
+          }
+        in
+        if t.enabled then t.fams <- f :: t.fams;
+        f)
+
+let counter t ?help name = register t ?help Counter name
+let gauge t ?help name = register t ?help Gauge name
+let histogram t ?help ?buckets name = register t ?help ?buckets Histogram name
+
+let label_key labels =
+  String.concat "\x00" (List.concat_map (fun (k, v) -> [ k; v ]) labels)
+
+let series_of f labels =
+  let labels =
+    List.sort (fun (a, _) (b, _) -> compare a b) labels
+  in
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg (Printf.sprintf "Registry: bad label name %S on %s" k f.f_name))
+    labels;
+  let key = label_key labels in
+  match Hashtbl.find_opt f.f_series key with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        s_labels = labels;
+        s_value = 0.0;
+        s_buckets = Array.make (Array.length f.f_bounds + 1) 0;
+        s_sum = 0.0;
+        s_count = 0;
+      }
+    in
+    Hashtbl.replace f.f_series key s;
+    f.f_order <- key :: f.f_order;
+    s
+
+let inc ?(labels = []) ?(by = 1.0) f =
+  if f.f_owner.enabled then begin
+    if f.f_kind <> Counter then
+      invalid_arg (Printf.sprintf "Registry: inc on non-counter %s" f.f_name);
+    if by < 0.0 then
+      invalid_arg (Printf.sprintf "Registry: counter %s cannot decrease" f.f_name);
+    with_lock f.f_owner (fun () ->
+        let s = series_of f labels in
+        s.s_value <- s.s_value +. by)
+  end
+
+let set ?(labels = []) f v =
+  if f.f_owner.enabled then begin
+    if f.f_kind <> Gauge then
+      invalid_arg (Printf.sprintf "Registry: set on non-gauge %s" f.f_name);
+    with_lock f.f_owner (fun () ->
+        let s = series_of f labels in
+        s.s_value <- v)
+  end
+
+let observe ?(labels = []) f v =
+  if f.f_owner.enabled then begin
+    if f.f_kind <> Histogram then
+      invalid_arg (Printf.sprintf "Registry: observe on non-histogram %s" f.f_name);
+    with_lock f.f_owner (fun () ->
+        let s = series_of f labels in
+        let n = Array.length f.f_bounds in
+        let slot = ref n in
+        (try
+           for i = 0 to n - 1 do
+             if v <= f.f_bounds.(i) then begin
+               slot := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        s.s_buckets.(!slot) <- s.s_buckets.(!slot) + 1;
+        s.s_sum <- s.s_sum +. v;
+        s.s_count <- s.s_count + 1)
+  end
+
+let find_series f labels =
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  Hashtbl.find_opt f.f_series (label_key labels)
+
+let value ?(labels = []) f =
+  with_lock f.f_owner (fun () ->
+      Option.map (fun s -> s.s_value) (find_series f labels))
+
+let histogram_stats ?(labels = []) f =
+  with_lock f.f_owner (fun () ->
+      Option.map (fun s -> (s.s_count, s.s_sum)) (find_series f labels))
+
+(* --- OpenMetrics text exposition --- *)
+
+(* Deterministic value rendering: integral values print with no fraction,
+   everything else with enough digits to round-trip operational readings. *)
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* HELP text escaping per OpenMetrics: backslash and newline only
+   (double quotes are legal in help text). *)
+let escape_help s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels buf labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+let sample buf name labels v =
+  Buffer.add_string buf name;
+  render_labels buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (fmt_value v);
+  Buffer.add_char buf '\n'
+
+let bound_label b =
+  if b = infinity then "+Inf"
+  else if Float.is_integer b && Float.abs b < 1e15 then Printf.sprintf "%.1f" b
+  else Printf.sprintf "%.9g" b
+
+let to_openmetrics t =
+  with_lock t (fun () ->
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s %s\n" f.f_name (kind_name f.f_kind));
+          if f.f_help <> "" then
+            Buffer.add_string buf
+              (Printf.sprintf "# HELP %s %s\n" f.f_name (escape_help f.f_help));
+          List.iter
+            (fun key ->
+              let s = Hashtbl.find f.f_series key in
+              match f.f_kind with
+              | Counter -> sample buf (f.f_name ^ "_total") s.s_labels s.s_value
+              | Gauge -> sample buf f.f_name s.s_labels s.s_value
+              | Histogram ->
+                let acc = ref 0 in
+                Array.iteri
+                  (fun i c ->
+                    acc := !acc + c;
+                    let le =
+                      if i = Array.length f.f_bounds then infinity
+                      else f.f_bounds.(i)
+                    in
+                    sample buf (f.f_name ^ "_bucket")
+                      (s.s_labels @ [ ("le", bound_label le) ])
+                      (float_of_int !acc))
+                  s.s_buckets;
+                sample buf (f.f_name ^ "_sum") s.s_labels s.s_sum;
+                sample buf (f.f_name ^ "_count") s.s_labels
+                  (float_of_int s.s_count))
+            (List.rev f.f_order))
+        (List.rev t.fams);
+      Buffer.add_string buf "# EOF\n";
+      Buffer.contents buf)

@@ -1,0 +1,66 @@
+(** Labeled operational-metrics registry.
+
+    A {!t} holds metric {e families} (counter, gauge, histogram), each of
+    which fans out into one time series per distinct label set.  The
+    registry is mutex-protected: the supervised runner updates it from the
+    parent select loop while worker domains feed serial-mode rows and the
+    scrape server reads snapshots concurrently.
+
+    Following the repo's null-object convention ({!Tce_prof.Profile.null},
+    {!Tce_obs.Trace.null}), {!null} is a permanently disabled registry:
+    registration returns inert families and every update is a no-op, so
+    instrumented code paths pay one boolean test when telemetry is off. *)
+
+type t
+(** A metrics registry. *)
+
+type family
+(** One named metric family within a registry. *)
+
+val create : unit -> t
+(** A fresh, enabled registry. *)
+
+val null : t
+(** The shared disabled registry: updates are no-ops, exposition is empty. *)
+
+val enabled : t -> bool
+
+val counter : t -> ?help:string -> string -> family
+(** [counter t name] registers (or retrieves) a monotonically increasing
+    counter family.  Exposed with an [_total] suffix per OpenMetrics.
+    Registration is idempotent for a same-kind name; re-registering a name
+    under a different kind raises [Invalid_argument], as does a name not
+    matching [[a-zA-Z_:][a-zA-Z0-9_:]*]. *)
+
+val gauge : t -> ?help:string -> string -> family
+
+val histogram : t -> ?help:string -> ?buckets:float list -> string -> family
+(** [buckets] are strictly ascending upper bounds; a [+Inf] bucket is
+    implicit.  Default buckets suit cell wall-times (50ms .. 300s). *)
+
+val default_buckets : float list
+
+val inc : ?labels:(string * string) list -> ?by:float -> family -> unit
+(** Counter increment ([by] defaults to 1.0; negative raises). *)
+
+val set : ?labels:(string * string) list -> family -> float -> unit
+(** Gauge assignment. *)
+
+val observe : ?labels:(string * string) list -> family -> float -> unit
+(** Histogram observation. *)
+
+val value : ?labels:(string * string) list -> family -> float option
+(** Current counter/gauge reading for an existing series, [None] if that
+    label set has never been touched. *)
+
+val histogram_stats :
+  ?labels:(string * string) list -> family -> (int * float) option
+(** [(count, sum)] for a histogram series. *)
+
+val to_openmetrics : t -> string
+(** Render the whole registry as OpenMetrics 1.0 text: [# TYPE]/[# HELP]
+    metadata, [_total]-suffixed counters, cumulative histogram
+    [_bucket{le=...}] samples ending at [+Inf] plus [_sum]/[_count], label
+    values escaped, terminated by [# EOF].  Families and series appear in
+    registration order, so successive snapshots of the same registry are
+    structurally stable. *)

@@ -1,0 +1,43 @@
+(** Single source of truth for the simulated-counter namespace: the same
+    catalog feeds Chrome/Perfetto counter tracks and the scrape registry
+    (see track.mli). *)
+
+module Snapshot = Tce_obs.Snapshot
+module Sink = Tce_obs.Sink
+
+(* Order is load-bearing: it is the on-disk track order of every Chrome
+   trace written before the registry existed, asserted by test_obs. *)
+let catalog (s : Snapshot.sample) : (string * int) list =
+  [
+    ("deopts", s.Snapshot.deopts);
+    ("cc-occupancy", s.Snapshot.cc_occupancy);
+    ("cc-conflicts", s.Snapshot.cc_conflicts);
+    ("heap-bytes", s.Snapshot.heap_bytes);
+  ]
+  @ List.mapi
+      (fun i v -> (Printf.sprintf "cc-occupancy/sets-%d" i, v))
+      (Array.to_list s.Snapshot.cc_set_occupancy)
+  @ List.map
+      (fun (n, v) -> ("prof/" ^ n, v))
+      (Array.to_list s.Snapshot.prof_costs)
+
+let chrome_counters snap =
+  List.concat_map
+    (fun (s : Snapshot.sample) ->
+      List.map
+        (fun (name, v) -> Sink.counter ~at:s.Snapshot.at name v)
+        (catalog s))
+    (Snapshot.samples snap)
+
+let register_latest reg snap =
+  match List.rev (Snapshot.samples snap) with
+  | [] -> ()
+  | last :: _ ->
+    let g =
+      Registry.gauge reg ~help:"Latest simulated-counter snapshot sample"
+        "tce_sim_counter"
+    in
+    List.iter
+      (fun (name, v) ->
+        Registry.set ~labels:[ ("track", name) ] g (float_of_int v))
+      (catalog last)

@@ -1,0 +1,20 @@
+(** One metrics namespace for the simulated counters.
+
+    {!Tce_obs.Snapshot} samples used to be turned into Perfetto counter
+    tracks by ad-hoc code in [Sink.chrome]; the catalog now lives here so
+    the Chrome trace tracks ([deopts], [cc-occupancy], [cc-conflicts],
+    [heap-bytes], [cc-occupancy/sets-N], [prof/<cost>]) and the scrape
+    registry's [tce_sim_counter{track="..."}] gauge share one name list. *)
+
+val catalog : Tce_obs.Snapshot.sample -> (string * int) list
+(** Track names and values for one sample, in the historical Chrome-trace
+    track order. *)
+
+val chrome_counters : Tce_obs.Snapshot.t -> Tce_obs.Json.t list
+(** All counter-track events for a sampler's series, ready to pass as
+    [Tce_obs.Sink.chrome ~counters]. *)
+
+val register_latest : Registry.t -> Tce_obs.Snapshot.t -> unit
+(** Mirror the most recent sample into the registry as the
+    [tce_sim_counter{track="..."}] gauge family (no-op on an empty
+    series or {!Registry.null}). *)

@@ -1,0 +1,270 @@
+(** Cross-run trend engine: series, MAD anomaly detection, text and
+    HTML/SVG reports (see trends.mli). *)
+
+type point = { pt_label : string; pt_value : float }
+
+type series = {
+  sr_group : string;  (** e.g. workload name, or "suite" *)
+  sr_metric : string;  (** e.g. "cycles_on" *)
+  sr_unit : string;  (** display unit, "" when dimensionless *)
+  sr_points : point list;  (** oldest first *)
+  sr_flag : bool;  (** participate in anomaly detection? *)
+}
+
+type anomaly = {
+  an_group : string;
+  an_metric : string;
+  an_label : string;  (** run label of the offending point *)
+  an_value : float;
+  an_median : float;
+  an_sigma : float;  (** robust sigma (1.4826 x MAD) *)
+}
+
+let median xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let mad_sigma xs =
+  let m = median xs in
+  let dev = List.map (fun x -> Float.abs (x -. m)) xs in
+  1.4826 *. median dev
+
+(* Robust outlier detection.  With a MAD of zero (bit-identical history,
+   the common case for deterministic metrics) any nonzero deviation is an
+   anomaly — subject to [rel_floor], which forgives sub-0.1% drift so
+   float-derived series do not alarm on formatting noise. *)
+let detect ?(k = 4.0) ?(rel_floor = 0.001) series : anomaly list =
+  List.concat_map
+    (fun s ->
+      if (not s.sr_flag) || List.length s.sr_points < 4 then []
+      else begin
+        let values = List.map (fun p -> p.pt_value) s.sr_points in
+        let m = median values in
+        let sigma = mad_sigma values in
+        let threshold = Float.max (k *. sigma) (rel_floor *. Float.abs m) in
+        List.filter_map
+          (fun p ->
+            let dev = Float.abs (p.pt_value -. m) in
+            if dev > threshold && dev > 0.0 then
+              Some
+                {
+                  an_group = s.sr_group;
+                  an_metric = s.sr_metric;
+                  an_label = p.pt_label;
+                  an_value = p.pt_value;
+                  an_median = m;
+                  an_sigma = sigma;
+                }
+            else None)
+          s.sr_points
+      end)
+    series
+
+(* --- text report ---------------------------------------------------- *)
+
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let text_report ~title series anomalies =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.make (String.length title) '=' ^ "\n\n");
+  let groups =
+    List.fold_left
+      (fun acc s -> if List.mem s.sr_group acc then acc else acc @ [ s.sr_group ])
+      [] series
+  in
+  List.iter
+    (fun g ->
+      Buffer.add_string buf (Printf.sprintf "%s\n" g);
+      List.iter
+        (fun s ->
+          if s.sr_group = g then begin
+            let values = List.map (fun p -> p.pt_value) s.sr_points in
+            let latest =
+              match List.rev s.sr_points with [] -> nan | p :: _ -> p.pt_value
+            in
+            let flagged =
+              List.exists
+                (fun a -> a.an_group = g && a.an_metric = s.sr_metric)
+                anomalies
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "  %-22s n=%-3d latest=%-12s median=%-12s%s%s\n"
+                 s.sr_metric (List.length s.sr_points) (fmt_num latest)
+                 (fmt_num (median values))
+                 (if s.sr_unit = "" then "" else " " ^ s.sr_unit)
+                 (if flagged then "  << ANOMALY" else ""))
+          end)
+        series;
+      Buffer.add_char buf '\n')
+    groups;
+  if anomalies = [] then Buffer.add_string buf "No anomalies detected.\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "%d anomalies:\n" (List.length anomalies));
+    List.iter
+      (fun a ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s/%s @ %s: %s (median %s, sigma %s)\n"
+             a.an_group a.an_metric a.an_label (fmt_num a.an_value)
+             (fmt_num a.an_median) (fmt_num a.an_sigma)))
+      anomalies
+  end;
+  Buffer.contents buf
+
+(* --- HTML/SVG dashboard --------------------------------------------- *)
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let sparkline ?(w = 280) ?(h = 60) s anomalies =
+  let pts = Array.of_list s.sr_points in
+  let n = Array.length pts in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\" \
+        xmlns=\"http://www.w3.org/2000/svg\">" w h w h);
+  if n > 0 then begin
+    let vmin = ref infinity and vmax = ref neg_infinity in
+    Array.iter
+      (fun p ->
+        if p.pt_value < !vmin then vmin := p.pt_value;
+        if p.pt_value > !vmax then vmax := p.pt_value)
+      pts;
+    let span = !vmax -. !vmin in
+    let pad = 6.0 in
+    let x i =
+      if n = 1 then float_of_int w /. 2.0
+      else pad +. (float_of_int i /. float_of_int (n - 1)
+                   *. (float_of_int w -. (2.0 *. pad)))
+    in
+    let y v =
+      if span <= 0.0 then float_of_int h /. 2.0
+      else
+        float_of_int h -. pad
+        -. ((v -. !vmin) /. span *. (float_of_int h -. (2.0 *. pad)))
+    in
+    let coords =
+      Array.to_list
+        (Array.mapi
+           (fun i p -> Printf.sprintf "%.1f,%.1f" (x i) (y p.pt_value))
+           pts)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<polyline fill=\"none\" stroke=\"#2a6fbb\" stroke-width=\"1.5\" \
+          points=\"%s\"/>"
+         (String.concat " " coords));
+    Array.iteri
+      (fun i p ->
+        let bad =
+          List.exists
+            (fun a ->
+              a.an_group = s.sr_group && a.an_metric = s.sr_metric
+              && a.an_label = p.pt_label)
+            anomalies
+        in
+        if bad then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"3.5\" fill=\"#cc2222\">\
+                <title>%s: %s</title></circle>"
+               (x i) (y p.pt_value)
+               (html_escape p.pt_label)
+               (fmt_num p.pt_value)))
+      pts
+  end;
+  Buffer.add_string buf "</svg>";
+  Buffer.contents buf
+
+let html_dashboard ~title ~generated series anomalies =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+        <title>%s</title>\n<style>\n\
+        body{font-family:system-ui,sans-serif;margin:2em;color:#222}\n\
+        h1{font-size:1.4em} h2{font-size:1.1em;margin:1.4em 0 0.4em;\
+        border-bottom:1px solid #ddd}\n\
+        .grid{display:flex;flex-wrap:wrap;gap:1em}\n\
+        .card{border:1px solid #ddd;border-radius:6px;padding:0.6em 0.8em}\n\
+        .card .m{font-weight:600;font-size:0.9em}\n\
+        .card .v{color:#555;font-size:0.8em}\n\
+        .flagged{border-color:#cc2222;background:#fff5f5}\n\
+        .anom{color:#cc2222}\n\
+        footer{margin-top:2em;color:#888;font-size:0.8em}\n\
+        </style></head><body>\n<h1>%s</h1>\n"
+       (html_escape title) (html_escape title));
+  if anomalies = [] then
+    Buffer.add_string buf "<p>No anomalies detected.</p>\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "<p class=\"anom\">%d anomalies:</p>\n<ul>\n"
+         (List.length anomalies));
+    List.iter
+      (fun a ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<li class=\"anom\">%s / %s @ %s: %s (median %s)</li>\n"
+             (html_escape a.an_group) (html_escape a.an_metric)
+             (html_escape a.an_label) (fmt_num a.an_value)
+             (fmt_num a.an_median)))
+      anomalies;
+    Buffer.add_string buf "</ul>\n"
+  end;
+  let groups =
+    List.fold_left
+      (fun acc s -> if List.mem s.sr_group acc then acc else acc @ [ s.sr_group ])
+      [] series
+  in
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "<h2>%s</h2>\n<div class=\"grid\">\n" (html_escape g));
+      List.iter
+        (fun s ->
+          if s.sr_group = g then begin
+            let flagged =
+              List.exists
+                (fun a -> a.an_group = g && a.an_metric = s.sr_metric)
+                anomalies
+            in
+            let latest =
+              match List.rev s.sr_points with [] -> nan | p :: _ -> p.pt_value
+            in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<div class=\"card%s\"><div class=\"m\">%s</div>%s\
+                  <div class=\"v\">latest %s%s · n=%d</div></div>\n"
+                 (if flagged then " flagged" else "")
+                 (html_escape s.sr_metric)
+                 (sparkline s anomalies)
+                 (fmt_num latest)
+                 (if s.sr_unit = "" then ""
+                  else " " ^ html_escape s.sr_unit)
+                 (List.length s.sr_points))
+          end)
+        series;
+      Buffer.add_string buf "</div>\n")
+    groups;
+  Buffer.add_string buf
+    (Printf.sprintf "<footer>generated %s</footer>\n</body></html>\n"
+       (html_escape generated));
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Cross-run trend analytics: generic time-series representation, robust
+    (median-absolute-deviation) anomaly detection, and report rendering.
+    The runner-level driver that knows about [results/history/] lives in
+    [Tce_runner.Trend_data]; this module is data-source agnostic so tests
+    can feed it synthetic histories. *)
+
+type point = { pt_label : string; pt_value : float }
+
+type series = {
+  sr_group : string;  (** e.g. a workload name, or "suite" *)
+  sr_metric : string;  (** e.g. "cycles_on" *)
+  sr_unit : string;  (** display unit, [""] when dimensionless *)
+  sr_points : point list;  (** oldest first *)
+  sr_flag : bool;  (** whether this series participates in detection *)
+}
+
+type anomaly = {
+  an_group : string;
+  an_metric : string;
+  an_label : string;
+  an_value : float;
+  an_median : float;
+  an_sigma : float;  (** robust sigma, 1.4826 x MAD *)
+}
+
+val median : float list -> float
+(** [nan] on the empty list. *)
+
+val mad_sigma : float list -> float
+(** Robust spread estimate: 1.4826 times the median absolute deviation. *)
+
+val detect : ?k:float -> ?rel_floor:float -> series list -> anomaly list
+(** Flag points deviating from the series median by more than
+    [max (k * sigma) (rel_floor * |median|)].  Defaults: [k = 4.0],
+    [rel_floor = 0.001].  Series with [sr_flag = false] or fewer than 4
+    points are skipped.  With a zero MAD (bit-identical deterministic
+    history) any deviation beyond the relative floor flags — which is why
+    an unchanged baseline yields zero anomalies. *)
+
+val text_report : title:string -> series list -> anomaly list -> string
+
+val html_dashboard :
+  title:string -> generated:string -> series list -> anomaly list -> string
+(** Standalone HTML page (inline CSS, inline SVG sparklines, no external
+    assets); anomalous points are marked with red circles. *)

@@ -147,7 +147,11 @@ let test_snapshot_sampling () =
 
 let test_chrome_parse_back () =
   let t, trace = run_traced ~sample:2048 deopt_src in
-  let s = Tce_obs.Sink.render ~format:`Chrome ~snapshot:t.E.snap trace in
+  let s =
+    Tce_obs.Sink.render ~format:`Chrome
+      ~counters:(Tce_telem.Track.chrome_counters t.E.snap)
+      trace
+  in
   let j =
     match J.of_string s with
     | Ok j -> j

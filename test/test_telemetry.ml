@@ -1,0 +1,560 @@
+(* Tests for the fleet-telemetry stack (Tce_telem + Tce_runner.Telem):
+   (a) registry semantics — label sets, idempotent registration, kind
+       mismatches, histogram buckets;
+   (b) OpenMetrics rendering validated by the strict in-repo parser, and
+       the parser rejecting malformed expositions;
+   (c) worker heartbeat round-trip plus torn-line tolerance (a truncated
+       beat must parse as None, never raise);
+   (d) status-board degradation: the non-TTY rendering contains no escape
+       sequences;
+   (e) MAD trend anomaly detection on synthetic histories — an unchanged
+       deterministic history yields zero flags, an outlier flags, jitter
+       under the relative floor is forgiven;
+   (f) the HTTP scrape endpoint served from a live registry;
+   (g) supervision with telemetry taps: the merged row set is identical
+       with events on vs Supervise.null_events, heartbeat lines in the row
+       stream are tolerated, and the written snapshot reconciles completed
+       cells with the scheduled total. *)
+
+open Tce_runner
+module Registry = Tce_telem.Registry
+module Expo = Tce_telem.Expo
+module Heartbeat = Tce_telem.Heartbeat
+module Board = Tce_telem.Board
+module Trends = Tce_telem.Trends
+
+(* --- registry --- *)
+
+let test_registry_counters () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~help:"cells" "tce_test_cells" in
+  Registry.inc c;
+  Registry.inc ~by:2.0 c;
+  Alcotest.(check (option (float 1e-9))) "unlabeled" (Some 3.0)
+    (Registry.value c);
+  (* label order must not split a series *)
+  Registry.inc ~labels:[ ("a", "1"); ("b", "2") ] c;
+  Registry.inc ~labels:[ ("b", "2"); ("a", "1") ] c;
+  Alcotest.(check (option (float 1e-9)))
+    "label order canonical" (Some 2.0)
+    (Registry.value ~labels:[ ("a", "1"); ("b", "2") ] c);
+  Alcotest.(check (option (float 1e-9)))
+    "untouched series" None
+    (Registry.value ~labels:[ ("a", "9") ] c);
+  (* idempotent same-kind registration returns the same family *)
+  let c' = Registry.counter reg "tce_test_cells" in
+  Registry.inc c';
+  Alcotest.(check (option (float 1e-9))) "same family" (Some 4.0)
+    (Registry.value c);
+  (try
+     ignore (Registry.gauge reg "tce_test_cells");
+     Alcotest.fail "kind mismatch accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Registry.counter reg "bad name");
+     Alcotest.fail "bad name accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Registry.inc ~by:(-1.0) c;
+     Alcotest.fail "negative counter inc accepted"
+   with Invalid_argument _ -> ())
+
+let test_registry_null () =
+  Alcotest.(check bool) "null disabled" false (Registry.enabled Registry.null);
+  let c = Registry.counter Registry.null "tce_test_noop" in
+  Registry.inc c;
+  Alcotest.(check (option (float 1e-9))) "null value" None (Registry.value c)
+
+let test_histogram () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg ~buckets:[ 0.5; 1.0 ] "tce_test_wall" in
+  List.iter (Registry.observe h) [ 0.25; 0.75; 3.0 ];
+  (match Registry.histogram_stats h with
+  | None -> Alcotest.fail "no histogram series"
+  | Some (count, sum) ->
+    Alcotest.(check int) "count" 3 count;
+    Alcotest.(check (float 1e-9)) "sum" 4.0 sum);
+  let fams = Expo.Parse.parse (Registry.to_openmetrics reg) in
+  let bucket le =
+    Expo.Parse.sample_value fams ~family:"tce_test_wall"
+      ~sample:"tce_test_wall_bucket" ~labels:[ ("le", le) ]
+  in
+  Alcotest.(check (option (float 1e-9))) "le=0.5" (Some 1.0) (bucket "0.5");
+  Alcotest.(check (option (float 1e-9))) "le=1.0" (Some 2.0) (bucket "1.0");
+  Alcotest.(check (option (float 1e-9))) "le=+Inf" (Some 3.0) (bucket "+Inf");
+  (try
+     ignore (Registry.histogram reg ~buckets:[ 1.0; 0.5 ] "tce_test_bad");
+     Alcotest.fail "non-ascending buckets accepted"
+   with Invalid_argument _ -> ())
+
+(* --- OpenMetrics rendering and the strict parser --- *)
+
+let test_openmetrics_roundtrip () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~help:"done" "tce_done" in
+  let g = Registry.gauge reg ~help:"gauge with \"quotes\"\nand newline" "tce_g" in
+  Registry.inc ~labels:[ ("driver", "bench"); ("shard", "1") ] c;
+  Registry.inc ~labels:[ ("driver", "bench"); ("shard", "2") ] ~by:4.0 c;
+  Registry.set ~labels:[ ("path", "a\\b\"c\nd") ] g 2.5;
+  let text = Registry.to_openmetrics reg in
+  Alcotest.(check bool) "ends with EOF" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n");
+  let fams = Expo.Parse.parse text in
+  Alcotest.(check int) "two families" 2 (List.length fams);
+  Alcotest.(check (option (float 1e-9)))
+    "counter sample" (Some 4.0)
+    (Expo.Parse.sample_value fams ~family:"tce_done" ~sample:"tce_done_total"
+       ~labels:[ ("shard", "2") ]);
+  Alcotest.(check (option (float 1e-9)))
+    "counter sum" (Some 5.0)
+    (Expo.Parse.sum fams ~family:"tce_done" ~sample:"tce_done_total");
+  Alcotest.(check (option (float 1e-9)))
+    "escaped label round-trip" (Some 2.5)
+    (Expo.Parse.sample_value fams ~family:"tce_g" ~sample:"tce_g"
+       ~labels:[ ("path", "a\\b\"c\nd") ])
+
+let expect_bad text =
+  match Expo.Parse.parse_result text with
+  | Ok _ -> Alcotest.failf "parser accepted malformed exposition:\n%s" text
+  | Error _ -> ()
+
+let test_parser_rejects () =
+  expect_bad "# TYPE a counter\na_total 1\n";
+  (* no # EOF *)
+  expect_bad "# TYPE a counter\na 1\n# EOF\n";
+  (* counter without _total *)
+  expect_bad "a_total 1\n# EOF\n";
+  (* sample before # TYPE *)
+  expect_bad
+    "# TYPE h histogram\nh_bucket{le=\"1.0\"} 5\nh_bucket{le=\"+Inf\"} 3\n\
+     h_sum 1\nh_count 3\n# EOF\n";
+  (* non-cumulative buckets *)
+  expect_bad
+    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n# EOF\n"
+(* _count disagrees with +Inf *)
+
+(* --- heartbeats --- *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_heartbeat_roundtrip () =
+  let path = Filename.temp_file "tce-telem-beat" ".jsonl" in
+  let oc = open_out path in
+  let e = Heartbeat.emitter ~slot:3 ~total:2 ~out:oc in
+  Heartbeat.beat_start e ~index:0 ~name:"cell-0";
+  Heartbeat.beat_cell_done e;
+  Heartbeat.beat_start e ~index:1 ~name:"cell-1";
+  Heartbeat.beat_cell_done e;
+  Heartbeat.beat_done e;
+  close_out oc;
+  let beats =
+    List.map
+      (fun line ->
+        match Heartbeat.of_line line with
+        | Some b -> b
+        | None -> Alcotest.failf "unparseable beat: %s" line)
+      (read_lines path)
+  in
+  Alcotest.(check int) "beat count" 5 (List.length beats);
+  List.iter
+    (fun (b : Heartbeat.t) ->
+      Alcotest.(check int) "slot" 3 b.Heartbeat.slot;
+      Alcotest.(check int) "total" 2 b.Heartbeat.cells_total)
+    beats;
+  let seqs = List.map (fun (b : Heartbeat.t) -> b.Heartbeat.seq) beats in
+  Alcotest.(check bool) "seq strictly increasing" true
+    (List.for_all2 ( < ) (List.filteri (fun i _ -> i < 4) seqs) (List.tl seqs));
+  let first = List.nth beats 0 and last = List.nth beats 4 in
+  Alcotest.(check string) "first names its cell" "cell-0" first.Heartbeat.name;
+  Alcotest.(check int) "first in flight" 0 first.Heartbeat.index;
+  Alcotest.(check int) "all cells done" 2 last.Heartbeat.cells_done;
+  Alcotest.(check int) "idle at the end" (-1) last.Heartbeat.index;
+  Sys.remove path
+
+let test_heartbeat_torn () =
+  let line =
+    Heartbeat.to_line
+      {
+        Heartbeat.slot = 1;
+        seq = 7;
+        cells_done = 1;
+        cells_total = 4;
+        index = 2;
+        name = "crypto";
+        rate = 0.8;
+        at = 1700000000.0;
+      }
+  in
+  (match Heartbeat.of_line line with
+  | Some b ->
+    Alcotest.(check int) "slot survives" 1 b.Heartbeat.slot;
+    Alcotest.(check string) "name survives" "crypto" b.Heartbeat.name
+  | None -> Alcotest.fail "complete beat did not parse");
+  (* every proper prefix is a torn line: must be None, never an exception *)
+  for len = 0 to String.length line - 1 do
+    match Heartbeat.of_line (String.sub line 0 len) with
+    | None -> ()
+    | Some _ -> Alcotest.failf "torn prefix of length %d parsed" len
+  done;
+  Alcotest.(check bool) "other envelope kinds rejected" true
+    (Heartbeat.of_line "{\"schema\":5,\"kind\":\"bench-row\"}" = None)
+
+(* --- status board --- *)
+
+let board_rows =
+  [
+    {
+      Board.r_slot = 1;
+      r_state = "run";
+      r_cell = "richards";
+      r_done = 3;
+      r_total = 9;
+      r_retries = 0;
+      r_rate = 1.5;
+    };
+    {
+      Board.r_slot = 2;
+      r_state = "retry";
+      r_cell = "";
+      r_done = 2;
+      r_total = 9;
+      r_retries = 1;
+      r_rate = 0.0;
+    };
+  ]
+
+let test_board_render () =
+  let plain = Board.render ~tty:false ~summary:"bench 5/18 cells" board_rows in
+  Alcotest.(check bool) "no escapes when not a TTY" false
+    (String.contains plain '\027');
+  Alcotest.(check bool) "single plain line" true
+    (String.index_opt plain '\n' = None);
+  Alcotest.(check bool) "summary present" true
+    Astring.String.(is_infix ~affix:"bench 5/18 cells" plain);
+  let tty = Board.render ~tty:true ~summary:"bench 5/18 cells" board_rows in
+  Alcotest.(check bool) "TTY frame has per-slot rows" true
+    Astring.String.(is_infix ~affix:"richards" tty);
+  Alcotest.(check bool) "TTY frame shows retries" true
+    Astring.String.(is_infix ~affix:"retries=1" tty)
+
+(* --- trend anomaly detection --- *)
+
+let series ?(flag = true) group metric values =
+  {
+    Trends.sr_group = group;
+    sr_metric = metric;
+    sr_unit = "";
+    sr_flag = flag;
+    sr_points =
+      List.mapi
+        (fun i v -> { Trends.pt_label = Printf.sprintf "run-%d" i; pt_value = v })
+        values;
+  }
+
+let test_trends_detect () =
+  (* bit-identical deterministic history: zero flags *)
+  Alcotest.(check int) "unchanged baseline" 0
+    (List.length (Trends.detect [ series "w" "cycles" [ 100.; 100.; 100.; 100.; 100. ] ]));
+  (* one outlier over a zero-MAD history flags *)
+  let anomalies =
+    Trends.detect [ series "w" "cycles" [ 100.; 100.; 100.; 100.; 150. ] ]
+  in
+  (match anomalies with
+  | [ a ] ->
+    Alcotest.(check string) "anomaly group" "w" a.Trends.an_group;
+    Alcotest.(check string) "anomaly label" "run-4" a.Trends.an_label;
+    Alcotest.(check (float 1e-9)) "anomaly value" 150.0 a.Trends.an_value
+  | l -> Alcotest.failf "expected exactly one anomaly, got %d" (List.length l));
+  (* jitter under the relative floor is forgiven even with zero MAD *)
+  Alcotest.(check int) "sub-floor jitter" 0
+    (List.length
+       (Trends.detect [ series "w" "pct" [ 100.; 100.; 100.; 100.; 100.05 ] ]));
+  (* noisy series: a far outlier flags, in-band noise does not *)
+  Alcotest.(check int) "noisy outlier" 1
+    (List.length
+       (Trends.detect [ series "w" "wall" [ 10.; 12.; 11.; 13.; 11.; 60. ] ]));
+  (* short and unflagged series are skipped *)
+  Alcotest.(check int) "too short" 0
+    (List.length (Trends.detect [ series "w" "cycles" [ 1.; 99.; 1. ] ]));
+  Alcotest.(check int) "informational series" 0
+    (List.length
+       (Trends.detect [ series ~flag:false "w" "wall" [ 1.; 1.; 1.; 1.; 99. ] ]))
+
+let test_trends_report () =
+  let ss =
+    [
+      series "richards" "cycles_on" [ 100.; 100.; 100.; 100.; 150. ];
+      series ~flag:false "suite" "host_wall_seconds" [ 1.0; 1.1; 0.9; 1.0; 1.2 ];
+    ]
+  in
+  let anomalies = Trends.detect ss in
+  let txt = Trends.text_report ~title:"synthetic" ss anomalies in
+  Alcotest.(check bool) "text flags the outlier" true
+    Astring.String.(is_infix ~affix:"ANOMALY" txt);
+  let clean =
+    Trends.text_report ~title:"synthetic"
+      [ series "w" "cycles" [ 1.; 1.; 1.; 1. ] ]
+      []
+  in
+  Alcotest.(check bool) "clean report says so" true
+    Astring.String.(is_infix ~affix:"No anomalies detected." clean);
+  let html = Trends.html_dashboard ~title:"a<b" ~generated:"t" ss anomalies in
+  Alcotest.(check bool) "sparkline svg" true
+    Astring.String.(is_infix ~affix:"<svg" html);
+  Alcotest.(check bool) "title escaped" true
+    Astring.String.(is_infix ~affix:"a&lt;b" html)
+
+(* --- HTTP scrape endpoint --- *)
+
+let http_get ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let test_serve_metrics () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "tce_scraped" in
+  Registry.inc ~by:7.0 c;
+  match
+    Expo.Server.start ~port:0 ~body:(fun () -> Registry.to_openmetrics reg) ()
+  with
+  | Error e -> Alcotest.failf "scrape endpoint failed to bind: %s" e
+  | Ok server ->
+    Fun.protect
+      ~finally:(fun () -> Expo.Server.stop server)
+      (fun () ->
+        let response = http_get ~port:(Expo.Server.port server) in
+        Alcotest.(check bool) "200 OK" true
+          Astring.String.(is_infix ~affix:"200 OK" response);
+        Alcotest.(check bool) "openmetrics content type" true
+          Astring.String.(is_infix ~affix:"application/openmetrics-text" response);
+        let body =
+          match Astring.String.cut ~sep:"\r\n\r\n" response with
+          | Some (_, body) -> body
+          | None -> Alcotest.fail "no header/body separator"
+        in
+        let fams = Expo.Parse.parse body in
+        Alcotest.(check (option (float 1e-9)))
+          "scraped value" (Some 7.0)
+          (Expo.Parse.sum fams ~family:"tce_scraped" ~sample:"tce_scraped_total"))
+
+(* --- supervision with telemetry taps --- *)
+
+let log_dir =
+  Filename.concat (Filename.get_temp_dir_name ()) "tce-telemetry-test-logs"
+
+let cfg =
+  {
+    Supervise.default_config with
+    Supervise.cell_timeout_s = 5.0;
+    backoff_base_s = 0.01;
+    backoff_cap_s = 0.05;
+    verbose = false;
+  }
+
+let tasks n =
+  List.init n (fun i ->
+      {
+        Supervise.t_index = i;
+        t_name = Printf.sprintf "cell-%d" i;
+        t_cost = None;
+      })
+
+let parse line =
+  match String.index_opt line ':' with
+  | None -> Error "no colon"
+  | Some k -> (
+    match int_of_string_opt (String.sub line 0 k) with
+    | Some i -> Ok (i, String.sub line (k + 1) (String.length line - k - 1))
+    | None -> Error "bad index")
+
+let to_line i v = Printf.sprintf "%d:%s" i v
+let sh script = [| "sh"; "-c"; script |]
+let echoes indices = List.map (fun i -> Printf.sprintf "echo %d:v%d" i i) indices
+
+let clean_argv ~slot:_ ~attempt:_ indices =
+  sh (String.concat "; " (echoes indices))
+
+let run_sh ?events ~shards ~argv n =
+  Supervise.run ~exe:"/bin/sh" ?events ~config:cfg ~shards ~log_dir
+    ~argv_of_indices:argv ~parse ~to_line (tasks n)
+
+let rows_t = Alcotest.(list (pair int string))
+let sorted o = List.sort compare o.Supervise.rows
+let complete n = List.init n (fun i -> (i, Printf.sprintf "v%d" i))
+
+let expect_ok = function
+  | Ok o -> o
+  | Error e -> Alcotest.failf "supervised run failed: %s" e
+
+let make_telem ?out ~total () =
+  match
+    Telem.create ~driver:"bench" ~total
+      { Telem.out; serve = None; board = false }
+  with
+  | Ok (Some t) -> t
+  | Ok None -> Alcotest.fail "telemetry unexpectedly disabled"
+  | Error e -> Alcotest.failf "telemetry setup failed: %s" e
+
+let test_rows_identical_with_telemetry () =
+  let plain = expect_ok (run_sh ~shards:2 ~argv:clean_argv 6) in
+  let snap = Filename.temp_file "tce-telem-snap" ".prom" in
+  let t = make_telem ~out:snap ~total:6 () in
+  let observed =
+    expect_ok (run_sh ~events:(Telem.events t) ~shards:2 ~argv:clean_argv 6)
+  in
+  Telem.finish t;
+  Sys.remove snap;
+  Alcotest.check rows_t "identical row sets" (sorted plain) (sorted observed);
+  Alcotest.check rows_t "complete" (complete 6) (sorted observed)
+
+let test_heartbeats_tolerated_in_stream () =
+  let beat =
+    Heartbeat.to_line
+      {
+        Heartbeat.slot = 1;
+        seq = 0;
+        cells_done = 0;
+        cells_total = 3;
+        index = 0;
+        name = "cell-0";
+        rate = 0.5;
+        at = 0.0;
+      }
+  in
+  let argv ~slot:_ ~attempt:_ indices =
+    sh (Printf.sprintf "echo '%s'; %s" beat (String.concat "; " (echoes indices)))
+  in
+  (* without telemetry the beats are silently skipped, not treated as
+     garbage: no kills, full row set *)
+  let plain = expect_ok (run_sh ~shards:2 ~argv 6) in
+  Alcotest.(check int) "no respawns" 0 plain.Supervise.respawns;
+  Alcotest.check rows_t "rows intact" (complete 6) (sorted plain);
+  (* with telemetry the beat lands in the worker gauges *)
+  let snap = Filename.temp_file "tce-telem-snap" ".prom" in
+  let t = make_telem ~out:snap ~total:6 () in
+  let observed = expect_ok (run_sh ~events:(Telem.events t) ~shards:2 ~argv 6) in
+  Alcotest.check rows_t "rows intact with taps" (complete 6) (sorted observed);
+  let fams = Expo.Parse.parse (Telem.snapshot t) in
+  Alcotest.(check (option (float 1e-9)))
+    "heartbeat rate gauge" (Some 0.5)
+    (Expo.Parse.sample_value fams ~family:"tce_worker_cells_per_sec"
+       ~sample:"tce_worker_cells_per_sec" ~labels:[ ("shard", "1") ]);
+  Telem.finish t;
+  Sys.remove snap
+
+let test_snapshot_reconciles () =
+  let snap = Filename.temp_file "tce-telem-snap" ".prom" in
+  let t = make_telem ~out:snap ~total:8 () in
+  let o =
+    expect_ok (run_sh ~events:(Telem.events t) ~shards:3 ~argv:clean_argv 8)
+  in
+  Telem.finish t;
+  Alcotest.check rows_t "rows complete" (complete 8) (sorted o);
+  let fams = Expo.Parse.parse (read_lines snap |> String.concat "\n" |> fun s -> s ^ "\n") in
+  let v family sample labels =
+    Expo.Parse.sample_value fams ~family ~sample ~labels
+  in
+  Alcotest.(check (option (float 1e-9)))
+    "scheduled" (Some 8.0)
+    (v "tce_cells_scheduled" "tce_cells_scheduled" [ ("driver", "bench") ]);
+  Alcotest.(check (option (float 1e-9)))
+    "completed reconciles with scheduled" (Some 8.0)
+    (Expo.Parse.sum fams ~family:"tce_cells_completed"
+       ~sample:"tce_cells_completed_total");
+  Alcotest.(check (option (float 1e-9)))
+    "eta drained" (Some 0.0)
+    (v "tce_run_eta_seconds" "tce_run_eta_seconds" [ ("driver", "bench") ]);
+  Sys.remove snap
+
+(* Satellite of the telemetry PR: per-shard stderr logs are captured
+   through a parent-side pipe and every line is prefixed with a UTC
+   timestamp, so multi-worker logs interleave chronologically. *)
+let test_shard_logs_utc_stamped () =
+  let argv ~slot:_ ~attempt:_ indices =
+    sh
+      (Printf.sprintf "echo warn: something odd >&2; %s"
+         (String.concat "; " (echoes indices)))
+  in
+  let o = expect_ok (run_sh ~shards:1 ~argv 2) in
+  Alcotest.check rows_t "rows intact" (complete 2) (sorted o);
+  let lines = read_lines (Filename.concat log_dir "shard-1.log") in
+  Alcotest.(check int) "one stderr line" 1 (List.length lines);
+  let line = List.hd lines in
+  Alcotest.(check bool) "UTC stamp prefix" true
+    (String.length line > 25
+    && line.[4] = '-'
+    && line.[7] = '-'
+    && line.[10] = 'T'
+    && line.[23] = 'Z'
+    && Astring.String.is_suffix ~affix:"warn: something odd" line)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counters and labels" `Quick test_registry_counters;
+          Alcotest.test_case "null registry" `Quick test_registry_null;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "render/parse round-trip" `Quick
+            test_openmetrics_roundtrip;
+          Alcotest.test_case "parser rejects malformed" `Quick
+            test_parser_rejects;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "emitter round-trip" `Quick test_heartbeat_roundtrip;
+          Alcotest.test_case "torn lines degrade to None" `Quick
+            test_heartbeat_torn;
+        ] );
+      ( "board",
+        [ Alcotest.test_case "non-TTY degradation" `Quick test_board_render ] );
+      ( "trends",
+        [
+          Alcotest.test_case "MAD detection" `Quick test_trends_detect;
+          Alcotest.test_case "reports" `Quick test_trends_report;
+        ] );
+      ( "expose",
+        [ Alcotest.test_case "HTTP scrape" `Quick test_serve_metrics ] );
+      ( "supervised",
+        [
+          Alcotest.test_case "rows identical with telemetry" `Quick
+            test_rows_identical_with_telemetry;
+          Alcotest.test_case "heartbeats tolerated mid-stream" `Quick
+            test_heartbeats_tolerated_in_stream;
+          Alcotest.test_case "snapshot reconciles" `Quick
+            test_snapshot_reconciles;
+          Alcotest.test_case "shard logs UTC-stamped" `Quick
+            test_shard_logs_utc_stamped;
+        ] );
+    ]
