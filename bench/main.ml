@@ -39,7 +39,22 @@
          --deterministic strips the host-dependent fields (timestamps,
          wall clocks, jobs/shards) from the saved run so two runs of the
          same tree compare with cmp(1))
-      Any runner-backed mode (--bench / --faults / --check) also takes
+      dune exec bench/main.exe -- --sweep "cc.entries=32,64,128,256 cc.ways=1,2,4 cl.size=4,8"
+          [--jobs N | --shards N] [--out FILE] [--csv FILE] [--dir DIR]
+          [--resume FILE] [--deterministic] [--suite ...] [WORKLOAD ...]
+        (design-space explorer: expand the geometry grid — Class Cache
+         entries/ways, Class List size; an absent axis sweeps only its
+         paper default — run every (point x workload) cell and report the
+         Pareto frontier over simulated cycles, check removal and a
+         geometry cost proxy. Writes SWEEP_latest.json + .csv and an
+         immutable copy under results/sweeps/. Exits non-zero when the
+         default geometry's rows are not bit-identical to the committed
+         baseline)
+      Any runner-backed mode (--bench / --faults / --check / --sweep)
+      consults the content-addressed cell cache (results/cache/) by
+      default: a repeated identical run performs zero simulations, with
+      rows asserted byte-identical to fresh ones. --no-cache disables
+      it, --cache-dir DIR relocates it. They also take
       the fleet-telemetry flags: --telemetry-out FILE (periodic
       OpenMetrics snapshots), --serve-metrics PORT (HTTP scrape endpoint,
       0 = ephemeral; the bound port is announced on stderr) and
@@ -296,6 +311,28 @@ let supervise_config opts =
       opt_int opts "max-retries" ~default:d.Tce_runner.Supervise.max_retries;
   }
 
+(* `--no-cache` / `--cache-dir DIR`: every runner-backed mode consults the
+   content-addressed cell cache by default (results/cache/) — a repeated
+   identical run performs zero simulations. [--no-cache] disables it,
+   [--cache-dir] relocates it (tests, CI isolation). *)
+let make_cache opts =
+  match Hashtbl.find_opt opts "cache-dir" with
+  | Some dir -> Tce_runner.Cache.create ~dir ()
+  | None -> Tce_runner.Cache.create ()
+
+(* Shared post-run bookkeeping: one stats line to stdout, the telemetry
+   counters, and the size-bounded LRU prune. *)
+let finish_cache ?telem cache =
+  match cache with
+  | None -> ()
+  | Some c ->
+    let s = Tce_runner.Cache.stats c in
+    Tce_runner.Cache.print_stats s;
+    (match telem with
+    | Some t -> Tce_runner.Telem.cache_stats t s
+    | None -> ());
+    ignore (Tce_runner.Cache.prune ~dir:(Tce_runner.Cache.dir c) ())
+
 (* `--worker-indices i,j,k` (hidden worker mode, spawned by the supervised
    parent): the explicit cell indices this worker must run, in order. *)
 let parse_indices s =
@@ -382,6 +419,8 @@ let run_bench args =
   let deterministic = det_args <> [] in
   let strict_args, args = List.partition (fun a -> a = "--strict") args in
   let strict = strict_args <> [] in
+  let nc_args, args = List.partition (fun a -> a = "--no-cache") args in
+  let no_cache = nc_args <> [] in
   let nt_args, args = List.partition (fun a -> a = "--no-templates") args in
   let config =
     (* template execution is bit-identical, so this only changes host wall
@@ -421,7 +460,7 @@ let run_bench args =
     parse_flags
       ([ "jobs"; "out"; "history"; "suite"; "shards"; "shard"; "worker-indices";
          "chaos"; "supervise-timeout"; "max-retries"; "resume"; "chaos-worker";
-         "chaos-seed" ]
+         "chaos-seed"; "cache-dir" ]
       @ telem_flags)
       args
   in
@@ -456,11 +495,17 @@ let run_bench args =
     usage_fail "--attr/--profile are not supported with --shards (run them serially)";
   let resume = Hashtbl.find_opt opts "resume" in
   let telem = make_telem ~driver:"bench" ~total:(List.length ws) ~board opts in
+  let chaos = parse_parent_chaos opts in
+  (* chaos drills exist to exercise live workers, so an armed chaos
+     harness disables the cell cache (a warm cache would pre-resolve the
+     cells the fault was aimed at) *)
+  let cache =
+    if no_cache || chaos <> None then None else Some (make_cache opts)
+  in
   let run =
     if shards > 1 || resume <> None then
       Tce_runner.Shard.bench_parent ~shards
-        ~supervise:(supervise_config opts) ?resume
-        ?chaos:(parse_parent_chaos opts) ?telem
+        ~supervise:(supervise_config opts) ?resume ?chaos ?telem ?config ?cache
         ~worker_args:(if Option.is_none config then [] else [ "--no-templates" ])
         ws
     else
@@ -470,8 +515,9 @@ let run_bench args =
             Tce_runner.Telem.cell_done t ~name:w.Tce_runner.Record.name)
           telem
       in
-      Tce_runner.Runner.run_suite ?config ~jobs ?on_row ws
+      Tce_runner.Runner.run_suite ?cache ?config ~jobs ?on_row ws
   in
+  finish_cache ?telem cache;
   Option.iter Tce_runner.Telem.finish telem;
   let run = if deterministic then Tce_runner.Record.normalize_run run else run in
   let latest =
@@ -594,11 +640,13 @@ let run_faults args =
   let strict = strict_args <> [] in
   let board_args, args = List.partition (fun a -> a = "--status-board") args in
   let board = board_args <> [] in
+  let nc_args, args = List.partition (fun a -> a = "--no-cache") args in
+  let no_cache = nc_args <> [] in
   let opts, names =
     parse_flags
       ([ "jobs"; "fault-seed"; "fault-spec"; "out"; "dir"; "suite"; "shards";
          "shard"; "worker-indices"; "chaos"; "supervise-timeout"; "max-retries";
-         "resume"; "chaos-worker"; "chaos-seed" ]
+         "resume"; "chaos-worker"; "chaos-seed"; "cache-dir" ]
       @ telem_flags)
       args
   in
@@ -666,7 +714,13 @@ let run_faults args =
                    c.Tce_runner.Campaign.point))
           telem
       in
-      Tce_runner.Campaign.run ~spec ~seed ~jobs ?on_cell ws
+      (* the cell cache serves the in-process path only (the sharded
+         parent's workers re-simulate; its cells are rare enough that a
+         pre-resolution pass has not been worth the plumbing) *)
+      let cache = if no_cache then None else Some (make_cache opts) in
+      let campaign = Tce_runner.Campaign.run ?cache ~spec ~seed ~jobs ?on_cell ws in
+      finish_cache ?telem cache;
+      campaign
   in
   Option.iter Tce_runner.Telem.finish telem;
   let latest =
@@ -681,6 +735,110 @@ let run_faults args =
   Tce_runner.Campaign.print_summary campaign;
   Printf.printf "wrote %s (archive: %s)\n" latest archive;
   exit (Tce_runner.Campaign.exit_code ~strict campaign)
+
+(* `--sweep "cc.entries=... cc.ways=... cl.size=..."`: the design-space
+   explorer — expand the geometry grid, run the (point × workload) cell
+   matrix (in-process or supervised across --shards N workers), and
+   report the Pareto frontier. Cells flow through the cell cache, so a
+   repeated sweep performs zero simulations and changing one axis value
+   re-simulates only that axis's cells. *)
+let run_sweep args =
+  let spec_str, args =
+    match args with
+    | spec :: rest when String.length spec < 2 || String.sub spec 0 2 <> "--" ->
+      (spec, rest)
+    | _ ->
+      usage_fail
+        "--sweep needs a spec string (e.g. \"cc.entries=64,128 cc.ways=1,2\")"
+  in
+  let board_args, args = List.partition (fun a -> a = "--status-board") args in
+  let board = board_args <> [] in
+  let det_args, args = List.partition (fun a -> a = "--deterministic") args in
+  let deterministic = det_args <> [] in
+  let nc_args, args = List.partition (fun a -> a = "--no-cache") args in
+  let no_cache = nc_args <> [] in
+  let strict_args, args = List.partition (fun a -> a = "--strict") args in
+  let strict = strict_args <> [] in
+  let opts, names =
+    parse_flags
+      ([ "jobs"; "out"; "csv"; "dir"; "suite"; "shards"; "worker-indices";
+         "supervise-timeout"; "max-retries"; "resume"; "cache-dir" ]
+      @ telem_flags)
+      args
+  in
+  let axes =
+    match Tce_runner.Sweep.parse_spec spec_str with
+    | Ok a -> a
+    | Error e -> usage_fail ("bad --sweep spec: " ^ e)
+  in
+  let suite = Option.value ~default:"all" (Hashtbl.find_opt opts "suite") in
+  let ws = resolve_workloads ~suite names in
+  (* Hidden worker mode (spawned by the supervised parent): run the
+     assigned matrix cells, sweep-cell envelopes on stdout. *)
+  (match Hashtbl.find_opt opts "worker-indices" with
+  | None -> ()
+  | Some s ->
+    let indices = parse_indices s in
+    Tce_runner.Sweep.worker_indices
+      ?beat:(worker_beat opts ~indices)
+      ~axes ~indices ~out:stdout ws;
+    exit 0);
+  let jobs = opt_int opts "jobs" ~default:(Tce_runner.Runner.default_jobs ()) in
+  let shards = opt_int opts "shards" ~default:1 in
+  if shards < 1 then usage_fail "--shards expects a positive integer";
+  let resume = Hashtbl.find_opt opts "resume" in
+  let points, _ = Tce_runner.Sweep.expand axes in
+  if points = [] then usage_fail "empty sweep grid (every combination invalid)";
+  let total = List.length points * List.length ws in
+  let telem = make_telem ~driver:"sweep" ~total ~board opts in
+  let cache = if no_cache then None else Some (make_cache opts) in
+  let sweep =
+    if shards > 1 || resume <> None then
+      Tce_runner.Sweep.parent ~supervise:(supervise_config opts) ?resume ?telem
+        ?cache ~shards ~worker_args:[] ~axes ws
+    else
+      let on_row =
+        Option.map
+          (fun t (w : Tce_runner.Record.workload) ->
+            Tce_runner.Telem.cell_done t ~name:w.Tce_runner.Record.name)
+          telem
+      in
+      Tce_runner.Sweep.run ?cache ~jobs ?on_row ~axes ws
+  in
+  finish_cache ?telem cache;
+  Option.iter Tce_runner.Telem.finish telem;
+  let sweep =
+    if deterministic then Tce_runner.Sweep.normalize sweep else sweep
+  in
+  print_string (Tce_runner.Sweep.report sweep);
+  let latest =
+    Option.value ~default:Tce_runner.Store.sweep_latest_path
+      (Hashtbl.find_opt opts "out")
+  in
+  let dir =
+    Option.value ~default:Tce_runner.Store.sweeps_dir
+      (Hashtbl.find_opt opts "dir")
+  in
+  let archive = Tce_runner.Sweep.save ~latest ~dir sweep in
+  let csv_path =
+    Option.value
+      ~default:(Filename.remove_extension latest ^ ".csv")
+      (Hashtbl.find_opt opts "csv")
+  in
+  let oc = open_out csv_path in
+  output_string oc (Tce_runner.Sweep.to_csv sweep);
+  close_out oc;
+  Printf.printf "wrote %s (archive: %s) and %s\n" latest archive csv_path;
+  if strict && sweep.Tce_runner.Sweep.quarantined <> [] then begin
+    Printf.eprintf "sweep: --strict and %d cell(s) quarantined\n"
+      (List.length sweep.Tce_runner.Sweep.quarantined);
+    exit 1
+  end;
+  (* a default-point row differing from the committed baseline is a real
+     regression, not a reporting detail *)
+  match Tce_runner.Sweep.baseline_check sweep with
+  | Ok _ -> exit 0
+  | Error _ -> exit 1
 
 (* `--trends [N]`: cross-run trend report over the archived history. *)
 let run_trends args =
@@ -701,10 +859,12 @@ let run_trends args =
 let run_check args =
   let board_args, args = List.partition (fun a -> a = "--status-board") args in
   let board = board_args <> [] in
+  let nc_args, args = List.partition (fun a -> a = "--no-cache") args in
+  let no_cache = nc_args <> [] in
   let opts, names =
     parse_flags
       ([ "baseline"; "tolerance"; "jobs"; "shards"; "supervise-timeout";
-         "max-retries" ]
+         "max-retries"; "cache-dir" ]
       @ telem_flags)
       args
   in
@@ -721,16 +881,18 @@ let run_check args =
   (* The gate sizes the roster itself ({!Tce_runner.Telem.set_total}),
      so the scheduled total starts at 0 here. *)
   let telem = make_telem ~driver:"gate" ~total:0 ~board opts in
+  let cache = if no_cache then None else Some (make_cache opts) in
   let runner =
     if shards > 1 then
       Some
         (fun roster ->
           Tce_runner.Shard.bench_parent ~shards
-            ~supervise:(supervise_config opts) ?telem ~worker_args:[] roster)
+            ~supervise:(supervise_config opts) ?telem ?cache ~worker_args:[]
+            roster)
     else None
   in
   let code =
-    Tce_runner.Gate.run_gate ~baseline_path ~tolerance_pct ~jobs ~names
+    Tce_runner.Gate.run_gate ~baseline_path ~tolerance_pct ?cache ~jobs ~names
       ?runner ?telem ()
   in
   Option.iter Tce_runner.Telem.finish telem;
@@ -744,6 +906,7 @@ let () =
   | "--bench" :: rest -> run_bench rest
   | "--check" :: rest -> run_check rest
   | "--faults" :: rest -> run_faults rest
+  | "--sweep" :: rest -> run_sweep rest
   | "--profile-diff" :: rest -> run_profile_diff rest
   | "--trends" :: rest -> run_trends rest
   | "--metrics-json" :: path :: rest ->

@@ -29,10 +29,20 @@ type entry = {
 (** Bytes of simulated memory charged per entry (maps + props + tag word). *)
 let entry_bytes = 16
 
+(** Hardware-geometry knob: how many property positions per line the Class
+    List tracks (the paper's design uses all 7; a cheaper design could
+    profile fewer per-line slots and let the rest fall back to checked
+    execution). Positions above [tracked_positions] are never profiled,
+    never claimed monomorphic, and never speculated on. *)
+type config = { tracked_positions : int }
+
+let default_config = { tracked_positions = 7 }
+
 type t = {
   entries : entry option array;  (** 2^16, lazily materialized *)
   base_addr : int;  (** base of the Class List region in simulated memory *)
   mem : Tce_vm.Mem.t;
+  tracked : int;  (** positions 1..tracked are profiled; the rest are inert *)
   mutable parent_of : int -> int option;
       (** transition parent of a ClassID (set by the runtime) *)
   mutable children_of : int -> int list;
@@ -44,7 +54,9 @@ let index ~classid ~line =
   if line < 0 || line > 0xff then invalid_arg "Class_list: line out of range";
   (classid lsl 8) lor line
 
-let create mem =
+let create ?(config = default_config) mem =
+  if config.tracked_positions < 1 || config.tracked_positions > 7 then
+    invalid_arg "Class_list.create: tracked_positions must be in 1..7";
   let base_addr =
     Tce_vm.Mem.allocate mem ~bytes:(65536 * entry_bytes) ~align:64
   in
@@ -52,9 +64,16 @@ let create mem =
     entries = Array.make 65536 None;
     base_addr;
     mem;
+    tracked = config.tracked_positions;
     parent_of = (fun _ -> None);
     children_of = (fun _ -> []);
   }
+
+(** How many positions per line this instance profiles. *)
+let tracked t = t.tracked
+
+(** Is [pos] within this instance's profiled range? *)
+let is_tracked t ~pos = pos >= 1 && pos <= t.tracked
 
 (** Simulated address of the entry (for charging miss traffic). *)
 let entry_addr t ~classid ~line = t.base_addr + (index ~classid ~line * entry_bytes)
@@ -96,6 +115,8 @@ let find t ~classid ~line = t.entries.(index ~classid ~line)
     materialize the entry so transition-parent profiles are inherited even
     for classes whose own lines were never stored to. *)
 let is_monomorphic t ~classid ~line ~pos =
+  is_tracked t ~pos
+  &&
   let e = entry t ~classid ~line in
   Bytemap.get e.init_map pos && Bytemap.get e.valid_map pos
 
@@ -103,12 +124,14 @@ let is_monomorphic t ~classid ~line ~pos =
     valid — the paper emits special stores for any slot "still considered
     monomorphic".) *)
 let is_valid t ~classid ~line ~pos =
-  Bytemap.get (entry t ~classid ~line).valid_map pos
+  is_tracked t ~pos && Bytemap.get (entry t ~classid ~line).valid_map pos
 
 (** Like {!is_valid} but non-materializing: absent entries are vacuously
     valid. Used by the engine's retire-path invariant check, which must not
     perturb lazy parent-inheritance by materializing entries. *)
 let is_valid_peek t ~classid ~line ~pos =
+  is_tracked t ~pos
+  &&
   match t.entries.(index ~classid ~line) with
   | None -> true
   | Some e -> Bytemap.get e.valid_map pos
@@ -121,6 +144,8 @@ let is_valid_peek t ~classid ~line ~pos =
     check to cross-examine the Class List against the ground-truth
     oracle. *)
 let claimed_class_peek t ~classid ~line ~pos =
+  if not (is_tracked t ~pos) then None
+  else
   let rec walk classid =
     match t.entries.(index ~classid ~line) with
     | Some e ->
@@ -210,7 +235,8 @@ type update_outcome =
     [value_classid] into slot [pos] of [classid]/[line]: the *semantic*
     update of one entry. *)
 let update t ~classid ~line ~pos ~value_classid =
-  if pos < 1 || pos > 7 then invalid_arg "Class_list.update: pos must be in 1..7";
+  if pos < 1 || pos > t.tracked then
+    invalid_arg "Class_list.update: pos must be in 1..tracked_positions";
   let e = entry t ~classid ~line in
   if not (Bytemap.get e.init_map pos) then begin
     e.init_map <- Bytemap.set e.init_map pos;
@@ -262,7 +288,7 @@ let retire_value_class t ~value_classid =
     (fun i -> function
       | None -> ()
       | Some e ->
-        for pos = 1 to 7 do
+        for pos = 1 to t.tracked do
           if
             Bytemap.get e.init_map pos
             && Bytemap.get e.valid_map pos

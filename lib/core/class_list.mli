@@ -21,10 +21,20 @@ type entry = {
   func_lists : int list array;  (** per position: speculating opt-code ids *)
 }
 
+(** Hardware-geometry knob: how many property positions per line the Class
+    List profiles. The paper's design tracks all 7; smaller values model a
+    cheaper structure where positions above the limit stay fully checked.
+    Must be in 1..7. *)
+type config = { tracked_positions : int }
+
+val default_config : config
+(** [{ tracked_positions = 7 }] — the paper's geometry. *)
+
 type t = {
   entries : entry option array;  (** 2^16, lazily materialized *)
   base_addr : int;  (** base of the region in simulated memory *)
   mem : Tce_vm.Mem.t;
+  tracked : int;  (** positions 1..tracked are profiled; the rest are inert *)
   mutable parent_of : int -> int option;
       (** transition parent of a ClassID (set by the runtime; new entries
           inherit the parent's profiling state) *)
@@ -36,7 +46,14 @@ type t = {
 (** Bytes of simulated memory charged per entry. *)
 val entry_bytes : int
 
-val create : Tce_vm.Mem.t -> t
+val create : ?config:config -> Tce_vm.Mem.t -> t
+(** @raise Invalid_argument if [tracked_positions] is outside 1..7. *)
+
+val tracked : t -> int
+(** How many positions per line this instance profiles. *)
+
+val is_tracked : t -> pos:int -> bool
+(** Is [pos] within this instance's profiled range (1..[tracked t])? *)
 
 (** Simulated address of an entry (miss-traffic accounting). *)
 val entry_addr : t -> classid:int -> line:int -> int
@@ -47,12 +64,14 @@ val entry : t -> classid:int -> line:int -> entry
 
 val find : t -> classid:int -> line:int -> entry option
 
-(** Initialized and still valid: the compiler may speculate on this slot. *)
+(** Initialized and still valid: the compiler may speculate on this slot.
+    Untracked positions (above [tracked t]) are never monomorphic. *)
 val is_monomorphic : t -> classid:int -> line:int -> pos:int -> bool
 
 (** ValidMap bit still set (uninitialized slots are vacuously valid; the
     paper emits special stores for any "still considered monomorphic"
-    slot). *)
+    slot). Untracked positions are never valid — no special store is ever
+    emitted for them. *)
 val is_valid : t -> classid:int -> line:int -> pos:int -> bool
 
 (** Like {!is_valid} but non-materializing (absent entries are vacuously
@@ -100,7 +119,9 @@ type update_outcome =
       (** profile broken; exception iff the SpeculateMap bit was set *)
   | Already_poly  (** ValidMap bit was already 0 *)
 
-(** The paper's Fig. 6 single-entry update for a store event. *)
+(** The paper's Fig. 6 single-entry update for a store event.
+    @raise Invalid_argument when [pos] is outside 1..[tracked t] — callers
+    must gate untracked positions before reaching the Class Cache. *)
 val update : t -> classid:int -> line:int -> pos:int -> value_classid:int ->
   update_outcome
 

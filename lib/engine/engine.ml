@@ -63,6 +63,9 @@ type config = {
   backoff : backoff;  (** deopt-storm mitigation (see {!backoff}) *)
   mach_cfg : Tce_machine.Config.t;
   cc_config : CC.config;
+  cl_config : CL.config;
+      (** Class List geometry (tracked positions per line); part of the
+          benchmark config hash like [cc_config] *)
   seed : int;
   trace : Tce_obs.Trace.t;
       (** observability sink; {!Tce_obs.Trace.null} = tracing off (the
@@ -96,6 +99,7 @@ let default_config =
     backoff = default_backoff;
     mach_cfg = Tce_machine.Config.default;
     cc_config = CC.default_config;
+    cl_config = CL.default_config;
     seed = 42;
     trace = Tce_obs.Trace.null;
     obs_sample_cycles = 0;
@@ -142,7 +146,7 @@ let max_depth = 2000
 
 let create ?(config = default_config) (prog : Bytecode.program) : t =
   let heap = Heap.create () in
-  let cl = CL.create heap.Heap.mem in
+  let cl = CL.create ~config:config.cl_config heap.Heap.mem in
   (* the runtime exposes the transition tree to the Class List so new
      classes inherit profiles and invalidations propagate to descendants *)
   let reg = heap.Heap.reg in
@@ -429,7 +433,10 @@ let detect_stale t oid ~cause =
 let fire_store_event t ~classid ~line ~pos ~value_classid =
   obs_tick t;
   Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid;
-  if t.cfg.mechanism then begin
+  (* Positions beyond the Class List's tracked range are never profiled:
+     the store stays fully checked (the oracle above still records ground
+     truth, so check-removal accounting sees the missed opportunity). *)
+  if t.cfg.mechanism && CL.is_tracked t.cl ~pos then begin
     let r = CC.access t.cc t.cl ~classid ~line ~pos ~value_classid in
     if r.CC.exn_raised then begin
       if measuring t then

@@ -38,6 +38,9 @@ type config = {
   backoff : backoff;  (** deopt-storm mitigation *)
   mach_cfg : Tce_machine.Config.t;
   cc_config : Tce_core.Class_cache.config;
+  cl_config : Tce_core.Class_list.config;
+      (** Class List geometry (tracked positions per line); part of the
+          benchmark config hash like [cc_config] *)
   seed : int;
   trace : Tce_obs.Trace.t;
       (** observability sink; {!Tce_obs.Trace.null} = tracing off (the

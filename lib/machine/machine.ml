@@ -523,7 +523,11 @@ let cc_request_tagged t ~classid ~line ~pos ~stored =
     if t.mechanism then t.reg_classid else Heap.classid_of t.heap stored
   in
   Tce_core.Oracle.record t.oracle ~classid ~line ~pos ~value_classid;
-  if t.mechanism then begin
+  (* Untracked positions never reach the Class Cache: with a reduced Class
+     List geometry the compiler never emits ProfileStore for them, but a
+     stale optimized body may still execute one after a geometry change in
+     tests — treat it as a plain store. *)
+  if t.mechanism && Tce_core.Class_list.is_tracked t.cl ~pos then begin
     let r =
       Tce_core.Class_cache.access t.cc t.cl ~classid ~line ~pos ~value_classid
     in

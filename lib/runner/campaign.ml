@@ -178,39 +178,6 @@ let prep_workloads ~jobs (ws : W.t list) =
       (w.W.name, (reference, clean)))
     ws
 
-let run ?(spec = Spec.default) ?(seed = default_seed) ?jobs ?on_cell
-    (ws : W.t list) : t =
-  let t0 = Unix.gettimeofday () in
-  let jobs =
-    match jobs with Some j -> max 1 j | None -> Runner.default_jobs ()
-  in
-  let prepped = prep_workloads ~jobs ws in
-  (* Phase 2 — the (workload × fault point) matrix. Each cell arms exactly
-     one rule of the base spec, so every outcome is attributable to one
-     fault point. *)
-  let cells =
-    Runner.parallel_map ~jobs
-      (fun ((w : W.t), rule) ->
-        let reference, clean = List.assoc w.W.name prepped in
-        let c = run_cell ~campaign_seed:seed ~reference ~clean w rule in
-        (* observer for telemetry progress; must not affect outcomes *)
-        (match on_cell with None -> () | Some f -> f c);
-        c)
-      (matrix ~spec ws)
-  in
-  {
-    campaign_seed = seed;
-    spec = Spec.to_string spec;
-    git_sha = Store.git_sha ();
-    created_utc = Store.timestamp_utc ();
-    jobs;
-    shards = 1;
-    host_wall_seconds = Unix.gettimeofday () -. t0;
-    cells;
-    quarantined = [];
-    resumed_rows = [];
-  }
-
 let wrong t = List.filter (fun c -> c.outcome = Wrong) t.cells
 
 (* --- persistence --- *)
@@ -251,6 +218,87 @@ let cell_of_json (j : J.t) : (cell, string) result =
         delivered_late; deopts_delta; cycles_delta; outcome; detail;
       }
   | _ -> Error "malformed fault-campaign cell"
+
+(* --- the in-process driver --- *)
+
+let run ?cache ?(spec = Spec.default) ?(seed = default_seed) ?jobs ?on_cell
+    (ws : W.t list) : t =
+  let t0 = Unix.gettimeofday () in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Runner.default_jobs ()
+  in
+  (* Pre-resolve cell-cache hits (cheap serial file reads). A cached cell
+     carries its outcome and deltas in full, so a workload all of whose
+     cells hit needs no reference/clean observations at all — a fully
+     cached campaign performs zero simulations. *)
+  let resolved =
+    List.map
+      (fun ((w : W.t), (rule : Spec.rule)) ->
+        let hit =
+          match cache with
+          | None -> None
+          | Some ca ->
+            let point = Point.name rule.Spec.point in
+            let cseed = cell_seed ~campaign_seed:seed ~workload:w.W.name ~point in
+            let key =
+              Cache.fault_key ~spec:(Spec.to_string [ rule ]) ~seed:cseed w
+            in
+            Option.bind (Cache.find ca ~key) (fun j ->
+                Result.to_option (cell_of_json j))
+        in
+        (w, rule, hit))
+      (matrix ~spec ws)
+  in
+  (* Phase 1 — reference/clean observations, only for workloads that still
+     have at least one cell to simulate. *)
+  let miss_names =
+    List.filter_map
+      (fun ((w : W.t), _, hit) ->
+        match hit with None -> Some w.W.name | Some _ -> None)
+      resolved
+  in
+  let prepped =
+    prep_workloads ~jobs
+      (List.filter (fun (w : W.t) -> List.mem w.W.name miss_names) ws)
+  in
+  (* Phase 2 — the (workload × fault point) matrix. Each cell arms exactly
+     one rule of the base spec, so every outcome is attributable to one
+     fault point. Fresh cells are installed into the cache as they
+     complete (atomic writes; safe from worker domains). *)
+  let cells =
+    Runner.parallel_map ~jobs
+      (fun ((w : W.t), rule, hit) ->
+        let c =
+          match hit with
+          | Some c -> c
+          | None ->
+            let reference, clean = List.assoc w.W.name prepped in
+            let c = run_cell ~campaign_seed:seed ~reference ~clean w rule in
+            (match cache with
+            | Some ca ->
+              Cache.store ca
+                ~key:(Cache.fault_key ~spec:c.spec ~seed:c.seed w)
+                (json_of_cell c)
+            | None -> ());
+            c
+        in
+        (* observer for telemetry progress; must not affect outcomes *)
+        (match on_cell with None -> () | Some f -> f c);
+        c)
+      resolved
+  in
+  {
+    campaign_seed = seed;
+    spec = Spec.to_string spec;
+    git_sha = Store.git_sha ();
+    created_utc = Store.timestamp_utc ();
+    jobs;
+    shards = 1;
+    host_wall_seconds = Unix.gettimeofday () -. t0;
+    cells;
+    quarantined = [];
+    resumed_rows = [];
+  }
 
 let to_json (t : t) : J.t =
   Tce_obs.Export.document ~kind:"fault-campaign"

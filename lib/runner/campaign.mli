@@ -98,8 +98,13 @@ val cell_seed : campaign_seed:int -> workload:string -> point:string -> int
     across [jobs] domains. Default [spec] is {!Tce_fault.Spec.default}
     (every point armed), default seed {!default_seed}. [on_cell] is a
     thread-safe observer fired once per finished cell from the finishing
-    domain (telemetry progress); it must not affect outcomes. *)
+    domain (telemetry progress); it must not affect outcomes. With
+    [cache], cells are pre-resolved against the content-addressed cell
+    cache ({!Cache.fault_key}); only workloads with at least one miss get
+    reference/clean observations, so a fully cached campaign performs
+    zero simulations. *)
 val run :
+  ?cache:Cache.t ->
   ?spec:Tce_fault.Spec.t ->
   ?seed:int ->
   ?jobs:int ->

@@ -104,10 +104,19 @@ let check_run ?(tolerance_pct = default_tolerance_pct) ~baseline ~current () :
   (* Wall-time drift is only meaningful like for like: a sharded run's
      clocks include fork/pipe overhead a serial run doesn't pay (and vice
      versa), so wall warnings require both sides to agree on jobs AND
-     shards. Simulated verdicts are never gated on this. *)
+     shards AND the cell-cache hit ratio — a mostly-cached run spends
+     almost no wall time simulating, so warning it against an uncached
+     baseline (or vice versa) would be pure noise. Simulated verdicts are
+     never gated on any of this. *)
+  let cache_ratio (r : Record.run) =
+    let total = r.Record.cache_hits + r.Record.cache_misses in
+    if total = 0 then 0.0
+    else float_of_int r.Record.cache_hits /. float_of_int total
+  in
   let wall_comparable =
     baseline.Record.jobs = current.Record.jobs
     && baseline.Record.shards = current.Record.shards
+    && cache_ratio baseline = cache_ratio current
   in
   (* A baseline workload absent because the supervisor quarantined it is
      not a perf regression — the gate compares only the completed rows and
@@ -273,7 +282,7 @@ let print_report ~baseline ~current (r : report) =
 (* --- end-to-end driver (shared by bench/main.exe and tcejs) --- *)
 
 let run_gate ?(baseline_path = Store.baseline_path)
-    ?(tolerance_pct = default_tolerance_pct) ?jobs ?(names = [])
+    ?(tolerance_pct = default_tolerance_pct) ?cache ?jobs ?(names = [])
     ?(resolve = Tce_workloads.Workloads.by_name) ?(save_latest = true) ?runner
     ?telem () : int =
   match Store.load baseline_path with
@@ -353,8 +362,16 @@ let run_gate ?(baseline_path = Store.baseline_path)
                 Telem.cell_done t ~name:w.Record.name)
               telem
           in
-          Runner.run_suite ?jobs ?on_row roster
+          Runner.run_suite ?cache ?jobs ?on_row roster
       in
+      (match cache with
+      | None -> ()
+      | Some c ->
+        Cache.print_stats (Cache.stats c);
+        (match telem with
+        | None -> ()
+        | Some t -> Telem.cache_stats t (Cache.stats c));
+        ignore (Cache.prune ~dir:(Cache.dir c) ()));
       if save_latest then ignore (Store.save current);
       let kept =
         List.filter

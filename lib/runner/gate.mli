@@ -78,10 +78,13 @@ val print_report : baseline:Record.run -> current:Record.run -> report -> unit
     --shards N]); [jobs] is ignored when it is given. [telem] feeds the
     fleet-telemetry coordinator: the roster size becomes the scheduled
     total, serial rows stream through {!Telem.cell_done}, and the verdict
-    lands via {!Telem.gate_result}. *)
+    lands via {!Telem.gate_result}. [cache] threads the cell cache into
+    the default serial runner (custom [runner]s receive their own handle),
+    prints its stats and prunes it after the run. *)
 val run_gate :
   ?baseline_path:string ->
   ?tolerance_pct:float ->
+  ?cache:Cache.t ->
   ?jobs:int ->
   ?names:string list ->
   ?resolve:(string -> Tce_workloads.Workload.t option) ->

@@ -42,6 +42,11 @@ type run = {
   workloads : workload list;
   quarantined : Supervise.quarantined list;
   resumed_rows : int list;
+  cache_hits : int;
+      (** rows served from the content-addressed cell cache (provenance:
+          depends on local cache state, normalized away; omitted from the
+          JSON with [cache_misses] when both are zero) *)
+  cache_misses : int;  (** rows that had to be simulated on a cached run *)
 }
 
 (* The reconciliation invariant (ISSUE 4): every dynamic [C_check]
@@ -134,6 +139,8 @@ let equal_run (a : run) (b : run) =
   && a.host_wall_seconds = b.host_wall_seconds
   && a.quarantined = b.quarantined
   && a.resumed_rows = b.resumed_rows
+  && a.cache_hits = b.cache_hits
+  && a.cache_misses = b.cache_misses
   && List.length a.workloads = List.length b.workloads
   && List.for_all2 equal_workload a.workloads b.workloads
 
@@ -193,9 +200,19 @@ let run_to_json (r : run) : J.t =
                 J.List
                   (List.map Supervise.quarantined_to_json r.quarantined) );
             ])
+       @ (if r.resumed_rows = [] then []
+          else
+            [
+              ( "resumed_rows",
+                J.List (List.map (fun i -> J.Int i) r.resumed_rows) );
+            ])
        @
-       if r.resumed_rows = [] then []
-       else [ ("resumed_rows", J.List (List.map (fun i -> J.Int i) r.resumed_rows)) ]))
+       if r.cache_hits = 0 && r.cache_misses = 0 then []
+       else
+         [
+           ("cache_hits", J.Int r.cache_hits);
+           ("cache_misses", J.Int r.cache_misses);
+         ]))
 
 (* Decoding: every field is required; a missing or mistyped field names
    itself in the error so a truncated store file is diagnosable. *)
@@ -343,6 +360,16 @@ let run_of_json (j : J.t) : (run, string) result =
         |> Result.map List.rev
       | Some _ -> Error "bad field \"resumed_rows\""
     in
+    let opt_count name =
+      match J.member name data with
+      | None -> Ok 0
+      | Some v -> (
+        match J.to_int v with
+        | Some n when n >= 0 -> Ok n
+        | _ -> Error (Printf.sprintf "bad field %S" name))
+    in
+    let* cache_hits = opt_count "cache_hits" in
+    let* cache_misses = opt_count "cache_misses" in
     Ok
       {
         schema;
@@ -355,6 +382,8 @@ let run_of_json (j : J.t) : (run, string) result =
         workloads;
         quarantined;
         resumed_rows;
+        cache_hits;
+        cache_misses;
       }
 
 (* --- shard-worker row streaming --- *)
@@ -380,6 +409,12 @@ let row_of_json (j : J.t) : (int * workload, string) result =
     in
     Ok (index, w)
 
+(** Zero the host wall clocks of a row: what remains is a pure function
+    of the simulator state. This is the form rows take in the cell cache,
+    so a cached row and a normalized fresh row are byte-identical. *)
+let zero_walls (w : workload) : workload =
+  { w with wall_seconds = 0.0; wall_seconds_off = 0.0; wall_seconds_on = 0.0 }
+
 (** Force every host-dependent field to a fixed value; what remains is a
     pure function of the simulator state, so a serial and a sharded run of
     the same checkout serialize byte-identically. *)
@@ -392,12 +427,10 @@ let normalize_run (r : run) : run =
     host_wall_seconds = 0.0;
     (* whether rows came live or replayed from a journal does not change
        them (cells are deterministic), so resume provenance is normalized
-       away; quarantined cells DO change the result set and are kept *)
+       away; quarantined cells DO change the result set and are kept.
+       Cache provenance is likewise local state, not a result. *)
     resumed_rows = [];
-    workloads =
-      List.map
-        (fun w ->
-          { w with wall_seconds = 0.0; wall_seconds_off = 0.0;
-            wall_seconds_on = 0.0 })
-        r.workloads;
+    cache_hits = 0;
+    cache_misses = 0;
+    workloads = List.map zero_walls r.workloads;
   }

@@ -59,6 +59,15 @@ type run = {
       (** roster indices replayed from a [--resume] journal instead of
           re-executed (provenance only — the rows are identical either
           way, and {!normalize_run} clears this) *)
+  cache_hits : int;
+      (** rows served from the content-addressed cell cache ({!Cache}).
+          Provenance only — a cached row is byte-identical to a fresh
+          one, but the count depends on local cache state, so
+          {!normalize_run} clears it. Omitted from the JSON (with
+          [cache_misses]) when both are zero, so uncached documents keep
+          their old bytes. *)
+  cache_misses : int;
+      (** rows that had to be simulated despite the cache being on *)
 }
 
 (** Build a record from a measured off/on pair; [wall_off]/[wall_on] are
@@ -100,6 +109,10 @@ val run_of_json : Tce_obs.Json.t -> (run, string) result
 val row_to_json : index:int -> workload -> Tce_obs.Json.t
 
 val row_of_json : Tce_obs.Json.t -> (int * workload, string) result
+
+(** The row with its host wall clocks zeroed — the form rows take inside
+    the cell cache (pure simulated data). *)
+val zero_walls : workload -> workload
 
 (** Strip every host-dependent field (timestamp, wall clocks, job/shard
     counts and resume provenance are all forced to fixed values) so two

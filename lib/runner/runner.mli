@@ -17,8 +17,19 @@ val default_jobs : unit -> int
     benchmark suite and the fault-campaign driver. *)
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
-(** Measure one workload (mechanism off + on) and build its record. *)
+(** Measure one workload (mechanism off + on) and build its record. With
+    [cache], the content-addressed cell cache is consulted first: a hit
+    returns the stored row (wall clocks zeroed) without simulating, a
+    miss simulates and installs the wall-zeroed row. Cached and fresh
+    rows agree on every simulated field ({!Record.equal_deterministic}). *)
 val run_one :
+  ?cache:Cache.t ->
+  ?config:Tce_engine.Engine.config ->
+  Tce_workloads.Workload.t ->
+  Record.workload
+
+(** Measure one workload unconditionally (never consults the cache). *)
+val simulate_one :
   ?config:Tce_engine.Engine.config ->
   Tce_workloads.Workload.t ->
   Record.workload
@@ -39,6 +50,7 @@ val longest_first_order : cost:('a -> float option) -> 'a list -> int array
     per completed workload from the finishing domain (telemetry progress);
     it must be thread-safe and must not affect results. *)
 val run_workloads :
+  ?cache:Cache.t ->
   ?config:Tce_engine.Engine.config ->
   ?jobs:int ->
   ?cost:(Tce_workloads.Workload.t -> float option) ->
@@ -59,8 +71,11 @@ val run_profiles :
 
 (** [run_workloads] wrapped into a provenance-stamped {!Record.run}
     (git SHA, config hash, wall clock). [cost] defaults to the committed
-    baseline's whole-run cycles ({!Store.baseline_cost_of_workload}). *)
+    baseline's whole-run cycles ({!Store.baseline_cost_of_workload}).
+    With [cache], rows go through the cell cache and the run records this
+    invocation's hit/miss counts. *)
 val run_suite :
+  ?cache:Cache.t ->
   ?config:Tce_engine.Engine.config ->
   ?jobs:int ->
   ?cost:(Tce_workloads.Workload.t -> float option) ->

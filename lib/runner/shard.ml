@@ -265,8 +265,17 @@ let bench_worker ?config ~shard ~shards ~out (ws : W.t list) : unit =
 
 let bench_parent ?exe ?spawn ?(log_dir = default_log_dir)
     ?(supervise = Supervise.default_config) ?(journal_path = Store.bench_journal_path)
-    ?resume ?chaos ?telem ~shards ~worker_args (ws : W.t list) : Record.run =
+    ?resume ?chaos ?telem ?config ?cache ~shards ~worker_args (ws : W.t list) :
+    Record.run =
   let t0 = Unix.gettimeofday () in
+  (* Snapshot so a shared cache handle yields this invocation's counts. *)
+  let h0, m0 =
+    match cache with
+    | None -> (0, 0)
+    | Some c ->
+      let s = Cache.stats c in
+      (s.Cache.hits, s.Cache.misses)
+  in
   let names = List.map (fun (w : W.t) -> w.W.name) ws in
   let arr = Array.of_list ws in
   let cost = Store.baseline_cost_of_workload () in
@@ -323,6 +332,50 @@ let bench_parent ?exe ?spawn ?(log_dir = default_log_dir)
           (fun line -> Result.to_option (parse line))
           lines)
   in
+  (* Cell-cache keys, derived once per index (the key digests the
+     workload source). Forced only when a cache was given. *)
+  let keys =
+    lazy (Array.init (Array.length arr) (fun i -> Cache.bench_key ?config arr.(i)))
+  in
+  let key_of i = (Lazy.force keys).(i) in
+  (* Cache pre-resolution: indices the journal did not already cover are
+     looked up in the cell cache. Hits join [resume_rows] — the
+     supervisor treats them exactly like journal-replayed rows (not
+     scheduled, re-journaled) — but are subtracted from the record's
+     resume provenance below; misses are simulated by the workers and
+     their fresh rows installed via the [parse] wrapper. *)
+  let journal_covered = List.map fst resume_rows in
+  let cached_rows =
+    match cache with
+    | None -> []
+    | Some c ->
+      List.filter_map
+        (fun i ->
+          if List.mem i journal_covered then None
+          else
+            Option.bind (Cache.find c ~key:(key_of i)) (fun j ->
+                Option.map
+                  (fun row -> (i, row))
+                  (Result.to_option (Record.workload_of_json j))))
+        (List.init (Array.length arr) Fun.id)
+  in
+  let cached_indices = List.map fst cached_rows in
+  let resume_rows = resume_rows @ cached_rows in
+  let install c i row =
+    Cache.store c ~key:(key_of i)
+      (Record.workload_to_json (Record.zero_walls row))
+  in
+  let parse =
+    match cache with
+    | None -> parse
+    | Some c -> (
+      fun line ->
+        match parse line with
+        | Ok (i, row) as ok ->
+          install c i row;
+          ok
+        | Error _ as e -> e)
+  in
   let events =
     match telem with
     | Some t -> Telem.events t
@@ -335,14 +388,20 @@ let bench_parent ?exe ?spawn ?(log_dir = default_log_dir)
       (fun () ->
         Supervise.run ?exe ?spawn ~config:supervise ~shards ~log_dir
           ~journal:(Store.journal_append journal)
-          ~serial_run:(fun i -> Runner.run_one arr.(i))
+          ~serial_run:(fun i ->
+            let row = Runner.simulate_one ?config arr.(i) in
+            (match cache with Some c -> install c i row | None -> ());
+            row)
           ~resume_rows ~events ~argv_of_indices ~parse ~to_line tasks)
   in
   match outcome with
   | Error e -> failwith ("sharded bench failed: " ^ e)
   | Ok o -> (
+    let resumed =
+      List.filter (fun i -> not (List.mem i cached_indices)) o.Supervise.resumed
+    in
     (match telem with
-    | Some t -> Telem.resumed t (List.length o.Supervise.resumed)
+    | Some t -> Telem.resumed t (List.length resumed)
     | None -> ());
     let name_of i =
       if i >= 0 && i < Array.length arr then Some arr.(i).W.name else None
@@ -356,7 +415,14 @@ let bench_parent ?exe ?spawn ?(log_dir = default_log_dir)
     with
     | Error e -> failwith e
     | Ok workloads ->
+      let cache_stats =
+        match cache with
+        | None -> (0, 0)
+        | Some c ->
+          let s = Cache.stats c in
+          (s.Cache.hits - h0, s.Cache.misses - m0)
+      in
       Store.make_run ~shards ~jobs:1 ~quarantined:o.Supervise.quarantined
-        ~resumed_rows:o.Supervise.resumed
+        ~resumed_rows:resumed ~cache_stats
         ~host_wall_seconds:(Unix.gettimeofday () -. t0)
         workloads)

@@ -122,6 +122,13 @@ val bench_worker :
     parent side of the chaos harness ([mode, seed]). The result is stamped
     like {!Runner.run_suite} ([jobs = 1] per worker; [shards],
     [quarantined] and [resumed_rows] recorded in the run).
+    With [cache], the parent pre-resolves cell-cache hits before
+    scheduling (hits ride the resume path, so workers only ever simulate
+    misses; fresh worker rows are installed into the cache as they
+    arrive) and the run records this invocation's hit/miss counts.
+    [config] must describe the configuration the workers run under
+    (i.e. agree with [worker_args]) — it keys the cache and drives the
+    degraded in-process fallback.
     [exe]/[spawn] are test injection points.
     @raise Failure when supervision fails unrecoverably or the merge is
     incomplete (a missing index that is not quarantined). *)
@@ -134,6 +141,8 @@ val bench_parent :
   ?resume:string ->
   ?chaos:Supervise.Chaos.mode * int ->
   ?telem:Telem.t ->
+  ?config:Tce_engine.Engine.config ->
+  ?cache:Cache.t ->
   shards:int ->
   worker_args:string list ->
   Tce_workloads.Workload.t list ->

@@ -20,6 +20,10 @@ let baseline_path = Filename.concat "results" "baseline.json"
 let journal_dir = Filename.concat "results" "journal"
 let bench_journal_path = Filename.concat journal_dir "bench.jsonl"
 let faults_journal_path = Filename.concat journal_dir "faults.jsonl"
+let sweep_journal_path = Filename.concat journal_dir "sweep.jsonl"
+let sweep_latest_path = "SWEEP_latest.json"
+let sweeps_dir = Filename.concat "results" "sweeps"
+let cache_dir = Filename.concat "results" "cache"
 
 (* --- provenance --- *)
 
@@ -60,9 +64,10 @@ let config_hash ?(config = Tce_engine.Engine.default_config) () =
         b.Tce_engine.Engine.max_backoff_exponent
         b.Tce_engine.Engine.decay_cycles));
   Buffer.add_string buf
-    (Printf.sprintf "cc_entries=%d;cc_ways=%d"
+    (Printf.sprintf "cc_entries=%d;cc_ways=%d;cl_size=%d"
        e.Tce_engine.Engine.cc_config.Tce_core.Class_cache.entries
-       e.Tce_engine.Engine.cc_config.Tce_core.Class_cache.ways);
+       e.Tce_engine.Engine.cc_config.Tce_core.Class_cache.ways
+       e.Tce_engine.Engine.cl_config.Tce_core.Class_list.tracked_positions);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let timestamp_utc () =
@@ -72,7 +77,8 @@ let timestamp_utc () =
     tm.Unix.tm_sec
 
 let make_run ?config ?(shards = 1) ?(quarantined = []) ?(resumed_rows = [])
-    ~jobs ~host_wall_seconds workloads : Record.run =
+    ?(cache_stats = (0, 0)) ~jobs ~host_wall_seconds workloads : Record.run =
+  let cache_hits, cache_misses = cache_stats in
   {
     Record.schema = Tce_obs.Export.schema_version;
     git_sha = git_sha ();
@@ -84,6 +90,8 @@ let make_run ?config ?(shards = 1) ?(quarantined = []) ?(resumed_rows = [])
     workloads;
     quarantined;
     resumed_rows;
+    cache_hits;
+    cache_misses;
   }
 
 (* --- persistence --- *)

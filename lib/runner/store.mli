@@ -38,6 +38,19 @@ val bench_journal_path : string
 val faults_journal_path : string
 (** ["results/journal/faults.jsonl"] — ditto for [fault-cell] envelopes. *)
 
+val sweep_journal_path : string
+(** ["results/journal/sweep.jsonl"] — ditto for [sweep-cell] envelopes. *)
+
+val sweep_latest_path : string
+(** ["SWEEP_latest.json"] — the most recent design-space sweep report. *)
+
+val sweeps_dir : string
+(** ["results/sweeps"] — immutable sweep-report history (like
+    {!history_dir} for bench runs). *)
+
+val cache_dir : string
+(** ["results/cache"] — the content-addressed cell cache ({!Cache}). *)
+
 (** Append-only, fsync-per-line journal of completed shard rows. A run
     that dies (parent crash, container OOM) leaves a replayable
     checkpoint behind: [--resume FILE] schedules only the cells the
@@ -57,12 +70,15 @@ val journal_close : journal -> unit
     error. *)
 val journal_lines : string -> (string list, string) result
 
+(** [mkdir -p]: create [dir] and its missing parents. *)
+val mkdir_p : string -> unit
+
 (** Short git SHA of the working tree, or ["unknown"] outside a checkout. *)
 val git_sha : unit -> string
 
 (** Digest of every configuration parameter that can change simulated
-    numbers (Table 2 core, Class Cache geometry, tier-up thresholds,
-    seed). Runs with different hashes are not comparable. *)
+    numbers (Table 2 core, Class Cache geometry, Class List size, tier-up
+    thresholds, seed). Runs with different hashes are not comparable. *)
 val config_hash : ?config:Tce_engine.Engine.config -> unit -> string
 
 (** Current time as [YYYY-MM-DDTHH:MM:SSZ]. *)
@@ -78,6 +94,7 @@ val make_run :
   ?shards:int ->
   ?quarantined:Supervise.quarantined list ->
   ?resumed_rows:int list ->
+  ?cache_stats:int * int ->
   jobs:int ->
   host_wall_seconds:float ->
   Record.workload list ->

@@ -1,0 +1,847 @@
+(** Design-space sweep: a (geometry point × workload) cell matrix over the
+    Class Cache / Class List configuration space, with Pareto-frontier
+    reports (see sweep.mli for the spec grammar). *)
+
+module J = Tce_obs.Json
+module W = Tce_workloads.Workload
+module E = Tce_engine.Engine
+module CC = Tce_core.Class_cache
+module CL = Tce_core.Class_list
+
+(* --- the geometry space --- *)
+
+type point = { entries : int; ways : int; cl_size : int }
+
+let default_point =
+  {
+    entries = CC.default_config.CC.entries;
+    ways = CC.default_config.CC.ways;
+    cl_size = CL.default_config.CL.tracked_positions;
+  }
+
+(* Canonical: axis keys in sorted order, matching the spec grammar. *)
+let point_name p =
+  Printf.sprintf "cc.entries=%d cc.ways=%d cl.size=%d" p.entries p.ways
+    p.cl_size
+
+let config_of_point p : E.config =
+  {
+    E.default_config with
+    E.cc_config = { CC.entries = p.entries; ways = p.ways };
+    cl_config = { CL.tracked_positions = p.cl_size };
+  }
+
+(** Geometry cost proxy in bytes of SRAM: generalizes the hardware model's
+    own estimate ({!Tce_core.Class_cache.storage_bytes} =
+    [entries * (2 + 3 + 7)] — class tag, address tag, Class List payload
+    per entry) by the swept Class List size, plus per-way replacement /
+    valid overhead. Only ratios matter to the frontier. *)
+let cost_bytes p = (p.entries * (2 + 3 + p.cl_size)) + (16 * p.ways)
+
+(* --- the sweep-spec grammar --- *)
+
+type axes = { ax_entries : int list; ax_ways : int list; ax_sizes : int list }
+
+let axis_keys = [ "cc.entries"; "cc.ways"; "cl.size" ]
+
+let parse_values ~key s : (int list, string) result =
+  let parts = String.split_on_char ',' s in
+  if List.exists (fun p -> String.trim p = "") parts then
+    Error (Printf.sprintf "%s: empty value in %S" key s)
+  else
+    let rec go acc = function
+      | [] -> Ok (List.sort_uniq compare (List.rev acc))
+      | p :: rest -> (
+        match int_of_string_opt (String.trim p) with
+        | Some v when v >= 1 -> go (v :: acc) rest
+        | Some v -> Error (Printf.sprintf "%s: %d is not positive" key v)
+        | None -> Error (Printf.sprintf "%s: %S is not an integer" key p))
+    in
+    go [] parts
+
+let parse_spec (s : string) : (axes, string) result =
+  let clauses =
+    List.filter (fun c -> c <> "") (String.split_on_char ' ' (String.trim s))
+  in
+  if clauses = [] then Error "empty sweep spec (no axes given)"
+  else
+    let rec go entries ways sizes = function
+      | [] ->
+        (* an absent axis sweeps only its paper-default value *)
+        Ok
+          {
+            ax_entries =
+              Option.value ~default:[ default_point.entries ] entries;
+            ax_ways = Option.value ~default:[ default_point.ways ] ways;
+            ax_sizes = Option.value ~default:[ default_point.cl_size ] sizes;
+          }
+      | clause :: rest -> (
+        match String.index_opt clause '=' with
+        | None ->
+          Error
+            (Printf.sprintf "bad sweep clause %S (expected KEY=V1,V2,...)"
+               clause)
+        | Some i -> (
+          let key = String.sub clause 0 i
+          and vs = String.sub clause (i + 1) (String.length clause - i - 1) in
+          let dup () = Error (Printf.sprintf "duplicate sweep axis %S" key) in
+          match key with
+          | "cc.entries" -> (
+            if entries <> None then dup ()
+            else
+              match parse_values ~key vs with
+              | Error e -> Error e
+              | Ok v -> go (Some v) ways sizes rest)
+          | "cc.ways" -> (
+            if ways <> None then dup ()
+            else
+              match parse_values ~key vs with
+              | Error e -> Error e
+              | Ok v -> go entries (Some v) sizes rest)
+          | "cl.size" -> (
+            if sizes <> None then dup ()
+            else
+              match parse_values ~key vs with
+              | Error e -> Error e
+              | Ok v ->
+                if List.exists (fun n -> n > 7) v then
+                  Error
+                    (Printf.sprintf
+                       "cl.size: at most 7 positions exist (got %d)"
+                       (List.find (fun n -> n > 7) v))
+                else go entries ways (Some v) rest)
+          | _ ->
+            Error
+              (Printf.sprintf "unknown sweep axis %S (known: %s)" key
+                 (String.concat ", " axis_keys))))
+    in
+    go None None None clauses
+
+(* Canonical rendering: sorted keys, sorted deduped values — the identity
+   the worker re-expands the matrix from. *)
+let axes_to_string (a : axes) : string =
+  let vs l = String.concat "," (List.map string_of_int l) in
+  Printf.sprintf "cc.entries=%s cc.ways=%s cl.size=%s" (vs a.ax_entries)
+    (vs a.ax_ways) (vs a.ax_sizes)
+
+(** Expand to the point grid, entries-major / ways / cl.size-minor over
+    the sorted axis values. Combinations the hardware model rejects
+    (entries not a multiple of ways — no whole number of sets) are
+    skipped and counted, not errors: a rectangular spec like
+    [cc.entries=32,48 cc.ways=4] legitimately has holes. *)
+let expand (a : axes) : point list * int =
+  let skipped = ref 0 in
+  let points =
+    List.concat_map
+      (fun entries ->
+        List.concat_map
+          (fun ways ->
+            List.filter_map
+              (fun cl_size ->
+                if entries mod ways = 0 then Some { entries; ways; cl_size }
+                else begin
+                  incr skipped;
+                  None
+                end)
+              a.ax_sizes)
+          a.ax_ways)
+      a.ax_entries
+  in
+  (points, !skipped)
+
+(** The cell matrix in its canonical order: point-major, workload-minor
+    (cell [i] is point [i / n_workloads], workload [i mod n_workloads]) —
+    a pure function of [(axes, ws)], shared by the parent and its
+    workers. *)
+let matrix (points : point list) (ws : W.t list) : (point * W.t) list =
+  List.concat_map (fun p -> List.map (fun w -> (p, w)) ws) points
+
+(* --- the sweep record --- *)
+
+type t = {
+  spec : string;  (** canonical spec string ({!axes_to_string}) *)
+  git_sha : string;
+  created_utc : string;
+  jobs : int;
+  shards : int;
+  host_wall_seconds : float;
+  cache_hits : int;
+  cache_misses : int;
+  skipped_points : int;
+  roster : string list;  (** workload names, matrix column order *)
+  points : point list;  (** matrix row order *)
+  cells : (point * Record.workload) list;
+      (** matrix order; quarantined cells are absent *)
+  quarantined : Supervise.quarantined list;
+  resumed_rows : int list;
+}
+
+let equal (a : t) (b : t) =
+  a.spec = b.spec && a.roster = b.roster && a.points = b.points
+  && List.length a.cells = List.length b.cells
+  && List.for_all2
+       (fun (p1, r1) (p2, r2) -> p1 = p2 && Record.equal_workload r1 r2)
+       a.cells b.cells
+
+(** {!Record.normalize_run} for sweeps: every host-dependent field forced
+    to a fixed value, so two sweeps of the same simulator state serialize
+    byte-identically (the property CI asserts between a cold-cache and an
+    all-hits run). *)
+let normalize (t : t) : t =
+  {
+    t with
+    created_utc = "normalized";
+    jobs = 1;
+    shards = 1;
+    host_wall_seconds = 0.0;
+    cache_hits = 0;
+    cache_misses = 0;
+    resumed_rows = [];
+    cells = List.map (fun (p, r) -> (p, Record.zero_walls r)) t.cells;
+  }
+
+(* --- execution --- *)
+
+let cache_snapshot cache =
+  match cache with
+  | None -> (0, 0)
+  | Some c ->
+    let s = Cache.stats c in
+    (s.Cache.hits, s.Cache.misses)
+
+let mk ~axes ~skipped ~points ~jobs ~shards ~t0 ~cache ~h0 ~m0 ?(quarantined = [])
+    ?(resumed_rows = []) ~roster cells : t =
+  let h1, m1 = cache_snapshot cache in
+  {
+    spec = axes_to_string axes;
+    git_sha = Store.git_sha ();
+    created_utc = Store.timestamp_utc ();
+    jobs;
+    shards;
+    host_wall_seconds = Unix.gettimeofday () -. t0;
+    cache_hits = h1 - h0;
+    cache_misses = m1 - m0;
+    skipped_points = skipped;
+    roster;
+    points;
+    cells;
+    quarantined;
+    resumed_rows;
+  }
+
+let expand_or_fail axes =
+  match expand axes with
+  | [], _ -> failwith "sweep: empty grid (every combination invalid)"
+  | points, skipped -> (points, skipped)
+
+let run ?cache ?jobs ?on_row ~axes (ws : W.t list) : t =
+  let t0 = Unix.gettimeofday () in
+  let h0, m0 = cache_snapshot cache in
+  let points, skipped = expand_or_fail axes in
+  let cells_in = matrix points ws in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Runner.default_jobs ()
+  in
+  let rows =
+    Runner.parallel_map ~jobs
+      (fun (p, w) ->
+        let row = Runner.run_one ?cache ~config:(config_of_point p) w in
+        (match on_row with Some f -> f row | None -> ());
+        row)
+      cells_in
+  in
+  mk ~axes ~skipped ~points ~jobs ~shards:1 ~t0 ~cache ~h0 ~m0
+    ~roster:(List.map (fun (w : W.t) -> w.W.name) ws)
+    (List.map2 (fun (p, _) row -> (p, row)) cells_in rows)
+
+(* --- multi-process execution (sweep-cell envelopes) --- *)
+
+let row_to_json ~index (row : Record.workload) : J.t =
+  Tce_obs.Export.document ~kind:"sweep-cell"
+    (J.Obj [ ("index", J.Int index); ("row", Record.workload_to_json row) ])
+
+let row_of_json (j : J.t) : (int * Record.workload, string) result =
+  match Tce_obs.Export.open_document j with
+  | Error e -> Error e
+  | Ok (kind, _) when kind <> "sweep-cell" ->
+    Error (Printf.sprintf "expected a sweep-cell document, got %S" kind)
+  | Ok (_, data) -> (
+    match
+      (Option.bind (J.member "index" data) J.to_int, J.member "row" data)
+    with
+    | Some i, Some rj when i >= 0 ->
+      Result.map (fun r -> (i, r)) (Record.workload_of_json rj)
+    | _ -> Error "malformed sweep-cell row")
+
+(** Worker side of [--sweep SPEC --worker-indices i,j,k]: re-expand the
+    matrix from the canonical spec and roster, run exactly [indices] (in
+    the given order) serially, one [sweep-cell] envelope per cell on
+    [out]. *)
+let worker_indices ?beat ~axes ~indices ~out (ws : W.t list) : unit =
+  let points, _ = expand_or_fail axes in
+  let cells = Array.of_list (matrix points ws) in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length cells then
+        failwith
+          (Printf.sprintf "sweep worker index %d out of range [0, %d)" i
+             (Array.length cells));
+      let p, w = cells.(i) in
+      (match beat with
+      | Some e ->
+        Tce_telem.Heartbeat.beat_start e ~index:i
+          ~name:(Printf.sprintf "%s@%s" w.W.name (point_name p))
+      | None -> ());
+      let row = Runner.simulate_one ~config:(config_of_point p) w in
+      output_string out (J.to_string (row_to_json ~index:i row));
+      output_char out '\n';
+      (* flush per cell: the parent streams progress and a crashed worker
+         loses only its in-flight cell *)
+      flush out;
+      match beat with
+      | Some e -> Tce_telem.Heartbeat.beat_cell_done e
+      | None -> ())
+    indices;
+  match beat with Some e -> Tce_telem.Heartbeat.beat_done e | None -> ()
+
+let parent ?exe ?spawn ?(log_dir = Shard.default_log_dir)
+    ?(supervise = Supervise.default_config)
+    ?(journal_path = Store.sweep_journal_path) ?resume ?telem ?cache ~shards
+    ~worker_args ~axes (ws : W.t list) : t =
+  let t0 = Unix.gettimeofday () in
+  let h0, m0 = cache_snapshot cache in
+  let points, skipped = expand_or_fail axes in
+  let cells = Array.of_list (matrix points ws) in
+  let names = List.map (fun (w : W.t) -> w.W.name) ws in
+  let wcost = Store.baseline_cost_of_workload () in
+  let cost (_, w) = wcost w in
+  let order = Runner.longest_first_order ~cost (Array.to_list cells) in
+  let tasks =
+    List.map
+      (fun pos ->
+        let i = order.(pos) in
+        let p, w = cells.(i) in
+        {
+          Supervise.t_index = i;
+          t_name = Printf.sprintf "%s@%s" w.W.name (point_name p);
+          t_cost = cost cells.(i);
+        })
+      (List.init (Array.length order) Fun.id)
+  in
+  let spec_string = axes_to_string axes in
+  let argv_of_indices ~slot ~attempt:_ indices =
+    Array.of_list
+      (Sys.executable_name :: "--sweep" :: spec_string :: "--worker-indices"
+       :: String.concat "," (List.map string_of_int indices)
+       :: (Telem.heartbeat_args telem ~slot @ worker_args @ names))
+  in
+  let parse line =
+    Result.map_error
+      (fun e -> Printf.sprintf "bad sweep-cell: %s" e)
+      (Result.bind (J.of_string line) row_of_json)
+  in
+  let to_line i row = J.to_string (row_to_json ~index:i row) in
+  let resume_rows =
+    match resume with
+    | None -> []
+    | Some path -> (
+      match Store.journal_lines path with
+      | Error e -> failwith (Printf.sprintf "--resume %s: %s" path e)
+      | Ok lines ->
+        List.filter_map (fun line -> Result.to_option (parse line)) lines)
+  in
+  let keys =
+    lazy
+      (Array.map
+         (fun (p, w) -> Cache.bench_key ~config:(config_of_point p) w)
+         cells)
+  in
+  let key_of i = (Lazy.force keys).(i) in
+  (* Cache pre-resolution, exactly as in {!Shard.bench_parent}: hits ride
+     the resume path (not scheduled), misses are simulated by workers and
+     installed as their rows arrive. *)
+  let journal_covered = List.map fst resume_rows in
+  let cached_rows =
+    match cache with
+    | None -> []
+    | Some c ->
+      List.filter_map
+        (fun i ->
+          if List.mem i journal_covered then None
+          else
+            Option.bind (Cache.find c ~key:(key_of i)) (fun j ->
+                Option.map
+                  (fun row -> (i, row))
+                  (Result.to_option (Record.workload_of_json j))))
+        (List.init (Array.length cells) Fun.id)
+  in
+  let cached_indices = List.map fst cached_rows in
+  let resume_rows = resume_rows @ cached_rows in
+  let install c i row =
+    Cache.store c ~key:(key_of i)
+      (Record.workload_to_json (Record.zero_walls row))
+  in
+  let parse =
+    match cache with
+    | None -> parse
+    | Some c -> (
+      fun line ->
+        match parse line with
+        | Ok (i, row) as ok ->
+          install c i row;
+          ok
+        | Error _ as e -> e)
+  in
+  let events =
+    match telem with Some t -> Telem.events t | None -> Supervise.null_events
+  in
+  let journal = Store.journal_open journal_path in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Store.journal_close journal)
+      (fun () ->
+        Supervise.run ?exe ?spawn ~config:supervise ~shards ~log_dir
+          ~journal:(Store.journal_append journal)
+          ~serial_run:(fun i ->
+            let p, w = cells.(i) in
+            let row = Runner.simulate_one ~config:(config_of_point p) w in
+            (match cache with Some c -> install c i row | None -> ());
+            row)
+          ~resume_rows ~events ~argv_of_indices ~parse ~to_line tasks)
+  in
+  match outcome with
+  | Error e -> failwith ("sweep failed: " ^ e)
+  | Ok o -> (
+    let resumed =
+      List.filter (fun i -> not (List.mem i cached_indices)) o.Supervise.resumed
+    in
+    (match telem with
+    | Some t -> Telem.resumed t (List.length resumed)
+    | None -> ());
+    let name_of i =
+      if i >= 0 && i < Array.length cells then
+        let p, w = cells.(i) in
+        Some (Printf.sprintf "%s@%s" w.W.name (point_name p))
+      else None
+    in
+    let quarantined_indices =
+      List.map (fun q -> q.Supervise.q_index) o.Supervise.quarantined
+    in
+    match
+      Shard.merge_rows ~names:name_of ~quarantined:quarantined_indices
+        ~what:"sweep-cell" ~expected:(Array.length cells) o.Supervise.rows
+    with
+    | Error e -> failwith e
+    | Ok _ ->
+      (* re-pair rows with their matrix points, skipping quarantine holes *)
+      let slot = Array.make (Array.length cells) None in
+      List.iter (fun (i, row) -> slot.(i) <- Some row) o.Supervise.rows;
+      let paired =
+        List.filter_map
+          (fun i ->
+            Option.map (fun row -> (fst cells.(i), row)) slot.(i))
+          (List.init (Array.length cells) Fun.id)
+      in
+      mk ~axes ~skipped ~points ~jobs:1 ~shards ~t0 ~cache ~h0 ~m0
+        ~quarantined:o.Supervise.quarantined ~resumed_rows:resumed
+        ~roster:names paired)
+
+(* --- persistence --- *)
+
+let point_to_json p =
+  J.Obj
+    [
+      ("entries", J.Int p.entries);
+      ("ways", J.Int p.ways);
+      ("cl_size", J.Int p.cl_size);
+    ]
+
+let point_of_json (j : J.t) : (point, string) result =
+  let int k = Option.bind (J.member k j) J.to_int in
+  match (int "entries", int "ways", int "cl_size") with
+  | Some entries, Some ways, Some cl_size -> Ok { entries; ways; cl_size }
+  | _ -> Error "malformed sweep point"
+
+let to_json (t : t) : J.t =
+  Tce_obs.Export.document ~kind:"sweep"
+    (J.Obj
+       ([
+          ("spec", J.Str t.spec);
+          ("git_sha", J.Str t.git_sha);
+          ("created_utc", J.Str t.created_utc);
+          ("jobs", J.Int t.jobs);
+          ("shards", J.Int t.shards);
+          ("host_wall_seconds", J.Float t.host_wall_seconds);
+          ("cache_hits", J.Int t.cache_hits);
+          ("cache_misses", J.Int t.cache_misses);
+          ("skipped_points", J.Int t.skipped_points);
+          ("roster", J.List (List.map (fun n -> J.Str n) t.roster));
+          ("points", J.List (List.map point_to_json t.points));
+          ( "cells",
+            J.List
+              (List.map
+                 (fun (p, row) ->
+                   J.Obj
+                     [
+                       ("point", point_to_json p);
+                       ("row", Record.workload_to_json row);
+                     ])
+                 t.cells) );
+        ]
+       @ (match t.quarantined with
+         | [] -> []
+         | qs ->
+           [
+             ( "quarantined",
+               J.List (List.map Supervise.quarantined_to_json qs) );
+           ])
+       @
+       match t.resumed_rows with
+       | [] -> []
+       | rs -> [ ("resumed_rows", J.List (List.map (fun i -> J.Int i) rs)) ]))
+
+let of_json (j : J.t) : (t, string) result =
+  match Tce_obs.Export.open_document j with
+  | Error e -> Error e
+  | Ok (kind, _) when kind <> "sweep" ->
+    Error (Printf.sprintf "expected kind sweep, got %s" kind)
+  | Ok (_, data) -> (
+    let str k = Option.bind (J.member k data) J.to_str in
+    let int k = Option.bind (J.member k data) J.to_int in
+    let flt k = Option.bind (J.member k data) J.to_float in
+    let all dec js =
+      List.fold_right
+        (fun x acc ->
+          Result.bind acc (fun xs -> Result.map (fun v -> v :: xs) (dec x)))
+        js (Ok [])
+    in
+    let quarantined =
+      match Option.bind (J.member "quarantined" data) J.to_list with
+      | None -> Ok []
+      | Some js -> all Supervise.quarantined_of_json js
+    in
+    let resumed_rows =
+      match Option.bind (J.member "resumed_rows" data) J.to_list with
+      | None -> []
+      | Some js -> List.filter_map J.to_int js
+    in
+    let cell_of j =
+      match (J.member "point" j, J.member "row" j) with
+      | Some pj, Some rj ->
+        Result.bind (point_of_json pj) (fun p ->
+            Result.map (fun r -> (p, r)) (Record.workload_of_json rj))
+      | _ -> Error "malformed sweep cell"
+    in
+    match
+      ( str "spec", str "git_sha", str "created_utc", int "jobs",
+        int "shards", flt "host_wall_seconds",
+        Option.bind (J.member "points" data) J.to_list,
+        Option.bind (J.member "cells" data) J.to_list, quarantined )
+    with
+    | ( Some spec, Some git_sha, Some created_utc, Some jobs, Some shards,
+        Some host_wall_seconds, Some pjs, Some cjs, Ok quarantined ) -> (
+      let roster =
+        match Option.bind (J.member "roster" data) J.to_list with
+        | None -> []
+        | Some js -> List.filter_map J.to_str js
+      in
+      match (all point_of_json pjs, all cell_of cjs) with
+      | Ok points, Ok cells ->
+        Ok
+          {
+            spec; git_sha; created_utc; jobs; shards; host_wall_seconds;
+            cache_hits = Option.value ~default:0 (int "cache_hits");
+            cache_misses = Option.value ~default:0 (int "cache_misses");
+            skipped_points = Option.value ~default:0 (int "skipped_points");
+            roster; points; cells; quarantined; resumed_rows;
+          }
+      | Error e, _ | _, Error e -> Error e)
+    | _ -> Error "malformed sweep document")
+
+let save ?(latest = Store.sweep_latest_path) ?(dir = Store.sweeps_dir) (t : t)
+    : string =
+  let doc = to_json t in
+  Tce_obs.Export.to_file ~path:latest doc;
+  if dir = "" then latest
+  else begin
+    Store.mkdir_p dir;
+    let name =
+      Printf.sprintf "%s-%s.json"
+        (String.map (function ':' -> '-' | c -> c) t.created_utc)
+        t.git_sha
+    in
+    let path = Filename.concat dir name in
+    Tce_obs.Export.to_file ~path doc;
+    path
+  end
+
+let load path : (t, string) result =
+  if not (Sys.file_exists path) then Error (path ^ ": no such file")
+  else
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Result.bind (J.of_string s) of_json
+
+(* --- Pareto analysis --- *)
+
+type summary = {
+  s_point : point;
+  s_cost : int;
+  s_cycles_off : float;
+  s_cycles_on : float;
+  s_speedup_pct : float;
+  s_checks_off : int;
+  s_checks_on : int;
+  s_removal_pct : float;
+}
+
+let summarize p (rows : Record.workload list) : summary =
+  let fsum g = List.fold_left (fun acc r -> acc +. g r) 0.0 rows in
+  let isum g = List.fold_left (fun acc r -> acc + g r) 0 rows in
+  let cycles_off = fsum (fun (r : Record.workload) -> r.Record.cycles_off) in
+  let cycles_on = fsum (fun (r : Record.workload) -> r.Record.cycles_on) in
+  let checks_off = isum (fun (r : Record.workload) -> r.Record.checks_off) in
+  let checks_on = isum (fun (r : Record.workload) -> r.Record.checks_on) in
+  {
+    s_point = p;
+    s_cost = cost_bytes p;
+    s_cycles_off = cycles_off;
+    s_cycles_on = cycles_on;
+    s_speedup_pct =
+      (if cycles_off > 0.0 then
+         100.0 *. (cycles_off -. cycles_on) /. cycles_off
+       else 0.0);
+    s_checks_off = checks_off;
+    s_checks_on = checks_on;
+    s_removal_pct =
+      (if checks_off > 0 then
+         100.0 *. float_of_int (checks_off - checks_on) /. float_of_int checks_off
+       else 0.0);
+  }
+
+let rows_of_point (t : t) p : Record.workload list =
+  List.filter_map (fun (q, r) -> if q = p then Some r else None) t.cells
+
+(** Roster-aggregate summaries, one per grid point that completed at
+    least one cell, in matrix (point) order. *)
+let aggregate (t : t) : summary list =
+  List.filter_map
+    (fun p ->
+      match rows_of_point t p with [] -> None | rows -> Some (summarize p rows))
+    t.points
+
+(** Per-workload summaries: for each roster workload, one summary per
+    point whose cell for it completed. *)
+let per_workload (t : t) : (string * summary list) list =
+  let names =
+    match t.roster with
+    | [] ->
+      (* pre-roster documents: reconstruct column order from the cells *)
+      List.fold_left
+        (fun acc (_, (r : Record.workload)) ->
+          if List.mem r.Record.name acc then acc else acc @ [ r.Record.name ])
+        [] t.cells
+    | names -> names
+  in
+  List.map
+    (fun name ->
+      ( name,
+        List.filter_map
+          (fun p ->
+            match
+              List.filter
+                (fun (r : Record.workload) -> r.Record.name = name)
+                (rows_of_point t p)
+            with
+            | [] -> None
+            | rows -> Some (summarize p rows))
+          t.points ))
+    names
+
+(** [a] dominates [b]: no worse on all three objectives (minimize
+    mechanism-on cycles, maximize check removal, minimize geometry cost)
+    and strictly better on at least one. *)
+let dominates a b =
+  a.s_cycles_on <= b.s_cycles_on
+  && a.s_removal_pct >= b.s_removal_pct
+  && a.s_cost <= b.s_cost
+  && (a.s_cycles_on < b.s_cycles_on
+     || a.s_removal_pct > b.s_removal_pct
+     || a.s_cost < b.s_cost)
+
+(** The non-dominated subset, in the input order. *)
+let frontier (summaries : summary list) : summary list =
+  List.filter
+    (fun s -> not (List.exists (fun o -> dominates o s) summaries))
+    summaries
+
+(** The cheapest geometry whose roster check-removal rate is within
+    [slack_pct] points of the default point's — the headline the sweep
+    exists to produce. [None] when the default point is not in the grid
+    or nothing cheaper qualifies. *)
+let cheapest_within ?(slack_pct = 1.0) (summaries : summary list) :
+    (summary * summary) option =
+  match List.find_opt (fun s -> s.s_point = default_point) summaries with
+  | None -> None
+  | Some d -> (
+    let candidates =
+      List.filter
+        (fun s ->
+          s.s_point <> default_point
+          && s.s_cost < d.s_cost
+          && s.s_removal_pct >= d.s_removal_pct -. slack_pct)
+        summaries
+    in
+    match
+      List.sort
+        (fun a b ->
+          match compare a.s_cost b.s_cost with
+          | 0 -> compare b.s_removal_pct a.s_removal_pct
+          | c -> c)
+        candidates
+    with
+    | [] -> None
+    | best :: _ -> Some (d, best))
+
+(** Check the default geometry's rows against the committed baseline:
+    every baseline workload present in the sweep's default-point cells
+    must match on all simulated fields ({!Record.equal_deterministic}).
+    Returns a report line; [Error] when any row differs. *)
+let baseline_check ?(baseline_path = Store.baseline_path) (t : t) :
+    (string, string) result =
+  match rows_of_point t default_point with
+  | [] ->
+    Ok
+      (Printf.sprintf
+         "default geometry (%s) not in the grid; baseline identity not \
+          checked"
+         (point_name default_point))
+  | rows -> (
+    match Store.load baseline_path with
+    | Error e ->
+      Ok (Printf.sprintf "baseline %s unreadable (%s)" baseline_path e)
+    | Ok base ->
+      let checked = ref 0 in
+      let mismatches =
+        List.filter_map
+          (fun (r : Record.workload) ->
+            match
+              List.find_opt
+                (fun (b : Record.workload) -> b.Record.name = r.Record.name)
+                base.Record.workloads
+            with
+            | None -> None
+            | Some b ->
+              incr checked;
+              if Record.equal_deterministic b r then None
+              else Some r.Record.name)
+          rows
+      in
+      if mismatches = [] then
+        Ok
+          (Printf.sprintf
+             "default geometry (%s): %d/%d rows bit-identical to %s"
+             (point_name default_point) !checked !checked baseline_path)
+      else
+        Error
+          (Printf.sprintf
+             "default geometry (%s): %d of %d rows DIFFER from %s: %s"
+             (point_name default_point)
+             (List.length mismatches)
+             !checked baseline_path
+             (String.concat ", " mismatches)))
+
+(* --- reports --- *)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+(** One CSV row per (scope, point) summary: [scope] is ["all"] for the
+    roster aggregate, else the workload name. [pareto] flags membership
+    in that scope's frontier. *)
+let to_csv (t : t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "scope,entries,ways,cl_size,cost_bytes,cycles_off,cycles_on,speedup_pct,checks_off,checks_on,removal_pct,pareto\n";
+  let emit scope summaries =
+    let front = frontier summaries in
+    List.iter
+      (fun s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s,%d,%d,%d,%d,%.0f,%.0f,%.4f,%d,%d,%.4f,%d\n"
+             (csv_escape scope) s.s_point.entries s.s_point.ways
+             s.s_point.cl_size s.s_cost s.s_cycles_off s.s_cycles_on
+             s.s_speedup_pct s.s_checks_off s.s_checks_on s.s_removal_pct
+             (if List.memq s front then 1 else 0)))
+      summaries
+  in
+  emit "all" (aggregate t);
+  List.iter (fun (name, summaries) -> emit name summaries) (per_workload t);
+  Buffer.contents buf
+
+let report ?baseline_path (t : t) : string =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let agg = aggregate t in
+  let front = frontier agg in
+  pr "Design-space sweep: %s\n" t.spec;
+  pr "%d point(s)%s x %d workload(s) = %d cell(s)" (List.length t.points)
+    (if t.skipped_points > 0 then
+       Printf.sprintf " (+%d invalid combination(s) skipped)" t.skipped_points
+     else "")
+    (List.length t.roster)
+    (List.length t.points * List.length t.roster);
+  if t.cache_hits + t.cache_misses > 0 then
+    pr "; cache: %d hit(s), %d miss(es)" t.cache_hits t.cache_misses;
+  if t.quarantined <> [] then
+    pr "; %d cell(s) quarantined" (List.length t.quarantined);
+  pr "\n\n";
+  pr
+    "Roster aggregate (cycles summed over the roster; * = Pareto-optimal: \
+     min cycles-on, max removal, min cost):\n";
+  pr "  %-44s %9s %14s %9s %9s\n" "point" "cost B" "cycles on" "speedup%"
+    "removal%";
+  List.iter
+    (fun s ->
+      pr "%s %-44s %9d %14.0f %9.2f %9.2f\n"
+        (if List.memq s front then "*" else " ")
+        (point_name s.s_point) s.s_cost s.s_cycles_on s.s_speedup_pct
+        s.s_removal_pct)
+    (List.sort (fun a b -> compare a.s_cost b.s_cost) agg);
+  pr "\nPareto frontier: %d of %d point(s)\n" (List.length front)
+    (List.length agg);
+  let pw = per_workload t in
+  if List.length pw > 1 then begin
+    pr "\nPer-workload frontiers:\n";
+    List.iter
+      (fun (name, summaries) ->
+        pr "  %-28s %s\n" name
+          (String.concat " | "
+             (List.map (fun s -> point_name s.s_point) (frontier summaries))))
+      pw
+  end;
+  pr "\n";
+  (match baseline_check ?baseline_path t with
+  | Ok line -> pr "%s\n" line
+  | Error line -> pr "%s\n" line);
+  (match cheapest_within agg with
+  | None ->
+    pr
+      "no cheaper geometry within 1.0 points of the default's check \
+       removal\n"
+  | Some (d, best) ->
+    pr
+      "cheapest geometry within 1.0 points of the default's check removal: \
+       %s (%d B vs %d B, removal %.2f%% vs %.2f%%, cycles-on %+.2f%%)\n"
+      (point_name best.s_point) best.s_cost d.s_cost best.s_removal_pct
+      d.s_removal_pct
+      (if d.s_cycles_on > 0.0 then
+         100.0 *. (best.s_cycles_on -. d.s_cycles_on) /. d.s_cycles_on
+       else 0.0));
+  Buffer.contents buf

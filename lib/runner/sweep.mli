@@ -1,0 +1,201 @@
+(** Design-space sweep: explore the Class Cache / Class List geometry
+    space and report the Pareto frontier.
+
+    A sweep spec names one value list per hardware axis:
+
+    {v --sweep "cc.entries=32,64,128,256 cc.ways=1,2,4 cl.size=4,8" v}
+
+    - [cc.entries] — Class Cache entry count;
+    - [cc.ways] — Class Cache associativity;
+    - [cl.size] — tracked Class List positions (1..7).
+
+    Clauses are space-separated, values comma-separated positive
+    integers; an absent axis sweeps only its paper-default value, an
+    unknown key or an empty value list is an error. The spec expands to a
+    point grid (combinations with no whole number of sets — entries not a
+    multiple of ways — are skipped and counted), and the (point ×
+    workload) cell matrix executes either in-process ({!run}) or across
+    supervised worker processes ({!parent}, inheriting retry, quarantine,
+    journal/resume and telemetry from {!Supervise}). Each cell is one
+    standard benchmark pair under that point's {!config_of_point}, so
+    cells flow through the content-addressed cell cache ({!Cache})
+    unchanged — a repeated sweep performs zero simulations, and changing
+    one axis value re-simulates only that axis's cells.
+
+    Reports rank points on three objectives: simulated mechanism-on
+    cycles (minimize), dynamic check removal (maximize) and a geometry
+    cost proxy in bytes of SRAM (minimize). *)
+
+type point = { entries : int; ways : int; cl_size : int }
+
+val default_point : point
+(** The paper's Table 2 geometry: 128 entries, 2 ways, Class List 7. *)
+
+val point_name : point -> string
+(** Canonical rendering, axis keys sorted ([cc.entries=128 cc.ways=2
+    cl.size=7]). *)
+
+val config_of_point : point -> Tce_engine.Engine.config
+(** {!Tce_engine.Engine.default_config} with this point's geometry. *)
+
+val cost_bytes : point -> int
+(** Geometry cost proxy in bytes of SRAM:
+    [entries * (2 + 3 + cl_size) + 16 * ways] — generalizes
+    {!Tce_core.Class_cache.storage_bytes} by the swept Class List size
+    plus per-way replacement overhead. Only ratios matter. *)
+
+(** A parsed spec: sorted, deduplicated values per axis. *)
+type axes = { ax_entries : int list; ax_ways : int list; ax_sizes : int list }
+
+val parse_spec : string -> (axes, string) result
+
+val axes_to_string : axes -> string
+(** Canonical spec string; [parse_spec] of it yields the same axes. *)
+
+val expand : axes -> point list * int
+(** The point grid (entries-major over sorted values) and the number of
+    invalid combinations skipped. *)
+
+val matrix :
+  point list -> Tce_workloads.Workload.t list ->
+  (point * Tce_workloads.Workload.t) list
+(** The canonical cell matrix: point-major, workload-minor. Workers and
+    the parent both enumerate cells in this order, so a cell's matrix
+    index identifies it across the process boundary. *)
+
+(** One executed sweep. [cells] is in matrix order with quarantined cells
+    absent; [cache_hits]/[cache_misses] are this invocation's counts. *)
+type t = {
+  spec : string;
+  git_sha : string;
+  created_utc : string;
+  jobs : int;
+  shards : int;
+  host_wall_seconds : float;
+  cache_hits : int;
+  cache_misses : int;
+  skipped_points : int;
+  roster : string list;
+  points : point list;
+  cells : (point * Record.workload) list;
+  quarantined : Supervise.quarantined list;
+  resumed_rows : int list;
+}
+
+val equal : t -> t -> bool
+(** Structural equality over spec, roster, points and cells (full
+    {!Record.equal_workload} per row). *)
+
+val normalize : t -> t
+(** Force every host-dependent field (timestamp, wall clocks, job/shard
+    counts, cache and resume provenance) to a fixed value — two sweeps of
+    the same simulator state then serialize byte-identically
+    ([--deterministic]). *)
+
+val run :
+  ?cache:Cache.t ->
+  ?jobs:int ->
+  ?on_row:(Record.workload -> unit) ->
+  axes:axes ->
+  Tce_workloads.Workload.t list ->
+  t
+(** Execute the matrix in-process on [jobs] domains. [on_row] is a
+    thread-safe progress observer; it must not affect results.
+    @raise Failure when the grid is empty. *)
+
+(** Wrap / unwrap one positioned cell row in a versioned envelope (kind
+    ["sweep-cell"]) — the unit a sweep worker streams to the parent. *)
+val row_to_json : index:int -> Record.workload -> Tce_obs.Json.t
+
+val row_of_json : Tce_obs.Json.t -> (int * Record.workload, string) result
+
+val worker_indices :
+  ?beat:Tce_telem.Heartbeat.emitter ->
+  axes:axes ->
+  indices:int list ->
+  out:out_channel ->
+  Tce_workloads.Workload.t list ->
+  unit
+(** Worker side of [--sweep SPEC --worker-indices i,j,k]: re-expand the
+    matrix and run exactly [indices] serially, one [sweep-cell] envelope
+    per cell on [out]. *)
+
+val parent :
+  ?exe:string ->
+  ?spawn:Supervise.spawn ->
+  ?log_dir:string ->
+  ?supervise:Supervise.config ->
+  ?journal_path:string ->
+  ?resume:string ->
+  ?telem:Telem.t ->
+  ?cache:Cache.t ->
+  shards:int ->
+  worker_args:string list ->
+  axes:axes ->
+  Tce_workloads.Workload.t list ->
+  t
+(** Parent side of [--sweep --shards N]: the matrix across [N] supervised
+    workers with the full {!Shard.bench_parent} recovery envelope —
+    journal to [journal_path] (default {!Store.sweep_journal_path}),
+    [resume] replays a previous journal, cache hits are pre-resolved so
+    workers only simulate misses, fresh rows are installed as they
+    arrive.
+    @raise Failure when supervision fails unrecoverably or the merge is
+    incomplete. *)
+
+(** Persistence: a versioned [sweep] document ({!Store.sweep_latest_path}
+    plus an immutable copy under {!Store.sweeps_dir}). *)
+
+val to_json : t -> Tce_obs.Json.t
+val of_json : Tce_obs.Json.t -> (t, string) result
+val save : ?latest:string -> ?dir:string -> t -> string
+val load : string -> (t, string) result
+
+(** Per-point objective summary ([s_cost] = {!cost_bytes};
+    removal/speedup over the summed rows). *)
+type summary = {
+  s_point : point;
+  s_cost : int;
+  s_cycles_off : float;
+  s_cycles_on : float;
+  s_speedup_pct : float;
+  s_checks_off : int;
+  s_checks_on : int;
+  s_removal_pct : float;
+}
+
+val summarize : point -> Record.workload list -> summary
+
+val aggregate : t -> summary list
+(** Roster-aggregate summaries, one per point with at least one completed
+    cell, in matrix order. *)
+
+val per_workload : t -> (string * summary list) list
+
+val dominates : summary -> summary -> bool
+(** No worse on all three objectives, strictly better on one. *)
+
+val frontier : summary list -> summary list
+(** The non-dominated subset, input order preserved. *)
+
+val cheapest_within : ?slack_pct:float -> summary list ->
+  (summary * summary) option
+(** [(default, best)]: the cheapest geometry whose check-removal rate is
+    within [slack_pct] (default 1.0) points of the default point's.
+    [None] when the default point is absent or nothing cheaper
+    qualifies. *)
+
+val baseline_check : ?baseline_path:string -> t -> (string, string) result
+(** One report line checking the default geometry's rows against the
+    committed baseline ({!Record.equal_deterministic} per matching
+    workload); [Error] when any row differs. *)
+
+val to_csv : t -> string
+(** One CSV row per (scope, point) summary; scope ["all"] is the roster
+    aggregate, then one scope per workload. [pareto] flags frontier
+    membership within the scope. *)
+
+val report : ?baseline_path:string -> t -> string
+(** The full text report: header, roster-aggregate table with frontier
+    markers, per-workload frontiers, baseline-identity line and the
+    cheapest-within-1% headline. *)

@@ -325,6 +325,32 @@ let gate_result t ~ok ~compared ~regressions =
       Registry.set ~labels:(driver_label t) regr (float_of_int regressions);
       publish ~force:true t)
 
+(* Cache families are registered lazily like the gate's: only cached
+   drivers have stats to publish, and [Registry.counter] is idempotent. *)
+let cache_stats t (s : Cache.stats) =
+  with_lock t (fun () ->
+      let hits =
+        Registry.counter t.reg
+          ~help:"Cells served from the content-addressed cache"
+          "tce_cache_hits"
+      and misses =
+        Registry.counter t.reg
+          ~help:"Cells simulated because the cache had no entry"
+          "tce_cache_misses"
+      and bread =
+        Registry.counter t.reg ~help:"Bytes read from the cell cache"
+          "tce_cache_read_bytes"
+      and bwritten =
+        Registry.counter t.reg ~help:"Bytes written to the cell cache"
+          "tce_cache_written_bytes"
+      in
+      let labels = driver_label t in
+      Registry.inc ~labels ~by:(float_of_int s.Cache.hits) hits;
+      Registry.inc ~labels ~by:(float_of_int s.Cache.misses) misses;
+      Registry.inc ~labels ~by:(float_of_int s.Cache.bytes_read) bread;
+      Registry.inc ~labels ~by:(float_of_int s.Cache.bytes_written) bwritten;
+      publish ~force:true t)
+
 let snapshot t = Registry.to_openmetrics t.reg
 
 let registry t = t.reg

@@ -59,6 +59,11 @@ val gate_result : t -> ok:bool -> compared:int -> regressions:int -> unit
     [tce_gate_compared], [tce_gate_regressions]); registers the families
     on first call. *)
 
+val cache_stats : t -> Cache.stats -> unit
+(** Publish the cell-cache counters ([tce_cache_hits],
+    [tce_cache_misses], [tce_cache_read_bytes],
+    [tce_cache_written_bytes]); registers the families on first call. *)
+
 val snapshot : t -> string
 (** Current OpenMetrics rendering. *)
 

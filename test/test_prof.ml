@@ -261,6 +261,8 @@ let test_wall_warnings_non_gating () =
         List.map (fun w -> mk_rec ~wall:w ~wall_off:w ~wall_on:w "w") ws;
       quarantined = [];
       resumed_rows = [];
+      cache_hits = 0;
+      cache_misses = 0;
     }
   in
   let report =

@@ -1,0 +1,340 @@
+(* Tests for the design-space explorer (Tce_runner.Sweep) and the
+   content-addressed cell cache (Tce_runner.Cache):
+   (a) sweep-spec grammar: canonical round-trips, value sorting/dedup,
+       and loud rejection of unknown keys, empty value lists, duplicate
+       axes, non-positive values and over-wide Class Lists;
+   (b) grid expansion: invalid entries/ways combinations skipped and
+       counted, matrix order point-major, empty grids rejected;
+   (c) cache keys: label-order independence, duplicate-label rejection,
+       and geometry sensitivity through Store.config_hash;
+   (d) cache-hit byte identity: a warm 5-workload sweep performs zero
+       simulations and serializes byte-identically to the cold one;
+   (e) LRU prune: evicts oldest-first and bounds the directory size;
+   (f) end-to-end: a supervised sweep over the real bench binary is
+       byte-identical to the in-process run, and resuming from a torn
+       mid-grid journal completes with resume provenance. *)
+
+open Tce_runner
+module W = Tce_workloads.Workload
+
+let expect_axes spec =
+  match Sweep.parse_spec spec with
+  | Ok a -> a
+  | Error e -> Alcotest.failf "parse_spec %S: %s" spec e
+
+(* --- spec grammar --- *)
+
+let test_spec_roundtrip () =
+  (* values arrive unsorted with duplicates; the canonical string sorts
+     and dedups, and re-parsing it is a fixpoint *)
+  let a = expect_axes "cc.ways=4,1,2 cc.entries=128,64,128" in
+  Alcotest.(check (list int)) "entries sorted+deduped" [ 64; 128 ] a.Sweep.ax_entries;
+  Alcotest.(check (list int)) "ways sorted" [ 1; 2; 4 ] a.Sweep.ax_ways;
+  let s = Sweep.axes_to_string a in
+  (match Sweep.parse_spec s with
+  | Ok b -> Alcotest.(check bool) "canonical string is a fixpoint" true (a = b)
+  | Error e -> Alcotest.failf "re-parse of %S: %s" s e);
+  (* an absent axis sweeps only the paper default *)
+  let d = expect_axes "cc.entries=64" in
+  Alcotest.(check (list int)) "absent ways axis defaults" [ 2 ] d.Sweep.ax_ways;
+  Alcotest.(check (list int)) "absent cl axis defaults" [ 7 ] d.Sweep.ax_sizes
+
+let test_spec_rejections () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" bad)
+        true
+        (Result.is_error (Sweep.parse_spec bad)))
+    [
+      "";
+      "   ";
+      "cc.bogus=1";
+      "cc.entries";
+      "cc.entries=";
+      "cc.entries=,";
+      "cc.entries=0";
+      "cc.entries=-4";
+      "cc.entries=abc";
+      "cc.entries=64 cc.entries=128";
+      "cl.size=8";
+      "cl.size=0";
+    ];
+  (* unknown keys name the known axes so the error is actionable *)
+  match Sweep.parse_spec "cc.bogus=1" with
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+  | Error e ->
+    Alcotest.(check bool) "error lists known axes" true
+      (Astring.String.is_infix ~affix:"cc.entries" e)
+
+let test_expand_skips_invalid () =
+  let a = expect_axes "cc.entries=64,96 cc.ways=2,3" in
+  let points, skipped = Sweep.expand a in
+  (* 64/3 has no whole number of sets; the other three combinations do *)
+  Alcotest.(check int) "valid points" 3 (List.length points);
+  Alcotest.(check int) "invalid combinations counted" 1 skipped;
+  Alcotest.(check bool) "64x3 absent" true
+    (not
+       (List.exists
+          (fun p -> p.Sweep.entries = 64 && p.Sweep.ways = 3)
+          points))
+
+let test_matrix_point_major () =
+  let points, _ = Sweep.expand (expect_axes "cc.entries=64,128") in
+  let ws =
+    List.filter_map Tce_workloads.Workloads.by_name
+      [ "controlflow-recursive"; "deopt-storm" ]
+  in
+  let m = Sweep.matrix points ws in
+  Alcotest.(check int) "4 cells" 4 (List.length m);
+  Alcotest.(check (list string)) "point-major, workload-minor"
+    [ "64/controlflow-recursive"; "64/deopt-storm"; "128/controlflow-recursive";
+      "128/deopt-storm" ]
+    (List.map
+       (fun (p, w) -> Printf.sprintf "%d/%s" p.Sweep.entries w.W.name)
+       m)
+
+let test_empty_grid_raises () =
+  let a = expect_axes "cc.entries=64 cc.ways=3" in
+  let points, skipped = Sweep.expand a in
+  Alcotest.(check int) "no valid points" 0 (List.length points);
+  Alcotest.(check int) "the combination was counted" 1 skipped;
+  match Sweep.run ~jobs:1 ~axes:a [] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "empty grid must raise"
+
+(* --- cache keys --- *)
+
+let test_key_label_permutation () =
+  let parts = [ ("kind", "x"); ("workload", "w"); ("config", "c") ] in
+  let k = Cache.key parts in
+  List.iter
+    (fun perm ->
+      Alcotest.(check string) "label order is irrelevant" k (Cache.key perm))
+    [
+      [ ("workload", "w"); ("config", "c"); ("kind", "x") ];
+      [ ("config", "c"); ("kind", "x"); ("workload", "w") ];
+    ];
+  Alcotest.(check bool) "a changed value changes the key" true
+    (k <> Cache.key [ ("kind", "x"); ("workload", "w'"); ("config", "c") ]);
+  match Cache.key [ ("a", "1"); ("a", "2") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate label must be rejected"
+
+let test_bench_key_geometry_sensitivity () =
+  let w = List.hd (Tce_workloads.Workloads.selected) in
+  let default = Cache.bench_key w in
+  Alcotest.(check string) "explicit default config keys identically" default
+    (Cache.bench_key ~config:Tce_engine.Engine.default_config w);
+  let small =
+    Sweep.config_of_point { Sweep.entries = 64; ways = 2; cl_size = 7 }
+  in
+  Alcotest.(check bool) "geometry reaches the key" true
+    (default <> Cache.bench_key ~config:small w);
+  let narrow =
+    Sweep.config_of_point { Sweep.entries = 128; ways = 2; cl_size = 4 }
+  in
+  Alcotest.(check bool) "class-list size reaches the key" true
+    (default <> Cache.bench_key ~config:narrow w)
+
+(* --- cache-hit byte identity --- *)
+
+let tmp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let mk_workload name body =
+  W.make ~suite:W.Octane ~selected:false name body
+
+let roster5 =
+  List.map
+    (fun (name, stride) ->
+      mk_workload name
+        (Printf.sprintf
+           "function bench() { var s = %d; for (var i = 0; i < 40; i++) { s = (s + i * %d) & 1023; } return s; }"
+           stride stride))
+    [ ("cache-a", 1); ("cache-b", 2); ("cache-c", 3); ("cache-d", 5);
+      ("cache-e", 7) ]
+
+let sweep_bytes t =
+  Tce_obs.Json.to_string (Sweep.to_json (Sweep.normalize t))
+
+let test_warm_sweep_byte_identical () =
+  let dir = tmp_dir "tce-cache-bytes" in
+  let axes = expect_axes "cc.entries=64" in
+  let cold_cache = Cache.create ~dir () in
+  let cold = Sweep.run ~cache:cold_cache ~jobs:1 ~axes roster5 in
+  let cs = Cache.stats cold_cache in
+  Alcotest.(check int) "cold: no hits" 0 cs.Cache.hits;
+  Alcotest.(check int) "cold: one miss per cell" 5 cs.Cache.misses;
+  let warm_cache = Cache.create ~dir () in
+  let warm = Sweep.run ~cache:warm_cache ~jobs:1 ~axes roster5 in
+  let wst = Cache.stats warm_cache in
+  Alcotest.(check int) "warm: every cell a hit" 5 wst.Cache.hits;
+  Alcotest.(check int) "warm: zero simulations" 0 wst.Cache.misses;
+  Alcotest.(check string) "warm sweep byte-identical to cold" (sweep_bytes cold)
+    (sweep_bytes warm);
+  (* the cached rows carry real simulated data, not stale defaults *)
+  let uncached = Sweep.run ~jobs:1 ~axes roster5 in
+  Alcotest.(check string) "and to an uncached run" (sweep_bytes uncached)
+    (sweep_bytes warm);
+  List.iter2
+    (fun (_, (a : Record.workload)) (_, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s deterministically equal" a.Record.name)
+        true
+        (Record.equal_deterministic a b))
+    uncached.Sweep.cells warm.Sweep.cells
+
+let test_one_axis_change_resimulates_only_new_cells () =
+  let dir = tmp_dir "tce-cache-axis" in
+  let c0 = Cache.create ~dir () in
+  ignore (Sweep.run ~cache:c0 ~jobs:1 ~axes:(expect_axes "cc.entries=64") roster5);
+  let c1 = Cache.create ~dir () in
+  ignore
+    (Sweep.run ~cache:c1 ~jobs:1 ~axes:(expect_axes "cc.entries=64,128") roster5);
+  let s = Cache.stats c1 in
+  Alcotest.(check int) "old axis value served from cache" 5 s.Cache.hits;
+  Alcotest.(check int) "only the new axis value simulated" 5 s.Cache.misses
+
+(* --- LRU prune --- *)
+
+let test_prune_evicts_oldest_first () =
+  let dir = tmp_dir "tce-cache-prune" in
+  let c = Cache.create ~dir () in
+  let key i = Printf.sprintf "%032d" i in
+  let payload i =
+    Tce_obs.Json.Obj [ ("cell", Tce_obs.Json.Str (String.make 64 (Char.chr (65 + i)))) ]
+  in
+  for i = 0 to 9 do
+    Cache.store c ~key:(key i) (payload i);
+    (* deterministic LRU clock: cell i was last used at epoch + i + 1
+       (0.0/0.0 would mean "now" to Unix.utimes) *)
+    Unix.utimes (Filename.concat dir (key i ^ ".json"))
+      (float_of_int (i + 1))
+      (float_of_int (i + 1))
+  done;
+  let total = Cache.size_bytes ~dir () in
+  Alcotest.(check bool) "ten cells on disk" true (total > 0);
+  let max_bytes = total / 2 in
+  let removed, freed = Cache.prune ~dir ~max_bytes () in
+  Alcotest.(check bool) "something evicted" true (removed > 0);
+  Alcotest.(check bool) "freed matches eviction" true (freed > 0);
+  Alcotest.(check bool) "size bounded" true (Cache.size_bytes ~dir () <= max_bytes);
+  (* oldest mtimes go first: cell 0 must be gone, cell 9 must survive *)
+  Alcotest.(check bool) "oldest evicted" false
+    (Sys.file_exists (Filename.concat dir (key 0 ^ ".json")));
+  Alcotest.(check bool) "newest kept" true
+    (Sys.file_exists (Filename.concat dir (key 9 ^ ".json")));
+  let again, _ = Cache.prune ~dir ~max_bytes () in
+  Alcotest.(check int) "prune is idempotent under the bound" 0 again
+
+(* --- end-to-end over the real bench binary --- *)
+
+let log_dir =
+  Filename.concat (Filename.get_temp_dir_name ()) "tce-sweep-test-logs"
+
+let bench_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bench/main.exe"
+
+let require_bench_exe () =
+  if not (Sys.file_exists bench_exe) then
+    Alcotest.failf "bench binary not found at %s" bench_exe
+
+let e2e_cfg =
+  {
+    Supervise.default_config with
+    Supervise.cell_timeout_s = 120.0;
+    backoff_base_s = 0.01;
+    backoff_cap_s = 0.05;
+    verbose = false;
+  }
+
+let e2e_roster =
+  List.filter_map Tce_workloads.Workloads.by_name
+    [ "controlflow-recursive"; "deopt-storm" ]
+
+let e2e_axes = expect_axes "cc.entries=64,128"
+let tmp_journal () = Filename.temp_file "tce-sweep-journal" ".jsonl"
+
+let test_e2e_supervised_byte_identical () =
+  require_bench_exe ();
+  let serial = Sweep.run ~jobs:1 ~axes:e2e_axes e2e_roster in
+  let sup =
+    Sweep.parent ~exe:bench_exe ~log_dir ~supervise:e2e_cfg
+      ~journal_path:(tmp_journal ()) ~shards:2 ~worker_args:[] ~axes:e2e_axes
+      e2e_roster
+  in
+  Alcotest.(check string) "supervised sweep byte-identical to in-process"
+    (sweep_bytes serial) (sweep_bytes sup)
+
+let test_e2e_resume_mid_grid () =
+  require_bench_exe ();
+  let serial = Sweep.run ~jobs:1 ~axes:e2e_axes e2e_roster in
+  let journal_path = tmp_journal () in
+  let full =
+    Sweep.parent ~exe:bench_exe ~log_dir ~supervise:e2e_cfg ~journal_path
+      ~shards:2 ~worker_args:[] ~axes:e2e_axes e2e_roster
+  in
+  Alcotest.(check string) "full supervised run byte-identical"
+    (sweep_bytes serial) (sweep_bytes full);
+  (* keep two complete cells plus a torn fragment, as a parent crash
+     mid-grid would leave behind *)
+  let lines =
+    match Store.journal_lines journal_path with
+    | Ok (a :: b :: _) -> [ a; b ]
+    | Ok _ -> Alcotest.fail "journal too short"
+    | Error e -> Alcotest.fail e
+  in
+  let truncated = Filename.temp_file "tce-sweep-journal-torn" ".jsonl" in
+  let oc = open_out truncated in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  output_string oc "{\"torn";
+  close_out oc;
+  let resumed =
+    Sweep.parent ~exe:bench_exe ~log_dir ~supervise:e2e_cfg
+      ~journal_path:(tmp_journal ()) ~resume:truncated ~shards:2
+      ~worker_args:[] ~axes:e2e_axes e2e_roster
+  in
+  Alcotest.(check int) "two cells replayed from the journal" 2
+    (List.length resumed.Sweep.resumed_rows);
+  Alcotest.(check string) "resumed run byte-identical to in-process"
+    (sweep_bytes serial) (sweep_bytes resumed)
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "canonical round-trip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "bad specs rejected" `Quick test_spec_rejections;
+          Alcotest.test_case "invalid combinations skipped" `Quick
+            test_expand_skips_invalid;
+          Alcotest.test_case "matrix point-major" `Quick test_matrix_point_major;
+          Alcotest.test_case "empty grid raises" `Quick test_empty_grid_raises;
+        ] );
+      ( "cache-key",
+        [
+          Alcotest.test_case "label-order independent" `Quick
+            test_key_label_permutation;
+          Alcotest.test_case "geometry sensitivity" `Quick
+            test_bench_key_geometry_sensitivity;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "warm sweep byte-identical, zero sims" `Quick
+            test_warm_sweep_byte_identical;
+          Alcotest.test_case "one-axis change re-simulates only new cells"
+            `Quick test_one_axis_change_resimulates_only_new_cells;
+          Alcotest.test_case "LRU prune bounds and eviction order" `Quick
+            test_prune_evicts_oldest_first;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "supervised sweep byte-identical" `Slow
+            test_e2e_supervised_byte_identical;
+          Alcotest.test_case "resume mid-grid" `Slow test_e2e_resume_mid_grid;
+        ] );
+    ]
